@@ -1,0 +1,83 @@
+//! Criterion benches over whole view operations — wall-time twins of the
+//! virtual-time figure experiments, at reduced scale. One group per paper
+//! table: updates (Figure 4A), All-Members scans (Figure 4B), single-entity
+//! reads (Figure 5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+
+fn spec() -> DatasetSpec {
+    DatasetSpec::dblife().scaled(0.02)
+}
+
+fn build(arch: Architecture, mode: Mode) -> Box<dyn ClassifierView> {
+    let s = spec();
+    let ds = s.generate();
+    let warm = ExampleStream::new(&s, 0xAAAA).take_vec(6000);
+    ViewBuilder::new(arch, mode)
+        .norm_pair(s.norm_pair())
+        .overheads(OpOverheads::free())
+        .dim(s.dim)
+        .build(ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect(), &warm)
+}
+
+fn bench_eager_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a_eager_update_wall");
+    for (arch, name) in [
+        (Architecture::NaiveMem, "naive-mm"),
+        (Architecture::HazyMem, "hazy-mm"),
+        (Architecture::HazyDisk, "hazy-od"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &arch, |b, &arch| {
+            let mut view = build(arch, Mode::Eager);
+            let mut stream = ExampleStream::new(&spec(), 0xB);
+            b.iter(|| view.update(black_box(&stream.next_example())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lazy_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b_lazy_allmembers_wall");
+    for (arch, name) in
+        [(Architecture::NaiveMem, "naive-mm"), (Architecture::HazyMem, "hazy-mm")]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &arch, |b, &arch| {
+            let mut view = build(arch, Mode::Lazy);
+            let mut stream = ExampleStream::new(&spec(), 0xC);
+            for _ in 0..20 {
+                view.update(&stream.next_example());
+            }
+            b.iter(|| black_box(view.count_positive()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_single_entity_wall");
+    for (arch, name) in [
+        (Architecture::HazyMem, "hazy-mm"),
+        (Architecture::Hybrid, "hybrid"),
+        (Architecture::HazyDisk, "hazy-od"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &arch, |b, &arch| {
+            let mut view = build(arch, Mode::Eager);
+            let n = spec().n_entities as u64;
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % n;
+                black_box(view.read_single(k))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_eager_update, bench_lazy_scan, bench_single_read
+}
+criterion_main!(benches);

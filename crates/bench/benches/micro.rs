@@ -1,0 +1,149 @@
+//! Criterion microbenches for the hot kernels under every experiment:
+//! dot products, SGD steps, watermark bookkeeping, the Skiing decision,
+//! tuple codec, B+-tree and buffer-pool paths, and reorganization sorts.
+//! These measure *wall* time of the real code (no simulated costs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hazy_core::{decode_tuple, encode_tuple, HTuple, Skiing};
+use hazy_learn::{LinearModel, SgdConfig, SgdTrainer};
+use hazy_linalg::{FeatureVec, Norm, NormPair, OrdF64};
+use hazy_storage::{BTree, BufferPool, CostModel, HashIndex, SimDisk, VirtualClock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sparse_vec(rng: &mut StdRng, dim: u32, nnz: usize) -> FeatureVec {
+    FeatureVec::sparse(dim, (0..nnz).map(|_| (rng.gen_range(0..dim), rng.gen_range(-1.0..1.0))))
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let dense = FeatureVec::dense((0..54).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<_>>());
+    let sparse = sparse_vec(&mut rng, 50_000, 60);
+    let w: Vec<f64> = (0..50_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let mut g = c.benchmark_group("linalg");
+    g.bench_function("dot_dense54", |b| b.iter(|| black_box(dense.dot(&w[..54]))));
+    g.bench_function("dot_sparse60", |b| b.iter(|| black_box(sparse.dot(&w))));
+    g.bench_function("norm_l1_sparse", |b| b.iter(|| black_box(sparse.norm(Norm::L1))));
+    g.bench_function("sortable_key", |b| b.iter(|| black_box(OrdF64(0.125).sortable_key())));
+    g.finish();
+}
+
+fn bench_sgd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let examples: Vec<(FeatureVec, i8)> = (0..256)
+        .map(|_| (sparse_vec(&mut rng, 50_000, 8), if rng.gen_bool(0.5) { 1 } else { -1 }))
+        .collect();
+    let mut g = c.benchmark_group("sgd");
+    g.bench_function("step_sparse8_dim50k", |b| {
+        let mut t = SgdTrainer::new(SgdConfig::svm(), 50_000);
+        let mut i = 0;
+        b.iter(|| {
+            let (f, y) = &examples[i % examples.len()];
+            i += 1;
+            black_box(t.step(f, *y))
+        })
+    });
+    g.finish();
+}
+
+fn bench_watermark(c: &mut Criterion) {
+    use hazy_core::{WaterMarks, WatermarkPolicy};
+    let stored = LinearModel::from_parts(vec![0.1; 1000], 0.05);
+    let mut g = c.benchmark_group("watermark");
+    g.bench_function("observe_bounded", |b| {
+        let mut wm = WaterMarks::new(stored.clone(), NormPair::TEXT, 1.0, WatermarkPolicy::Monotone);
+        let mut d = 0.0f64;
+        b.iter(|| {
+            d += 1e-6;
+            black_box(wm.observe_bounded(d, 0.05))
+        })
+    });
+    g.bench_function("skiing_decision", |b| {
+        let mut sk = Skiing::new(1.0, 1e9);
+        b.iter(|| {
+            sk.add_cost(1.0);
+            black_box(sk.should_reorganize())
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let t = HTuple { id: 42, label: 1, eps: 0.5, f: sparse_vec(&mut rng, 50_000, 60) };
+    let mut buf = Vec::new();
+    encode_tuple(&t, &mut buf);
+    let mut g = c.benchmark_group("tuple_codec");
+    g.bench_function("encode_sparse60", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            encode_tuple(black_box(&t), &mut out);
+            black_box(out)
+        })
+    });
+    g.bench_function("decode_sparse60", |b| b.iter(|| black_box(decode_tuple(&buf).unwrap())));
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("btree_get_100k", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), 4096);
+        let entries: Vec<((u64, u64), u64)> = (0..100_000u64).map(|k| ((k, 0), k)).collect();
+        let tree = BTree::bulk_load(&mut pool, &entries);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(tree.get(&mut pool, (k, 0)))
+        })
+    });
+    g.bench_function("btree_insert", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), 4096);
+        let mut tree = BTree::new(&mut pool);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            tree.insert(&mut pool, (k, 0), k).unwrap();
+        })
+    });
+    g.bench_function("hash_index_get", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), 4096);
+        let mut idx = HashIndex::with_capacity(&mut pool, 100_000);
+        for k in 0..100_000u64 {
+            idx.insert(&mut pool, k, !k).unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(idx.get(&mut pool, k))
+        })
+    });
+    g.bench_function("pool_hit", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), 8);
+        let pid = pool.allocate();
+        b.iter(|| pool.with_page(pid, |p| black_box(p[0])))
+    });
+    g.finish();
+}
+
+fn bench_reorg_sort(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let eps: Vec<f64> = (0..100_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut g = c.benchmark_group("reorg");
+    g.bench_function("sort_100k_eps", |b| {
+        b.iter(|| {
+            let mut v = eps.clone();
+            v.sort_unstable_by(|a, b| b.total_cmp(a));
+            black_box(v.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_linalg, bench_sgd, bench_watermark, bench_codec, bench_storage, bench_reorg_sort
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4(A); pass `--cold` for the zero-example variant.
+fn main() {
+    let cold = std::env::args().any(|a| a == "--cold");
+    print!("{}", hazy_bench::fig04_eager_update::run_with(cold));
+}

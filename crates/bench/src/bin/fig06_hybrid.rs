@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (A: memory usage, B: buffer-size sweep).
+fn main() {
+    print!("{}", hazy_bench::fig06_hybrid::run());
+}

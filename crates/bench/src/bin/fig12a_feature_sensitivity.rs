@@ -1,0 +1,4 @@
+//! Regenerates one experiment; see the module docs in `hazy-bench`.
+fn main() {
+    print!("{}", hazy_bench::fig12a_feature_sensitivity::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates one experiment; see the module docs in `hazy-bench`.
+fn main() {
+    print!("{}", hazy_bench::fig12b_multiclass::run());
+}

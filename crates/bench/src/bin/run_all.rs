@@ -1,0 +1,35 @@
+//! Runs every experiment and writes the combined report to
+//! `bench_report.md` (and stdout).
+use std::fmt::Write as _;
+
+fn main() {
+    let mut report = String::from("# Hazy reproduction — experiment report\n\n");
+    type Experiment = (&'static str, fn() -> String);
+    let experiments: Vec<Experiment> = vec![
+        ("fig03", hazy_bench::fig03_datasets::run),
+        ("fig04a", hazy_bench::fig04_eager_update::run),
+        ("fig04a-cold", || hazy_bench::fig04_eager_update::run_with(true)),
+        ("fig04b", hazy_bench::fig04_lazy_allmembers::run),
+        ("fig05", hazy_bench::fig05_single_entity::run),
+        ("fig06", hazy_bench::fig06_hybrid::run),
+        ("fig10", hazy_bench::fig10_learning_overhead::run),
+        ("fig11a", hazy_bench::fig11a_scalability::run),
+        ("fig11b", hazy_bench::fig11b_scaleup::run),
+        ("fig12a", hazy_bench::fig12a_feature_sensitivity::run),
+        ("fig12b", hazy_bench::fig12b_multiclass::run),
+        ("fig13", hazy_bench::fig13_waterline::run),
+        ("ablation-alpha", hazy_bench::ablation_alpha::run),
+        ("ablation-watermark", hazy_bench::ablation_watermark::run),
+    ];
+    for (name, run) in experiments {
+        eprintln!("running {name} ...");
+        let t0 = std::time::Instant::now();
+        let section = run();
+        let _ = writeln!(report, "{section}");
+        eprintln!("  done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    print!("{report}");
+    if let Err(e) = std::fs::write("bench_report.md", &report) {
+        eprintln!("could not write bench_report.md: {e}");
+    }
+}

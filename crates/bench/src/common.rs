@@ -1,0 +1,162 @@
+//! Shared harness utilities: the benchmark corpora, view construction, and
+//! table rendering.
+
+use hazy_core::{Architecture, ClassifierView, Entity, HybridConfig, Mode, ViewBuilder};
+use hazy_datagen::{Dataset, DatasetSpec, ExampleStream};
+use hazy_learn::TrainingExample;
+
+/// Scale factors for the three evaluation corpora. The paper runs
+/// full-size corpora on a dedicated machine for hours; the harness runs
+/// scaled-down twins (documented in EXPERIMENTS.md) whose per-tuple shape is
+/// identical, so per-operation rates scale by roughly the inverse factor.
+pub const FC_SCALE: f64 = 0.05; // 29k entities × 54 dense
+pub const DB_SCALE: f64 = 0.10; // 12.4k entities, ~7 nnz
+pub const CS_SCALE: f64 = 0.02; // 14.4k entities, ~60 nnz, 13.6k vocab
+
+/// Warm-up examples before measuring (the paper's experiments start from a
+/// 12k-example warm model).
+pub const WARM: usize = 12_000;
+
+/// The three evaluation corpora at harness scale.
+pub fn bench_specs() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec::forest().scaled(FC_SCALE),
+        DatasetSpec::dblife().scaled(DB_SCALE),
+        DatasetSpec::citeseer().scaled(CS_SCALE),
+    ]
+}
+
+/// The five techniques in the order the paper's Figure 4 lists them.
+pub fn figure4_architectures() -> [(Architecture, &'static str); 5] {
+    [
+        (Architecture::NaiveDisk, "OD naive"),
+        (Architecture::HazyDisk, "OD hazy"),
+        (Architecture::Hybrid, "OD hybrid"),
+        (Architecture::NaiveMem, "MM naive"),
+        (Architecture::HazyMem, "MM hazy"),
+    ]
+}
+
+/// Materializes a dataset's entities for view construction.
+pub fn entities_of(ds: &Dataset) -> Vec<Entity> {
+    ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect()
+}
+
+/// Builds a view over `spec` with the paper's defaults and a warm model.
+pub fn build_view(
+    arch: Architecture,
+    mode: Mode,
+    spec: &DatasetSpec,
+    ds: &Dataset,
+    warm: &[TrainingExample],
+) -> Box<dyn ClassifierView> {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(spec.norm_pair())
+        .dim(spec.dim)
+        .hybrid_config(HybridConfig { buffer_frac: 0.01 })
+        .build(entities_of(ds), warm)
+}
+
+/// Standard warm-up stream (seed disjoint from measurement streams).
+pub fn warm_examples(spec: &DatasetSpec, n: usize) -> Vec<TrainingExample> {
+    ExampleStream::new(spec, 0xAAAA).take_vec(n)
+}
+
+/// Virtual-time throughput: `ops` completed while the view's clock advanced
+/// by `dt_ns`.
+pub fn rate_per_sec(ops: u64, dt_ns: u64) -> f64 {
+    if dt_ns == 0 {
+        f64::INFINITY
+    } else {
+        ops as f64 * 1e9 / dt_ns as f64
+    }
+}
+
+/// Renders a fixed-width table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths.iter()) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a rate the way the paper's tables do (`2.8k` style).
+pub fn fmt_rate(r: f64) -> String {
+    if !r.is_finite() {
+        "inf".into()
+    } else if r >= 10_000.0 {
+        format!("{:.1}k", r / 1000.0)
+    } else if r >= 1000.0 {
+        format!("{:.2}k", r / 1000.0)
+    } else if r >= 10.0 {
+        format!("{r:.0}")
+    } else {
+        format!("{r:.2}")
+    }
+}
+
+/// Formats a byte count.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("## T"));
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn rates_format_like_the_paper() {
+        assert_eq!(fmt_rate(2800.0), "2.80k");
+        assert_eq!(fmt_rate(42_700.0), "42.7k");
+        assert_eq!(fmt_rate(33.1), "33");
+        assert_eq!(fmt_rate(0.4), "0.40");
+    }
+
+    #[test]
+    fn specs_have_figure3_shape() {
+        let specs = bench_specs();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[0].dense && !specs[1].dense && !specs[2].dense);
+    }
+}

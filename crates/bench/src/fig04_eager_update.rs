@@ -1,0 +1,70 @@
+//! Figure 4(A): eager Update throughput (updates/s), five techniques ×
+//! three corpora, warm model.
+//!
+//! Paper reference (updates/s):
+//! ```text
+//!            FC     DB    CS
+//! OD naive   0.4    2.1   0.2
+//! OD hazy    2.0    6.8   0.2
+//! OD hybrid  2.0    6.6   0.2
+//! MM naive   5.3   33.1   1.8
+//! MM hazy   49.7  160.5   7.2
+//! ```
+
+use hazy_core::Mode;
+use hazy_datagen::ExampleStream;
+
+use crate::common::{
+    bench_specs, build_view, figure4_architectures, fmt_rate, rate_per_sec, render_table,
+    warm_examples, WARM,
+};
+
+/// Measured updates per technique: naive architectures pay a full pass per
+/// update, so fewer samples suffice (virtual time is deterministic).
+fn measured_updates(label: &str) -> usize {
+    if label.contains("naive") {
+        60
+    } else {
+        600
+    }
+}
+
+/// Runs the experiment; `cold` starts from zero examples instead of the
+/// 12k warm model (the Section 4.1.1 cold-start variant).
+pub fn run_with(cold: bool) -> String {
+    let specs = bench_specs();
+    let mut rows = Vec::new();
+    for (arch, label) in figure4_architectures() {
+        let mut cells = vec![label.to_string()];
+        for spec in &specs {
+            let ds = spec.generate();
+            let warm = if cold { Vec::new() } else { warm_examples(spec, WARM) };
+            let mut view = build_view(arch, Mode::Eager, spec, &ds, &warm);
+            let mut stream = ExampleStream::new(spec, 0xBEEF);
+            let n = measured_updates(label) as u64;
+            let t0 = view.clock().now_ns();
+            for _ in 0..n {
+                view.update(&stream.next_example());
+            }
+            let dt = view.clock().now_ns() - t0;
+            cells.push(fmt_rate(rate_per_sec(n, dt)));
+        }
+        rows.push(cells);
+    }
+    let title = if cold {
+        "Figure 4(A) cold-start variant — eager Update (updates/s), zero warm examples"
+    } else {
+        "Figure 4(A) — eager Update (updates/s), warm model"
+    };
+    let mut out = render_table(title, &["Technique", "FC", "DB", "CS"], &rows);
+    out.push_str(
+        "Paper: OD naive 0.4/2.1/0.2 · OD hazy 2.0/6.8/0.2 · hybrid 2.0/6.6/0.2 · \
+         MM naive 5.3/33.1/1.8 · MM hazy 49.7/160.5/7.2\n",
+    );
+    out
+}
+
+/// The warm-model experiment (the figure as published).
+pub fn run() -> String {
+    run_with(false)
+}

@@ -1,0 +1,68 @@
+//! Figure 5: Single-Entity read throughput (reads/s), {OD, Hybrid, MM} ×
+//! {eager, lazy} × three corpora, 15k uniformly random reads.
+//!
+//! Paper reference (reads/s):
+//! ```text
+//!          eager FC/DB/CS        lazy FC/DB/CS
+//! OD       6.7k/6.8k/6.6k        5.9k/6.3k/5.7k
+//! Hybrid  13.4k/13.0k/12.7k     13.4k/13.6k/12.2k
+//! MM      13.5k/13.7k/12.7k     13.4k/13.5k/12.2k
+//! ```
+
+use hazy_core::{Architecture, Mode};
+use hazy_datagen::ExampleStream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{
+    bench_specs, build_view, fmt_rate, rate_per_sec, render_table, warm_examples, WARM,
+};
+
+const READS: u64 = 15_000;
+
+/// Runs the experiment: the hazy strategy on each architecture (naive and
+/// hazy have essentially identical read paths, as the paper notes).
+pub fn run() -> String {
+    let specs = bench_specs();
+    let archs = [
+        (Architecture::HazyDisk, "OD"),
+        (Architecture::Hybrid, "Hybrid"),
+        (Architecture::HazyMem, "MM"),
+    ];
+    let mut rows = Vec::new();
+    for (arch, label) in archs {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut cells = vec![format!("{label} ({})", mode.name())];
+            for spec in &specs {
+                let ds = spec.generate();
+                let warm = warm_examples(spec, WARM);
+                let mut view = build_view(arch, mode, spec, &ds, &warm);
+                // a few updates so lazy paths exercise the watermark logic
+                let mut stream = ExampleStream::new(spec, 0xCAFE);
+                for _ in 0..20 {
+                    view.update(&stream.next_example());
+                }
+                let mut rng = StdRng::seed_from_u64(5);
+                let n_entities = ds.len() as u64;
+                let t0 = view.clock().now_ns();
+                for _ in 0..READS {
+                    let id = rng.gen_range(0..n_entities);
+                    view.read_single(id);
+                }
+                let dt = view.clock().now_ns() - t0;
+                cells.push(fmt_rate(rate_per_sec(READS, dt)));
+            }
+            rows.push(cells);
+        }
+    }
+    let mut out = render_table(
+        "Figure 5 — Single Entity reads (reads/s), 15k uniform random reads",
+        &["Arch (mode)", "FC", "DB", "CS"],
+        &rows,
+    );
+    out.push_str(
+        "Paper: OD 6.7k/6.8k/6.6k (eager), 5.9k/6.3k/5.7k (lazy) · \
+         Hybrid ≈13k both modes · MM ≈13.5k both modes\n",
+    );
+    out
+}

@@ -1,0 +1,108 @@
+//! Figure 10 (Appendix C.1): the overhead of learning inside the RDBMS.
+//!
+//! Compares three ways to train and apply the same linear SVM, on MAGIC,
+//! ADULT and FOREST with a 90/10 train/test split:
+//!
+//! * **Batch** — dual coordinate descent run to convergence (plays the
+//!   role of SVMLight: a batch solver of the identical objective);
+//! * **SGD (file)** — the raw incremental trainer with no database around
+//!   it (plays the role of Bottou's hand-coded C);
+//! * **Hazy** — the same SGD steps driven through a classification view
+//!   (trigger path + eager maintenance).
+//!
+//! Paper: SGD is ~30× faster than SVMLight at equal-or-better quality;
+//! Hazy costs a small constant factor over file SGD (insert-at-a-time
+//! overhead).
+
+use std::time::Instant;
+
+use hazy_core::{Architecture, Mode, OpOverheads, ViewBuilder};
+use hazy_datagen::DatasetSpec;
+use hazy_learn::batch::{DcdConfig, DcdSvm};
+use hazy_learn::metrics::Confusion;
+use hazy_learn::{LinearModel, SgdConfig, SgdTrainer, TrainingExample};
+
+use crate::common::{entities_of, render_table};
+
+fn eval(model: &LinearModel, test: &[TrainingExample]) -> (f64, f64) {
+    let preds: Vec<i8> = test.iter().map(|e| model.predict(&e.f)).collect();
+    let gold: Vec<i8> = test.iter().map(|e| e.y).collect();
+    let c = Confusion::from_preds(&preds, &gold);
+    (100.0 * c.precision(), 100.0 * c.recall())
+}
+
+/// Runs the comparison.
+pub fn run() -> String {
+    let specs = [
+        DatasetSpec::magic().scaled(0.5),
+        DatasetSpec::adult().scaled(0.2),
+        DatasetSpec::forest().scaled(0.02),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let ds = spec.generate();
+        let split = ds.len() * 9 / 10;
+        let train: Vec<TrainingExample> = ds.entities[..split]
+            .iter()
+            .map(|e| TrainingExample::new(e.id, e.f.clone(), e.label))
+            .collect();
+        let test: Vec<TrainingExample> = ds.entities[split..]
+            .iter()
+            .map(|e| TrainingExample::new(e.id, e.f.clone(), e.label))
+            .collect();
+
+        // batch solver to tight convergence
+        let t0 = Instant::now();
+        let sol = DcdSvm::new(DcdConfig { max_epochs: 60, ..DcdConfig::default() }).solve(&train);
+        let batch_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let (bp, br) = eval(&sol.model, &test);
+
+        // file SGD: a few epochs, no database
+        let t0 = Instant::now();
+        let mut sgd = SgdTrainer::new(SgdConfig::svm(), spec.dim);
+        sgd.train_epochs(&train, 3);
+        let sgd_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let (sp, sr) = eval(sgd.model(), &test);
+
+        // Hazy: identical SGD steps via the view's update path, lazy mode
+        // (train, then one classification pass — the paper's "train a model
+        // and populate the view" task), wall-clock, zero simulated
+        // overheads. This measures the real view plumbing on top of raw
+        // training.
+        let mut view = ViewBuilder::new(Architecture::HazyMem, Mode::Lazy)
+            .norm_pair(spec.norm_pair())
+            .overheads(OpOverheads::free())
+            .dim(spec.dim)
+            .build(entities_of(&ds), &[]);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            for ex in &train {
+                view.update(ex);
+            }
+        }
+        view.count_positive(); // populate/apply the trained model
+        let hazy_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let (hp, hr) = eval(view.model(), &test);
+
+        rows.push(vec![
+            spec.name.clone(),
+            format!("{bp:.1}/{br:.1}"),
+            format!("{batch_ms:.0}ms"),
+            format!("{sp:.1}/{sr:.1}"),
+            format!("{sgd_ms:.0}ms"),
+            format!("{hp:.1}/{hr:.1}"),
+            format!("{hazy_ms:.0}ms"),
+        ]);
+    }
+    let mut out = render_table(
+        "Figure 10 — learning overhead: batch SVM vs file SGD vs Hazy (wall clock)",
+        &["Dataset", "Batch P/R", "time", "SGD P/R", "time", "Hazy P/R", "time"],
+        &rows,
+    );
+    out.push_str(
+        "Paper: SVMLight 74.4/63.4 @9.4s, 86.7/92.7 @11.4s, 75.1/77.0 @256.7m; \
+         SGD equal quality at 0.3s/0.7s/52.9s; Hazy 0.7s/1.1s/17.3m \
+         (shape: batch ≫ sgd; hazy a small factor over sgd).\n",
+    );
+    out
+}

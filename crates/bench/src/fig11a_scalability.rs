@@ -1,0 +1,57 @@
+//! Figure 11(A): data scalability of eager updates.
+//!
+//! Synthetic dense corpora at 1×, 2× and 4× the base size; eager updates/s
+//! per architecture. The paper's 4 GB point exhausts RAM for the
+//! main-memory techniques — reproduced here with an explicit memory budget:
+//! a main-memory view whose resident set exceeds the budget is reported as
+//! `RAM` (the paper's Naive-MM/Hazy-MM bars simply stop).
+
+use hazy_core::Mode;
+use hazy_datagen::{DatasetSpec, ExampleStream};
+
+use crate::common::{
+    build_view, figure4_architectures, fmt_rate, rate_per_sec, render_table, warm_examples,
+};
+
+/// Base entity count (the "1GB" point, scaled to harness size).
+const BASE: f64 = 0.02;
+/// Memory budget in bytes for main-memory architectures (the "4GB" machine).
+const MEM_BUDGET: usize = 10 << 20;
+
+/// Runs the scalability sweep.
+pub fn run() -> String {
+    let sizes = [(BASE, "1x"), (BASE * 2.0, "2x"), (BASE * 4.0, "4x")];
+    let mut rows = Vec::new();
+    for (arch, label) in figure4_architectures() {
+        let mut cells = vec![label.to_string()];
+        for (scale, _) in sizes {
+            let spec = DatasetSpec::forest().scaled(scale);
+            let ds = spec.generate();
+            let warm = warm_examples(&spec, 12_000);
+            let mut view = build_view(arch, Mode::Eager, &spec, &ds, &warm);
+            if label.contains("MM") && view.memory().total() > MEM_BUDGET {
+                cells.push("RAM".into());
+                continue;
+            }
+            let n: u64 = if label.contains("naive") { 30 } else { 300 };
+            let mut stream = ExampleStream::new(&spec, 0x11A);
+            let t0 = view.clock().now_ns();
+            for _ in 0..n {
+                view.update(&stream.next_example());
+            }
+            cells.push(fmt_rate(rate_per_sec(n, view.clock().now_ns() - t0)));
+        }
+        rows.push(cells);
+    }
+    let mut out = render_table(
+        "Figure 11(A) — eager updates/s vs data size (dense synthetic; MEM budget caps MM)",
+        &["Technique", "1x", "2x", "4x"],
+        &rows,
+    );
+    out.push_str(
+        "Paper's shape: every technique degrades ~linearly with size; Hazy-MM is best \
+         until it exhausts RAM at 4GB; Hazy-OD tracks Naive-MM; hybrid pays only a \
+         small update penalty over Hazy-OD.\n",
+    );
+    out
+}

@@ -1,0 +1,78 @@
+//! Figure 12(B): multiclass eager updates.
+//!
+//! One-versus-all over 2–7 classes (Appendix B.5.4 / C.3): each class gets
+//! its own binary view, and a multiclass training example steps *every*
+//! view (positive for its class, negative for the rest). Paper's shape:
+//! Hazy-MM keeps its order-of-magnitude lead over Naive-MM as the class
+//! count grows, with both rates falling ∝ 1/k.
+
+use hazy_core::{Architecture, ClassifierView, Mode, OpOverheads, ViewBuilder};
+use hazy_datagen::DatasetSpec;
+use hazy_learn::TrainingExample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{entities_of, fmt_rate, rate_per_sec, render_table};
+
+/// Runs the class-count sweep.
+pub fn run() -> String {
+    let spec = DatasetSpec::forest().scaled(0.01);
+    let ds = spec.generate();
+    let mut rows = Vec::new();
+    for (arch, label) in
+        [(Architecture::NaiveMem, "Naive-MM"), (Architecture::HazyMem, "Hazy-MM")]
+    {
+        let mut cells = vec![label.to_string()];
+        for k in 2..=7usize {
+            let truth = ds.multiclass_truth(k);
+            // warm each binary view one-vs-all with 8k examples
+            let mut rng = StdRng::seed_from_u64(0x12B);
+            let warm_idx: Vec<usize> = (0..8000).map(|_| rng.gen_range(0..ds.len())).collect();
+            let mut views: Vec<Box<dyn ClassifierView>> = (0..k)
+                .map(|c| {
+                    let warm: Vec<TrainingExample> = warm_idx
+                        .iter()
+                        .map(|&i| {
+                            let e = &ds.entities[i];
+                            let y = if truth[i] == c { 1 } else { -1 };
+                            TrainingExample::new(e.id, e.f.clone(), y)
+                        })
+                        .collect();
+                    ViewBuilder::new(arch, Mode::Eager)
+                        .norm_pair(spec.norm_pair())
+                        .overheads(OpOverheads::free())
+                        .dim(spec.dim)
+                        .build(entities_of(&ds), &warm)
+                })
+                .collect();
+            // measured multiclass updates; each steps all k views but one
+            // statement overhead is charged (clock of view 0 tracks time
+            // for its own work only, so sum all clocks)
+            let n: u64 = if label.contains("Naive") { 30 } else { 200 };
+            let t0: u64 = views.iter().map(|v| v.clock().now_ns()).sum();
+            let per_stmt = OpOverheads::pg_2008().update_ns;
+            for _ in 0..n {
+                let i = rng.gen_range(0..ds.len());
+                let e = &ds.entities[i];
+                for (c, view) in views.iter_mut().enumerate() {
+                    let y = if truth[i] == c { 1 } else { -1 };
+                    view.update(&TrainingExample::new(e.id, e.f.clone(), y));
+                }
+            }
+            let t1: u64 = views.iter().map(|v| v.clock().now_ns()).sum();
+            let dt = (t1 - t0) + n * per_stmt;
+            cells.push(fmt_rate(rate_per_sec(n, dt)));
+        }
+        rows.push(cells);
+    }
+    let mut out = render_table(
+        "Figure 12(B) — multiclass eager updates/s vs #labels (one-vs-all, Forest-like)",
+        &["Technique", "2", "3", "4", "5", "6", "7"],
+        &rows,
+    );
+    out.push_str(
+        "Paper's shape: both fall ∝ 1/k; Hazy-MM keeps an order of magnitude over \
+         Naive-MM at every class count.\n",
+    );
+    out
+}

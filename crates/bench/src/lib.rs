@@ -1,0 +1,27 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `figXX_*` module reproduces one table/figure: it builds the relevant
+//! views over seeded synthetic corpora, drives the paper's workload, and
+//! renders a table next to the paper's published numbers. Absolute rates
+//! come from the deterministic virtual-cost model (see `hazy-storage`), so
+//! every run reproduces bit-identical output; what must match the paper is
+//! the *shape* — who wins, by roughly what factor, where the crossovers
+//! fall.
+//!
+//! Run any single experiment via its binary (`cargo run --release -p
+//! hazy-bench --bin fig04_eager_update`) or everything via `run_all`.
+
+pub mod ablation_alpha;
+pub mod ablation_watermark;
+pub mod common;
+pub mod fig03_datasets;
+pub mod fig04_eager_update;
+pub mod fig04_lazy_allmembers;
+pub mod fig05_single_entity;
+pub mod fig06_hybrid;
+pub mod fig10_learning_overhead;
+pub mod fig11a_scalability;
+pub mod fig11b_scaleup;
+pub mod fig12a_feature_sensitivity;
+pub mod fig12b_multiclass;
+pub mod fig13_waterline;

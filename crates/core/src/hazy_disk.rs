@@ -1,0 +1,621 @@
+//! Hazy's on-disk architecture (Section 3.2).
+//!
+//! The scratch table `H(id, f, eps)` lives in a heap file physically
+//! clustered by `eps` descending, with
+//!
+//! * a clustered B+-tree on `eps` (keys are order-reversed so ascending key
+//!   order equals descending `eps` — the heap's physical order), and
+//! * a hash index `id → rid` for single-entity reads.
+//!
+//! An eager update retrains, widens the watermarks, and touches only tuples
+//! with `eps ∈ [lw, hw]`: the B+-tree finds the first qualifying tuple and
+//! the walk proceeds in physical heap order, so the range scan is
+//! sequential I/O. The Skiing strategy decides when to recluster.
+//!
+//! Entities inserted between reorganizations land in an unsorted *tail*
+//! region of the heap (indexed by both indexes); the next reorganization
+//! folds them into the sorted segment.
+
+use hazy_learn::{sign, Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_linalg::{NormPair, OrdF64};
+use hazy_storage::{BTree, BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
+
+use crate::cost::{charge_classify, OpOverheads};
+use crate::entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+use crate::skiing::Skiing;
+use crate::stats::{MemoryFootprint, ViewStats};
+use crate::view::{ClassifierView, Mode};
+use crate::watermark::{DeltaTracker, WaterMarks, WatermarkPolicy};
+
+/// B+-tree key for a tuple: `(order-reversed eps, id)`. Ascending key order
+/// is descending `eps` order, matching the clustered heap.
+fn eps_key(eps: f64, id: u64) -> (u64, u64) {
+    (OrdF64(-eps).sortable_key(), id)
+}
+
+/// Inverse of the first key component.
+fn key_eps(k0: u64) -> f64 {
+    -OrdF64::from_sortable_key(k0).0
+}
+
+/// Hazy on-disk view (`Hazy-OD`).
+pub struct HazyDiskView {
+    mode: Mode,
+    overheads: OpOverheads,
+    pool: BufferPool,
+    heap: HeapFile,
+    btree: BTree,
+    hash: HashIndex,
+    /// First record of the unsorted tail, if any.
+    first_tail_rid: Option<Rid>,
+    /// Tuples in the sorted segment (heap order positions before the tail).
+    n_sorted: u64,
+    trainer: SgdTrainer,
+    wm: WaterMarks,
+    tracker: DeltaTracker,
+    skiing: Skiing,
+    pair: NormPair,
+    policy: WatermarkPolicy,
+    m_norm: f64,
+    reorg_epoch: u64,
+    stats: ViewStats,
+    scratch: Vec<u8>,
+}
+
+impl HazyDiskView {
+    /// Builds the view and performs the initial organization (measuring the
+    /// first `S`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        entities: Vec<Entity>,
+        trainer: SgdTrainer,
+        mut pool: BufferPool,
+        overheads: OpOverheads,
+        mode: Mode,
+        pair: NormPair,
+        policy: WatermarkPolicy,
+        alpha: f64,
+    ) -> HazyDiskView {
+        let m_norm = entities.iter().map(|e| e.f.norm(pair.q)).fold(0.0f64, f64::max);
+        // stage the raw tuples into an unclustered heap; the initial
+        // reorganization below rewrites them clustered
+        let mut heap = HeapFile::new();
+        let mut scratch = Vec::new();
+        let n = entities.len();
+        for e in entities {
+            scratch.clear();
+            encode_tuple(&HTuple { id: e.id, label: 1, eps: 0.0, f: e.f }, &mut scratch);
+            heap.append(&mut pool, &scratch).expect("entity tuple fits a page");
+        }
+        let btree = BTree::new(&mut pool);
+        let hash = HashIndex::with_capacity(&mut pool, n);
+        let wm = WaterMarks::new(trainer.model().clone(), pair, m_norm, policy);
+        let tracker = DeltaTracker::new(trainer.model(), pair.p);
+        let mut view = HazyDiskView {
+            mode,
+            overheads,
+            pool,
+            heap,
+            btree,
+            hash,
+            first_tail_rid: None,
+            n_sorted: 0,
+            trainer,
+            wm,
+            tracker,
+            skiing: Skiing::new(alpha, 0.0),
+            pair,
+            policy,
+            m_norm,
+            reorg_epoch: 0,
+            stats: ViewStats::default(),
+            scratch,
+        };
+        view.reorganize();
+        view
+    }
+
+    /// Current `[lw, hw]` band.
+    pub fn waterband(&self) -> (f64, f64) {
+        (self.wm.low(), self.wm.high())
+    }
+
+    /// Experiment hook (Figure 6(B)): force the uncertain band.
+    pub fn force_waterband(&mut self, lw: f64, hw: f64) {
+        self.wm.set_band(lw, hw);
+    }
+
+    /// Number of tuples currently inside the band, counted via the
+    /// clustered index (no heap access).
+    pub fn tuples_in_band(&mut self) -> u64 {
+        let (lw, hw) = self.waterband();
+        let mut n = 0u64;
+        self.btree.scan_from(&mut self.pool, eps_key(hw, 0), |k, _| {
+            if key_eps(k.0) < lw {
+                return false;
+            }
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// The Skiing controller (ablation benches).
+    pub fn skiing(&self) -> &Skiing {
+        &self.skiing
+    }
+
+    /// Reorganizations performed (the hybrid watches this to refresh its
+    /// ε-map).
+    pub fn reorg_epoch(&self) -> u64 {
+        self.reorg_epoch
+    }
+
+    /// Iterates every tuple (sorted segment then tail), decoded. Used by
+    /// the hybrid to (re)build its in-memory structures.
+    pub fn for_each_tuple(&mut self, mut f: impl FnMut(&HTuple)) {
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            f(&decode_tuple(bytes).expect("well-formed tuple"));
+            true
+        });
+    }
+
+    /// Folds the current model round into the watermarks (O(1)); lazy reads
+    /// call this before consulting the band.
+    pub fn fold_watermarks(&mut self) {
+        self.wm.observe_bounded(self.tracker.bound(), self.trainer.model().b);
+    }
+
+    /// The watermark state (hybrid shares it for its ε-map pruning).
+    pub fn watermarks(&self) -> &WaterMarks {
+        &self.wm
+    }
+
+    fn clock(&self) -> VirtualClock {
+        self.pool.disk().clock().clone()
+    }
+
+    /// Single-entity read without the per-statement overhead charge or the
+    /// `single_reads` counter bump — the hybrid's disk-fallback path, which
+    /// already paid the statement overhead itself.
+    pub(crate) fn read_single_inner(&mut self, id: u64) -> Option<Label> {
+        let clock = self.clock();
+        let rid = Rid::from_u64(self.hash.get(&mut self.pool, id)?);
+        match self.mode {
+            Mode::Eager => {
+                let (_, label, _) =
+                    self.heap.get(&mut self.pool, rid, decode_tuple_header).ok()?.ok()?;
+                Some(label)
+            }
+            Mode::Lazy => {
+                self.fold_watermarks();
+                let (_, _, eps) =
+                    self.heap.get(&mut self.pool, rid, decode_tuple_header).ok()?.ok()?;
+                if let Some(l) = self.wm.certain_label(eps) {
+                    clock.charge_cpu_ops(1);
+                    return Some(l);
+                }
+                let t = self.heap.get(&mut self.pool, rid, decode_tuple).ok()?.ok()?;
+                charge_classify(&clock, &t.f);
+                Some(self.trainer.model().predict(&t.f))
+            }
+        }
+    }
+
+    fn reorganize(&mut self) {
+        let clock = self.clock();
+        let t0 = clock.now_ns();
+        let model = self.trainer.model().clone();
+        // 1. read every tuple, recomputing eps and label under the current
+        //    model (one sequential pass)
+        let mut tuples: Vec<HTuple> = Vec::with_capacity(self.heap.len() as usize);
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            let mut t = decode_tuple(bytes).expect("well-formed tuple");
+            charge_classify(&clock, &t.f);
+            t.eps = model.margin(&t.f);
+            t.label = sign(t.eps);
+            tuples.push(t);
+            true
+        });
+        // 2. sort by eps descending (ids break ties so index keys are
+        //    strictly increasing)
+        clock.charge_sort(tuples.len() as u64);
+        tuples.sort_unstable_by(|a, b| b.eps.total_cmp(&a.eps).then(a.id.cmp(&b.id)));
+        // 3. rewrite the heap clustered, rebuild both indexes
+        self.heap.destroy(&mut self.pool);
+        self.btree.destroy(&mut self.pool);
+        self.hash.destroy(&mut self.pool);
+        self.hash = HashIndex::with_capacity(&mut self.pool, tuples.len());
+        let mut index_entries: Vec<((u64, u64), u64)> = Vec::with_capacity(tuples.len());
+        for t in &tuples {
+            self.scratch.clear();
+            encode_tuple(t, &mut self.scratch);
+            let rid = self.heap.append(&mut self.pool, &self.scratch).expect("tuple fits a page");
+            index_entries.push((eps_key(t.eps, t.id), rid.to_u64()));
+            self.hash.insert(&mut self.pool, t.id, rid.to_u64()).expect("unique entity ids");
+        }
+        self.btree = BTree::bulk_load(&mut self.pool, &index_entries);
+        self.pool.flush_all();
+        self.n_sorted = tuples.len() as u64;
+        self.first_tail_rid = None;
+        self.wm = WaterMarks::new(model.clone(), self.pair, self.m_norm, self.policy);
+        self.tracker = DeltaTracker::new(&model, self.pair.p);
+        let s = (clock.now_ns() - t0) as f64;
+        self.skiing.reorganized(s);
+        self.reorg_epoch += 1;
+        self.stats.reorgs += 1;
+        self.stats.last_reorg_ns = s as u64;
+    }
+
+    /// Eager incremental step: reclassify the `[lw, hw]` band via the
+    /// clustered index.
+    fn incremental_step(&mut self) {
+        let clock = self.clock();
+        let t0 = clock.now_ns();
+        self.fold_watermarks();
+        let (lw, hw) = (self.wm.low(), self.wm.high());
+        // 1. collect the qualifying rids from the index (leaf walk)
+        let mut rids: Vec<Rid> = Vec::new();
+        self.btree.scan_from(&mut self.pool, eps_key(hw, 0), |k, v| {
+            if key_eps(k.0) < lw {
+                return false;
+            }
+            rids.push(Rid::from_u64(v));
+            true
+        });
+        // 2. reclassify them; the sorted segment's rids are physically
+        //    consecutive, so this is (buffered) sequential I/O
+        let model = self.trainer.model().clone();
+        for rid in rids {
+            let t = self
+                .heap
+                .get(&mut self.pool, rid, decode_tuple)
+                .expect("indexed rid resolves")
+                .expect("well-formed tuple");
+            charge_classify(&clock, &t.f);
+            let l = model.predict(&t.f);
+            self.stats.tuples_reclassified += 1;
+            self.stats.tuples_examined += 1;
+            if l != t.label {
+                let mut t2 = t;
+                t2.label = l;
+                self.scratch.clear();
+                encode_tuple(&t2, &mut self.scratch);
+                self.heap
+                    .update_in_place(&mut self.pool, rid, &self.scratch)
+                    .expect("label rewrite preserves length");
+                self.stats.labels_changed += 1;
+            }
+        }
+        self.pool.flush_all();
+        self.skiing.add_cost((clock.now_ns() - t0) as f64);
+    }
+
+    /// Shared All-Members walk; returns `(positives, examined)`.
+    fn scan_positive(&mut self, mut collect: Option<&mut Vec<u64>>) -> (u64, u64) {
+        let clock = self.clock();
+        let lazy = self.mode == Mode::Lazy;
+        if lazy {
+            if self.skiing.should_reorganize() {
+                self.reorganize();
+            }
+            self.fold_watermarks();
+        }
+        let t0 = clock.now_ns();
+        let (lw, hw) = (self.wm.low(), self.wm.high());
+        let model = self.trainer.model().clone();
+        let mut positives = 0u64;
+        let mut examined = 0u64;
+        let mut sorted_seen = 0u64;
+        let n_sorted = self.n_sorted;
+        {
+            let stats = &mut self.stats;
+            let mut visit = |bytes: &[u8]| -> bool {
+                let (_, label, eps) = decode_tuple_header(bytes).expect("well-formed tuple");
+                if !lazy {
+                    clock.charge_cpu_ops(1);
+                    label > 0
+                } else if eps >= hw {
+                    clock.charge_cpu_ops(1);
+                    true
+                } else if eps <= lw {
+                    clock.charge_cpu_ops(1);
+                    false
+                } else {
+                    let t = decode_tuple(bytes).expect("well-formed tuple");
+                    charge_classify(&clock, &t.f);
+                    stats.tuples_reclassified += 1;
+                    model.predict(&t.f) > 0
+                }
+            };
+            // sorted segment: descending eps, so stop at the low watermark
+            // (everything below is certainly negative); the tail is visited
+            // separately below, so stop at the segment boundary regardless
+            self.heap.scan(&mut self.pool, |_, bytes| {
+                if sorted_seen >= n_sorted {
+                    return false; // reached the tail region
+                }
+                sorted_seen += 1;
+                let (_, _, eps) = decode_tuple_header(bytes).expect("well-formed tuple");
+                if eps < lw {
+                    return false;
+                }
+                examined += 1;
+                if visit(bytes) {
+                    positives += 1;
+                    if let Some(ids) = collect.as_deref_mut() {
+                        let (id, ..) = decode_tuple_header(bytes).expect("well-formed tuple");
+                        ids.push(id);
+                    }
+                }
+                true
+            });
+            // tail tuples (inserted since the reorg) are unordered: visit all
+            if let Some(first) = self.first_tail_rid {
+                self.heap.scan_from(&mut self.pool, first, |_, bytes| {
+                    examined += 1;
+                    if visit(bytes) {
+                        positives += 1;
+                        if let Some(ids) = collect.as_deref_mut() {
+                            let (id, ..) = decode_tuple_header(bytes).expect("well-formed tuple");
+                            ids.push(id);
+                        }
+                    }
+                    true
+                });
+            }
+        }
+        self.stats.tuples_examined += examined;
+        if lazy && examined > 0 {
+            let elapsed = (clock.now_ns() - t0) as f64;
+            let waste = (examined - positives) as f64 / examined as f64 * elapsed;
+            self.skiing.add_cost(waste);
+        }
+        (positives, examined)
+    }
+}
+
+impl ClassifierView for HazyDiskView {
+    fn describe(&self) -> String {
+        format!("hazy-od ({})", self.mode.name())
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.update_ns);
+        charge_classify(&clock, &ex.f);
+        let info = self.trainer.step(&ex.f, ex.y);
+        self.tracker.apply(&info, &ex.f);
+        self.stats.updates += 1;
+        if self.mode == Mode::Eager {
+            if self.skiing.should_reorganize() {
+                self.reorganize();
+            } else {
+                self.incremental_step();
+            }
+        }
+    }
+
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.read_ns);
+        self.stats.single_reads += 1;
+        self.read_single_inner(id)
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        self.clock().charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.scan_positive(None).0
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        self.clock().charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        let mut ids = Vec::new();
+        self.scan_positive(Some(&mut ids));
+        ids
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        let clock = self.clock();
+        charge_classify(&clock, &e.f);
+        let eps = self.wm.stored_model().margin(&e.f);
+        self.m_norm = self.m_norm.max(e.f.norm(self.pair.q));
+        self.wm.raise_m(self.m_norm);
+        let label = match self.mode {
+            Mode::Eager => {
+                charge_classify(&clock, &e.f);
+                self.trainer.model().predict(&e.f)
+            }
+            Mode::Lazy => sign(eps),
+        };
+        let id = e.id;
+        self.scratch.clear();
+        encode_tuple(&HTuple { id, label, eps, f: e.f }, &mut self.scratch);
+        let rid = self.heap.append(&mut self.pool, &self.scratch).expect("tuple fits a page");
+        if self.first_tail_rid.is_none() {
+            self.first_tail_rid = Some(rid);
+        }
+        self.btree.insert(&mut self.pool, eps_key(eps, id), rid.to_u64()).expect("unique key");
+        self.hash.insert(&mut self.pool, id, rid.to_u64()).expect("unique entity ids");
+    }
+
+    fn model(&self) -> &LinearModel {
+        self.trainer.model()
+    }
+
+    fn stats(&self) -> ViewStats {
+        let mut s = self.stats;
+        s.reorgs = self.skiing.reorgs();
+        s
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            entities_bytes: 0,
+            eps_map_bytes: 0,
+            buffer_bytes: 0,
+            model_bytes: self.trainer.model().mem_bytes(),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        self.pool.disk().clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_learn::SgdConfig;
+    use hazy_linalg::FeatureVec;
+    use hazy_storage::{CostModel, SimDisk};
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n)
+            .map(|k| {
+                Entity::new(
+                    k as u64,
+                    FeatureVec::dense(vec![(k % 13) as f32 / 13.0 - 0.5, (k % 7) as f32 / 7.0 - 0.5]),
+                )
+            })
+            .collect()
+    }
+
+    fn view(mode: Mode) -> HazyDiskView {
+        let pool =
+            BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::sata_2008())), 128);
+        HazyDiskView::new(
+            entities(300),
+            SgdTrainer::new(SgdConfig::svm(), 2),
+            pool,
+            OpOverheads::free(),
+            mode,
+            NormPair::EUCLIDEAN,
+            WatermarkPolicy::Monotone,
+            1.0,
+        )
+    }
+
+    fn ex(k: usize) -> TrainingExample {
+        let x0 = (k % 11) as f32 / 11.0 - 0.5;
+        let x1 = (k % 17) as f32 / 17.0 - 0.5;
+        let y = if x0 + 0.3 * x1 >= 0.0 { 1 } else { -1 };
+        TrainingExample::new(0, FeatureVec::dense(vec![x0, x1]), y)
+    }
+
+    /// The load-bearing invariant: hazy-od serves exactly what a fresh
+    /// classification of every entity would, across updates, reads and
+    /// reorganizations.
+    #[test]
+    fn matches_ground_truth_after_updates() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode);
+            for k in 0..400 {
+                v.update(&ex(k));
+                if k % 83 == 0 {
+                    v.count_positive();
+                }
+            }
+            let model = v.model().clone();
+            for e in entities(300) {
+                assert_eq!(v.read_single(e.id), Some(model.predict(&e.f)), "{mode:?} id {}", e.id);
+            }
+            let expect = entities(300).iter().filter(|e| model.predict(&e.f) > 0).count() as u64;
+            assert_eq!(v.count_positive(), expect, "{mode:?}");
+            let mut ids = v.positive_ids();
+            ids.sort_unstable();
+            let mut want: Vec<u64> =
+                entities(300).iter().filter(|e| model.predict(&e.f) > 0).map(|e| e.id).collect();
+            want.sort_unstable();
+            assert_eq!(ids, want, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn eager_examines_fewer_tuples_than_naive_would() {
+        let mut v = view(Mode::Eager);
+        for k in 0..200 {
+            v.update(&ex(k));
+        }
+        let before = v.stats().tuples_examined;
+        for k in 200..300 {
+            v.update(&ex(k));
+        }
+        let touched = v.stats().tuples_examined - before;
+        assert!(touched < 100 * 300 / 2, "examined {touched} tuples over 100 updates");
+    }
+
+    #[test]
+    fn reorganizes_under_sustained_updates() {
+        let mut v = view(Mode::Eager);
+        for k in 0..1500 {
+            v.update(&ex(k));
+        }
+        assert!(v.stats().reorgs >= 1);
+    }
+
+    #[test]
+    fn inserted_entities_survive_reorganization() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode);
+            for k in 0..50 {
+                v.update(&ex(k));
+            }
+            v.insert_entity(Entity::new(7777, FeatureVec::dense(vec![0.45, -0.2])));
+            v.insert_entity(Entity::new(8888, FeatureVec::dense(vec![-0.45, 0.2])));
+            // push through enough updates to force at least one reorg
+            for k in 50..2000 {
+                v.update(&ex(k));
+            }
+            if mode == Mode::Lazy {
+                v.count_positive(); // give lazy a chance to reorganize
+            }
+            let m = v.model().clone();
+            assert_eq!(v.read_single(7777), Some(m.predict(&FeatureVec::dense(vec![0.45, -0.2]))));
+            assert_eq!(v.read_single(8888), Some(m.predict(&FeatureVec::dense(vec![-0.45, 0.2]))));
+        }
+    }
+
+    #[test]
+    fn band_count_matches_scan() {
+        let mut v = view(Mode::Eager);
+        for k in 0..300 {
+            v.update(&ex(k));
+        }
+        let (lw, hw) = v.waterband();
+        let mut by_scan = 0u64;
+        v.for_each_tuple(|t| {
+            if t.eps >= lw && t.eps <= hw {
+                by_scan += 1;
+            }
+        });
+        assert_eq!(v.tuples_in_band(), by_scan);
+    }
+
+    #[test]
+    fn missing_id_is_none() {
+        let mut v = view(Mode::Lazy);
+        assert_eq!(v.read_single(424_242), None);
+    }
+
+    #[test]
+    fn forced_band_controls_certainty() {
+        let mut v = view(Mode::Lazy);
+        for k in 0..100 {
+            v.update(&ex(k));
+        }
+        v.force_waterband(f64::NEG_INFINITY, f64::INFINITY);
+        // nothing is certain: every read must classify, but results stay
+        // correct
+        let m = v.model().clone();
+        for e in entities(300).iter().step_by(29) {
+            assert_eq!(v.read_single(e.id), Some(m.predict(&e.f)));
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Hazy's main-memory architecture (Section 3.5.1).
+//!
+//! The same clustering-plus-Skiing machinery as the on-disk design, over an
+//! in-memory vector sorted by `eps` descending. Because classification
+//! output is a pure function of examples + entities, nothing here needs to
+//! be persistent — on memory pressure the structure can simply be dropped
+//! and recomputed, which is why the paper calls main memory "safe" for this
+//! view.
+
+use std::collections::HashMap;
+
+use hazy_learn::{sign, Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_storage::VirtualClock;
+
+use crate::cost::{charge_classify, OpOverheads};
+use crate::entity::Entity;
+use crate::skiing::Skiing;
+use crate::stats::{MemoryFootprint, ViewStats};
+use crate::view::{ClassifierView, Mode};
+use crate::watermark::{DeltaTracker, WaterMarks, WatermarkPolicy};
+
+struct MemTuple {
+    id: u64,
+    /// Margin under the stored model (the cluster key).
+    eps: f64,
+    /// Materialized label (current in eager mode; reorg-time snapshot in
+    /// lazy mode, never trusted by lazy reads).
+    label: Label,
+    f: FeatureVec,
+}
+
+/// Hazy main-memory view (`Hazy-MM`).
+pub struct HazyMemView {
+    mode: Mode,
+    clock: VirtualClock,
+    overheads: OpOverheads,
+    trainer: SgdTrainer,
+    /// `[0, sorted_len)` is sorted by eps descending; the rest is the
+    /// unsorted tail of entities inserted since the last reorganization.
+    data: Vec<MemTuple>,
+    sorted_len: usize,
+    idmap: HashMap<u64, u32>,
+    wm: WaterMarks,
+    tracker: DeltaTracker,
+    skiing: Skiing,
+    pair: NormPair,
+    policy: WatermarkPolicy,
+    m_norm: f64,
+    stats: ViewStats,
+}
+
+impl HazyMemView {
+    /// Builds the view and performs the initial organization (which also
+    /// measures the first `S` for Skiing).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        entities: Vec<Entity>,
+        trainer: SgdTrainer,
+        clock: VirtualClock,
+        overheads: OpOverheads,
+        mode: Mode,
+        pair: NormPair,
+        policy: WatermarkPolicy,
+        alpha: f64,
+    ) -> HazyMemView {
+        let m_norm = entities.iter().map(|e| e.f.norm(pair.q)).fold(0.0f64, f64::max);
+        let data: Vec<MemTuple> = entities
+            .into_iter()
+            .map(|e| MemTuple { id: e.id, eps: 0.0, label: 1, f: e.f })
+            .collect();
+        let wm = WaterMarks::new(trainer.model().clone(), pair, m_norm, policy);
+        let tracker = DeltaTracker::new(trainer.model(), pair.p);
+        let mut view = HazyMemView {
+            mode,
+            clock,
+            overheads,
+            trainer,
+            data,
+            sorted_len: 0,
+            idmap: HashMap::new(),
+            wm,
+            tracker,
+            skiing: Skiing::new(alpha, 0.0),
+            pair,
+            policy,
+            m_norm,
+            stats: ViewStats::default(),
+        };
+        view.reorganize();
+        view
+    }
+
+    /// Current `[lw, hw]` band (Figure 13's y-axis needs the count below).
+    pub fn waterband(&self) -> (f64, f64) {
+        (self.wm.low(), self.wm.high())
+    }
+
+    /// Number of tuples whose `eps` lies inside the current band — the
+    /// quantity Figure 13 plots against update count.
+    pub fn tuples_in_band(&self) -> u64 {
+        let (lw, hw) = self.waterband();
+        let (start, end) = self.band_range(lw, hw);
+        let tail = self.data[self.sorted_len..]
+            .iter()
+            .filter(|t| t.eps >= lw && t.eps <= hw)
+            .count();
+        (end - start + tail) as u64
+    }
+
+    /// Access to the Skiing controller (ablation benches).
+    pub fn skiing(&self) -> &Skiing {
+        &self.skiing
+    }
+
+    /// Shared-reference single-entity read for concurrent readers (the
+    /// Figure 11(B) scale-up experiment). Safe while no updates run
+    /// concurrently: eager mode reads the materialized label; lazy mode uses
+    /// the *current* watermark band without folding the model round in, so
+    /// callers must invoke [`ClassifierView::read_single`] (or any other
+    /// `&mut` operation) once after the last update to fold watermarks.
+    ///
+    /// The paper's observation that "locking protocols are trivial for
+    /// Single Entity reads" is exactly this: the read path is pure.
+    pub fn read_single_shared(&self, id: u64) -> Option<Label> {
+        self.clock.charge_ns(self.overheads.read_ns);
+        let idx = *self.idmap.get(&id)? as usize;
+        let t = &self.data[idx];
+        match self.mode {
+            Mode::Eager => Some(t.label),
+            Mode::Lazy => {
+                if let Some(l) = self.wm.certain_label(t.eps) {
+                    self.clock.charge_cpu_ops(1);
+                    Some(l)
+                } else {
+                    charge_classify(&self.clock, &t.f);
+                    Some(self.trainer.model().predict(&t.f))
+                }
+            }
+        }
+    }
+
+    /// Indices `[start, end)` of the sorted segment intersecting `[lw, hw]`.
+    fn band_range(&self, lw: f64, hw: f64) -> (usize, usize) {
+        let seg = &self.data[..self.sorted_len];
+        let start = seg.partition_point(|t| t.eps > hw);
+        let end = seg.partition_point(|t| t.eps >= lw);
+        (start, end)
+    }
+
+    fn reorganize(&mut self) {
+        let t0 = self.clock.now_ns();
+        let model = self.trainer.model().clone();
+        for t in &mut self.data {
+            charge_classify(&self.clock, &t.f);
+            t.eps = model.margin(&t.f);
+            t.label = sign(t.eps);
+        }
+        self.clock.charge_sort(self.data.len() as u64);
+        self.data.sort_unstable_by(|a, b| b.eps.total_cmp(&a.eps).then(a.id.cmp(&b.id)));
+        self.sorted_len = self.data.len();
+        self.clock.charge_cpu_ops(self.data.len() as u64);
+        self.idmap.clear();
+        for (i, t) in self.data.iter().enumerate() {
+            self.idmap.insert(t.id, i as u32);
+        }
+        self.wm = WaterMarks::new(model.clone(), self.pair, self.m_norm, self.policy);
+        self.tracker = DeltaTracker::new(&model, self.pair.p);
+        let s = (self.clock.now_ns() - t0) as f64;
+        self.skiing.reorganized(s);
+        self.stats.reorgs += 1;
+        self.stats.last_reorg_ns = s as u64;
+    }
+
+    /// Eager incremental step: reclassify exactly the `[lw, hw]` band under
+    /// the current model.
+    fn incremental_step(&mut self) {
+        let t0 = self.clock.now_ns();
+        self.wm.observe_bounded(self.tracker.bound(), self.trainer.model().b);
+        let (lw, hw) = (self.wm.low(), self.wm.high());
+        let (start, end) = self.band_range(lw, hw);
+        self.clock.charge_cpu_ops(2 * (usize::BITS - self.sorted_len.leading_zeros()) as u64);
+        let model = self.trainer.model().clone();
+        for idx in start..end {
+            let t = &mut self.data[idx];
+            charge_classify(&self.clock, &t.f);
+            let l = model.predict(&t.f);
+            self.stats.tuples_reclassified += 1;
+            if l != t.label {
+                t.label = l;
+                self.stats.labels_changed += 1;
+            }
+        }
+        self.stats.tuples_examined += (end - start) as u64;
+        // unsorted tail: check every tuple's eps against the band
+        for idx in self.sorted_len..self.data.len() {
+            self.clock.charge_cpu_ops(1);
+            let eps = self.data[idx].eps;
+            if eps >= lw && eps <= hw {
+                let t = &mut self.data[idx];
+                charge_classify(&self.clock, &t.f);
+                let l = model.predict(&t.f);
+                self.stats.tuples_reclassified += 1;
+                if l != t.label {
+                    t.label = l;
+                    self.stats.labels_changed += 1;
+                }
+                self.stats.tuples_examined += 1;
+            }
+        }
+        self.skiing.add_cost((self.clock.now_ns() - t0) as f64);
+    }
+
+    /// Shared lazy/eager All-Members walk; returns `(positives, examined)`
+    /// and optionally collects ids.
+    fn scan_positive(&mut self, mut collect: Option<&mut Vec<u64>>) -> (u64, u64) {
+        let lazy = self.mode == Mode::Lazy;
+        if lazy {
+            // a lazy read may first trigger the postponed reorganization
+            if self.skiing.should_reorganize() {
+                self.reorganize();
+            }
+            self.wm.observe_bounded(self.tracker.bound(), self.trainer.model().b);
+        }
+        let t0 = self.clock.now_ns();
+        let (lw, hw) = (self.wm.low(), self.wm.high());
+        let model = self.trainer.model().clone();
+        let mut positives = 0u64;
+        let mut examined = 0u64;
+        let visit = |t: &MemTuple, clock: &VirtualClock, stats: &mut ViewStats| -> bool {
+            
+            if !lazy {
+                clock.charge_cpu_ops(1);
+                t.label > 0
+            } else if t.eps >= hw {
+                clock.charge_cpu_ops(1);
+                true
+            } else if t.eps <= lw {
+                clock.charge_cpu_ops(1);
+                false
+            } else {
+                charge_classify(clock, &t.f);
+                stats.tuples_reclassified += 1;
+                model.predict(&t.f) > 0
+            }
+        };
+        for idx in 0..self.sorted_len {
+            let t = &self.data[idx];
+            if t.eps < lw {
+                // everything below low water is certainly negative: stop
+                break;
+            }
+            examined += 1;
+            if visit(t, &self.clock, &mut self.stats) {
+                positives += 1;
+                if let Some(ids) = collect.as_deref_mut() {
+                    ids.push(t.id);
+                }
+            }
+        }
+        for t in &self.data[self.sorted_len..] {
+            examined += 1;
+            if visit(t, &self.clock, &mut self.stats) {
+                positives += 1;
+                if let Some(ids) = collect.as_deref_mut() {
+                    ids.push(t.id);
+                }
+            }
+        }
+        self.stats.tuples_examined += examined;
+        if lazy && examined > 0 {
+            // Section 3.4: the wasted fraction of this read is the cost the
+            // Skiing strategy accumulates
+            let elapsed = (self.clock.now_ns() - t0) as f64;
+            let waste = (examined - positives) as f64 / examined as f64 * elapsed;
+            self.skiing.add_cost(waste);
+        }
+        (positives, examined)
+    }
+}
+
+impl ClassifierView for HazyMemView {
+    fn describe(&self) -> String {
+        format!("hazy-mm ({})", self.mode.name())
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        self.clock.charge_ns(self.overheads.update_ns);
+        charge_classify(&self.clock, &ex.f);
+        let info = self.trainer.step(&ex.f, ex.y);
+        self.tracker.apply(&info, &ex.f);
+        self.stats.updates += 1;
+        if self.mode == Mode::Eager {
+            // Figure 7: reorganize when the accumulated waste has reached
+            // α·S, otherwise take the incremental step
+            if self.skiing.should_reorganize() {
+                self.reorganize();
+            } else {
+                self.incremental_step();
+            }
+        }
+    }
+
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        self.clock.charge_ns(self.overheads.read_ns);
+        self.stats.single_reads += 1;
+        let idx = *self.idmap.get(&id)? as usize;
+        match self.mode {
+            Mode::Eager => Some(self.data[idx].label),
+            Mode::Lazy => {
+                self.wm.observe_bounded(self.tracker.bound(), self.trainer.model().b);
+                let t = &self.data[idx];
+                if let Some(l) = self.wm.certain_label(t.eps) {
+                    self.clock.charge_cpu_ops(1);
+                    Some(l)
+                } else {
+                    charge_classify(&self.clock, &t.f);
+                    Some(self.trainer.model().predict(&t.f))
+                }
+            }
+        }
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.scan_positive(None).0
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        let mut ids = Vec::new();
+        self.scan_positive(Some(&mut ids));
+        ids
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        charge_classify(&self.clock, &e.f);
+        let eps = self.wm.stored_model().margin(&e.f);
+        self.m_norm = self.m_norm.max(e.f.norm(self.pair.q));
+        self.wm.raise_m(self.m_norm);
+        let label = match self.mode {
+            Mode::Eager => {
+                charge_classify(&self.clock, &e.f);
+                self.trainer.model().predict(&e.f)
+            }
+            Mode::Lazy => sign(eps),
+        };
+        self.idmap.insert(e.id, self.data.len() as u32);
+        self.data.push(MemTuple { id: e.id, eps, label, f: e.f });
+    }
+
+    fn model(&self) -> &LinearModel {
+        self.trainer.model()
+    }
+
+    fn stats(&self) -> ViewStats {
+        let mut s = self.stats;
+        s.reorgs = self.skiing.reorgs();
+        s
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            entities_bytes: self
+                .data
+                .iter()
+                .map(|t| 8 + 8 + 1 + t.f.mem_bytes())
+                .sum::<usize>(),
+            eps_map_bytes: 0,
+            buffer_bytes: 0,
+            model_bytes: self.trainer.model().mem_bytes(),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_learn::SgdConfig;
+    use hazy_storage::CostModel;
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n)
+            .map(|k| {
+                Entity::new(
+                    k as u64,
+                    FeatureVec::dense(vec![
+                        (k % 13) as f32 / 13.0 - 0.5,
+                        (k % 7) as f32 / 7.0 - 0.5,
+                    ]),
+                )
+            })
+            .collect()
+    }
+
+    fn view(mode: Mode) -> HazyMemView {
+        HazyMemView::new(
+            entities(200),
+            SgdTrainer::new(SgdConfig::svm(), 2),
+            VirtualClock::new(CostModel::sata_2008()),
+            OpOverheads::free(),
+            mode,
+            NormPair::EUCLIDEAN,
+            WatermarkPolicy::Monotone,
+            1.0,
+        )
+    }
+
+    fn ex(k: usize) -> TrainingExample {
+        let x0 = (k % 11) as f32 / 11.0 - 0.5;
+        let x1 = (k % 17) as f32 / 17.0 - 0.5;
+        let y = if x0 + 0.3 * x1 >= 0.0 { 1 } else { -1 };
+        TrainingExample::new(0, FeatureVec::dense(vec![x0, x1]), y)
+    }
+
+    /// The load-bearing invariant: under any update stream, hazy-mm serves
+    /// exactly the labels a from-scratch classification would.
+    #[test]
+    fn matches_ground_truth_after_updates() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode);
+            for k in 0..500 {
+                v.update(&ex(k));
+                if k % 97 == 0 {
+                    // interleave reads so lazy waste accounting runs too
+                    v.count_positive();
+                }
+            }
+            let model = v.model().clone();
+            for e in entities(200) {
+                let expect = model.predict(&e.f);
+                assert_eq!(v.read_single(e.id), Some(expect), "{mode:?} id {}", e.id);
+            }
+            let expect_count =
+                entities(200).iter().filter(|e| model.predict(&e.f) > 0).count() as u64;
+            assert_eq!(v.count_positive(), expect_count, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn eager_touches_fewer_tuples_than_naive() {
+        let mut v = view(Mode::Eager);
+        // warm up so the model stops swinging wildly
+        for k in 0..300 {
+            v.update(&ex(k));
+        }
+        let before = v.stats().tuples_reclassified;
+        for k in 300..400 {
+            v.update(&ex(k));
+        }
+        let touched = v.stats().tuples_reclassified - before;
+        // naive eager would touch 100 × 200 = 20_000 tuples
+        assert!(touched < 10_000, "hazy touched {touched}");
+    }
+
+    #[test]
+    fn reorganizations_happen_and_reset_waste() {
+        let mut v = view(Mode::Eager);
+        for k in 0..2000 {
+            v.update(&ex(k));
+        }
+        assert!(v.stats().reorgs >= 1, "no reorganizations in 2000 updates");
+    }
+
+    #[test]
+    fn lazy_update_does_no_maintenance() {
+        let mut v = view(Mode::Lazy);
+        let before = v.stats().tuples_reclassified;
+        for k in 0..100 {
+            v.update(&ex(k));
+        }
+        assert_eq!(v.stats().tuples_reclassified, before);
+    }
+
+    #[test]
+    fn lazy_scan_prunes_below_low_water() {
+        let mut v = view(Mode::Lazy);
+        for k in 0..50 {
+            v.update(&ex(k));
+        }
+        let before = v.stats().tuples_examined;
+        v.count_positive();
+        let examined = v.stats().tuples_examined - before;
+        assert!(examined <= 200, "examined {examined}");
+        // after a reorganization the scan only reads positives (+ the band)
+        let positives = v.count_positive();
+        assert!(positives <= examined);
+    }
+
+    #[test]
+    fn inserted_entities_are_visible_everywhere() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode);
+            for k in 0..100 {
+                v.update(&ex(k));
+            }
+            v.insert_entity(Entity::new(9999, FeatureVec::dense(vec![0.4, 0.4])));
+            let expect = v.model().predict(&FeatureVec::dense(vec![0.4, 0.4]));
+            assert_eq!(v.read_single(9999), Some(expect), "{mode:?}");
+            let ids = v.positive_ids();
+            assert_eq!(ids.contains(&9999), expect > 0, "{mode:?}");
+            // keep updating across a reorg; the entity must stay correct
+            for k in 100..1500 {
+                v.update(&ex(k));
+            }
+            let expect = v.model().predict(&FeatureVec::dense(vec![0.4, 0.4]));
+            assert_eq!(v.read_single(9999), Some(expect), "{mode:?} post-reorg");
+        }
+    }
+
+    #[test]
+    fn band_count_is_consistent_with_range() {
+        let mut v = view(Mode::Eager);
+        for k in 0..200 {
+            v.update(&ex(k));
+        }
+        let (lw, hw) = v.waterband();
+        let by_filter = (0..200u64)
+            .filter_map(|id| {
+                let idx = *v.idmap.get(&id)? as usize;
+                let eps = v.data[idx].eps;
+                (eps >= lw && eps <= hw).then_some(())
+            })
+            .count() as u64;
+        assert_eq!(v.tuples_in_band(), by_filter);
+    }
+}

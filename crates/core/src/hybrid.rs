@@ -1,0 +1,382 @@
+//! The hybrid architecture (Section 3.5.2).
+//!
+//! On disk, everything [`HazyDiskView`] maintains. In memory, two small
+//! structures:
+//!
+//! * the **ε-map** `h(s): id → eps` — one float per entity, *no feature
+//!   vectors*, so it is orders of magnitude smaller than the data (the
+//!   paper's Citeseer ε-map is 5.4 MB against a 1.3 GB corpus), and
+//! * a **buffer** of `B` boundary entities (with feature vectors), chosen
+//!   closest to the uncertain band, where label changes concentrate.
+//!
+//! A single-entity read consults the ε-map against the watermarks first —
+//! if `h(id) ≥ hw` or `≤ lw` the answer is certain with zero I/O. Otherwise
+//! the buffer is tried, and only on a buffer miss does the read go to disk
+//! (Figure 8's lookup algorithm). The Skiing strategy reorganizes disk and
+//! memory together.
+
+use std::collections::HashMap;
+
+use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_storage::{BufferPool, VirtualClock};
+
+use crate::cost::{charge_classify, OpOverheads};
+use crate::entity::Entity;
+use crate::hazy_disk::HazyDiskView;
+use crate::stats::{MemoryFootprint, ViewStats};
+use crate::view::{ClassifierView, Mode};
+use crate::watermark::WatermarkPolicy;
+
+/// Hybrid tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Buffer capacity as a fraction of the entity count (the paper's
+    /// experiments hold ≤ 1% of entities in memory).
+    pub buffer_frac: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { buffer_frac: 0.01 }
+    }
+}
+
+/// The hybrid view: on-disk Hazy + ε-map + boundary buffer.
+pub struct HybridView {
+    inner: HazyDiskView,
+    cfg: HybridConfig,
+    overheads: OpOverheads,
+    eps_map: HashMap<u64, f64>,
+    buffer: HashMap<u64, FeatureVec>,
+    seen_epoch: u64,
+    single_reads: u64,
+    eps_map_prunes: u64,
+    buffer_hits: u64,
+    disk_reads: u64,
+}
+
+impl HybridView {
+    /// Builds the hybrid: the on-disk structure plus in-memory ε-map and
+    /// buffer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        entities: Vec<Entity>,
+        trainer: SgdTrainer,
+        pool: BufferPool,
+        overheads: OpOverheads,
+        mode: Mode,
+        pair: NormPair,
+        policy: WatermarkPolicy,
+        alpha: f64,
+        cfg: HybridConfig,
+    ) -> HybridView {
+        let inner =
+            HazyDiskView::new(entities, trainer, pool, overheads, mode, pair, policy, alpha);
+        let mut view = HybridView {
+            inner,
+            cfg,
+            overheads,
+            eps_map: HashMap::new(),
+            buffer: HashMap::new(),
+            seen_epoch: 0,
+            single_reads: 0,
+            eps_map_prunes: 0,
+            buffer_hits: 0,
+            disk_reads: 0,
+        };
+        view.rebuild_memory();
+        view
+    }
+
+    /// Buffer capacity in entities.
+    pub fn buffer_capacity(&self) -> usize {
+        ((self.eps_map.len() as f64 * self.cfg.buffer_frac) as usize).max(1)
+    }
+
+    /// Experiment hook (Figure 6(B)): force the uncertain band to cover the
+    /// given fraction of tuples (centered on the decision boundary), then
+    /// rebuild the buffer for that band.
+    pub fn set_uncertain_fraction(&mut self, frac: f64) {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+        let mut eps: Vec<f64> = self.eps_map.values().copied().collect();
+        eps.sort_unstable_by(|a, b| b.total_cmp(a)); // descending
+        if eps.is_empty() {
+            return;
+        }
+        let n = eps.len();
+        let boundary = eps.iter().position(|&e| e < 0.0).unwrap_or(n);
+        let half = ((n as f64 * frac) / 2.0).round() as usize;
+        let hi_idx = boundary.saturating_sub(half);
+        let lo_idx = (boundary + half).min(n - 1);
+        let (hw, lw) = (eps[hi_idx], eps[lo_idx]);
+        self.inner.force_waterband(lw.min(hw), hw.max(lw));
+        self.rebuild_buffer();
+    }
+
+    /// Experiment hook: replace the buffer capacity fraction and rebuild.
+    pub fn set_buffer_frac(&mut self, frac: f64) {
+        self.cfg.buffer_frac = frac.max(0.0);
+        self.rebuild_buffer();
+    }
+
+    /// Rebuilds ε-map and buffer from the on-disk state (runs after every
+    /// reorganization — "the Skiing strategy reorganizes the data on disk
+    /// and in memory").
+    fn rebuild_memory(&mut self) {
+        let clock = self.inner.clock().clone();
+        self.eps_map.clear();
+        let eps_map = &mut self.eps_map;
+        self.inner.for_each_tuple(|t| {
+            eps_map.insert(t.id, t.eps);
+        });
+        clock.charge_cpu_ops(self.eps_map.len() as u64);
+        self.seen_epoch = self.inner.reorg_epoch();
+        self.rebuild_buffer();
+    }
+
+    /// Fills the buffer with the `B` entities nearest the uncertain band's
+    /// center — the tuples most likely to need a real dot product.
+    fn rebuild_buffer(&mut self) {
+        let clock = self.inner.clock().clone();
+        let (lw, hw) = self.inner.waterband();
+        let center = (lw + hw) / 2.0;
+        let cap = self.buffer_capacity();
+        // pass 1: find the distance threshold admitting `cap` entities
+        let mut dists: Vec<f64> = self.eps_map.values().map(|&e| (e - center).abs()).collect();
+        clock.charge_cpu_ops(dists.len() as u64);
+        if dists.is_empty() {
+            self.buffer.clear();
+            return;
+        }
+        let k = cap.min(dists.len() - 1);
+        dists.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
+        let threshold = dists[k];
+        // pass 2: pull the qualifying feature vectors from disk
+        let mut buffer = HashMap::with_capacity(cap + 16);
+        self.inner.for_each_tuple(|t| {
+            if (t.eps - center).abs() <= threshold && buffer.len() <= cap {
+                buffer.insert(t.id, t.f.clone());
+            }
+        });
+        self.buffer = buffer;
+    }
+}
+
+impl ClassifierView for HybridView {
+    fn describe(&self) -> String {
+        format!("hybrid ({})", self.mode().name())
+    }
+
+    fn mode(&self) -> Mode {
+        self.inner.mode()
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        self.inner.update(ex);
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+    }
+
+    /// Figure 8's lookup: ε-map prune → buffer → disk.
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        let clock = self.inner.clock().clone();
+        clock.charge_ns(self.overheads.read_ns);
+        self.single_reads += 1;
+        self.inner.fold_watermarks();
+        let eps = match self.eps_map.get(&id) {
+            Some(&e) => e,
+            None => {
+                // unknown to the map (never an entity): confirm via disk
+                self.disk_reads += 1;
+                return self.inner.read_single_inner(id);
+            }
+        };
+        clock.charge_cpu_ops(2);
+        if let Some(l) = self.inner.watermarks().certain_label(eps) {
+            self.eps_map_prunes += 1;
+            return Some(l);
+        }
+        if let Some(f) = self.buffer.get(&id) {
+            self.buffer_hits += 1;
+            charge_classify(&clock, f);
+            return Some(self.inner.model().predict(f));
+        }
+        self.disk_reads += 1;
+        self.inner.read_single_inner(id)
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        let n = self.inner.count_positive();
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+        n
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        let ids = self.inner.positive_ids();
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+        ids
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        let eps = self.inner.watermarks().stored_model().margin(&e.f);
+        self.eps_map.insert(e.id, eps);
+        self.inner.insert_entity(e);
+    }
+
+    fn model(&self) -> &LinearModel {
+        self.inner.model()
+    }
+
+    fn stats(&self) -> ViewStats {
+        let mut s = self.inner.stats();
+        s.single_reads += self.single_reads;
+        s.eps_map_prunes = self.eps_map_prunes;
+        s.buffer_hits = self.buffer_hits;
+        s.disk_reads = self.disk_reads;
+        s
+    }
+
+    /// Figure 6(A)'s breakdown: the ε-map costs `(k + sizeof(double))·N`
+    /// bytes and the buffer `B·(k + f)` — tiny next to `N·(k + f)` for the
+    /// full data.
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            entities_bytes: 0,
+            eps_map_bytes: self.eps_map.len() * (8 + std::mem::size_of::<f64>()),
+            buffer_bytes: self.buffer.values().map(|f| 8 + f.mem_bytes()).sum(),
+            model_bytes: self.inner.model().mem_bytes(),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        self.inner.clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_learn::SgdConfig;
+    use hazy_storage::{CostModel, SimDisk};
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n)
+            .map(|k| {
+                Entity::new(
+                    k as u64,
+                    FeatureVec::dense(vec![(k % 13) as f32 / 13.0 - 0.5, (k % 7) as f32 / 7.0 - 0.5]),
+                )
+            })
+            .collect()
+    }
+
+    fn view(mode: Mode) -> HybridView {
+        let pool =
+            BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::sata_2008())), 128);
+        HybridView::new(
+            entities(300),
+            SgdTrainer::new(SgdConfig::svm(), 2),
+            pool,
+            OpOverheads::free(),
+            mode,
+            NormPair::EUCLIDEAN,
+            WatermarkPolicy::Monotone,
+            1.0,
+            HybridConfig { buffer_frac: 0.05 },
+        )
+    }
+
+    fn ex(k: usize) -> TrainingExample {
+        let x0 = (k % 11) as f32 / 11.0 - 0.5;
+        let x1 = (k % 17) as f32 / 17.0 - 0.5;
+        let y = if x0 + 0.3 * x1 >= 0.0 { 1 } else { -1 };
+        TrainingExample::new(0, FeatureVec::dense(vec![x0, x1]), y)
+    }
+
+    #[test]
+    fn labels_always_match_ground_truth() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode);
+            for k in 0..600 {
+                v.update(&ex(k));
+                if k % 113 == 0 {
+                    v.count_positive();
+                }
+            }
+            let model = v.model().clone();
+            for e in entities(300) {
+                assert_eq!(v.read_single(e.id), Some(model.predict(&e.f)), "{mode:?} id {}", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn most_reads_avoid_disk() {
+        let mut v = view(Mode::Eager);
+        for k in 0..300 {
+            v.update(&ex(k));
+        }
+        for id in (0..300u64).cycle().take(3000) {
+            v.read_single(id);
+        }
+        let s = v.stats();
+        let from_memory = s.eps_map_prunes + s.buffer_hits;
+        assert!(
+            from_memory * 10 >= s.disk_reads * 9,
+            "memory {from_memory} vs disk {}",
+            s.disk_reads
+        );
+    }
+
+    #[test]
+    fn eps_map_is_much_smaller_than_data() {
+        let v = view(Mode::Eager);
+        let m = v.memory();
+        assert!(m.eps_map_bytes > 0);
+        // 300 entities × 2 dense floats; map is 16 bytes/entity — smaller
+        // than the raw vectors once features are non-trivial, and crucially
+        // it carries no feature payload at all
+        assert_eq!(m.eps_map_bytes, 300 * 16);
+        assert!(m.buffer_bytes < m.eps_map_bytes * 2);
+    }
+
+    #[test]
+    fn forced_band_fraction_brackets_request() {
+        let mut v = view(Mode::Eager);
+        for k in 0..300 {
+            v.update(&ex(k));
+        }
+        v.set_uncertain_fraction(0.10);
+        let (lw, hw) = v.inner.waterband();
+        let inside = v
+            .eps_map
+            .values()
+            .filter(|&&e| e >= lw && e <= hw)
+            .count() as f64
+            / v.eps_map.len() as f64;
+        assert!((0.04..=0.25).contains(&inside), "fraction {inside}");
+    }
+
+    #[test]
+    fn inserted_entity_readable_through_map() {
+        let mut v = view(Mode::Eager);
+        for k in 0..100 {
+            v.update(&ex(k));
+        }
+        v.insert_entity(Entity::new(31337, FeatureVec::dense(vec![0.4, 0.4])));
+        let expect = v.model().predict(&FeatureVec::dense(vec![0.4, 0.4]));
+        assert_eq!(v.read_single(31337), Some(expect));
+    }
+
+    #[test]
+    fn unknown_id_reads_none() {
+        let mut v = view(Mode::Lazy);
+        assert_eq!(v.read_single(999_999), None);
+    }
+}

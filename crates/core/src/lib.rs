@@ -1,0 +1,55 @@
+//! Hazy classification views: the paper's core contribution.
+//!
+//! A *classification view* `V(id, class)` is a relational view whose contents
+//! are the output of a linear classifier over an entity table `In(id, f)`
+//! (Section 2.1). The model `(w, b)` changes every time a training example is
+//! inserted, and this crate implements the machinery that keeps `V` correct
+//! without reclassifying the world:
+//!
+//! * [`WaterMarks`] — the low/high-water bounds of Lemma 3.1 / Eq. 2. `H` is
+//!   clustered on `eps = w(s)·f − b(s)` under the *stored* model; after any
+//!   number of model rounds, only tuples with `eps ∈ [lw, hw]` can have
+//!   changed label.
+//! * [`Skiing`] — the ski-rental-style strategy (Section 3.2.1) deciding
+//!   *when to recluster*: accumulate the measured incremental cost and
+//!   reorganize when it reaches `α·S`. [`opt`] contains the offline
+//!   dynamic-programming optimum used to validate the competitive ratio of
+//!   Theorem 3.3.
+//! * Five architectures × two approaches (Section 2.2, 3.5):
+//!   [`NaiveMemView`], [`HazyMemView`], [`NaiveDiskView`], [`HazyDiskView`]
+//!   and [`HybridView`], each eager or lazy, all behind the
+//!   [`ClassifierView`] trait.
+//!
+//! On-disk architectures run on `hazy-storage`'s simulated-cost pages;
+//! *every* architecture charges CPU work to the same [`VirtualClock`], so
+//! throughput comparisons across architectures are apples-to-apples and
+//! deterministic.
+//!
+//! [`VirtualClock`]: hazy_storage::VirtualClock
+
+mod cost;
+mod entity;
+mod hazy_disk;
+mod hazy_mem;
+mod hybrid;
+mod multiclass_view;
+mod naive_disk;
+mod naive_mem;
+pub mod opt;
+mod skiing;
+mod stats;
+mod view;
+mod watermark;
+
+pub use cost::{classify_cost, OpOverheads};
+pub use entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+pub use hazy_disk::HazyDiskView;
+pub use hazy_mem::HazyMemView;
+pub use hybrid::{HybridConfig, HybridView};
+pub use multiclass_view::MulticlassView;
+pub use naive_disk::NaiveDiskView;
+pub use naive_mem::NaiveMemView;
+pub use skiing::Skiing;
+pub use stats::{MemoryFootprint, ViewStats};
+pub use view::{Architecture, ClassifierView, Mode, ViewBuilder};
+pub use watermark::{DeltaTracker, WaterMarks, WatermarkPolicy};

@@ -1,0 +1,209 @@
+//! Multiclass classification views (Appendix B.5.4 / C.3).
+//!
+//! The paper turns a `k`-class problem into `k` binary classification
+//! views and resolves predictions *sequentially one-versus-all*: ask the
+//! class-0 view, then class-1, ... and return the first view that claims
+//! the entity; if no view claims it, fall back to the final class. Each
+//! binary view is a full Hazy view — clustered, watermarked, Skiing-managed
+//! — so all of the incremental-maintenance savings carry over per class
+//! (the Figure 12(B) experiment).
+
+use hazy_learn::TrainingExample;
+use hazy_linalg::FeatureVec;
+
+use crate::entity::Entity;
+use crate::stats::ViewStats;
+use crate::view::{ClassifierView, ViewBuilder};
+
+/// `k` binary Hazy views resolved sequentially one-versus-all.
+pub struct MulticlassView {
+    views: Vec<Box<dyn ClassifierView>>,
+}
+
+impl MulticlassView {
+    /// Builds `k` binary views over the same entities with the builder's
+    /// configuration. `warm` provides multiclass warm-up examples as
+    /// `(example, class)` pairs.
+    ///
+    /// # Panics
+    /// Panics when `k < 2`.
+    pub fn new(
+        builder: &ViewBuilder,
+        entities: Vec<Entity>,
+        k: usize,
+        warm: &[(TrainingExample, usize)],
+    ) -> MulticlassView {
+        assert!(k >= 2, "multiclass needs at least two classes");
+        let views = (0..k)
+            .map(|c| {
+                let warm_c: Vec<TrainingExample> = warm
+                    .iter()
+                    .map(|(ex, class)| {
+                        TrainingExample::new(ex.id, ex.f.clone(), if *class == c { 1 } else { -1 })
+                    })
+                    .collect();
+                builder.build(entities.clone(), &warm_c)
+            })
+            .collect();
+        MulticlassView { views }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Consumes one multiclass training example: the labeled class's view
+    /// gets a positive step, every other view a negative one.
+    ///
+    /// # Panics
+    /// Panics when `class` is out of range.
+    pub fn update(&mut self, f: &FeatureVec, id: u64, class: usize) {
+        assert!(class < self.views.len(), "class {class} out of range");
+        for (c, view) in self.views.iter_mut().enumerate() {
+            view.update(&TrainingExample::new(id, f.clone(), if c == class { 1 } else { -1 }));
+        }
+    }
+
+    /// Sequential one-versus-all prediction: the first view claiming the
+    /// entity wins; if none claims it, the final class is returned (the
+    /// "everything else" bucket). `None` when the entity does not exist.
+    pub fn classify(&mut self, id: u64) -> Option<usize> {
+        let k = self.views.len();
+        for (c, view) in self.views.iter_mut().enumerate() {
+            match view.read_single(id)? {
+                1 => return Some(c),
+                _ => continue,
+            }
+        }
+        Some(k - 1)
+    }
+
+    /// Ids currently claimed by class `c`'s binary view. Under sequential
+    /// resolution an id may appear in several views' member lists; exact
+    /// multiclass membership goes through [`MulticlassView::classify`].
+    pub fn members_of(&mut self, c: usize) -> Vec<u64> {
+        self.views[c].positive_ids()
+    }
+
+    /// A brand-new entity, classified and stored in all `k` views.
+    pub fn insert_entity(&mut self, e: Entity) {
+        for view in self.views.iter_mut() {
+            view.insert_entity(e.clone());
+        }
+    }
+
+    /// Aggregated operation counters over all `k` binary views.
+    pub fn stats(&self) -> ViewStats {
+        let mut total = ViewStats::default();
+        for v in &self.views {
+            let s = v.stats();
+            total.updates += s.updates;
+            total.single_reads += s.single_reads;
+            total.all_members += s.all_members;
+            total.tuples_reclassified += s.tuples_reclassified;
+            total.tuples_examined += s.tuples_examined;
+            total.labels_changed += s.labels_changed;
+            total.reorgs += s.reorgs;
+        }
+        total
+    }
+
+    /// The binary view of class `c` (for per-class inspection).
+    pub fn view(&self, c: usize) -> &dyn ClassifierView {
+        self.views[c].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::OpOverheads;
+    use crate::view::{Architecture, Mode};
+    use hazy_linalg::NormPair;
+
+    fn tri_feature(k: usize) -> (FeatureVec, usize) {
+        // three clusters on a triangle, deterministic jitter
+        let centers = [(0.0f32, 2.0f32), (-2.0, -1.0), (2.0, -1.0)];
+        let c = k % 3;
+        let jx = ((k * 7) % 11) as f32 / 11.0 - 0.5;
+        let jy = ((k * 13) % 17) as f32 / 17.0 - 0.5;
+        (FeatureVec::dense(vec![centers[c].0 + jx, centers[c].1 + jy, 1.0]), c)
+    }
+
+    fn builder() -> ViewBuilder {
+        ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+            .norm_pair(NormPair::EUCLIDEAN)
+            .overheads(OpOverheads::free())
+            .dim(3)
+    }
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n).map(|k| Entity::new(k as u64, tri_feature(k).0)).collect()
+    }
+
+    #[test]
+    fn separates_three_classes() {
+        let mut mv = MulticlassView::new(&builder(), entities(120), 3, &[]);
+        for round in 0..15 {
+            for k in 0..120 {
+                let (f, c) = tri_feature(k + round * 120);
+                mv.update(&f, 0, c);
+            }
+        }
+        let correct = (0..120)
+            .filter(|&k| mv.classify(k as u64) == Some(tri_feature(k).1))
+            .count();
+        assert!(correct >= 110, "correct {correct}/120");
+    }
+
+    #[test]
+    fn warm_examples_seed_all_views() {
+        let warm: Vec<(TrainingExample, usize)> = (0..300)
+            .map(|k| {
+                let (f, c) = tri_feature(k);
+                (TrainingExample::new(0, f, 1), c)
+            })
+            .collect();
+        let mut mv = MulticlassView::new(&builder(), entities(120), 3, &warm);
+        let correct = (0..120)
+            .filter(|&k| mv.classify(k as u64) == Some(tri_feature(k).1))
+            .count();
+        assert!(correct >= 100, "correct {correct}/120 from warm start alone");
+    }
+
+    #[test]
+    fn missing_entities_are_none() {
+        let mut mv = MulticlassView::new(&builder(), entities(10), 2, &[]);
+        assert_eq!(mv.classify(999), None);
+    }
+
+    #[test]
+    fn inserted_entities_are_classified() {
+        let mut mv = MulticlassView::new(&builder(), entities(120), 3, &[]);
+        for k in 0..600 {
+            let (f, c) = tri_feature(k);
+            mv.update(&f, 0, c);
+        }
+        let (f, c) = tri_feature(4);
+        mv.insert_entity(Entity::new(7777, f));
+        assert_eq!(mv.classify(7777), Some(c));
+    }
+
+    #[test]
+    fn stats_aggregate_across_views() {
+        let mut mv = MulticlassView::new(&builder(), entities(30), 3, &[]);
+        for k in 0..10 {
+            let (f, c) = tri_feature(k);
+            mv.update(&f, 0, c);
+        }
+        assert_eq!(mv.stats().updates, 30, "10 multiclass updates × 3 views");
+        assert_eq!(mv.classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn one_class_rejected() {
+        let _ = MulticlassView::new(&builder(), entities(5), 1, &[]);
+    }
+}

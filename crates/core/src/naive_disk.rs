@@ -1,0 +1,317 @@
+//! The naive on-disk architecture — the state of the art the paper compares
+//! against (Section 4.1: "The state-of-the-art approach to integrate
+//! classification with an RDBMS is captured by the na¨ıve on-disk
+//! approach").
+//!
+//! `V` is a heap file of `(id, label, eps, f)` tuples with a hash index on
+//! `id`. An eager update retrains and then rescans the entire heap,
+//! rewriting labels that changed; a lazy All-Members scan classifies every
+//! tuple. No clustering, no watermarks, no Skiing.
+
+use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_storage::{BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
+
+use crate::cost::{charge_classify, OpOverheads};
+use crate::entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+use crate::stats::{MemoryFootprint, ViewStats};
+use crate::view::{ClassifierView, Mode};
+
+/// Naive on-disk view.
+pub struct NaiveDiskView {
+    mode: Mode,
+    overheads: OpOverheads,
+    pool: BufferPool,
+    heap: HeapFile,
+    hash: HashIndex,
+    trainer: SgdTrainer,
+    stats: ViewStats,
+    scratch: Vec<u8>,
+}
+
+impl NaiveDiskView {
+    /// Builds the materialized view on disk, classifying every entity under
+    /// the initial model.
+    pub fn new(
+        entities: Vec<Entity>,
+        trainer: SgdTrainer,
+        mut pool: BufferPool,
+        overheads: OpOverheads,
+        mode: Mode,
+    ) -> NaiveDiskView {
+        let mut heap = HeapFile::new();
+        let mut hash = HashIndex::with_capacity(&mut pool, entities.len());
+        let mut scratch = Vec::new();
+        let clock = pool.disk().clock().clone();
+        for e in entities {
+            charge_classify(&clock, &e.f);
+            let eps = trainer.model().margin(&e.f);
+            let label = trainer.model().predict(&e.f);
+            scratch.clear();
+            encode_tuple(&HTuple { id: e.id, label, eps, f: e.f }, &mut scratch);
+            let rid = heap.append(&mut pool, &scratch).expect("entity tuple fits a page");
+            hash.insert(&mut pool, e.id, rid.to_u64()).expect("unique entity ids");
+        }
+        pool.flush_all();
+        NaiveDiskView { mode, overheads, pool, heap, hash, trainer, stats: ViewStats::default(), scratch }
+    }
+
+    fn clock(&self) -> VirtualClock {
+        self.pool.disk().clock().clone()
+    }
+
+    /// Full-scan relabel: the eager update's second half.
+    fn relabel_all(&mut self) {
+        let clock = self.clock();
+        let model = self.trainer.model().clone();
+        // collect updates during the scan; write them back after (the scan
+        // closure holds the pool)
+        let mut changed: Vec<(Rid, HTuple)> = Vec::new();
+        let mut examined = 0u64;
+        let stats = &mut self.stats;
+        self.heap.scan(&mut self.pool, |rid, bytes| {
+            examined += 1;
+            let mut t = decode_tuple(bytes).expect("well-formed tuple");
+            charge_classify(&clock, &t.f);
+            let l = model.predict(&t.f);
+            stats.tuples_reclassified += 1;
+            if l != t.label {
+                t.label = l;
+                changed.push((rid, t));
+            }
+            true
+        });
+        self.stats.tuples_examined += examined;
+        for (rid, t) in changed {
+            self.scratch.clear();
+            encode_tuple(&t, &mut self.scratch);
+            self.heap
+                .update_in_place(&mut self.pool, rid, &self.scratch)
+                .expect("label rewrite preserves length");
+            self.stats.labels_changed += 1;
+        }
+        self.pool.flush_all();
+    }
+}
+
+impl ClassifierView for NaiveDiskView {
+    fn describe(&self) -> String {
+        format!("naive-od ({})", self.mode.name())
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.update_ns);
+        charge_classify(&clock, &ex.f);
+        self.trainer.step(&ex.f, ex.y);
+        self.stats.updates += 1;
+        if self.mode == Mode::Eager {
+            self.relabel_all();
+        }
+    }
+
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.read_ns);
+        self.stats.single_reads += 1;
+        let rid = Rid::from_u64(self.hash.get(&mut self.pool, id)?);
+        match self.mode {
+            Mode::Eager => {
+                let (_, label, _) = self
+                    .heap
+                    .get(&mut self.pool, rid, decode_tuple_header)
+                    .ok()?
+                    .ok()?;
+                Some(label)
+            }
+            Mode::Lazy => {
+                let t = self.heap.get(&mut self.pool, rid, decode_tuple).ok()?.ok()?;
+                charge_classify(&clock, &t.f);
+                Some(self.trainer.model().predict(&t.f))
+            }
+        }
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        let model = self.trainer.model().clone();
+        let lazy = self.mode == Mode::Lazy;
+        let mut n = 0u64;
+        let mut examined = 0u64;
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            examined += 1;
+            if lazy {
+                let t = decode_tuple(bytes).expect("well-formed tuple");
+                charge_classify(&clock, &t.f);
+                if model.predict(&t.f) > 0 {
+                    n += 1;
+                }
+            } else {
+                clock.charge_cpu_ops(1);
+                let (_, label, _) = decode_tuple_header(bytes).expect("well-formed tuple");
+                if label > 0 {
+                    n += 1;
+                }
+            }
+            true
+        });
+        self.stats.tuples_examined += examined;
+        n
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        let model = self.trainer.model().clone();
+        let lazy = self.mode == Mode::Lazy;
+        let mut out = Vec::new();
+        let mut examined = 0u64;
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            examined += 1;
+            if lazy {
+                let t = decode_tuple(bytes).expect("well-formed tuple");
+                charge_classify(&clock, &t.f);
+                if model.predict(&t.f) > 0 {
+                    out.push(t.id);
+                }
+            } else {
+                clock.charge_cpu_ops(1);
+                let (id, label, _) = decode_tuple_header(bytes).expect("well-formed tuple");
+                if label > 0 {
+                    out.push(id);
+                }
+            }
+            true
+        });
+        self.stats.tuples_examined += examined;
+        out
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        let clock = self.clock();
+        charge_classify(&clock, &e.f);
+        let eps = self.trainer.model().margin(&e.f);
+        let label = self.trainer.model().predict(&e.f);
+        self.scratch.clear();
+        encode_tuple(&HTuple { id: e.id, label, eps, f: e.f }, &mut self.scratch);
+        let rid = self.heap.append(&mut self.pool, &self.scratch).expect("tuple fits a page");
+        self.hash.insert(&mut self.pool, e.id, rid.to_u64()).expect("unique entity ids");
+    }
+
+    fn model(&self) -> &LinearModel {
+        self.trainer.model()
+    }
+
+    fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            entities_bytes: 0,
+            eps_map_bytes: 0,
+            buffer_bytes: 0,
+            model_bytes: self.trainer.model().mem_bytes(),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        self.pool.disk().clock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_learn::SgdConfig;
+    use hazy_linalg::FeatureVec;
+    use hazy_storage::{CostModel, SimDisk};
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n)
+            .map(|k| {
+                Entity::new(
+                    k as u64,
+                    FeatureVec::dense(vec![(k % 13) as f32 / 13.0 - 0.5, (k % 7) as f32 / 7.0 - 0.5]),
+                )
+            })
+            .collect()
+    }
+
+    fn view(mode: Mode, pool_pages: usize) -> NaiveDiskView {
+        let pool = BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::sata_2008())), pool_pages);
+        NaiveDiskView::new(entities(300), SgdTrainer::new(SgdConfig::svm(), 2), pool, OpOverheads::free(), mode)
+    }
+
+    fn ex(k: usize) -> TrainingExample {
+        let x0 = (k % 11) as f32 / 11.0 - 0.5;
+        let x1 = (k % 17) as f32 / 17.0 - 0.5;
+        let y = if x0 + 0.3 * x1 >= 0.0 { 1 } else { -1 };
+        TrainingExample::new(0, FeatureVec::dense(vec![x0, x1]), y)
+    }
+
+    #[test]
+    fn labels_match_model_after_updates() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = view(mode, 64);
+            for k in 0..60 {
+                v.update(&ex(k));
+            }
+            let model = v.model().clone();
+            for e in entities(300) {
+                assert_eq!(v.read_single(e.id), Some(model.predict(&e.f)), "{mode:?}");
+            }
+            let expect = entities(300).iter().filter(|e| model.predict(&e.f) > 0).count() as u64;
+            assert_eq!(v.count_positive(), expect);
+            assert_eq!(v.positive_ids().len() as u64, expect);
+        }
+    }
+
+    #[test]
+    fn survives_a_tiny_buffer_pool() {
+        let mut v = view(Mode::Eager, 4);
+        for k in 0..20 {
+            v.update(&ex(k));
+        }
+        let model = v.model().clone();
+        for e in entities(300).iter().step_by(17) {
+            assert_eq!(v.read_single(e.id), Some(model.predict(&e.f)));
+        }
+    }
+
+    #[test]
+    fn eager_update_scans_whole_heap() {
+        let mut v = view(Mode::Eager, 64);
+        v.update(&ex(0));
+        assert_eq!(v.stats().tuples_reclassified, 300);
+    }
+
+    #[test]
+    fn lazy_update_touches_nothing() {
+        let mut v = view(Mode::Lazy, 64);
+        v.update(&ex(0));
+        assert_eq!(v.stats().tuples_reclassified, 0);
+        assert_eq!(v.stats().tuples_examined, 0);
+    }
+
+    #[test]
+    fn inserted_entity_readable() {
+        let mut v = view(Mode::Eager, 64);
+        v.update(&ex(3));
+        v.insert_entity(Entity::new(5555, FeatureVec::dense(vec![0.3, 0.1])));
+        let expect = v.model().predict(&FeatureVec::dense(vec![0.3, 0.1]));
+        assert_eq!(v.read_single(5555), Some(expect));
+    }
+
+    #[test]
+    fn missing_id_is_none() {
+        let mut v = view(Mode::Lazy, 64);
+        assert_eq!(v.read_single(123_456), None);
+    }
+}

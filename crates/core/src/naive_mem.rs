@@ -1,0 +1,259 @@
+//! The naive main-memory architecture (baseline).
+//!
+//! Entities live in a `Vec`. Eager updates retrain and then relabel *every*
+//! entity; lazy updates retrain only, and every read classifies from
+//! scratch. This is the "na¨ıve MM" row of Figure 4 — fast storage, no
+//! algorithmic savings — and the gap between it and [`HazyMemView`] is the
+//! paper's claim that the Skiing/watermark strategy, not main memory alone,
+//! provides an order of magnitude.
+//!
+//! [`HazyMemView`]: crate::hazy_mem::HazyMemView
+
+use std::collections::HashMap;
+
+use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_storage::VirtualClock;
+
+use crate::cost::{charge_classify, OpOverheads};
+use crate::entity::Entity;
+use crate::stats::{MemoryFootprint, ViewStats};
+use crate::view::{ClassifierView, Mode};
+
+/// Naive in-memory view.
+pub struct NaiveMemView {
+    mode: Mode,
+    clock: VirtualClock,
+    overheads: OpOverheads,
+    trainer: SgdTrainer,
+    entities: Vec<Entity>,
+    /// Materialized labels; authoritative only in eager mode.
+    labels: Vec<Label>,
+    idmap: HashMap<u64, u32>,
+    stats: ViewStats,
+}
+
+impl NaiveMemView {
+    /// Builds the view, classifying every entity under the initial model.
+    pub fn new(
+        entities: Vec<Entity>,
+        trainer: SgdTrainer,
+        clock: VirtualClock,
+        overheads: OpOverheads,
+        mode: Mode,
+    ) -> NaiveMemView {
+        let mut labels = Vec::with_capacity(entities.len());
+        let mut idmap = HashMap::with_capacity(entities.len());
+        for (i, e) in entities.iter().enumerate() {
+            charge_classify(&clock, &e.f);
+            labels.push(trainer.model().predict(&e.f));
+            idmap.insert(e.id, i as u32);
+        }
+        NaiveMemView { mode, clock, overheads, trainer, entities, labels, idmap, stats: ViewStats::default() }
+    }
+
+    fn relabel_all(&mut self) {
+        for (i, e) in self.entities.iter().enumerate() {
+            charge_classify(&self.clock, &e.f);
+            let l = self.trainer.model().predict(&e.f);
+            self.stats.tuples_reclassified += 1;
+            if l != self.labels[i] {
+                self.labels[i] = l;
+                self.stats.labels_changed += 1;
+            }
+        }
+        self.stats.tuples_examined += self.entities.len() as u64;
+    }
+}
+
+impl ClassifierView for NaiveMemView {
+    fn describe(&self) -> String {
+        format!("naive-mm ({})", self.mode.name())
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        self.clock.charge_ns(self.overheads.update_ns);
+        charge_classify(&self.clock, &ex.f);
+        self.trainer.step(&ex.f, ex.y);
+        self.stats.updates += 1;
+        if self.mode == Mode::Eager {
+            self.relabel_all();
+        }
+    }
+
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        self.clock.charge_ns(self.overheads.read_ns);
+        self.stats.single_reads += 1;
+        let idx = *self.idmap.get(&id)? as usize;
+        match self.mode {
+            Mode::Eager => Some(self.labels[idx]),
+            Mode::Lazy => {
+                let f = &self.entities[idx].f;
+                charge_classify(&self.clock, f);
+                Some(self.trainer.model().predict(f))
+            }
+        }
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.stats.tuples_examined += self.entities.len() as u64;
+        match self.mode {
+            Mode::Eager => {
+                self.clock.charge_cpu_ops(self.entities.len() as u64);
+                self.labels.iter().filter(|&&l| l > 0).count() as u64
+            }
+            Mode::Lazy => {
+                let mut n = 0;
+                for e in &self.entities {
+                    charge_classify(&self.clock, &e.f);
+                    if self.trainer.model().predict(&e.f) > 0 {
+                        n += 1;
+                    }
+                }
+                n
+            }
+        }
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.stats.tuples_examined += self.entities.len() as u64;
+        let mut out = Vec::new();
+        for (i, e) in self.entities.iter().enumerate() {
+            let positive = match self.mode {
+                Mode::Eager => {
+                    self.clock.charge_cpu_ops(1);
+                    self.labels[i] > 0
+                }
+                Mode::Lazy => {
+                    charge_classify(&self.clock, &e.f);
+                    self.trainer.model().predict(&e.f) > 0
+                }
+            };
+            if positive {
+                out.push(e.id);
+            }
+        }
+        out
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        charge_classify(&self.clock, &e.f);
+        let label = self.trainer.model().predict(&e.f);
+        self.idmap.insert(e.id, self.entities.len() as u32);
+        self.labels.push(label);
+        self.entities.push(e);
+    }
+
+    fn model(&self) -> &LinearModel {
+        self.trainer.model()
+    }
+
+    fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            entities_bytes: self.entities.iter().map(|e| 8 + e.f.mem_bytes()).sum::<usize>()
+                + self.labels.len(),
+            eps_map_bytes: 0,
+            buffer_bytes: 0,
+            model_bytes: self.trainer.model().mem_bytes(),
+        }
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_learn::SgdConfig;
+    use hazy_linalg::FeatureVec;
+    use hazy_storage::CostModel;
+
+    fn entities(n: usize) -> Vec<Entity> {
+        (0..n)
+            .map(|k| {
+                Entity::new(
+                    k as u64,
+                    FeatureVec::dense(vec![(k % 7) as f32 / 7.0 - 0.4, (k % 5) as f32 / 5.0 - 0.3]),
+                )
+            })
+            .collect()
+    }
+
+    fn view(mode: Mode) -> NaiveMemView {
+        NaiveMemView::new(
+            entities(100),
+            SgdTrainer::new(SgdConfig::svm(), 2),
+            VirtualClock::new(CostModel::free()),
+            OpOverheads::free(),
+            mode,
+        )
+    }
+
+    fn ex(x0: f32, x1: f32, y: i8) -> TrainingExample {
+        TrainingExample::new(0, FeatureVec::dense(vec![x0, x1]), y)
+    }
+
+    #[test]
+    fn eager_and_lazy_agree_on_labels() {
+        let mut eager = view(Mode::Eager);
+        let mut lazy = view(Mode::Lazy);
+        for k in 0..50 {
+            let e = ex(0.3 + (k % 3) as f32 * 0.1, -0.2, if k % 2 == 0 { 1 } else { -1 });
+            eager.update(&e);
+            lazy.update(&e);
+        }
+        for id in 0..100u64 {
+            assert_eq!(eager.read_single(id), lazy.read_single(id), "id {id}");
+        }
+        assert_eq!(eager.count_positive(), lazy.count_positive());
+        assert_eq!(eager.positive_ids(), lazy.positive_ids());
+    }
+
+    #[test]
+    fn eager_update_touches_every_entity() {
+        let mut v = view(Mode::Eager);
+        v.update(&ex(0.5, 0.5, 1));
+        assert_eq!(v.stats().tuples_reclassified, 100);
+        let mut l = view(Mode::Lazy);
+        l.update(&ex(0.5, 0.5, 1));
+        assert_eq!(l.stats().tuples_reclassified, 0);
+    }
+
+    #[test]
+    fn missing_id_reads_none() {
+        let mut v = view(Mode::Eager);
+        assert_eq!(v.read_single(10_000), None);
+    }
+
+    #[test]
+    fn inserted_entity_is_classified_and_readable() {
+        let mut v = view(Mode::Eager);
+        v.update(&ex(1.0, 0.0, 1));
+        v.insert_entity(Entity::new(777, FeatureVec::dense(vec![1.0, 0.0])));
+        assert_eq!(v.read_single(777), Some(1));
+    }
+
+    #[test]
+    fn counts_match_reads(){
+        let mut v = view(Mode::Eager);
+        for k in 0..30 {
+            v.update(&ex((k % 4) as f32 * 0.2 - 0.3, 0.4, if k % 3 == 0 { -1 } else { 1 }));
+        }
+        let count = v.count_positive();
+        let by_read = (0..100u64).filter(|&id| v.read_single(id) == Some(1)).count() as u64;
+        assert_eq!(count, by_read);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Skiing strategy (Section 3.2.1, analysis Section 3.3).
+//!
+//! At each round the strategy either (1) takes an incremental step of cost
+//! `c(i)` — unknown until taken — or (2) reorganizes at fixed, known cost
+//! `S`. Skiing accumulates `a += c(i)` and reorganizes once `a ≥ α·S`, the
+//! classic ski-rental rule. With `α` the positive root of `x² + σx − 1`
+//! (where `σ·S` is the time to scan `H`), Lemma 3.2 shows the competitive
+//! ratio is exactly `1 + σ + α`, optimal among deterministic online
+//! strategies; as data grows, `σ → 0`, `α → 1` and the ratio tends to 2
+//! (Theorem 3.3). The paper (and this engine) defaults to `α = 1`.
+
+/// Online reorganization controller. All costs are in virtual nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Skiing {
+    alpha: f64,
+    accumulated: f64,
+    reorg_cost: f64,
+    reorgs: u64,
+    rounds: u64,
+}
+
+impl Skiing {
+    /// Strategy with parameter `alpha` and an initial estimate of the
+    /// reorganization cost `S` (Hazy measures the real `S` at each
+    /// reorganization and updates it).
+    ///
+    /// # Panics
+    /// Panics when `alpha ≤ 0` or `initial_s < 0`.
+    pub fn new(alpha: f64, initial_s: f64) -> Skiing {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(initial_s >= 0.0, "reorg cost cannot be negative");
+        Skiing { alpha, accumulated: 0.0, reorg_cost: initial_s, reorgs: 0, rounds: 0 }
+    }
+
+    /// The strategy parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The current estimate of the reorganization cost `S`.
+    pub fn reorg_cost(&self) -> f64 {
+        self.reorg_cost
+    }
+
+    /// Accumulated waste `a(i)` since the last reorganization.
+    pub fn accumulated(&self) -> f64 {
+        self.accumulated
+    }
+
+    /// Reorganizations triggered so far.
+    pub fn reorgs(&self) -> u64 {
+        self.reorgs
+    }
+
+    /// Rounds (incremental steps) observed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Figure 7's test, made *before* each round's work: should this round
+    /// be a reorganization (`a ≥ α·S`)?
+    pub fn should_reorganize(&self) -> bool {
+        self.accumulated >= self.alpha * self.reorg_cost
+    }
+
+    /// Adds the measured cost of an incremental step just taken.
+    pub fn add_cost(&mut self, cost: f64) {
+        self.rounds += 1;
+        self.accumulated += cost.max(0.0);
+    }
+
+    /// Records the measured cost of the incremental step just taken and
+    /// reports whether the *next* round should reorganize (`a ≥ α·S`).
+    #[must_use = "ignoring the decision defeats the strategy"]
+    pub fn record_cost(&mut self, cost: f64) -> bool {
+        self.add_cost(cost);
+        self.should_reorganize()
+    }
+
+    /// Tells the strategy a reorganization was performed, with its measured
+    /// cost (the new `S`), and resets the accumulator.
+    pub fn reorganized(&mut self, measured_s: f64) {
+        self.reorgs += 1;
+        self.accumulated = 0.0;
+        if measured_s > 0.0 {
+            self.reorg_cost = measured_s;
+        }
+    }
+
+    /// The α that minimizes the competitive ratio for a given `σ` (scan
+    /// time over reorganization time): the positive root of `x² + σx − 1`.
+    pub fn alpha_optimal(sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma cannot be negative");
+        (-sigma + (sigma * sigma + 4.0).sqrt()) / 2.0
+    }
+
+    /// The competitive ratio `1 + σ + α` of Lemma 3.2.
+    pub fn competitive_ratio(sigma: f64, alpha: f64) -> f64 {
+        1.0 + sigma + alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_exactly_at_alpha_s() {
+        let mut sk = Skiing::new(1.0, 100.0);
+        assert!(!sk.record_cost(40.0));
+        assert!(!sk.record_cost(40.0));
+        assert!(sk.record_cost(40.0), "120 ≥ 100 must trigger");
+        sk.reorganized(100.0);
+        assert_eq!(sk.accumulated(), 0.0);
+        assert_eq!(sk.reorgs(), 1);
+    }
+
+    #[test]
+    fn alpha_scales_the_threshold() {
+        let mut lazy = Skiing::new(2.0, 100.0);
+        assert!(!lazy.record_cost(150.0));
+        assert!(lazy.record_cost(60.0));
+        let mut eager = Skiing::new(0.5, 100.0);
+        assert!(eager.record_cost(60.0));
+    }
+
+    #[test]
+    fn measured_s_replaces_estimate() {
+        let mut sk = Skiing::new(1.0, 1.0);
+        assert!(sk.record_cost(5.0));
+        sk.reorganized(1000.0);
+        assert_eq!(sk.reorg_cost(), 1000.0);
+        assert!(!sk.record_cost(5.0), "threshold is now 1000");
+    }
+
+    #[test]
+    fn zero_measured_s_keeps_old_estimate() {
+        // a free-cost-model test run measures S = 0; the strategy must not
+        // divide its threshold to zero and reorganize every round
+        let mut sk = Skiing::new(1.0, 50.0);
+        sk.reorganized(0.0);
+        assert_eq!(sk.reorg_cost(), 50.0);
+    }
+
+    #[test]
+    fn alpha_optimal_solves_the_quadratic() {
+        for sigma in [0.0, 0.1, 0.5, 1.0, 3.0] {
+            let a = Skiing::alpha_optimal(sigma);
+            assert!((a * a + sigma * a - 1.0).abs() < 1e-12, "sigma {sigma}");
+            assert!(a > 0.0);
+        }
+        // σ → 0 gives the classic ski-rental α = 1 and ratio 2 (Thm 3.3)
+        assert!((Skiing::alpha_optimal(0.0) - 1.0).abs() < 1e-12);
+        assert!((Skiing::competitive_ratio(0.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_costs_are_clamped() {
+        let mut sk = Skiing::new(1.0, 10.0);
+        assert!(!sk.record_cost(-5.0));
+        assert_eq!(sk.accumulated(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn zero_alpha_rejected() {
+        let _ = Skiing::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-view operation statistics and memory accounting.
+
+/// Counters a view maintains across its lifetime. The bench harness diffs
+/// snapshots around a measured phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ViewStats {
+    /// Training examples consumed (`Update` operations).
+    pub updates: u64,
+    /// Single-entity reads served.
+    pub single_reads: u64,
+    /// All-Members queries served.
+    pub all_members: u64,
+    /// Tuples whose labels were recomputed by incremental steps.
+    pub tuples_reclassified: u64,
+    /// Tuples examined (read) by scans of any kind.
+    pub tuples_examined: u64,
+    /// Labels that actually flipped during maintenance.
+    pub labels_changed: u64,
+    /// Reorganizations performed (Skiing choice 2).
+    pub reorgs: u64,
+    /// Virtual ns spent in the most recent reorganization (the measured S).
+    pub last_reorg_ns: u64,
+    /// Single-entity reads the hybrid answered from the ε-map alone.
+    pub eps_map_prunes: u64,
+    /// Single-entity reads the hybrid answered from its buffer.
+    pub buffer_hits: u64,
+    /// Single-entity reads that had to go to disk.
+    pub disk_reads: u64,
+}
+
+/// Memory footprint breakdown (Figure 6(A)).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemoryFootprint {
+    /// Bytes held by entity feature vectors resident in memory.
+    pub entities_bytes: usize,
+    /// Bytes of the hybrid's ε-map (`id → eps`).
+    pub eps_map_bytes: usize,
+    /// Bytes of the hybrid's boundary buffer (ids + feature vectors).
+    pub buffer_bytes: usize,
+    /// Bytes of the model itself.
+    pub model_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes.
+    pub fn total(&self) -> usize {
+        self.entities_bytes + self.eps_map_bytes + self.buffer_bytes + self.model_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_total_sums_parts() {
+        let fp = MemoryFootprint {
+            entities_bytes: 100,
+            eps_map_bytes: 20,
+            buffer_bytes: 30,
+            model_bytes: 8,
+        };
+        assert_eq!(fp.total(), 158);
+    }
+
+    #[test]
+    fn stats_default_to_zero() {
+        let s = ViewStats::default();
+        assert_eq!(s.updates + s.single_reads + s.reorgs, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-architecture equivalence: all five architectures, eager and lazy,
+//! must serve **identical answers** for every operation under the same
+//! update stream — they differ only in cost. This is the correctness
+//! backbone of the whole reproduction: Hazy's claim is performance, never a
+//! different answer.
+
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+
+fn build_all(spec: &hazy_datagen::DatasetSpec, warm: usize) -> Vec<Box<dyn ClassifierView>> {
+    let ds = spec.generate();
+    let entities: Vec<Entity> = ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm_examples = ExampleStream::new(spec, 99).take_vec(warm);
+    let mut views = Vec::new();
+    for arch in Architecture::all() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let v = ViewBuilder::new(arch, mode)
+                .norm_pair(spec.norm_pair())
+                .dim(spec.dim)
+                .build(entities.clone(), &warm_examples);
+            views.push(v);
+        }
+    }
+    views
+}
+
+#[test]
+fn all_architectures_serve_identical_answers() {
+    let spec = DatasetSpec::dblife().scaled(0.008);
+    let mut views = build_all(&spec, 500);
+    let n = spec.n_entities as u64;
+    let mut stream = ExampleStream::new(&spec, 7);
+
+    for round in 0..120 {
+        let ex = stream.next_example();
+        for v in views.iter_mut() {
+            v.update(&ex);
+        }
+        if round % 30 == 7 {
+            let counts: Vec<u64> = views.iter_mut().map(|v| v.count_positive()).collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "round {round}: count divergence: {:?}",
+                views.iter().map(|v| v.describe()).zip(counts.iter()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    // single-entity reads agree everywhere
+    for id in (0..n).step_by(37) {
+        let labels: Vec<Option<i8>> = views.iter_mut().map(|v| v.read_single(id)).collect();
+        assert!(
+            labels.windows(2).all(|w| w[0] == w[1]),
+            "id {id}: label divergence {labels:?}"
+        );
+        assert!(labels[0].is_some(), "id {id} missing");
+    }
+
+    // full member lists agree
+    let mut lists: Vec<Vec<u64>> = views
+        .iter_mut()
+        .map(|v| {
+            let mut ids = v.positive_ids();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let first = lists.remove(0);
+    for (v, l) in views.iter().skip(1).zip(lists.iter()) {
+        assert_eq!(&first, l, "{} diverges on positive_ids", v.describe());
+    }
+}
+
+#[test]
+fn entity_inserts_are_equivalent_across_architectures() {
+    let spec = DatasetSpec::forest().scaled(0.001);
+    let mut views = build_all(&spec, 300);
+    let mut stream = ExampleStream::new(&spec, 13);
+
+    // interleave updates and entity inserts
+    let mut extra = ExampleStream::new(&spec, 21);
+    for round in 0..60 {
+        let ex = stream.next_example();
+        for v in views.iter_mut() {
+            v.update(&ex);
+        }
+        if round % 10 == 3 {
+            let e = extra.next_example();
+            let ent = Entity::new(e.id, e.f.clone());
+            for v in views.iter_mut() {
+                v.insert_entity(ent.clone());
+            }
+            let labels: Vec<Option<i8>> = views.iter_mut().map(|v| v.read_single(e.id)).collect();
+            assert!(labels.windows(2).all(|w| w[0] == w[1]), "inserted {}: {labels:?}", e.id);
+        }
+    }
+    let counts: Vec<u64> = views.iter_mut().map(|v| v.count_positive()).collect();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "final counts {counts:?}");
+}
+
+#[test]
+fn hazy_is_cheaper_than_naive_in_virtual_time() {
+    let spec = DatasetSpec::dblife().scaled(0.01);
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm = ExampleStream::new(&spec, 99).take_vec(12_000);
+
+    let mut costs = Vec::new();
+    for arch in [Architecture::NaiveMem, Architecture::HazyMem] {
+        // free per-statement overheads: this test isolates the algorithmic
+        // cost difference (benches measure end-to-end rates separately)
+        let mut v = ViewBuilder::new(arch, Mode::Eager)
+            .norm_pair(spec.norm_pair())
+            .overheads(OpOverheads::free())
+            .dim(spec.dim)
+            .build(entities.clone(), &warm);
+        let mut stream = ExampleStream::new(&spec, 3);
+        let t0 = v.clock().now_ns();
+        for _ in 0..300 {
+            v.update(&stream.next_example());
+        }
+        costs.push(v.clock().now_ns() - t0);
+    }
+    let (naive, hazy) = (costs[0], costs[1]);
+    assert!(
+        hazy * 3 < naive,
+        "hazy-mm ({hazy} ns) should be well under naive-mm ({naive} ns) on eager updates"
+    );
+}
+
+#[test]
+fn lazy_hazy_scans_cheaper_than_lazy_naive() {
+    let spec = DatasetSpec::dblife().scaled(0.01);
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm = ExampleStream::new(&spec, 99).take_vec(4000);
+
+    let mut costs = Vec::new();
+    for arch in [Architecture::NaiveMem, Architecture::HazyMem] {
+        let mut v = ViewBuilder::new(arch, Mode::Lazy)
+            .norm_pair(spec.norm_pair())
+            .overheads(OpOverheads::free())
+            .dim(spec.dim)
+            .build(entities.clone(), &warm);
+        let mut stream = ExampleStream::new(&spec, 3);
+        // a few updates, then repeated All-Members queries (the paper's
+        // lazy bottleneck)
+        for _ in 0..20 {
+            v.update(&stream.next_example());
+        }
+        let t0 = v.clock().now_ns();
+        for _ in 0..20 {
+            v.count_positive();
+        }
+        costs.push(v.clock().now_ns() - t0);
+    }
+    let (naive, hazy) = (costs[0], costs[1]);
+    assert!(hazy < naive, "lazy hazy scan ({hazy} ns) vs naive ({naive} ns)");
+}

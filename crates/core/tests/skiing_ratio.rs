@@ -1,0 +1,117 @@
+//! Property test for Theorem 3.3 / Lemma 3.2: on any cost matrix satisfying
+//! the paper's assumptions, the Skiing strategy's total cost is within the
+//! competitive ratio `1 + σ + α` of the offline optimum (up to an additive
+//! boundary term for the final, unfinished interval).
+
+use hazy_core::opt::{optimal_schedule, skiing_schedule, CostMatrix};
+use hazy_core::Skiing;
+use proptest::prelude::*;
+
+/// A random cost matrix honoring Section 3.3's assumptions:
+/// * `c(s, i) ∈ [0, S]`,
+/// * monotone nondecreasing in `i` for fixed `s` (the band only widens),
+/// * monotone nonincreasing in `s` for fixed `i` (reorganizing more
+///   recently never raises the cost),
+/// * `c(i, i) = 0` (a freshly reorganized round costs nothing).
+///
+/// Construction: `c(s, i) = min(S, Σ_{r=s+1..i} g_r)` for nonnegative
+/// per-round growth `g_r` — sums of nonnegative terms are monotone in both
+/// arguments as required.
+struct GrowthCosts {
+    growth: Vec<f64>,
+    s: f64,
+}
+
+impl CostMatrix for GrowthCosts {
+    fn cost(&self, s: usize, i: usize) -> f64 {
+        let sum: f64 = self.growth[s..i].iter().sum();
+        sum.min(self.s)
+    }
+    fn rounds(&self) -> usize {
+        self.growth.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn skiing_is_competitive(
+        growth in prop::collection::vec(0.0f64..2.0, 5..120),
+        s in 1.0f64..50.0,
+    ) {
+        let alpha = 1.0; // the paper's experimental setting
+        // σ is the paper's scan bound: every incremental cost is at most
+        // σ·S (the cost of scanning H). For a synthetic matrix that is the
+        // largest per-round cost over S.
+        let n = growth.len();
+        let costs = GrowthCosts { growth, s };
+        let max_c = (1..=n)
+            .flat_map(|i| (0..i).map(move |k| (k, i)))
+            .map(|(k, i)| costs.cost(k, i))
+            .fold(0.0f64, f64::max);
+        let sigma = max_c / s;
+        let ski = skiing_schedule(&costs, s, alpha);
+        let opt = optimal_schedule(&costs, s);
+        // Lemma B.1's bound for α = 1 (ratio max{(1+α)/α, 1+σ+α} = 2+σ),
+        // plus a 2S boundary allowance: the analysis assumes the run ends at
+        // a reorganization boundary; an unfinished final interval can carry
+        // up to (α+σ)S un-amortized waste plus one reorganization.
+        let bound = Skiing::competitive_ratio(sigma, alpha) * opt.cost + 2.0 * s;
+        prop_assert!(
+            ski.cost <= bound + 1e-6,
+            "ski {} > bound {} (opt {}, sigma {})", ski.cost, bound, opt.cost, sigma
+        );
+    }
+
+    /// The optimum never beats zero and never loses to "never reorganize"
+    /// or "reorganize every k rounds".
+    #[test]
+    fn optimum_is_a_lower_bound(
+        growth in prop::collection::vec(0.0f64..2.0, 5..60),
+        s in 1.0f64..20.0,
+        k in 1usize..20,
+    ) {
+        let costs = GrowthCosts { growth: growth.clone(), s };
+        let opt = optimal_schedule(&costs, s);
+        prop_assert!(opt.cost >= 0.0);
+        // never reorganize
+        let never: f64 = (1..=costs.rounds()).map(|i| costs.cost(0, i)).sum();
+        prop_assert!(opt.cost <= never + 1e-9, "opt {} > never {}", opt.cost, never);
+        // periodic-k
+        let mut base = 0;
+        let mut periodic = 0.0;
+        for i in 1..=costs.rounds() {
+            if i - base >= k {
+                periodic += s + costs.cost(i, i);
+                base = i;
+            } else {
+                periodic += costs.cost(base, i);
+            }
+        }
+        prop_assert!(opt.cost <= periodic + 1e-9, "opt {} > periodic {}", opt.cost, periodic);
+    }
+
+    /// With the α tuned to the instance's σ (the root of x² + σx − 1),
+    /// Skiing meets Lemma 3.2's ratio 1 + σ + α on adversarial step costs.
+    #[test]
+    fn optimal_alpha_meets_the_lemma_bound_on_step_costs(hi in 0.5f64..5.0, after in 0usize..6) {
+        let n = 80;
+        struct Step { n: usize, after: usize, hi: f64, s: f64 }
+        impl CostMatrix for Step {
+            fn cost(&self, s: usize, i: usize) -> f64 {
+                if i - s > self.after { self.hi.min(self.s) } else { 0.0 }
+            }
+            fn rounds(&self) -> usize { self.n }
+        }
+        let s = 5.0;
+        let costs = Step { n, after, hi, s };
+        let sigma = hi.min(s) / s;
+        let alpha = Skiing::alpha_optimal(sigma);
+        let tuned = skiing_schedule(&costs, s, alpha);
+        let opt = optimal_schedule(&costs, s);
+        let bound = Skiing::competitive_ratio(sigma, alpha) * opt.cost + 2.0 * s;
+        prop_assert!(tuned.cost <= bound + 1e-9,
+            "tuned {} > bound {} (opt {}, sigma {})", tuned.cost, bound, opt.cost, sigma);
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded synthetic datasets standing in for the paper's corpora.
+//!
+//! The paper evaluates on three proprietary-or-bulky corpora — **Forest**
+//! (UCI covertype: 582k entities, 54 dense features), **DBLife** (124k paper
+//! references, 41k-word vocabulary, ~7 nonzeros/title) and **Citeseer**
+//! (721k papers, 682k-word vocabulary, ~60 nonzeros/abstract; Figure 3) —
+//! plus UCI **MAGIC** and **ADULT** for the learning-overhead table
+//! (Figure 10). None are shipped here, so this crate generates seeded
+//! synthetic equivalents that preserve everything the algorithms under test
+//! are sensitive to:
+//!
+//! * entity count, dimensionality, nonzeros per entity (dense vs sparse),
+//! * a ground-truth linear concept with controllable margin and label noise
+//!   (so incremental SGD drifts toward it the way a real training stream
+//!   drifts),
+//! * Zipf-distributed token frequencies for the text-like corpora,
+//! * ℓ1 (text) / ℓ2 (numeric) input normalization, matching the norm pairs
+//!   the paper picks in Section 3.2.2.
+//!
+//! Every generator is deterministic in its seed; scale factors shrink corpora
+//! for CI while preserving their shape.
+
+mod corpus;
+mod presets;
+mod stream;
+mod zipf;
+
+pub use corpus::{CorpusConfig, Document, DocumentCorpus};
+pub use presets::{Dataset, DatasetKind, DatasetSpec, LabeledEntity};
+pub use stream::ExampleStream;
+pub use zipf::Zipf;

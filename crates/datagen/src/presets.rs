@@ -1,0 +1,411 @@
+//! Dataset specifications and generation.
+
+use hazy_linalg::{FeatureVec, Norm, NormPair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Which corpus a spec models (Figure 3 plus the Figure 10 UCI sets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// UCI covertype: dense, 54 features (treated as binary, footnote 3).
+    Forest,
+    /// DBLife paper titles: sparse, 41k vocabulary, ~7 nnz.
+    DbLife,
+    /// Citeseer abstracts: sparse, 682k vocabulary, ~60 nnz.
+    Citeseer,
+    /// UCI MAGIC gamma telescope: dense, 10 features.
+    Magic,
+    /// UCI ADULT (a9a encoding): sparse binary, 123 features, ~14 nnz.
+    Adult,
+    /// Free-form synthetic.
+    Synthetic,
+}
+
+/// A fully deterministic dataset recipe.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Which corpus this models.
+    pub kind: DatasetKind,
+    /// Human-readable name for tables.
+    pub name: String,
+    /// Number of entities to generate.
+    pub n_entities: usize,
+    /// Feature-space dimensionality (vocabulary size for text).
+    pub dim: usize,
+    /// Average nonzeros per entity (= `dim` when dense).
+    pub avg_nnz: usize,
+    /// Dense (`FeatureVec::Dense`) vs sparse representation.
+    pub dense: bool,
+    /// Zipf exponent for word-frequency skew (sparse only).
+    pub zipf_s: f64,
+    /// Probability a generated label is flipped (concept noise).
+    pub label_noise: f64,
+    /// RNG seed; same spec + seed ⇒ identical bytes.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Full-size Forest (582k × 54 dense) — Figure 3 row 1.
+    pub fn forest() -> DatasetSpec {
+        DatasetSpec {
+            kind: DatasetKind::Forest,
+            name: "FC".into(),
+            n_entities: 581_012,
+            dim: 54,
+            avg_nnz: 54,
+            dense: true,
+            zipf_s: 0.0,
+            label_noise: 0.02,
+            seed: 0xF04E57,
+        }
+    }
+
+    /// Full-size DBLife (124k entities, 41k vocab, 7 nnz) — Figure 3 row 2.
+    pub fn dblife() -> DatasetSpec {
+        DatasetSpec {
+            kind: DatasetKind::DbLife,
+            name: "DB".into(),
+            n_entities: 124_000,
+            dim: 41_000,
+            avg_nnz: 7,
+            dense: false,
+            zipf_s: 1.05,
+            label_noise: 0.02,
+            seed: 0xDB11FE,
+        }
+    }
+
+    /// Full-size Citeseer (721k entities, 682k vocab, 60 nnz) — Figure 3
+    /// row 3.
+    pub fn citeseer() -> DatasetSpec {
+        DatasetSpec {
+            kind: DatasetKind::Citeseer,
+            name: "CS".into(),
+            n_entities: 721_000,
+            dim: 682_000,
+            avg_nnz: 60,
+            dense: false,
+            zipf_s: 1.05,
+            label_noise: 0.02,
+            seed: 0xC17E5E,
+        }
+    }
+
+    /// UCI MAGIC (19k × 10 dense) — Figure 10 row 1.
+    pub fn magic() -> DatasetSpec {
+        DatasetSpec {
+            kind: DatasetKind::Magic,
+            name: "MAGIC".into(),
+            n_entities: 19_020,
+            dim: 10,
+            avg_nnz: 10,
+            dense: true,
+            zipf_s: 0.0,
+            label_noise: 0.12,
+            seed: 0x4A61C,
+        }
+    }
+
+    /// UCI ADULT / a9a (49k entities, 123 binary features) — Figure 10
+    /// row 2.
+    pub fn adult() -> DatasetSpec {
+        DatasetSpec {
+            kind: DatasetKind::Adult,
+            name: "ADULT".into(),
+            n_entities: 48_842,
+            dim: 123,
+            avg_nnz: 14,
+            dense: false,
+            zipf_s: 0.6,
+            label_noise: 0.08,
+            seed: 0xAD017,
+        }
+    }
+
+    /// Scales entity count (and vocabulary, for sparse corpora) by `f`,
+    /// keeping per-entity shape. Used to run paper-shaped experiments at CI
+    /// sizes.
+    pub fn scaled(mut self, f: f64) -> DatasetSpec {
+        assert!(f > 0.0, "scale must be positive");
+        self.n_entities = ((self.n_entities as f64 * f) as usize).max(500);
+        if !self.dense {
+            self.dim = ((self.dim as f64 * f) as usize).max(2_000).max(self.avg_nnz * 4);
+        }
+        self.name = format!("{}x{f}", self.name);
+        self
+    }
+
+    /// The Hölder pair appropriate for this data (Section 3.2.2): text uses
+    /// `(p=∞, q=1)` over ℓ1-normalized vectors, numeric data `(p=2, q=2)`.
+    pub fn norm_pair(&self) -> NormPair {
+        if self.dense {
+            NormPair::EUCLIDEAN
+        } else {
+            NormPair::TEXT
+        }
+    }
+
+    /// Materializes the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = (!self.dense).then(|| Zipf::new(self.dim, self.zipf_s));
+        let mut entities = Vec::with_capacity(self.n_entities);
+        for id in 0..self.n_entities as u64 {
+            let f = gen_feature(self, zipf.as_ref(), &mut rng);
+            let label = truth_label(self, &f, &mut rng);
+            entities.push(LabeledEntity { id, f, label });
+        }
+        Dataset { spec: self.clone(), entities }
+    }
+}
+
+/// The hidden concept: a deterministic Rademacher (±1) weight per dimension,
+/// derived from the spec seed (never materialized as a vector —
+/// Citeseer-sized vocabularies would waste 5 MB per stream).
+pub(crate) fn concept_weight(seed: u64, j: u32) -> f64 {
+    let mut h = seed ^ u64::from(j).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    if h & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// How many leading dimensions carry concept signal. For text corpora the
+/// informative words are the frequent/mid-frequency ones (topic terms like
+/// "database" or "transaction" are common in their class); rare tail words
+/// are noise. Word ids coincide with Zipf frequency ranks in the generator,
+/// so restricting the concept to the head both matches real text
+/// classification and keeps the concept learnable from the few thousand
+/// examples the paper's update experiments insert. Dense data uses every
+/// dimension.
+pub(crate) fn informative_dims(spec: &DatasetSpec) -> u32 {
+    if spec.dense {
+        spec.dim as u32
+    } else {
+        ((spec.dim / 10).max(64).min(spec.dim)) as u32
+    }
+}
+
+/// True margin of `f` under the spec's hidden concept (bias 0 — the
+/// generators draw symmetric features, so classes stay near-balanced).
+pub(crate) fn concept_margin(spec: &DatasetSpec, f: &FeatureVec) -> f64 {
+    let cutoff = informative_dims(spec);
+    f.iter()
+        .filter(|&(j, _)| j < cutoff)
+        .map(|(j, v)| f64::from(v) * concept_weight(spec.seed, j))
+        .sum()
+}
+
+/// Draws one feature vector from the spec's distribution.
+pub(crate) fn gen_feature(
+    spec: &DatasetSpec,
+    zipf: Option<&Zipf>,
+    rng: &mut StdRng,
+) -> FeatureVec {
+    if spec.dense {
+        let comps: Vec<f32> = (0..spec.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        FeatureVec::dense(comps).normalized(Norm::L2)
+    } else {
+        let zipf = zipf.expect("sparse spec needs a zipf sampler");
+        // distinct-word target: uniform in [nnz/2, 3·nnz/2], ≥ 1 — Figure 3's
+        // "≠ 0" column counts distinct words per entity
+        let lo = (spec.avg_nnz / 2).max(1);
+        let hi = (spec.avg_nnz * 3 / 2).max(lo + 1);
+        let want = rng.gen_range(lo..=hi);
+        // Zipf head words repeat constantly; keep drawing (bounded) until the
+        // distinct count is reached, letting repeats raise term frequencies.
+        let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(want * 2);
+        let mut distinct = std::collections::HashSet::with_capacity(want * 2);
+        let mut draws = 0;
+        while distinct.len() < want && draws < want * 8 {
+            let w = zipf.sample(rng) as u32;
+            distinct.insert(w);
+            pairs.push((w, 1.0));
+            draws += 1;
+        }
+        FeatureVec::sparse(spec.dim as u32, pairs).normalized(Norm::L1)
+    }
+}
+
+/// Ground-truth label: the concept's sign, flipped with `label_noise`.
+pub(crate) fn truth_label(spec: &DatasetSpec, f: &FeatureVec, rng: &mut StdRng) -> i8 {
+    let y = if concept_margin(spec, f) >= 0.0 { 1i8 } else { -1 };
+    if rng.gen::<f64>() < spec.label_noise {
+        -y
+    } else {
+        y
+    }
+}
+
+/// One generated entity with its ground-truth label.
+#[derive(Clone, Debug)]
+pub struct LabeledEntity {
+    /// Entity key (dense 0..n).
+    pub id: u64,
+    /// Feature vector (already input-normalized).
+    pub f: FeatureVec,
+    /// Ground-truth binary label.
+    pub label: i8,
+}
+
+/// A materialized dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The recipe that produced this data.
+    pub spec: DatasetSpec,
+    /// All entities, ids dense in `0..n`.
+    pub entities: Vec<LabeledEntity>,
+}
+
+impl Dataset {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Approximate in-memory size in bytes (Figure 3's "Size" column).
+    pub fn total_bytes(&self) -> usize {
+        self.entities.iter().map(|e| 8 + e.f.mem_bytes()).sum()
+    }
+
+    /// Number of ground-truth positive entities.
+    pub fn positives(&self) -> usize {
+        self.entities.iter().filter(|e| e.label > 0).count()
+    }
+
+    /// Mean nonzeros per entity (Figure 3's "≠ 0" column).
+    pub fn mean_nnz(&self) -> f64 {
+        if self.entities.is_empty() {
+            return 0.0;
+        }
+        self.entities.iter().map(|e| e.f.nnz()).sum::<usize>() as f64 / self.len() as f64
+    }
+
+    /// Multiclass ground truth with `k` classes: argmax over `k` hashed
+    /// concept vectors (used by the Figure 12(B) experiment, which coalesces
+    /// Forest classes).
+    pub fn multiclass_truth(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 2, "need at least two classes");
+        self.entities
+            .iter()
+            .map(|e| {
+                let mut best = 0;
+                let mut best_score = f64::NEG_INFINITY;
+                for c in 0..k {
+                    let seed = self.spec.seed.wrapping_add(0x1000 + c as u64);
+                    let score: f64 =
+                        e.f.iter().map(|(j, v)| f64::from(v) * concept_weight(seed, j)).sum();
+                    if score > best_score {
+                        best_score = score;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_presets_match_figure3_shape() {
+        let fc = DatasetSpec::forest().scaled(0.01).generate();
+        assert!(fc.len() >= 5_000);
+        assert!(fc.entities.iter().all(|e| e.f.dim() == 54 && e.f.nnz() == 54));
+
+        let db = DatasetSpec::dblife().scaled(0.02).generate();
+        let nnz = db.mean_nnz();
+        assert!((5.0..=9.0).contains(&nnz), "DBLife mean nnz {nnz}");
+
+        let cs = DatasetSpec::citeseer().scaled(0.002).generate();
+        let nnz = cs.mean_nnz();
+        assert!((45.0..=75.0).contains(&nnz), "Citeseer mean nnz {nnz}");
+        // Citeseer rows are ~8.5x heavier than DBLife rows (60 vs 7 nnz)
+        let cs_row = cs.total_bytes() / cs.len();
+        let db_row = db.total_bytes() / db.len();
+        assert!(cs_row > db_row * 4, "row sizes {cs_row} vs {db_row}");
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced() {
+        for spec in [
+            DatasetSpec::forest().scaled(0.005),
+            DatasetSpec::dblife().scaled(0.02),
+            DatasetSpec::magic().scaled(0.2),
+            DatasetSpec::adult().scaled(0.05),
+        ] {
+            let d = spec.generate();
+            let pos = d.positives() as f64 / d.len() as f64;
+            assert!((0.25..=0.75).contains(&pos), "{}: positive rate {pos}", d.spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::dblife().scaled(0.01).generate();
+        let b = DatasetSpec::dblife().scaled(0.01).generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entities.iter().zip(b.entities.iter()) {
+            assert_eq!(x.f, y.f);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn text_vectors_are_l1_normalized() {
+        let d = DatasetSpec::dblife().scaled(0.01).generate();
+        for e in d.entities.iter().take(50) {
+            let n = e.f.norm(hazy_linalg::Norm::L1);
+            assert!((n - 1.0).abs() < 1e-5, "l1 norm {n}");
+        }
+    }
+
+    #[test]
+    fn dense_vectors_are_l2_normalized() {
+        let d = DatasetSpec::forest().scaled(0.002).generate();
+        for e in d.entities.iter().take(50) {
+            let n = e.f.norm(hazy_linalg::Norm::L2);
+            assert!((n - 1.0).abs() < 1e-5, "l2 norm {n}");
+        }
+    }
+
+    #[test]
+    fn multiclass_truth_uses_all_classes() {
+        let d = DatasetSpec::forest().scaled(0.005).generate();
+        let labels = d.multiclass_truth(5);
+        let mut seen = [false; 5];
+        for &l in &labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "class coverage {seen:?}");
+    }
+
+    #[test]
+    fn concept_is_learnable_by_sgd() {
+        use hazy_learn::{SgdConfig, SgdTrainer};
+        let d = DatasetSpec::dblife().scaled(0.01).generate();
+        let mut t = SgdTrainer::new(SgdConfig::svm(), d.spec.dim);
+        for _ in 0..10 {
+            for e in &d.entities {
+                t.step(&e.f, e.label);
+            }
+        }
+        let correct = d.entities.iter().filter(|e| t.model().predict(&e.f) == e.label).count();
+        let acc = correct as f64 / d.len() as f64;
+        assert!(acc > 0.85, "training accuracy {acc}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Zipf-distributed sampling over a finite vocabulary.
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `0..n` via inverse-CDF on a precomputed
+/// table. Word frequencies in real corpora follow Zipf's law closely, and
+//  the skew is what makes tf/tf-idf feature vectors look the way they do.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Sampler over `n` ranks with exponent `s` (classic Zipf is `s ≈ 1`).
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "empty vocabulary");
+        assert!(s >= 0.0, "negative exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Vocabulary size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_are_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // the 10 most frequent of 1000 words should carry ~40% of the mass
+        assert!(head > trials / 4, "head mass {head}/{trials}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform_ish() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn empty_vocab_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

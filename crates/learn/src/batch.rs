@@ -1,0 +1,194 @@
+//! Batch SVM solver: dual coordinate descent.
+//!
+//! The Figure 10 experiment compares Hazy's incremental SGD against a batch
+//! solver run to tight convergence (the paper used SVMLight, which is
+//! proprietary and unavailable here). Dual coordinate descent solves the
+//! identical L1-loss SVM objective
+//! `min_w ½‖w‖² + C Σ max(0, 1 − y_i(w·x_i − b))`
+//! and plays the same role: equal-or-better quality at a much higher cost per
+//! (re)train, which is exactly the trade-off the experiment demonstrates.
+//!
+//! The bias is handled by augmenting each example with a constant feature,
+//! the standard trick for coordinate-descent SVMs.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::model::{LinearModel, TrainingExample};
+
+/// Configuration for the dual coordinate-descent SVM.
+#[derive(Clone, Copy, Debug)]
+pub struct DcdConfig {
+    /// Slack penalty `C` of the primal objective.
+    pub c: f64,
+    /// Convergence tolerance on the maximal projected gradient.
+    pub tol: f64,
+    /// Hard cap on epochs (each epoch visits every example once).
+    pub max_epochs: usize,
+    /// RNG seed for the per-epoch permutation.
+    pub seed: u64,
+}
+
+impl Default for DcdConfig {
+    fn default() -> Self {
+        DcdConfig { c: 1.0, tol: 1e-4, max_epochs: 200, seed: 0x5eed }
+    }
+}
+
+/// Result of a batch solve.
+#[derive(Clone, Debug)]
+pub struct DcdSolution {
+    /// The trained model in the paper's `(w, b)` convention.
+    pub model: LinearModel,
+    /// Dual variables `α_i` (support vectors have `α_i > 0`).
+    pub alpha: Vec<f64>,
+    /// Number of epochs actually run.
+    pub epochs: usize,
+    /// Whether the tolerance was reached before `max_epochs`.
+    pub converged: bool,
+}
+
+/// Batch dual coordinate-descent solver for the linear SVM.
+pub struct DcdSvm {
+    cfg: DcdConfig,
+}
+
+impl DcdSvm {
+    /// Creates a solver with the given configuration.
+    pub fn new(cfg: DcdConfig) -> Self {
+        DcdSvm { cfg }
+    }
+
+    /// Solves the SVM over `data` and returns the model.
+    ///
+    /// Runtime is O(epochs × Σ nnz); all examples stay in memory, mirroring
+    /// how SVMLight was run in the paper's comparison.
+    pub fn solve(&self, data: &[TrainingExample]) -> DcdSolution {
+        let n = data.len();
+        let dim = data.iter().map(|e| e.f.dim() as usize).max().unwrap_or(0);
+        // augmented weight vector: w ++ [w_bias]
+        let mut w = vec![0.0f64; dim + 1];
+        let mut alpha = vec![0.0f64; n];
+        // Q_ii = x_i·x_i + 1 (the +1 is the constant bias feature)
+        let qii: Vec<f64> = data
+            .iter()
+            .map(|e| e.f.iter().map(|(_, v)| f64::from(v) * f64::from(v)).sum::<f64>() + 1.0)
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed);
+        let mut epochs = 0;
+        let mut converged = false;
+
+        while epochs < self.cfg.max_epochs {
+            order.shuffle(&mut rng);
+            let mut max_pg = 0.0f64;
+            for &i in &order {
+                let ex = &data[i];
+                let y = f64::from(ex.y);
+                // G = y (w·x̃_i) − 1 where x̃ is the augmented example
+                let wx = ex.f.dot(&w) + w[dim];
+                let g = y * wx - 1.0;
+                // projected gradient for the box constraint 0 ≤ α ≤ C
+                let pg = if alpha[i] == 0.0 {
+                    g.min(0.0)
+                } else if alpha[i] >= self.cfg.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                if pg.abs() > max_pg {
+                    max_pg = pg.abs();
+                }
+                if pg.abs() > 1e-14 {
+                    let old = alpha[i];
+                    alpha[i] = (old - g / qii[i]).clamp(0.0, self.cfg.c);
+                    let d = (alpha[i] - old) * y;
+                    if d != 0.0 {
+                        for (j, v) in ex.f.iter() {
+                            w[j as usize] += d * f64::from(v);
+                        }
+                        w[dim] += d;
+                    }
+                }
+            }
+            epochs += 1;
+            if max_pg < self.cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Split the augmented vector back into (w, b): margin was
+        // w·x + w_bias, and the paper's convention is w·x − b, so b = −w_bias.
+        let b = -w[dim];
+        w.truncate(dim);
+        DcdSolution { model: LinearModel::from_parts(w, b), alpha, epochs, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use hazy_linalg::FeatureVec;
+
+    fn blob_data(n: usize) -> Vec<TrainingExample> {
+        // two deterministic blobs separated along x0 + x1
+        (0..n)
+            .map(|k| {
+                let t = (k % 31) as f32 / 31.0;
+                let u = (k % 13) as f32 / 13.0;
+                let y = if k % 2 == 0 { 1 } else { -1 };
+                let shift = if y > 0 { 1.0 } else { -1.0 };
+                TrainingExample::new(
+                    k as u64,
+                    FeatureVec::dense(vec![shift + 0.3 * t, shift + 0.3 * u]),
+                    y,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_separable_data_exactly() {
+        let data = blob_data(200);
+        let sol = DcdSvm::new(DcdConfig::default()).solve(&data);
+        assert!(sol.converged, "did not converge in {} epochs", sol.epochs);
+        let preds: Vec<i8> = data.iter().map(|e| sol.model.predict(&e.f)).collect();
+        let labels: Vec<i8> = data.iter().map(|e| e.y).collect();
+        assert_eq!(accuracy(&preds, &labels), 1.0);
+    }
+
+    #[test]
+    fn alphas_respect_box_constraints() {
+        let data = blob_data(100);
+        let cfg = DcdConfig { c: 0.5, ..DcdConfig::default() };
+        let sol = DcdSvm::new(cfg).solve(&data);
+        assert!(sol.alpha.iter().all(|&a| (0.0..=0.5 + 1e-12).contains(&a)));
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let data = blob_data(200);
+        let sol = DcdSvm::new(DcdConfig::default()).solve(&data);
+        let sv = sol.alpha.iter().filter(|&&a| a > 1e-9).count();
+        assert!(sv > 0 && sv < data.len(), "sv count {sv}");
+    }
+
+    #[test]
+    fn empty_input_yields_zero_model() {
+        let sol = DcdSvm::new(DcdConfig::default()).solve(&[]);
+        assert_eq!(sol.model.b, 0.0);
+        assert_eq!(sol.alpha.len(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blob_data(64);
+        let a = DcdSvm::new(DcdConfig::default()).solve(&data);
+        let b = DcdSvm::new(DcdConfig::default()).solve(&data);
+        assert_eq!(a.model.b, b.model.b);
+        assert_eq!(a.model.w.to_vec(), b.model.w.to_vec());
+    }
+}

@@ -1,0 +1,244 @@
+//! Kernel classifiers (Appendix B.5.2).
+//!
+//! A kernel model is `c(x) = Σᵢ cᵢ·K(sᵢ, x) − b` over support vectors `sᵢ`
+//! with real weights `cᵢ`. The paper's observation is that the maintenance
+//! machinery carries over unchanged: for kernels with `K ∈ [0, 1]` (all
+//! shift-invariant kernels here), the margin of *any* point moves by at
+//! most `‖δc‖₁` when the weight vector changes — the same role Hölder's
+//! inequality plays for linear models, with `M = 1` and `p = 1` on the
+//! weight space. [`KernelSgd`] tracks that ℓ1 drift incrementally so a view
+//! can run watermarks over kernel margins too. (For *large* corpora the
+//! paper prefers linearizing the kernel with random features —
+//! [`crate::Rff`] — which reduces everything to the linear case.)
+
+use hazy_linalg::FeatureVec;
+
+use crate::rff::{exact_kernel, ShiftInvariantKernel};
+
+/// A kernel classifier: weighted support vectors plus a bias.
+#[derive(Clone, Debug)]
+pub struct KernelModel {
+    kernel: ShiftInvariantKernel,
+    support: Vec<(FeatureVec, f64)>,
+    /// Bias, subtracted as in the linear convention `sign(c(x) − b)`.
+    pub b: f64,
+}
+
+impl KernelModel {
+    /// An empty model (margin 0 everywhere, predicts +1 by the sign
+    /// convention).
+    pub fn new(kernel: ShiftInvariantKernel) -> KernelModel {
+        KernelModel { kernel, support: Vec::new(), b: 0.0 }
+    }
+
+    /// Number of support vectors.
+    pub fn support_len(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The margin `Σ cᵢ K(sᵢ, x) − b` — O(support × nnz).
+    pub fn margin(&self, x: &FeatureVec) -> f64 {
+        let acc: f64 =
+            self.support.iter().map(|(s, c)| c * exact_kernel(self.kernel, s, x)).sum();
+        acc - self.b
+    }
+
+    /// Predicted label, `sign(margin)`.
+    pub fn predict(&self, x: &FeatureVec) -> i8 {
+        crate::model::sign(self.margin(x))
+    }
+
+    /// `‖c‖₁` of the weight vector.
+    pub fn weight_l1(&self) -> f64 {
+        self.support.iter().map(|(_, c)| c.abs()).sum()
+    }
+}
+
+/// Incremental kernelized SGD (hinge loss, ℓ2-style weight decay), with a
+/// support-vector budget and an incrementally maintained upper bound on
+/// `‖c(i) − c(s)‖₁` since the last [`KernelSgd::snapshot`].
+#[derive(Clone, Debug)]
+pub struct KernelSgd {
+    model: KernelModel,
+    eta0: f64,
+    lambda: f64,
+    /// Maximum stored support vectors; the smallest-|c| vector is dropped
+    /// beyond this (its weight counted into the drift bound).
+    budget: usize,
+    t: u64,
+    /// Upper bound on the ℓ1 weight drift since the last snapshot. Both
+    /// models are viewed in the same (growing) support-vector space — a new
+    /// support vector is a coordinate the old model weights 0 (the paper's
+    /// Appendix B.5.2 construction).
+    drift_l1: f64,
+}
+
+impl KernelSgd {
+    /// Fresh trainer.
+    pub fn new(kernel: ShiftInvariantKernel, eta0: f64, lambda: f64, budget: usize) -> KernelSgd {
+        KernelSgd {
+            model: KernelModel::new(kernel),
+            eta0,
+            lambda,
+            budget: budget.max(1),
+            t: 0,
+            drift_l1: 0.0,
+        }
+    }
+
+    /// Current model.
+    pub fn model(&self) -> &KernelModel {
+        &self.model
+    }
+
+    /// Upper bound on `‖c(now) − c(snapshot)‖₁` — by `K ∈ [0, 1]`, also an
+    /// upper bound on how far any point's margin has moved (up to the bias
+    /// delta, which the caller tracks separately as in the linear case).
+    pub fn drift_l1(&self) -> f64 {
+        self.drift_l1
+    }
+
+    /// Declares the current model the new reference (a reorganization).
+    pub fn snapshot(&mut self) {
+        self.drift_l1 = 0.0;
+    }
+
+    /// One training example; returns the learning rate used.
+    pub fn step(&mut self, f: &FeatureVec, y: i8) -> f64 {
+        let eta = self.eta0 / (1.0 + self.lambda * self.eta0 * self.t as f64);
+        self.t += 1;
+        let z = self.model.margin(f);
+        // weight decay: every coefficient shrinks; the drift grows by the
+        // total mass removed
+        if self.lambda > 0.0 {
+            let k = 1.0 - eta * self.lambda;
+            let before = self.model.weight_l1();
+            for (_, c) in &mut self.model.support {
+                *c *= k;
+            }
+            self.drift_l1 += before * (1.0 - k);
+        }
+        if f64::from(y) * z < 1.0 {
+            let coef = eta * f64::from(y);
+            self.model.support.push((f.clone(), coef));
+            self.model.b -= 0.05 * coef; // reduced-rate bias, as in the linear trainer
+            self.drift_l1 += coef.abs();
+            if self.model.support.len() > self.budget {
+                // evict the least influential vector; its whole weight is
+                // margin drift
+                let (idx, _) = self
+                    .model
+                    .support
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .1.abs().total_cmp(&b.1 .1.abs()))
+                    .expect("non-empty support set");
+                let (_, c) = self.model.support.swap_remove(idx);
+                self.drift_l1 += c.abs();
+            }
+        }
+        eta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish data: positive iff the two coordinates have the same sign.
+    /// No linear model can do better than 50%; a Gaussian kernel can.
+    fn xor_point(k: usize) -> (FeatureVec, i8) {
+        let x = ((k * 7) % 13) as f32 / 13.0 - 0.5;
+        let v = ((k * 11) % 17) as f32 / 17.0 - 0.5;
+        let y = if x * v >= 0.0 { 1 } else { -1 };
+        (FeatureVec::dense(vec![x * 2.0, v * 2.0]), y)
+    }
+
+    #[test]
+    fn gaussian_kernel_learns_xor() {
+        let mut t = KernelSgd::new(ShiftInvariantKernel::Gaussian { gamma: 4.0 }, 1.0, 1e-4, 512);
+        for pass in 0..6 {
+            for k in 0..200 {
+                let (f, y) = xor_point(k + pass);
+                t.step(&f, y);
+            }
+        }
+        let correct = (0..200)
+            .filter(|&k| {
+                let (f, y) = xor_point(k);
+                t.model().predict(&f) == y
+            })
+            .count();
+        assert!(correct > 180, "XOR accuracy {correct}/200");
+        // sanity: a *linear* model on the same data is near chance
+        let mut lin = crate::SgdTrainer::new(crate::SgdConfig::svm(), 2);
+        for pass in 0..6 {
+            for k in 0..200 {
+                let (f, y) = xor_point(k + pass);
+                lin.step(&f, y);
+            }
+        }
+        let lin_correct = (0..200)
+            .filter(|&k| {
+                let (f, y) = xor_point(k);
+                lin.model().predict(&f) == y
+            })
+            .count();
+        assert!(lin_correct < 140, "linear model should fail XOR, got {lin_correct}/200");
+    }
+
+    /// The paper's maintenance bound: any point's margin moves by at most
+    /// `‖δc‖₁ + |δb|` between a snapshot and the current model.
+    #[test]
+    fn l1_drift_bounds_margin_movement() {
+        let mut t = KernelSgd::new(ShiftInvariantKernel::Gaussian { gamma: 2.0 }, 0.5, 1e-3, 64);
+        for k in 0..100 {
+            let (f, y) = xor_point(k);
+            t.step(&f, y);
+        }
+        let reference = t.model().clone();
+        t.snapshot();
+        for k in 100..220 {
+            let (f, y) = xor_point(k);
+            t.step(&f, y);
+        }
+        let bound = t.drift_l1() + (t.model().b - reference.b).abs();
+        for k in (0..300).step_by(11) {
+            let (f, _) = xor_point(k);
+            let moved = (t.model().margin(&f) - reference.margin(&f)).abs();
+            assert!(
+                moved <= bound + 1e-9,
+                "point {k}: margin moved {moved} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_caps_support_vectors() {
+        let mut t = KernelSgd::new(ShiftInvariantKernel::Laplacian { gamma: 1.0 }, 0.5, 0.0, 16);
+        for k in 0..500 {
+            let (f, y) = xor_point(k);
+            t.step(&f, y);
+        }
+        assert!(t.model().support_len() <= 16);
+    }
+
+    #[test]
+    fn empty_model_predicts_positive_by_convention() {
+        let m = KernelModel::new(ShiftInvariantKernel::Gaussian { gamma: 1.0 });
+        assert_eq!(m.predict(&FeatureVec::dense(vec![1.0, 2.0])), 1);
+        assert_eq!(m.margin(&FeatureVec::zeros(2)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_resets_drift() {
+        let mut t = KernelSgd::new(ShiftInvariantKernel::Gaussian { gamma: 1.0 }, 0.5, 1e-3, 32);
+        for k in 0..50 {
+            let (f, y) = xor_point(k);
+            t.step(&f, y);
+        }
+        assert!(t.drift_l1() > 0.0);
+        t.snapshot();
+        assert_eq!(t.drift_l1(), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Linear-model training for Hazy classification views.
+//!
+//! Hazy is agnostic about the particular learning algorithm (Section 3.1) but
+//! defaults to *incremental stochastic gradient descent* in the style of
+//! Bottou's SGD code: each new training example advances the model by one
+//! cheap step, which is exactly what lets the view react to an `INSERT` into
+//! the examples table in ~100 µs. This crate provides:
+//!
+//! * [`LinearModel`] — `(w, b)` with the paper's `sign(w·f − b)` convention,
+//! * [`SgdTrainer`] — incremental training for SVM (hinge), logistic and
+//!   ridge (squared) losses with ℓ2/ℓ1 regularization (Figure 9),
+//! * [`batch::DcdSvm`] — a batch dual-coordinate-descent SVM used as the
+//!   "SVMLight-class" comparator in the Figure 10 experiment,
+//! * [`metrics`] — precision/recall/F1/accuracy,
+//! * [`select`] — the simple cross-validation model selection the paper
+//!   invokes when the user omits `USING ...` in the view declaration,
+//! * [`OneVsAll`] — multiclass via one-versus-all (Appendix B.5.4),
+//! * [`Rff`] — random Fourier features linearizing shift-invariant kernels
+//!   (Appendix B.5.3).
+
+pub mod batch;
+mod kernel;
+mod loss;
+pub mod metrics;
+mod model;
+mod multiclass;
+mod rff;
+mod sgd;
+pub mod select;
+
+pub use kernel::{KernelModel, KernelSgd};
+pub use loss::{LossKind, Regularizer};
+pub use model::{sign, Label, LinearModel, TrainingExample};
+pub use multiclass::OneVsAll;
+pub use rff::{exact_kernel, Rff, ShiftInvariantKernel};
+pub use sgd::{SgdConfig, SgdTrainer, StepInfo};

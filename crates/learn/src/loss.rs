@@ -1,0 +1,156 @@
+//! Loss functions and regularizers (paper Figure 9).
+//!
+//! Every model Hazy supports is an instance of
+//! `min_w P(w) + Σ L(w·x, y)` with convex `L` and strongly convex `P`
+//! (Appendix B.5.1). The label of an entity depends only on `w·x` through a
+//! monotone `h`, which is the one property the maintenance algorithm needs.
+
+/// The loss `L(z, y)` applied to the margin `z = w·f − b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LossKind {
+    /// SVM hinge loss `max(1 − zy, 0)`.
+    Hinge,
+    /// Logistic loss `log(1 + exp(−yz))`.
+    Logistic,
+    /// Squared loss `(z − y)²` (ridge regression / least squares).
+    Squared,
+}
+
+impl LossKind {
+    /// Loss value `L(z, y)`.
+    pub fn value(self, z: f64, y: f64) -> f64 {
+        match self {
+            LossKind::Hinge => (1.0 - z * y).max(0.0),
+            LossKind::Logistic => {
+                // log(1 + e^{-yz}) computed stably for large |yz|
+                let m = -y * z;
+                if m > 30.0 {
+                    m
+                } else {
+                    m.exp().ln_1p()
+                }
+            }
+            LossKind::Squared => (z - y) * (z - y),
+        }
+    }
+
+    /// A subgradient `∂L/∂z` at `(z, y)`.
+    pub fn dloss(self, z: f64, y: f64) -> f64 {
+        match self {
+            LossKind::Hinge => {
+                if z * y < 1.0 {
+                    -y
+                } else {
+                    0.0
+                }
+            }
+            LossKind::Logistic => {
+                let m = y * z;
+                // -y * sigmoid(-yz), stable at both tails
+                if m > 30.0 {
+                    0.0
+                } else if m < -30.0 {
+                    -y
+                } else {
+                    -y / (1.0 + m.exp())
+                }
+            }
+            LossKind::Squared => 2.0 * (z - y),
+        }
+    }
+
+    /// Short lowercase name used in the DDL (`USING SVM` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            LossKind::Hinge => "svm",
+            LossKind::Logistic => "logistic",
+            LossKind::Squared => "ridge",
+        }
+    }
+}
+
+/// The penalty `P(w)` (paper Figure 9(b); we provide the ℓp family).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Regularizer {
+    /// No penalty.
+    None,
+    /// `λ/2 ‖w‖²` — the standard SVM/ridge penalty.
+    L2(f64),
+    /// `λ ‖w‖_1` — sparsity-inducing, applied via truncated gradient.
+    L1(f64),
+}
+
+impl Regularizer {
+    /// The λ coefficient (0 when unregularized).
+    pub fn lambda(self) -> f64 {
+        match self {
+            Regularizer::None => 0.0,
+            Regularizer::L2(l) | Regularizer::L1(l) => l,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(loss: LossKind, z: f64, y: f64) -> f64 {
+        let h = 1e-6;
+        (loss.value(z + h, y) - loss.value(z - h, y)) / (2.0 * h)
+    }
+
+    #[test]
+    fn hinge_values() {
+        assert_eq!(LossKind::Hinge.value(2.0, 1.0), 0.0);
+        assert_eq!(LossKind::Hinge.value(0.0, 1.0), 1.0);
+        assert_eq!(LossKind::Hinge.value(-1.0, 1.0), 2.0);
+        assert_eq!(LossKind::Hinge.value(-1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn gradients_match_numeric_where_smooth() {
+        for loss in [LossKind::Logistic, LossKind::Squared] {
+            for &z in &[-3.0, -0.5, 0.3, 2.0] {
+                for &y in &[-1.0, 1.0] {
+                    let g = loss.dloss(z, y);
+                    let n = numeric_grad(loss, z, y);
+                    assert!((g - n).abs() < 1e-4, "{loss:?} at z={z} y={y}: {g} vs {n}");
+                }
+            }
+        }
+        // hinge away from the kink
+        assert!((LossKind::Hinge.dloss(0.0, 1.0) - numeric_grad(LossKind::Hinge, 0.0, 1.0)).abs() < 1e-4);
+        assert_eq!(LossKind::Hinge.dloss(2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn logistic_is_stable_at_extremes() {
+        assert!(LossKind::Logistic.value(1e4, 1.0).is_finite());
+        assert!(LossKind::Logistic.value(-1e4, 1.0).is_finite());
+        assert_eq!(LossKind::Logistic.dloss(1e4, 1.0), 0.0);
+        assert_eq!(LossKind::Logistic.dloss(-1e4, 1.0), -1.0);
+    }
+
+    #[test]
+    fn losses_are_convex_in_z_on_samples() {
+        // midpoint convexity on a grid
+        for loss in [LossKind::Hinge, LossKind::Logistic, LossKind::Squared] {
+            for y in [-1.0, 1.0] {
+                for i in -10..10 {
+                    let a = f64::from(i) * 0.5;
+                    let b = a + 2.0;
+                    let mid = loss.value((a + b) / 2.0, y);
+                    let avg = (loss.value(a, y) + loss.value(b, y)) / 2.0;
+                    assert!(mid <= avg + 1e-12, "{loss:?} not convex at {a}..{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regularizer_lambda() {
+        assert_eq!(Regularizer::None.lambda(), 0.0);
+        assert_eq!(Regularizer::L2(0.1).lambda(), 0.1);
+        assert_eq!(Regularizer::L1(0.2).lambda(), 0.2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Classification quality metrics (the P/R columns of Figure 10).
+
+use crate::model::Label;
+
+/// A 2×2 confusion matrix for binary ±1 labels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted +1, actually +1.
+    pub tp: usize,
+    /// Predicted +1, actually −1.
+    pub fp: usize,
+    /// Predicted −1, actually −1.
+    pub tn: usize,
+    /// Predicted −1, actually +1.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against gold labels.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn from_preds(preds: &[Label], gold: &[Label]) -> Confusion {
+        assert_eq!(preds.len(), gold.len(), "prediction/label length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &g) in preds.iter().zip(gold.iter()) {
+            match (p > 0, g > 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Convenience: accuracy straight from prediction/label slices.
+pub fn accuracy(preds: &[Label], gold: &[Label]) -> f64 {
+    Confusion::from_preds(preds, gold).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let preds = [1, 1, -1, -1, 1, -1];
+        let gold = [1, -1, -1, 1, 1, -1];
+        let c = Confusion::from_preds(&preds, &gold);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 2, fn_: 1 });
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let gold = [1, -1, 1, -1];
+        let c = Confusion::from_preds(&gold, &gold);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Confusion::from_preds(&[1], &[1, -1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! One-versus-all multiclass classification (Appendix B.5.4).
+//!
+//! The paper turns a `k`-class problem into `k` binary views, one per class,
+//! and reports (Figure 12(B)) that Hazy's per-view savings survive as `k`
+//! grows. This module provides the shared trainer wrapper; the view layer
+//! instantiates one maintenance structure per binary model.
+
+use hazy_linalg::FeatureVec;
+
+use crate::model::LinearModel;
+use crate::sgd::{SgdConfig, SgdTrainer};
+
+/// `k` binary SGD trainers, one per class, trained one-versus-all.
+#[derive(Clone, Debug)]
+pub struct OneVsAll {
+    trainers: Vec<SgdTrainer>,
+}
+
+impl OneVsAll {
+    /// Creates `classes` binary trainers over a `dim`-dimensional space.
+    ///
+    /// # Panics
+    /// Panics when `classes == 0`.
+    pub fn new(cfg: SgdConfig, dim: usize, classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        OneVsAll { trainers: (0..classes).map(|_| SgdTrainer::new(cfg, dim)).collect() }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.trainers.len()
+    }
+
+    /// The binary model for `class`.
+    pub fn model(&self, class: usize) -> &LinearModel {
+        self.trainers[class].model()
+    }
+
+    /// Consumes one multiclass example: class `label` gets a positive step,
+    /// every other class a negative one (sequential one-versus-all, as in the
+    /// paper's Appendix C.3 experiment).
+    pub fn step(&mut self, f: &FeatureVec, label: usize) {
+        assert!(label < self.trainers.len(), "label {label} out of range");
+        for (k, t) in self.trainers.iter_mut().enumerate() {
+            t.step(f, if k == label { 1 } else { -1 });
+        }
+    }
+
+    /// Predicts the class with the largest margin.
+    pub fn predict(&self, f: &FeatureVec) -> usize {
+        let mut best = 0;
+        let mut best_margin = f64::NEG_INFINITY;
+        for (k, t) in self.trainers.iter().enumerate() {
+            let m = t.model().margin(f);
+            if m > best_margin {
+                best_margin = m;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Per-class margins (useful for confidence displays).
+    pub fn margins(&self, f: &FeatureVec) -> Vec<f64> {
+        self.trainers.iter().map(|t| t.model().margin(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three deterministic clusters on a triangle; one-vs-all must separate
+    /// them.
+    fn tri_data(n: usize) -> Vec<(FeatureVec, usize)> {
+        let centers = [(0.0f32, 2.0f32), (-2.0, -1.0), (2.0, -1.0)];
+        (0..n)
+            .map(|k| {
+                let c = k % 3;
+                let jx = ((k * 7) % 11) as f32 / 11.0 - 0.5;
+                let jy = ((k * 13) % 17) as f32 / 17.0 - 0.5;
+                (FeatureVec::dense(vec![centers[c].0 + jx, centers[c].1 + jy, 1.0]), c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_three_clusters() {
+        let data = tri_data(300);
+        let mut ova = OneVsAll::new(SgdConfig::svm(), 3, 3);
+        for _ in 0..20 {
+            for (f, c) in &data {
+                ova.step(f, *c);
+            }
+        }
+        let correct = data.iter().filter(|(f, c)| ova.predict(f) == *c).count();
+        assert!(correct as f64 / data.len() as f64 > 0.95, "correct {correct}/{}", data.len());
+    }
+
+    #[test]
+    fn margins_align_with_prediction() {
+        let data = tri_data(90);
+        let mut ova = OneVsAll::new(SgdConfig::svm(), 3, 3);
+        for (f, c) in &data {
+            ova.step(f, *c);
+        }
+        let f = &data[0].0;
+        let ms = ova.margins(f);
+        let argmax =
+            ms.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
+        assert_eq!(argmax, ova.predict(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let mut ova = OneVsAll::new(SgdConfig::svm(), 2, 2);
+        ova.step(&FeatureVec::dense(vec![1.0, 0.0]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = OneVsAll::new(SgdConfig::svm(), 2, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Random Fourier features: linearized shift-invariant kernels.
+//!
+//! Appendix B.5.3 of the paper adopts Rahimi & Recht's random non-linear
+//! feature maps: for a shift-invariant kernel `K(x, y) = k(x − y)` one draws
+//! frequencies `ω_i` from the kernel's spectral density and maps
+//! `z(x)_i = sqrt(2/D) · cos(ω_i·x + b_i)`, so `z(x)·z(y) ≈ K(x, y)`.
+//! The classification problem in `z`-space is linear again, which means the
+//! entire watermark/Skiing machinery applies unchanged — and the Figure 12(A)
+//! feature-sensitivity experiment scales `D` with exactly this map.
+
+use hazy_linalg::FeatureVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shift-invariant kernels with known spectral densities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ShiftInvariantKernel {
+    /// `K(x,y) = exp(−γ ‖x−y‖²)`; spectrum is Gaussian with σ² = 2γ.
+    Gaussian {
+        /// Bandwidth γ.
+        gamma: f64,
+    },
+    /// `K(x,y) = exp(−γ ‖x−y‖_1)`; spectrum is Cauchy with scale γ.
+    Laplacian {
+        /// Bandwidth γ.
+        gamma: f64,
+    },
+}
+
+/// A sampled random-feature map `R^d → R^D`.
+#[derive(Clone, Debug)]
+pub struct Rff {
+    /// `D × d` frequency matrix, row-major.
+    omega: Vec<f64>,
+    /// Phase offsets `b_i ∈ [0, 2π)`.
+    offsets: Vec<f64>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+/// Standard normal via Box–Muller (the sanctioned `rand` build ships no
+/// distributions module, so we sample directly).
+fn sample_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Standard Cauchy via the inverse CDF.
+fn sample_cauchy(rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    (std::f64::consts::PI * (u - 0.5)).tan()
+}
+
+impl Rff {
+    /// Samples a `D = output_dim` feature map for `kernel` over
+    /// `input_dim`-dimensional inputs, deterministically from `seed`.
+    pub fn sample(
+        kernel: ShiftInvariantKernel,
+        input_dim: usize,
+        output_dim: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut omega = Vec::with_capacity(output_dim * input_dim);
+        for _ in 0..output_dim * input_dim {
+            let w = match kernel {
+                // Gaussian kernel exp(−γ‖δ‖²) has spectral density
+                // N(0, 2γ I).
+                ShiftInvariantKernel::Gaussian { gamma } => {
+                    sample_normal(&mut rng) * (2.0 * gamma).sqrt()
+                }
+                // Laplacian kernel exp(−γ‖δ‖_1) has a product-Cauchy
+                // spectrum with scale γ.
+                ShiftInvariantKernel::Laplacian { gamma } => sample_cauchy(&mut rng) * gamma,
+            };
+            omega.push(w);
+        }
+        let offsets =
+            (0..output_dim).map(|_| rng.gen::<f64>() * 2.0 * std::f64::consts::PI).collect();
+        Rff { omega, offsets, input_dim, output_dim }
+    }
+
+    /// Input dimensionality `d`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimensionality `D`.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Applies the map: `z(x)_i = sqrt(2/D) cos(ω_i·x + b_i)`.
+    pub fn transform(&self, x: &FeatureVec) -> FeatureVec {
+        let scale = (2.0 / self.output_dim as f64).sqrt();
+        let mut out = Vec::with_capacity(self.output_dim);
+        for i in 0..self.output_dim {
+            let row = &self.omega[i * self.input_dim..(i + 1) * self.input_dim];
+            let mut acc = self.offsets[i];
+            for (j, v) in x.iter() {
+                // indices beyond input_dim contribute nothing (defensive
+                // against ragged corpora)
+                if (j as usize) < self.input_dim {
+                    acc += row[j as usize] * f64::from(v);
+                }
+            }
+            out.push((scale * acc.cos()) as f32);
+        }
+        FeatureVec::dense(out)
+    }
+
+    /// The kernel value this map approximates, `z(x)·z(y)`.
+    pub fn approx_kernel(&self, x: &FeatureVec, y: &FeatureVec) -> f64 {
+        let zx = self.transform(x);
+        let zy = self.transform(y);
+        let w: Vec<f64> = zy.to_dense().iter().map(|&v| f64::from(v)).collect();
+        zx.dot(&w)
+    }
+}
+
+/// Exact kernel evaluation, for testing the approximation.
+pub fn exact_kernel(kernel: ShiftInvariantKernel, x: &FeatureVec, y: &FeatureVec) -> f64 {
+    let xd = x.to_dense();
+    let yd = y.to_dense();
+    let n = xd.len().max(yd.len());
+    let mut l1 = 0.0f64;
+    let mut l2 = 0.0f64;
+    for i in 0..n {
+        let a = f64::from(*xd.get(i).unwrap_or(&0.0));
+        let b = f64::from(*yd.get(i).unwrap_or(&0.0));
+        let d = a - b;
+        l1 += d.abs();
+        l2 += d * d;
+    }
+    match kernel {
+        ShiftInvariantKernel::Gaussian { gamma } => (-gamma * l2).exp(),
+        ShiftInvariantKernel::Laplacian { gamma } => (-gamma * l1).exp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_is_approximated() {
+        let kernel = ShiftInvariantKernel::Gaussian { gamma: 0.5 };
+        let rff = Rff::sample(kernel, 4, 2048, 7);
+        let pts = [
+            FeatureVec::dense(vec![0.1, 0.2, -0.3, 0.4]),
+            FeatureVec::dense(vec![0.0, 0.0, 0.0, 0.0]),
+            FeatureVec::dense(vec![-0.5, 0.1, 0.7, -0.2]),
+        ];
+        for a in &pts {
+            for b in &pts {
+                let approx = rff.approx_kernel(a, b);
+                let exact = exact_kernel(kernel, a, b);
+                assert!((approx - exact).abs() < 0.1, "approx {approx} exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_kernel_is_approximated() {
+        let kernel = ShiftInvariantKernel::Laplacian { gamma: 0.3 };
+        let rff = Rff::sample(kernel, 3, 4096, 11);
+        let a = FeatureVec::dense(vec![0.2, -0.1, 0.4]);
+        let b = FeatureVec::dense(vec![-0.3, 0.2, 0.1]);
+        let approx = rff.approx_kernel(&a, &b);
+        let exact = exact_kernel(kernel, &a, &b);
+        assert!((approx - exact).abs() < 0.12, "approx {approx} exact {exact}");
+    }
+
+    #[test]
+    fn self_kernel_is_one() {
+        let kernel = ShiftInvariantKernel::Gaussian { gamma: 1.0 };
+        let rff = Rff::sample(kernel, 2, 2048, 3);
+        let x = FeatureVec::dense(vec![0.7, -0.4]);
+        assert!((rff.approx_kernel(&x, &x) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let k = ShiftInvariantKernel::Gaussian { gamma: 1.0 };
+        let a = Rff::sample(k, 3, 16, 42);
+        let b = Rff::sample(k, 3, 16, 42);
+        let x = FeatureVec::dense(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.transform(&x), b.transform(&x));
+    }
+
+    #[test]
+    fn output_dimension_is_respected() {
+        let k = ShiftInvariantKernel::Laplacian { gamma: 1.0 };
+        let rff = Rff::sample(k, 5, 37, 1);
+        let z = rff.transform(&FeatureVec::zeros(5));
+        assert_eq!(z.dim(), 37);
+    }
+
+    #[test]
+    fn sparse_inputs_are_accepted() {
+        let k = ShiftInvariantKernel::Gaussian { gamma: 0.5 };
+        let rff = Rff::sample(k, 10, 64, 5);
+        let s = FeatureVec::sparse(10, vec![(2, 1.0), (7, -1.0)]);
+        let d = FeatureVec::dense(s.to_dense());
+        assert_eq!(rff.transform(&s), rff.transform(&d));
+    }
+}

@@ -1,0 +1,131 @@
+//! Automatic model selection.
+//!
+//! When the `USING` clause is omitted from a view declaration, Hazy "chooses
+//! a method automatically (using a simple model selection algorithm based on
+//! leave-one-out estimators)" (Section 2.1). Exact leave-one-out is `n` full
+//! trainings; the standard estimator is k-fold cross-validation, which
+//! converges to LOO as `k → n`. We run k-fold over the three built-in linear
+//! methods and pick the highest mean accuracy.
+
+use crate::metrics::Confusion;
+use crate::model::TrainingExample;
+use crate::sgd::{SgdConfig, SgdTrainer};
+use crate::LossKind;
+
+/// Outcome of model selection: the winning config plus each candidate score.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Configuration with the best cross-validated accuracy.
+    pub best: SgdConfig,
+    /// `(loss, mean accuracy)` for every candidate, in evaluation order.
+    pub scores: Vec<(LossKind, f64)>,
+}
+
+/// Cross-validated accuracy of `cfg` on `data` with `folds` folds.
+///
+/// Folds are assigned round-robin so the split is deterministic; callers
+/// shuffle beforehand if example order is meaningful.
+pub fn cross_val_accuracy(cfg: SgdConfig, data: &[TrainingExample], folds: usize) -> f64 {
+    let folds = folds.clamp(2, data.len().max(2));
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let dim = data.iter().map(|e| e.f.dim() as usize).max().unwrap_or(0);
+    let mut total = Confusion::default();
+    for fold in 0..folds {
+        let mut trainer = SgdTrainer::new(cfg, dim);
+        // several passes so small folds still converge
+        for _ in 0..5 {
+            for (i, ex) in data.iter().enumerate() {
+                if i % folds != fold {
+                    trainer.step(&ex.f, ex.y);
+                }
+            }
+        }
+        let (mut preds, mut gold) = (Vec::new(), Vec::new());
+        for (i, ex) in data.iter().enumerate() {
+            if i % folds == fold {
+                preds.push(trainer.model().predict(&ex.f));
+                gold.push(ex.y);
+            }
+        }
+        let c = Confusion::from_preds(&preds, &gold);
+        total.tp += c.tp;
+        total.fp += c.fp;
+        total.tn += c.tn;
+        total.fn_ += c.fn_;
+    }
+    total.accuracy()
+}
+
+/// Picks among SVM, logistic and ridge by k-fold cross-validation
+/// (`k = min(10, n)` — the LOO-estimator surrogate).
+pub fn select_model(data: &[TrainingExample]) -> Selection {
+    let folds = data.len().clamp(2, 10);
+    let candidates = [LossKind::Hinge, LossKind::Logistic, LossKind::Squared];
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut best = SgdConfig::for_loss(candidates[0]);
+    let mut best_acc = f64::NEG_INFINITY;
+    for &loss in &candidates {
+        let cfg = SgdConfig::for_loss(loss);
+        let acc = cross_val_accuracy(cfg, data, folds);
+        scores.push((loss, acc));
+        if acc > best_acc {
+            best_acc = acc;
+            best = cfg;
+        }
+    }
+    Selection { best, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_linalg::FeatureVec;
+
+    fn noisy_linear(n: usize) -> Vec<TrainingExample> {
+        (0..n)
+            .map(|k| {
+                let x0 = (k % 19) as f32 / 19.0 - 0.5;
+                let x1 = (k % 29) as f32 / 29.0 - 0.5;
+                // flip ~4% of labels deterministically
+                let mut y = if x0 + 0.5 * x1 >= 0.0 { 1 } else { -1 };
+                if k % 25 == 0 {
+                    y = -y;
+                }
+                TrainingExample::new(k as u64, FeatureVec::dense(vec![x0, x1, 1.0]), y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_returns_all_candidate_scores() {
+        let data = noisy_linear(150);
+        let sel = select_model(&data);
+        assert_eq!(sel.scores.len(), 3);
+        assert!(sel.scores.iter().all(|&(_, a)| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn best_matches_argmax_of_scores() {
+        let data = noisy_linear(150);
+        let sel = select_model(&data);
+        let max = sel.scores.iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+        let winner = sel.scores.iter().find(|&&(_, a)| a == max).unwrap().0;
+        assert_eq!(sel.best.loss, winner);
+    }
+
+    #[test]
+    fn cross_val_accuracy_is_high_on_learnable_data() {
+        let data = noisy_linear(200);
+        let acc = cross_val_accuracy(SgdConfig::svm(), &data, 5);
+        assert!(acc > 0.85, "cv accuracy {acc}");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(cross_val_accuracy(SgdConfig::svm(), &[], 5), 0.0);
+        let one = vec![TrainingExample::new(0, FeatureVec::dense(vec![1.0]), 1)];
+        assert_eq!(cross_val_accuracy(SgdConfig::svm(), &one, 5), 0.0);
+    }
+}

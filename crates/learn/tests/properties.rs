@@ -1,0 +1,106 @@
+//! Property tests for the training stack.
+
+use hazy_learn::batch::{DcdConfig, DcdSvm};
+use hazy_learn::{
+    KernelSgd, LossKind, SgdConfig, SgdTrainer, ShiftInvariantKernel, TrainingExample,
+};
+use hazy_linalg::FeatureVec;
+use proptest::prelude::*;
+
+fn arb_example() -> impl Strategy<Value = TrainingExample> {
+    (
+        prop::collection::vec((0u32..32, -2.0f32..2.0), 1..6),
+        prop::bool::ANY,
+    )
+        .prop_map(|(pairs, pos)| {
+            TrainingExample::new(0, FeatureVec::sparse(32, pairs), if pos { 1 } else { -1 })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SGD weights stay finite under arbitrary example streams (the scale
+    /// trick and stable loss gradients must not blow up).
+    #[test]
+    fn sgd_stays_finite(examples in prop::collection::vec(arb_example(), 1..200)) {
+        for loss in [LossKind::Hinge, LossKind::Logistic, LossKind::Squared] {
+            let mut t = SgdTrainer::new(SgdConfig::for_loss(loss), 32);
+            for ex in &examples {
+                t.step(&ex.f, ex.y);
+            }
+            let w = t.model().w.to_vec();
+            prop_assert!(w.iter().all(|x| x.is_finite()), "{loss:?} produced non-finite weights");
+            prop_assert!(t.model().b.is_finite());
+        }
+    }
+
+    /// A hinge step never *hurts* the example it just consumed: the margin
+    /// moves toward the label (or the example was already satisfied and the
+    /// weights only shrink).
+    #[test]
+    fn hinge_step_moves_margin_toward_label(ex in arb_example(), warm in prop::collection::vec(arb_example(), 0..30)) {
+        let mut t = SgdTrainer::new(SgdConfig::svm(), 32);
+        for w in &warm {
+            t.step(&w.f, w.y);
+        }
+        let before = t.model().margin(&ex.f);
+        let violated = f64::from(ex.y) * before < 1.0;
+        t.step(&ex.f, ex.y);
+        let after = t.model().margin(&ex.f);
+        if violated && ex.f.nnz() > 0 {
+            prop_assert!(
+                f64::from(ex.y) * after >= f64::from(ex.y) * before - 1e-9,
+                "margin moved away: {before} -> {after} (y = {})", ex.y
+            );
+        }
+    }
+
+    /// The batch DCD solver respects its box constraints and its model is
+    /// the dual combination of its support vectors (KKT stationarity).
+    #[test]
+    fn dcd_kkt_stationarity(raw in prop::collection::vec(arb_example(), 4..40)) {
+        let cfg = DcdConfig { c: 1.0, max_epochs: 40, ..DcdConfig::default() };
+        let sol = DcdSvm::new(cfg).solve(&raw);
+        prop_assert!(sol.alpha.iter().all(|&a| (0.0..=1.0 + 1e-9).contains(&a)));
+        // w must equal Σ αᵢ yᵢ xᵢ exactly (reconstruct and compare)
+        let mut w = vec![0.0f64; 32];
+        let mut b = 0.0f64;
+        for (ex, &a) in raw.iter().zip(sol.alpha.iter()) {
+            for (j, v) in ex.f.iter() {
+                w[j as usize] += a * f64::from(ex.y) * f64::from(v);
+            }
+            b += a * f64::from(ex.y); // augmented bias feature
+        }
+        let got = sol.model.w.to_vec();
+        for j in 0..32 {
+            let have = got.get(j).copied().unwrap_or(0.0);
+            prop_assert!((have - w[j]).abs() < 1e-6, "w[{j}] {have} vs {w:?}");
+        }
+        prop_assert!((sol.model.b - (-b)).abs() < 1e-6);
+    }
+
+    /// The kernel trainer's ℓ1 drift bound dominates the true margin
+    /// movement at arbitrary probe points (the Appendix B.5.2 bound).
+    #[test]
+    fn kernel_drift_bound_holds(
+        stream in prop::collection::vec(arb_example(), 1..60),
+        probes in prop::collection::vec(arb_example(), 1..10),
+    ) {
+        let mut t = KernelSgd::new(ShiftInvariantKernel::Gaussian { gamma: 0.7 }, 0.5, 1e-3, 32);
+        let mid = stream.len() / 2;
+        for ex in &stream[..mid] {
+            t.step(&ex.f, ex.y);
+        }
+        let reference = t.model().clone();
+        t.snapshot();
+        for ex in &stream[mid..] {
+            t.step(&ex.f, ex.y);
+        }
+        let bound = t.drift_l1() + (t.model().b - reference.b).abs();
+        for p in &probes {
+            let moved = (t.model().margin(&p.f) - reference.margin(&p.f)).abs();
+            prop_assert!(moved <= bound + 1e-9, "moved {moved} > bound {bound}");
+        }
+    }
+}

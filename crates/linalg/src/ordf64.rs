@@ -1,0 +1,83 @@
+//! A totally ordered `f64` used as a sort/cluster key.
+
+use std::cmp::Ordering;
+
+/// `f64` with a total order, for clustering tuples by their margin `eps`.
+///
+/// Hazy keeps the scratch table `H` physically ordered by `eps` and keeps a
+/// clustered index on it; both need `Ord`. The order is the IEEE-754 total
+/// order (`-NaN < -Inf < ... < +Inf < +NaN`), which agrees with `<` on all
+/// values the engine produces (margins are always finite).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Order-preserving map to `u64`: `a < b ⇔ key(a) < key(b)`.
+    ///
+    /// This is the classic sign-flip trick; it lets fixed-width byte-ordered
+    /// structures (the storage crate's B+-tree) index floats.
+    pub fn sortable_key(self) -> u64 {
+        let bits = self.0.to_bits();
+        if bits >> 63 == 0 {
+            bits | (1 << 63) // positive: set sign bit
+        } else {
+            !bits // negative: flip everything
+        }
+    }
+
+    /// Inverse of [`OrdF64::sortable_key`].
+    pub fn from_sortable_key(key: u64) -> OrdF64 {
+        let bits = if key >> 63 == 1 { key & !(1 << 63) } else { !key };
+        OrdF64(f64::from_bits(bits))
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64_on_finite_values() {
+        let mut v = [OrdF64(1.0), OrdF64(-2.5), OrdF64(0.0), OrdF64(-0.0), OrdF64(7.0)];
+        v.sort();
+        let raw: Vec<f64> = v.iter().map(|x| x.0).collect();
+        assert_eq!(raw, vec![-2.5, -0.0, 0.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    fn sortable_key_preserves_order() {
+        let samples = [-1e300, -1.0, -1e-300, -0.0, 0.0, 1e-300, 1.0, 1e300];
+        for w in samples.windows(2) {
+            let (a, b) = (OrdF64(w[0]), OrdF64(w[1]));
+            assert!(a.sortable_key() <= b.sortable_key(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn sortable_key_round_trips() {
+        for v in [-123.456, -0.0, 0.0, 1.5, f64::MAX, f64::MIN_POSITIVE] {
+            let k = OrdF64(v).sortable_key();
+            assert_eq!(OrdF64::from_sortable_key(k).0.to_bits(), v.to_bits());
+        }
+    }
+}

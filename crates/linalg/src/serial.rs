@@ -1,0 +1,168 @@
+//! Binary encoding of feature vectors for on-disk tuples.
+//!
+//! The scratch table `H(id, f, eps)` stores the feature vector inline with
+//! each tuple (Section 3.2), so the storage crate needs a compact,
+//! position-independent encoding. Layout (little-endian):
+//!
+//! ```text
+//! dense :  0x01 | len: u32 | len × f32
+//! sparse:  0x02 | dim: u32 | nnz: u32 | nnz × u32 (idx) | nnz × f32 (val)
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use crate::vector::FeatureVec;
+
+const TAG_DENSE: u8 = 0x01;
+const TAG_SPARSE: u8 = 0x02;
+
+/// Exact encoded size in bytes of `f` (header + payload).
+pub fn encoded_len(f: &FeatureVec) -> usize {
+    match f {
+        FeatureVec::Dense(c) => 1 + 4 + 4 * c.len(),
+        FeatureVec::Sparse { idx, .. } => 1 + 4 + 4 + 8 * idx.len(),
+    }
+}
+
+/// Appends the encoding of `f` to `out`.
+pub fn encode_fvec(f: &FeatureVec, out: &mut impl BufMut) {
+    match f {
+        FeatureVec::Dense(c) => {
+            out.put_u8(TAG_DENSE);
+            out.put_u32_le(c.len() as u32);
+            for &v in c.iter() {
+                out.put_f32_le(v);
+            }
+        }
+        FeatureVec::Sparse { dim, idx, val } => {
+            out.put_u8(TAG_SPARSE);
+            out.put_u32_le(*dim);
+            out.put_u32_le(idx.len() as u32);
+            for &i in idx.iter() {
+                out.put_u32_le(i);
+            }
+            for &v in val.iter() {
+                out.put_f32_le(v);
+            }
+        }
+    }
+}
+
+/// Decodes one feature vector from the front of `buf`, advancing it.
+///
+/// Returns `None` on malformed or truncated input (a corrupted page must not
+/// crash the engine; callers surface a storage error instead).
+pub fn decode_fvec(buf: &mut impl Buf) -> Option<FeatureVec> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        TAG_DENSE => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * len {
+                return None;
+            }
+            let mut c = Vec::with_capacity(len);
+            for _ in 0..len {
+                c.push(buf.get_f32_le());
+            }
+            Some(FeatureVec::Dense(c.into()))
+        }
+        TAG_SPARSE => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let dim = buf.get_u32_le();
+            let nnz = buf.get_u32_le() as usize;
+            if buf.remaining() < 8 * nnz {
+                return None;
+            }
+            let mut idx = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                idx.push(buf.get_u32_le());
+            }
+            // Indices must be strictly increasing and in range; reject
+            // anything else rather than build an invariant-violating vector.
+            if idx.windows(2).any(|w| w[0] >= w[1]) || idx.last().is_some_and(|&i| i >= dim) {
+                return None;
+            }
+            let mut val = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                val.push(buf.get_f32_le());
+            }
+            Some(FeatureVec::Sparse { dim, idx: idx.into(), val: val.into() })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &FeatureVec) {
+        let mut buf = Vec::new();
+        encode_fvec(f, &mut buf);
+        assert_eq!(buf.len(), encoded_len(f));
+        let mut slice = &buf[..];
+        let back = decode_fvec(&mut slice).expect("decode");
+        assert_eq!(&back, f);
+        assert!(slice.is_empty(), "decoder must consume exactly the encoding");
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        round_trip(&FeatureVec::dense(vec![1.5, -2.0, 0.0, 3.25]));
+        round_trip(&FeatureVec::dense(Vec::<f32>::new()));
+    }
+
+    #[test]
+    fn sparse_round_trip() {
+        round_trip(&FeatureVec::sparse(1000, vec![(3, 1.0), (999, -0.5)]));
+        round_trip(&FeatureVec::zeros(42));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        encode_fvec(&FeatureVec::dense(vec![1.0, 2.0]), &mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(decode_fvec(&mut slice).is_none(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut slice: &[u8] = &[0x7f, 0, 0, 0, 0];
+        assert!(decode_fvec(&mut slice).is_none());
+    }
+
+    #[test]
+    fn non_increasing_indices_are_rejected() {
+        // hand-build a sparse encoding with idx [5, 5]
+        let mut buf = vec![0x02];
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        let mut slice = &buf[..];
+        assert!(decode_fvec(&mut slice).is_none());
+    }
+
+    #[test]
+    fn out_of_dim_index_is_rejected() {
+        let mut buf = vec![0x02];
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes()); // idx 4 >= dim 4
+        buf.extend_from_slice(&1.0f32.to_le_bytes());
+        let mut slice = &buf[..];
+        assert!(decode_fvec(&mut slice).is_none());
+    }
+}

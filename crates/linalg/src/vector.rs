@@ -1,0 +1,284 @@
+//! Owned feature vectors: dense or sparse, `f32` components.
+
+use crate::norms::Norm;
+
+/// A feature vector `f ∈ R^d` attached to an entity.
+///
+/// Sparse vectors keep `(index, value)` pairs with indices strictly
+/// increasing; dense vectors store all `d` components. Components are `f32`
+/// (features rarely need more precision) while all accumulations — dot
+/// products, norms — are carried out in `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureVec {
+    /// All `d` components, in order.
+    Dense(Box<[f32]>),
+    /// Nonzero components of a `dim`-dimensional vector.
+    Sparse {
+        /// Dimensionality `d` of the ambient space.
+        dim: u32,
+        /// Strictly increasing component indices (`< dim`).
+        idx: Box<[u32]>,
+        /// Values matching `idx` element-for-element.
+        val: Box<[f32]>,
+    },
+}
+
+impl FeatureVec {
+    /// Builds a dense vector from components.
+    pub fn dense(components: impl Into<Box<[f32]>>) -> Self {
+        FeatureVec::Dense(components.into())
+    }
+
+    /// Builds a sparse vector from `(index, value)` pairs.
+    ///
+    /// Pairs are sorted and merged (duplicate indices summed); zero values are
+    /// dropped so the representation is canonical.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= dim`.
+    pub fn sparse(dim: u32, pairs: impl IntoIterator<Item = (u32, f32)>) -> Self {
+        let mut pairs: Vec<(u32, f32)> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut idx = Vec::with_capacity(pairs.len());
+        let mut val: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            assert!(i < dim, "sparse index {i} out of dimension {dim}");
+            if Some(&i) == idx.last() {
+                *val.last_mut().expect("idx/val stay in lockstep") += v;
+            } else {
+                idx.push(i);
+                val.push(v);
+            }
+        }
+        // Remove entries that cancelled to zero to keep the form canonical.
+        let mut k = 0;
+        for j in 0..idx.len() {
+            if val[j] != 0.0 {
+                idx[k] = idx[j];
+                val[k] = val[j];
+                k += 1;
+            }
+        }
+        idx.truncate(k);
+        val.truncate(k);
+        FeatureVec::Sparse { dim, idx: idx.into(), val: val.into() }
+    }
+
+    /// The all-zero sparse vector of dimension `dim`.
+    pub fn zeros(dim: u32) -> Self {
+        FeatureVec::Sparse { dim, idx: Box::new([]), val: Box::new([]) }
+    }
+
+    /// Dimensionality `d` of the ambient space.
+    pub fn dim(&self) -> u32 {
+        match self {
+            FeatureVec::Dense(c) => c.len() as u32,
+            FeatureVec::Sparse { dim, .. } => *dim,
+        }
+    }
+
+    /// Number of stored (potentially nonzero) components.
+    pub fn nnz(&self) -> usize {
+        match self {
+            FeatureVec::Dense(c) => c.len(),
+            FeatureVec::Sparse { idx, .. } => idx.len(),
+        }
+    }
+
+    /// Iterates `(index, value)` over stored components in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        // Both arms are mapped into the same concrete iterator type by
+        // boxing; the iterator is tiny compared to the work done per item.
+        let it: Box<dyn Iterator<Item = (u32, f32)>> = match self {
+            FeatureVec::Dense(c) => {
+                Box::new(c.iter().enumerate().map(|(i, &v)| (i as u32, v)))
+            }
+            FeatureVec::Sparse { idx, val, .. } => {
+                Box::new(idx.iter().zip(val.iter()).map(|(&i, &v)| (i, v)))
+            }
+        };
+        it
+    }
+
+    /// Component `i`, treating missing sparse entries as zero.
+    pub fn get(&self, i: u32) -> f32 {
+        match self {
+            FeatureVec::Dense(c) => c.get(i as usize).copied().unwrap_or(0.0),
+            FeatureVec::Sparse { idx, val, .. } => match idx.binary_search(&i) {
+                Ok(k) => val[k],
+                Err(_) => 0.0,
+            },
+        }
+    }
+
+    /// Dot product against a dense `f64` model vector.
+    ///
+    /// Model vectors shorter than `dim` are implicitly zero-extended, which
+    /// lets the trainer grow the model lazily as new vocabulary appears.
+    pub fn dot(&self, w: &[f64]) -> f64 {
+        match self {
+            FeatureVec::Dense(c) => {
+                let n = c.len().min(w.len());
+                let mut acc = 0.0f64;
+                for k in 0..n {
+                    acc += f64::from(c[k]) * w[k];
+                }
+                acc
+            }
+            FeatureVec::Sparse { idx, val, .. } => {
+                let mut acc = 0.0f64;
+                for (&i, &v) in idx.iter().zip(val.iter()) {
+                    if let Some(&wi) = w.get(i as usize) {
+                        acc += f64::from(v) * wi;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// `‖f‖_q` for the Hölder pair in use (Lemma 3.1's `M` is the max of
+    /// these over the corpus).
+    pub fn norm(&self, q: Norm) -> f64 {
+        let mut l1 = 0.0f64;
+        let mut l2 = 0.0f64;
+        let mut linf = 0.0f64;
+        for (_, v) in self.iter() {
+            let a = f64::from(v).abs();
+            l1 += a;
+            l2 += a * a;
+            linf = linf.max(a);
+        }
+        match q {
+            Norm::L1 => l1,
+            Norm::L2 => l2.sqrt(),
+            Norm::LInf => linf,
+        }
+    }
+
+    /// Rescales all components in place by `c` (used for ℓ1/ℓ2 input
+    /// normalization of documents, Section 3.2.2 "Choosing the Norm").
+    pub fn scale(&mut self, c: f32) {
+        match self {
+            FeatureVec::Dense(v) => v.iter_mut().for_each(|x| *x *= c),
+            FeatureVec::Sparse { val, .. } => val.iter_mut().for_each(|x| *x *= c),
+        }
+    }
+
+    /// Returns a copy normalized to unit norm `q` (no-op on zero vectors).
+    pub fn normalized(&self, q: Norm) -> FeatureVec {
+        let n = self.norm(q);
+        let mut out = self.clone();
+        if n > 0.0 {
+            out.scale((1.0 / n) as f32);
+        }
+        out
+    }
+
+    /// Approximate resident size in bytes (for the paper's Figure 6(A)
+    /// memory-usage accounting).
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            FeatureVec::Dense(c) => std::mem::size_of::<FeatureVec>() + c.len() * 4,
+            FeatureVec::Sparse { idx, .. } => {
+                std::mem::size_of::<FeatureVec>() + idx.len() * (4 + 4)
+            }
+        }
+    }
+
+    /// Converts to a dense representation (used by random-feature maps).
+    pub fn to_dense(&self) -> Box<[f32]> {
+        match self {
+            FeatureVec::Dense(c) => c.clone(),
+            FeatureVec::Sparse { dim, idx, val } => {
+                let mut out = vec![0.0f32; *dim as usize];
+                for (&i, &v) in idx.iter().zip(val.iter()) {
+                    out[i as usize] = v;
+                }
+                out.into()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_constructor_sorts_merges_and_drops_zeros() {
+        let f = FeatureVec::sparse(10, vec![(7, 1.0), (2, 2.0), (7, 3.0), (4, 0.0)]);
+        match &f {
+            FeatureVec::Sparse { idx, val, .. } => {
+                assert_eq!(&**idx, &[2, 7]);
+                assert_eq!(&**val, &[2.0, 4.0]);
+            }
+            _ => panic!("expected sparse"),
+        }
+    }
+
+    #[test]
+    fn sparse_entries_cancelling_to_zero_are_removed() {
+        let f = FeatureVec::sparse(4, vec![(1, 2.0), (1, -2.0), (3, 1.0)]);
+        assert_eq!(f.nnz(), 1);
+        assert_eq!(f.get(1), 0.0);
+        assert_eq!(f.get(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dimension")]
+    fn sparse_rejects_out_of_range_index() {
+        let _ = FeatureVec::sparse(3, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    fn dot_dense_and_sparse_agree() {
+        let d = FeatureVec::dense(vec![1.0, 0.0, 2.0, 0.0]);
+        let s = FeatureVec::sparse(4, vec![(0, 1.0), (2, 2.0)]);
+        let w = [0.5f64, 9.0, -1.0, 3.0];
+        assert_eq!(d.dot(&w), s.dot(&w));
+        assert!((d.dot(&w) - (-1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_zero_extends_short_models() {
+        let s = FeatureVec::sparse(100, vec![(1, 1.0), (99, 5.0)]);
+        let w = [0.0f64, 2.0]; // model only covers dims 0..2
+        assert_eq!(s.dot(&w), 2.0);
+    }
+
+    #[test]
+    fn norms_match_hand_computation() {
+        let f = FeatureVec::dense(vec![3.0, -4.0]);
+        assert_eq!(f.norm(Norm::L1), 7.0);
+        assert_eq!(f.norm(Norm::L2), 5.0);
+        assert_eq!(f.norm(Norm::LInf), 4.0);
+    }
+
+    #[test]
+    fn normalized_yields_unit_norm() {
+        let f = FeatureVec::sparse(8, vec![(1, 3.0), (5, -4.0)]);
+        for q in [Norm::L1, Norm::L2, Norm::LInf] {
+            let n = f.normalized(q).norm(q);
+            assert!((n - 1.0).abs() < 1e-6, "norm {q:?} -> {n}");
+        }
+    }
+
+    #[test]
+    fn normalizing_zero_vector_is_noop() {
+        let f = FeatureVec::zeros(5);
+        assert_eq!(f.normalized(Norm::L2), f);
+    }
+
+    #[test]
+    fn get_on_dense_out_of_range_is_zero() {
+        let f = FeatureVec::dense(vec![1.0]);
+        assert_eq!(f.get(7), 0.0);
+    }
+
+    #[test]
+    fn to_dense_round_trips_sparse() {
+        let s = FeatureVec::sparse(5, vec![(0, 1.0), (4, 2.0)]);
+        assert_eq!(&*s.to_dense(), &[1.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+}

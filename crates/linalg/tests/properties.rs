@@ -1,0 +1,115 @@
+//! Property-based tests for the vector primitives.
+//!
+//! These pin down the algebraic facts the rest of the engine leans on — in
+//! particular Hölder's inequality, which is the entire soundness argument for
+//! the paper's watermark bounds (Lemma 3.1).
+
+use hazy_linalg::{
+    decode_fvec, encode_fvec, encoded_len, norm_of_slice, FeatureVec, Norm, NormPair, OrdF64,
+    ScaledDense,
+};
+use proptest::prelude::*;
+
+fn arb_sparse(dim: u32, max_nnz: usize) -> impl Strategy<Value = FeatureVec> {
+    prop::collection::vec((0..dim, -100.0f32..100.0), 0..=max_nnz)
+        .prop_map(move |pairs| FeatureVec::sparse(dim, pairs))
+}
+
+fn arb_dense(max_len: usize) -> impl Strategy<Value = FeatureVec> {
+    prop::collection::vec(-100.0f32..100.0, 0..=max_len).prop_map(FeatureVec::dense)
+}
+
+fn arb_fvec() -> impl Strategy<Value = FeatureVec> {
+    prop_oneof![arb_sparse(64, 16), arb_dense(32)]
+}
+
+fn arb_model(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, len)
+}
+
+proptest! {
+    /// `|w · f| ≤ ‖w‖_p · ‖f‖_q` for every Hölder pair the engine uses.
+    #[test]
+    fn holder_inequality(f in arb_fvec(), w in arb_model(64)) {
+        let dot = f.dot(&w).abs();
+        for pair in [NormPair::TEXT, NormPair::EUCLIDEAN, NormPair::from_p(Norm::L1)] {
+            let bound = norm_of_slice(&w, pair.p) * f.norm(pair.q);
+            prop_assert!(dot <= bound * (1.0 + 1e-9) + 1e-9,
+                "pair {:?}: |dot|={} bound={}", pair, dot, bound);
+        }
+    }
+
+    /// Norm ordering on any vector: `‖x‖_∞ ≤ ‖x‖_2 ≤ ‖x‖_1`.
+    #[test]
+    fn norm_chain(f in arb_fvec()) {
+        let (l1, l2, li) = (f.norm(Norm::L1), f.norm(Norm::L2), f.norm(Norm::LInf));
+        prop_assert!(li <= l2 * (1.0 + 1e-9) + 1e-12);
+        prop_assert!(l2 <= l1 * (1.0 + 1e-9) + 1e-12);
+    }
+
+    /// Serialization round-trips every vector exactly, with the advertised
+    /// length.
+    #[test]
+    fn serialization_round_trip(f in arb_fvec()) {
+        let mut buf = Vec::new();
+        encode_fvec(&f, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_len(&f));
+        let mut slice = &buf[..];
+        let back = decode_fvec(&mut slice).expect("decode");
+        prop_assert_eq!(back, f);
+        prop_assert!(slice.is_empty());
+    }
+
+    /// Decoding arbitrary junk never panics.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut slice = &bytes[..];
+        let _ = decode_fvec(&mut slice);
+    }
+
+    /// A sparse vector and its densified twin agree on dot products and
+    /// norms.
+    #[test]
+    fn sparse_dense_agree(f in arb_sparse(48, 12), w in arb_model(48)) {
+        let d = FeatureVec::dense(f.to_dense());
+        prop_assert!((f.dot(&w) - d.dot(&w)).abs() <= 1e-6 * (1.0 + f.dot(&w).abs()));
+        for q in [Norm::L1, Norm::L2, Norm::LInf] {
+            prop_assert!((f.norm(q) - d.norm(q)).abs() <= 1e-4);
+        }
+    }
+
+    /// The scale-trick vector matches a naive implementation under a random
+    /// program of scales and sparse additions.
+    #[test]
+    fn scaled_dense_matches_naive(
+        ops in prop::collection::vec(
+            (0.05f64..1.5, prop::collection::vec((0u32..32, -10.0f32..10.0), 0..6)),
+            1..40,
+        )
+    ) {
+        let mut w = ScaledDense::zeros(32);
+        let mut naive = vec![0.0f64; 32];
+        for (c, pairs) in ops {
+            w.scale(c);
+            naive.iter_mut().for_each(|x| *x *= c);
+            let f = FeatureVec::sparse(32, pairs);
+            w.axpy(0.7, &f);
+            for (i, v) in f.iter() {
+                naive[i as usize] += 0.7 * f64::from(v);
+            }
+        }
+        for (i, &expect) in naive.iter().enumerate() {
+            let tol = 1e-7 * (1.0 + expect.abs());
+            prop_assert!((w.get(i) - expect).abs() <= tol,
+                "component {}: {} vs {}", i, w.get(i), expect);
+        }
+    }
+
+    /// The f64→u64 sortable key is a strict order embedding.
+    #[test]
+    fn sortable_key_is_monotone(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        let (ka, kb) = (OrdF64(a).sortable_key(), OrdF64(b).sortable_key());
+        prop_assert_eq!(a < b, ka < kb);
+        prop_assert_eq!(a == b, ka == kb);
+    }
+}

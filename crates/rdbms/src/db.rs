@@ -1,0 +1,576 @@
+//! The embedded database: catalog, triggers, and statement execution.
+
+use std::collections::HashMap;
+
+use hazy_core::{Architecture, ClassifierView, Entity, MemoryFootprint, Mode, ViewBuilder, ViewStats};
+use hazy_learn::{LinearModel, LossKind, SgdConfig, TrainingExample};
+use hazy_linalg::NormPair;
+
+use crate::error::DbError;
+use crate::features::{by_name, FeatureFunction};
+use crate::sql::{parse_statement, Statement, ViewDecl};
+use crate::table::Table;
+use crate::value::{Row, Schema, Value};
+
+/// Dictionary headroom for text feature functions (distinct tokens).
+const DICT_CAPACITY: u32 = 1 << 16;
+
+/// Minimum examples before automatic model selection kicks in; below this
+/// the default SVM is used (cross-validation on a handful of rows is
+/// noise).
+const SELECT_MIN_EXAMPLES: usize = 20;
+
+/// What a statement evaluates to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// DDL / DML succeeded, nothing to return.
+    Done,
+    /// A count.
+    Count(u64),
+    /// A single entity's label (`None` when the entity does not exist).
+    Label(Option<i8>),
+    /// A list of entity keys.
+    Ids(Vec<u64>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum TriggerRole {
+    Entities,
+    Examples,
+}
+
+struct ViewState {
+    decl: ViewDecl,
+    ff: Box<dyn FeatureFunction>,
+    engine: Box<dyn ClassifierView>,
+    /// Label text mapped to +1 (first row of the labels table).
+    pos_label: String,
+    n_entities: u64,
+}
+
+/// The embedded database.
+#[derive(Default)]
+pub struct Db {
+    tables: HashMap<String, Table>,
+    views: HashMap<String, ViewState>,
+    triggers: HashMap<String, Vec<(String, TriggerRole)>>,
+}
+
+impl Db {
+    /// An empty database.
+    pub fn new() -> Db {
+        Db::default()
+    }
+
+    /// Parses and executes one statement.
+    ///
+    /// # Errors
+    /// Any [`DbError`]; the database is left unchanged on error.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, cols, pk } => {
+                if self.tables.contains_key(&name) {
+                    return Err(DbError::AlreadyExists(name));
+                }
+                let schema = Schema::new(cols);
+                if let Some(ref p) = pk {
+                    if schema.col(p).is_none() {
+                        return Err(DbError::NoSuchColumn(p.clone()));
+                    }
+                }
+                self.tables.insert(name.clone(), Table::new(&name, schema, pk.as_deref()));
+                Ok(QueryResult::Done)
+            }
+            Statement::CreateView(decl) => {
+                self.create_view(decl)?;
+                Ok(QueryResult::Done)
+            }
+            Statement::Insert { table, values } => {
+                self.insert(&table, values)?;
+                Ok(QueryResult::Done)
+            }
+            Statement::SelectLabel { view, key } => {
+                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
+                Ok(QueryResult::Label(v.engine.read_single(key as u64)))
+            }
+            Statement::SelectCount { view, class } => {
+                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
+                let n = match class {
+                    None => v.n_entities,
+                    Some(1) => v.engine.count_positive(),
+                    Some(_) => v.n_entities - v.engine.count_positive(),
+                };
+                Ok(QueryResult::Count(n))
+            }
+            Statement::SelectMembers { view, class } => {
+                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view.clone()))?;
+                let pos = v.engine.positive_ids();
+                if class == 1 {
+                    return Ok(QueryResult::Ids(pos));
+                }
+                // negatives = entity keys − positives
+                let positive: std::collections::HashSet<u64> = pos.into_iter().collect();
+                let entities = self
+                    .tables
+                    .get(&v.decl.entity_table)
+                    .ok_or_else(|| DbError::NoSuchTable(v.decl.entity_table.clone()))?;
+                let keyc = entities
+                    .schema()
+                    .col(&v.decl.entity_key)
+                    .ok_or_else(|| DbError::NoSuchColumn(v.decl.entity_key.clone()))?;
+                let ids = entities
+                    .iter()
+                    .filter_map(|r| r[keyc].as_int())
+                    .map(|k| k as u64)
+                    .filter(|k| !positive.contains(k))
+                    .collect();
+                Ok(QueryResult::Ids(ids))
+            }
+        }
+    }
+
+    /// Direct (non-SQL) table access for tools and tests.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Operation counters of a view's engine.
+    pub fn view_stats(&self, name: &str) -> Option<ViewStats> {
+        self.views.get(name).map(|v| v.engine.stats())
+    }
+
+    /// Memory footprint of a view's engine.
+    pub fn view_memory(&self, name: &str) -> Option<MemoryFootprint> {
+        self.views.get(name).map(|v| v.engine.memory())
+    }
+
+    /// The current model behind a view.
+    pub fn view_model(&self, name: &str) -> Option<&LinearModel> {
+        self.views.get(name).map(|v| v.engine.model())
+    }
+
+    /// Virtual time consumed by a view so far, in nanoseconds.
+    pub fn view_clock_ns(&self, name: &str) -> Option<u64> {
+        self.views.get(name).map(|v| v.engine.clock().now_ns())
+    }
+
+    fn create_view(&mut self, decl: ViewDecl) -> Result<(), DbError> {
+        if self.views.contains_key(&decl.name) {
+            return Err(DbError::AlreadyExists(decl.name));
+        }
+        let entities_table =
+            self.tables.get(&decl.entity_table).ok_or_else(|| DbError::NoSuchTable(decl.entity_table.clone()))?;
+        let labels_table =
+            self.tables.get(&decl.labels_table).ok_or_else(|| DbError::NoSuchTable(decl.labels_table.clone()))?;
+        let examples_table = self
+            .tables
+            .get(&decl.examples_table)
+            .ok_or_else(|| DbError::NoSuchTable(decl.examples_table.clone()))?;
+        let entity_keyc = entities_table
+            .schema()
+            .col(&decl.entity_key)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.entity_key.clone()))?;
+
+        // --- the label set: binary views take the first label as +1
+        let labelc = labels_table
+            .schema()
+            .col(&decl.label_col)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.label_col.clone()))?;
+        let mut labels: Vec<String> = Vec::new();
+        for r in labels_table.iter() {
+            if let Some(l) = r[labelc].as_text() {
+                if !labels.iter().any(|x| x == l) {
+                    labels.push(l.to_string());
+                }
+            }
+        }
+        if labels.len() != 2 {
+            return Err(DbError::Unsupported(format!(
+                "binary classification views need exactly 2 labels, found {} \
+                 (multiclass runs one-vs-all at the library level, Appendix B.5.4)",
+                labels.len()
+            )));
+        }
+        let pos_label = labels[0].clone();
+
+        // --- feature function: corpus statistics, then one vector per entity
+        let mut ff = by_name(&decl.feature_fn, DICT_CAPACITY)
+            .ok_or_else(|| DbError::NoSuchFeatureFunction(decl.feature_fn.clone()))?;
+        let corpus: Vec<&Row> = entities_table.iter().collect();
+        ff.compute_stats(&corpus, entities_table.schema());
+        let mut ents = Vec::with_capacity(corpus.len());
+        let dense = decl.feature_fn == "numeric_columns";
+        for r in &corpus {
+            let id = r[entity_keyc]
+                .as_int()
+                .ok_or_else(|| DbError::SchemaMismatch("entity key must be an integer".into()))?;
+            ents.push(Entity::new(id as u64, ff.compute_feature(r, entities_table.schema())));
+        }
+
+        // --- warm examples already present in the examples table
+        let ex_keyc = examples_table
+            .schema()
+            .col(&decl.examples_key)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.examples_key.clone()))?;
+        let ex_labelc = examples_table
+            .schema()
+            .col(&decl.examples_label)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.examples_label.clone()))?;
+        let mut warm = Vec::new();
+        for r in examples_table.iter() {
+            let key = r[ex_keyc].as_int().ok_or(DbError::MissingEntity(-1))?;
+            let label = label_to_sign(&r[ex_labelc], &pos_label, &labels)?;
+            let ent = entities_table.get(key).ok_or(DbError::MissingEntity(key))?;
+            warm.push(TrainingExample::new(
+                key as u64,
+                ff.compute_feature(ent, entities_table.schema()),
+                label,
+            ));
+        }
+
+        // --- method: USING clause, or the paper's automatic selection
+        let sgd = match decl.using.as_deref() {
+            Some(m) => SgdConfig::for_loss(loss_by_name(m)?),
+            None if warm.len() >= SELECT_MIN_EXAMPLES => hazy_learn::select::select_model(&warm).best,
+            None => SgdConfig::svm(),
+        };
+        let arch = arch_by_name(decl.architecture.as_deref())?;
+        let mode = mode_by_name(decl.mode.as_deref())?;
+        let pair = if dense { NormPair::EUCLIDEAN } else { NormPair::TEXT };
+
+        let n_entities = ents.len() as u64;
+        let engine = ViewBuilder::new(arch, mode)
+            .sgd(sgd)
+            .norm_pair(pair)
+            .dim(ff.dim())
+            .build(ents, &warm);
+
+        // --- wire triggers
+        self.triggers
+            .entry(decl.entity_table.clone())
+            .or_default()
+            .push((decl.name.clone(), TriggerRole::Entities));
+        self.triggers
+            .entry(decl.examples_table.clone())
+            .or_default()
+            .push((decl.name.clone(), TriggerRole::Examples));
+        self.views
+            .insert(decl.name.clone(), ViewState { decl, ff, engine, pos_label, n_entities });
+        Ok(())
+    }
+
+    fn insert(&mut self, table: &str, values: Row) -> Result<(), DbError> {
+        {
+            let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+            t.insert(values.clone())?;
+        }
+        // fire triggers after the base insert committed
+        let Some(fired) = self.triggers.get(table).cloned() else {
+            return Ok(());
+        };
+        for (view_name, role) in fired {
+            // split borrows: pull the view out, work, put it back
+            let mut vs = self.views.remove(&view_name).expect("trigger target exists");
+            let result = self.fire_trigger(&mut vs, role, &values);
+            self.views.insert(view_name, vs);
+            result?;
+        }
+        Ok(())
+    }
+
+    fn fire_trigger(&mut self, vs: &mut ViewState, role: TriggerRole, row: &Row) -> Result<(), DbError> {
+        let entities_table = self
+            .tables
+            .get(&vs.decl.entity_table)
+            .ok_or_else(|| DbError::NoSuchTable(vs.decl.entity_table.clone()))?;
+        match role {
+            TriggerRole::Entities => {
+                // type-(1) dynamic data: classify and store the new entity
+                vs.ff.compute_stats_inc(row, entities_table.schema());
+                let keyc = entities_table
+                    .schema()
+                    .col(&vs.decl.entity_key)
+                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.entity_key.clone()))?;
+                let id = row[keyc]
+                    .as_int()
+                    .ok_or_else(|| DbError::SchemaMismatch("entity key must be an integer".into()))?;
+                let f = vs.ff.compute_feature(row, entities_table.schema());
+                vs.engine.insert_entity(Entity::new(id as u64, f));
+                vs.n_entities += 1;
+            }
+            TriggerRole::Examples => {
+                // type-(2) dynamic data: retrain + incremental maintenance
+                let ex_table = self
+                    .tables
+                    .get(&vs.decl.examples_table)
+                    .ok_or_else(|| DbError::NoSuchTable(vs.decl.examples_table.clone()))?;
+                let keyc = ex_table
+                    .schema()
+                    .col(&vs.decl.examples_key)
+                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.examples_key.clone()))?;
+                let labelc = ex_table
+                    .schema()
+                    .col(&vs.decl.examples_label)
+                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.examples_label.clone()))?;
+                let key = row[keyc].as_int().ok_or(DbError::MissingEntity(-1))?;
+                let label = label_to_sign(&row[labelc], &vs.pos_label, &[])?;
+                let ent = entities_table.get(key).ok_or(DbError::MissingEntity(key))?;
+                let f = vs.ff.compute_feature(ent, entities_table.schema());
+                vs.engine.update(&TrainingExample::new(key as u64, f, label));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn label_to_sign(v: &Value, pos: &str, known: &[String]) -> Result<i8, DbError> {
+    match v {
+        Value::Int(1) => Ok(1),
+        Value::Int(-1) => Ok(-1),
+        Value::Text(s) if s == pos => Ok(1),
+        Value::Text(s) => {
+            if known.is_empty() || known.iter().any(|k| k == s) {
+                Ok(-1)
+            } else {
+                Err(DbError::BadLabel(s.clone()))
+            }
+        }
+        other => Err(DbError::BadLabel(other.to_string())),
+    }
+}
+
+fn loss_by_name(name: &str) -> Result<LossKind, DbError> {
+    match name.to_ascii_lowercase().as_str() {
+        "svm" => Ok(LossKind::Hinge),
+        "logistic" => Ok(LossKind::Logistic),
+        "ridge" | "leastsquares" => Ok(LossKind::Squared),
+        other => Err(DbError::Unsupported(format!("USING {other}"))),
+    }
+}
+
+fn arch_by_name(name: Option<&str>) -> Result<Architecture, DbError> {
+    match name.map(|s| s.to_ascii_uppercase()) {
+        None => Ok(Architecture::HazyMem),
+        Some(s) => match s.as_str() {
+            "HAZY_MM" => Ok(Architecture::HazyMem),
+            "NAIVE_MM" => Ok(Architecture::NaiveMem),
+            "HAZY_OD" => Ok(Architecture::HazyDisk),
+            "NAIVE_OD" => Ok(Architecture::NaiveDisk),
+            "HYBRID" => Ok(Architecture::Hybrid),
+            other => Err(DbError::Unsupported(format!("ARCHITECTURE {other}"))),
+        },
+    }
+}
+
+fn mode_by_name(name: Option<&str>) -> Result<Mode, DbError> {
+    match name.map(|s| s.to_ascii_uppercase()) {
+        None => Ok(Mode::Eager),
+        Some(s) => match s.as_str() {
+            "EAGER" => Ok(Mode::Eager),
+            "LAZY" => Ok(Mode::Lazy),
+            other => Err(DbError::Unsupported(format!("MODE {other}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end fixture: papers, labels, a few seed examples.
+    fn setup() -> Db {
+        let mut db = Db::new();
+        db.execute("CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT)").unwrap();
+        db.execute("CREATE TABLE Paper_Area (label TEXT)").unwrap();
+        db.execute("CREATE TABLE Example_Papers (id INT, label TEXT)").unwrap();
+        db.execute("INSERT INTO Paper_Area VALUES ('DB')").unwrap();
+        db.execute("INSERT INTO Paper_Area VALUES ('NonDB')").unwrap();
+        for (id, title) in [
+            (1, "database systems transactions storage"),
+            (2, "query optimization database index"),
+            (3, "protein folding biology cells"),
+            (4, "genome biology dna sequencing"),
+            (5, "transactions concurrency database"),
+            (6, "cells biology microscopy imaging"),
+        ] {
+            db.execute(&format!("INSERT INTO Papers VALUES ({id}, '{title}')")).unwrap();
+        }
+        db
+    }
+
+    fn create_view(db: &mut Db, extra: &str) {
+        db.execute(&format!(
+            "CREATE CLASSIFICATION VIEW Labeled_Papers KEY id \
+             ENTITIES FROM Papers KEY id \
+             LABELS FROM Paper_Area LABEL label \
+             EXAMPLES FROM Example_Papers KEY id LABEL label \
+             FEATURE FUNCTION tf_bag_of_words {extra}"
+        ))
+        .unwrap();
+    }
+
+    fn teach(db: &mut Db, rounds: usize) {
+        // repeat the labeled seed so the SVM converges on this toy corpus
+        for _ in 0..rounds {
+            for (id, l) in [(1, "DB"), (3, "NonDB"), (2, "DB"), (4, "NonDB"), (5, "DB"), (6, "NonDB")] {
+                db.execute(&format!("INSERT INTO Example_Papers VALUES ({id}, '{l}')")).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_classification_via_sql() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM");
+        teach(&mut db, 30);
+        // all database papers labeled 1, biology papers -1
+        for id in [1, 2, 5] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(1)),
+                "paper {id}"
+            );
+        }
+        for id in [3, 4, 6] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(-1)),
+                "paper {id}"
+            );
+        }
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap(),
+            QueryResult::Count(3)
+        );
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers").unwrap(),
+            QueryResult::Count(6)
+        );
+        let QueryResult::Ids(mut ids) =
+            db.execute("SELECT id FROM Labeled_Papers WHERE class = 1").unwrap()
+        else {
+            panic!("expected ids")
+        };
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 5]);
+        let QueryResult::Ids(mut neg) =
+            db.execute("SELECT id FROM Labeled_Papers WHERE class = -1").unwrap()
+        else {
+            panic!("expected ids")
+        };
+        neg.sort_unstable();
+        assert_eq!(neg, vec![3, 4, 6]);
+    }
+
+    #[test]
+    fn new_entities_are_classified_on_arrival() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM");
+        teach(&mut db, 30);
+        db.execute("INSERT INTO Papers VALUES (7, 'database query transactions')").unwrap();
+        db.execute("INSERT INTO Papers VALUES (8, 'biology dna cells')").unwrap();
+        assert_eq!(
+            db.execute("SELECT class FROM Labeled_Papers WHERE id = 7").unwrap(),
+            QueryResult::Label(Some(1))
+        );
+        assert_eq!(
+            db.execute("SELECT class FROM Labeled_Papers WHERE id = 8").unwrap(),
+            QueryResult::Label(Some(-1))
+        );
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers").unwrap(),
+            QueryResult::Count(8)
+        );
+    }
+
+    #[test]
+    fn every_architecture_serves_the_view() {
+        for arch in ["HAZY_MM", "NAIVE_MM", "HAZY_OD", "NAIVE_OD", "HYBRID"] {
+            for mode in ["EAGER", "LAZY"] {
+                let mut db = setup();
+                create_view(&mut db, &format!("USING SVM ARCHITECTURE {arch} MODE {mode}"));
+                teach(&mut db, 30);
+                assert_eq!(
+                    db.execute("SELECT class FROM Labeled_Papers WHERE id = 1").unwrap(),
+                    QueryResult::Label(Some(1)),
+                    "{arch}/{mode}"
+                );
+                assert_eq!(
+                    db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap(),
+                    QueryResult::Count(3),
+                    "{arch}/{mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn automatic_model_selection_when_using_omitted() {
+        let mut db = setup();
+        // seed enough examples for selection to run at creation time
+        for _ in 0..10 {
+            for (id, l) in [(1, "DB"), (3, "NonDB"), (2, "DB"), (4, "NonDB")] {
+                db.execute(&format!("INSERT INTO Example_Papers VALUES ({id}, '{l}')")).unwrap();
+            }
+        }
+        create_view(&mut db, "");
+        teach(&mut db, 20);
+        assert_eq!(
+            db.execute("SELECT class FROM Labeled_Papers WHERE id = 1").unwrap(),
+            QueryResult::Label(Some(1))
+        );
+    }
+
+    #[test]
+    fn example_for_missing_entity_is_rejected() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM");
+        let err = db.execute("INSERT INTO Example_Papers VALUES (99, 'DB')").unwrap_err();
+        assert_eq!(err, DbError::MissingEntity(99));
+    }
+
+    #[test]
+    fn view_requires_exactly_two_labels() {
+        let mut db = setup();
+        db.execute("INSERT INTO Paper_Area VALUES ('ThirdArea')").unwrap();
+        let err = db
+            .execute(
+                "CREATE CLASSIFICATION VIEW V KEY id \
+                 ENTITIES FROM Papers KEY id LABELS FROM Paper_Area LABEL label \
+                 EXAMPLES FROM Example_Papers KEY id LABEL label \
+                 FEATURE FUNCTION tf_bag_of_words",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Unsupported(_)));
+    }
+
+    #[test]
+    fn errors_for_missing_objects() {
+        let mut db = Db::new();
+        assert!(matches!(
+            db.execute("SELECT class FROM Nope WHERE id = 1"),
+            Err(DbError::NoSuchView(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO Nope VALUES (1)"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        db.execute("CREATE TABLE T (id INT PRIMARY KEY)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE T (id INT)"),
+            Err(DbError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn stats_and_memory_accessors_work() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM");
+        teach(&mut db, 5);
+        let stats = db.view_stats("Labeled_Papers").unwrap();
+        assert_eq!(stats.updates, 30);
+        assert!(db.view_memory("Labeled_Papers").unwrap().total() > 0);
+        assert!(db.view_model("Labeled_Papers").is_some());
+        assert!(db.view_clock_ns("Labeled_Papers").unwrap() > 0);
+    }
+}

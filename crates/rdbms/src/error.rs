@@ -1,0 +1,56 @@
+//! Errors surfaced by the embedded database.
+
+use std::fmt;
+
+/// Anything that can go wrong executing a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbError {
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown view.
+    NoSuchView(String),
+    /// Unknown column.
+    NoSuchColumn(String),
+    /// Unknown feature function.
+    NoSuchFeatureFunction(String),
+    /// A table/view with this name already exists.
+    AlreadyExists(String),
+    /// Row shape or type does not match the schema.
+    SchemaMismatch(String),
+    /// Duplicate primary key.
+    DuplicateKey(i64),
+    /// Referenced entity does not exist (e.g. a training example whose id
+    /// is not in the entity table).
+    MissingEntity(i64),
+    /// A label value outside the view's declared label set.
+    BadLabel(String),
+    /// Parse error with position information.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the statement.
+        offset: usize,
+    },
+    /// The statement parsed but is not supported by the engine.
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchView(v) => write!(f, "no such view: {v}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::NoSuchFeatureFunction(ff) => write!(f, "no such feature function: {ff}"),
+            DbError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            DbError::MissingEntity(id) => write!(f, "no entity with id {id}"),
+            DbError::BadLabel(l) => write!(f, "label not in the view's label set: {l}"),
+            DbError::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
+            DbError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

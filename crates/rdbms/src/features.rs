@@ -1,0 +1,349 @@
+//! Feature functions (Appendix A.2).
+//!
+//! A feature function maps an entity tuple to a vector. The paper registers
+//! each as a triple of UDFs:
+//!
+//! * `compute_stats` — one pass over the corpus gathering whatever global
+//!   statistics the function needs (e.g. the dictionary, document
+//!   frequencies);
+//! * `compute_stats_inc` — folds one new tuple into those statistics;
+//! * `compute_feature` — maps a tuple to its vector using the statistics.
+//!
+//! We provide the paper's running examples: `tf_bag_of_words` (term
+//! frequencies, ℓ1-normalized), `tf_idf_bag_of_words` (tf-idf with
+//! incrementally maintained document frequencies, in the spirit of TF-ICF
+//! the paper cites — frequencies are *not* retroactively recomputed for old
+//! vectors), and `numeric_columns` for dense UCI-style data.
+
+use std::collections::HashMap;
+
+use hazy_linalg::{FeatureVec, Norm};
+
+use crate::value::{Row, Schema, Value};
+
+/// A registered feature function.
+pub trait FeatureFunction: Send {
+    /// Registry name (what the DDL's `FEATURE FUNCTION` clause references).
+    fn name(&self) -> &str;
+
+    /// One pass over the whole corpus to seed statistics.
+    fn compute_stats(&mut self, corpus: &[&Row], schema: &Schema);
+
+    /// Folds one new tuple into the statistics (paper: incremental
+    /// statistics maintenance — e.g. document frequencies).
+    fn compute_stats_inc(&mut self, row: &Row, schema: &Schema);
+
+    /// Maps a tuple to its feature vector.
+    fn compute_feature(&self, row: &Row, schema: &Schema) -> FeatureVec;
+
+    /// Current dimensionality of produced vectors.
+    fn dim(&self) -> usize;
+}
+
+/// Concatenates the text columns of a row (title + abstract, typically).
+fn text_of(row: &Row, schema: &Schema) -> String {
+    let mut out = String::new();
+    for (i, v) in row.iter().enumerate() {
+        if let (_, crate::value::ColumnType::Text) = schema.column(i) {
+            if let Value::Text(s) = v {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(s);
+            }
+        }
+    }
+    out
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty())
+}
+
+/// `tf_bag_of_words`: term frequencies over a corpus-derived dictionary,
+/// ℓ1-normalized (the normalization the paper pairs with `(p=∞, q=1)`).
+pub struct TfBagOfWords {
+    dict: HashMap<String, u32>,
+    /// Reserve headroom so unseen words arriving later still get ids.
+    capacity: u32,
+}
+
+impl TfBagOfWords {
+    /// New instance with dictionary headroom for `capacity` distinct words.
+    pub fn new(capacity: u32) -> TfBagOfWords {
+        TfBagOfWords { dict: HashMap::new(), capacity }
+    }
+
+    fn intern(&mut self, token: &str) -> Option<u32> {
+        if let Some(&id) = self.dict.get(token) {
+            return Some(id);
+        }
+        let next = self.dict.len() as u32;
+        if next >= self.capacity {
+            return None; // dictionary full: ignore the token
+        }
+        self.dict.insert(token.to_string(), next);
+        Some(next)
+    }
+
+    fn lookup(&self, token: &str) -> Option<u32> {
+        self.dict.get(token).copied()
+    }
+}
+
+impl FeatureFunction for TfBagOfWords {
+    fn name(&self) -> &str {
+        "tf_bag_of_words"
+    }
+
+    fn compute_stats(&mut self, corpus: &[&Row], schema: &Schema) {
+        for row in corpus {
+            self.compute_stats_inc(row, schema);
+        }
+    }
+
+    fn compute_stats_inc(&mut self, row: &Row, schema: &Schema) {
+        let text = text_of(row, schema);
+        for tok in tokenize(&text) {
+            self.intern(tok);
+        }
+    }
+
+    fn compute_feature(&self, row: &Row, schema: &Schema) -> FeatureVec {
+        let text = text_of(row, schema);
+        let pairs = tokenize(&text).filter_map(|t| self.lookup(t)).map(|id| (id, 1.0f32));
+        FeatureVec::sparse(self.capacity, pairs).normalized(Norm::L1)
+    }
+
+    fn dim(&self) -> usize {
+        self.capacity as usize
+    }
+}
+
+/// `tf_idf_bag_of_words`: tf × idf with document frequencies maintained
+/// incrementally. New documents update the df counts going forward; already
+/// emitted vectors are not recomputed (the TF-ICF trade-off the paper
+/// discusses).
+pub struct TfIdfBagOfWords {
+    tf: TfBagOfWords,
+    doc_freq: HashMap<u32, u32>,
+    n_docs: u32,
+}
+
+impl TfIdfBagOfWords {
+    /// New instance with dictionary headroom for `capacity` distinct words.
+    pub fn new(capacity: u32) -> TfIdfBagOfWords {
+        TfIdfBagOfWords { tf: TfBagOfWords::new(capacity), doc_freq: HashMap::new(), n_docs: 0 }
+    }
+
+    /// Documents folded into the statistics so far.
+    pub fn corpus_size(&self) -> u32 {
+        self.n_docs
+    }
+}
+
+impl FeatureFunction for TfIdfBagOfWords {
+    fn name(&self) -> &str {
+        "tf_idf_bag_of_words"
+    }
+
+    fn compute_stats(&mut self, corpus: &[&Row], schema: &Schema) {
+        for row in corpus {
+            self.compute_stats_inc(row, schema);
+        }
+    }
+
+    fn compute_stats_inc(&mut self, row: &Row, schema: &Schema) {
+        let text = text_of(row, schema);
+        let mut seen = std::collections::HashSet::new();
+        for tok in tokenize(&text) {
+            if let Some(id) = self.tf.intern(tok) {
+                if seen.insert(id) {
+                    *self.doc_freq.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        self.n_docs += 1;
+    }
+
+    fn compute_feature(&self, row: &Row, schema: &Schema) -> FeatureVec {
+        let text = text_of(row, schema);
+        let n = self.n_docs.max(1) as f64;
+        let pairs = tokenize(&text).filter_map(|t| {
+            let id = self.tf.lookup(t)?;
+            let df = f64::from(*self.doc_freq.get(&id).unwrap_or(&1));
+            let idf = (n / df).ln().max(0.0) as f32;
+            Some((id, idf))
+        });
+        FeatureVec::sparse(self.tf.capacity, pairs).normalized(Norm::L1)
+    }
+
+    fn dim(&self) -> usize {
+        self.tf.dim()
+    }
+}
+
+/// `numeric_columns`: a dense vector from the row's numeric columns
+/// (Int/Float), ℓ2-normalized — the representation used for the UCI-style
+/// corpora.
+pub struct NumericColumns {
+    dim: usize,
+}
+
+impl NumericColumns {
+    /// New instance; the dimension is discovered from the first stats pass.
+    pub fn new() -> NumericColumns {
+        NumericColumns { dim: 0 }
+    }
+}
+
+impl Default for NumericColumns {
+    fn default() -> Self {
+        NumericColumns::new()
+    }
+}
+
+impl FeatureFunction for NumericColumns {
+    fn name(&self) -> &str {
+        "numeric_columns"
+    }
+
+    fn compute_stats(&mut self, corpus: &[&Row], schema: &Schema) {
+        if let Some(row) = corpus.first() {
+            self.compute_stats_inc(row, schema);
+        } else {
+            self.dim = (0..schema.arity())
+                .filter(|&i| {
+                    matches!(
+                        schema.column(i).1,
+                        crate::value::ColumnType::Int | crate::value::ColumnType::Float
+                    )
+                })
+                .count()
+                .saturating_sub(1); // exclude the key column
+        }
+    }
+
+    fn compute_stats_inc(&mut self, row: &Row, schema: &Schema) {
+        let _ = schema;
+        // all numeric columns except the first (the key)
+        self.dim = row.iter().skip(1).filter(|v| v.as_float().is_some()).count().max(self.dim);
+    }
+
+    fn compute_feature(&self, row: &Row, _schema: &Schema) -> FeatureVec {
+        let comps: Vec<f32> =
+            row.iter().skip(1).filter_map(|v| v.as_float()).map(|x| x as f32).collect();
+        FeatureVec::dense(comps).normalized(Norm::L2)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Builds a feature function by registry name.
+///
+/// `capacity` bounds text dictionaries (ignored by numeric functions).
+pub fn by_name(name: &str, capacity: u32) -> Option<Box<dyn FeatureFunction>> {
+    match name {
+        "tf_bag_of_words" => Some(Box::new(TfBagOfWords::new(capacity))),
+        "tf_idf_bag_of_words" => Some(Box::new(TfIdfBagOfWords::new(capacity))),
+        "numeric_columns" => Some(Box::new(NumericColumns::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn doc_schema() -> Schema {
+        Schema::new(vec![("id".into(), ColumnType::Int), ("title".into(), ColumnType::Text)])
+    }
+
+    fn row(id: i64, title: &str) -> Row {
+        vec![Value::Int(id), Value::Text(title.into())]
+    }
+
+    #[test]
+    fn tf_counts_and_normalizes() {
+        let schema = doc_schema();
+        let mut ff = TfBagOfWords::new(100);
+        let corpus = [row(1, "db db systems"), row(2, "learning systems")];
+        ff.compute_stats(&corpus.iter().collect::<Vec<_>>(), &schema);
+        let f = ff.compute_feature(&corpus[0], &schema);
+        assert_eq!(f.nnz(), 2); // db, systems
+        assert!((f.norm(Norm::L1) - 1.0).abs() < 1e-6);
+        // "db" appears twice of three tokens
+        let db_id = ff.lookup("db").unwrap();
+        assert!((f.get(db_id) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unseen_words_are_ignored_at_feature_time() {
+        let schema = doc_schema();
+        let mut ff = TfBagOfWords::new(100);
+        ff.compute_stats(&[&row(1, "alpha beta")], &schema);
+        let f = ff.compute_feature(&row(2, "alpha gamma"), &schema);
+        assert_eq!(f.nnz(), 1, "gamma is out-of-dictionary");
+    }
+
+    #[test]
+    fn dictionary_capacity_is_respected() {
+        let schema = doc_schema();
+        let mut ff = TfBagOfWords::new(2);
+        ff.compute_stats(&[&row(1, "a b c d e")], &schema);
+        assert!(ff.dict.len() <= 2);
+        let f = ff.compute_feature(&row(2, "a b c d e"), &schema);
+        assert!(f.nnz() <= 2);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_words() {
+        let schema = doc_schema();
+        let mut ff = TfIdfBagOfWords::new(100);
+        let corpus: Vec<Row> = (0..10)
+            .map(|k| row(k, if k == 0 { "rare common" } else { "common filler" }))
+            .collect();
+        ff.compute_stats(&corpus.iter().collect::<Vec<_>>(), &schema);
+        let f = ff.compute_feature(&corpus[0], &schema);
+        let rare = ff.tf.lookup("rare").unwrap();
+        let common = ff.tf.lookup("common").unwrap();
+        assert!(f.get(rare) > f.get(common), "rare {} vs common {}", f.get(rare), f.get(common));
+    }
+
+    #[test]
+    fn incremental_stats_extend_the_dictionary() {
+        let schema = doc_schema();
+        let mut ff = TfBagOfWords::new(100);
+        ff.compute_stats(&[&row(1, "old words")], &schema);
+        ff.compute_stats_inc(&row(2, "new vocabulary"), &schema);
+        let f = ff.compute_feature(&row(3, "new words"), &schema);
+        assert_eq!(f.nnz(), 2);
+    }
+
+    #[test]
+    fn numeric_columns_build_dense_vectors() {
+        let schema = Schema::new(vec![
+            ("id".into(), ColumnType::Int),
+            ("a".into(), ColumnType::Float),
+            ("b".into(), ColumnType::Float),
+        ]);
+        let mut ff = NumericColumns::new();
+        let r = vec![Value::Int(1), Value::Float(3.0), Value::Float(4.0)];
+        ff.compute_stats(&[&r], &schema);
+        assert_eq!(ff.dim(), 2);
+        let f = ff.compute_feature(&r, &schema);
+        assert_eq!(f.dim(), 2);
+        assert!((f.norm(Norm::L2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn registry_resolves_names() {
+        assert!(by_name("tf_bag_of_words", 10).is_some());
+        assert!(by_name("tf_idf_bag_of_words", 10).is_some());
+        assert!(by_name("numeric_columns", 0).is_some());
+        assert!(by_name("nope", 0).is_none());
+    }
+}

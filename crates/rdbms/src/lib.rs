@@ -1,0 +1,34 @@
+//! Mini-RDBMS integration: classification views as database objects.
+//!
+//! The paper's Hazy is embedded in PostgreSQL: views are declared with a
+//! `CREATE CLASSIFICATION VIEW` statement (Example 2.1), training examples
+//! arrive as ordinary `INSERT`s intercepted by triggers, and queries against
+//! the view are plain SQL. This crate reproduces that integration surface on
+//! an embedded engine:
+//!
+//! * [`Db`] — catalog of typed tables, trigger dispatch, statement
+//!   execution;
+//! * [`features`] — the feature-function registry of Appendix A.2
+//!   (`tf_bag_of_words`, `tf_idf_bag_of_words`, numeric columns), each a
+//!   triple (compute statistics, incremental statistics, compute feature);
+//! * [`parse_statement`] — a hand-rolled parser for the DDL plus the small
+//!   DML/query subset the paper's workloads need;
+//! * view maintenance is delegated to `hazy-core` (any architecture × mode
+//!   via `ARCHITECTURE` / `MODE` clauses, defaulting to Hazy-MM eager).
+//!
+//! When the `USING` clause is omitted the view runs the paper's automatic
+//! model selection (cross-validation over SVM / logistic / ridge) on the
+//! examples present at creation time.
+
+mod db;
+mod error;
+pub mod features;
+mod sql;
+mod table;
+mod value;
+
+pub use db::{Db, QueryResult};
+pub use error::DbError;
+pub use sql::{parse_statement, Statement, ViewDecl};
+pub use table::Table;
+pub use value::{ColumnType, Row, Schema, Value};

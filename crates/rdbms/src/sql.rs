@@ -1,0 +1,578 @@
+//! The SQL-ish statement parser.
+//!
+//! Covers exactly the surface the paper's workflow needs: `CREATE TABLE`,
+//! the `CREATE CLASSIFICATION VIEW` declaration of Example 2.1 (with
+//! optional `USING`, plus `ARCHITECTURE`/`MODE` extensions to pick the
+//! physical design), `INSERT`, and the three read shapes of Section 2.2 —
+//! single-entity label, All-Members listing, and All-Members count.
+
+use crate::error::DbError;
+use crate::value::{ColumnType, Value};
+
+/// A parsed `CREATE CLASSIFICATION VIEW` declaration (paper Example 2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViewDecl {
+    /// View name.
+    pub name: String,
+    /// Key attribute of the view itself.
+    pub key: String,
+    /// Entity source table.
+    pub entity_table: String,
+    /// Key column of the entity table.
+    pub entity_key: String,
+    /// Label-set table.
+    pub labels_table: String,
+    /// Label column of the label-set table.
+    pub label_col: String,
+    /// Training-examples table.
+    pub examples_table: String,
+    /// Key column of the examples table (references entities).
+    pub examples_key: String,
+    /// Label column of the examples table.
+    pub examples_label: String,
+    /// Feature function registry name.
+    pub feature_fn: String,
+    /// Optional classification method (`USING SVM` etc.); `None` triggers
+    /// automatic model selection.
+    pub using: Option<String>,
+    /// Optional physical design (`ARCHITECTURE HAZY_MM` etc.).
+    pub architecture: Option<String>,
+    /// Optional maintenance mode (`MODE EAGER|LAZY`).
+    pub mode: Option<String>,
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)] // statements are transient parse results
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE [PRIMARY KEY], ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns in declaration order.
+        cols: Vec<(String, ColumnType)>,
+        /// Primary-key column, if declared.
+        pk: Option<String>,
+    },
+    /// `CREATE CLASSIFICATION VIEW ...`
+    CreateView(ViewDecl),
+    /// `INSERT INTO table VALUES (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal values.
+        values: Vec<Value>,
+    },
+    /// `SELECT class FROM view WHERE <key> = n`
+    SelectLabel {
+        /// View name.
+        view: String,
+        /// Entity key.
+        key: i64,
+    },
+    /// `SELECT COUNT(*) FROM view [WHERE class = c]`
+    SelectCount {
+        /// View name.
+        view: String,
+        /// Class filter (`None` counts all rows).
+        class: Option<i8>,
+    },
+    /// `SELECT <key> FROM view WHERE class = c`
+    SelectMembers {
+        /// View name.
+        view: String,
+        /// Class filter.
+        class: i8,
+    },
+}
+
+// ---- lexer ------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(char),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, DbError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_string()), start));
+        } else if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
+                is_float |= bytes[i] == b'.';
+                i += 1;
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|_| DbError::Parse {
+                    message: format!("bad float literal {text}"),
+                    offset: start,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| DbError::Parse {
+                    message: format!("bad integer literal {text}"),
+                    offset: start,
+                })?)
+            };
+            out.push((tok, start));
+        } else if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&b) => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                    None => {
+                        return Err(DbError::Parse {
+                            message: "unterminated string".into(),
+                            offset: start,
+                        })
+                    }
+                }
+            }
+            out.push((Tok::Str(s), start));
+        } else if "(),=*;".contains(c) {
+            out.push((Tok::Sym(c), i));
+            i += 1;
+        } else {
+            return Err(DbError::Parse { message: format!("unexpected character {c:?}"), offset: i });
+        }
+    }
+    Ok(out)
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Result<Lexer<'a>, DbError> {
+        Ok(Lexer { src, toks: lex(src)?, pos: 0 })
+    }
+
+    fn err(&self, message: impl Into<String>) -> DbError {
+        let offset = self.toks.get(self.pos).map_or(self.src.len(), |&(_, o)| o);
+        DbError::Parse { message: message.into(), offset }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes an identifier and returns it.
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Consumes a specific keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    /// True (and consumes) when the next token is the given keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn sym(&mut self, c: char) -> Result<(), DbError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn int(&mut self) -> Result<i64, DbError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn done(&mut self) -> Result<(), DbError> {
+        let _ = self.eat_sym(';');
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens"))
+        }
+    }
+}
+
+// ---- parser -----------------------------------------------------------------------
+
+/// Parses one statement.
+///
+/// # Errors
+/// [`DbError::Parse`] with a byte offset on any malformed input.
+pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
+    let mut lx = Lexer::new(src)?;
+    if lx.eat_keyword("CREATE") {
+        if lx.eat_keyword("TABLE") {
+            return parse_create_table(&mut lx);
+        }
+        lx.keyword("CLASSIFICATION")?;
+        lx.keyword("VIEW")?;
+        return parse_create_view(&mut lx);
+    }
+    if lx.eat_keyword("INSERT") {
+        lx.keyword("INTO")?;
+        let table = lx.ident()?;
+        lx.keyword("VALUES")?;
+        lx.sym('(')?;
+        let mut values = Vec::new();
+        loop {
+            let v = match lx.next() {
+                Some(Tok::Int(v)) => Value::Int(v),
+                Some(Tok::Float(v)) => Value::Float(v),
+                Some(Tok::Str(s)) => Value::Text(s),
+                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Value::Null,
+                other => return Err(lx.err(format!("expected literal, found {other:?}"))),
+            };
+            values.push(v);
+            if lx.eat_sym(')') {
+                break;
+            }
+            lx.sym(',')?;
+        }
+        lx.done()?;
+        return Ok(Statement::Insert { table, values });
+    }
+    if lx.eat_keyword("SELECT") {
+        return parse_select(&mut lx);
+    }
+    Err(lx.err("expected CREATE, INSERT or SELECT"))
+}
+
+fn parse_type(lx: &mut Lexer<'_>) -> Result<ColumnType, DbError> {
+    let t = lx.ident()?;
+    match t.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" => Ok(ColumnType::Int),
+        "FLOAT" | "REAL" | "DOUBLE" => Ok(ColumnType::Float),
+        "TEXT" | "VARCHAR" => Ok(ColumnType::Text),
+        "VECTOR" => Ok(ColumnType::Vector),
+        other => Err(lx.err(format!("unknown type {other}"))),
+    }
+}
+
+fn parse_create_table(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
+    let name = lx.ident()?;
+    lx.sym('(')?;
+    let mut cols = Vec::new();
+    let mut pk = None;
+    loop {
+        let col = lx.ident()?;
+        let ty = parse_type(lx)?;
+        if lx.eat_keyword("PRIMARY") {
+            lx.keyword("KEY")?;
+            if pk.is_some() {
+                return Err(lx.err("multiple primary keys"));
+            }
+            pk = Some(col.clone());
+        }
+        cols.push((col, ty));
+        if lx.eat_sym(')') {
+            break;
+        }
+        lx.sym(',')?;
+    }
+    lx.done()?;
+    Ok(Statement::CreateTable { name, cols, pk })
+}
+
+fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
+    let name = lx.ident()?;
+    lx.keyword("KEY")?;
+    let key = lx.ident()?;
+    lx.keyword("ENTITIES")?;
+    lx.keyword("FROM")?;
+    let entity_table = lx.ident()?;
+    lx.keyword("KEY")?;
+    let entity_key = lx.ident()?;
+    lx.keyword("LABELS")?;
+    lx.keyword("FROM")?;
+    let labels_table = lx.ident()?;
+    lx.keyword("LABEL")?;
+    let label_col = lx.ident()?;
+    lx.keyword("EXAMPLES")?;
+    lx.keyword("FROM")?;
+    let examples_table = lx.ident()?;
+    lx.keyword("KEY")?;
+    let examples_key = lx.ident()?;
+    lx.keyword("LABEL")?;
+    let examples_label = lx.ident()?;
+    lx.keyword("FEATURE")?;
+    lx.keyword("FUNCTION")?;
+    let feature_fn = lx.ident()?;
+    let mut using = None;
+    let mut architecture = None;
+    let mut mode = None;
+    loop {
+        if lx.eat_keyword("USING") {
+            using = Some(lx.ident()?);
+        } else if lx.eat_keyword("ARCHITECTURE") {
+            architecture = Some(lx.ident()?);
+        } else if lx.eat_keyword("MODE") {
+            mode = Some(lx.ident()?);
+        } else {
+            break;
+        }
+    }
+    lx.done()?;
+    Ok(Statement::CreateView(ViewDecl {
+        name,
+        key,
+        entity_table,
+        entity_key,
+        labels_table,
+        label_col,
+        examples_table,
+        examples_key,
+        examples_label,
+        feature_fn,
+        using,
+        architecture,
+        mode,
+    }))
+}
+
+fn parse_select(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
+    // SELECT COUNT(*) FROM v [WHERE class = c]
+    if lx.eat_keyword("COUNT") {
+        lx.sym('(')?;
+        lx.sym('*')?;
+        lx.sym(')')?;
+        lx.keyword("FROM")?;
+        let view = lx.ident()?;
+        let mut class = None;
+        if lx.eat_keyword("WHERE") {
+            lx.keyword("CLASS")?;
+            lx.sym('=')?;
+            class = Some(parse_class(lx)?);
+        }
+        lx.done()?;
+        return Ok(Statement::SelectCount { view, class });
+    }
+    // SELECT <col> FROM v WHERE ...
+    let col = lx.ident()?;
+    lx.keyword("FROM")?;
+    let view = lx.ident()?;
+    lx.keyword("WHERE")?;
+    let lhs = lx.ident()?;
+    lx.sym('=')?;
+    if col.eq_ignore_ascii_case("class") {
+        // SELECT class FROM v WHERE <key> = n
+        let _ = lhs; // the key column name is the view's business
+        let key = lx.int()?;
+        lx.done()?;
+        Ok(Statement::SelectLabel { view, key })
+    } else if lhs.eq_ignore_ascii_case("class") {
+        // SELECT <key> FROM v WHERE class = c
+        let class = parse_class(lx)?;
+        lx.done()?;
+        Ok(Statement::SelectMembers { view, class })
+    } else {
+        Err(lx.err("supported reads: class-by-key, members-by-class, COUNT(*)"))
+    }
+}
+
+fn parse_class(lx: &mut Lexer<'_>) -> Result<i8, DbError> {
+    let v = lx.int()?;
+    if v == 1 || v == -1 {
+        Ok(v as i8)
+    } else {
+        Err(lx.err("class literal must be 1 or -1"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example_2_1() {
+        let stmt = parse_statement(
+            "CREATE CLASSIFICATION VIEW Labeled_Papers KEY id \
+             ENTITIES FROM Papers KEY id \
+             LABELS FROM Paper_Area LABEL l \
+             EXAMPLES FROM Example_Papers KEY id LABEL l \
+             FEATURE FUNCTION tf_bag_of_words",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView(v) => {
+                assert_eq!(v.name, "Labeled_Papers");
+                assert_eq!(v.entity_table, "Papers");
+                assert_eq!(v.labels_table, "Paper_Area");
+                assert_eq!(v.examples_table, "Example_Papers");
+                assert_eq!(v.feature_fn, "tf_bag_of_words");
+                assert_eq!(v.using, None);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_using_architecture_and_mode() {
+        let stmt = parse_statement(
+            "CREATE CLASSIFICATION VIEW V KEY id \
+             ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+             EXAMPLES FROM X KEY id LABEL l \
+             FEATURE FUNCTION numeric_columns \
+             USING SVM ARCHITECTURE HYBRID MODE LAZY;",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateView(v) => {
+                assert_eq!(v.using.as_deref(), Some("SVM"));
+                assert_eq!(v.architecture.as_deref(), Some("HYBRID"));
+                assert_eq!(v.mode.as_deref(), Some("LAZY"));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_and_insert() {
+        let stmt = parse_statement(
+            "CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT, score FLOAT)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "Papers".into(),
+                cols: vec![
+                    ("id".into(), ColumnType::Int),
+                    ("title".into(), ColumnType::Text),
+                    ("score".into(), ColumnType::Float),
+                ],
+                pk: Some("id".into()),
+            }
+        );
+        let ins = parse_statement("INSERT INTO Papers VALUES (1, 'a ''quoted'' title', 0.5)")
+            .unwrap();
+        assert_eq!(
+            ins,
+            Statement::Insert {
+                table: "Papers".into(),
+                values: vec![
+                    Value::Int(1),
+                    Value::Text("a 'quoted' title".into()),
+                    Value::Float(0.5),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_the_three_read_shapes() {
+        assert_eq!(
+            parse_statement("SELECT class FROM V WHERE id = 10").unwrap(),
+            Statement::SelectLabel { view: "V".into(), key: 10 }
+        );
+        assert_eq!(
+            parse_statement("SELECT COUNT(*) FROM V WHERE class = 1").unwrap(),
+            Statement::SelectCount { view: "V".into(), class: Some(1) }
+        );
+        assert_eq!(
+            parse_statement("SELECT COUNT(*) FROM V").unwrap(),
+            Statement::SelectCount { view: "V".into(), class: None }
+        );
+        assert_eq!(
+            parse_statement("SELECT id FROM V WHERE class = -1").unwrap(),
+            Statement::SelectMembers { view: "V".into(), class: -1 }
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_statement("select class from V where id = 1").is_ok());
+        assert!(parse_statement("insert into T values (1)").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_statement("SELECT class FROM V WHERE id = 'oops'").unwrap_err();
+        match err {
+            DbError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("DROP TABLE x").is_err());
+        assert!(parse_statement("SELECT COUNT(*) FROM V WHERE class = 3").is_err());
+        assert!(parse_statement("INSERT INTO T VALUES (1,)").is_err());
+        assert!(parse_statement("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let stmt = parse_statement(
+            "SELECT class -- the label\nFROM V -- the view\nWHERE id = 2",
+        )
+        .unwrap();
+        assert_eq!(stmt, Statement::SelectLabel { view: "V".into(), key: 2 });
+    }
+}

@@ -1,0 +1,161 @@
+//! In-memory catalog tables.
+//!
+//! These hold the *sources* of a classification view — entities, labels,
+//! training examples — exactly the relations a developer owns in the paper's
+//! workflow. (The view's own storage is managed by `hazy-core`, on the
+//! simulated-disk substrate for the on-disk architectures.)
+
+use std::collections::HashMap;
+
+use crate::error::DbError;
+use crate::value::{Row, Schema, Value};
+
+/// A heap of rows with an optional integer primary key.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Primary-key column index, if declared.
+    pk_col: Option<usize>,
+    rows: Vec<Row>,
+    pk_index: HashMap<i64, usize>,
+}
+
+impl Table {
+    /// Creates a table; `pk` names the primary-key column if any.
+    ///
+    /// # Panics
+    /// Panics if `pk` names a column that does not exist (caller validates
+    /// user input first).
+    pub fn new(name: &str, schema: Schema, pk: Option<&str>) -> Table {
+        let pk_col = pk.map(|p| schema.col(p).expect("primary key column exists"));
+        Table { name: name.into(), schema, pk_col, rows: Vec::new(), pk_index: HashMap::new() }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, enforcing schema and primary-key uniqueness.
+    ///
+    /// # Errors
+    /// [`DbError::SchemaMismatch`] or [`DbError::DuplicateKey`].
+    pub fn insert(&mut self, row: Row) -> Result<usize, DbError> {
+        if !self.schema.admits(&row) {
+            return Err(DbError::SchemaMismatch(format!(
+                "row of arity {} into table {} ({} columns)",
+                row.len(),
+                self.name,
+                self.schema.arity()
+            )));
+        }
+        if let Some(pk) = self.pk_col {
+            let key = row[pk]
+                .as_int()
+                .ok_or_else(|| DbError::SchemaMismatch("primary key must be an integer".into()))?;
+            if self.pk_index.contains_key(&key) {
+                return Err(DbError::DuplicateKey(key));
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Row by position.
+    pub fn row(&self, i: usize) -> Option<&Row> {
+        self.rows.get(i)
+    }
+
+    /// Row by primary key.
+    pub fn get(&self, key: i64) -> Option<&Row> {
+        let &i = self.pk_index.get(&key)?;
+        self.rows.get(i)
+    }
+
+    /// Iterates all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// The value of `col` in the row keyed by `key`.
+    pub fn value(&self, key: i64, col: &str) -> Option<&Value> {
+        let c = self.schema.col(col)?;
+        self.get(key).map(|r| &r[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    fn papers() -> Table {
+        Table::new(
+            "Papers",
+            Schema::new(vec![
+                ("id".into(), ColumnType::Int),
+                ("title".into(), ColumnType::Text),
+            ]),
+            Some("id"),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_by_key() {
+        let mut t = papers();
+        t.insert(vec![Value::Int(10), Value::Text("a db paper".into())]).unwrap();
+        t.insert(vec![Value::Int(20), Value::Text("an os paper".into())]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(10, "title").unwrap().as_text(), Some("a db paper"));
+        assert!(t.get(30).is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut t = papers();
+        t.insert(vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+        assert_eq!(
+            t.insert(vec![Value::Int(1), Value::Text("y".into())]),
+            Err(DbError::DuplicateKey(1))
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut t = papers();
+        assert!(matches!(
+            t.insert(vec![Value::Text("oops".into()), Value::Text("x".into())]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn tables_without_pk_allow_duplicates() {
+        let mut t = Table::new(
+            "Examples",
+            Schema::new(vec![("id".into(), ColumnType::Int), ("label".into(), ColumnType::Text)]),
+            None,
+        );
+        t.insert(vec![Value::Int(1), Value::Text("DB".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("DB".into())]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

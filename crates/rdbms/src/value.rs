@@ -1,0 +1,174 @@
+//! Typed values, rows and schemas for the embedded catalog.
+
+use hazy_linalg::FeatureVec;
+use std::fmt;
+
+/// Column types supported by the mini-RDBMS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer (also used for entity keys).
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// A feature vector (the output of a feature function).
+    Vector,
+}
+
+/// A single value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+    /// Feature vector.
+    Vector(FeatureVec),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The column type this value inhabits (`None` for NULL).
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Float(_) => Some(ColumnType::Float),
+            Value::Text(_) => Some(ColumnType::Text),
+            Value::Vector(_) => Some(ColumnType::Vector),
+            Value::Null => None,
+        }
+    }
+
+    /// Integer view, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Text view, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Float view (`Int` coerces), if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Vector(v) => write!(f, "<vector dim={} nnz={}>", v.dim(), v.nnz()),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A table schema: ordered, named, typed columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    cols: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(cols: Vec<(String, ColumnType)>) -> Schema {
+        for i in 0..cols.len() {
+            for j in i + 1..cols.len() {
+                assert!(cols[i].0 != cols[j].0, "duplicate column {}", cols[i].0);
+            }
+        }
+        Schema { cols }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(n, _)| n == name)
+    }
+
+    /// `(name, type)` of column `i`.
+    pub fn column(&self, i: usize) -> (&str, ColumnType) {
+        (&self.cols[i].0, self.cols[i].1)
+    }
+
+    /// Checks a row against the schema (NULL fits any column).
+    pub fn admits(&self, row: &Row) -> bool {
+        row.len() == self.cols.len()
+            && row
+                .iter()
+                .zip(self.cols.iter())
+                .all(|(v, (_, t))| v.column_type().is_none_or(|vt| vt == *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id".into(), ColumnType::Int),
+            ("title".into(), ColumnType::Text),
+            ("score".into(), ColumnType::Float),
+        ])
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.col("title"), Some(1));
+        assert_eq!(s.col("nope"), None);
+        assert_eq!(s.column(2), ("score", ColumnType::Float));
+    }
+
+    #[test]
+    fn row_admission() {
+        let s = schema();
+        assert!(s.admits(&vec![Value::Int(1), Value::Text("x".into()), Value::Float(0.5)]));
+        assert!(s.admits(&vec![Value::Int(1), Value::Null, Value::Null]));
+        assert!(!s.admits(&vec![Value::Int(1), Value::Int(2), Value::Float(0.5)]));
+        assert!(!s.admits(&vec![Value::Int(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let _ = Schema::new(vec![("a".into(), ColumnType::Int), ("a".into(), ColumnType::Int)]);
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Text("t".into()).as_text(), Some("t"));
+        assert_eq!(Value::Null.column_type(), None);
+        assert_eq!(format!("{}", Value::Text("x".into())), "'x'");
+    }
+}

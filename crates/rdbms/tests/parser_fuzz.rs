@@ -1,0 +1,98 @@
+//! Parser robustness: random inputs never panic, valid statements
+//! round-trip through rendering, and error offsets stay in bounds.
+
+use hazy_rdbms::{parse_statement, DbError, Statement};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,12}".prop_filter("avoid bare keywords", |s| {
+        !["select", "insert", "create", "from", "where", "values", "count", "class", "null",
+          "into", "table", "key", "label", "using", "mode"]
+            .contains(&s.to_ascii_lowercase().as_str())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the parser returns an error or a statement, never
+    /// panics, and error offsets point inside the input.
+    #[test]
+    fn never_panics_on_garbage(input in "\\PC{0,120}") {
+        match parse_statement(&input) {
+            Ok(_) => {}
+            Err(DbError::Parse { offset, .. }) => {
+                prop_assert!(offset <= input.len(), "offset {offset} beyond {}", input.len());
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Structured-ish garbage around real keywords also never panics.
+    #[test]
+    fn never_panics_on_keyword_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("CREATE".to_string()),
+                Just("CLASSIFICATION".to_string()),
+                Just("VIEW".to_string()),
+                Just("INSERT".to_string()),
+                Just("WHERE".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("=".to_string()),
+                Just("'txt'".to_string()),
+                Just("42".to_string()),
+                arb_ident(),
+            ],
+            0..16,
+        )
+    ) {
+        let _ = parse_statement(&parts.join(" "));
+    }
+
+    /// Any well-formed single-entity read parses to the expected shape.
+    #[test]
+    fn select_label_round_trips(view in arb_ident(), key_col in arb_ident(), key in 0i64..1_000_000) {
+        let sql = format!("SELECT class FROM {view} WHERE {key_col} = {key}");
+        prop_assert_eq!(
+            parse_statement(&sql).unwrap(),
+            Statement::SelectLabel { view, key }
+        );
+    }
+
+    /// Any well-formed INSERT with mixed literals parses with values in
+    /// order.
+    #[test]
+    fn insert_round_trips(
+        table in arb_ident(),
+        ints in prop::collection::vec(-1000i64..1000, 1..6),
+    ) {
+        let vals: Vec<String> = ints.iter().map(|v| v.to_string()).collect();
+        let sql = format!("INSERT INTO {table} VALUES ({})", vals.join(", "));
+        match parse_statement(&sql).unwrap() {
+            Statement::Insert { table: t, values } => {
+                prop_assert_eq!(t, table);
+                prop_assert_eq!(values.len(), ints.len());
+                for (v, expect) in values.iter().zip(ints.iter()) {
+                    prop_assert_eq!(v.as_int(), Some(*expect));
+                }
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+
+    /// Quoted strings with embedded escaped quotes survive.
+    #[test]
+    fn string_escapes_round_trip(table in arb_ident(), body in "[a-z ]{0,20}") {
+        let quoted = body.replace('\'', "''");
+        let sql = format!("INSERT INTO {table} VALUES ('{quoted}')");
+        match parse_statement(&sql).unwrap() {
+            Statement::Insert { values, .. } => {
+                prop_assert_eq!(values[0].as_text(), Some(body.as_str()));
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+}

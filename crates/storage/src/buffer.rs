@@ -1,0 +1,256 @@
+//! A fixed-capacity buffer pool with clock-sweep eviction.
+//!
+//! All reads and writes from the access methods go through the pool, so the
+//! fraction of a structure that stays memory-resident — the knob behind the
+//! paper's on-disk vs in-memory vs hybrid comparisons — is simply the pool
+//! capacity.
+
+use std::collections::HashMap;
+
+use crate::clock::IoStats;
+use crate::disk::{PageId, SimDisk, PAGE_SIZE};
+
+struct Frame {
+    pid: PageId,
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Clock-sweep reference bit: set on access, cleared as the hand passes.
+    referenced: bool,
+}
+
+/// Buffer pool over a [`SimDisk`]. Accesses are closure-scoped (`with_page`
+/// style) which keeps borrows simple and makes pin/unpin bugs impossible.
+pub struct BufferPool {
+    disk: SimDisk,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity` pages (≥ 1).
+    pub fn new(disk: SimDisk, capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            disk,
+            frames: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::with_capacity(capacity.min(1024)),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    /// Maximum resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// I/O statistics (shared with the disk).
+    pub fn stats(&self) -> std::sync::Arc<IoStats> {
+        self.disk.stats()
+    }
+
+    /// The underlying disk (for clock access and page accounting).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Allocates a fresh zeroed page and faults it in dirty, so the first
+    /// flush writes it out.
+    pub fn allocate(&mut self) -> PageId {
+        let pid = self.disk.allocate();
+        let slot = self.grab_frame();
+        self.frames[slot] =
+            Frame { pid, data: Box::new([0u8; PAGE_SIZE]), dirty: true, referenced: true };
+        self.map.insert(pid, slot);
+        pid
+    }
+
+    /// Drops `pid` from the pool (without flushing) and frees it on disk.
+    pub fn free(&mut self, pid: PageId) {
+        if let Some(slot) = self.map.remove(&pid) {
+            // leave a dead frame; it will be reused by the sweep
+            self.frames[slot].dirty = false;
+            self.frames[slot].referenced = false;
+            self.frames[slot].pid = PageId::INVALID;
+        }
+        self.disk.free(pid);
+    }
+
+    /// Runs `f` over an immutable view of page `pid`.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
+        let slot = self.fault_in(pid);
+        f(&self.frames[slot].data)
+    }
+
+    /// Runs `f` over a mutable view of page `pid`, marking it dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> R {
+        let slot = self.fault_in(pid);
+        self.frames[slot].dirty = true;
+        f(&mut self.frames[slot].data)
+    }
+
+    /// Writes every dirty frame back to disk.
+    pub fn flush_all(&mut self) {
+        // flush in page order: a checkpoint is mostly-sequential I/O
+        let mut dirty: Vec<usize> = (0..self.frames.len())
+            .filter(|&i| self.frames[i].dirty && self.frames[i].pid != PageId::INVALID)
+            .collect();
+        dirty.sort_by_key(|&i| self.frames[i].pid);
+        for i in dirty {
+            self.disk.write_page(self.frames[i].pid, &self.frames[i].data);
+            self.frames[i].dirty = false;
+        }
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    fn fault_in(&mut self, pid: PageId) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(&slot) = self.map.get(&pid) {
+            self.disk.stats().pool_hits.fetch_add(1, Relaxed);
+            self.disk.clock().charge_ns(self.disk.clock().model().pool_hit_ns);
+            self.frames[slot].referenced = true;
+            return slot;
+        }
+        self.disk.stats().pool_misses.fetch_add(1, Relaxed);
+        let slot = self.grab_frame();
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.disk.read_page(pid, &mut data);
+        self.frames[slot] = Frame { pid, data, dirty: false, referenced: true };
+        self.map.insert(pid, slot);
+        slot
+    }
+
+    /// Finds a free frame, evicting via clock sweep when at capacity.
+    fn grab_frame(&mut self) -> usize {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                pid: PageId::INVALID,
+                data: Box::new([0u8; PAGE_SIZE]),
+                dirty: false,
+                referenced: false,
+            });
+            return self.frames.len() - 1;
+        }
+        loop {
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[self.hand];
+            if frame.pid == PageId::INVALID {
+                return self.hand;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            // victim found
+            let victim = self.hand;
+            let old_pid = self.frames[victim].pid;
+            if self.frames[victim].dirty {
+                let data = std::mem::replace(&mut self.frames[victim].data, Box::new([0u8; PAGE_SIZE]));
+                self.disk.write_page(old_pid, &data);
+                self.frames[victim].data = data;
+            }
+            self.map.remove(&old_pid);
+            return victim;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{CostModel, VirtualClock};
+
+    fn pool(capacity: usize) -> BufferPool {
+        let disk = SimDisk::new(VirtualClock::new(CostModel::sata_2008()));
+        BufferPool::new(disk, capacity)
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let mut p = pool(2);
+        let pids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        for (k, &pid) in pids.iter().enumerate() {
+            p.with_page_mut(pid, |pg| pg[0] = k as u8);
+        }
+        // all four pages were touched with capacity 2, so two were evicted
+        for (k, &pid) in pids.iter().enumerate() {
+            let v = p.with_page(pid, |pg| pg[0]);
+            assert_eq!(v, k as u8);
+        }
+    }
+
+    #[test]
+    fn hits_do_not_touch_disk() {
+        let mut p = pool(4);
+        let pid = p.allocate();
+        p.flush_all();
+        let reads_before = p.stats().reads();
+        for _ in 0..100 {
+            p.with_page(pid, |_| ());
+        }
+        assert_eq!(p.stats().reads(), reads_before);
+        assert!(p.stats().pool_hits.load(std::sync::atomic::Ordering::Relaxed) >= 100);
+    }
+
+    #[test]
+    fn hit_is_orders_cheaper_than_miss() {
+        let mut p = pool(1);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.flush_all();
+        // alternate: every access misses
+        let t0 = p.disk().clock().now_ns();
+        for _ in 0..4 {
+            p.with_page(a, |_| ());
+            p.with_page(b, |_| ());
+        }
+        let miss_cost = p.disk().clock().now_ns() - t0;
+        // repeated access: all hits
+        let t1 = p.disk().clock().now_ns();
+        for _ in 0..8 {
+            p.with_page(b, |_| ());
+        }
+        let hit_cost = p.disk().clock().now_ns() - t1;
+        assert!(miss_cost > hit_cost * 100, "miss {miss_cost} hit {hit_cost}");
+    }
+
+    #[test]
+    fn flush_all_clears_dirty_bits() {
+        let mut p = pool(4);
+        let pid = p.allocate();
+        p.with_page_mut(pid, |pg| pg[7] = 7);
+        p.flush_all();
+        let w = p.stats().writes();
+        p.flush_all(); // nothing dirty: no new writes
+        assert_eq!(p.stats().writes(), w);
+    }
+
+    #[test]
+    fn freed_pages_leave_the_pool() {
+        let mut p = pool(4);
+        let pid = p.allocate();
+        assert_eq!(p.resident(), 1);
+        p.free(pid);
+        assert_eq!(p.resident(), 0);
+    }
+
+    #[test]
+    fn eviction_pressure_respects_capacity() {
+        let mut p = pool(3);
+        let pids: Vec<PageId> = (0..20).map(|_| p.allocate()).collect();
+        for &pid in &pids {
+            p.with_page(pid, |_| ());
+        }
+        assert!(p.resident() <= 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! The simulated disk: in-memory pages, virtual-time charges.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use crate::clock::{IoStats, VirtualClock};
+
+/// Fixed page size, matching PostgreSQL's 8 KiB default.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page on the simulated disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel for "no page" in on-page link fields.
+    pub const INVALID: PageId = PageId(u32::MAX);
+}
+
+/// A page store that behaves like a single spindle: accesses to the page
+/// immediately following the previous access are *sequential*, everything
+/// else pays the random-access latency. Pages live in RAM; only the cost is
+/// simulated.
+pub struct SimDisk {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Freed pages, reused lowest-id first: a structure rebuilt after a
+    /// `destroy` gets physically contiguous ascending pages again, so its
+    /// scans stay sequential (a LIFO free list would hand pages back in
+    /// descending order and turn every rebuilt scan into random I/O).
+    free: BinaryHeap<Reverse<u32>>,
+    last_accessed: Option<u32>,
+    clock: VirtualClock,
+    stats: Arc<IoStats>,
+}
+
+impl SimDisk {
+    /// Creates an empty disk charging to `clock`.
+    pub fn new(clock: VirtualClock) -> SimDisk {
+        SimDisk {
+            pages: Vec::new(),
+            free: BinaryHeap::new(),
+            last_accessed: None,
+            clock,
+            stats: Arc::new(IoStats::default()),
+        }
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The clock this disk charges.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Number of pages ever allocated (including freed ones).
+    pub fn capacity_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Allocates a zeroed page, reusing the lowest-numbered freed page
+    /// first.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(Reverse(pid)) = self.free.pop() {
+            let pid = PageId(pid);
+            *self.pages[pid.0 as usize] = [0u8; PAGE_SIZE];
+            return pid;
+        }
+        let pid = PageId(self.pages.len() as u32);
+        assert!(pid != PageId::INVALID, "simulated disk full");
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        pid
+    }
+
+    /// Returns a page to the free list. The caller promises no live
+    /// references to it remain (heap files drop whole page sets at
+    /// reorganization).
+    pub fn free(&mut self, pid: PageId) {
+        debug_assert!((pid.0 as usize) < self.pages.len(), "freeing unallocated page");
+        debug_assert!(
+            !self.free.iter().any(|&Reverse(p)| p == pid.0),
+            "double free of {pid:?}"
+        );
+        self.free.push(Reverse(pid.0));
+    }
+
+    fn charge(&mut self, pid: PageId, write: bool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let sequential = self.last_accessed == Some(pid.0.wrapping_sub(1));
+        self.last_accessed = Some(pid.0);
+        let m = self.clock.model();
+        let (ns, ctr) = match (write, sequential) {
+            (false, true) => (m.seq_read_ns, &self.stats.seq_reads),
+            (false, false) => (m.rand_read_ns, &self.stats.rand_reads),
+            (true, true) => (m.seq_write_ns, &self.stats.seq_writes),
+            (true, false) => (m.rand_write_ns, &self.stats.rand_writes),
+        };
+        ctr.fetch_add(1, Relaxed);
+        self.clock.charge_ns(ns);
+    }
+
+    /// Reads page `pid` into `buf`, charging the clock.
+    ///
+    /// # Panics
+    /// Panics on unallocated pages — that is an engine bug, not a user
+    /// error.
+    pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        self.charge(pid, false);
+        buf.copy_from_slice(&self.pages[pid.0 as usize][..]);
+    }
+
+    /// Writes `buf` to page `pid`, charging the clock.
+    pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) {
+        self.charge(pid, true);
+        self.pages[pid.0 as usize].copy_from_slice(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::CostModel;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(VirtualClock::new(CostModel::sata_2008()))
+    }
+
+    #[test]
+    fn pages_round_trip() {
+        let mut d = disk();
+        let a = d.allocate();
+        let b = d.allocate();
+        let mut pa = [0u8; PAGE_SIZE];
+        pa[0] = 0xAA;
+        d.write_page(a, &pa);
+        let mut pb = [0u8; PAGE_SIZE];
+        pb[0] = 0xBB;
+        d.write_page(b, &pb);
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read_page(a, &mut buf);
+        assert_eq!(buf[0], 0xAA);
+        d.read_page(b, &mut buf);
+        assert_eq!(buf[0], 0xBB);
+    }
+
+    #[test]
+    fn sequential_access_is_cheaper() {
+        let mut d = disk();
+        let pids: Vec<PageId> = (0..10).map(|_| d.allocate()).collect();
+        let mut buf = [0u8; PAGE_SIZE];
+        // sequential pass
+        let t0 = d.clock().now_ns();
+        for &p in &pids {
+            d.read_page(p, &mut buf);
+        }
+        let seq_cost = d.clock().now_ns() - t0;
+        // strided (random) pass
+        let t1 = d.clock().now_ns();
+        for &p in pids.iter().step_by(2).chain(pids.iter().skip(1).step_by(2)) {
+            d.read_page(p, &mut buf);
+        }
+        let rand_cost = d.clock().now_ns() - t1;
+        // the sequential pass still pays one random seek for its first page,
+        // so compare with a factor that isolates the per-page difference
+        assert!(rand_cost > seq_cost * 5, "seq {seq_cost} rand {rand_cost}");
+    }
+
+    #[test]
+    fn first_access_is_random_then_run_is_sequential() {
+        let mut d = disk();
+        let pids: Vec<PageId> = (0..5).map(|_| d.allocate()).collect();
+        let mut buf = [0u8; PAGE_SIZE];
+        for &p in &pids {
+            d.read_page(p, &mut buf);
+        }
+        let (seq, rand, ..) = d.stats().snapshot();
+        assert_eq!(rand, 1);
+        assert_eq!(seq, 4);
+    }
+
+    #[test]
+    fn freed_pages_are_reused_and_zeroed() {
+        let mut d = disk();
+        let a = d.allocate();
+        let mut pa = [0xFFu8; PAGE_SIZE];
+        d.write_page(a, &pa);
+        d.free(a);
+        let b = d.allocate();
+        assert_eq!(a, b);
+        d.read_page(b, &mut pa);
+        assert!(pa.iter().all(|&x| x == 0));
+        assert_eq!(d.live_pages(), 1);
+    }
+
+    #[test]
+    fn stats_track_writes() {
+        let mut d = disk();
+        let a = d.allocate();
+        d.write_page(a, &[0u8; PAGE_SIZE]);
+        d.write_page(a, &[1u8; PAGE_SIZE]);
+        assert_eq!(d.stats().writes(), 2);
+        assert_eq!(d.stats().reads(), 0);
+    }
+}

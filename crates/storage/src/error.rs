@@ -1,0 +1,49 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by the access methods.
+///
+/// Invariant violations inside the engine (e.g. a corrupt page image) panic
+/// instead: they indicate bugs, not conditions a caller can handle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record exceeds the maximum slotted-page payload.
+    RecordTooLarge {
+        /// Requested payload size in bytes.
+        size: usize,
+        /// Maximum supported payload.
+        max: usize,
+    },
+    /// An in-place update changed the record length.
+    LengthMismatch {
+        /// Stored record length.
+        have: usize,
+        /// Offered replacement length.
+        want: usize,
+    },
+    /// A record id does not resolve to a live record.
+    BadRid,
+    /// A stored byte image failed to decode.
+    Corrupt(&'static str),
+    /// Duplicate key inserted into a unique index.
+    DuplicateKey,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page payload limit {max}")
+            }
+            StorageError::LengthMismatch { have, want } => {
+                write!(f, "in-place update length mismatch: stored {have}, new {want}")
+            }
+            StorageError::BadRid => write!(f, "record id does not resolve to a live record"),
+            StorageError::Corrupt(what) => write!(f, "corrupt stored data: {what}"),
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

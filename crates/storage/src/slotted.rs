@@ -1,0 +1,248 @@
+//! Slotted-page record layout.
+//!
+//! Classic textbook layout: a small header, a slot directory growing down
+//! from the header, and record payloads growing up from the end of the page.
+//!
+//! ```text
+//! 0        2        4                                             8192
+//! ┌────────┬────────┬──── slots ──▶            ◀── payloads ─────────┐
+//! │ n_slots│free_end│ (off,len) (off,len) ...     ...data... data... │
+//! └────────┴────────┴───────────────────────────────────────────────┘
+//! ```
+//!
+//! `free_end` is the offset one past the end of free space (payloads start
+//! there and grow toward the slot directory). Deleted records leave a
+//! tombstone slot (`off == 0xFFFF`); space is reclaimed only when the whole
+//! page is rebuilt, which in Hazy happens at every reorganization.
+
+use crate::disk::PAGE_SIZE;
+use crate::error::StorageError;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// Largest insertable payload: one record filling an empty page.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+
+fn n_slots(page: &[u8; PAGE_SIZE]) -> u16 {
+    u16::from_le_bytes([page[0], page[1]])
+}
+
+fn set_n_slots(page: &mut [u8; PAGE_SIZE], n: u16) {
+    page[0..2].copy_from_slice(&n.to_le_bytes());
+}
+
+fn free_end(page: &[u8; PAGE_SIZE]) -> u16 {
+    u16::from_le_bytes([page[2], page[3]])
+}
+
+fn set_free_end(page: &mut [u8; PAGE_SIZE], v: u16) {
+    page[2..4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn slot(page: &[u8; PAGE_SIZE], i: u16) -> (u16, u16) {
+    let base = HEADER + SLOT * i as usize;
+    let off = u16::from_le_bytes([page[base], page[base + 1]]);
+    let len = u16::from_le_bytes([page[base + 2], page[base + 3]]);
+    (off, len)
+}
+
+fn set_slot(page: &mut [u8; PAGE_SIZE], i: u16, off: u16, len: u16) {
+    let base = HEADER + SLOT * i as usize;
+    page[base..base + 2].copy_from_slice(&off.to_le_bytes());
+    page[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Formats an empty slotted page in place.
+pub fn init(page: &mut [u8; PAGE_SIZE]) {
+    set_n_slots(page, 0);
+    set_free_end(page, PAGE_SIZE as u16);
+}
+
+/// Free bytes available for one more record (slot entry included).
+pub fn free_space(page: &[u8; PAGE_SIZE]) -> usize {
+    let dir_end = HEADER + SLOT * n_slots(page) as usize;
+    (free_end(page) as usize).saturating_sub(dir_end).saturating_sub(SLOT)
+}
+
+/// Number of slots, live or tombstoned.
+pub fn slot_count(page: &[u8; PAGE_SIZE]) -> u16 {
+    n_slots(page)
+}
+
+/// Appends `rec`, returning its slot number, or `None` when the page is
+/// full.
+///
+/// # Errors
+/// [`StorageError::RecordTooLarge`] when `rec` could never fit in any page.
+pub fn insert(page: &mut [u8; PAGE_SIZE], rec: &[u8]) -> Result<Option<u16>, StorageError> {
+    if rec.len() > MAX_RECORD {
+        return Err(StorageError::RecordTooLarge { size: rec.len(), max: MAX_RECORD });
+    }
+    if free_space(page) < rec.len() {
+        return Ok(None);
+    }
+    let n = n_slots(page);
+    let end = free_end(page) as usize;
+    let off = end - rec.len();
+    page[off..end].copy_from_slice(rec);
+    set_slot(page, n, off as u16, rec.len() as u16);
+    set_n_slots(page, n + 1);
+    set_free_end(page, off as u16);
+    Ok(Some(n))
+}
+
+/// The payload of slot `i`, or `None` for out-of-range/tombstoned slots.
+pub fn get(page: &[u8; PAGE_SIZE], i: u16) -> Option<&[u8]> {
+    if i >= n_slots(page) {
+        return None;
+    }
+    let (off, len) = slot(page, i);
+    if off == TOMBSTONE {
+        return None;
+    }
+    Some(&page[off as usize..off as usize + len as usize])
+}
+
+/// Overwrites slot `i` in place.
+///
+/// # Errors
+/// [`StorageError::BadRid`] for dead slots, [`StorageError::LengthMismatch`]
+/// when the payload length differs (Hazy's label updates are same-size by
+/// construction; callers needing growth must delete + reinsert).
+pub fn update_in_place(
+    page: &mut [u8; PAGE_SIZE],
+    i: u16,
+    rec: &[u8],
+) -> Result<(), StorageError> {
+    if i >= n_slots(page) {
+        return Err(StorageError::BadRid);
+    }
+    let (off, len) = slot(page, i);
+    if off == TOMBSTONE {
+        return Err(StorageError::BadRid);
+    }
+    if rec.len() != len as usize {
+        return Err(StorageError::LengthMismatch { have: len as usize, want: rec.len() });
+    }
+    page[off as usize..off as usize + rec.len()].copy_from_slice(rec);
+    Ok(())
+}
+
+/// Tombstones slot `i`.
+///
+/// # Errors
+/// [`StorageError::BadRid`] when the slot is out of range or already dead.
+pub fn delete(page: &mut [u8; PAGE_SIZE], i: u16) -> Result<(), StorageError> {
+    if i >= n_slots(page) {
+        return Err(StorageError::BadRid);
+    }
+    let (off, len) = slot(page, i);
+    if off == TOMBSTONE {
+        return Err(StorageError::BadRid);
+    }
+    set_slot(page, i, TOMBSTONE, len);
+    Ok(())
+}
+
+/// Iterates `(slot, payload)` over live records.
+pub fn iter(page: &[u8; PAGE_SIZE]) -> impl Iterator<Item = (u16, &[u8])> {
+    (0..n_slots(page)).filter_map(move |i| get(page, i).map(|r| (i, r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<[u8; PAGE_SIZE]> {
+        let mut p = Box::new([0u8; PAGE_SIZE]);
+        init(&mut p);
+        p
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"hello").unwrap().unwrap();
+        let b = insert(&mut p, b"world!").unwrap().unwrap();
+        assert_eq!(get(&p, a), Some(&b"hello"[..]));
+        assert_eq!(get(&p, b), Some(&b"world!"[..]));
+        assert_eq!(get(&p, 2), None);
+    }
+
+    #[test]
+    fn fills_until_reported_full() {
+        let mut p = fresh();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while insert(&mut p, &rec).unwrap().is_some() {
+            n += 1;
+        }
+        // 104 bytes per record (100 payload + 4 slot): ~78 records
+        assert!(n >= 70, "only {n} records fit");
+        // every record is still readable
+        for i in 0..n {
+            assert_eq!(get(&p, i as u16), Some(&rec[..]));
+        }
+    }
+
+    #[test]
+    fn oversized_record_is_an_error() {
+        let mut p = fresh();
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            insert(&mut p, &huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_record_exactly_fits_empty_page() {
+        let mut p = fresh();
+        let rec = vec![9u8; MAX_RECORD];
+        assert_eq!(insert(&mut p, &rec).unwrap(), Some(0));
+        assert_eq!(free_space(&p), 0);
+    }
+
+    #[test]
+    fn update_in_place_same_size_only() {
+        let mut p = fresh();
+        let i = insert(&mut p, b"abcd").unwrap().unwrap();
+        update_in_place(&mut p, i, b"wxyz").unwrap();
+        assert_eq!(get(&p, i), Some(&b"wxyz"[..]));
+        assert!(matches!(
+            update_in_place(&mut p, i, b"toolong"),
+            Err(StorageError::LengthMismatch { have: 4, want: 7 })
+        ));
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"aa").unwrap().unwrap();
+        let b = insert(&mut p, b"bb").unwrap().unwrap();
+        delete(&mut p, a).unwrap();
+        assert_eq!(get(&p, a), None);
+        assert_eq!(get(&p, b), Some(&b"bb"[..]));
+        assert!(matches!(delete(&mut p, a), Err(StorageError::BadRid)));
+        // slot ids of later records are stable
+        let live: Vec<u16> = iter(&p).map(|(i, _)| i).collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn update_dead_slot_is_bad_rid() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"xx").unwrap().unwrap();
+        delete(&mut p, a).unwrap();
+        assert!(matches!(update_in_place(&mut p, a, b"yy"), Err(StorageError::BadRid)));
+    }
+
+    #[test]
+    fn zero_length_records_are_fine() {
+        let mut p = fresh();
+        let i = insert(&mut p, b"").unwrap().unwrap();
+        assert_eq!(get(&p, i), Some(&b""[..]));
+    }
+}

@@ -1,0 +1,173 @@
+//! Model-based property tests: each access method is compared against the
+//! obvious in-memory reference (`BTreeMap` / `HashMap` / `Vec`), under random
+//! operation sequences and a deliberately tiny buffer pool so eviction and
+//! re-faulting are constantly exercised.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hazy_storage::{BTree, BufferPool, CostModel, HashIndex, HeapFile, SimDisk, VirtualClock};
+use proptest::prelude::*;
+
+fn tiny_pool() -> BufferPool {
+    BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), 4)
+}
+
+#[derive(Clone, Debug)]
+enum HeapOp {
+    Append(Vec<u8>),
+    Update(usize, Vec<u8>),
+    Delete(usize),
+    Get(usize),
+}
+
+fn arb_heap_op() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(HeapOp::Append),
+        (any::<usize>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(i, d)| HeapOp::Update(i, d)),
+        any::<usize>().prop_map(HeapOp::Delete),
+        any::<usize>().prop_map(HeapOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Heap file behaves like a `Vec<Option<Vec<u8>>>` keyed by insertion
+    /// order, with same-length in-place updates.
+    #[test]
+    fn heap_matches_model(ops in prop::collection::vec(arb_heap_op(), 1..120)) {
+        let mut pool = tiny_pool();
+        let mut heap = HeapFile::new();
+        let mut rids = Vec::new();
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+
+        for op in ops {
+            match op {
+                HeapOp::Append(data) => {
+                    let rid = heap.append(&mut pool, &data).unwrap();
+                    rids.push(rid);
+                    model.push(Some(data));
+                }
+                HeapOp::Update(i, data) if !rids.is_empty() => {
+                    let i = i % rids.len();
+                    let res = heap.update_in_place(&mut pool, rids[i], &data);
+                    match &mut model[i] {
+                        Some(old) if old.len() == data.len() => {
+                            prop_assert!(res.is_ok());
+                            *old = data;
+                        }
+                        _ => prop_assert!(res.is_err()),
+                    }
+                }
+                HeapOp::Delete(i) if !rids.is_empty() => {
+                    let i = i % rids.len();
+                    let res = heap.delete(&mut pool, rids[i]);
+                    prop_assert_eq!(res.is_ok(), model[i].is_some());
+                    model[i] = None;
+                }
+                HeapOp::Get(i) if !rids.is_empty() => {
+                    let i = i % rids.len();
+                    let got = heap.get(&mut pool, rids[i], |b| b.to_vec()).ok();
+                    prop_assert_eq!(&got, &model[i]);
+                }
+                _ => {}
+            }
+        }
+        // final full scan agrees with the model's live set, in order
+        let mut scanned = Vec::new();
+        heap.scan(&mut pool, |_, rec| { scanned.push(rec.to_vec()); true });
+        let live: Vec<Vec<u8>> = model.iter().flatten().cloned().collect();
+        prop_assert_eq!(scanned, live);
+        prop_assert_eq!(heap.len() as usize, model.iter().flatten().count());
+    }
+
+    /// B+-tree matches `BTreeMap` on random inserts, lookups and range
+    /// scans.
+    #[test]
+    fn btree_matches_btreemap(
+        keys in prop::collection::vec((0u64..5000, 0u64..4), 1..400),
+        probes in prop::collection::vec((0u64..5000, 0u64..4), 1..40),
+        range_lo in (0u64..5000, 0u64..4),
+    ) {
+        let mut pool = tiny_pool();
+        let mut tree = BTree::new(&mut pool);
+        let mut model = BTreeMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let v = i as u64;
+            match model.entry(k) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                    prop_assert!(tree.insert(&mut pool, k, v).is_ok());
+                }
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    prop_assert!(tree.insert(&mut pool, k, v).is_err());
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        for &k in &probes {
+            prop_assert_eq!(tree.get(&mut pool, k), model.get(&k).copied());
+        }
+        let mut scanned = Vec::new();
+        tree.scan_from(&mut pool, range_lo, |k, v| { scanned.push((k, v)); true });
+        let expect: Vec<((u64, u64), u64)> =
+            model.range(range_lo..).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    /// Bulk-loading sorted entries is equivalent to inserting them.
+    #[test]
+    fn btree_bulk_load_equivalent(raw in prop::collection::vec((0u64..10_000, 0u64..4), 1..600)) {
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for (i, &k) in raw.iter().enumerate() {
+            model.entry(k).or_insert(i as u64);
+        }
+        let entries: Vec<((u64, u64), u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut pool = tiny_pool();
+        let tree = BTree::bulk_load(&mut pool, &entries);
+        prop_assert_eq!(tree.len(), entries.len() as u64);
+        let mut scanned = Vec::new();
+        tree.scan_from(&mut pool, (0, 0), |k, v| { scanned.push((k, v)); true });
+        prop_assert_eq!(scanned, entries);
+    }
+
+    /// Hash index matches `HashMap` on random insert/update/remove traffic.
+    #[test]
+    fn hash_index_matches_hashmap(
+        ops in prop::collection::vec((0u8..4, 0u64..200, any::<u64>()), 1..300)
+    ) {
+        let mut pool = tiny_pool();
+        let mut idx = HashIndex::with_capacity(&mut pool, 8);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => {
+                    let res = idx.insert(&mut pool, k, v);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(k) {
+                        prop_assert!(res.is_ok());
+                        e.insert(v);
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                1 => {
+                    let res = idx.update(&mut pool, k, v);
+                    prop_assert_eq!(res.is_ok(), model.contains_key(&k));
+                    if let Some(slot) = model.get_mut(&k) { *slot = v; }
+                }
+                2 => {
+                    let res = idx.remove(&mut pool, k);
+                    prop_assert_eq!(res.is_ok(), model.remove(&k).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(idx.get(&mut pool, k), model.get(&k).copied());
+                }
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len() as u64);
+        for (&k, &v) in &model {
+            prop_assert_eq!(idx.get(&mut pool, k), Some(v));
+        }
+    }
+}

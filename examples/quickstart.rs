@@ -1,0 +1,87 @@
+//! Quickstart: a classification view over paper titles, driven through SQL.
+//!
+//! Mirrors the paper's Example 2.1: declare a `CLASSIFICATION VIEW` over a
+//! `Papers` table, insert labeled examples, and read labels back with plain
+//! SQL. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hazy::rdbms::{Db, QueryResult};
+
+fn main() {
+    let mut db = Db::new();
+
+    // --- schema: entities, the label set, and the examples table ---------
+    db.execute("CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT)").unwrap();
+    db.execute("CREATE TABLE Paper_Area (label TEXT)").unwrap();
+    db.execute("CREATE TABLE Example_Papers (id INT, label TEXT)").unwrap();
+    db.execute("INSERT INTO Paper_Area VALUES ('DB')").unwrap();
+    db.execute("INSERT INTO Paper_Area VALUES ('NonDB')").unwrap();
+
+    // --- a tiny corpus ----------------------------------------------------
+    let papers = [
+        (1, "a survey of database transaction processing"),
+        (2, "query optimization in relational database systems"),
+        (3, "deep learning for image recognition"),
+        (4, "convolutional networks and vision transformers"),
+        (5, "concurrency control and recovery in database systems"),
+        (6, "reinforcement learning for game playing"),
+        (7, "indexing structures for database storage engines"),
+        (8, "generative models for image synthesis"),
+    ];
+    for (id, title) in papers {
+        db.execute(&format!("INSERT INTO Papers VALUES ({id}, '{title}')")).unwrap();
+    }
+
+    // --- the classification view (Example 2.1 of the paper) --------------
+    db.execute(
+        "CREATE CLASSIFICATION VIEW Labeled_Papers KEY id \
+         ENTITIES FROM Papers KEY id \
+         LABELS FROM Paper_Area LABEL label \
+         EXAMPLES FROM Example_Papers KEY id LABEL label \
+         FEATURE FUNCTION tf_bag_of_words \
+         USING SVM",
+    )
+    .unwrap();
+
+    // --- user feedback arrives as ordinary INSERTs; triggers retrain -----
+    for _ in 0..25 {
+        for (id, label) in [(1, "DB"), (3, "NonDB"), (2, "DB"), (4, "NonDB"), (6, "NonDB")] {
+            db.execute(&format!("INSERT INTO Example_Papers VALUES ({id}, '{label}')")).unwrap();
+        }
+    }
+
+    // --- and the view is queryable like any table ------------------------
+    println!("paper                                             class");
+    for (id, title) in papers {
+        let QueryResult::Label(Some(class)) =
+            db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap()
+        else {
+            panic!("paper {id} missing from the view");
+        };
+        println!("{title:<50}{}", if class > 0 { "DB" } else { "NonDB" });
+    }
+    let QueryResult::Count(n) =
+        db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap()
+    else {
+        panic!("count query failed");
+    };
+    println!("\ndatabase papers found: {n}");
+
+    // a brand-new paper is classified the moment it is inserted
+    db.execute("INSERT INTO Papers VALUES (9, 'adaptive indexing for database engines')").unwrap();
+    let QueryResult::Label(Some(class)) =
+        db.execute("SELECT class FROM Labeled_Papers WHERE id = 9").unwrap()
+    else {
+        panic!("new paper missing");
+    };
+    println!("newly inserted paper 9 -> {}", if class > 0 { "DB" } else { "NonDB" });
+
+    let stats = db.view_stats("Labeled_Papers").unwrap();
+    println!(
+        "\nview internals: {} updates, {} reorganizations, {} tuples reclassified",
+        stats.updates, stats.reorgs, stats.tuples_reclassified
+    );
+}

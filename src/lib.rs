@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Hazy workspace.
+pub use hazy_core as core;
+pub use hazy_datagen as datagen;
+pub use hazy_learn as learn;
+pub use hazy_linalg as linalg;
+pub use hazy_rdbms as rdbms;
+pub use hazy_storage as storage;

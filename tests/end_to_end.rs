@@ -1,0 +1,152 @@
+//! Workspace-level integration tests: the whole stack — datagen → feature
+//! functions → RDBMS DDL/triggers → view maintenance on the storage
+//! substrate — exercised together.
+
+use hazy::datagen::{CorpusConfig, DocumentCorpus};
+use hazy::rdbms::{Db, DbError, QueryResult};
+
+/// Builds a database with a generated document corpus loaded and a
+/// classification view over it.
+fn portal_db(n_docs: usize, arch: &str, mode: &str) -> (Db, DocumentCorpus) {
+    let corpus = DocumentCorpus::generate(CorpusConfig {
+        n_docs,
+        vocab: 3000,
+        abstract_len: 40,
+        ..CorpusConfig::default()
+    });
+    let mut db = Db::new();
+    db.execute("CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT, body TEXT)").unwrap();
+    db.execute("CREATE TABLE Areas (label TEXT)").unwrap();
+    db.execute("CREATE TABLE Feedback (id INT, label TEXT)").unwrap();
+    db.execute("INSERT INTO Areas VALUES ('DB')").unwrap();
+    db.execute("INSERT INTO Areas VALUES ('Other')").unwrap();
+    for d in &corpus.docs {
+        db.execute(&format!("INSERT INTO Papers VALUES ({}, '{}', '{}')", d.id, d.title, d.body))
+            .unwrap();
+    }
+    db.execute(&format!(
+        "CREATE CLASSIFICATION VIEW V KEY id \
+         ENTITIES FROM Papers KEY id \
+         LABELS FROM Areas LABEL label \
+         EXAMPLES FROM Feedback KEY id LABEL label \
+         FEATURE FUNCTION tf_bag_of_words \
+         USING SVM ARCHITECTURE {arch} MODE {mode}"
+    ))
+    .unwrap();
+    (db, corpus)
+}
+
+fn teach(db: &mut Db, corpus: &DocumentCorpus, n: usize) {
+    for (k, d) in corpus.docs.iter().cycle().take(n).enumerate() {
+        let _ = k;
+        let label = if d.label > 0 { "DB" } else { "Other" };
+        db.execute(&format!("INSERT INTO Feedback VALUES ({}, '{label}')", d.id)).unwrap();
+    }
+}
+
+#[test]
+fn sql_trained_view_recovers_topic_labels() {
+    let (mut db, corpus) = portal_db(300, "HAZY_MM", "EAGER");
+    teach(&mut db, &corpus, 900);
+    let mut correct = 0;
+    for d in &corpus.docs {
+        if let QueryResult::Label(Some(class)) =
+            db.execute(&format!("SELECT class FROM V WHERE id = {}", d.id)).unwrap()
+        {
+            if class == d.label {
+                correct += 1;
+            }
+        }
+    }
+    let acc = correct as f64 / corpus.len() as f64;
+    assert!(acc > 0.9, "accuracy {acc} (topic words carry strong signal)");
+}
+
+#[test]
+fn all_architectures_agree_through_sql() {
+    let configs = [
+        ("HAZY_MM", "EAGER"),
+        ("NAIVE_MM", "EAGER"),
+        ("HAZY_OD", "LAZY"),
+        ("NAIVE_OD", "LAZY"),
+        ("HYBRID", "EAGER"),
+    ];
+    let mut counts = Vec::new();
+    for (arch, mode) in configs {
+        let (mut db, corpus) = portal_db(150, arch, mode);
+        teach(&mut db, &corpus, 450);
+        let QueryResult::Count(n) =
+            db.execute("SELECT COUNT(*) FROM V WHERE class = 1").unwrap()
+        else {
+            panic!("count failed for {arch}/{mode}")
+        };
+        counts.push((arch, mode, n));
+    }
+    let first = counts[0].2;
+    for (arch, mode, n) in &counts {
+        assert_eq!(*n, first, "{arch}/{mode} disagrees: {counts:?}");
+    }
+}
+
+#[test]
+fn view_stays_consistent_under_interleaved_dynamics() {
+    // both kinds of dynamic data at once: new entities and new examples
+    let (mut db, corpus) = portal_db(200, "HAZY_MM", "EAGER");
+    teach(&mut db, &corpus, 400);
+    // insert brand-new papers with known topic words
+    db.execute("INSERT INTO Papers VALUES (9001, 'tp0 tp1 tp2 tp3', 'tp1 tp4 tp2 tp0 tp5')")
+        .unwrap();
+    db.execute("INSERT INTO Papers VALUES (9002, 'tn0 tn1 tn2 tn3', 'tn1 tn4 tn2 tn0 tn5')")
+        .unwrap();
+    teach(&mut db, &corpus, 200);
+    let QueryResult::Label(Some(pos)) =
+        db.execute("SELECT class FROM V WHERE id = 9001").unwrap()
+    else {
+        panic!("9001 missing")
+    };
+    let QueryResult::Label(Some(neg)) =
+        db.execute("SELECT class FROM V WHERE id = 9002").unwrap()
+    else {
+        panic!("9002 missing")
+    };
+    assert_eq!(pos, 1, "pure positive-topic paper");
+    assert_eq!(neg, -1, "pure negative-topic paper");
+    // the counts include the new entities
+    let QueryResult::Count(total) = db.execute("SELECT COUNT(*) FROM V").unwrap() else {
+        panic!()
+    };
+    assert_eq!(total, 202);
+}
+
+#[test]
+fn member_lists_partition_the_entities() {
+    let (mut db, corpus) = portal_db(120, "HYBRID", "LAZY");
+    teach(&mut db, &corpus, 360);
+    let QueryResult::Ids(pos) = db.execute("SELECT id FROM V WHERE class = 1").unwrap() else {
+        panic!()
+    };
+    let QueryResult::Ids(neg) = db.execute("SELECT id FROM V WHERE class = -1").unwrap() else {
+        panic!()
+    };
+    assert_eq!(pos.len() + neg.len(), corpus.len());
+    let pos_set: std::collections::HashSet<u64> = pos.iter().copied().collect();
+    assert!(neg.iter().all(|id| !pos_set.contains(id)), "classes overlap");
+}
+
+#[test]
+fn errors_do_not_corrupt_state() {
+    let (mut db, corpus) = portal_db(100, "HAZY_MM", "EAGER");
+    teach(&mut db, &corpus, 100);
+    // bad example (missing entity) fails...
+    assert_eq!(
+        db.execute("INSERT INTO Feedback VALUES (777777, 'DB')").unwrap_err(),
+        DbError::MissingEntity(777777)
+    );
+    // ...but the view keeps serving
+    let QueryResult::Count(n) = db.execute("SELECT COUNT(*) FROM V").unwrap() else {
+        panic!()
+    };
+    assert_eq!(n, 100);
+    teach(&mut db, &corpus, 50);
+    assert!(db.view_stats("V").unwrap().updates >= 150);
+}
