@@ -1,0 +1,89 @@
+//! Build-integrity smoke test: every architecture × mode is constructible
+//! through `ViewBuilder` and label-equivalent to the naive in-memory
+//! reference on a tiny corpus.
+//!
+//! The deeper behavioral equivalence is covered by the property suites in
+//! `crates/core/tests`; this test exists so that a broken manifest edge (an
+//! architecture silently dropped from the build, a missing re-export) fails
+//! loudly and cheaply at the workspace level.
+
+use hazy::core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy::learn::TrainingExample;
+use hazy::linalg::{FeatureVec, NormPair};
+
+/// A 3-feature point on a deterministic grid (bias term last).
+fn feature(a: u8, b: u8) -> FeatureVec {
+    FeatureVec::dense(vec![
+        f32::from(a) / 255.0 - 0.5,
+        f32::from(b) / 255.0 - 0.5,
+        1.0,
+    ])
+}
+
+fn tiny_corpus(n: usize) -> Vec<Entity> {
+    (0..n)
+        .map(|k| Entity::new(k as u64, feature((k * 37 % 256) as u8, (k * 91 % 256) as u8)))
+        .collect()
+}
+
+/// A separable training stream: positive iff the first grid coordinate is
+/// in the upper half.
+fn training_stream(n: usize) -> Vec<TrainingExample> {
+    (0..n)
+        .map(|k| {
+            let a = (k * 53 % 256) as u8;
+            let b = (k * 29 % 256) as u8;
+            TrainingExample::new(k as u64, feature(a, b), if a >= 128 { 1 } else { -1 })
+        })
+        .collect()
+}
+
+fn build(arch: Architecture, mode: Mode, entities: Vec<Entity>) -> Box<dyn ClassifierView> {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3)
+        .build(entities, &[])
+}
+
+#[test]
+fn all_five_architectures_build_in_both_modes_and_agree() {
+    const N_ENTITIES: usize = 40;
+    const N_UPDATES: usize = 120;
+
+    let stream = training_stream(N_UPDATES);
+    let mut reference = build(Architecture::NaiveMem, Mode::Eager, tiny_corpus(N_ENTITIES));
+    for ex in &stream {
+        reference.update(ex);
+    }
+    let expected: Vec<_> = (0..N_ENTITIES as u64)
+        .map(|id| reference.read_single(id))
+        .collect();
+    // The stream must actually separate the corpus, or equivalence is vacuous.
+    assert!(expected.contains(&Some(1)), "no positive labels");
+    assert!(expected.contains(&Some(-1)), "no negative labels");
+
+    for arch in Architecture::all() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut view = build(arch, mode, tiny_corpus(N_ENTITIES));
+            assert_eq!(view.mode(), mode, "{}", view.describe());
+            for ex in &stream {
+                view.update(ex);
+            }
+            for (id, expect) in expected.iter().enumerate() {
+                assert_eq!(
+                    view.read_single(id as u64),
+                    *expect,
+                    "{} diverges from naive-mm eager on entity {id}",
+                    view.describe(),
+                );
+            }
+            assert_eq!(
+                view.count_positive(),
+                expected.iter().filter(|l| **l == Some(1)).count() as u64,
+                "{} positive count diverges",
+                view.describe(),
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's two bench targets use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple but honest measurement loop: calibrate an iteration count
+//! from a warm-up pass, run timed batches for roughly the configured
+//! measurement time, and report the per-iteration median batch time. No
+//! statistics beyond that, no HTML reports, no CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver; holds the measurement configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up (and calibrating the iteration count).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_bench(&config, &id.to_string(), &mut f);
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let config = self.criterion.clone();
+        run_bench(&config, &label, &mut f);
+    }
+
+    /// Runs one benchmark that closes over an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let config = self.criterion.clone();
+        run_bench(&config, &label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) does the timing.
+pub struct Bencher {
+    config: Criterion,
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up doubles as calibration: find how many iterations fit in
+        // the warm-up budget.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut iters_done: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+        let samples = self.config.sample_size.max(1);
+        let sample_budget =
+            self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            sample_ns.push(dt.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+        self.result_ns = Some(sample_ns[sample_ns.len() / 2]);
+    }
+}
+
+fn run_bench(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config: config.clone(),
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some(ns) => println!("{label:<44} time: [{}]", format_ns(ns)),
+        None => println!("{label:<44} (no iter() call)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_fast() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = false;
+        g.bench_function("add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64));
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &5u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

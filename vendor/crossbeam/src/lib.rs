@@ -1,0 +1,75 @@
+//! Minimal offline stand-in for `crossbeam`, built on `std::thread::scope`.
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...); ... })` entry point is
+//! provided, matching crossbeam 0.8's signature closely enough for this
+//! workspace: spawn closures receive a `&Scope` argument and `scope` returns
+//! a `Result` (always `Ok` here — a panicking child thread propagates the
+//! panic when the scope joins, as `std::thread::scope` does, instead of
+//! surfacing it as `Err`).
+
+/// Error type of [`scope`]; mirrors `crossbeam::thread::Result`'s payload.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle passed to spawned closures; wraps [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope so it can
+    /// spawn further threads, matching crossbeam's `|_|` convention.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope in which threads may borrow from the enclosing stack
+/// frame; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Namespace alias so the real crate's `crossbeam::thread::scope` path also
+/// resolves.
+pub mod thread {
+    pub use super::{scope, Scope, ScopeError};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            for t in 0..4u64 {
+                let total = &total;
+                s.spawn(move |_| total.fetch_add(t + 1, Ordering::Relaxed));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            let total = &total;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| total.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use rand::distributions::{Distribution, Standard};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates a uniformly random value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                Standard.sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_standard!(bool, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        // Uniform over bit patterns, like real proptest's full-range float
+        // strategy: covers negatives, huge magnitudes, subnormals,
+        // infinities, and NaN — not just [0, 1).
+        use rand::RngCore as _;
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        use rand::RngCore as _;
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        // Mostly ASCII with an occasional arbitrary scalar, mirroring the
+        // real crate's bias toward "interesting but printable" inputs.
+        use rand::Rng as _;
+        if rng.gen_bool(0.9) {
+            char::from(rng.gen_range(0x20u8..0x7F))
+        } else {
+            char::from_u32(rng.gen_range(0u32..=0x10FFFF)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u8>()`, `any::<bool>()`, ...).
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}

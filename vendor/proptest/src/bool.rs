@@ -1,0 +1,21 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for a fair coin flip.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical `bool` strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}

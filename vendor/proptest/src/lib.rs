@@ -1,0 +1,164 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this vendored crate
+//! reimplements the subset of proptest 1.x the workspace's property suites
+//! use: the [`Strategy`] trait with `prop_map` / `prop_filter` / `boxed`,
+//! range and tuple strategies, [`collection::vec`], [`bool::ANY`],
+//! [`arbitrary::any`], [`Just`](strategy::Just), weighted and unweighted
+//! [`prop_oneof!`], a tiny regex-subset string strategy, and the
+//! [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! test harness: **no shrinking** (a failing case reports its inputs via
+//! the assertion message but is not minimized), no failure persistence
+//! file, and a fixed deterministic RNG seeded from the test's module path
+//! so runs are bit-reproducible. `any::<f32/f64>()` samples uniformly over
+//! raw bit patterns (so NaN and infinities do occur, but without the real
+//! crate's weighting toward special values).
+
+pub mod arbitrary;
+#[allow(clippy::module_inception)]
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod string;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// Each function must carry its own `#[test]` attribute (matching modern
+/// proptest style); the macro wraps the body in a deterministic
+/// generate-and-run loop honoring `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(config.cases) * 16 + 1024;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many rejected cases ({} accepted of {} wanted)",
+                    accepted,
+                    config.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", accepted + 1, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", left_val, right_val),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    left_val,
+                    right_val,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if *left_val == *right_val {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} != {:?}`", left_val, right_val),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (retried without counting) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}

@@ -1,0 +1,182 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest interprets a `&str` strategy as a full regex. This stand-in
+//! supports the subset the workspace's tests use: literal characters,
+//! character classes `[...]` with ranges, the `\PC` "printable" category,
+//! escaped metacharacters, and the quantifiers `{n}`, `{n,m}`, `?`, `*`,
+//! `+` (the unbounded ones capped at 8 repetitions).
+
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Inclusive char ranges, uniformly sampled by total cardinality.
+    Class(Vec<(char, char)>),
+    Literal(char),
+    /// `\PC`: any non-control character (sampled from printable ASCII).
+    Printable,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let next = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling \\ in pattern {pattern:?}"));
+                if next == 'P' || next == 'p' {
+                    // \PC / \pC — Unicode category shorthand; treat any
+                    // single-letter category as "printable-ish".
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    i += 2;
+                    Atom::Literal(next)
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("quantifier lower bound");
+                        let hi = hi.trim().parse().expect("quantifier upper bound");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Printable => char::from(rng.gen_range(0x20u8..0x7F)),
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick).expect("class range is valid");
+                }
+                pick -= span;
+            }
+            unreachable!("class cardinality changed mid-sample")
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::from_seed_u64(1);
+        for _ in 0..500 {
+            let s = "[A-Za-z_][A-Za-z0-9_]{0,12}".gen_value(&mut rng);
+            assert!((1..=13).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_category() {
+        let mut rng = TestRng::from_seed_u64(2);
+        for _ in 0..100 {
+            let s = "\\PC{0,120}".gen_value(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}
