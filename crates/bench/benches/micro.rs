@@ -4,9 +4,9 @@
 //! These measure *wall* time of the real code (no simulated costs).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hazy_core::{decode_tuple, encode_tuple, HTuple, Skiing};
+use hazy_core::{decode_tuple, decode_tuple_ref, encode_tuple, merge_sorted_tail, HTuple, Skiing};
 use hazy_learn::{LinearModel, SgdConfig, SgdTrainer};
-use hazy_linalg::{FeatureVec, Norm, NormPair, OrdF64};
+use hazy_linalg::{FeatureVec, Features, Norm, NormPair, OrdF64};
 use hazy_storage::{BTree, BufferPool, CostModel, HashIndex, SimDisk, VirtualClock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,6 +83,27 @@ fn bench_codec(c: &mut Criterion) {
         })
     });
     g.bench_function("decode_sparse60", |b| b.iter(|| black_box(decode_tuple(&buf).unwrap())));
+    // the zero-copy scan path: borrow the tuple straight from the encoded
+    // bytes, no allocation at all
+    g.bench_function("decode_sparse60_ref", |b| {
+        b.iter(|| black_box(decode_tuple_ref(&buf).unwrap().f.nnz()))
+    });
+    // decode + classify, the way an All-Members scan visits an uncertain
+    // tuple: owned (old path) vs borrowed (new path)
+    let mut rng2 = StdRng::seed_from_u64(5);
+    let w: Vec<f64> = (0..50_000).map(|_| rng2.gen_range(-1.0..1.0)).collect();
+    g.bench_function("scan_classify_owned", |b| {
+        b.iter(|| {
+            let t = decode_tuple(&buf).unwrap();
+            black_box(t.f.dot(&w))
+        })
+    });
+    g.bench_function("scan_classify_ref", |b| {
+        b.iter(|| {
+            let t = decode_tuple_ref(&buf).unwrap();
+            black_box(Features::dot(&t.f, &w))
+        })
+    });
     g.finish();
 }
 
@@ -134,6 +155,29 @@ fn bench_reorg_sort(c: &mut Criterion) {
     g.bench_function("sort_100k_eps", |b| {
         b.iter(|| {
             let mut v = eps.clone();
+            v.sort_unstable_by(|a, b| b.total_cmp(a));
+            black_box(v.len())
+        })
+    });
+    // The incremental reorganization scenario: a 100k-entry ε-sorted run
+    // plus a 1k unsorted tail of inserts (1%). The old code resorted all
+    // 101k; the new code sorts the tail and merges.
+    let mut sorted: Vec<f64> = (0..100_000).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    let split = sorted.len();
+    let mut run = sorted;
+    run.extend((0..1_000).map(|_| rng.gen_range(-1.0f64..1.0)));
+    g.bench_function("merge_100k_tail1k", |b| {
+        b.iter(|| {
+            let mut v = run.clone();
+            v[split..].sort_unstable_by(|a, b| b.total_cmp(a));
+            merge_sorted_tail(&mut v, split, |a, b| b.total_cmp(a) != std::cmp::Ordering::Greater);
+            black_box(v.len())
+        })
+    });
+    g.bench_function("resort_100k_tail1k", |b| {
+        b.iter(|| {
+            let mut v = run.clone();
             v.sort_unstable_by(|a, b| b.total_cmp(a));
             black_box(v.len())
         })

@@ -10,7 +10,7 @@
 //! (e.g. lazy updates ≈ 1.6k–2.8k/s; single-entity reads ≈ 13k/s), leaving
 //! the *relative* gains to come from the algorithms, as in the paper.
 
-use hazy_linalg::FeatureVec;
+use hazy_linalg::Features;
 use hazy_storage::VirtualClock;
 
 /// Per-operation fixed overheads (virtual nanoseconds).
@@ -45,19 +45,22 @@ impl Default for OpOverheads {
 }
 
 /// CPU operations to classify one tuple: one multiply-add per stored
-/// component plus a constant for the comparison and dispatch.
-pub fn classify_cost(f: &FeatureVec) -> u64 {
+/// component plus a constant for the comparison and dispatch. Generic over
+/// the representation — a borrowed page-byte vector costs the same virtual
+/// work as an owned one (the zero-copy win is *wall-clock*, not simulated).
+pub fn classify_cost<F: Features>(f: &F) -> u64 {
     f.nnz() as u64 + 4
 }
 
 /// Charges a batch of per-tuple work to the clock.
-pub(crate) fn charge_classify(clock: &VirtualClock, f: &FeatureVec) {
+pub(crate) fn charge_classify<F: Features>(clock: &VirtualClock, f: &F) {
     clock.charge_cpu_ops(classify_cost(f));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hazy_linalg::FeatureVec;
     use hazy_storage::CostModel;
 
     #[test]

@@ -1,7 +1,7 @@
 //! Entities and the on-disk tuple format of the scratch table `H`.
 
 use bytes::BufMut;
-use hazy_linalg::{decode_fvec, encode_fvec, encoded_len, FeatureVec};
+use hazy_linalg::{decode_fvec, decode_fvec_ref, encode_fvec, encoded_len, FeatureVec, FeatureVecRef};
 use hazy_learn::Label;
 use hazy_storage::StorageError;
 
@@ -38,6 +38,33 @@ pub struct HTuple {
 
 /// Byte length of the fixed tuple prefix: id (8) + label (1) + eps (8).
 pub const TUPLE_HEADER: usize = 17;
+
+/// Byte offset of the label within an encoded tuple — the one byte an
+/// eager relabel patches in place ([`hazy_storage::HeapFile::patch_in_place`]).
+pub const TUPLE_LABEL_OFFSET: usize = 8;
+
+/// A borrowed `H` tuple: the fixed prefix decoded, the feature vector left
+/// as a zero-copy view over the record's page bytes. Scan-time
+/// classification works entirely on this — the owned [`HTuple`] is only
+/// materialized when a tuple is rewritten (reorganization).
+#[derive(Clone, Copy, Debug)]
+pub struct HTupleRef<'a> {
+    /// Entity key.
+    pub id: u64,
+    /// Materialized label (see [`HTuple::label`]).
+    pub label: Label,
+    /// Margin under the stored model — the cluster key.
+    pub eps: f64,
+    /// Feature vector, borrowed from the encoded record.
+    pub f: FeatureVecRef<'a>,
+}
+
+impl HTupleRef<'_> {
+    /// Materializes an owned copy (allocates; reorganization-time only).
+    pub fn to_owned(&self) -> HTuple {
+        HTuple { id: self.id, label: self.label, eps: self.eps, f: self.f.to_owned() }
+    }
+}
 
 /// Encodes a tuple; label updates rewrite the same number of bytes, so
 /// in-place page updates always succeed.
@@ -76,6 +103,18 @@ pub fn decode_tuple(bytes: &[u8]) -> Result<HTuple, StorageError> {
     let mut rest = &bytes[TUPLE_HEADER..];
     let f = decode_fvec(&mut rest).ok_or(StorageError::Corrupt("feature vector"))?;
     Ok(HTuple { id, label, eps, f })
+}
+
+/// Decodes a tuple without copying the feature payload: the returned
+/// [`HTupleRef`] borrows `bytes` (same acceptance set as [`decode_tuple`]).
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on malformed input.
+pub fn decode_tuple_ref(bytes: &[u8]) -> Result<HTupleRef<'_>, StorageError> {
+    let (id, label, eps) = decode_tuple_header(bytes)?;
+    let mut rest = &bytes[TUPLE_HEADER..];
+    let f = decode_fvec_ref(&mut rest).ok_or(StorageError::Corrupt("feature vector"))?;
+    Ok(HTupleRef { id, label, eps, f })
 }
 
 #[cfg(test)]
@@ -130,9 +169,35 @@ mod tests {
         encode_tuple(&sample(), &mut buf);
         buf[8] = 7; // bad label byte
         assert!(decode_tuple_header(&buf).is_err());
+        assert!(decode_tuple_ref(&buf).is_err());
         let mut buf2 = Vec::new();
         encode_tuple(&sample(), &mut buf2);
         buf2.truncate(20); // fvec truncated
         assert!(decode_tuple(&buf2).is_err());
+        assert!(decode_tuple_ref(&buf2).is_err());
+    }
+
+    #[test]
+    fn ref_decode_matches_owned_decode() {
+        let t = sample();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let r = decode_tuple_ref(&buf).unwrap();
+        assert_eq!(r.id, t.id);
+        assert_eq!(r.label, t.label);
+        assert_eq!(r.eps, t.eps);
+        assert_eq!(r.to_owned().f, t.f);
+    }
+
+    #[test]
+    fn label_offset_points_at_the_label_byte() {
+        let t = sample();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        buf[TUPLE_LABEL_OFFSET] = 1u8; // flip -1 → +1 in place
+        let back = decode_tuple(&buf).unwrap();
+        assert_eq!(back.label, 1);
+        assert_eq!(back.eps, t.eps);
+        assert_eq!(back.f, t.f);
     }
 }

@@ -16,12 +16,18 @@
 //! region of the heap (indexed by both indexes); the next reorganization
 //! folds them into the sorted segment.
 
+use std::cmp::Ordering;
+
 use hazy_learn::{sign, Label, LinearModel, SgdTrainer, TrainingExample};
 use hazy_linalg::{NormPair, OrdF64};
 use hazy_storage::{BTree, BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
 
 use crate::cost::{charge_classify, OpOverheads};
-use crate::entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+use crate::entity::{
+    decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,
+    TUPLE_LABEL_OFFSET,
+};
+use crate::merge::merge_sorted_tail;
 use crate::skiing::Skiing;
 use crate::stats::{MemoryFootprint, ViewStats};
 use crate::view::{ClassifierView, Mode};
@@ -38,6 +44,16 @@ fn key_eps(k0: u64) -> f64 {
     -OrdF64::from_sortable_key(k0).0
 }
 
+/// The clustering order: eps descending, ids breaking ties.
+fn tuple_cmp(a: &HTuple, b: &HTuple) -> Ordering {
+    b.eps.total_cmp(&a.eps).then(a.id.cmp(&b.id))
+}
+
+/// `a` may precede `b` under [`tuple_cmp`] (the merge predicate).
+fn tuple_le(a: &HTuple, b: &HTuple) -> bool {
+    tuple_cmp(a, b) != Ordering::Greater
+}
+
 /// Hazy on-disk view (`Hazy-OD`).
 pub struct HazyDiskView {
     mode: Mode,
@@ -50,6 +66,10 @@ pub struct HazyDiskView {
     first_tail_rid: Option<Rid>,
     /// Tuples in the sorted segment (heap order positions before the tail).
     n_sorted: u64,
+    /// Trainer rounds at the last reorganization; when the model has not
+    /// advanced since, the clustered run's eps keys are still exact and a
+    /// reorganization reduces to folding the tail in by merge.
+    rounds_at_reorg: u64,
     trainer: SgdTrainer,
     wm: WaterMarks,
     tracker: DeltaTracker,
@@ -100,6 +120,9 @@ impl HazyDiskView {
             hash,
             first_tail_rid: None,
             n_sorted: 0,
+            // sentinel: staged tuples start unkeyed (eps = 0), so the first
+            // organization must always take the full re-keying path
+            rounds_at_reorg: u64::MAX,
             trainer,
             wm,
             tracker,
@@ -111,7 +134,7 @@ impl HazyDiskView {
             stats: ViewStats::default(),
             scratch,
         };
-        view.reorganize();
+        view.reorganize_inner();
         view
     }
 
@@ -160,6 +183,28 @@ impl HazyDiskView {
         });
     }
 
+    /// Zero-copy variant of [`for_each_tuple`](Self::for_each_tuple): the
+    /// visitor sees tuples borrowed straight from the page bytes, so
+    /// consumers that materialize only a small subset never pay a per-tuple
+    /// allocation.
+    pub fn for_each_tuple_ref(&mut self, mut f: impl FnMut(&HTupleRef)) {
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            f(&decode_tuple_ref(bytes).expect("well-formed tuple"));
+            true
+        });
+    }
+
+    /// Cheapest scan of all: only the fixed `(id, label, eps)` prefix of
+    /// each tuple is decoded — O(1) per tuple, skipping even the feature
+    /// payload's validation. The hybrid's ε-map rebuild runs on this.
+    pub fn for_each_header(&mut self, mut f: impl FnMut(u64, Label, f64)) {
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            let (id, label, eps) = decode_tuple_header(bytes).expect("well-formed tuple");
+            f(id, label, eps);
+            true
+        });
+    }
+
     /// Folds the current model round into the watermarks (O(1)); lazy reads
     /// call this before consulting the band.
     pub fn fold_watermarks(&mut self) {
@@ -195,32 +240,80 @@ impl HazyDiskView {
                     clock.charge_cpu_ops(1);
                     return Some(l);
                 }
-                let t = self.heap.get(&mut self.pool, rid, decode_tuple).ok()?.ok()?;
-                charge_classify(&clock, &t.f);
-                Some(self.trainer.model().predict(&t.f))
+                // classify in place on the pinned page's bytes: the closure
+                // runs while the page is latched, so no copy is made
+                let trainer = &self.trainer;
+                self.heap
+                    .get(&mut self.pool, rid, |bytes| {
+                        decode_tuple_ref(bytes).ok().map(|t| {
+                            charge_classify(&clock, &t.f);
+                            trainer.model().predict(&t.f)
+                        })
+                    })
+                    .ok()?
             }
         }
     }
 
-    fn reorganize(&mut self) {
+    /// Reorganization, with the same three regimes as the main-memory view:
+    /// free when the model is unchanged and no tail exists; one
+    /// sort-tail-then-merge pass (no reclassification, `charge_sort(t)` +
+    /// `charge_merge(n)`) when the run's keys are still valid; full re-key
+    /// plus `charge_sort(n)` otherwise. The heap rewrite and index rebuild
+    /// below are shared by the two non-free regimes — reclustering is a
+    /// physical rewrite either way; what the merge regime saves is the
+    /// O(n · nnz) reclassification pass and the superlinear sort.
+    pub(crate) fn reorganize_inner(&mut self) {
         let clock = self.clock();
         let t0 = clock.now_ns();
+        let model_clean = self.rounds_at_reorg == self.trainer.steps();
+        if model_clean && self.first_tail_rid.is_none() {
+            // free regime: every key exact, heap already clustered
+            let s = (clock.now_ns() - t0) as f64;
+            self.skiing.reorganized(s);
+            self.stats.reorgs += 1;
+            self.stats.last_reorg_ns = s as u64;
+            return;
+        }
         let model = self.trainer.model().clone();
-        // 1. read every tuple, recomputing eps and label under the current
-        //    model (one sequential pass)
+        // 1. read every tuple in one sequential pass; when the model moved,
+        //    re-key under the current model (decode borrows the page bytes;
+        //    the owned copy is made once per tuple for the rewrite below)
         let mut tuples: Vec<HTuple> = Vec::with_capacity(self.heap.len() as usize);
         self.heap.scan(&mut self.pool, |_, bytes| {
-            let mut t = decode_tuple(bytes).expect("well-formed tuple");
-            charge_classify(&clock, &t.f);
-            t.eps = model.margin(&t.f);
-            t.label = sign(t.eps);
+            let tref = decode_tuple_ref(bytes).expect("well-formed tuple");
+            let mut t = tref.to_owned();
+            if !model_clean {
+                charge_classify(&clock, &tref.f);
+                t.eps = model.margin(&tref.f);
+                t.label = sign(t.eps);
+            }
             tuples.push(t);
             true
         });
-        // 2. sort by eps descending (ids break ties so index keys are
-        //    strictly increasing)
-        clock.charge_sort(tuples.len() as u64);
-        tuples.sort_unstable_by(|a, b| b.eps.total_cmp(&a.eps).then(a.id.cmp(&b.id)));
+        // 2. restore clustered order. The first n_sorted tuples form the
+        //    ε-sorted run from the last reorganization; if their keys are
+        //    still in run order (always, when the model is clean), sorting
+        //    the tail and merging is O(t log t + n) instead of O(n log n).
+        let split = (self.n_sorted as usize).min(tuples.len());
+        let mergeable = model_clean || {
+            clock.charge_cpu_ops(split as u64);
+            tuples[..split].is_sorted_by(tuple_le)
+        };
+        if mergeable {
+            let tail_len = (tuples.len() - split) as u64;
+            clock.charge_sort(tail_len);
+            tuples[split..].sort_unstable_by(tuple_cmp);
+            // with a single run (empty prefix or empty tail) the merge is a
+            // no-op — charge only when two runs actually fold
+            if split > 0 && tail_len > 0 {
+                clock.charge_merge(tuples.len() as u64);
+                merge_sorted_tail(&mut tuples, split, tuple_le);
+            }
+        } else {
+            clock.charge_sort(tuples.len() as u64);
+            tuples.sort_unstable_by(tuple_cmp);
+        }
         // 3. rewrite the heap clustered, rebuild both indexes
         self.heap.destroy(&mut self.pool);
         self.btree.destroy(&mut self.pool);
@@ -240,6 +333,7 @@ impl HazyDiskView {
         self.first_tail_rid = None;
         self.wm = WaterMarks::new(model.clone(), self.pair, self.m_norm, self.policy);
         self.tracker = DeltaTracker::new(&model, self.pair.p);
+        self.rounds_at_reorg = self.trainer.steps();
         let s = (clock.now_ns() - t0) as f64;
         self.skiing.reorganized(s);
         self.reorg_epoch += 1;
@@ -264,26 +358,26 @@ impl HazyDiskView {
             true
         });
         // 2. reclassify them; the sorted segment's rids are physically
-        //    consecutive, so this is (buffered) sequential I/O
+        //    consecutive, so this is (buffered) sequential I/O. The
+        //    classification runs on tuple bytes borrowed from the page —
+        //    nothing is materialized — and a flipped label is patched as a
+        //    single byte instead of re-encoding the tuple.
         let model = self.trainer.model().clone();
         for rid in rids {
-            let t = self
+            let (old, new) = self
                 .heap
-                .get(&mut self.pool, rid, decode_tuple)
-                .expect("indexed rid resolves")
-                .expect("well-formed tuple");
-            charge_classify(&clock, &t.f);
-            let l = model.predict(&t.f);
+                .get(&mut self.pool, rid, |bytes| {
+                    let t = decode_tuple_ref(bytes).expect("well-formed tuple");
+                    charge_classify(&clock, &t.f);
+                    (t.label, model.predict(&t.f))
+                })
+                .expect("indexed rid resolves");
             self.stats.tuples_reclassified += 1;
             self.stats.tuples_examined += 1;
-            if l != t.label {
-                let mut t2 = t;
-                t2.label = l;
-                self.scratch.clear();
-                encode_tuple(&t2, &mut self.scratch);
+            if new != old {
                 self.heap
-                    .update_in_place(&mut self.pool, rid, &self.scratch)
-                    .expect("label rewrite preserves length");
+                    .patch_in_place(&mut self.pool, rid, TUPLE_LABEL_OFFSET, &[new as u8])
+                    .expect("label byte is in range");
                 self.stats.labels_changed += 1;
             }
         }
@@ -297,7 +391,7 @@ impl HazyDiskView {
         let lazy = self.mode == Mode::Lazy;
         if lazy {
             if self.skiing.should_reorganize() {
-                self.reorganize();
+                self.reorganize_inner();
             }
             self.fold_watermarks();
         }
@@ -322,7 +416,8 @@ impl HazyDiskView {
                     clock.charge_cpu_ops(1);
                     false
                 } else {
-                    let t = decode_tuple(bytes).expect("well-formed tuple");
+                    // uncertain band: classify straight off the page bytes
+                    let t = decode_tuple_ref(bytes).expect("well-formed tuple");
                     charge_classify(&clock, &t.f);
                     stats.tuples_reclassified += 1;
                     model.predict(&t.f) > 0
@@ -385,19 +480,36 @@ impl ClassifierView for HazyDiskView {
     }
 
     fn update(&mut self, ex: &TrainingExample) {
+        self.update_batch(std::slice::from_ref(ex));
+    }
+
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        if batch.is_empty() {
+            return;
+        }
+        // one statement's overhead and one maintenance round for the whole
+        // batch: page pins for the band walk are paid once instead of once
+        // per example (the accumulated watermark band covers every label
+        // any intermediate model round could have flipped)
         let clock = self.clock();
         clock.charge_ns(self.overheads.update_ns);
-        charge_classify(&clock, &ex.f);
-        let info = self.trainer.step(&ex.f, ex.y);
-        self.tracker.apply(&info, &ex.f);
-        self.stats.updates += 1;
+        for ex in batch {
+            charge_classify(&clock, &ex.f);
+            let info = self.trainer.step(&ex.f, ex.y);
+            self.tracker.apply(&info, &ex.f);
+            self.stats.updates += 1;
+        }
         if self.mode == Mode::Eager {
             if self.skiing.should_reorganize() {
-                self.reorganize();
+                self.reorganize_inner();
             } else {
                 self.incremental_step();
             }
         }
+    }
+
+    fn reorganize(&mut self) {
+        self.reorganize_inner();
     }
 
     fn read_single(&mut self, id: u64) -> Option<Label> {
@@ -580,6 +692,50 @@ mod tests {
             assert_eq!(v.read_single(7777), Some(m.predict(&FeatureVec::dense(vec![0.45, -0.2]))));
             assert_eq!(v.read_single(8888), Some(m.predict(&FeatureVec::dense(vec![-0.45, 0.2]))));
         }
+    }
+
+    /// A reorganization with an unchanged model and no tail is free; with
+    /// inserts only, it takes the merge path (no reclassification pass) and
+    /// leaves the view serving exactly the right answers.
+    #[test]
+    fn clean_model_reorgs_are_free_or_merge() {
+        let mut v = view(Mode::Eager);
+        for k in 0..100 {
+            v.update(&ex(k));
+        }
+        ClassifierView::reorganize(&mut v);
+        let epoch = v.reorg_epoch();
+        let before = v.clock().now_ns();
+        ClassifierView::reorganize(&mut v); // nothing to fold in
+        assert_eq!(v.clock().now_ns(), before, "free reorg advanced the clock");
+        assert_eq!(v.reorg_epoch(), epoch, "free reorg must not invalidate the hybrid's ε-map");
+
+        let before_reclassified = v.stats().tuples_reclassified;
+        for k in 0..40u64 {
+            let x = (k % 9) as f32 / 9.0 - 0.5;
+            v.insert_entity(Entity::new(20_000 + k, FeatureVec::dense(vec![x, -x])));
+        }
+        ClassifierView::reorganize(&mut v); // merge path: folds the tail in
+        assert_eq!(
+            v.stats().tuples_reclassified,
+            before_reclassified,
+            "merge reorg must not reclassify"
+        );
+        let model = v.model().clone();
+        for k in 0..40u64 {
+            let x = (k % 9) as f32 / 9.0 - 0.5;
+            let expect = model.predict(&FeatureVec::dense(vec![x, -x]));
+            assert_eq!(v.read_single(20_000 + k), Some(expect));
+        }
+        // the clustered index still agrees with a physical scan
+        let (lw, hw) = v.waterband();
+        let mut by_scan = 0u64;
+        v.for_each_tuple(|t| {
+            if t.eps >= lw && t.eps <= hw {
+                by_scan += 1;
+            }
+        });
+        assert_eq!(v.tuples_in_band(), by_scan);
     }
 
     #[test]

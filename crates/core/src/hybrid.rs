@@ -122,13 +122,15 @@ impl HybridView {
 
     /// Rebuilds ε-map and buffer from the on-disk state (runs after every
     /// reorganization — "the Skiing strategy reorganizes the data on disk
-    /// and in memory").
+    /// and in memory"). The ε-map needs only `(id, eps)` from each tuple's
+    /// fixed prefix, so this is a header-only scan: O(1) per tuple, no
+    /// feature payload decoded, nothing materialized.
     fn rebuild_memory(&mut self) {
         let clock = self.inner.clock().clone();
         self.eps_map.clear();
         let eps_map = &mut self.eps_map;
-        self.inner.for_each_tuple(|t| {
-            eps_map.insert(t.id, t.eps);
+        self.inner.for_each_header(|id, _, eps| {
+            eps_map.insert(id, eps);
         });
         clock.charge_cpu_ops(self.eps_map.len() as u64);
         self.seen_epoch = self.inner.reorg_epoch();
@@ -152,11 +154,13 @@ impl HybridView {
         let k = cap.min(dists.len() - 1);
         dists.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
         let threshold = dists[k];
-        // pass 2: pull the qualifying feature vectors from disk
+        // pass 2: pull the qualifying feature vectors from disk. The scan
+        // borrows page bytes; only the ≤ cap admitted vectors (a ~1%
+        // fraction) are materialized.
         let mut buffer = HashMap::with_capacity(cap + 16);
-        self.inner.for_each_tuple(|t| {
+        self.inner.for_each_tuple_ref(|t| {
             if (t.eps - center).abs() <= threshold && buffer.len() <= cap {
-                buffer.insert(t.id, t.f.clone());
+                buffer.insert(t.id, t.f.to_owned());
             }
         });
         self.buffer = buffer;
@@ -174,6 +178,20 @@ impl ClassifierView for HybridView {
 
     fn update(&mut self, ex: &TrainingExample) {
         self.inner.update(ex);
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+    }
+
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        self.inner.update_batch(batch);
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+    }
+
+    fn reorganize(&mut self) {
+        self.inner.reorganize_inner();
         if self.inner.reorg_epoch() != self.seen_epoch {
             self.rebuild_memory();
         }

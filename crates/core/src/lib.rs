@@ -32,6 +32,7 @@ mod entity;
 mod hazy_disk;
 mod hazy_mem;
 mod hybrid;
+mod merge;
 mod multiclass_view;
 mod naive_disk;
 mod naive_mem;
@@ -42,7 +43,11 @@ mod view;
 mod watermark;
 
 pub use cost::{classify_cost, OpOverheads};
-pub use entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+pub use entity::{
+    decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,
+    TUPLE_HEADER, TUPLE_LABEL_OFFSET,
+};
+pub use merge::merge_sorted_tail;
 pub use hazy_disk::HazyDiskView;
 pub use hazy_mem::HazyMemView;
 pub use hybrid::{HybridConfig, HybridView};

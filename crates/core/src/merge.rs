@@ -1,0 +1,97 @@
+//! Run-merge machinery for incremental reorganization.
+//!
+//! A reorganization folds the unsorted tail (entities inserted since the
+//! last reorganization) into the ε-sorted run. The original implementation
+//! re-sorted the whole table — O(n log n) even when the tail held a handful
+//! of tuples. Folding a sorted tail of `t` entries into a sorted run of
+//! `n − t` is a single merge pass: O(t log t) to sort the tail plus O(n) to
+//! merge, which is what the virtual clock now charges
+//! ([`hazy_storage::VirtualClock::charge_merge`]). This matches the
+//! incremental-view-maintenance principle (F-IVM, LFTJ maintenance) that
+//! maintenance cost should be proportional to the *delta*, not the view.
+
+/// Merges two consecutive sorted runs `data[..split]` and `data[split..]`
+/// into one sorted whole, in one linear pass.
+///
+/// `le(a, b)` must return `true` when `a` may appear at or before `b` in the
+/// output (i.e. `a ≤ b` under the intended total order). The merge is
+/// stable: on ties the element from the first run wins.
+///
+/// Both runs must already be sorted under `le`; the caller sorts the tail
+/// (that is the O(t log t) part of the bargain).
+pub fn merge_sorted_tail<T>(data: &mut Vec<T>, split: usize, mut le: impl FnMut(&T, &T) -> bool) {
+    if split == 0 || split >= data.len() {
+        return; // a single run — nothing to merge
+    }
+    let tail = data.split_off(split);
+    let head = std::mem::replace(data, Vec::with_capacity(split + tail.len()));
+    let mut hi = head.into_iter();
+    let mut ti = tail.into_iter();
+    let mut h = hi.next();
+    let mut t = ti.next();
+    loop {
+        match (h.take(), t.take()) {
+            (Some(a), Some(b)) => {
+                if le(&a, &b) {
+                    data.push(a);
+                    t = Some(b);
+                    h = hi.next();
+                } else {
+                    data.push(b);
+                    h = Some(a);
+                    t = ti.next();
+                }
+            }
+            (Some(a), None) => {
+                data.push(a);
+                data.extend(hi);
+                return;
+            }
+            (None, Some(b)) => {
+                data.push(b);
+                data.extend(ti);
+                return;
+            }
+            (None, None) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(head: Vec<i64>, tail: Vec<i64>) {
+        let split = head.len();
+        let mut v = head;
+        v.extend(tail);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        merge_sorted_tail(&mut v, split, |a, b| a <= b);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn merges_interleaved_runs() {
+        check(vec![1, 3, 5, 7], vec![2, 4, 6]);
+        check(vec![2, 4, 6], vec![1, 3, 5, 7]);
+        check(vec![1, 2, 3], vec![4, 5, 6]);
+        check(vec![4, 5, 6], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn degenerate_splits_are_noops() {
+        check(vec![], vec![1, 2, 3]);
+        check(vec![1, 2, 3], vec![]);
+        check(vec![], vec![]);
+    }
+
+    #[test]
+    fn duplicate_keys_are_stable() {
+        // tag elements by run to observe stability
+        let mut v: Vec<(i64, u8)> = vec![(1, 0), (2, 0), (2, 0), (5, 0), (2, 1), (5, 1)];
+        merge_sorted_tail(&mut v, 4, |a, b| a.0 <= b.0);
+        assert_eq!(v, vec![(1, 0), (2, 0), (2, 0), (2, 1), (5, 0), (5, 1)]);
+    }
+
+}

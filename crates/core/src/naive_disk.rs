@@ -12,7 +12,9 @@ use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
 use hazy_storage::{BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
 
 use crate::cost::{charge_classify, OpOverheads};
-use crate::entity::{decode_tuple, decode_tuple_header, encode_tuple, Entity, HTuple};
+use crate::entity::{
+    decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, TUPLE_LABEL_OFFSET,
+};
 use crate::stats::{MemoryFootprint, ViewStats};
 use crate::view::{ClassifierView, Mode};
 
@@ -59,34 +61,32 @@ impl NaiveDiskView {
         self.pool.disk().clock().clone()
     }
 
-    /// Full-scan relabel: the eager update's second half.
+    /// Full-scan relabel: the eager update's second half. Classifies off
+    /// borrowed page bytes (no per-tuple materialization) and patches
+    /// flipped labels as single bytes after the scan (the scan closure
+    /// holds the pool).
     fn relabel_all(&mut self) {
         let clock = self.clock();
         let model = self.trainer.model().clone();
-        // collect updates during the scan; write them back after (the scan
-        // closure holds the pool)
-        let mut changed: Vec<(Rid, HTuple)> = Vec::new();
+        let mut changed: Vec<(Rid, Label)> = Vec::new();
         let mut examined = 0u64;
         let stats = &mut self.stats;
         self.heap.scan(&mut self.pool, |rid, bytes| {
             examined += 1;
-            let mut t = decode_tuple(bytes).expect("well-formed tuple");
+            let t = decode_tuple_ref(bytes).expect("well-formed tuple");
             charge_classify(&clock, &t.f);
             let l = model.predict(&t.f);
             stats.tuples_reclassified += 1;
             if l != t.label {
-                t.label = l;
-                changed.push((rid, t));
+                changed.push((rid, l));
             }
             true
         });
         self.stats.tuples_examined += examined;
-        for (rid, t) in changed {
-            self.scratch.clear();
-            encode_tuple(&t, &mut self.scratch);
+        for (rid, l) in changed {
             self.heap
-                .update_in_place(&mut self.pool, rid, &self.scratch)
-                .expect("label rewrite preserves length");
+                .patch_in_place(&mut self.pool, rid, TUPLE_LABEL_OFFSET, &[l as u8])
+                .expect("label byte is in range");
             self.stats.labels_changed += 1;
         }
         self.pool.flush_all();
@@ -103,11 +103,24 @@ impl ClassifierView for NaiveDiskView {
     }
 
     fn update(&mut self, ex: &TrainingExample) {
+        self.update_batch(std::slice::from_ref(ex));
+    }
+
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        if batch.is_empty() {
+            return;
+        }
+        // one statement, k SGD rounds, ONE full-heap relabel: the naive
+        // architecture's relabel reads every tuple regardless of which
+        // model rounds happened, so running it once after the batch gives
+        // the same labels for 1/k of the page pins
         let clock = self.clock();
         clock.charge_ns(self.overheads.update_ns);
-        charge_classify(&clock, &ex.f);
-        self.trainer.step(&ex.f, ex.y);
-        self.stats.updates += 1;
+        for ex in batch {
+            charge_classify(&clock, &ex.f);
+            self.trainer.step(&ex.f, ex.y);
+            self.stats.updates += 1;
+        }
         if self.mode == Mode::Eager {
             self.relabel_all();
         }
@@ -128,9 +141,15 @@ impl ClassifierView for NaiveDiskView {
                 Some(label)
             }
             Mode::Lazy => {
-                let t = self.heap.get(&mut self.pool, rid, decode_tuple).ok()?.ok()?;
-                charge_classify(&clock, &t.f);
-                Some(self.trainer.model().predict(&t.f))
+                let trainer = &self.trainer;
+                self.heap
+                    .get(&mut self.pool, rid, |bytes| {
+                        decode_tuple_ref(bytes).ok().map(|t| {
+                            charge_classify(&clock, &t.f);
+                            trainer.model().predict(&t.f)
+                        })
+                    })
+                    .ok()?
             }
         }
     }
@@ -146,7 +165,7 @@ impl ClassifierView for NaiveDiskView {
         self.heap.scan(&mut self.pool, |_, bytes| {
             examined += 1;
             if lazy {
-                let t = decode_tuple(bytes).expect("well-formed tuple");
+                let t = decode_tuple_ref(bytes).expect("well-formed tuple");
                 charge_classify(&clock, &t.f);
                 if model.predict(&t.f) > 0 {
                     n += 1;
@@ -175,7 +194,7 @@ impl ClassifierView for NaiveDiskView {
         self.heap.scan(&mut self.pool, |_, bytes| {
             examined += 1;
             if lazy {
-                let t = decode_tuple(bytes).expect("well-formed tuple");
+                let t = decode_tuple_ref(bytes).expect("well-formed tuple");
                 charge_classify(&clock, &t.f);
                 if model.predict(&t.f) > 0 {
                     out.push(t.id);

@@ -75,10 +75,21 @@ impl ClassifierView for NaiveMemView {
     }
 
     fn update(&mut self, ex: &TrainingExample) {
+        self.update_batch(std::slice::from_ref(ex));
+    }
+
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        if batch.is_empty() {
+            return;
+        }
+        // one statement, k SGD rounds, one relabel pass — identical labels
+        // to k sequential updates at 1/k of the maintenance scans
         self.clock.charge_ns(self.overheads.update_ns);
-        charge_classify(&self.clock, &ex.f);
-        self.trainer.step(&ex.f, ex.y);
-        self.stats.updates += 1;
+        for ex in batch {
+            charge_classify(&self.clock, &ex.f);
+            self.trainer.step(&ex.f, ex.y);
+            self.stats.updates += 1;
+        }
         if self.mode == Mode::Eager {
             self.relabel_all();
         }

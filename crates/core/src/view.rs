@@ -87,6 +87,32 @@ pub trait ClassifierView {
     /// and (eager) `V` is maintained.
     fn update(&mut self, ex: &TrainingExample);
 
+    /// Batched `Update`: insert a run of training examples arriving as one
+    /// statement (the `INSERT ... SELECT` pattern of a bulk example load).
+    ///
+    /// Equivalent to calling [`update`](ClassifierView::update) once per
+    /// example — the model takes the same SGD steps in the same order, and
+    /// every subsequent read serves the same answers. Architectures override
+    /// this to amortize per-statement maintenance: the watermark band after
+    /// `k` rounds covers every label that any of the `k` intermediate
+    /// models could have flipped, so eager maintenance runs **once** over
+    /// the accumulated band instead of `k` times — on disk, that is one
+    /// round of page pins instead of `k`.
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        for ex in batch {
+            self.update(ex);
+        }
+    }
+
+    /// Forces a reorganization right now (`VACUUM`-style maintenance entry
+    /// point): recluster `H` on the current model and fold the unsorted
+    /// tail into the ε-sorted run. Architectures without physical
+    /// organization treat this as a no-op. Hazy architectures make it cheap
+    /// when there is little to do — free when the model has not advanced
+    /// and no tail exists, one sort-tail-and-merge pass when only inserts
+    /// arrived since the last reorganization.
+    fn reorganize(&mut self) {}
+
     /// `Single Entity` read: the label of entity `id`, or `None` if absent.
     fn read_single(&mut self, id: u64) -> Option<Label>;
 

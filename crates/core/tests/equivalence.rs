@@ -98,6 +98,115 @@ fn entity_inserts_are_equivalent_across_architectures() {
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "final counts {counts:?}");
 }
 
+/// This PR's tentpole invariant: batched updates (`update_batch`) and
+/// explicitly triggered incremental reorganizations (`reorganize`) are pure
+/// performance features — interleaved with inserts and reads in any order,
+/// all five architectures in both modes still serve identical labels,
+/// counts and member lists, and those answers equal a from-scratch
+/// classification under the final model.
+#[test]
+fn update_batches_and_incremental_reorgs_preserve_equivalence() {
+    let spec = DatasetSpec::dblife().scaled(0.006);
+    let mut views = build_all(&spec, 400);
+    let n = spec.n_entities as u64;
+    let mut stream = ExampleStream::new(&spec, 17);
+    let mut extra = ExampleStream::new(&spec, 29);
+
+    for round in 0..16 {
+        // batch sizes vary so maintenance bands of different widths are hit
+        let batch = stream.take_vec(1 + (round % 7));
+        for v in views.iter_mut() {
+            v.update_batch(&batch);
+        }
+        if round % 3 == 1 {
+            // entity inserts grow the unsorted tail between reorgs
+            let e = extra.next_example();
+            let ent = Entity::new(e.id, e.f.clone());
+            for v in views.iter_mut() {
+                v.insert_entity(ent.clone());
+            }
+        }
+        if round % 4 == 2 {
+            // force the incremental reorganization paths (merge the tail
+            // in; free when there is nothing to do)
+            for v in views.iter_mut() {
+                v.reorganize();
+            }
+        }
+        if round % 5 == 3 {
+            let counts: Vec<u64> = views.iter_mut().map(|v| v.count_positive()).collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "round {round}: count divergence: {:?}",
+                views.iter().map(|v| v.describe()).zip(counts.iter()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    // a second reorganize right after the first exercises the free path on
+    // every architecture that has one
+    for v in views.iter_mut() {
+        v.reorganize();
+        v.reorganize();
+    }
+
+    for id in (0..n).step_by(23) {
+        let labels: Vec<Option<i8>> = views.iter_mut().map(|v| v.read_single(id)).collect();
+        assert!(labels.windows(2).all(|w| w[0] == w[1]), "id {id}: label divergence {labels:?}");
+    }
+    let mut lists: Vec<Vec<u64>> = views
+        .iter_mut()
+        .map(|v| {
+            let mut ids = v.positive_ids();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let first = lists.remove(0);
+    for (v, l) in views.iter().skip(1).zip(lists.iter()) {
+        assert_eq!(&first, l, "{} diverges on positive_ids after batches", v.describe());
+    }
+}
+
+/// `update_batch` must be *observationally identical* to the same examples
+/// applied one at a time: same final model, same labels everywhere.
+#[test]
+fn batched_updates_match_sequential_updates() {
+    let spec = DatasetSpec::forest().scaled(0.001);
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm = ExampleStream::new(&spec, 99).take_vec(200);
+    let examples = ExampleStream::new(&spec, 41).take_vec(90);
+
+    for arch in Architecture::all() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let builder = ViewBuilder::new(arch, mode).norm_pair(spec.norm_pair()).dim(spec.dim);
+            let mut sequential = builder.build(entities.clone(), &warm);
+            let mut batched = builder.build(entities.clone(), &warm);
+            for ex in &examples {
+                sequential.update(ex);
+            }
+            for chunk in examples.chunks(13) {
+                batched.update_batch(chunk);
+            }
+            assert_eq!(
+                sequential.count_positive(),
+                batched.count_positive(),
+                "{arch:?}/{mode:?} counts diverge"
+            );
+            for e in entities.iter().step_by(11) {
+                assert_eq!(
+                    sequential.read_single(e.id),
+                    batched.read_single(e.id),
+                    "{arch:?}/{mode:?} id {}",
+                    e.id
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn hazy_is_cheaper_than_naive_in_virtual_time() {
     let spec = DatasetSpec::dblife().scaled(0.01);

@@ -1,6 +1,6 @@
 //! The linear model `(w, b)` and its classification rule.
 
-use hazy_linalg::{FeatureVec, Norm, ScaledDense};
+use hazy_linalg::{FeatureVec, Features, Norm, ScaledDense};
 
 /// A class label in binary classification: `+1` or `-1`.
 pub type Label = i8;
@@ -57,15 +57,18 @@ impl LinearModel {
         LinearModel { w: ScaledDense::from_vec(w), b }
     }
 
-    /// The margin `eps = w·f − b`.
+    /// The margin `eps = w·f − b`. Generic over the feature representation
+    /// so the zero-copy scan path classifies borrowed page bytes
+    /// ([`hazy_linalg::FeatureVecRef`]) through the same kernel as owned
+    /// vectors.
     #[inline]
-    pub fn margin(&self, f: &FeatureVec) -> f64 {
+    pub fn margin<F: Features>(&self, f: &F) -> f64 {
         self.w.dot(f) - self.b
     }
 
     /// The predicted label `sign(margin)`.
     #[inline]
-    pub fn predict(&self, f: &FeatureVec) -> Label {
+    pub fn predict<F: Features>(&self, f: &F) -> Label {
         sign(self.margin(f))
     }
 

@@ -13,6 +13,9 @@
 //!   paper's Lemma 3.1 watermark bounds,
 //! * [`OrdF64`] — a totally-ordered `f64` wrapper used to cluster tuples by
 //!   their margin `eps`,
+//! * [`FeatureVecRef`] / [`Features`] — the borrowed, zero-copy view of an
+//!   encoded vector and the trait unifying it with [`FeatureVec`], so scans
+//!   classify straight off page bytes without materializing anything,
 //! * binary (de)serialization of feature vectors for on-disk tuples.
 
 mod norms;
@@ -20,9 +23,11 @@ mod ordf64;
 mod scaled;
 mod serial;
 mod vector;
+mod vref;
 
 pub use norms::{holder_conjugate, norm_of_slice, Norm, NormPair};
 pub use ordf64::OrdF64;
 pub use scaled::ScaledDense;
-pub use serial::{decode_fvec, encode_fvec, encoded_len};
+pub use serial::{decode_fvec, decode_fvec_ref, encode_fvec, encoded_len};
 pub use vector::FeatureVec;
+pub use vref::{FeatureVecRef, Features};

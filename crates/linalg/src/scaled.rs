@@ -2,6 +2,7 @@
 
 use crate::norms::{norm_of_slice, Norm};
 use crate::vector::FeatureVec;
+use crate::vref::Features;
 
 /// A dense `f64` vector stored as `w = s · v`.
 ///
@@ -49,8 +50,10 @@ impl ScaledDense {
         self.v.get(i).map_or(0.0, |&x| self.s * x)
     }
 
-    /// `w · f` where `f` is a feature vector.
-    pub fn dot(&self, f: &FeatureVec) -> f64 {
+    /// `w · f` where `f` is any feature-vector representation (owned or
+    /// borrowed — the zero-copy scan path classifies straight off page
+    /// bytes through this).
+    pub fn dot<F: Features>(&self, f: &F) -> f64 {
         self.s * f.dot(&self.v)
     }
 

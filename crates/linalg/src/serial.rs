@@ -12,9 +12,44 @@
 use bytes::{Buf, BufMut};
 
 use crate::vector::FeatureVec;
+use crate::vref::FeatureVecRef;
 
 const TAG_DENSE: u8 = 0x01;
 const TAG_SPARSE: u8 = 0x02;
+
+/// Reads `n` little-endian 4-byte scalars, preferring one bulk pass over
+/// the contiguous front chunk (per-element `Buf` reads pay a bounds check
+/// and a 4-byte copy each; the bulk path is a straight chunked conversion
+/// the compiler vectorizes). `one` is the per-element fallback for
+/// non-contiguous buffers.
+fn read_scalars<B: Buf, T>(
+    buf: &mut B,
+    n: usize,
+    from_le: impl Fn([u8; 4]) -> T,
+    one: impl Fn(&mut B) -> T,
+) -> Vec<T> {
+    let front = buf.chunk();
+    if front.len() >= 4 * n {
+        let out: Vec<T> = front[..4 * n]
+            .chunks_exact(4)
+            .map(|b| from_le(b.try_into().expect("4-byte chunk")))
+            .collect();
+        buf.advance(4 * n);
+        out
+    } else {
+        (0..n).map(|_| one(buf)).collect()
+    }
+}
+
+/// Reads `n` little-endian `u32`s (bulk when contiguous).
+fn read_u32s(buf: &mut impl Buf, n: usize) -> Vec<u32> {
+    read_scalars(buf, n, u32::from_le_bytes, |b| b.get_u32_le())
+}
+
+/// Reads `n` little-endian `f32`s (bulk when contiguous).
+fn read_f32s(buf: &mut impl Buf, n: usize) -> Vec<f32> {
+    read_scalars(buf, n, f32::from_le_bytes, |b| b.get_f32_le())
+}
 
 /// Exact encoded size in bytes of `f` (header + payload).
 pub fn encoded_len(f: &FeatureVec) -> usize {
@@ -65,11 +100,7 @@ pub fn decode_fvec(buf: &mut impl Buf) -> Option<FeatureVec> {
             if buf.remaining() < 4 * len {
                 return None;
             }
-            let mut c = Vec::with_capacity(len);
-            for _ in 0..len {
-                c.push(buf.get_f32_le());
-            }
-            Some(FeatureVec::Dense(c.into()))
+            Some(FeatureVec::Dense(read_f32s(buf, len).into()))
         }
         TAG_SPARSE => {
             if buf.remaining() < 8 {
@@ -80,20 +111,68 @@ pub fn decode_fvec(buf: &mut impl Buf) -> Option<FeatureVec> {
             if buf.remaining() < 8 * nnz {
                 return None;
             }
-            let mut idx = Vec::with_capacity(nnz);
-            for _ in 0..nnz {
-                idx.push(buf.get_u32_le());
-            }
+            let idx = read_u32s(buf, nnz);
             // Indices must be strictly increasing and in range; reject
             // anything else rather than build an invariant-violating vector.
             if idx.windows(2).any(|w| w[0] >= w[1]) || idx.last().is_some_and(|&i| i >= dim) {
                 return None;
             }
-            let mut val = Vec::with_capacity(nnz);
-            for _ in 0..nnz {
-                val.push(buf.get_f32_le());
-            }
+            let val = read_f32s(buf, nnz);
             Some(FeatureVec::Sparse { dim, idx: idx.into(), val: val.into() })
+        }
+        _ => None,
+    }
+}
+
+/// Decodes one feature vector from the front of `buf` **without copying**,
+/// advancing the slice past the encoding. The returned [`FeatureVecRef`]
+/// borrows the payload bytes directly (the zero-copy scan path).
+///
+/// Accepts and rejects **exactly** the inputs [`decode_fvec`] does —
+/// truncated payloads, unknown tags, non-increasing or out-of-dimension
+/// sparse indices all return `None` (property-tested in
+/// `tests/properties.rs`).
+pub fn decode_fvec_ref<'a>(buf: &mut &'a [u8]) -> Option<FeatureVecRef<'a>> {
+    let b = *buf;
+    match *b.first()? {
+        TAG_DENSE => {
+            if b.len() < 5 {
+                return None;
+            }
+            let len = u32::from_le_bytes(b[1..5].try_into().expect("4 bytes")) as usize;
+            let need = 4 * len;
+            if b.len() - 5 < need {
+                return None;
+            }
+            let raw = &b[5..5 + need];
+            *buf = &b[5 + need..];
+            Some(FeatureVecRef::Dense { raw })
+        }
+        TAG_SPARSE => {
+            if b.len() < 9 {
+                return None;
+            }
+            let dim = u32::from_le_bytes(b[1..5].try_into().expect("4 bytes"));
+            let nnz = u32::from_le_bytes(b[5..9].try_into().expect("4 bytes")) as usize;
+            let need = 8 * nnz;
+            if b.len() - 9 < need {
+                return None;
+            }
+            let idx_raw = &b[9..9 + 4 * nnz];
+            let val_raw = &b[9 + 4 * nnz..9 + need];
+            // Same invariant check as the owned decoder: strictly increasing
+            // indices, all below `dim` (strictly increasing makes the last
+            // index the maximum, so one range check covers them all).
+            let mut prev: Option<u32> = None;
+            for chunk in idx_raw.chunks_exact(4) {
+                let i = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                if i >= dim || prev.is_some_and(|p| p >= i) {
+                    return None;
+                }
+                prev = Some(i);
+            }
+            *buf = &b[9 + need..];
+            Some(FeatureVecRef::Sparse { dim, idx_raw, val_raw })
         }
         _ => None,
     }
@@ -111,6 +190,19 @@ mod tests {
         let back = decode_fvec(&mut slice).expect("decode");
         assert_eq!(&back, f);
         assert!(slice.is_empty(), "decoder must consume exactly the encoding");
+        // the zero-copy decoder agrees on value and consumed length
+        let mut slice = &buf[..];
+        let bref = decode_fvec_ref(&mut slice).expect("ref decode");
+        assert_eq!(&bref.to_owned(), f);
+        assert!(slice.is_empty(), "ref decoder must consume exactly the encoding");
+    }
+
+    /// Both decoders must agree on whether `bytes` is a valid encoding.
+    fn both_reject(bytes: &[u8]) {
+        let mut a = bytes;
+        assert!(decode_fvec(&mut a).is_none(), "owned decoder accepted");
+        let mut b = bytes;
+        assert!(decode_fvec_ref(&mut b).is_none(), "ref decoder accepted");
     }
 
     #[test]
@@ -130,15 +222,19 @@ mod tests {
         let mut buf = Vec::new();
         encode_fvec(&FeatureVec::dense(vec![1.0, 2.0]), &mut buf);
         for cut in 0..buf.len() {
-            let mut slice = &buf[..cut];
-            assert!(decode_fvec(&mut slice).is_none(), "cut at {cut} decoded");
+            both_reject(&buf[..cut]);
+        }
+        let mut sparse = Vec::new();
+        encode_fvec(&FeatureVec::sparse(10, vec![(1, 1.0), (7, 2.0)]), &mut sparse);
+        for cut in 0..sparse.len() {
+            both_reject(&sparse[..cut]);
         }
     }
 
     #[test]
     fn bad_tag_is_rejected() {
-        let mut slice: &[u8] = &[0x7f, 0, 0, 0, 0];
-        assert!(decode_fvec(&mut slice).is_none());
+        both_reject(&[0x7f, 0, 0, 0, 0]);
+        both_reject(&[]);
     }
 
     #[test]
@@ -151,8 +247,7 @@ mod tests {
         buf.extend_from_slice(&5u32.to_le_bytes());
         buf.extend_from_slice(&1.0f32.to_le_bytes());
         buf.extend_from_slice(&1.0f32.to_le_bytes());
-        let mut slice = &buf[..];
-        assert!(decode_fvec(&mut slice).is_none());
+        both_reject(&buf);
     }
 
     #[test]
@@ -162,7 +257,22 @@ mod tests {
         buf.extend_from_slice(&1u32.to_le_bytes());
         buf.extend_from_slice(&4u32.to_le_bytes()); // idx 4 >= dim 4
         buf.extend_from_slice(&1.0f32.to_le_bytes());
+        both_reject(&buf);
+    }
+
+    #[test]
+    fn ref_decode_consumes_exactly_one_encoding_from_a_stream() {
+        // two encodings back-to-back, as they sit inside a page record
+        let a = FeatureVec::sparse(50, vec![(2, 1.0), (30, -2.0)]);
+        let b = FeatureVec::dense(vec![0.5, 1.5]);
+        let mut buf = Vec::new();
+        encode_fvec(&a, &mut buf);
+        encode_fvec(&b, &mut buf);
         let mut slice = &buf[..];
-        assert!(decode_fvec(&mut slice).is_none());
+        let ra = decode_fvec_ref(&mut slice).expect("first");
+        assert_eq!(ra.to_owned(), a);
+        let rb = decode_fvec_ref(&mut slice).expect("second");
+        assert_eq!(rb.to_owned(), b);
+        assert!(slice.is_empty());
     }
 }

@@ -38,6 +38,19 @@ impl FeatureVec {
     /// Panics if any index is `>= dim`.
     pub fn sparse(dim: u32, pairs: impl IntoIterator<Item = (u32, f32)>) -> Self {
         let mut pairs: Vec<(u32, f32)> = pairs.into_iter().collect();
+        // Fast path: input already in canonical form (strictly increasing
+        // indices, no zeros) — one scan instead of sort + merge + compact.
+        // Decoded tuples and normalized documents arrive canonical, so this
+        // is the common case on hot paths. `v != 0.0` deliberately sends
+        // `-0.0` to the slow path, which canonicalizes it away.
+        if pairs.windows(2).all(|w| w[0].0 < w[1].0) && pairs.iter().all(|&(_, v)| v != 0.0) {
+            if let Some(&(last, _)) = pairs.last() {
+                // strictly increasing ⇒ `last` is the maximum index
+                assert!(last < dim, "sparse index {last} out of dimension {dim}");
+            }
+            let (idx, val): (Vec<u32>, Vec<f32>) = pairs.into_iter().unzip();
+            return FeatureVec::Sparse { dim, idx: idx.into(), val: val.into() };
+        }
         pairs.sort_unstable_by_key(|&(i, _)| i);
         let mut idx = Vec::with_capacity(pairs.len());
         let mut val: Vec<f32> = Vec::with_capacity(pairs.len());

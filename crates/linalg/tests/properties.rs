@@ -5,8 +5,8 @@
 //! the paper's watermark bounds (Lemma 3.1).
 
 use hazy_linalg::{
-    decode_fvec, encode_fvec, encoded_len, norm_of_slice, FeatureVec, Norm, NormPair, OrdF64,
-    ScaledDense,
+    decode_fvec, decode_fvec_ref, encode_fvec, encoded_len, norm_of_slice, FeatureVec, Features,
+    Norm, NormPair, OrdF64, ScaledDense,
 };
 use proptest::prelude::*;
 
@@ -60,11 +60,85 @@ proptest! {
         prop_assert!(slice.is_empty());
     }
 
-    /// Decoding arbitrary junk never panics.
+    /// Decoding arbitrary junk never panics, and the owned and zero-copy
+    /// decoders agree on whether the bytes are a valid encoding.
     #[test]
     fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let mut slice = &bytes[..];
-        let _ = decode_fvec(&mut slice);
+        let owned = decode_fvec(&mut slice);
+        let mut slice = &bytes[..];
+        let borrowed = decode_fvec_ref(&mut slice);
+        prop_assert_eq!(owned.is_some(), borrowed.is_some(),
+            "decoders disagree on acceptance of {:?}", bytes);
+        if let (Some(o), Some(b)) = (owned, borrowed) {
+            prop_assert_eq!(o, b.to_owned());
+        }
+    }
+
+    /// The zero-copy scan path is **bit-for-bit** the owned path: decoding
+    /// borrowed from the encoding and running the borrowed `dot`/`norm`
+    /// kernels yields exactly the bits that owned decode + owned kernels
+    /// produce, on arbitrary dense and sparse vectors — including models
+    /// shorter and longer than the vector.
+    #[test]
+    fn zero_copy_decode_and_dot_match_owned_bitwise(
+        f in arb_fvec(),
+        w in arb_model(64),
+        wlen in 0usize..=64,
+    ) {
+        let mut buf = Vec::new();
+        encode_fvec(&f, &mut buf);
+
+        let mut slice = &buf[..];
+        let owned = decode_fvec(&mut slice).expect("owned decode");
+        let rest_owned = slice.len();
+        let mut slice = &buf[..];
+        let borrowed = decode_fvec_ref(&mut slice).expect("ref decode");
+        prop_assert_eq!(slice.len(), rest_owned, "decoders consumed different lengths");
+
+        prop_assert_eq!(Features::dim(&borrowed), owned.dim());
+        prop_assert_eq!(Features::nnz(&borrowed), owned.nnz());
+        let w = &w[..wlen];
+        prop_assert_eq!(
+            Features::dot(&borrowed, w).to_bits(),
+            owned.dot(w).to_bits(),
+            "dot diverges on {:?}", owned
+        );
+        for q in [Norm::L1, Norm::L2, Norm::LInf] {
+            prop_assert_eq!(
+                Features::norm(&borrowed, q).to_bits(),
+                owned.norm(q).to_bits(),
+                "norm {:?} diverges", q
+            );
+        }
+        prop_assert_eq!(borrowed.to_owned(), owned);
+        prop_assert_eq!(
+            borrowed.iter().collect::<Vec<_>>(),
+            f.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Corrupting any single byte of a valid sparse encoding leaves the two
+    /// decoders in agreement: both accept (value-equal) or both reject.
+    #[test]
+    fn decoders_agree_on_single_byte_corruptions(
+        f in arb_sparse(64, 16),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_fvec(&f, &mut buf);
+        let pos = ((buf.len() as f64 * pos_frac) as usize).min(buf.len() - 1);
+        buf[pos] ^= flip;
+        let mut slice = &buf[..];
+        let owned = decode_fvec(&mut slice);
+        let mut slice = &buf[..];
+        let borrowed = decode_fvec_ref(&mut slice);
+        prop_assert_eq!(owned.is_some(), borrowed.is_some(),
+            "decoders disagree after flipping byte {} by {:#x}", pos, flip);
+        if let (Some(o), Some(b)) = (owned, borrowed) {
+            prop_assert_eq!(o, b.to_owned());
+        }
     }
 
     /// A sparse vector and its densified twin agree on dot products and

@@ -153,6 +153,15 @@ impl VirtualClock {
             self.charge_cpu_ops(n * logn);
         }
     }
+
+    /// Charges a linear merge of `n` elements (one comparison + one move
+    /// each). The incremental reorganization folds a sorted tail of `t`
+    /// entries into the ε-sorted run for `charge_sort(t)` +
+    /// `charge_merge(n)` — proportional to the delta plus one pass, instead
+    /// of [`charge_sort`]`(n)`'s full `n log n`.
+    pub fn charge_merge(&self, n: u64) {
+        self.charge_cpu_ops(n);
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,23 @@ impl HeapFile {
         pool.with_page_mut(pid, |pg| slotted::update_in_place(pg, rid.slot, rec))
     }
 
+    /// Overwrites part of the record at `rid` (the zero-copy label-flip
+    /// path: a scan classifies off borrowed page bytes and patches the one
+    /// changed byte, never re-encoding the tuple).
+    ///
+    /// # Errors
+    /// Propagates [`StorageError::BadRid`] / [`StorageError::LengthMismatch`].
+    pub fn patch_in_place(
+        &mut self,
+        pool: &mut BufferPool,
+        rid: Rid,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), StorageError> {
+        let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
+        pool.with_page_mut(pid, |pg| slotted::patch_in_place(pg, rid.slot, offset, bytes))
+    }
+
     /// Tombstones the record at `rid`.
     ///
     /// # Errors
@@ -215,6 +232,17 @@ mod tests {
         h.delete(&mut p, r1).unwrap();
         assert_eq!(h.len(), 1);
         assert!(h.get(&mut p, r1, |_| ()).is_err());
+    }
+
+    #[test]
+    fn patch_rewrites_within_record() {
+        let mut p = pool();
+        let mut h = HeapFile::new();
+        let rid = h.append(&mut p, b"header:payload").unwrap();
+        h.patch_in_place(&mut p, rid, 7, b"PAYLOAD").unwrap();
+        assert_eq!(h.get(&mut p, rid, |b| b.to_vec()).unwrap(), b"header:PAYLOAD");
+        assert!(h.patch_in_place(&mut p, rid, 14, b"x").is_err());
+        assert!(h.patch_in_place(&mut p, Rid { page: 5, slot: 0 }, 0, b"x").is_err());
     }
 
     #[test]

@@ -130,6 +130,35 @@ pub fn update_in_place(
     Ok(())
 }
 
+/// Overwrites `bytes.len()` bytes of slot `i`'s payload starting at
+/// `offset`, leaving the rest of the record untouched — the partial-rewrite
+/// path that lets a one-byte label flip skip re-encoding the whole tuple.
+///
+/// # Errors
+/// [`StorageError::BadRid`] for dead slots, [`StorageError::LengthMismatch`]
+/// when `offset + bytes.len()` overruns the record.
+pub fn patch_in_place(
+    page: &mut [u8; PAGE_SIZE],
+    i: u16,
+    offset: usize,
+    bytes: &[u8],
+) -> Result<(), StorageError> {
+    if i >= n_slots(page) {
+        return Err(StorageError::BadRid);
+    }
+    let (off, len) = slot(page, i);
+    if off == TOMBSTONE {
+        return Err(StorageError::BadRid);
+    }
+    let end = offset.checked_add(bytes.len()).ok_or(StorageError::BadRid)?;
+    if end > len as usize {
+        return Err(StorageError::LengthMismatch { have: len as usize, want: end });
+    }
+    let base = off as usize + offset;
+    page[base..base + bytes.len()].copy_from_slice(bytes);
+    Ok(())
+}
+
 /// Tombstones slot `i`.
 ///
 /// # Errors
@@ -215,6 +244,23 @@ mod tests {
             update_in_place(&mut p, i, b"toolong"),
             Err(StorageError::LengthMismatch { have: 4, want: 7 })
         ));
+    }
+
+    #[test]
+    fn patch_rewrites_a_sub_range() {
+        let mut p = fresh();
+        let i = insert(&mut p, b"abcdef").unwrap().unwrap();
+        patch_in_place(&mut p, i, 2, b"XY").unwrap();
+        assert_eq!(get(&p, i), Some(&b"abXYef"[..]));
+        patch_in_place(&mut p, i, 5, b"Z").unwrap();
+        assert_eq!(get(&p, i), Some(&b"abXYeZ"[..]));
+        assert!(matches!(
+            patch_in_place(&mut p, i, 5, b"ZZ"),
+            Err(StorageError::LengthMismatch { have: 6, want: 7 })
+        ));
+        assert!(matches!(patch_in_place(&mut p, 9, 0, b"x"), Err(StorageError::BadRid)));
+        delete(&mut p, i).unwrap();
+        assert!(matches!(patch_in_place(&mut p, i, 0, b"x"), Err(StorageError::BadRid)));
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    /// Smoke mode (real criterion's `--test` flag): run every benchmark
+    /// routine exactly once, no timing. Lets CI compile-and-execute bench
+    /// code in seconds so it cannot bit-rot.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -30,6 +34,7 @@ impl Default for Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(500),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -139,11 +144,18 @@ pub struct Bencher {
     config: Criterion,
     /// Median per-iteration time of the last `iter` call, in nanoseconds.
     result_ns: Option<f64>,
+    /// Set when the routine ran once in smoke (`--test`) mode.
+    smoked: bool,
 }
 
 impl Bencher {
     /// Times `routine`, storing the median per-iteration duration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.smoked = true;
+            return;
+        }
         // Warm-up doubles as calibration: find how many iterations fit in
         // the warm-up budget.
         let warm_deadline = Instant::now() + self.config.warm_up_time;
@@ -178,10 +190,12 @@ fn run_bench(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         config: config.clone(),
         result_ns: None,
+        smoked: false,
     };
     f(&mut bencher);
     match bencher.result_ns {
         Some(ns) => println!("{label:<44} time: [{}]", format_ns(ns)),
+        None if bencher.smoked => println!("{label:<44} (smoke: ok)"),
         None => println!("{label:<44} (no iter() call)"),
     }
 }
@@ -253,5 +267,13 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn smoke_mode_runs_routine_exactly_once() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut runs = 0u64;
+        c.bench_function("smoke_once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "smoke mode must run the routine exactly once");
     }
 }
