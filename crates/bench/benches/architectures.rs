@@ -11,7 +11,7 @@ fn spec() -> DatasetSpec {
     DatasetSpec::dblife().scaled(0.02)
 }
 
-fn build(arch: Architecture, mode: Mode) -> Box<dyn ClassifierView> {
+fn build(arch: Architecture, mode: Mode) -> Box<dyn ClassifierView + Send> {
     let s = spec();
     let ds = s.generate();
     let warm = ExampleStream::new(&s, 0xAAAA).take_vec(6000);

@@ -49,7 +49,7 @@ pub fn build_view(
     spec: &DatasetSpec,
     ds: &Dataset,
     warm: &[TrainingExample],
-) -> Box<dyn ClassifierView> {
+) -> Box<dyn ClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(spec.norm_pair())
         .dim(spec.dim)

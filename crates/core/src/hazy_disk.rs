@@ -533,6 +533,28 @@ impl ClassifierView for HazyDiskView {
         ids
     }
 
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        let clock = self.clock();
+        clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        // exact margins are needed, so the clustered eps keys (stale by up
+        // to the watermark band) cannot prune: one sequential pass over the
+        // whole heap — sorted segment and tail alike — scoring off borrowed
+        // page bytes
+        let model = self.trainer.model().clone();
+        let mut scored = Vec::new();
+        let mut examined = 0u64;
+        self.heap.scan(&mut self.pool, |_, bytes| {
+            examined += 1;
+            let t = decode_tuple_ref(bytes).expect("well-formed tuple");
+            charge_classify(&clock, &t.f);
+            scored.push((t.id, model.margin(&t.f)));
+            true
+        });
+        self.stats.tuples_examined += examined;
+        crate::view::take_top_k(scored, k, &clock)
+    }
+
     fn insert_entity(&mut self, e: Entity) {
         let clock = self.clock();
         charge_classify(&clock, &e.f);

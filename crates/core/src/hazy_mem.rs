@@ -416,6 +416,22 @@ impl ClassifierView for HazyMemView {
         ids
     }
 
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.stats.tuples_examined += self.data.len() as u64;
+        // ranked reads need exact margins, so the stored eps keys (stale by
+        // up to the watermark band) cannot prune: score everything under the
+        // current model
+        let model = self.trainer.model();
+        let mut scored = Vec::with_capacity(self.data.len());
+        for t in &self.data {
+            charge_classify(&self.clock, &t.f);
+            scored.push((t.id, model.margin(&t.f)));
+        }
+        crate::view::take_top_k(scored, k, &self.clock)
+    }
+
     fn insert_entity(&mut self, e: Entity) {
         charge_classify(&self.clock, &e.f);
         let eps = self.wm.stored_model().margin(&e.f);

@@ -241,6 +241,17 @@ impl ClassifierView for HybridView {
         ids
     }
 
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        // ranked reads go to the full on-disk table; the ε-map and buffer
+        // only accelerate certain-label lookups, which a ranked read cannot
+        // use (it needs exact margins)
+        let out = self.inner.top_k(k);
+        if self.inner.reorg_epoch() != self.seen_epoch {
+            self.rebuild_memory();
+        }
+        out
+    }
+
     fn insert_entity(&mut self, e: Entity) {
         let eps = self.inner.watermarks().stored_model().margin(&e.f);
         self.eps_map.insert(e.id, eps);

@@ -27,6 +27,8 @@
 //!
 //! [`VirtualClock`]: hazy_storage::VirtualClock
 
+#![warn(missing_docs)]
+
 mod cost;
 mod entity;
 mod hazy_disk;
@@ -56,5 +58,5 @@ pub use naive_disk::NaiveDiskView;
 pub use naive_mem::NaiveMemView;
 pub use skiing::Skiing;
 pub use stats::{MemoryFootprint, ViewStats};
-pub use view::{Architecture, ClassifierView, Mode, ViewBuilder};
+pub use view::{rank_order, Architecture, ClassifierView, Mode, ViewBuilder};
 pub use watermark::{DeltaTracker, WaterMarks, WatermarkPolicy};

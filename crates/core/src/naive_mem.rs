@@ -154,6 +154,18 @@ impl ClassifierView for NaiveMemView {
         out
     }
 
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        self.clock.charge_ns(self.overheads.scan_ns);
+        self.stats.all_members += 1;
+        self.stats.tuples_examined += self.entities.len() as u64;
+        let mut scored = Vec::with_capacity(self.entities.len());
+        for e in &self.entities {
+            charge_classify(&self.clock, &e.f);
+            scored.push((e.id, self.trainer.model().margin(&e.f)));
+        }
+        crate::view::take_top_k(scored, k, &self.clock)
+    }
+
     fn insert_entity(&mut self, e: Entity) {
         charge_classify(&self.clock, &e.f);
         let label = self.trainer.model().predict(&e.f);

@@ -1,5 +1,7 @@
 //! The common interface over all five architectures, and a builder.
 
+use std::cmp::Ordering;
+
 use hazy_learn::{Label, LinearModel, SgdConfig, TrainingExample};
 use hazy_linalg::NormPair;
 use hazy_storage::{BufferPool, CostModel, SimDisk, VirtualClock, PAGE_SIZE};
@@ -73,9 +75,41 @@ impl Architecture {
     }
 }
 
+/// The total order of ranked reads: margin descending, ids ascending on
+/// ties. Shared by every [`ClassifierView::top_k`] implementation and by
+/// the cross-shard merge in `hazy-serve`, so a sharded deployment's merged
+/// answer is bit-identical to the unsharded one.
+pub fn rank_order(a: &(u64, f64), b: &(u64, f64)) -> Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+}
+
+/// Keeps the best `k` of `scored` under [`rank_order`] and sorts them:
+/// O(n) selection plus an O(k log k) sort, charged to `clock` as such.
+pub(crate) fn take_top_k(
+    mut scored: Vec<(u64, f64)>,
+    k: usize,
+    clock: &VirtualClock,
+) -> Vec<(u64, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < scored.len() {
+        clock.charge_cpu_ops(scored.len() as u64);
+        scored.select_nth_unstable_by(k - 1, rank_order);
+        scored.truncate(k);
+    }
+    clock.charge_sort(scored.len() as u64);
+    scored.sort_unstable_by(rank_order);
+    scored
+}
+
 /// A maintained classification view. All methods take `&mut self`: even
 /// reads may move internal state (lazy waste accounting, buffer-pool
 /// faults, Skiing-triggered reorganizations).
+///
+/// Every implementation is `Send` (enforced on the boxes [`ViewBuilder`]
+/// hands out), so views can be moved into worker threads — the basis of the
+/// sharded serving layer in `hazy-serve`.
 pub trait ClassifierView {
     /// Table label, e.g. `"hazy-od (eager)"`.
     fn describe(&self) -> String;
@@ -122,6 +156,17 @@ pub trait ClassifierView {
 
     /// `All Members` returning the ids themselves.
     fn positive_ids(&mut self) -> Vec<u64>;
+
+    /// Ranked read: the `k` entities with the greatest margin `w·f − b`
+    /// under the **current** model, sorted by margin descending with ties
+    /// broken by ascending id (the total order of [`rank_order`]). This is
+    /// the "most confidently positive" listing a serving tier paginates —
+    /// e.g. the top database papers in the paper's portal application
+    /// (Section 1). Every architecture answers with a single scan that
+    /// scores each entity and keeps the best `k`; the deterministic tie
+    /// order is what lets a sharded deployment merge per-shard answers into
+    /// exactly the unsharded list.
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)>;
 
     /// Type-(1) dynamic data: a brand-new entity arrives and is classified
     /// under the current model.
@@ -238,12 +283,44 @@ impl ViewBuilder {
         self
     }
 
+    /// The configured dimensionality; 0 means "infer from the entities at
+    /// build time". A sharded build must pin this globally **before**
+    /// partitioning — per-shard inference would give shards models of
+    /// different dimension.
+    pub fn configured_dim(&self) -> usize {
+        self.dim
+    }
+
     /// Builds the view over `entities`, optionally warm-starting the model
     /// with `warm` training examples **before** the initial organization
     /// (equivalent to having processed them as updates, without paying for
     /// thousands of naive maintenance rounds during setup — the experiments
     /// in Section 4.1.1 all start from a 12k-example warm model).
-    pub fn build(&self, entities: Vec<Entity>, warm: &[TrainingExample]) -> Box<dyn ClassifierView> {
+    pub fn build(
+        &self,
+        entities: Vec<Entity>,
+        warm: &[TrainingExample],
+    ) -> Box<dyn ClassifierView + Send> {
+        self.build_with_clock(entities, warm, self.new_clock())
+    }
+
+    /// A fresh virtual clock under this builder's cost model. Pass clones of
+    /// one clock to several [`build_with_clock`](ViewBuilder::build_with_clock)
+    /// calls to keep their views in a single cost universe (what the sharded
+    /// serving layer does for its shards).
+    pub fn new_clock(&self) -> VirtualClock {
+        VirtualClock::new(self.cost_model)
+    }
+
+    /// Like [`build`](ViewBuilder::build), but charges all costs to the
+    /// caller's `clock` instead of a fresh one — the hook that lets many
+    /// views (e.g. the shards of one logical view) share a cost universe.
+    pub fn build_with_clock(
+        &self,
+        entities: Vec<Entity>,
+        warm: &[TrainingExample],
+        clock: VirtualClock,
+    ) -> Box<dyn ClassifierView + Send> {
         let dim = if self.dim > 0 {
             self.dim
         } else {
@@ -253,7 +330,6 @@ impl ViewBuilder {
         for ex in warm {
             trainer.step(&ex.f, ex.y);
         }
-        let clock = VirtualClock::new(self.cost_model);
         match self.arch {
             Architecture::NaiveMem => Box::new(NaiveMemView::new(
                 entities,

@@ -7,7 +7,7 @@
 use hazy_core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
 use hazy_datagen::{DatasetSpec, ExampleStream};
 
-fn build_all(spec: &hazy_datagen::DatasetSpec, warm: usize) -> Vec<Box<dyn ClassifierView>> {
+fn build_all(spec: &hazy_datagen::DatasetSpec, warm: usize) -> Vec<Box<dyn ClassifierView + Send>> {
     let ds = spec.generate();
     let entities: Vec<Entity> = ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
     let warm_examples = ExampleStream::new(spec, 99).take_vec(warm);
@@ -68,6 +68,18 @@ fn all_architectures_serve_identical_answers() {
     let first = lists.remove(0);
     for (v, l) in views.iter().skip(1).zip(lists.iter()) {
         assert_eq!(&first, l, "{} diverges on positive_ids", v.describe());
+    }
+
+    // ranked reads agree bit-for-bit: same ids, same margins, same order
+    let mut ranked: Vec<Vec<(u64, f64)>> = views.iter_mut().map(|v| v.top_k(25)).collect();
+    let first = ranked.remove(0);
+    assert_eq!(first.len(), 25);
+    assert!(
+        first.windows(2).all(|w| hazy_core::rank_order(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+        "top_k not in rank order: {first:?}"
+    );
+    for (v, r) in views.iter().skip(1).zip(ranked.iter()) {
+        assert_eq!(&first, r, "{} diverges on top_k", v.describe());
     }
 }
 

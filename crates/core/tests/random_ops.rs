@@ -47,7 +47,7 @@ fn base_entities(n: usize) -> Vec<Entity> {
         .collect()
 }
 
-fn build(arch: Architecture, mode: Mode, policy: WatermarkPolicy) -> Box<dyn ClassifierView> {
+fn build(arch: Architecture, mode: Mode, policy: WatermarkPolicy) -> Box<dyn ClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(hazy_linalg::NormPair::EUCLIDEAN)
         .overheads(OpOverheads::free())
@@ -66,7 +66,7 @@ proptest! {
     ) {
         let _ = alpha_kind;
         let mut reference = build(Architecture::NaiveMem, Mode::Eager, WatermarkPolicy::Monotone);
-        let mut candidates: Vec<Box<dyn ClassifierView>> = vec![
+        let mut candidates: Vec<Box<dyn ClassifierView + Send>> = vec![
             build(Architecture::HazyMem, Mode::Eager, WatermarkPolicy::Monotone),
             build(Architecture::HazyMem, Mode::Lazy, WatermarkPolicy::Monotone),
             build(Architecture::HazyMem, Mode::Eager, WatermarkPolicy::Window2),

@@ -42,7 +42,7 @@ enum TriggerRole {
 struct ViewState {
     decl: ViewDecl,
     ff: Box<dyn FeatureFunction>,
-    engine: Box<dyn ClassifierView>,
+    engine: Box<dyn ClassifierView + Send>,
     /// Label text mapped to +1 (first row of the labels table).
     pos_label: String,
     n_entities: u64,
@@ -239,11 +239,17 @@ impl Db {
         let pair = if dense { NormPair::EUCLIDEAN } else { NormPair::TEXT };
 
         let n_entities = ents.len() as u64;
-        let engine = ViewBuilder::new(arch, mode)
-            .sgd(sgd)
-            .norm_pair(pair)
-            .dim(ff.dim())
-            .build(ents, &warm);
+        let builder = ViewBuilder::new(arch, mode).sgd(sgd).norm_pair(pair).dim(ff.dim());
+        // SHARDS n routes through the hazy-serve layer: the engine becomes a
+        // hash-partitioned ShardedView whose answers are observationally
+        // identical to the unsharded build (its own equivalence suite), so
+        // every execution path below stays unchanged
+        let engine: Box<dyn ClassifierView + Send> = match decl.shards {
+            Some(n) if n > 1 => {
+                Box::new(hazy_serve::ShardedView::build(&builder, n as usize, ents, &warm))
+            }
+            _ => builder.build(ents, &warm),
+        };
 
         // --- wire triggers
         self.triggers
@@ -501,6 +507,53 @@ mod tests {
                     "{arch}/{mode}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sharded_views_serve_identically_to_unsharded() {
+        // every read shape against a SHARDS n view must match the unsharded
+        // answers of end_to_end_classification_via_sql
+        for extra in [
+            "USING SVM SHARDS 4",
+            "USING SVM SHARDS 1",
+            "USING SVM ARCHITECTURE NAIVE_MM MODE LAZY SHARDS 3",
+            "USING SVM ARCHITECTURE HAZY_OD MODE EAGER SHARDS 2",
+        ] {
+            let mut db = setup();
+            create_view(&mut db, extra);
+            teach(&mut db, 30);
+            for (id, expect) in [(1, 1), (2, 1), (5, 1), (3, -1), (4, -1), (6, -1)] {
+                assert_eq!(
+                    db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}"))
+                        .unwrap(),
+                    QueryResult::Label(Some(expect)),
+                    "{extra}: paper {id}"
+                );
+            }
+            assert_eq!(
+                db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap(),
+                QueryResult::Count(3),
+                "{extra}"
+            );
+            let QueryResult::Ids(mut ids) =
+                db.execute("SELECT id FROM Labeled_Papers WHERE class = 1").unwrap()
+            else {
+                panic!("expected ids")
+            };
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2, 5], "{extra}");
+            // new entities keep routing to their home shards
+            db.execute("INSERT INTO Papers VALUES (7, 'database query transactions')").unwrap();
+            assert_eq!(
+                db.execute("SELECT class FROM Labeled_Papers WHERE id = 7").unwrap(),
+                QueryResult::Label(Some(1)),
+                "{extra}"
+            );
+            // the logical update count (30 teaching rounds × 6 examples) is
+            // not multiplied by the shard count
+            assert_eq!(db.view_stats("Labeled_Papers").unwrap().updates, 180, "{extra}");
+            assert!(db.view_model("Labeled_Papers").is_some(), "{extra}");
         }
     }
 

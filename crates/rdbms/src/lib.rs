@@ -20,6 +20,8 @@
 //! model selection (cross-validation over SVM / logistic / ridge) on the
 //! examples present at creation time.
 
+#![warn(missing_docs)]
+
 mod db;
 mod error;
 pub mod features;

@@ -2,9 +2,10 @@
 //!
 //! Covers exactly the surface the paper's workflow needs: `CREATE TABLE`,
 //! the `CREATE CLASSIFICATION VIEW` declaration of Example 2.1 (with
-//! optional `USING`, plus `ARCHITECTURE`/`MODE` extensions to pick the
-//! physical design), `INSERT`, and the three read shapes of Section 2.2 —
-//! single-entity label, All-Members listing, and All-Members count.
+//! optional `USING`, plus `ARCHITECTURE`/`MODE`/`SHARDS` extensions to pick
+//! the physical design and its parallelism), `INSERT`, and the three read
+//! shapes of Section 2.2 — single-entity label, All-Members listing, and
+//! All-Members count.
 
 use crate::error::DbError;
 use crate::value::{ColumnType, Value};
@@ -39,6 +40,10 @@ pub struct ViewDecl {
     pub architecture: Option<String>,
     /// Optional maintenance mode (`MODE EAGER|LAZY`).
     pub mode: Option<String>,
+    /// Optional shard count (`SHARDS n`): partition the view across `n`
+    /// concurrent shards served by `hazy-serve`. `None` or `Some(1)` keeps
+    /// the single unsharded engine.
+    pub shards: Option<u32>,
 }
 
 /// A parsed statement.
@@ -370,6 +375,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     let mut using = None;
     let mut architecture = None;
     let mut mode = None;
+    let mut shards = None;
     loop {
         if lx.eat_keyword("USING") {
             using = Some(lx.ident()?);
@@ -377,6 +383,12 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
             architecture = Some(lx.ident()?);
         } else if lx.eat_keyword("MODE") {
             mode = Some(lx.ident()?);
+        } else if lx.eat_keyword("SHARDS") {
+            let n = lx.int()?;
+            if !(1..=4096).contains(&n) {
+                return Err(lx.err("SHARDS must be between 1 and 4096"));
+            }
+            shards = Some(n as u32);
         } else {
             break;
         }
@@ -396,6 +408,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         using,
         architecture,
         mode,
+        shards,
     }))
 }
 
@@ -490,8 +503,44 @@ mod tests {
                 assert_eq!(v.using.as_deref(), Some("SVM"));
                 assert_eq!(v.architecture.as_deref(), Some("HYBRID"));
                 assert_eq!(v.mode.as_deref(), Some("LAZY"));
+                assert_eq!(v.shards, None);
             }
             other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_shards_clause_in_any_position() {
+        for sql in [
+            "CREATE CLASSIFICATION VIEW V KEY id \
+             ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+             EXAMPLES FROM X KEY id LABEL l \
+             FEATURE FUNCTION tf_bag_of_words SHARDS 4 USING SVM",
+            "CREATE CLASSIFICATION VIEW V KEY id \
+             ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+             EXAMPLES FROM X KEY id LABEL l \
+             FEATURE FUNCTION tf_bag_of_words USING SVM MODE EAGER SHARDS 4",
+        ] {
+            match parse_statement(sql).unwrap() {
+                Statement::CreateView(v) => assert_eq!(v.shards, Some(4), "{sql}"),
+                other => panic!("wrong statement {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shard_counts() {
+        for n in ["0", "-3", "5000"] {
+            let sql = format!(
+                "CREATE CLASSIFICATION VIEW V KEY id \
+                 ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+                 EXAMPLES FROM X KEY id LABEL l \
+                 FEATURE FUNCTION tf_bag_of_words SHARDS {n}"
+            );
+            assert!(
+                matches!(parse_statement(&sql), Err(DbError::Parse { .. })),
+                "SHARDS {n} should be rejected"
+            );
         }
     }
 

@@ -1,0 +1,183 @@
+//! K-way merges over per-shard answers.
+//!
+//! Cross-shard queries fan out, get one sorted list per shard back, and
+//! fold them into a single list here. Both merges are heap-based —
+//! O(total · log shards) — and use exactly the total orders the unsharded
+//! scans use, which is what makes a sharded answer indistinguishable from
+//! an unsharded one.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hazy_core::rank_order;
+
+/// One cursor into one shard's list, ordered for the id merge (min-heap via
+/// reversed comparison).
+struct IdHead {
+    head: u64,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for IdHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.list == other.list
+    }
+}
+
+impl Eq for IdHead {}
+
+impl PartialOrd for IdHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IdHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the smallest id first
+        other.head.cmp(&self.head).then(other.list.cmp(&self.list))
+    }
+}
+
+/// Merges per-shard **ascending** id lists into one ascending list.
+/// Ids are unique across shards (each entity lives on exactly one), so the
+/// output has no duplicates to resolve.
+pub fn merge_ascending(lists: Vec<Vec<u64>>) -> Vec<u64> {
+    let total = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<IdHead> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(i, l)| IdHead { head: l[0], list: i, pos: 0 })
+        .collect();
+    while let Some(IdHead { head, list, pos }) = heap.pop() {
+        out.push(head);
+        if let Some(&next) = lists[list].get(pos + 1) {
+            heap.push(IdHead { head: next, list, pos: pos + 1 });
+        }
+    }
+    out
+}
+
+/// One cursor into one shard's ranked list, ordered for the ranked merge.
+struct RankedHead {
+    head: (u64, f64),
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for RankedHead {
+    fn eq(&self, other: &Self) -> bool {
+        rank_order(&self.head, &other.head) == Ordering::Equal && self.list == other.list
+    }
+}
+
+impl Eq for RankedHead {}
+
+impl PartialOrd for RankedHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed rank_order: the heap pops the best-ranked head first
+        rank_order(&other.head, &self.head).then(other.list.cmp(&self.list))
+    }
+}
+
+/// Merges per-shard ranked lists (each already sorted by
+/// [`hazy_core::rank_order`]: margin descending, id ascending on ties) and
+/// keeps the best `k`. With every shard contributing its local top `k`,
+/// the global top `k` is guaranteed to be present in the input.
+pub fn merge_ranked(lists: Vec<Vec<(u64, f64)>>, k: usize) -> Vec<(u64, f64)> {
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    let mut heap: BinaryHeap<RankedHead> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(i, l)| RankedHead { head: l[0], list: i, pos: 0 })
+        .collect();
+    while out.len() < k {
+        let Some(RankedHead { head, list, pos }) = heap.pop() else {
+            break;
+        };
+        out.push(head);
+        if let Some(&next) = lists[list].get(pos + 1) {
+            heap.push(RankedHead { head: next, list, pos: pos + 1 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_merge_matches_flat_sort() {
+        let lists = vec![vec![1, 5, 9], vec![], vec![2, 3, 10], vec![4]];
+        assert_eq!(merge_ascending(lists), vec![1, 2, 3, 4, 5, 9, 10]);
+    }
+
+    #[test]
+    fn ascending_merge_of_nothing_is_empty() {
+        assert_eq!(merge_ascending(vec![]), Vec::<u64>::new());
+        assert_eq!(merge_ascending(vec![vec![], vec![]]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn ranked_merge_keeps_best_k_in_rank_order() {
+        let lists = vec![
+            vec![(10, 0.9), (11, 0.2)],
+            vec![(20, 0.7), (21, 0.1)],
+            vec![(30, 0.8)],
+        ];
+        assert_eq!(merge_ranked(lists, 3), vec![(10, 0.9), (30, 0.8), (20, 0.7)]);
+    }
+
+    #[test]
+    fn ranked_merge_breaks_ties_by_ascending_id_across_lists() {
+        // identical margins on different shards: ids decide, not shard order
+        let lists = vec![vec![(7, 0.5), (9, 0.5)], vec![(3, 0.5)], vec![(8, 0.5)]];
+        assert_eq!(
+            merge_ranked(lists, 4),
+            vec![(3, 0.5), (7, 0.5), (8, 0.5), (9, 0.5)]
+        );
+    }
+
+    #[test]
+    fn ranked_merge_short_input_returns_everything() {
+        let lists = vec![vec![(1, 1.0)], vec![(2, 0.5)]];
+        assert_eq!(merge_ranked(lists, 10), vec![(1, 1.0), (2, 0.5)]);
+    }
+
+    #[test]
+    fn exhaustive_small_merges_match_reference() {
+        // cross-check the heap logic against sort-everything for a spread of
+        // shapes, including negative margins and singleton lists
+        for n_lists in 1..4usize {
+            for len in 0..4usize {
+                let lists: Vec<Vec<(u64, f64)>> = (0..n_lists)
+                    .map(|l| {
+                        let mut v: Vec<(u64, f64)> = (0..len)
+                            .map(|j| {
+                                let id = (l * 10 + j) as u64;
+                                ((id), ((j as f64) - 1.0) * if l % 2 == 0 { 1.0 } else { 0.5 })
+                            })
+                            .collect();
+                        v.sort_by(hazy_core::rank_order);
+                        v
+                    })
+                    .collect();
+                let mut reference: Vec<(u64, f64)> = lists.concat();
+                reference.sort_by(hazy_core::rank_order);
+                reference.truncate(2);
+                assert_eq!(merge_ranked(lists, 2), reference, "{n_lists} lists of {len}");
+            }
+        }
+    }
+}

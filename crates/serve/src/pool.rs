@@ -1,0 +1,213 @@
+//! A scoped worker pool driving a mixed read/update workload.
+//!
+//! This is the serving loop the `serve_throughput` bench measures: `R`
+//! reader threads hammer [`ShardedView::classify`] (with periodic
+//! All-Members counts and ranked reads mixed in) while one writer thread
+//! drains a channel of training-example batches — the paper's "training
+//! examples stream in" regime — applying each round shard by shard and
+//! reorganizing periodically, all off the read path. Threads are
+//! `crossbeam` scoped threads; the write stream and the result fan-in are
+//! `crossbeam` channels.
+//!
+//! Reads are open-loop: readers run until the writer has drained its
+//! stream *and* a configured duration floor has passed, so a report's
+//! `reads_per_sec` is measured under write pressure for the whole window.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use hazy_learn::TrainingExample;
+
+use crate::sharded::ShardedView;
+
+/// Configuration for [`run_mixed_workload`].
+pub struct WorkloadSpec {
+    /// Reader threads to spawn.
+    pub readers: usize,
+    /// Single-entity reads target ids in `0..max_id` (spread by a per-reader
+    /// splitmix stream).
+    pub max_id: u64,
+    /// Every `scan_every`-th read op is an All-Members count (0 = never).
+    pub scan_every: u64,
+    /// Every `top_k_every`-th read op is a ranked read (0 = never).
+    pub top_k_every: u64,
+    /// `k` for the ranked reads.
+    pub top_k: usize,
+    /// The write stream: batches applied in order by the single writer.
+    pub batches: Vec<Vec<TrainingExample>>,
+    /// Writer triggers a per-shard reorganization after every
+    /// `reorganize_every` batches (0 = never).
+    pub reorganize_every: usize,
+    /// Readers keep running at least this long even if the writer finishes
+    /// early (lets a pure-read workload use an empty write stream).
+    pub duration_floor: Duration,
+}
+
+/// What [`run_mixed_workload`] measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkloadReport {
+    /// Single-entity reads completed.
+    pub reads: u64,
+    /// All-Members counts completed.
+    pub scans: u64,
+    /// Ranked reads completed.
+    pub ranked: u64,
+    /// Update batches the writer applied.
+    pub update_rounds: u64,
+    /// Individual training examples inside those batches.
+    pub updates: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Worst single-entity read latency observed by any reader.
+    pub max_read_latency: Duration,
+    /// Single-entity reads that stalled longer than 1 ms (readers blocked
+    /// behind a maintenance round on their target shard).
+    pub stalled_reads: u64,
+}
+
+impl WorkloadReport {
+    /// Single-entity reads per wall-clock second.
+    pub fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Training examples per wall-clock second.
+    pub fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Per-reader deterministic id stream: a counter fed through the crate's
+/// one `splitmix64` mixer.
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(1);
+    crate::sharded::splitmix64(*x)
+}
+
+/// Runs the mixed workload against `view` and reports throughput. Blocks
+/// until every thread has drained; the view is quiescent afterwards (its
+/// trait-side `model()` cache included — the `&mut` borrow exists so it can
+/// be resynced after the `&self`-world writer ran), so callers can compare
+/// its answers against a reference.
+pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> WorkloadReport {
+    let stop = AtomicBool::new(false);
+    let (batch_tx, batch_rx) = crossbeam::channel::unbounded::<&[TrainingExample]>();
+    for b in &spec.batches {
+        batch_tx.send(b).expect("receiver alive");
+    }
+    drop(batch_tx);
+    let (count_tx, count_rx) = crossbeam::channel::unbounded::<(u64, u64, u64, u64, u64)>();
+    let t0 = Instant::now();
+    let mut report = WorkloadReport::default();
+    let shared: &ShardedView = view;
+    crossbeam::scope(|s| {
+        // the single writer: drain the stream, then hold the floor
+        let writer_rounds = s.spawn(|_| {
+            let mut rounds = 0u64;
+            let mut examples = 0u64;
+            while let Ok(batch) = batch_rx.recv() {
+                shared.broadcast_update_batch(batch);
+                rounds += 1;
+                examples += batch.len() as u64;
+                if spec.reorganize_every != 0 && rounds.is_multiple_of(spec.reorganize_every as u64) {
+                    shared.broadcast_reorganize();
+                }
+            }
+            while t0.elapsed() < spec.duration_floor {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Release);
+            (rounds, examples)
+        });
+        for r in 0..spec.readers {
+            let tx = count_tx.clone();
+            let stop = &stop;
+            s.spawn(move |_| {
+                let mut seed = 0x5EED ^ (r as u64) << 32;
+                let (mut reads, mut scans, mut ranked) = (0u64, 0u64, 0u64);
+                let (mut max_lat_ns, mut stalled) = (0u64, 0u64);
+                let mut op = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    op += 1;
+                    if spec.top_k_every != 0 && op.is_multiple_of(spec.top_k_every) {
+                        let _ = shared.top_k(spec.top_k);
+                        ranked += 1;
+                    } else if spec.scan_every != 0 && op.is_multiple_of(spec.scan_every) {
+                        let _ = shared.count_positive();
+                        scans += 1;
+                    } else {
+                        let t = Instant::now();
+                        let _ = shared.classify(splitmix(&mut seed) % spec.max_id.max(1));
+                        let lat = t.elapsed().as_nanos() as u64;
+                        max_lat_ns = max_lat_ns.max(lat);
+                        stalled += u64::from(lat > 1_000_000);
+                        reads += 1;
+                    }
+                }
+                tx.send((reads, scans, ranked, max_lat_ns, stalled)).expect("collector alive");
+            });
+        }
+        drop(count_tx);
+        let (rounds, examples) = writer_rounds.join().expect("writer thread panicked");
+        report.update_rounds = rounds;
+        report.updates = examples;
+        for (reads, scans, ranked, max_lat_ns, stalled) in count_rx.iter() {
+            report.reads += reads;
+            report.scans += scans;
+            report.ranked += ranked;
+            report.max_read_latency = report.max_read_latency.max(Duration::from_nanos(max_lat_ns));
+            report.stalled_reads += stalled;
+        }
+    })
+    .expect("workload thread panicked");
+    report.elapsed = t0.elapsed();
+    view.refresh_model_cache();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hazy_core::{Architecture, Entity, Mode, ViewBuilder};
+    use hazy_learn::TrainingExample;
+
+    fn dense2(x0: f32, x1: f32) -> hazy_linalg::FeatureVec {
+        hazy_linalg::FeatureVec::dense(vec![x0, x1])
+    }
+
+    #[test]
+    fn mixed_workload_reads_and_writes_complete() {
+        let entities: Vec<Entity> = (0..200)
+            .map(|k| Entity::new(k, dense2((k % 7) as f32 / 7.0 - 0.4, (k % 5) as f32 / 5.0 - 0.3)))
+            .collect();
+        let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2);
+        let mut view = ShardedView::build(&builder, 4, entities, &[]);
+        let batches: Vec<Vec<TrainingExample>> = (0..8)
+            .map(|b| {
+                (0..5)
+                    .map(|k| {
+                        let x = ((b * 5 + k) % 11) as f32 / 11.0 - 0.5;
+                        TrainingExample::new(0, dense2(x, -x), if x >= 0.0 { 1 } else { -1 })
+                    })
+                    .collect()
+            })
+            .collect();
+        let spec = WorkloadSpec {
+            readers: 3,
+            max_id: 200,
+            scan_every: 50,
+            top_k_every: 75,
+            top_k: 5,
+            batches,
+            reorganize_every: 4,
+            duration_floor: Duration::from_millis(50),
+        };
+        let report = run_mixed_workload(&mut view, &spec);
+        assert_eq!(report.update_rounds, 8);
+        assert_eq!(report.updates, 40);
+        assert!(report.reads > 0, "no reads completed: {report:?}");
+        assert!(report.reads_per_sec() > 0.0);
+        // quiescent afterwards: answers match a single-threaded probe
+        assert_eq!(view.count_positive(), view.scan_positive().len() as u64);
+    }
+}

@@ -1,0 +1,513 @@
+//! The sharded view: hash-partitioned shards behind per-shard locks, with a
+//! reader/writer handle split.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use hazy_core::{
+    ClassifierView, Entity, MemoryFootprint, Mode, ViewBuilder, ViewStats,
+};
+use hazy_learn::{Label, LinearModel, TrainingExample};
+use hazy_storage::VirtualClock;
+
+use crate::kway;
+
+/// One shard: a complete classification view over its slice of the
+/// entities, exclusive-locked because even reads are stateful (`&mut` on
+/// the trait — lazy waste accounting, buffer faults, Skiing).
+///
+/// The lock is **writer-priority**: `std::sync::Mutex` is barging, and
+/// under a saturating read load barging readers pass the lock among
+/// themselves indefinitely, starving the maintenance writer and letting
+/// the served model grow arbitrarily stale. Readers therefore yield while
+/// `writer_waiting` is raised, which bounds writer wait by one in-flight
+/// read (reads are sub-microsecond; maintenance rounds are not). The flip
+/// side — readers of *this shard* stall for the whole maintenance round —
+/// is exactly what shard-granular locking amortizes: the other `N−1`
+/// shards stay readable, so the worst-case read stall shrinks as `O(1/N)`.
+struct Shard {
+    view: Mutex<Box<dyn ClassifierView + Send>>,
+    writer_waiting: AtomicBool,
+}
+
+impl Shard {
+    fn new(view: Box<dyn ClassifierView + Send>) -> Shard {
+        Shard { view: Mutex::new(view), writer_waiting: AtomicBool::new(false) }
+    }
+
+    /// Reader-side acquisition: defer to a waiting writer, then lock.
+    fn lock_read(&self) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+        loop {
+            while self.writer_waiting.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let guard = self.view.lock().expect("shard lock poisoned");
+            if !self.writer_waiting.load(Ordering::Acquire) {
+                return guard;
+            }
+            // a writer announced itself while we acquired: give way
+            drop(guard);
+        }
+    }
+
+    /// Writer-side acquisition: announce, acquire, withdraw the
+    /// announcement (readers then queue normally behind the held lock).
+    fn lock_write(&self) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+        self.writer_waiting.store(true, Ordering::Release);
+        let guard = self.view.lock().expect("shard lock poisoned");
+        self.writer_waiting.store(false, Ordering::Release);
+        guard
+    }
+}
+
+/// One step of splitmix64: golden-ratio increment plus the avalanche
+/// finalizer. The single source of this mixing in the crate — shard
+/// routing and the workload generator's id streams both reduce to it.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The shard an entity id lives on: splitmix64 over the id,
+/// reduced modulo the shard count. The avalanche step spreads the dense,
+/// sequential ids real entity tables have; the function is pure, so routers
+/// and shards never disagree about placement.
+pub fn shard_of(id: u64, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    (splitmix64(id) % n_shards as u64) as usize
+}
+
+/// A classification view partitioned across `N` shards, serving reads
+/// concurrently (see the crate docs for the data-partitioned /
+/// model-replicated design and its equivalence guarantee).
+///
+/// Read methods take `&self` (synchronization is internal and per-shard),
+/// so any number of threads may serve queries concurrently. Writes require
+/// either the `&mut self` [`ClassifierView`] implementation — how the
+/// RDBMS layer drives a sharded view through its unchanged execution
+/// paths — or the unique, `&mut`-method [`WriteHandle`] from
+/// [`into_handles`](ShardedView::into_handles): both admit exactly one
+/// in-flight writer by type, which the replicated-model design requires
+/// (concurrent broadcast writers would apply SGD steps to different shards
+/// in different orders and silently diverge the shard models).
+pub struct ShardedView {
+    shards: Vec<Shard>,
+    clock: VirtualClock,
+    mode: Mode,
+    /// Clone of the replicated model, refreshed by the `&mut` trait-side
+    /// mutations so [`ClassifierView::model`] can hand out a reference.
+    /// `&self`-world writers (the handles, the workload pool) cannot touch
+    /// it — they observe the live model via
+    /// [`model_snapshot`](ShardedView::model_snapshot) instead.
+    model_cache: LinearModel,
+}
+
+impl ShardedView {
+    /// Partitions `entities` by [`shard_of`] and builds one view per shard
+    /// with `builder`'s configuration, all charging one shared virtual
+    /// clock. Every shard is warm-started with the same `warm` examples, so
+    /// the replicated models start identical.
+    ///
+    /// If the builder has no explicit dimensionality, the global maximum
+    /// over `entities` is pinned before partitioning — per-shard inference
+    /// would let shards disagree on model dimension.
+    ///
+    /// # Panics
+    /// Panics when `n_shards` is 0.
+    pub fn build(
+        builder: &ViewBuilder,
+        n_shards: usize,
+        entities: Vec<Entity>,
+        warm: &[TrainingExample],
+    ) -> ShardedView {
+        assert!(n_shards > 0, "a sharded view needs at least one shard");
+        let mut builder = builder.clone();
+        if builder.configured_dim() == 0 {
+            let dim = entities.iter().map(|e| e.f.dim() as usize).max().unwrap_or(0);
+            builder = builder.dim(dim);
+        }
+        let mut parts: Vec<Vec<Entity>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for e in entities {
+            parts[shard_of(e.id, n_shards)].push(e);
+        }
+        let clock = builder.new_clock();
+        let shards: Vec<Shard> = parts
+            .into_iter()
+            .map(|part| Shard::new(builder.build_with_clock(part, warm, clock.clone())))
+            .collect();
+        let (mode, model_cache) = {
+            let shard0 = shards[0].lock_read();
+            (shard0.mode(), shard0.model().clone())
+        };
+        ShardedView { shards, clock, mode, model_cache }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Splits the view into a cloneable [`ReadHandle`] and the unique
+    /// [`WriteHandle`] — the single-writer discipline of the crate docs,
+    /// enforced by type: `WriteHandle` is not `Clone`, so there is exactly
+    /// one writer unless the caller deliberately builds a second view.
+    pub fn into_handles(self) -> (ReadHandle, WriteHandle) {
+        let shared = Arc::new(self);
+        (ReadHandle { view: Arc::clone(&shared) }, WriteHandle { view: shared })
+    }
+
+    fn lock_shard_read(&self, s: usize) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+        self.shards[s].lock_read()
+    }
+
+    fn lock_shard_write(&self, s: usize) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+        self.shards[s].lock_write()
+    }
+
+    /// Runs `op` against every shard on its own scoped thread and returns
+    /// the results in shard order. Each worker takes exactly one lock, so
+    /// fan-outs cannot deadlock against the writer (which also locks one
+    /// shard at a time).
+    ///
+    /// On a host without parallelism (or with a single shard) the fan-out
+    /// degenerates to a sequential walk in the calling thread: spawning
+    /// per-query worker threads that can only timeshare one core costs
+    /// more than it returns, and the answers are identical either way.
+    fn fan_out<T, F>(&self, op: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut (dyn ClassifierView + Send)) -> T + Sync,
+    {
+        static HOST_PARALLEL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let parallel = self.shards.len() > 1
+            && *HOST_PARALLEL.get_or_init(|| {
+                std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false)
+            });
+        if !parallel {
+            return (0..self.shards.len()).map(|s| op(self.lock_shard_read(s).as_mut())).collect();
+        }
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let op = &op;
+                    s.spawn(move |_| op(shard.lock_read().as_mut()))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope panicked")
+    }
+
+    // ---- concurrent read API (the ReadHandle surface) ----------------------------
+
+    /// `Single Entity` read: the label of entity `id`, from its home shard.
+    pub fn classify(&self, id: u64) -> Option<Label> {
+        self.lock_shard_read(shard_of(id, self.shards.len())).read_single(id)
+    }
+
+    /// `All Members` count, fanned out and summed.
+    pub fn count_positive(&self) -> u64 {
+        self.fan_out(|v| v.count_positive()).into_iter().sum()
+    }
+
+    /// `All Members` listing, fanned out and k-way merged into globally
+    /// ascending id order.
+    pub fn scan_positive(&self) -> Vec<u64> {
+        let per_shard = self.fan_out(|v| {
+            let mut ids = v.positive_ids();
+            ids.sort_unstable();
+            ids
+        });
+        kway::merge_ascending(per_shard)
+    }
+
+    /// Ranked read: the global `k` best-margin entities, obtained by taking
+    /// each shard's local top `k` and k-way merging under
+    /// [`hazy_core::rank_order`] — identical to the unsharded
+    /// [`ClassifierView::top_k`] answer.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        let per_shard = self.fan_out(|v| v.top_k(k));
+        kway::merge_ranked(per_shard, k)
+    }
+
+    /// Sums the per-shard operation counters. `updates` and `all_members`
+    /// are taken from shard 0 instead of summed: update rounds are
+    /// replicated to every shard and fan-out queries visit every shard, so
+    /// summing would multiply the *logical* operation count by the shard
+    /// count.
+    pub fn stats(&self) -> ViewStats {
+        let per_shard = self.fan_out(|v| v.stats());
+        let mut agg = ViewStats::default();
+        for (i, s) in per_shard.iter().enumerate() {
+            if i == 0 {
+                agg.updates = s.updates;
+                agg.all_members = s.all_members;
+            }
+            agg.single_reads += s.single_reads;
+            agg.tuples_reclassified += s.tuples_reclassified;
+            agg.tuples_examined += s.tuples_examined;
+            agg.labels_changed += s.labels_changed;
+            agg.reorgs += s.reorgs;
+            agg.last_reorg_ns = agg.last_reorg_ns.max(s.last_reorg_ns);
+            agg.eps_map_prunes += s.eps_map_prunes;
+            agg.buffer_hits += s.buffer_hits;
+            agg.disk_reads += s.disk_reads;
+        }
+        agg
+    }
+
+    /// Sums the per-shard memory footprints (plus one replicated model per
+    /// shard — replication is a real memory cost and is reported as one).
+    pub fn memory(&self) -> MemoryFootprint {
+        let per_shard = self.fan_out(|v| v.memory());
+        let mut agg = MemoryFootprint::default();
+        for m in per_shard {
+            agg.entities_bytes += m.entities_bytes;
+            agg.eps_map_bytes += m.eps_map_bytes;
+            agg.buffer_bytes += m.buffer_bytes;
+            agg.model_bytes += m.model_bytes;
+        }
+        agg
+    }
+
+    /// A clone of the live replicated model, read off shard 0 under its
+    /// lock. This is the `&self`-world way to observe the model (the
+    /// [`ClassifierView::model`] reference is refreshed only by the `&mut`
+    /// mutation paths).
+    pub fn model_snapshot(&self) -> LinearModel {
+        self.lock_shard_read(0).model().clone()
+    }
+
+    // ---- write API (the WriteHandle surface) -------------------------------------
+    //
+    // pub(crate) on purpose: externally, writes go through either the
+    // `&mut self` ClassifierView methods or the unique `&mut`-method
+    // WriteHandle, so the type system admits exactly one in-flight writer.
+    // Two concurrent broadcast writers would interleave their shard walks
+    // and apply SGD steps to different shards in different orders, silently
+    // diverging the replicated models.
+
+    /// Applies one training example to every shard, one shard at a time —
+    /// reads on the other shards proceed while each shard trains.
+    pub(crate) fn broadcast_update(&self, ex: &TrainingExample) {
+        for s in 0..self.shards.len() {
+            self.lock_shard_write(s).update(ex);
+        }
+    }
+
+    /// Applies a batch round to every shard, one shard at a time (each
+    /// shard runs its single batched maintenance round).
+    pub(crate) fn broadcast_update_batch(&self, batch: &[TrainingExample]) {
+        for s in 0..self.shards.len() {
+            self.lock_shard_write(s).update_batch(batch);
+        }
+    }
+
+    /// Routes a new entity to its home shard and classifies it there.
+    pub(crate) fn route_insert_entity(&self, e: Entity) {
+        self.lock_shard_write(shard_of(e.id, self.shards.len())).insert_entity(e);
+    }
+
+    /// Reorganizes shard by shard — the `VACUUM`-style maintenance entry
+    /// point, kept off the read path: only the shard currently reclustering
+    /// is locked, so at most `1/N` of the key space blocks at a time.
+    pub(crate) fn broadcast_reorganize(&self) {
+        for s in 0..self.shards.len() {
+            self.lock_shard_write(s).reorganize();
+        }
+    }
+
+    pub(crate) fn refresh_model_cache(&mut self) {
+        self.model_cache = self.model_snapshot();
+    }
+}
+
+impl ClassifierView for ShardedView {
+    fn describe(&self) -> String {
+        format!("sharded×{} over {}", self.shards.len(), self.lock_shard_read(0).describe())
+    }
+
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn update(&mut self, ex: &TrainingExample) {
+        self.broadcast_update(ex);
+        self.refresh_model_cache();
+    }
+
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        self.broadcast_update_batch(batch);
+        self.refresh_model_cache();
+    }
+
+    fn reorganize(&mut self) {
+        self.broadcast_reorganize();
+    }
+
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        self.classify(id)
+    }
+
+    fn count_positive(&mut self) -> u64 {
+        ShardedView::count_positive(self)
+    }
+
+    fn positive_ids(&mut self) -> Vec<u64> {
+        self.scan_positive()
+    }
+
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        ShardedView::top_k(self, k)
+    }
+
+    fn insert_entity(&mut self, e: Entity) {
+        self.route_insert_entity(e);
+    }
+
+    fn model(&self) -> &LinearModel {
+        &self.model_cache
+    }
+
+    fn stats(&self) -> ViewStats {
+        ShardedView::stats(self)
+    }
+
+    fn memory(&self) -> MemoryFootprint {
+        ShardedView::memory(self)
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+}
+
+/// The read side of [`ShardedView::into_handles`]: clone one per reader
+/// thread. All methods delegate to the shared view's concurrent API.
+#[derive(Clone)]
+pub struct ReadHandle {
+    view: Arc<ShardedView>,
+}
+
+impl ReadHandle {
+    /// See [`ShardedView::classify`].
+    pub fn classify(&self, id: u64) -> Option<Label> {
+        self.view.classify(id)
+    }
+
+    /// See [`ShardedView::count_positive`].
+    pub fn count_positive(&self) -> u64 {
+        self.view.count_positive()
+    }
+
+    /// See [`ShardedView::scan_positive`].
+    pub fn scan_positive(&self) -> Vec<u64> {
+        self.view.scan_positive()
+    }
+
+    /// See [`ShardedView::top_k`].
+    pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        self.view.top_k(k)
+    }
+
+    /// See [`ShardedView::stats`].
+    pub fn stats(&self) -> ViewStats {
+        self.view.stats()
+    }
+
+    /// See [`ShardedView::n_shards`].
+    pub fn n_shards(&self) -> usize {
+        self.view.n_shards()
+    }
+
+    /// See [`ShardedView::model_snapshot`].
+    pub fn model_snapshot(&self) -> LinearModel {
+        self.view.model_snapshot()
+    }
+}
+
+/// The write side of [`ShardedView::into_handles`]: deliberately not
+/// `Clone`, and every method takes `&mut self` — so the type system admits
+/// exactly one in-flight writer. Two concurrent broadcast writers would
+/// interleave their shard walks and apply SGD steps to different shards in
+/// different orders, silently diverging the replicated models.
+pub struct WriteHandle {
+    view: Arc<ShardedView>,
+}
+
+impl WriteHandle {
+    /// Applies one training example to every shard, one shard at a time —
+    /// reads on the other shards proceed while each shard trains.
+    pub fn update(&mut self, ex: &TrainingExample) {
+        self.view.broadcast_update(ex);
+    }
+
+    /// Applies a batch round to every shard, one shard at a time (each
+    /// shard runs its single batched maintenance round).
+    pub fn update_batch(&mut self, batch: &[TrainingExample]) {
+        self.view.broadcast_update_batch(batch);
+    }
+
+    /// Routes a new entity to its home shard and classifies it there.
+    pub fn insert_entity(&mut self, e: Entity) {
+        self.view.route_insert_entity(e);
+    }
+
+    /// Per-shard reorganization, off the read path: only the shard
+    /// currently reclustering is locked, so at most `1/N` of the key space
+    /// blocks at a time.
+    pub fn reorganize(&mut self) {
+        self.view.broadcast_reorganize();
+    }
+
+    /// See [`ShardedView::model_snapshot`].
+    pub fn model_snapshot(&self) -> LinearModel {
+        self.view.model_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the whole point of the crate: shards are shareable across threads
+    const _: () = {
+        const fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ShardedView>();
+        assert_sync_send::<ReadHandle>();
+        assert_sync_send::<WriteHandle>();
+    };
+
+    #[test]
+    fn shard_of_is_stable_and_covers_all_shards() {
+        for n in [1usize, 2, 3, 8, 17] {
+            let mut hit = vec![0u32; n];
+            for id in 0..1000u64 {
+                let s = shard_of(id, n);
+                assert_eq!(s, shard_of(id, n), "unstable for id {id}");
+                hit[s] += 1;
+            }
+            assert!(
+                hit.iter().all(|&c| c > 0),
+                "{n} shards: some shard got no entities: {hit:?}"
+            );
+            // splitmix spreads dense ids roughly evenly (loose 3× bound)
+            let max = *hit.iter().max().unwrap();
+            assert!(max as usize * n <= 3 * 1000, "{n} shards skewed: {hit:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_shard_zero() {
+        for id in 0..100u64 {
+            assert_eq!(shard_of(id, 1), 0);
+        }
+    }
+}

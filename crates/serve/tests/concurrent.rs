@@ -1,0 +1,127 @@
+//! Concurrency: many reader threads and one writer over the handle split,
+//! with a quiescent-state check against a sequentially driven reference.
+//! Readers may observe any interleaving mid-flight (per-shard sequential
+//! consistency); once the writer is done, answers must equal the
+//! reference's exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use hazy_core::{Architecture, Entity, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_serve::ShardedView;
+
+#[test]
+fn readers_run_while_writer_streams_then_agree_with_reference() {
+    let spec = DatasetSpec::dblife().scaled(0.004);
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm = ExampleStream::new(&spec, 99).take_vec(300);
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+        .norm_pair(spec.norm_pair())
+        .dim(spec.dim);
+
+    let mut reference = builder.build(entities.clone(), &warm);
+    let sharded = ShardedView::build(&builder, 4, entities.clone(), &warm);
+    let batches: Vec<Vec<_>> = {
+        let mut stream = ExampleStream::new(&spec, 7);
+        (0..20).map(|r| stream.take_vec(1 + r % 5)).collect()
+    };
+    for b in &batches {
+        reference.update_batch(b);
+    }
+
+    let (read_handle, mut write_handle) = sharded.into_handles();
+    let n = spec.n_entities as u64;
+    let done = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    crossbeam::scope(|s| {
+        for r in 0..3u64 {
+            let handle = read_handle.clone();
+            let done = &done;
+            let served = &served;
+            s.spawn(move |_| {
+                let mut id = r * 37;
+                while !done.load(Ordering::Acquire) {
+                    // labels under a mid-stream model are valid answers;
+                    // only crash-freedom and progress are asserted here
+                    let _ = handle.classify(id % n);
+                    if id % 101 == 0 {
+                        let _ = handle.count_positive();
+                    }
+                    if id % 157 == 0 {
+                        let _ = handle.top_k(5);
+                    }
+                    id += 1;
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let writer = &mut write_handle;
+        for b in &batches {
+            writer.update_batch(b);
+            writer.reorganize();
+        }
+        done.store(true, Ordering::Release);
+    })
+    .expect("no thread panicked");
+
+    assert!(served.load(Ordering::Relaxed) > 0, "readers made no progress");
+    // quiescent: the concurrent run must land exactly where the reference did
+    assert_eq!(read_handle.count_positive(), reference.count_positive());
+    let mut expect_ids = reference.positive_ids();
+    expect_ids.sort_unstable();
+    assert_eq!(read_handle.scan_positive(), expect_ids);
+    assert_eq!(read_handle.top_k(11), reference.top_k(11));
+    for id in (0..n).step_by(31) {
+        assert_eq!(read_handle.classify(id), reference.read_single(id), "id {id}");
+    }
+    assert_eq!(read_handle.stats().updates, batches.iter().map(Vec::len).sum::<usize>() as u64);
+}
+
+#[test]
+fn insert_stream_concurrent_with_reads() {
+    let entities: Vec<Entity> = (0..100u64)
+        .map(|k| {
+            Entity::new(
+                k,
+                hazy_linalg::FeatureVec::dense(vec![(k % 7) as f32 / 7.0 - 0.4, 0.1]),
+            )
+        })
+        .collect();
+    let builder = ViewBuilder::new(Architecture::NaiveMem, Mode::Eager).dim(2);
+    let sharded = ShardedView::build(&builder, 4, entities, &[]);
+    let (read_handle, mut write_handle) = sharded.into_handles();
+    let done = AtomicBool::new(false);
+    crossbeam::scope(|s| {
+        let reader = read_handle.clone();
+        let done = &done;
+        s.spawn(move |_| {
+            let mut id = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let _ = reader.classify(id % 200);
+                id += 1;
+            }
+        });
+        let writer = &mut write_handle;
+        for k in 100..200u64 {
+            writer.insert_entity(Entity::new(
+                k,
+                hazy_linalg::FeatureVec::dense(vec![(k % 5) as f32 / 5.0 - 0.3, 0.2]),
+            ));
+        }
+        done.store(true, Ordering::Release);
+    })
+    .expect("no thread panicked");
+    // all 200 entities present and classified after the insert stream
+    for id in 0..200u64 {
+        assert!(read_handle.classify(id).is_some(), "id {id} missing");
+    }
+    assert_eq!(
+        read_handle.scan_positive().len() as u64 + {
+            let all = 200u64;
+            all - read_handle.count_positive()
+        },
+        200
+    );
+}

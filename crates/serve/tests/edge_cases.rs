@@ -1,0 +1,131 @@
+//! Cross-shard merge edge cases: empty shards, an all-positive shard,
+//! `top_k` ties straddling shard boundaries, and more shards than
+//! entities. In every case the oracle is the same: a 1-shard view over the
+//! same entities must give the identical answer.
+
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, ViewBuilder};
+use hazy_learn::TrainingExample;
+use hazy_linalg::FeatureVec;
+use hazy_serve::{shard_of, ShardedView};
+
+fn dense2(x0: f32, x1: f32) -> FeatureVec {
+    FeatureVec::dense(vec![x0, x1])
+}
+
+fn builder() -> ViewBuilder {
+    ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2)
+}
+
+/// Teaches a clean halfspace: positive iff x0 >= 0.
+fn teach(view: &mut ShardedView, rounds: usize) {
+    for k in 0..rounds {
+        let x = (k % 11) as f32 / 11.0 - 0.5;
+        ClassifierView::update(
+            view,
+            &TrainingExample::new(0, dense2(x, 0.1 * x), if x >= 0.0 { 1 } else { -1 }),
+        );
+    }
+}
+
+#[test]
+fn more_shards_than_entities() {
+    let entities: Vec<Entity> =
+        (0..3u64).map(|k| Entity::new(k, dense2(k as f32 / 3.0 - 0.2, 0.1))).collect();
+    let mut sharded = ShardedView::build(&builder(), 8, entities.clone(), &[]);
+    let mut single = ShardedView::build(&builder(), 1, entities.clone(), &[]);
+    teach(&mut sharded, 40);
+    teach(&mut single, 40);
+    for id in 0..3 {
+        assert_eq!(sharded.classify(id), single.classify(id), "id {id}");
+    }
+    assert_eq!(sharded.classify(99), None, "absent id must miss on its home shard");
+    assert_eq!(sharded.count_positive(), single.count_positive());
+    assert_eq!(sharded.scan_positive(), single.scan_positive());
+    // k far beyond the population: every entity, ranked, no padding
+    assert_eq!(sharded.top_k(10), single.top_k(10));
+    assert_eq!(sharded.top_k(10).len(), 3);
+}
+
+#[test]
+fn empty_shards_merge_cleanly() {
+    // ids picked so that, at 4 shards, every entity hashes to one shard —
+    // the other three are completely empty
+    let n_shards = 4;
+    let target = shard_of(0, n_shards);
+    let ids: Vec<u64> = (0..500u64).filter(|&id| shard_of(id, n_shards) == target).take(12).collect();
+    assert!(ids.len() == 12, "not enough colliding ids found");
+    let entities: Vec<Entity> = ids
+        .iter()
+        .map(|&id| Entity::new(id, dense2((id % 9) as f32 / 9.0 - 0.4, 0.2)))
+        .collect();
+    let mut sharded = ShardedView::build(&builder(), n_shards, entities.clone(), &[]);
+    let mut single = ShardedView::build(&builder(), 1, entities, &[]);
+    teach(&mut sharded, 60);
+    teach(&mut single, 60);
+    assert_eq!(sharded.count_positive(), single.count_positive());
+    assert_eq!(sharded.scan_positive(), single.scan_positive());
+    assert_eq!(sharded.top_k(5), single.top_k(5));
+    for &id in &ids {
+        assert_eq!(sharded.classify(id), single.classify(id));
+    }
+}
+
+#[test]
+fn all_positive_shard_and_all_positive_view() {
+    // every entity is deep in the positive halfspace: each shard's member
+    // list is its entire population, and the merge must return all of them
+    let entities: Vec<Entity> =
+        (0..40u64).map(|k| Entity::new(k, dense2(0.3 + (k % 5) as f32 / 50.0, 0.0))).collect();
+    let mut sharded = ShardedView::build(&builder(), 3, entities.clone(), &[]);
+    let mut single = ShardedView::build(&builder(), 1, entities, &[]);
+    teach(&mut sharded, 80);
+    teach(&mut single, 80);
+    assert_eq!(sharded.count_positive(), 40);
+    let ids = sharded.scan_positive();
+    assert_eq!(ids, (0..40u64).collect::<Vec<_>>(), "globally ascending, none dropped");
+    assert_eq!(ids, single.scan_positive());
+    assert_eq!(sharded.top_k(40), single.top_k(40));
+}
+
+#[test]
+fn top_k_ties_across_shard_boundaries_break_by_id() {
+    // 30 entities with *identical* feature vectors — identical margins —
+    // scattered across 5 shards, plus two strictly better entities. The
+    // merged top 10 must be: the two better ones, then the 8 smallest ids
+    // of the tied cohort, regardless of which shard each lives on.
+    let mut entities: Vec<Entity> =
+        (0..30u64).map(|k| Entity::new(k, dense2(0.2, 0.1))).collect();
+    entities.push(Entity::new(100, dense2(0.5, 0.25)));
+    entities.push(Entity::new(101, dense2(0.4, 0.2)));
+    let mut sharded = ShardedView::build(&builder(), 5, entities.clone(), &[]);
+    let mut single = ShardedView::build(&builder(), 1, entities, &[]);
+    teach(&mut sharded, 50);
+    teach(&mut single, 50);
+    let got = sharded.top_k(10);
+    assert_eq!(got, single.top_k(10));
+    let got_ids: Vec<u64> = got.iter().map(|&(id, _)| id).collect();
+    assert_eq!(got_ids, vec![100, 101, 0, 1, 2, 3, 4, 5, 6, 7]);
+    // the tied cohort really is tied: one shared margin value
+    let margins: Vec<f64> = got.iter().skip(2).map(|&(_, m)| m).collect();
+    assert!(margins.windows(2).all(|w| w[0] == w[1]), "cohort not tied: {margins:?}");
+}
+
+#[test]
+fn zero_and_oversized_k() {
+    let entities: Vec<Entity> =
+        (0..10u64).map(|k| Entity::new(k, dense2(k as f32 / 10.0 - 0.5, 0.0))).collect();
+    let mut sharded = ShardedView::build(&builder(), 3, entities, &[]);
+    teach(&mut sharded, 30);
+    assert_eq!(sharded.top_k(0), vec![]);
+    assert_eq!(sharded.top_k(1000).len(), 10);
+}
+
+#[test]
+fn empty_view_serves_empty_answers() {
+    let mut sharded = ShardedView::build(&builder(), 4, Vec::new(), &[]);
+    teach(&mut sharded, 10);
+    assert_eq!(sharded.classify(0), None);
+    assert_eq!(sharded.count_positive(), 0);
+    assert_eq!(sharded.scan_positive(), Vec::<u64>::new());
+    assert_eq!(sharded.top_k(5), vec![]);
+}

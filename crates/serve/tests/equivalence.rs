@@ -1,0 +1,155 @@
+//! The tentpole invariant of the serving layer: a `ShardedView` is
+//! observationally identical to one unsharded `ClassifierView` over the
+//! same entities — for every operation, under a random op sequence of
+//! batched updates, entity inserts and forced reorganizations, at 1, 3 and
+//! 8 shards, across architectures and modes. Sharding, like eager/lazy or
+//! naive/hazy, may only change *cost*, never an answer (mirrors
+//! `crates/core/tests/equivalence.rs`).
+
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_serve::ShardedView;
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+
+struct Fixture {
+    reference: Box<dyn ClassifierView + Send>,
+    sharded: Vec<ShardedView>,
+}
+
+fn build(spec: &DatasetSpec, arch: Architecture, mode: Mode, warm: usize) -> Fixture {
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm_examples = ExampleStream::new(spec, 99).take_vec(warm);
+    let builder = ViewBuilder::new(arch, mode).norm_pair(spec.norm_pair()).dim(spec.dim);
+    Fixture {
+        reference: builder.build(entities.clone(), &warm_examples),
+        sharded: SHARD_COUNTS
+            .iter()
+            .map(|&n| ShardedView::build(&builder, n, entities.clone(), &warm_examples))
+            .collect(),
+    }
+}
+
+/// Asserts classify / scan / top_k agreement between the reference and
+/// every shard count, at the current point of the op sequence.
+fn assert_agreement(fx: &mut Fixture, probe_ids: &[u64], k: usize, ctx: &str) {
+    for id in probe_ids {
+        let expect = fx.reference.read_single(*id);
+        for (s, n) in fx.sharded.iter().zip(SHARD_COUNTS) {
+            assert_eq!(s.classify(*id), expect, "{ctx}: classify({id}) at {n} shards");
+        }
+    }
+    let expect_count = fx.reference.count_positive();
+    let mut expect_ids = fx.reference.positive_ids();
+    expect_ids.sort_unstable();
+    let expect_top = fx.reference.top_k(k);
+    for (s, n) in fx.sharded.iter().zip(SHARD_COUNTS) {
+        assert_eq!(s.count_positive(), expect_count, "{ctx}: count at {n} shards");
+        assert_eq!(s.scan_positive(), expect_ids, "{ctx}: scan at {n} shards");
+        assert_eq!(s.top_k(k), expect_top, "{ctx}: top_k({k}) at {n} shards");
+    }
+}
+
+/// One random op sequence driven through the reference and all shard
+/// counts in lockstep: batches of varying size, periodic entity inserts,
+/// periodic forced reorganizations, agreement probes along the way.
+fn drive_random_ops(spec: &DatasetSpec, arch: Architecture, mode: Mode, rounds: usize) {
+    let mut fx = build(spec, arch, mode, 300);
+    let n = spec.n_entities as u64;
+    let mut stream = ExampleStream::new(spec, 17);
+    let mut extra = ExampleStream::new(spec, 29);
+    let probe: Vec<u64> = (0..n).step_by((n as usize / 13).max(1)).collect();
+
+    for round in 0..rounds {
+        let batch = stream.take_vec(1 + (round * round + 3) % 6);
+        fx.reference.update_batch(&batch);
+        for s in &mut fx.sharded {
+            ClassifierView::update_batch(s, &batch);
+        }
+        if round % 3 == 1 {
+            let e = extra.next_example();
+            let ent = Entity::new(e.id, e.f.clone());
+            fx.reference.insert_entity(ent.clone());
+            for s in &mut fx.sharded {
+                ClassifierView::insert_entity(s, ent.clone());
+            }
+        }
+        if round % 4 == 2 {
+            fx.reference.reorganize();
+            for s in &mut fx.sharded {
+                ClassifierView::reorganize(s);
+            }
+        }
+        if round % 5 == 3 {
+            assert_agreement(&mut fx, &probe, 17, &format!("{arch:?}/{mode:?} round {round}"));
+        }
+    }
+    assert_agreement(&mut fx, &probe, 17, &format!("{arch:?}/{mode:?} final"));
+}
+
+#[test]
+fn hazy_mem_is_shard_invariant_under_random_ops() {
+    let spec = DatasetSpec::dblife().scaled(0.006);
+    drive_random_ops(&spec, Architecture::HazyMem, Mode::Eager, 16);
+    drive_random_ops(&spec, Architecture::HazyMem, Mode::Lazy, 16);
+}
+
+#[test]
+fn naive_mem_is_shard_invariant_under_random_ops() {
+    let spec = DatasetSpec::forest().scaled(0.001);
+    drive_random_ops(&spec, Architecture::NaiveMem, Mode::Eager, 12);
+    drive_random_ops(&spec, Architecture::NaiveMem, Mode::Lazy, 12);
+}
+
+#[test]
+fn disk_architectures_are_shard_invariant_under_random_ops() {
+    let spec = DatasetSpec::dblife().scaled(0.003);
+    drive_random_ops(&spec, Architecture::HazyDisk, Mode::Eager, 8);
+    drive_random_ops(&spec, Architecture::HazyDisk, Mode::Lazy, 8);
+    drive_random_ops(&spec, Architecture::NaiveDisk, Mode::Lazy, 6);
+    drive_random_ops(&spec, Architecture::Hybrid, Mode::Eager, 6);
+}
+
+/// The trait-object path the RDBMS layer uses: a boxed `ShardedView` must
+/// be a drop-in `ClassifierView`, including its cached `model()` staying in
+/// sync with the replicated shard models after trait-side mutations.
+#[test]
+fn boxed_sharded_view_serves_the_trait_contract() {
+    let spec = DatasetSpec::forest().scaled(0.001);
+    let ds = spec.generate();
+    let entities: Vec<Entity> =
+        ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
+    let warm = ExampleStream::new(&spec, 99).take_vec(200);
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+        .norm_pair(spec.norm_pair())
+        .dim(spec.dim);
+    let mut reference = builder.build(entities.clone(), &warm);
+    let mut boxed: Box<dyn ClassifierView + Send> =
+        Box::new(ShardedView::build(&builder, 3, entities.clone(), &warm));
+    assert!(boxed.describe().starts_with("sharded×3 over "));
+    assert_eq!(boxed.mode(), Mode::Eager);
+
+    let mut stream = ExampleStream::new(&spec, 41);
+    for chunk in stream.take_vec(60).chunks(7) {
+        reference.update_batch(chunk);
+        boxed.update_batch(chunk);
+    }
+    // the model cache tracks the replicated models bit-for-bit
+    assert_eq!(reference.model().b, boxed.model().b);
+    for e in entities.iter().step_by(17) {
+        assert_eq!(reference.model().margin(&e.f), boxed.model().margin(&e.f), "id {}", e.id);
+    }
+    assert_eq!(reference.count_positive(), boxed.count_positive());
+    let mut ids = reference.positive_ids();
+    ids.sort_unstable();
+    assert_eq!(ids, boxed.positive_ids());
+    assert_eq!(reference.top_k(9), boxed.top_k(9));
+    for e in entities.iter().step_by(11) {
+        assert_eq!(reference.read_single(e.id), boxed.read_single(e.id), "id {}", e.id);
+    }
+    // logical update count is not multiplied by the shard count
+    assert_eq!(boxed.stats().updates, 60);
+    assert!(boxed.memory().total() > 0);
+}

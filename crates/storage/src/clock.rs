@@ -158,7 +158,7 @@ impl VirtualClock {
     /// each). The incremental reorganization folds a sorted tail of `t`
     /// entries into the ε-sorted run for `charge_sort(t)` +
     /// `charge_merge(n)` — proportional to the delta plus one pass, instead
-    /// of [`charge_sort`]`(n)`'s full `n log n`.
+    /// of [`charge_sort`](VirtualClock::charge_sort)`(n)`'s full `n log n`.
     pub fn charge_merge(&self, n: u64) {
         self.charge_cpu_ops(n);
     }

@@ -23,7 +23,7 @@ fn main() {
     println!("{} entities, {CLASSES} cover types", ds.len());
 
     // one eager Hazy-MM view per class
-    let mut views: Vec<Box<dyn ClassifierView>> = (0..CLASSES)
+    let mut views: Vec<Box<dyn ClassifierView + Send>> = (0..CLASSES)
         .map(|_| {
             ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
                 .norm_pair(spec.norm_pair())

@@ -1,7 +1,14 @@
 //! Facade crate re-exporting the Hazy workspace.
+//!
+//! The crate-level docs below are the repository README, embedded so its
+//! quickstart snippet compiles and runs as a doctest — the README cannot
+//! drift from the real API without failing `cargo test`.
+#![doc = include_str!("../README.md")]
+
 pub use hazy_core as core;
 pub use hazy_datagen as datagen;
 pub use hazy_learn as learn;
 pub use hazy_linalg as linalg;
 pub use hazy_rdbms as rdbms;
+pub use hazy_serve as serve;
 pub use hazy_storage as storage;

@@ -38,7 +38,7 @@ fn training_stream(n: usize) -> Vec<TrainingExample> {
         .collect()
 }
 
-fn build(arch: Architecture, mode: Mode, entities: Vec<Entity>) -> Box<dyn ClassifierView> {
+fn build(arch: Architecture, mode: Mode, entities: Vec<Entity>) -> Box<dyn ClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(NormPair::EUCLIDEAN)
         .overheads(OpOverheads::free())

@@ -1,11 +1,19 @@
-//! Minimal offline stand-in for `crossbeam`, built on `std::thread::scope`.
+//! Minimal offline stand-in for `crossbeam`, built on `std::thread::scope`
+//! and a mutex-and-condvar queue.
 //!
-//! Only the `crossbeam::scope(|s| { s.spawn(|_| ...); ... })` entry point is
-//! provided, matching crossbeam 0.8's signature closely enough for this
-//! workspace: spawn closures receive a `&Scope` argument and `scope` returns
-//! a `Result` (always `Ok` here — a panicking child thread propagates the
-//! panic when the scope joins, as `std::thread::scope` does, instead of
-//! surfacing it as `Err`).
+//! Two entry points are provided, matching crossbeam 0.8's signatures
+//! closely enough for this workspace:
+//!
+//! * `crossbeam::scope(|s| { s.spawn(|_| ...); ... })` — spawn closures
+//!   receive a `&Scope` argument and `scope` returns a `Result` (always
+//!   `Ok` here — a panicking child thread propagates the panic when the
+//!   scope joins, as `std::thread::scope` does, instead of surfacing it as
+//!   `Err`).
+//! * [`channel::unbounded`] — a multi-producer multi-consumer FIFO channel.
+//!   Unlike the real crate's lock-free segments it is a `Mutex<VecDeque>`
+//!   plus a `Condvar`, which is plenty for the fan-out/fan-in patterns this
+//!   workspace uses (work queues feeding a fixed pool of scoped threads).
+//!   `select!` and bounded/zero-capacity channels are not provided.
 
 /// Error type of [`scope`]; mirrors `crossbeam::thread::Result`'s payload.
 pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
@@ -43,6 +51,212 @@ pub mod thread {
     pub use super::{scope, Scope, ScopeError};
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels (subset of
+    //! `crossbeam-channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every [`Receiver`] is gone;
+    /// carries the rejected message like the real crate's `SendError`.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every [`Sender`] is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// The sending half; clone freely for multiple producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely for multiple consumers (each message
+    /// is delivered to exactly one).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver.
+        ///
+        /// # Errors
+        /// [`SendError`] returning the message when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().expect("channel lock poisoned");
+            if q.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            q.items.push_back(msg);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock poisoned").senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut q = self.shared.queue.lock().expect("channel lock poisoned");
+                q.senders -= 1;
+                q.senders
+            };
+            if remaining == 0 {
+                // unblock receivers waiting for a message that will never come
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    return Ok(item);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).expect("channel lock poisoned");
+            }
+        }
+
+        /// Pops a message without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is queued yet,
+        /// [`TryRecvError::Disconnected`] when nothing ever will be.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().expect("channel lock poisoned");
+            match q.items.pop_front() {
+                Some(item) => Ok(item),
+                None if q.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// A blocking iterator draining the channel until every sender is
+        /// dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock poisoned").receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().expect("channel lock poisoned").receivers -= 1;
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Blocking iterator over received messages; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,6 +272,57 @@ mod tests {
         })
         .expect("no panics");
         assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn channel_fans_out_and_in() {
+        let (job_tx, job_rx) = super::channel::unbounded::<u64>();
+        let (res_tx, res_rx) = super::channel::unbounded::<u64>();
+        for j in 0..100u64 {
+            job_tx.send(j).unwrap();
+        }
+        drop(job_tx);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(j) = rx.recv() {
+                        tx.send(j * 2).unwrap();
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        drop(res_tx);
+        let mut got: Vec<u64> = res_rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_once_senders_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_once_receivers_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(super::channel::SendError(1)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
     }
 
     #[test]
