@@ -4,14 +4,14 @@
 //! reads (Figure 5).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use hazy_core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy_core::{Architecture, DurableClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
 use hazy_datagen::{DatasetSpec, ExampleStream};
 
 fn spec() -> DatasetSpec {
     DatasetSpec::dblife().scaled(0.02)
 }
 
-fn build(arch: Architecture, mode: Mode) -> Box<dyn ClassifierView + Send> {
+fn build(arch: Architecture, mode: Mode) -> Box<dyn DurableClassifierView + Send> {
     let s = spec();
     let ds = s.generate();
     let warm = ExampleStream::new(&s, 0xAAAA).take_vec(6000);

@@ -1,0 +1,5 @@
+//! Regenerates the durability tradeoff table; see `hazy_bench::recovery_replay`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hazy_bench::recovery_replay::run(quick));
+}

@@ -1,7 +1,7 @@
 //! Shared harness utilities: the benchmark corpora, view construction, and
 //! table rendering.
 
-use hazy_core::{Architecture, ClassifierView, Entity, HybridConfig, Mode, ViewBuilder};
+use hazy_core::{Architecture, DurableClassifierView, Entity, HybridConfig, Mode, ViewBuilder};
 use hazy_datagen::{Dataset, DatasetSpec, ExampleStream};
 use hazy_learn::TrainingExample;
 
@@ -49,7 +49,7 @@ pub fn build_view(
     spec: &DatasetSpec,
     ds: &Dataset,
     warm: &[TrainingExample],
-) -> Box<dyn ClassifierView + Send> {
+) -> Box<dyn DurableClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(spec.norm_pair())
         .dim(spec.dim)

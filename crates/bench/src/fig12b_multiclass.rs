@@ -6,7 +6,7 @@
 //! Hazy-MM keeps its order-of-magnitude lead over Naive-MM as the class
 //! count grows, with both rates falling ∝ 1/k.
 
-use hazy_core::{Architecture, ClassifierView, Mode, OpOverheads, ViewBuilder};
+use hazy_core::{Architecture, DurableClassifierView, Mode, OpOverheads, ViewBuilder};
 use hazy_datagen::DatasetSpec;
 use hazy_learn::TrainingExample;
 use rand::rngs::StdRng;
@@ -28,7 +28,7 @@ pub fn run() -> String {
             // warm each binary view one-vs-all with 8k examples
             let mut rng = StdRng::seed_from_u64(0x12B);
             let warm_idx: Vec<usize> = (0..8000).map(|_| rng.gen_range(0..ds.len())).collect();
-            let mut views: Vec<Box<dyn ClassifierView + Send>> = (0..k)
+            let mut views: Vec<Box<dyn DurableClassifierView + Send>> = (0..k)
                 .map(|c| {
                     let warm: Vec<TrainingExample> = warm_idx
                         .iter()

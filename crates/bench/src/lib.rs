@@ -25,3 +25,4 @@ pub mod fig11b_scaleup;
 pub mod fig12a_feature_sensitivity;
 pub mod fig12b_multiclass;
 pub mod fig13_waterline;
+pub mod recovery_replay;

@@ -1,0 +1,80 @@
+//! Durability bench: checkpoint-interval vs replay-time tradeoff.
+//!
+//! A durable view pays twice for safety: at runtime (every operation is
+//! WAL-logged and fsynced; every interval a whole-view checkpoint is
+//! written) and at recovery (load the newest checkpoint, then re-execute
+//! the WAL suffix). Short intervals buy fast recovery with heavy runtime
+//! checkpoint traffic; long intervals are cheap to run and slow to
+//! recover. This experiment quantifies both sides on the virtual clock —
+//! the recovery column is exactly the `recover()` cost (checkpoint load +
+//! log scan + replayed operations), measured by crashing at the end of the
+//! stream and recovering from stable state.
+
+use hazy_core::{Architecture, ClassifierView, CoreRestorer, DurableView, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_storage::DurableStore;
+use std::sync::{Arc, Mutex};
+
+use crate::common::{entities_of, render_table};
+
+/// Runs the experiment; `quick` shrinks the stream for CI smoke.
+pub fn run(quick: bool) -> String {
+    let spec = DatasetSpec::dblife().scaled(if quick { 0.004 } else { 0.02 });
+    let ds = spec.generate();
+    let n_ops = if quick { 400 } else { 2_000 };
+    let warm = ExampleStream::new(&spec, 7).take_vec(if quick { 300 } else { 2_000 });
+
+    let mut rows = Vec::new();
+    for (arch, mode) in
+        [(Architecture::HazyMem, Mode::Eager), (Architecture::HazyDisk, Mode::Eager)]
+    {
+        for interval in [16u64, 64, 256, 1024] {
+            let builder = ViewBuilder::new(arch, mode).norm_pair(spec.norm_pair()).dim(spec.dim);
+            let inner = builder.build(entities_of(&ds), &warm);
+            let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+            let mut dv = DurableView::create(inner, store, interval);
+
+            // the workload: an update stream with periodic reads, all logged
+            let mut stream = ExampleStream::new(&spec, 23);
+            let t0 = dv.clock().now_ns();
+            for k in 0..n_ops {
+                dv.update(&stream.take_vec(1)[0]);
+                if k % 50 == 0 {
+                    dv.count_positive();
+                }
+            }
+            let run_ns = dv.clock().now_ns() - t0;
+            let replay_ops = dv.ops_since_checkpoint();
+            let (wal_bytes, ckpt_saved_ns) = {
+                let s = dv.store();
+                let guard = s.lock().expect("store lock");
+                let ckpt = guard.checkpoints.latest().expect("at least the genesis checkpoint");
+                let saved =
+                    u64::from_le_bytes(ckpt.payload[..8].try_into().expect("checkpoint header"));
+                (guard.wal.stable_len(), saved)
+            };
+
+            // crash now: recover from stable state only and charge the
+            // replay to a fresh clock (advanced to the checkpoint's time)
+            let image = dv.durable_image();
+            let recovered = DurableView::recover_image(&builder, &image, interval, &CoreRestorer)
+                .expect("recovery succeeds");
+            let recovery_ns = recovered.clock().now_ns() - ckpt_saved_ns;
+            assert_eq!(recovered.stats().updates, dv.stats().updates, "lossless recovery");
+
+            rows.push(vec![
+                format!("{} ({})", arch.name(), mode.name()),
+                format!("{interval}"),
+                format!("{:.1}", run_ns as f64 / 1e9),
+                format!("{}", wal_bytes / 1024),
+                format!("{replay_ops}"),
+                format!("{:.2}", recovery_ns as f64 / 1e6),
+            ]);
+        }
+    }
+    render_table(
+        "Durable views: checkpoint interval vs recovery replay (virtual time)",
+        &["view", "ckpt every", "run s", "WAL KiB", "replay ops", "recovery ms"],
+        &rows,
+    )
+}

@@ -19,10 +19,11 @@
 use std::cmp::Ordering;
 
 use hazy_learn::{sign, Label, LinearModel, SgdTrainer, TrainingExample};
-use hazy_linalg::{NormPair, OrdF64};
-use hazy_storage::{BTree, BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
+use hazy_linalg::{wire, Norm, NormPair, OrdF64};
+use hazy_storage::{BTree, BufferPool, HashIndex, HeapFile, Rid, SimDisk, VirtualClock};
 
 use crate::cost::{charge_classify, OpOverheads};
+use crate::durable::{tag, Durable};
 use crate::entity::{
     decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,
     TUPLE_LABEL_OFFSET,
@@ -136,6 +137,58 @@ impl HazyDiskView {
         };
         view.reorganize_inner();
         view
+    }
+
+    /// Inverse of this view's [`Durable::save_state`] (tag byte already
+    /// consumed): control state, then disk image, pool, and the three
+    /// access-method directories.
+    pub(crate) fn restore_state(
+        b: &mut &[u8],
+        clock: VirtualClock,
+        overheads: OpOverheads,
+    ) -> Option<HazyDiskView> {
+        let mode = Mode::from_tag(wire::take_u8(b)?)?;
+        let trainer = SgdTrainer::restore_state(b)?;
+        let stats = ViewStats::restore_state(b)?;
+        let p = Norm::from_tag(wire::take_u8(b)?)?;
+        let q = Norm::from_tag(wire::take_u8(b)?)?;
+        let policy = WatermarkPolicy::from_tag(wire::take_u8(b)?)?;
+        let m_norm = wire::take_f64(b)?;
+        let n_sorted = wire::take_u64(b)?;
+        let rounds_at_reorg = wire::take_u64(b)?;
+        let reorg_epoch = wire::take_u64(b)?;
+        let first_tail_raw = wire::take_u64(b)?;
+        let first_tail_rid =
+            if first_tail_raw == u64::MAX { None } else { Some(Rid::from_u64(first_tail_raw)) };
+        let wm = WaterMarks::restore_state(b)?;
+        let tracker = DeltaTracker::restore_state(b)?;
+        let skiing = Skiing::restore_state(b)?;
+        let disk = SimDisk::restore_state(b, clock)?;
+        let pool = BufferPool::restore_state(b, disk)?;
+        let heap = HeapFile::restore_state(b)?;
+        let btree = BTree::restore_state(b)?;
+        let hash = HashIndex::restore_state(b)?;
+        Some(HazyDiskView {
+            mode,
+            overheads,
+            pool,
+            heap,
+            btree,
+            hash,
+            first_tail_rid,
+            n_sorted,
+            rounds_at_reorg,
+            trainer,
+            wm,
+            tracker,
+            skiing,
+            pair: NormPair { p, q },
+            policy,
+            m_norm,
+            reorg_epoch,
+            stats,
+            scratch: Vec::new(),
+        })
     }
 
     /// Current `[lw, hw]` band.
@@ -470,6 +523,33 @@ impl HazyDiskView {
     }
 }
 
+impl Durable for HazyDiskView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(tag::HAZY_DISK);
+        out.push(self.mode.tag());
+        self.trainer.save_state(out);
+        self.stats.save_state(out);
+        out.push(self.pair.p.tag());
+        out.push(self.pair.q.tag());
+        out.push(self.policy.tag());
+        out.extend_from_slice(&self.m_norm.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.n_sorted.to_le_bytes());
+        out.extend_from_slice(&self.rounds_at_reorg.to_le_bytes());
+        out.extend_from_slice(&self.reorg_epoch.to_le_bytes());
+        out.extend_from_slice(
+            &self.first_tail_rid.map_or(u64::MAX, Rid::to_u64).to_le_bytes(),
+        );
+        self.wm.save_state(out);
+        self.tracker.save_state(out);
+        self.skiing.save_state(out);
+        self.pool.disk().save_state(out);
+        self.pool.save_state(out);
+        self.heap.save_state(out);
+        self.btree.save_state(out);
+        self.hash.save_state(out);
+    }
+}
+
 impl ClassifierView for HazyDiskView {
     fn describe(&self) -> String {
         format!("hazy-od ({})", self.mode.name())
@@ -517,6 +597,10 @@ impl ClassifierView for HazyDiskView {
         clock.charge_ns(self.overheads.read_ns);
         self.stats.single_reads += 1;
         self.read_single_inner(id)
+    }
+
+    fn entity_count(&self) -> u64 {
+        self.heap.len()
     }
 
     fn count_positive(&mut self) -> u64 {

@@ -11,10 +11,11 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 
 use hazy_learn::{sign, Label, LinearModel, SgdTrainer, TrainingExample};
-use hazy_linalg::{FeatureVec, NormPair};
+use hazy_linalg::{decode_fvec, encode_fvec, wire, FeatureVec, Norm, NormPair};
 use hazy_storage::VirtualClock;
 
 use crate::cost::{charge_classify, OpOverheads};
+use crate::durable::{tag, Durable};
 use crate::entity::Entity;
 use crate::merge::merge_sorted_tail;
 use crate::skiing::Skiing;
@@ -108,6 +109,61 @@ impl HazyMemView {
         };
         view.reorganize_inner();
         view
+    }
+
+    /// Inverse of this view's [`Durable::save_state`] (tag byte already
+    /// consumed). The id map is rebuilt from the tuple order.
+    pub(crate) fn restore_state(
+        b: &mut &[u8],
+        clock: VirtualClock,
+        overheads: OpOverheads,
+    ) -> Option<HazyMemView> {
+        let mode = Mode::from_tag(wire::take_u8(b)?)?;
+        let trainer = SgdTrainer::restore_state(b)?;
+        let stats = ViewStats::restore_state(b)?;
+        let p = Norm::from_tag(wire::take_u8(b)?)?;
+        let q = Norm::from_tag(wire::take_u8(b)?)?;
+        let policy = WatermarkPolicy::from_tag(wire::take_u8(b)?)?;
+        let m_norm = wire::take_f64(b)?;
+        let sorted_len = wire::take_u64(b)? as usize;
+        let rounds_at_reorg = wire::take_u64(b)?;
+        let wm = WaterMarks::restore_state(b)?;
+        let tracker = DeltaTracker::restore_state(b)?;
+        let skiing = Skiing::restore_state(b)?;
+        let n = wire::take_u64(b)? as usize;
+        if sorted_len > n {
+            return None;
+        }
+        let mut data = Vec::with_capacity(n);
+        let mut idmap = HashMap::with_capacity(n);
+        for i in 0..n {
+            let id = wire::take_u64(b)?;
+            let eps = wire::take_f64(b)?;
+            let label = wire::take_u8(b)? as i8;
+            if label != 1 && label != -1 {
+                return None;
+            }
+            let f = decode_fvec(b)?;
+            idmap.insert(id, i as u32);
+            data.push(MemTuple { id, eps, label, f });
+        }
+        Some(HazyMemView {
+            mode,
+            clock,
+            overheads,
+            trainer,
+            data,
+            sorted_len,
+            rounds_at_reorg,
+            idmap,
+            wm,
+            tracker,
+            skiing,
+            pair: NormPair { p, q },
+            policy,
+            m_norm,
+            stats,
+        })
     }
 
     /// Current `[lw, hw]` band (Figure 13's y-axis needs the count below).
@@ -340,6 +396,31 @@ impl HazyMemView {
     }
 }
 
+impl Durable for HazyMemView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(tag::HAZY_MEM);
+        out.push(self.mode.tag());
+        self.trainer.save_state(out);
+        self.stats.save_state(out);
+        out.push(self.pair.p.tag());
+        out.push(self.pair.q.tag());
+        out.push(self.policy.tag());
+        out.extend_from_slice(&self.m_norm.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.sorted_len as u64).to_le_bytes());
+        out.extend_from_slice(&self.rounds_at_reorg.to_le_bytes());
+        self.wm.save_state(out);
+        self.tracker.save_state(out);
+        self.skiing.save_state(out);
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        for t in &self.data {
+            out.extend_from_slice(&t.id.to_le_bytes());
+            out.extend_from_slice(&t.eps.to_bits().to_le_bytes());
+            out.push(t.label as u8);
+            encode_fvec(&t.f, out);
+        }
+    }
+}
+
 impl ClassifierView for HazyMemView {
     fn describe(&self) -> String {
         format!("hazy-mm ({})", self.mode.name())
@@ -400,6 +481,10 @@ impl ClassifierView for HazyMemView {
                 }
             }
         }
+    }
+
+    fn entity_count(&self) -> u64 {
+        self.data.len() as u64
     }
 
     fn count_positive(&mut self) -> u64 {

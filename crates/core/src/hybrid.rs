@@ -18,10 +18,11 @@
 use std::collections::HashMap;
 
 use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
-use hazy_linalg::{FeatureVec, NormPair};
+use hazy_linalg::{decode_fvec, encode_fvec, wire, FeatureVec, NormPair};
 use hazy_storage::{BufferPool, VirtualClock};
 
 use crate::cost::{charge_classify, OpOverheads};
+use crate::durable::{tag, Durable};
 use crate::entity::Entity;
 use crate::hazy_disk::HazyDiskView;
 use crate::stats::{MemoryFootprint, ViewStats};
@@ -87,6 +88,52 @@ impl HybridView {
         };
         view.rebuild_memory();
         view
+    }
+
+    /// Inverse of this view's [`Durable::save_state`] (tag byte already
+    /// consumed). The ε-map and buffer are serialized — not rebuilt — so
+    /// restoration does not scan the heap (a rebuild would charge the clock
+    /// and touch pool frames, making the recovered view diverge from one
+    /// that never crashed).
+    pub(crate) fn restore_state(
+        b: &mut &[u8],
+        clock: VirtualClock,
+        overheads: OpOverheads,
+    ) -> Option<HybridView> {
+        if wire::take_u8(b)? != tag::HAZY_DISK {
+            return None;
+        }
+        let inner = HazyDiskView::restore_state(b, clock, overheads)?;
+        let buffer_frac = wire::take_f64(b)?;
+        let seen_epoch = wire::take_u64(b)?;
+        let single_reads = wire::take_u64(b)?;
+        let eps_map_prunes = wire::take_u64(b)?;
+        let buffer_hits = wire::take_u64(b)?;
+        let disk_reads = wire::take_u64(b)?;
+        let n_eps = wire::take_u64(b)? as usize;
+        let mut eps_map = HashMap::with_capacity(n_eps);
+        for _ in 0..n_eps {
+            let id = wire::take_u64(b)?;
+            eps_map.insert(id, wire::take_f64(b)?);
+        }
+        let n_buf = wire::take_u64(b)? as usize;
+        let mut buffer = HashMap::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            let id = wire::take_u64(b)?;
+            buffer.insert(id, decode_fvec(b)?);
+        }
+        Some(HybridView {
+            inner,
+            cfg: HybridConfig { buffer_frac },
+            overheads,
+            eps_map,
+            buffer,
+            seen_epoch,
+            single_reads,
+            eps_map_prunes,
+            buffer_hits,
+            disk_reads,
+        })
     }
 
     /// Buffer capacity in entities.
@@ -167,6 +214,34 @@ impl HybridView {
     }
 }
 
+impl Durable for HybridView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(tag::HYBRID);
+        self.inner.save_state(out);
+        out.extend_from_slice(&self.cfg.buffer_frac.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.seen_epoch.to_le_bytes());
+        for v in [self.single_reads, self.eps_map_prunes, self.buffer_hits, self.disk_reads] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        // hash maps dump in sorted id order so checkpoint bytes are
+        // deterministic (same state ⇒ same blob ⇒ same CRC)
+        let mut eps: Vec<(u64, f64)> = self.eps_map.iter().map(|(&k, &v)| (k, v)).collect();
+        eps.sort_unstable_by_key(|&(k, _)| k);
+        out.extend_from_slice(&(eps.len() as u64).to_le_bytes());
+        for (id, e) in eps {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&e.to_bits().to_le_bytes());
+        }
+        let mut buf: Vec<(&u64, &FeatureVec)> = self.buffer.iter().collect();
+        buf.sort_unstable_by_key(|&(&k, _)| k);
+        out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
+        for (&id, f) in buf {
+            out.extend_from_slice(&id.to_le_bytes());
+            encode_fvec(f, out);
+        }
+    }
+}
+
 impl ClassifierView for HybridView {
     fn describe(&self) -> String {
         format!("hybrid ({})", self.mode().name())
@@ -223,6 +298,10 @@ impl ClassifierView for HybridView {
         }
         self.disk_reads += 1;
         self.inner.read_single_inner(id)
+    }
+
+    fn entity_count(&self) -> u64 {
+        self.inner.entity_count()
     }
 
     fn count_positive(&mut self) -> u64 {

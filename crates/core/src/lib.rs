@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod durable;
 mod entity;
 mod hazy_disk;
 mod hazy_mem;
@@ -45,6 +46,9 @@ mod view;
 mod watermark;
 
 pub use cost::{classify_cost, OpOverheads};
+pub use durable::{
+    CoreRestorer, Durable, DurableClassifierView, DurableView, ViewRestorer, SHARDED_VIEW_TAG,
+};
 pub use entity::{
     decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,
     TUPLE_HEADER, TUPLE_LABEL_OFFSET,

@@ -17,7 +17,7 @@ use crate::view::{ClassifierView, ViewBuilder};
 
 /// `k` binary Hazy views resolved sequentially one-versus-all.
 pub struct MulticlassView {
-    views: Vec<Box<dyn ClassifierView + Send>>,
+    views: Vec<Box<dyn crate::durable::DurableClassifierView + Send>>,
 }
 
 impl MulticlassView {

@@ -9,9 +9,11 @@
 //! tuple. No clustering, no watermarks, no Skiing.
 
 use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
-use hazy_storage::{BufferPool, HashIndex, HeapFile, Rid, VirtualClock};
+use hazy_linalg::wire;
+use hazy_storage::{BufferPool, HashIndex, HeapFile, Rid, SimDisk, VirtualClock};
 
 use crate::cost::{charge_classify, OpOverheads};
+use crate::durable::{tag, Durable};
 use crate::entity::{
     decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, TUPLE_LABEL_OFFSET,
 };
@@ -61,6 +63,24 @@ impl NaiveDiskView {
         self.pool.disk().clock().clone()
     }
 
+    /// Inverse of this view's [`Durable::save_state`] (tag byte already
+    /// consumed): disk image first, then the pool over it, then the
+    /// directories that wire records to pages.
+    pub(crate) fn restore_state(
+        b: &mut &[u8],
+        clock: VirtualClock,
+        overheads: OpOverheads,
+    ) -> Option<NaiveDiskView> {
+        let mode = Mode::from_tag(wire::take_u8(b)?)?;
+        let trainer = SgdTrainer::restore_state(b)?;
+        let stats = ViewStats::restore_state(b)?;
+        let disk = SimDisk::restore_state(b, clock)?;
+        let pool = BufferPool::restore_state(b, disk)?;
+        let heap = HeapFile::restore_state(b)?;
+        let hash = HashIndex::restore_state(b)?;
+        Some(NaiveDiskView { mode, overheads, pool, heap, hash, trainer, stats, scratch: Vec::new() })
+    }
+
     /// Full-scan relabel: the eager update's second half. Classifies off
     /// borrowed page bytes (no per-tuple materialization) and patches
     /// flipped labels as single bytes after the scan (the scan closure
@@ -90,6 +110,19 @@ impl NaiveDiskView {
             self.stats.labels_changed += 1;
         }
         self.pool.flush_all();
+    }
+}
+
+impl Durable for NaiveDiskView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(tag::NAIVE_DISK);
+        out.push(self.mode.tag());
+        self.trainer.save_state(out);
+        self.stats.save_state(out);
+        self.pool.disk().save_state(out);
+        self.pool.save_state(out);
+        self.heap.save_state(out);
+        self.hash.save_state(out);
     }
 }
 
@@ -152,6 +185,10 @@ impl ClassifierView for NaiveDiskView {
                     .ok()?
             }
         }
+    }
+
+    fn entity_count(&self) -> u64 {
+        self.heap.len()
     }
 
     fn count_positive(&mut self) -> u64 {

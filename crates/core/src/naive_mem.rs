@@ -12,9 +12,11 @@
 use std::collections::HashMap;
 
 use hazy_learn::{Label, LinearModel, SgdTrainer, TrainingExample};
+use hazy_linalg::{decode_fvec, encode_fvec, wire};
 use hazy_storage::VirtualClock;
 
 use crate::cost::{charge_classify, OpOverheads};
+use crate::durable::{tag, Durable};
 use crate::entity::Entity;
 use crate::stats::{MemoryFootprint, ViewStats};
 use crate::view::{ClassifierView, Mode};
@@ -51,6 +53,35 @@ impl NaiveMemView {
         NaiveMemView { mode, clock, overheads, trainer, entities, labels, idmap, stats: ViewStats::default() }
     }
 
+    /// Inverse of this view's [`Durable::save_state`] (tag byte already
+    /// consumed by the dispatcher). The id map is rebuilt from the entity
+    /// list — derived structure, not serialized state.
+    pub(crate) fn restore_state(
+        b: &mut &[u8],
+        clock: VirtualClock,
+        overheads: OpOverheads,
+    ) -> Option<NaiveMemView> {
+        let mode = Mode::from_tag(wire::take_u8(b)?)?;
+        let trainer = SgdTrainer::restore_state(b)?;
+        let stats = ViewStats::restore_state(b)?;
+        let n = wire::take_u64(b)? as usize;
+        let mut entities = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut idmap = HashMap::with_capacity(n);
+        for i in 0..n {
+            let id = wire::take_u64(b)?;
+            let label = wire::take_u8(b)? as i8;
+            if label != 1 && label != -1 {
+                return None;
+            }
+            let f = decode_fvec(b)?;
+            idmap.insert(id, i as u32);
+            entities.push(Entity::new(id, f));
+            labels.push(label);
+        }
+        Some(NaiveMemView { mode, clock, overheads, trainer, entities, labels, idmap, stats })
+    }
+
     fn relabel_all(&mut self) {
         for (i, e) in self.entities.iter().enumerate() {
             charge_classify(&self.clock, &e.f);
@@ -62,6 +93,21 @@ impl NaiveMemView {
             }
         }
         self.stats.tuples_examined += self.entities.len() as u64;
+    }
+}
+
+impl Durable for NaiveMemView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(tag::NAIVE_MEM);
+        out.push(self.mode.tag());
+        self.trainer.save_state(out);
+        self.stats.save_state(out);
+        out.extend_from_slice(&(self.entities.len() as u64).to_le_bytes());
+        for (e, label) in self.entities.iter().zip(self.labels.iter()) {
+            out.extend_from_slice(&e.id.to_le_bytes());
+            out.push(*label as u8);
+            encode_fvec(&e.f, out);
+        }
     }
 }
 
@@ -107,6 +153,10 @@ impl ClassifierView for NaiveMemView {
                 Some(self.trainer.model().predict(f))
             }
         }
+    }
+
+    fn entity_count(&self) -> u64 {
+        self.entities.len() as u64
     }
 
     fn count_positive(&mut self) -> u64 {

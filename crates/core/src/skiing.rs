@@ -87,6 +87,32 @@ impl Skiing {
         }
     }
 
+    /// Serializes the controller bit-exactly (checkpoint path). The
+    /// accumulated waste and measured `S` are virtual-time floats; restoring
+    /// exact bits is what makes a recovered view reorganize at exactly the
+    /// same future rounds as one that never crashed.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for x in [self.alpha, self.accumulated, self.reorg_cost] {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.reorgs.to_le_bytes());
+        out.extend_from_slice(&self.rounds.to_le_bytes());
+    }
+
+    /// Inverse of [`Skiing::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<Skiing> {
+        use hazy_linalg::wire::{take_f64, take_u64};
+        let alpha = take_f64(b)?;
+        let accumulated = take_f64(b)?;
+        let reorg_cost = take_f64(b)?;
+        let reorgs = take_u64(b)?;
+        let rounds = take_u64(b)?;
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return None;
+        }
+        Some(Skiing { alpha, accumulated, reorg_cost, reorgs, rounds })
+    }
+
     /// The α that minimizes the competitive ratio for a given `σ` (scan
     /// time over reorganization time): the positive root of `x² + σx − 1`.
     pub fn alpha_optimal(sigma: f64) -> f64 {

@@ -28,6 +28,45 @@ pub struct ViewStats {
     pub disk_reads: u64,
 }
 
+impl ViewStats {
+    /// Serializes every counter (checkpoint path).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.updates,
+            self.single_reads,
+            self.all_members,
+            self.tuples_reclassified,
+            self.tuples_examined,
+            self.labels_changed,
+            self.reorgs,
+            self.last_reorg_ns,
+            self.eps_map_prunes,
+            self.buffer_hits,
+            self.disk_reads,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`ViewStats::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<ViewStats> {
+        use hazy_linalg::wire::take_u64;
+        Some(ViewStats {
+            updates: take_u64(b)?,
+            single_reads: take_u64(b)?,
+            all_members: take_u64(b)?,
+            tuples_reclassified: take_u64(b)?,
+            tuples_examined: take_u64(b)?,
+            labels_changed: take_u64(b)?,
+            reorgs: take_u64(b)?,
+            last_reorg_ns: take_u64(b)?,
+            eps_map_prunes: take_u64(b)?,
+            buffer_hits: take_u64(b)?,
+            disk_reads: take_u64(b)?,
+        })
+    }
+}
+
 /// Memory footprint breakdown (Figure 6(A)).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MemoryFootprint {

@@ -4,9 +4,10 @@ use std::cmp::Ordering;
 
 use hazy_learn::{Label, LinearModel, SgdConfig, TrainingExample};
 use hazy_linalg::NormPair;
-use hazy_storage::{BufferPool, CostModel, SimDisk, VirtualClock, PAGE_SIZE};
+use hazy_storage::{BufferPool, CostModel, SimDisk, SimFs, VirtualClock, PAGE_SIZE};
 
 use crate::cost::OpOverheads;
+use crate::durable::{tag, CoreRestorer, DurableClassifierView, DurableView};
 use crate::entity::Entity;
 use crate::hazy_disk::HazyDiskView;
 use crate::hazy_mem::HazyMemView;
@@ -32,6 +33,23 @@ impl Mode {
         match self {
             Mode::Eager => "eager",
             Mode::Lazy => "lazy",
+        }
+    }
+
+    /// Stable one-byte wire tag for durable state.
+    pub fn tag(self) -> u8 {
+        match self {
+            Mode::Eager => 0,
+            Mode::Lazy => 1,
+        }
+    }
+
+    /// Inverse of [`Mode::tag`].
+    pub fn from_tag(t: u8) -> Option<Mode> {
+        match t {
+            0 => Some(Mode::Eager),
+            1 => Some(Mode::Lazy),
+            _ => None,
         }
     }
 }
@@ -150,6 +168,11 @@ pub trait ClassifierView {
     /// `Single Entity` read: the label of entity `id`, or `None` if absent.
     fn read_single(&mut self, id: u64) -> Option<Label>;
 
+    /// Number of entities the view currently holds (base rows + dynamic
+    /// inserts). The engine is the authority — after a crash recovery the
+    /// durable state, not any external bookkeeping, says what exists.
+    fn entity_count(&self) -> u64;
+
     /// `All Members` query: how many entities currently carry label +1
     /// (the paper's repeated query in Section 4.1.2).
     fn count_positive(&mut self) -> u64;
@@ -203,6 +226,12 @@ pub struct ViewBuilder {
     pool_frac: f64,
     hybrid: HybridConfig,
     dim: usize,
+    /// When set, [`build`](ViewBuilder::build) produces a [`DurableView`]
+    /// backed by this simulated file system path (recovering from it when a
+    /// checkpoint already exists).
+    durable: Option<(SimFs, String)>,
+    /// Auto-checkpoint every this many logged operations (0 = manual only).
+    ckpt_interval: u64,
 }
 
 impl ViewBuilder {
@@ -225,6 +254,8 @@ impl ViewBuilder {
             pool_frac: 0.95,
             hybrid: HybridConfig::default(),
             dim: 0,
+            durable: None,
+            ckpt_interval: 256,
         }
     }
 
@@ -283,6 +314,22 @@ impl ViewBuilder {
         self
     }
 
+    /// Makes the built view durable: operations are write-ahead logged to
+    /// the store at `path_sim` inside `fs`, and [`build`](ViewBuilder::build)
+    /// **recovers** from that store instead of building fresh when it
+    /// already holds a valid checkpoint — the reopen-database flow.
+    pub fn durable(mut self, fs: &SimFs, path_sim: &str) -> Self {
+        self.durable = Some((fs.clone(), path_sim.to_string()));
+        self
+    }
+
+    /// Sets the automatic checkpoint interval in logged operations for
+    /// durable builds (0 disables auto-checkpointing; default 256).
+    pub fn checkpoint_interval(mut self, ops: u64) -> Self {
+        self.ckpt_interval = ops;
+        self
+    }
+
     /// The configured dimensionality; 0 means "infer from the entities at
     /// build time". A sharded build must pin this globally **before**
     /// partitioning — per-shard inference would give shards models of
@@ -296,12 +343,29 @@ impl ViewBuilder {
     /// (equivalent to having processed them as updates, without paying for
     /// thousands of naive maintenance rounds during setup — the experiments
     /// in Section 4.1.1 all start from a 12k-example warm model).
+    ///
+    /// When [`durable`](ViewBuilder::durable) is configured, the result is a
+    /// [`DurableView`]: if the store already holds a valid checkpoint the
+    /// view is **recovered** from checkpoint + WAL (ignoring `entities` and
+    /// `warm` — the durable state is authoritative); otherwise it is built
+    /// fresh and a genesis checkpoint is written.
     pub fn build(
         &self,
         entities: Vec<Entity>,
         warm: &[TrainingExample],
-    ) -> Box<dyn ClassifierView + Send> {
-        self.build_with_clock(entities, warm, self.new_clock())
+    ) -> Box<dyn DurableClassifierView + Send> {
+        let Some((fs, path)) = self.durable.clone() else {
+            return self.build_with_clock(entities, warm, self.new_clock());
+        };
+        if fs.has_checkpoint(&path) {
+            let store = fs.open(&path, self.new_clock());
+            let dv = DurableView::recover(self, store, self.ckpt_interval, &CoreRestorer)
+                .expect("durable store holds a checkpoint but recovery failed");
+            return Box::new(dv);
+        }
+        let inner = self.build_with_clock(entities, warm, self.new_clock());
+        let store = fs.open(&path, inner.clock().clone());
+        Box::new(DurableView::create(inner, store, self.ckpt_interval))
     }
 
     /// A fresh virtual clock under this builder's cost model. Pass clones of
@@ -315,12 +379,15 @@ impl ViewBuilder {
     /// Like [`build`](ViewBuilder::build), but charges all costs to the
     /// caller's `clock` instead of a fresh one — the hook that lets many
     /// views (e.g. the shards of one logical view) share a cost universe.
+    /// Always builds raw (never applies the [`durable`](ViewBuilder::durable)
+    /// wrapping — shards of a durable sharded view are logged and
+    /// checkpointed by the coordinator, not individually).
     pub fn build_with_clock(
         &self,
         entities: Vec<Entity>,
         warm: &[TrainingExample],
         clock: VirtualClock,
-    ) -> Box<dyn ClassifierView + Send> {
+    ) -> Box<dyn DurableClassifierView + Send> {
         let dim = if self.dim > 0 {
             self.dim
         } else {
@@ -434,6 +501,40 @@ impl ViewBuilder {
             self.policy,
             self.alpha,
         )
+    }
+
+    /// Restores an unsharded view from a checkpoint blob written by its
+    /// [`Durable::save_state`](crate::Durable::save_state), dispatching on
+    /// the architecture tag. The builder contributes only non-stateful
+    /// configuration (per-operation overheads); everything behavioral —
+    /// trainer, watermarks, Skiing state, disk image — comes from the blob,
+    /// so the restored view is bit-identical to the serialized one.
+    ///
+    /// Returns `None` on unknown tags or malformed input (a torn checkpoint
+    /// must fail loudly, not build a half-view).
+    pub fn restore_unsharded(
+        &self,
+        bytes: &mut &[u8],
+        clock: VirtualClock,
+    ) -> Option<Box<dyn DurableClassifierView + Send>> {
+        match hazy_linalg::wire::take_u8(bytes)? {
+            tag::NAIVE_MEM => {
+                Some(Box::new(NaiveMemView::restore_state(bytes, clock, self.overheads)?))
+            }
+            tag::HAZY_MEM => {
+                Some(Box::new(HazyMemView::restore_state(bytes, clock, self.overheads)?))
+            }
+            tag::NAIVE_DISK => {
+                Some(Box::new(NaiveDiskView::restore_state(bytes, clock, self.overheads)?))
+            }
+            tag::HAZY_DISK => {
+                Some(Box::new(HazyDiskView::restore_state(bytes, clock, self.overheads)?))
+            }
+            tag::HYBRID => {
+                Some(Box::new(HybridView::restore_state(bytes, clock, self.overheads)?))
+            }
+            _ => None,
+        }
     }
 
     fn make_pool(&self, entities: &[Entity], clock: VirtualClock) -> BufferPool {

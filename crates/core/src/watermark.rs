@@ -34,6 +34,25 @@ pub enum WatermarkPolicy {
     Window2,
 }
 
+impl WatermarkPolicy {
+    /// Stable one-byte wire tag for durable state.
+    pub fn tag(self) -> u8 {
+        match self {
+            WatermarkPolicy::Monotone => 0,
+            WatermarkPolicy::Window2 => 1,
+        }
+    }
+
+    /// Inverse of [`WatermarkPolicy::tag`].
+    pub fn from_tag(t: u8) -> Option<WatermarkPolicy> {
+        match t {
+            0 => Some(WatermarkPolicy::Monotone),
+            1 => Some(WatermarkPolicy::Window2),
+            _ => None,
+        }
+    }
+}
+
 /// Watermark state for one stored model.
 #[derive(Clone, Debug)]
 pub struct WaterMarks {
@@ -143,6 +162,43 @@ impl WaterMarks {
         self.prev_high = hw;
     }
 
+    /// Serializes the complete watermark state bit-exactly (checkpoint
+    /// path): stored model, Hölder pair, `M`, policy, and both the running
+    /// and windowed waters.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.stored.save_state(out);
+        out.push(self.pair.p.tag());
+        out.push(self.pair.q.tag());
+        out.push(self.policy.tag());
+        for v in [self.m_norm, self.lw, self.hw, self.prev_low, self.prev_high] {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`WaterMarks::save_state`]; `None` on malformed input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<WaterMarks> {
+        use hazy_linalg::wire::{take_f64, take_u8};
+        let stored = LinearModel::restore_state(b)?;
+        let p = hazy_linalg::Norm::from_tag(take_u8(b)?)?;
+        let q = hazy_linalg::Norm::from_tag(take_u8(b)?)?;
+        let policy = WatermarkPolicy::from_tag(take_u8(b)?)?;
+        let m_norm = take_f64(b)?;
+        let lw = take_f64(b)?;
+        let hw = take_f64(b)?;
+        let prev_low = take_f64(b)?;
+        let prev_high = take_f64(b)?;
+        Some(WaterMarks {
+            stored,
+            pair: NormPair { p, q },
+            m_norm,
+            policy,
+            lw,
+            hw,
+            prev_low,
+            prev_high,
+        })
+    }
+
     /// Sufficient-condition test: `Some(label)` when the tuple's stored
     /// `eps` alone decides its current class, `None` when it falls in the
     /// uncertain band and must be reclassified.
@@ -232,6 +288,34 @@ impl DeltaTracker {
         // incremental norm bookkeeping — the bound must never dip below the
         // true norm
         ((1.0 - self.k_prod) * self.stored_norm_p + g_norm + self.tau_term) * (1.0 + 1e-12)
+    }
+
+    /// Serializes the tracker bit-exactly (checkpoint path). The bound is a
+    /// running float computation, so restoring anything but the exact bits
+    /// would shift future watermark bands and break bit-identical recovery.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        hazy_linalg::wire::put_f64s(out, &self.v);
+        for x in
+            [self.scale, self.linf_ub, self.l2_sq, self.l1, self.k_prod, self.tau_term, self.stored_norm_p]
+        {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out.push(self.p.tag());
+    }
+
+    /// Inverse of [`DeltaTracker::save_state`]; `None` on malformed input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<DeltaTracker> {
+        use hazy_linalg::wire::{take_f64, take_f64s, take_u8};
+        let v = take_f64s(b)?;
+        let scale = take_f64(b)?;
+        let linf_ub = take_f64(b)?;
+        let l2_sq = take_f64(b)?;
+        let l1 = take_f64(b)?;
+        let k_prod = take_f64(b)?;
+        let tau_term = take_f64(b)?;
+        let stored_norm_p = take_f64(b)?;
+        let p = Norm::from_tag(take_u8(b)?)?;
+        Some(DeltaTracker { v, scale, linf_ub, l2_sq, l1, k_prod, tau_term, stored_norm_p, p })
     }
 
     /// Folds in one SGD step applied to feature vector `f`.

@@ -1,0 +1,347 @@
+//! Crash-injection differential suite: for every architecture × lazy/eager
+//! mode × shard count, run a long random operation script against a durable
+//! view, simulate a crash at **every WAL record boundary**, recover, and
+//! diff the recovered view against an oracle that executed only the durable
+//! prefix of the script.
+//!
+//! The oracle is a plain (non-durable) view of the identical configuration,
+//! advanced incrementally as the crash boundary walks forward — so the
+//! whole suite replays the script exactly once per oracle, not once per
+//! boundary. Two oracles are kept:
+//!
+//! * a **clean** oracle that sees only script operations — its
+//!   [`ViewStats`] must equal the recovered view's *exactly* (recovery is
+//!   bit-identical, down to the Skiing accumulator and reorganization
+//!   counts), and
+//! * a **probe** oracle that additionally serves the differential reads —
+//!   its classify / scan_positive / top_k answers must equal the recovered
+//!   view's at every boundary.
+//!
+//! Sharded configurations assert answers and model bits but not exact
+//! stats: shards share one virtual clock, and the fan-out's thread
+//! interleaving makes per-shard waste attribution (a cost *measurement*,
+//! not an answer) host-dependent.
+//!
+//! The crash seed is taken from `HAZY_CRASH_SEED` so CI can run a
+//! deterministic seed matrix.
+
+use std::sync::{Arc, Mutex};
+
+use hazy_core::{
+    Architecture, ClassifierView, CoreRestorer, DurableClassifierView, DurableView, Entity, Mode,
+    OpOverheads, ViewBuilder, ViewRestorer,
+};
+use hazy_learn::TrainingExample;
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_serve::{ServeRestorer, ShardedView};
+use hazy_storage::{DurableImage, DurableStore, WalReader};
+
+/// Operations per script — the acceptance floor is 500.
+const SCRIPT_OPS: usize = 520;
+/// Auto-checkpoint interval (every boundary replays at most this many ops).
+const CKPT_INTERVAL: u64 = 48;
+const N_ENTITIES: usize = 72;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Read(u64),
+    Count,
+    Members,
+    TopK(usize),
+    Reorg,
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x00E1_7A11_u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+/// Generates a concrete script (ids resolved) so the durable run and every
+/// oracle apply byte-identical operations.
+fn script(seed: u64) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x5C21_97A3_0000_0001;
+    let mut population: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut next_id = 10_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    for _ in 0..SCRIPT_OPS {
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 45 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 53 {
+            let e = Entity::new(next_id, feature(&mut r));
+            next_id += 1;
+            population.push(e.id);
+            Op::Insert(e)
+        } else if roll < 78 {
+            let idx = (splitmix64(&mut r) as usize) % population.len();
+            Op::Read(population[idx])
+        } else if roll < 86 {
+            Op::Count
+        } else if roll < 93 {
+            Op::Members
+        } else if roll < 98 {
+            Op::TopK(1 + (splitmix64(&mut r) % 9) as usize)
+        } else {
+            Op::Reorg
+        };
+        ops.push(op);
+    }
+    (ops, population)
+}
+
+fn apply(v: &mut (dyn DurableClassifierView + Send), op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Insert(e) => v.insert_entity(e.clone()),
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::Reorg => v.reorganize(),
+    }
+}
+
+fn builder(arch: Architecture, mode: Mode) -> ViewBuilder {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3)
+}
+
+fn build_plain(b: &ViewBuilder, shards: usize) -> Box<dyn DurableClassifierView + Send> {
+    if shards <= 1 {
+        b.build(base_entities(), &[])
+    } else {
+        Box::new(ShardedView::build(b, shards, base_entities(), &[]))
+    }
+}
+
+fn assert_models_bit_identical(a: &hazy_learn::LinearModel, b: &hazy_learn::LinearModel, ctx: &str) {
+    assert_eq!(a.b.to_bits(), b.b.to_bits(), "{ctx}: bias diverged");
+    let (wa, wb) = (a.w.to_vec(), b.w.to_vec());
+    assert_eq!(wa.len(), wb.len(), "{ctx}: weight dim diverged");
+    for (i, (x, y)) in wa.iter().zip(wb.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+}
+
+/// Full differential probe: classify every live entity, count, list
+/// members, and rank — answers must match bit-for-bit.
+fn assert_answers_match(
+    recovered: &mut dyn ClassifierView,
+    probe: &mut (dyn DurableClassifierView + Send),
+    population: &[u64],
+    ctx: &str,
+) {
+    assert_eq!(recovered.count_positive(), probe.count_positive(), "{ctx}: count_positive");
+    let mut got = recovered.positive_ids();
+    let mut want = probe.positive_ids();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "{ctx}: scan_positive");
+    let rk = recovered.top_k(7);
+    let pk = probe.top_k(7);
+    assert_eq!(rk.len(), pk.len(), "{ctx}: top_k length");
+    for ((id_a, m_a), (id_b, m_b)) in rk.iter().zip(pk.iter()) {
+        assert_eq!(id_a, id_b, "{ctx}: top_k order");
+        assert_eq!(m_a.to_bits(), m_b.to_bits(), "{ctx}: top_k margin");
+    }
+    for &id in population {
+        assert_eq!(recovered.read_single(id), probe.read_single(id), "{ctx}: classify({id})");
+    }
+    // an id that never existed stays absent after recovery
+    assert_eq!(recovered.read_single(u64::MAX - 7), None, "{ctx}: ghost id");
+}
+
+fn run_config(arch: Architecture, mode: Mode, shards: usize) {
+    let seed = seed();
+    let (ops, population) = script(seed);
+    let b = builder(arch, mode);
+    let restorer: &dyn ViewRestorer = if shards <= 1 { &CoreRestorer } else { &ServeRestorer };
+    let ctx_base = format!("{}/{}/shards={shards}/seed={seed}", arch.name(), mode.name());
+
+    // ---- the durable run: capture a crash image at every record boundary
+    let inner = build_plain(&b, shards);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let mut dv = DurableView::create(inner, store, CKPT_INTERVAL);
+    let mut images: Vec<DurableImage> = Vec::with_capacity(ops.len() + 1);
+    images.push(dv.durable_image());
+    for op in &ops {
+        apply(&mut dv, op);
+        images.push(dv.durable_image());
+    }
+
+    // ---- oracles, advanced as the boundary walks forward
+    let mut clean = build_plain(&b, shards);
+    let mut probe = build_plain(&b, shards);
+    let mut applied = 0usize;
+
+    for (boundary, image) in images.iter().enumerate() {
+        // the durable prefix: exactly the ops whose WAL records survived
+        let durable_ops = WalReader::new(image.wal_bytes()).count();
+        assert_eq!(
+            durable_ops, boundary,
+            "{ctx_base}: boundary {boundary} should have {boundary} durable records"
+        );
+        while applied < durable_ops {
+            apply(clean.as_mut(), &ops[applied]);
+            apply(probe.as_mut(), &ops[applied]);
+            applied += 1;
+        }
+        let mut recovered = DurableView::recover_image(&b, image, CKPT_INTERVAL, restorer)
+            .unwrap_or_else(|e| panic!("{ctx_base}: recovery at boundary {boundary} failed: {e}"));
+        let ctx = format!("{ctx_base}@{boundary}");
+        // stats first (before the differential reads mutate them): exact
+        // bit-identity for unsharded deployments
+        if shards <= 1 {
+            assert_eq!(recovered.stats(), clean.stats(), "{ctx}: ViewStats diverged");
+        } else {
+            let (rs, cs) = (recovered.stats(), clean.stats());
+            assert_eq!(rs.updates, cs.updates, "{ctx}: update count diverged");
+            assert_eq!(rs.labels_changed, cs.labels_changed, "{ctx}: label flips diverged");
+        }
+        assert_models_bit_identical(recovered.model(), clean.model(), &ctx);
+        // probe only a sample of boundaries exhaustively — every boundary
+        // still recovers + checks stats/model above; full answer sweeps at
+        // every 7th boundary (and the last) keep the suite fast
+        if boundary % 7 == 0 || boundary == images.len() - 1 {
+            assert_answers_match(&mut recovered, probe.as_mut(), &population, &ctx);
+        } else {
+            assert_eq!(
+                recovered.count_positive(),
+                probe.count_positive(),
+                "{ctx}: count_positive"
+            );
+        }
+    }
+    assert_eq!(applied, ops.len(), "{ctx_base}: script fully replayed");
+}
+
+macro_rules! crash_matrix {
+    ($($name:ident => ($arch:expr, $mode:expr, $shards:expr);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_config($arch, $mode, $shards);
+            }
+        )*
+    };
+}
+
+crash_matrix! {
+    naive_mem_eager_unsharded => (Architecture::NaiveMem, Mode::Eager, 1);
+    naive_mem_lazy_unsharded => (Architecture::NaiveMem, Mode::Lazy, 1);
+    naive_mem_eager_sharded => (Architecture::NaiveMem, Mode::Eager, 3);
+    naive_mem_lazy_sharded => (Architecture::NaiveMem, Mode::Lazy, 3);
+    hazy_mem_eager_unsharded => (Architecture::HazyMem, Mode::Eager, 1);
+    hazy_mem_lazy_unsharded => (Architecture::HazyMem, Mode::Lazy, 1);
+    hazy_mem_eager_sharded => (Architecture::HazyMem, Mode::Eager, 3);
+    hazy_mem_lazy_sharded => (Architecture::HazyMem, Mode::Lazy, 3);
+    naive_disk_eager_unsharded => (Architecture::NaiveDisk, Mode::Eager, 1);
+    naive_disk_lazy_unsharded => (Architecture::NaiveDisk, Mode::Lazy, 1);
+    naive_disk_eager_sharded => (Architecture::NaiveDisk, Mode::Eager, 3);
+    naive_disk_lazy_sharded => (Architecture::NaiveDisk, Mode::Lazy, 3);
+    hazy_disk_eager_unsharded => (Architecture::HazyDisk, Mode::Eager, 1);
+    hazy_disk_lazy_unsharded => (Architecture::HazyDisk, Mode::Lazy, 1);
+    hazy_disk_eager_sharded => (Architecture::HazyDisk, Mode::Eager, 3);
+    hazy_disk_lazy_sharded => (Architecture::HazyDisk, Mode::Lazy, 3);
+    hybrid_eager_unsharded => (Architecture::Hybrid, Mode::Eager, 1);
+    hybrid_lazy_unsharded => (Architecture::Hybrid, Mode::Lazy, 1);
+    hybrid_eager_sharded => (Architecture::Hybrid, Mode::Eager, 3);
+    hybrid_lazy_sharded => (Architecture::Hybrid, Mode::Lazy, 3);
+}
+
+/// A torn WAL tail (power loss mid-fsync) recovers to exactly the durable
+/// prefix — the CRC rejects the half-record.
+#[test]
+fn torn_wal_tail_recovers_to_prefix() {
+    let b = builder(Architecture::HazyMem, Mode::Eager);
+    let (ops, population) = script(seed());
+    let inner = build_plain(&b, 1);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let mut dv = DurableView::create(inner, store, CKPT_INTERVAL);
+    dv.store().lock().unwrap().wal.arm_crash(hazy_storage::CrashPoint::TornAfterRecords(90));
+    for op in &ops {
+        apply(&mut dv, op);
+    }
+    let image = dv.durable_image();
+    assert_eq!(WalReader::new(image.wal_bytes()).count(), 90, "torn record must not parse");
+    let mut recovered =
+        DurableView::recover_image(&b, &image, CKPT_INTERVAL, &CoreRestorer).unwrap();
+    let mut oracle = build_plain(&b, 1);
+    for op in &ops[..90] {
+        apply(oracle.as_mut(), op);
+    }
+    assert_eq!(recovered.stats(), oracle.stats());
+    assert_models_bit_identical(recovered.model(), oracle.model(), "torn tail");
+    assert_answers_match(&mut recovered, oracle.as_mut(), &population, "torn tail");
+}
+
+/// A crash mid-checkpoint leaves the previous checkpoint authoritative and
+/// the view recovers through the longer WAL replay — no half-written
+/// checkpoint is ever observable.
+#[test]
+fn torn_checkpoint_recovers_through_previous_slot() {
+    let b = builder(Architecture::Hybrid, Mode::Lazy);
+    let (ops, population) = script(seed());
+    let inner = build_plain(&b, 1);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    // manual checkpointing only
+    let mut dv = DurableView::create(inner, store, 0);
+    for op in &ops[..200] {
+        apply(&mut dv, op);
+    }
+    dv.checkpoint();
+    for op in &ops[200..300] {
+        apply(&mut dv, op);
+    }
+    dv.store().lock().unwrap().checkpoints.arm_torn_write();
+    dv.checkpoint(); // torn — never lands
+    for op in &ops[300..320] {
+        apply(&mut dv, op);
+    }
+    let mut recovered =
+        DurableView::recover_image(&b, &dv.durable_image(), 0, &CoreRestorer).unwrap();
+    let mut oracle = build_plain(&b, 1);
+    for op in &ops[..320] {
+        apply(oracle.as_mut(), op);
+    }
+    assert_eq!(recovered.stats(), oracle.stats());
+    assert_answers_match(&mut recovered, oracle.as_mut(), &population, "torn checkpoint");
+}

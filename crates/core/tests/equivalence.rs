@@ -4,10 +4,10 @@
 //! backbone of the whole reproduction: Hazy's claim is performance, never a
 //! different answer.
 
-use hazy_core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy_core::{Architecture, DurableClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
 use hazy_datagen::{DatasetSpec, ExampleStream};
 
-fn build_all(spec: &hazy_datagen::DatasetSpec, warm: usize) -> Vec<Box<dyn ClassifierView + Send>> {
+fn build_all(spec: &hazy_datagen::DatasetSpec, warm: usize) -> Vec<Box<dyn DurableClassifierView + Send>> {
     let ds = spec.generate();
     let entities: Vec<Entity> = ds.entities.iter().map(|e| Entity::new(e.id, e.f.clone())).collect();
     let warm_examples = ExampleStream::new(spec, 99).take_vec(warm);

@@ -7,7 +7,8 @@
 //! storage, ε-maps) must be observationally invisible.
 
 use hazy_core::{
-    Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder, WatermarkPolicy,
+    Architecture, DurableClassifierView, Entity, Mode, OpOverheads, ViewBuilder,
+    WatermarkPolicy,
 };
 use hazy_learn::TrainingExample;
 use hazy_linalg::FeatureVec;
@@ -47,7 +48,7 @@ fn base_entities(n: usize) -> Vec<Entity> {
         .collect()
 }
 
-fn build(arch: Architecture, mode: Mode, policy: WatermarkPolicy) -> Box<dyn ClassifierView + Send> {
+fn build(arch: Architecture, mode: Mode, policy: WatermarkPolicy) -> Box<dyn DurableClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(hazy_linalg::NormPair::EUCLIDEAN)
         .overheads(OpOverheads::free())
@@ -66,7 +67,7 @@ proptest! {
     ) {
         let _ = alpha_kind;
         let mut reference = build(Architecture::NaiveMem, Mode::Eager, WatermarkPolicy::Monotone);
-        let mut candidates: Vec<Box<dyn ClassifierView + Send>> = vec![
+        let mut candidates: Vec<Box<dyn DurableClassifierView + Send>> = vec![
             build(Architecture::HazyMem, Mode::Eager, WatermarkPolicy::Monotone),
             build(Architecture::HazyMem, Mode::Lazy, WatermarkPolicy::Monotone),
             build(Architecture::HazyMem, Mode::Eager, WatermarkPolicy::Window2),

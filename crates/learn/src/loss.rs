@@ -88,6 +88,46 @@ impl Regularizer {
             Regularizer::L2(l) | Regularizer::L1(l) => l,
         }
     }
+
+    /// Stable one-byte wire tag for durable state (λ travels separately).
+    pub fn tag(self) -> u8 {
+        match self {
+            Regularizer::None => 0,
+            Regularizer::L2(_) => 1,
+            Regularizer::L1(_) => 2,
+        }
+    }
+
+    /// Inverse of [`Regularizer::tag`].
+    pub fn from_tag(t: u8, lambda: f64) -> Option<Regularizer> {
+        match t {
+            0 => Some(Regularizer::None),
+            1 => Some(Regularizer::L2(lambda)),
+            2 => Some(Regularizer::L1(lambda)),
+            _ => None,
+        }
+    }
+}
+
+impl LossKind {
+    /// Stable one-byte wire tag for durable state.
+    pub fn tag(self) -> u8 {
+        match self {
+            LossKind::Hinge => 0,
+            LossKind::Logistic => 1,
+            LossKind::Squared => 2,
+        }
+    }
+
+    /// Inverse of [`LossKind::tag`].
+    pub fn from_tag(t: u8) -> Option<LossKind> {
+        match t {
+            0 => Some(LossKind::Hinge),
+            1 => Some(LossKind::Logistic),
+            2 => Some(LossKind::Squared),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -83,6 +83,19 @@ impl LinearModel {
     pub fn mem_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.w.dim() * std::mem::size_of::<f64>()
     }
+
+    /// Serializes `(w, b)` bit-exactly (checkpoint path).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.w.save_state(out);
+        out.extend_from_slice(&self.b.to_bits().to_le_bytes());
+    }
+
+    /// Inverse of [`LinearModel::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<LinearModel> {
+        let w = hazy_linalg::ScaledDense::restore_state(b)?;
+        let bias = hazy_linalg::wire::take_f64(b)?;
+        Some(LinearModel { w, b: bias })
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,29 @@ impl SgdConfig {
     }
 }
 
+impl SgdConfig {
+    /// Serializes the hyper-parameters (checkpoint path).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(self.loss.tag());
+        out.push(self.reg.tag());
+        out.extend_from_slice(&self.reg.lambda().to_bits().to_le_bytes());
+        out.extend_from_slice(&self.eta0.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.bias_rate.to_bits().to_le_bytes());
+    }
+
+    /// Inverse of [`SgdConfig::save_state`]; `None` on malformed input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<SgdConfig> {
+        use hazy_linalg::wire::{take_f64, take_u8};
+        let loss = crate::loss::LossKind::from_tag(take_u8(b)?)?;
+        let reg_tag = take_u8(b)?;
+        let lambda = take_f64(b)?;
+        let reg = crate::loss::Regularizer::from_tag(reg_tag, lambda)?;
+        let eta0 = take_f64(b)?;
+        let bias_rate = take_f64(b)?;
+        Some(SgdConfig { loss, reg, eta0, bias_rate })
+    }
+}
+
 impl Default for SgdConfig {
     fn default() -> Self {
         Self::svm()
@@ -182,6 +205,24 @@ impl SgdTrainer {
     pub fn reset(&mut self) {
         self.model = LinearModel::zeros(self.model.w.dim());
         self.t = 0;
+    }
+
+    /// Serializes config, model and step counter bit-exactly. A restored
+    /// trainer takes the *same* future SGD steps (same learning-rate decay,
+    /// same float rounding) as the original — the property crash recovery's
+    /// deterministic replay rests on.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.cfg.save_state(out);
+        self.model.save_state(out);
+        out.extend_from_slice(&self.t.to_le_bytes());
+    }
+
+    /// Inverse of [`SgdTrainer::save_state`]; `None` on malformed input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<SgdTrainer> {
+        let cfg = SgdConfig::restore_state(b)?;
+        let model = LinearModel::restore_state(b)?;
+        let t = hazy_linalg::wire::take_u64(b)?;
+        Some(SgdTrainer { cfg, model, t })
     }
 }
 

@@ -24,6 +24,7 @@ mod scaled;
 mod serial;
 mod vector;
 mod vref;
+pub mod wire;
 
 pub use norms::{holder_conjugate, norm_of_slice, Norm, NormPair};
 pub use ordf64::OrdF64;

@@ -18,6 +18,27 @@ pub enum Norm {
     LInf,
 }
 
+impl Norm {
+    /// Stable one-byte wire tag for durable state.
+    pub fn tag(self) -> u8 {
+        match self {
+            Norm::L1 => 1,
+            Norm::L2 => 2,
+            Norm::LInf => 3,
+        }
+    }
+
+    /// Inverse of [`Norm::tag`].
+    pub fn from_tag(t: u8) -> Option<Norm> {
+        match t {
+            1 => Some(Norm::L1),
+            2 => Some(Norm::L2),
+            3 => Some(Norm::LInf),
+            _ => None,
+        }
+    }
+}
+
 /// Returns the Hölder conjugate of `p` (`1/p + 1/q = 1`): `L1 ↔ LInf`,
 /// `L2 ↔ L2`.
 pub fn holder_conjugate(p: Norm) -> Norm {

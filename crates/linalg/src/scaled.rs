@@ -109,6 +109,22 @@ impl ScaledDense {
         self.s.abs() * norm_of_slice(&self.v, n)
     }
 
+    /// Serializes `(s, v)` bit-exactly. The scaled representation — not the
+    /// materialized vector — is what round-trips: future dot products compute
+    /// `s·(v·f)`, so restoring a renormalized copy would change rounding and
+    /// break bit-identical recovery.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.s.to_bits().to_le_bytes());
+        crate::wire::put_f64s(out, &self.v);
+    }
+
+    /// Inverse of [`ScaledDense::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<ScaledDense> {
+        let s = crate::wire::take_f64(b)?;
+        let v = crate::wire::take_f64s(b)?;
+        Some(ScaledDense { v, s })
+    }
+
     /// `‖w − other‖_p` — the model-delta norm in the watermark bound.
     pub fn diff_norm(&self, other: &ScaledDense, p: Norm) -> f64 {
         let n = self.v.len().max(other.v.len());

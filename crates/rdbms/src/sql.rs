@@ -44,6 +44,10 @@ pub struct ViewDecl {
     /// concurrent shards served by `hazy-serve`. `None` or `Some(1)` keeps
     /// the single unsharded engine.
     pub shards: Option<u32>,
+    /// `DURABLE`: write-ahead log + checkpoint the view in the database's
+    /// simulated file system. Re-running the declaration in a later session
+    /// **recovers** the view from its durable store instead of retraining.
+    pub durable: bool,
 }
 
 /// A parsed statement.
@@ -88,6 +92,12 @@ pub enum Statement {
         view: String,
         /// Class filter.
         class: i8,
+    },
+    /// `CHECKPOINT CLASSIFICATION VIEW name`: force a durable checkpoint
+    /// now (the view must have been declared `DURABLE`).
+    Checkpoint {
+        /// View name.
+        view: String,
     },
 }
 
@@ -309,7 +319,14 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
     if lx.eat_keyword("SELECT") {
         return parse_select(&mut lx);
     }
-    Err(lx.err("expected CREATE, INSERT or SELECT"))
+    if lx.eat_keyword("CHECKPOINT") {
+        lx.keyword("CLASSIFICATION")?;
+        lx.keyword("VIEW")?;
+        let view = lx.ident()?;
+        lx.done()?;
+        return Ok(Statement::Checkpoint { view });
+    }
+    Err(lx.err("expected CREATE, INSERT, SELECT or CHECKPOINT"))
 }
 
 fn parse_type(lx: &mut Lexer<'_>) -> Result<ColumnType, DbError> {
@@ -376,6 +393,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     let mut architecture = None;
     let mut mode = None;
     let mut shards = None;
+    let mut durable = false;
     loop {
         if lx.eat_keyword("USING") {
             using = Some(lx.ident()?);
@@ -389,6 +407,8 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
                 return Err(lx.err("SHARDS must be between 1 and 4096"));
             }
             shards = Some(n as u32);
+        } else if lx.eat_keyword("DURABLE") {
+            durable = true;
         } else {
             break;
         }
@@ -409,6 +429,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         architecture,
         mode,
         shards,
+        durable,
     }))
 }
 

@@ -5,10 +5,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use hazy_core::{
-    ClassifierView, Entity, MemoryFootprint, Mode, ViewBuilder, ViewStats,
+    ClassifierView, CoreRestorer, Durable, DurableClassifierView, Entity, MemoryFootprint, Mode,
+    ViewBuilder, ViewRestorer, ViewStats, SHARDED_VIEW_TAG,
 };
 use hazy_learn::{Label, LinearModel, TrainingExample};
-use hazy_storage::VirtualClock;
+use hazy_linalg::wire;
+use hazy_storage::{DurableStore, VirtualClock};
 
 use crate::kway;
 
@@ -26,17 +28,17 @@ use crate::kway;
 /// is exactly what shard-granular locking amortizes: the other `N−1`
 /// shards stay readable, so the worst-case read stall shrinks as `O(1/N)`.
 struct Shard {
-    view: Mutex<Box<dyn ClassifierView + Send>>,
+    view: Mutex<Box<dyn DurableClassifierView + Send>>,
     writer_waiting: AtomicBool,
 }
 
 impl Shard {
-    fn new(view: Box<dyn ClassifierView + Send>) -> Shard {
+    fn new(view: Box<dyn DurableClassifierView + Send>) -> Shard {
         Shard { view: Mutex::new(view), writer_waiting: AtomicBool::new(false) }
     }
 
     /// Reader-side acquisition: defer to a waiting writer, then lock.
-    fn lock_read(&self) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+    fn lock_read(&self) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
         loop {
             while self.writer_waiting.load(Ordering::Acquire) {
                 std::thread::yield_now();
@@ -52,7 +54,7 @@ impl Shard {
 
     /// Writer-side acquisition: announce, acquire, withdraw the
     /// announcement (readers then queue normally behind the held lock).
-    fn lock_write(&self) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+    fn lock_write(&self) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
         self.writer_waiting.store(true, Ordering::Release);
         let guard = self.view.lock().expect("shard lock poisoned");
         self.writer_waiting.store(false, Ordering::Release);
@@ -158,11 +160,11 @@ impl ShardedView {
         (ReadHandle { view: Arc::clone(&shared) }, WriteHandle { view: shared })
     }
 
-    fn lock_shard_read(&self, s: usize) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+    fn lock_shard_read(&self, s: usize) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
         self.shards[s].lock_read()
     }
 
-    fn lock_shard_write(&self, s: usize) -> MutexGuard<'_, Box<dyn ClassifierView + Send>> {
+    fn lock_shard_write(&self, s: usize) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
         self.shards[s].lock_write()
     }
 
@@ -178,7 +180,7 @@ impl ShardedView {
     fn fan_out<T, F>(&self, op: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&mut (dyn ClassifierView + Send)) -> T + Sync,
+        F: Fn(&mut (dyn DurableClassifierView + Send)) -> T + Sync,
     {
         static HOST_PARALLEL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         let parallel = self.shards.len() > 1
@@ -327,6 +329,96 @@ impl ShardedView {
     pub(crate) fn refresh_model_cache(&mut self) {
         self.model_cache = self.model_snapshot();
     }
+
+    /// Inverse of the [`Durable`] serialization (tag byte already
+    /// consumed): restores every shard — each an ordinary architecture
+    /// checkpoint blob — around one shared clock, exactly the
+    /// data-partitioned / model-replicated layout `build` produces.
+    pub fn restore_state(
+        builder: &ViewBuilder,
+        b: &mut &[u8],
+        clock: VirtualClock,
+    ) -> Option<ShardedView> {
+        let n = wire::take_u32(b)? as usize;
+        if n == 0 {
+            return None;
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = wire::take_u64(b)? as usize;
+            let mut blob = wire::take_bytes(b, len)?;
+            let view = builder.restore_unsharded(&mut blob, clock.clone())?;
+            if !blob.is_empty() {
+                return None;
+            }
+            shards.push(Shard::new(view));
+        }
+        let (mode, model_cache) = {
+            let shard0 = shards[0].lock_read();
+            (shard0.mode(), shard0.model().clone())
+        };
+        Some(ShardedView { shards, clock, mode, model_cache })
+    }
+
+    /// Recovers a sharded view from the newest valid checkpoint in `store`
+    /// (the serving-tier counterpart of `DurableView` recovery for
+    /// checkpoint-only durability — the coordinated snapshots
+    /// [`WriteHandle::checkpoint_into`] writes).
+    pub fn recover_checkpoint(
+        builder: &ViewBuilder,
+        store: &std::sync::Mutex<DurableStore>,
+    ) -> Option<ShardedView> {
+        let guard = store.lock().expect("durable store lock");
+        let ckpt = guard.checkpoints.latest()?;
+        let clock = builder.new_clock();
+        hazy_storage::charge_bulk_read(&clock, ckpt.payload.len());
+        let mut b = ckpt.payload;
+        let saved_ns = wire::take_u64(&mut b)?;
+        clock.charge_ns(saved_ns);
+        if wire::take_u8(&mut b)? != SHARDED_VIEW_TAG {
+            return None;
+        }
+        ShardedView::restore_state(builder, &mut b, clock)
+    }
+}
+
+impl Durable for ShardedView {
+    /// Coordinated per-shard serialization: shards are photographed one at
+    /// a time under their writer-priority locks, so concurrent readers keep
+    /// being served on the other `N−1` shards while a checkpoint runs. The
+    /// single writer is the caller, so the shard models are mutually
+    /// consistent across the walk (readers never advance the model).
+    fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(SHARDED_VIEW_TAG);
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        let mut blob = Vec::new();
+        for s in 0..self.shards.len() {
+            blob.clear();
+            self.lock_shard_write(s).save_state(&mut blob);
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+    }
+}
+
+/// Restorer that recognizes sharded checkpoint blobs and delegates
+/// everything else to [`CoreRestorer`] — pass this wherever recovery might
+/// meet a view built with `SHARDS n`.
+pub struct ServeRestorer;
+
+impl ViewRestorer for ServeRestorer {
+    fn restore(
+        &self,
+        builder: &ViewBuilder,
+        bytes: &mut &[u8],
+        clock: VirtualClock,
+    ) -> Option<Box<dyn DurableClassifierView + Send>> {
+        if bytes.first() == Some(&SHARDED_VIEW_TAG) {
+            wire::take_u8(bytes)?;
+            return Some(Box::new(ShardedView::restore_state(builder, bytes, clock)?));
+        }
+        CoreRestorer.restore(builder, bytes, clock)
+    }
 }
 
 impl ClassifierView for ShardedView {
@@ -354,6 +446,10 @@ impl ClassifierView for ShardedView {
 
     fn read_single(&mut self, id: u64) -> Option<Label> {
         self.classify(id)
+    }
+
+    fn entity_count(&self) -> u64 {
+        (0..self.shards.len()).map(|s| self.lock_shard_read(s).entity_count()).sum()
     }
 
     fn count_positive(&mut self) -> u64 {
@@ -470,6 +566,22 @@ impl WriteHandle {
     /// See [`ShardedView::model_snapshot`].
     pub fn model_snapshot(&self) -> LinearModel {
         self.view.model_snapshot()
+    }
+
+    /// Coordinated checkpoint behind the writer: serializes every shard —
+    /// one writer-priority lock at a time, so readers keep being served on
+    /// the other shards — and commits the snapshot atomically to `store`'s
+    /// inactive slot. A crash (or concurrent recovery read) mid-write can
+    /// only ever observe the *previous* complete checkpoint; half-written
+    /// frames fail their CRC. Restore with
+    /// [`ShardedView::recover_checkpoint`].
+    pub fn checkpoint_into(&mut self, store: &std::sync::Mutex<DurableStore>) -> u64 {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.view.clock.now_ns().to_le_bytes());
+        self.view.save_state(&mut payload);
+        let mut guard = store.lock().expect("durable store lock");
+        let wal_offset = guard.wal.stable_len();
+        guard.checkpoints.write(wal_offset, &payload)
     }
 }
 

@@ -485,6 +485,32 @@ impl BTree {
         }
         self.len = 0;
     }
+
+    /// Serializes the tree's directory (root, height, entry count, owned
+    /// pages). Node content lives in the disk image.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.root.0.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        for pid in &self.pages {
+            out.extend_from_slice(&pid.0.to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`BTree::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<BTree> {
+        use hazy_linalg::wire::{take_u32, take_u64};
+        let root = PageId(take_u32(b)?);
+        let height = take_u32(b)?;
+        let len = take_u64(b)?;
+        let n = take_u64(b)? as usize;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(PageId(take_u32(b)?));
+        }
+        Some(BTree { root, height, len, pages })
+    }
 }
 
 #[cfg(test)]

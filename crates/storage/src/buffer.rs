@@ -95,6 +95,86 @@ impl BufferPool {
         f(&mut self.frames[slot].data)
     }
 
+    /// Checked variant of [`with_page`](BufferPool::with_page): returns
+    /// `None` (instead of panicking) when `pid` was never allocated on the
+    /// disk — the dangling-reference case a torn heap directory produces.
+    pub fn try_with_page<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Option<R> {
+        if !self.disk.is_allocated(pid) {
+            return None;
+        }
+        Some(self.with_page(pid, f))
+    }
+
+    /// Checked variant of [`with_page_mut`](BufferPool::with_page_mut); see
+    /// [`try_with_page`](BufferPool::try_with_page).
+    pub fn try_with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Option<R> {
+        if !self.disk.is_allocated(pid) {
+            return None;
+        }
+        Some(self.with_page_mut(pid, f))
+    }
+
+    /// Serializes the pool's complete state *without flushing*: the frame
+    /// table in frame order (clock-sweep position matters), the sweep hand,
+    /// and the data of dirty frames (clean frames equal their disk page and
+    /// are restored from the disk image). Checkpointing must be a pure read
+    /// — flushing here would clean dirty bits and change future eviction
+    /// costs, making a recovered view diverge from one that never crashed.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.capacity as u64).to_le_bytes());
+        out.extend_from_slice(&(self.hand as u64).to_le_bytes());
+        out.extend_from_slice(&(self.frames.len() as u64).to_le_bytes());
+        for fr in &self.frames {
+            out.extend_from_slice(&fr.pid.0.to_le_bytes());
+            out.push(u8::from(fr.referenced));
+            out.push(u8::from(fr.dirty));
+            if fr.dirty && fr.pid != PageId::INVALID {
+                out.extend_from_slice(&fr.data[..]);
+            }
+        }
+    }
+
+    /// Inverse of [`BufferPool::save_state`], re-reading clean frames from
+    /// `disk`. `None` on truncated or inconsistent input.
+    pub fn restore_state(b: &mut &[u8], disk: SimDisk) -> Option<BufferPool> {
+        use hazy_linalg::wire::{take_bytes, take_u32, take_u64, take_u8};
+        let capacity = take_u64(b)? as usize;
+        let hand = take_u64(b)? as usize;
+        let n_frames = take_u64(b)? as usize;
+        if n_frames > capacity {
+            return None;
+        }
+        let mut frames = Vec::with_capacity(n_frames);
+        let mut map = HashMap::with_capacity(n_frames);
+        for slot in 0..n_frames {
+            let pid = PageId(take_u32(b)?);
+            let referenced = take_u8(b)? != 0;
+            let dirty = take_u8(b)? != 0;
+            let mut data = Box::new([0u8; PAGE_SIZE]);
+            if pid != PageId::INVALID {
+                if dirty {
+                    data.copy_from_slice(take_bytes(b, PAGE_SIZE)?);
+                } else {
+                    if !disk.is_allocated(pid) {
+                        return None;
+                    }
+                    data.copy_from_slice(&disk.page_bytes(pid)[..]);
+                }
+                map.insert(pid, slot);
+            }
+            frames.push(Frame { pid, data, dirty, referenced });
+        }
+        Some(BufferPool { disk, frames, map, hand, capacity })
+    }
+
     /// Writes every dirty frame back to disk.
     pub fn flush_all(&mut self) {
         // flush in page order: a checkpoint is mostly-sequential I/O

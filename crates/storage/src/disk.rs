@@ -122,6 +122,81 @@ impl SimDisk {
         self.charge(pid, true);
         self.pages[pid.0 as usize].copy_from_slice(buf);
     }
+
+    /// True when `pid` names a page this disk has ever allocated. The
+    /// checked access paths (`BufferPool::try_with_page*`) consult this so
+    /// a dangling record id from a torn directory surfaces as a
+    /// [`StorageError`](crate::error::StorageError) instead of a panic.
+    pub fn is_allocated(&self, pid: PageId) -> bool {
+        pid != PageId::INVALID && (pid.0 as usize) < self.pages.len()
+    }
+
+    /// Direct read-only page access for state serialization (no charge, no
+    /// cursor movement — checkpointing must not perturb the machine state
+    /// it is photographing).
+    pub(crate) fn page_bytes(&self, pid: PageId) -> &[u8; PAGE_SIZE] {
+        &self.pages[pid.0 as usize]
+    }
+
+    /// Serializes the disk: capacity, free list, access cursor, and the
+    /// image of every *live* page. Freed pages are zeroed on reallocation,
+    /// so their content is not observable state and is skipped.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        let mut free: Vec<u32> = self.free.iter().map(|&Reverse(p)| p).collect();
+        free.sort_unstable();
+        out.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(free.len() as u64).to_le_bytes());
+        for &p in &free {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        match self.last_accessed {
+            Some(p) => out.extend_from_slice(&u64::from(p).to_le_bytes()),
+            None => out.extend_from_slice(&u64::MAX.to_le_bytes()),
+        }
+        let is_free = |p: u32| free.binary_search(&p).is_ok();
+        for (i, page) in self.pages.iter().enumerate() {
+            if !is_free(i as u32) {
+                out.extend_from_slice(&page[..]);
+            }
+        }
+    }
+
+    /// Inverse of [`SimDisk::save_state`]; `None` on truncated input.
+    /// Freed pages are restored as zeros.
+    pub fn restore_state(b: &mut &[u8], clock: VirtualClock) -> Option<SimDisk> {
+        use hazy_linalg::wire::{take_bytes, take_u32, take_u64};
+        let n_pages = take_u64(b)? as usize;
+        let n_free = take_u64(b)? as usize;
+        if n_free > n_pages {
+            return None;
+        }
+        let mut free_sorted = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            free_sorted.push(take_u32(b)?);
+        }
+        let last_raw = take_u64(b)?;
+        let last_accessed = if last_raw == u64::MAX { None } else { Some(last_raw as u32) };
+        let is_free = |p: u32| free_sorted.binary_search(&p).is_ok();
+        let mut pages = Vec::with_capacity(n_pages);
+        for i in 0..n_pages {
+            if is_free(i as u32) {
+                pages.push(Box::new([0u8; PAGE_SIZE]));
+            } else {
+                let raw = take_bytes(b, PAGE_SIZE)?;
+                let mut page = Box::new([0u8; PAGE_SIZE]);
+                page.copy_from_slice(raw);
+                pages.push(page);
+            }
+        }
+        let mut free = BinaryHeap::with_capacity(n_free);
+        for p in free_sorted {
+            if (p as usize) >= n_pages {
+                return None;
+            }
+            free.push(Reverse(p));
+        }
+        Some(SimDisk { pages, free, last_accessed, clock, stats: Arc::new(IoStats::default()) })
+    }
 }
 
 #[cfg(test)]

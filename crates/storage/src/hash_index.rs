@@ -262,6 +262,34 @@ impl HashIndex {
         }
         self.len = 0;
     }
+
+    /// Serializes the index directory (bucket + overflow page lists, key
+    /// count). Bucket content lives in the disk image.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for list in [&self.buckets, &self.overflow] {
+            out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for pid in list {
+                out.extend_from_slice(&pid.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.len.to_le_bytes());
+    }
+
+    /// Inverse of [`HashIndex::save_state`]; `None` on truncated input.
+    pub fn restore_state(b: &mut &[u8]) -> Option<HashIndex> {
+        use hazy_linalg::wire::{take_u32, take_u64};
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = take_u64(b)? as usize;
+            list.reserve(n);
+            for _ in 0..n {
+                list.push(PageId(take_u32(b)?));
+            }
+        }
+        let len = take_u64(b)?;
+        let [buckets, overflow] = lists;
+        Some(HashIndex { buckets, overflow, len })
+    }
 }
 
 #[cfg(test)]

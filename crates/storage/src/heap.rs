@@ -88,7 +88,8 @@ impl HeapFile {
     /// Reads the record at `rid` through `f`.
     ///
     /// # Errors
-    /// [`StorageError::BadRid`] when `rid` is dead or out of range.
+    /// [`StorageError::BadRid`] when `rid` is dead, out of range, or — the
+    /// torn-directory case — names a page the disk never allocated.
     pub fn get<R>(
         &self,
         pool: &mut BufferPool,
@@ -96,13 +97,17 @@ impl HeapFile {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.with_page(pid, |pg| slotted::get(pg, rid.slot).map(f)).ok_or(StorageError::BadRid)
+        pool.try_with_page(pid, |pg| slotted::get(pg, rid.slot).map(f))
+            .flatten()
+            .ok_or(StorageError::BadRid)
     }
 
     /// Overwrites the record at `rid` with a same-length payload.
     ///
     /// # Errors
-    /// Propagates [`StorageError::BadRid`] / [`StorageError::LengthMismatch`].
+    /// [`StorageError::BadRid`] for dangling record ids (including page
+    /// references a torn directory restore left pointing past the disk);
+    /// [`StorageError::LengthMismatch`] on size changes.
     pub fn update_in_place(
         &mut self,
         pool: &mut BufferPool,
@@ -110,7 +115,8 @@ impl HeapFile {
         rec: &[u8],
     ) -> Result<(), StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.with_page_mut(pid, |pg| slotted::update_in_place(pg, rid.slot, rec))
+        pool.try_with_page_mut(pid, |pg| slotted::update_in_place(pg, rid.slot, rec))
+            .unwrap_or(Err(StorageError::BadRid))
     }
 
     /// Overwrites part of the record at `rid` (the zero-copy label-flip
@@ -118,7 +124,9 @@ impl HeapFile {
     /// changed byte, never re-encoding the tuple).
     ///
     /// # Errors
-    /// Propagates [`StorageError::BadRid`] / [`StorageError::LengthMismatch`].
+    /// [`StorageError::BadRid`] for dangling record ids (never a panic —
+    /// recovery code probes possibly-torn directories and must get a
+    /// structured error); [`StorageError::LengthMismatch`] on overruns.
     pub fn patch_in_place(
         &mut self,
         pool: &mut BufferPool,
@@ -127,7 +135,8 @@ impl HeapFile {
         bytes: &[u8],
     ) -> Result<(), StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.with_page_mut(pid, |pg| slotted::patch_in_place(pg, rid.slot, offset, bytes))
+        pool.try_with_page_mut(pid, |pg| slotted::patch_in_place(pg, rid.slot, offset, bytes))
+            .unwrap_or(Err(StorageError::BadRid))
     }
 
     /// Tombstones the record at `rid`.
@@ -193,6 +202,33 @@ impl HeapFile {
             pool.free(pid);
         }
         self.records = 0;
+    }
+
+    /// Serializes the heap directory (page list + record count). Page
+    /// *content* belongs to the disk image; this is only the wiring.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        for pid in &self.pages {
+            out.extend_from_slice(&pid.0.to_le_bytes());
+        }
+        out.extend_from_slice(&self.records.to_le_bytes());
+    }
+
+    /// Inverse of [`HeapFile::save_state`]; `None` on truncated input.
+    ///
+    /// Deliberately does **not** cross-validate the directory against a
+    /// disk: a torn directory restores structurally and then every access
+    /// through it fails with [`StorageError::BadRid`], which is what
+    /// recovery code probes for.
+    pub fn restore_state(b: &mut &[u8]) -> Option<HeapFile> {
+        use hazy_linalg::wire::{take_u32, take_u64};
+        let n = take_u64(b)? as usize;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(PageId(take_u32(b)?));
+        }
+        let records = take_u64(b)?;
+        Some(HeapFile { pages, records })
     }
 }
 

@@ -19,7 +19,11 @@
 //! * [`BTree`] — the clustered B+-tree on `eps` that makes the watermark
 //!   range scan cheap (Section 3.2.2),
 //! * [`HashIndex`] — static hash index `id → record` backing single-entity
-//!   reads.
+//!   reads,
+//! * [`wal`] — write-ahead logging, double-buffered checkpoint slots, the
+//!   simulated stable file system, and the crash-injection hooks behind the
+//!   durability subsystem (fsyncs and checkpoint writes charge the same
+//!   [`VirtualClock`] as page I/O).
 
 mod btree;
 mod buffer;
@@ -29,6 +33,7 @@ mod error;
 mod hash_index;
 mod heap;
 pub mod slotted;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
@@ -37,3 +42,7 @@ pub use disk::{PageId, SimDisk, PAGE_SIZE};
 pub use error::StorageError;
 pub use hash_index::HashIndex;
 pub use heap::{HeapFile, Rid};
+pub use wal::{
+    charge_bulk_read, charge_bulk_write, crc32, Checkpoint, CheckpointStore, CrashPoint,
+    DurableImage, DurableStore, SimFs, Wal, WalReader, WalRecord,
+};

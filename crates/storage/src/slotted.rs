@@ -93,13 +93,16 @@ pub fn insert(page: &mut [u8; PAGE_SIZE], rec: &[u8]) -> Result<Option<u16>, Sto
     Ok(Some(n))
 }
 
-/// The payload of slot `i`, or `None` for out-of-range/tombstoned slots.
+/// The payload of slot `i`, or `None` for out-of-range/tombstoned slots —
+/// or for slots whose stored extent overruns the page, which a torn or
+/// corrupted page image can produce (a bad slot must decode as absent, not
+/// panic the engine mid-recovery).
 pub fn get(page: &[u8; PAGE_SIZE], i: u16) -> Option<&[u8]> {
     if i >= n_slots(page) {
         return None;
     }
     let (off, len) = slot(page, i);
-    if off == TOMBSTONE {
+    if off == TOMBSTONE || off as usize + len as usize > PAGE_SIZE {
         return None;
     }
     Some(&page[off as usize..off as usize + len as usize])
@@ -120,7 +123,7 @@ pub fn update_in_place(
         return Err(StorageError::BadRid);
     }
     let (off, len) = slot(page, i);
-    if off == TOMBSTONE {
+    if off == TOMBSTONE || off as usize + len as usize > PAGE_SIZE {
         return Err(StorageError::BadRid);
     }
     if rec.len() != len as usize {
@@ -147,7 +150,7 @@ pub fn patch_in_place(
         return Err(StorageError::BadRid);
     }
     let (off, len) = slot(page, i);
-    if off == TOMBSTONE {
+    if off == TOMBSTONE || off as usize + len as usize > PAGE_SIZE {
         return Err(StorageError::BadRid);
     }
     let end = offset.checked_add(bytes.len()).ok_or(StorageError::BadRid)?;

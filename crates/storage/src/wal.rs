@@ -1,0 +1,678 @@
+//! Write-ahead logging and checkpoint storage over simulated stable media.
+//!
+//! Durability in this engine follows the classic RDBMS recipe, adapted to
+//! the simulated disk: operations append framed records to a [`Wal`] and
+//! become durable at an explicit [`sync`](Wal::sync) point (the fsync,
+//! charged to the [`VirtualClock`]); whole-view snapshots go to a
+//! double-buffered [`CheckpointStore`] whose commit is atomic (a torn
+//! checkpoint write fails its CRC and recovery falls back to the previous
+//! slot — readers can never observe a half-written checkpoint). Recovery
+//! restores the newest valid checkpoint and replays the WAL suffix.
+//!
+//! Record frame layout (little-endian):
+//!
+//! ```text
+//! [payload_len: u32][lsn: u64][kind: u8][payload][crc32: u32]
+//! ```
+//!
+//! The CRC covers `lsn + kind + payload`, so a flipped bit anywhere in a
+//! record — or a torn tail from a crash mid-write — invalidates exactly that
+//! record and [`WalReader`] stops at the durable prefix.
+//!
+//! Crash injection lives here too: [`CrashPoint`] arms a fault that freezes
+//! the stable prefix after N records (optionally leaving a torn half-record
+//! behind), which is how the crash-recovery differential suite simulates
+//! power loss at every record boundary.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{CostModel, VirtualClock};
+use crate::disk::PAGE_SIZE;
+
+/// Bytes of frame overhead around a record payload.
+pub const WAL_FRAME_OVERHEAD: usize = 4 + 8 + 1 + 4;
+
+// ---- CRC32 (IEEE, as used by zip/png) --------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` (init `!0`, xor-out `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut c = !0u32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+// ---- virtual-time charges for stable-media traffic --------------------------------
+
+/// Charges one bulk write of `bytes` to stable media: one random access
+/// (the seek/fsync latency) plus sequential transfer for every page after
+/// the first. Used by WAL syncs and checkpoint writes.
+pub fn charge_bulk_write(clock: &VirtualClock, bytes: usize) {
+    let pages = bytes.div_ceil(PAGE_SIZE).max(1) as u64;
+    let m = clock.model();
+    clock.charge_ns(m.rand_write_ns + m.seq_write_ns * (pages - 1));
+}
+
+/// Charges one bulk read of `bytes` from stable media (recovery's
+/// checkpoint load and WAL scan).
+pub fn charge_bulk_read(clock: &VirtualClock, bytes: usize) {
+    let pages = bytes.div_ceil(PAGE_SIZE).max(1) as u64;
+    let m = clock.model();
+    clock.charge_ns(m.rand_read_ns + m.seq_read_ns * (pages - 1));
+}
+
+// ---- crash injection --------------------------------------------------------------
+
+/// A fault armed on a [`Wal`]: the simulated power loss happens at a record
+/// boundary, freezing the stable prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Everything after the first `n` records is lost: later appends never
+    /// reach stable storage.
+    AfterRecords(u64),
+    /// Same, but the write of record `n + 1` is torn mid-frame — half of it
+    /// reaches stable storage, exercising the CRC rejection path.
+    TornAfterRecords(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CrashState {
+    Running,
+    Armed(CrashPoint),
+    Tripped,
+}
+
+// ---- the write-ahead log ----------------------------------------------------------
+
+/// An append-only record log with an explicit buffered/stable split.
+///
+/// [`append`](Wal::append) stages a record in volatile memory;
+/// [`sync`](Wal::sync) moves staged records to the stable image and charges
+/// the fsync to the clock. Only [`stable_bytes`](Wal::stable_bytes)
+/// survives a crash.
+pub struct Wal {
+    stable: Vec<u8>,
+    stable_records: u64,
+    pending: Vec<Vec<u8>>,
+    next_lsn: u64,
+    clock: VirtualClock,
+    crash: CrashState,
+}
+
+impl Wal {
+    /// An empty log charging syncs to `clock`.
+    pub fn new(clock: VirtualClock) -> Wal {
+        Wal {
+            stable: Vec::new(),
+            stable_records: 0,
+            pending: Vec::new(),
+            next_lsn: 0,
+            clock,
+            crash: CrashState::Running,
+        }
+    }
+
+    /// Rebuilds a log from a recovered stable image, keeping only the valid
+    /// record prefix (a torn tail is discarded, exactly as a real log
+    /// manager truncates after the last good record).
+    pub fn from_stable(bytes: Vec<u8>, clock: VirtualClock) -> Wal {
+        let mut records = 0u64;
+        let mut next_lsn = 0u64;
+        let mut valid_len = 0usize;
+        for rec in WalReader::new(&bytes) {
+            records += 1;
+            next_lsn = rec.lsn + 1;
+            valid_len = rec.end_offset;
+        }
+        let mut stable = bytes;
+        stable.truncate(valid_len);
+        Wal {
+            stable,
+            stable_records: records,
+            pending: Vec::new(),
+            next_lsn,
+            clock,
+            crash: CrashState::Running,
+        }
+    }
+
+    /// Stages one record; returns its LSN. Not yet durable — call
+    /// [`sync`](Wal::sync).
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> u64 {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let mut frame = Vec::with_capacity(WAL_FRAME_OVERHEAD + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&lsn.to_le_bytes());
+        frame.push(kind);
+        frame.extend_from_slice(payload);
+        let crc = crc32(&frame[4..]);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        self.pending.push(frame);
+        lsn
+    }
+
+    /// The fsync point: moves staged records into the stable image and
+    /// charges the clock for the media traffic. If a [`CrashPoint`] is
+    /// armed, records past the boundary are silently lost (the process
+    /// "believes" the sync succeeded; only the stable image tells the
+    /// truth, which is what recovery reads).
+    pub fn sync(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let bytes: usize = self.pending.iter().map(Vec::len).sum();
+        charge_bulk_write(&self.clock, bytes);
+        for frame in std::mem::take(&mut self.pending) {
+            match self.crash {
+                CrashState::Tripped => continue,
+                CrashState::Armed(cp) => {
+                    let n = match cp {
+                        CrashPoint::AfterRecords(n) | CrashPoint::TornAfterRecords(n) => n,
+                    };
+                    if self.stable_records >= n {
+                        if let CrashPoint::TornAfterRecords(_) = cp {
+                            // half the frame reaches the platter
+                            self.stable.extend_from_slice(&frame[..frame.len() / 2]);
+                        }
+                        self.crash = CrashState::Tripped;
+                        continue;
+                    }
+                }
+                CrashState::Running => {}
+            }
+            self.stable.extend_from_slice(&frame);
+            self.stable_records += 1;
+        }
+    }
+
+    /// Arms a crash: once the stable record count reaches the boundary,
+    /// nothing further persists.
+    pub fn arm_crash(&mut self, point: CrashPoint) {
+        self.crash = CrashState::Armed(point);
+    }
+
+    /// True once an armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crash == CrashState::Tripped
+    }
+
+    /// The durable byte image (what survives power loss).
+    pub fn stable_bytes(&self) -> &[u8] {
+        &self.stable
+    }
+
+    /// Records in the durable prefix.
+    pub fn stable_records(&self) -> u64 {
+        self.stable_records
+    }
+
+    /// Byte length of the durable prefix (checkpoints record this so
+    /// recovery knows where replay starts).
+    pub fn stable_len(&self) -> u64 {
+        self.stable.len() as u64
+    }
+
+    /// Rebinds the clock (a reopened store charges the new session).
+    pub fn set_clock(&mut self, clock: VirtualClock) {
+        self.clock = clock;
+    }
+}
+
+/// One decoded WAL record, borrowing its payload from the log image.
+#[derive(Clone, Copy, Debug)]
+pub struct WalRecord<'a> {
+    /// Log sequence number.
+    pub lsn: u64,
+    /// Record kind (meaning assigned by the client — `hazy-core` logs
+    /// logical view operations).
+    pub kind: u8,
+    /// Record payload.
+    pub payload: &'a [u8],
+    /// Byte offset one past this record's frame (replay bookkeeping).
+    pub end_offset: usize,
+}
+
+/// Iterates valid records from the front of a log image, stopping at the
+/// first short, torn or CRC-failing frame.
+pub struct WalReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WalReader<'a> {
+    /// Reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> WalReader<'a> {
+        WalReader { buf, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for WalReader<'a> {
+    type Item = WalRecord<'a>;
+
+    fn next(&mut self) -> Option<WalRecord<'a>> {
+        let b = &self.buf[self.pos..];
+        if b.len() < WAL_FRAME_OVERHEAD {
+            return None;
+        }
+        let len = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")) as usize;
+        let total = WAL_FRAME_OVERHEAD.checked_add(len)?;
+        if b.len() < total {
+            return None;
+        }
+        let lsn = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+        let kind = b[12];
+        let payload = &b[13..13 + len];
+        let stored_crc = u32::from_le_bytes(b[13 + len..17 + len].try_into().expect("4 bytes"));
+        if crc32(&b[4..13 + len]) != stored_crc {
+            return None;
+        }
+        self.pos += total;
+        Some(WalRecord { lsn, kind, payload, end_offset: self.pos })
+    }
+}
+
+// ---- double-buffered checkpoints --------------------------------------------------
+
+/// A parsed, valid checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct Checkpoint<'a> {
+    /// Monotone checkpoint sequence number.
+    pub seq: u64,
+    /// WAL stable length at checkpoint time — recovery replays records
+    /// starting at this byte offset.
+    pub wal_offset: u64,
+    /// The serialized view state.
+    pub payload: &'a [u8],
+}
+
+/// Two checkpoint slots written alternately. A write goes to the slot *not*
+/// holding the latest valid checkpoint, so a crash mid-write (torn frame,
+/// CRC failure) leaves the previous checkpoint intact — the commit is
+/// atomic from recovery's point of view.
+pub struct CheckpointStore {
+    slots: [Vec<u8>; 2],
+    clock: VirtualClock,
+    torn_next: bool,
+}
+
+/// Slot frame: `[seq u64][wal_offset u64][payload_len u64][payload][crc u32]`.
+const CKPT_HEADER: usize = 24;
+
+fn parse_slot(slot: &[u8]) -> Option<Checkpoint<'_>> {
+    if slot.len() < CKPT_HEADER + 4 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(slot[0..8].try_into().expect("8 bytes"));
+    let wal_offset = u64::from_le_bytes(slot[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(slot[16..24].try_into().expect("8 bytes")) as usize;
+    if slot.len() < CKPT_HEADER + len + 4 {
+        return None;
+    }
+    let payload = &slot[CKPT_HEADER..CKPT_HEADER + len];
+    let stored =
+        u32::from_le_bytes(slot[CKPT_HEADER + len..CKPT_HEADER + len + 4].try_into().expect("4 bytes"));
+    if crc32(&slot[..CKPT_HEADER + len]) != stored {
+        return None;
+    }
+    Some(Checkpoint { seq, wal_offset, payload })
+}
+
+impl CheckpointStore {
+    /// An empty store charging writes to `clock`.
+    pub fn new(clock: VirtualClock) -> CheckpointStore {
+        CheckpointStore { slots: [Vec::new(), Vec::new()], clock, torn_next: false }
+    }
+
+    /// The newest valid checkpoint across both slots, if any.
+    pub fn latest(&self) -> Option<Checkpoint<'_>> {
+        let a = parse_slot(&self.slots[0]);
+        let b = parse_slot(&self.slots[1]);
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.seq >= y.seq { x } else { y }),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        }
+    }
+
+    /// Writes a new checkpoint (payload + the WAL offset replay should
+    /// start from) to the inactive slot and charges the media traffic.
+    /// Returns the new sequence number.
+    pub fn write(&mut self, wal_offset: u64, payload: &[u8]) -> u64 {
+        let latest = self.latest();
+        let seq = latest.map_or(1, |c| c.seq + 1);
+        let target = match latest {
+            Some(c) if parse_slot(&self.slots[0]).is_some_and(|s| s.seq == c.seq) => 1,
+            Some(_) => 0,
+            None => 0,
+        };
+        let mut frame = Vec::with_capacity(CKPT_HEADER + payload.len() + 4);
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(&wal_offset.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let crc = crc32_parts(&[&frame]);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        charge_bulk_write(&self.clock, frame.len());
+        if self.torn_next {
+            // simulated crash mid-checkpoint: half the frame lands
+            frame.truncate(frame.len() / 2);
+            self.torn_next = false;
+        }
+        self.slots[target] = frame;
+        seq
+    }
+
+    /// Arms a torn write: the next [`write`](CheckpointStore::write) stores
+    /// only half its frame (which then fails CRC on recovery).
+    pub fn arm_torn_write(&mut self) {
+        self.torn_next = true;
+    }
+
+    /// Rebinds the clock.
+    pub fn set_clock(&mut self, clock: VirtualClock) {
+        self.clock = clock;
+    }
+}
+
+// ---- the durable store and simulated file system ---------------------------------
+
+/// Stable storage backing one durable view: its WAL plus its checkpoint
+/// slots.
+pub struct DurableStore {
+    /// The operation log.
+    pub wal: Wal,
+    /// The double-buffered checkpoint slots.
+    pub checkpoints: CheckpointStore,
+}
+
+/// A frozen copy of a store's *stable* content — exactly what survives a
+/// power loss. Cheap to clone; the crash-injection harness snapshots one of
+/// these at every WAL record boundary.
+#[derive(Clone, Debug, Default)]
+pub struct DurableImage {
+    wal: Vec<u8>,
+    slots: [Vec<u8>; 2],
+}
+
+impl DurableImage {
+    /// The stable WAL bytes (the crash-injection harness counts the durable
+    /// record prefix off this).
+    pub fn wal_bytes(&self) -> &[u8] {
+        &self.wal
+    }
+}
+
+impl DurableStore {
+    /// An empty store charging to `clock`.
+    pub fn new(clock: VirtualClock) -> DurableStore {
+        DurableStore { wal: Wal::new(clock.clone()), checkpoints: CheckpointStore::new(clock) }
+    }
+
+    /// Snapshots the stable content (buffered WAL bytes are *not* included
+    /// — they have not been fsynced and would not survive the crash).
+    pub fn image(&self) -> DurableImage {
+        DurableImage {
+            wal: self.wal.stable_bytes().to_vec(),
+            slots: [self.checkpoints.slots[0].clone(), self.checkpoints.slots[1].clone()],
+        }
+    }
+
+    /// Rebuilds a store from a crash image, truncating any torn WAL tail.
+    pub fn from_image(img: &DurableImage, clock: VirtualClock) -> DurableStore {
+        let wal = Wal::from_stable(img.wal.clone(), clock.clone());
+        let mut checkpoints = CheckpointStore::new(clock);
+        checkpoints.slots = [img.slots[0].clone(), img.slots[1].clone()];
+        DurableStore { wal, checkpoints }
+    }
+
+    /// Rebinds both components' clocks (reopen path).
+    pub fn set_clock(&mut self, clock: VirtualClock) {
+        self.wal.set_clock(clock.clone());
+        self.checkpoints.set_clock(clock);
+    }
+}
+
+/// A tiny simulated file system: named durable stores shared behind an
+/// `Arc`, so a database session can be dropped and a later session can
+/// reopen the same "files". [`SimFs::crash`] models power loss across the
+/// whole system — only stable content survives into the new instance.
+#[derive(Clone, Default)]
+pub struct SimFs {
+    inner: Arc<Mutex<HashMap<String, Arc<Mutex<DurableStore>>>>>,
+}
+
+impl std::fmt::Debug for SimFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut paths: Vec<String> =
+            self.inner.lock().expect("simfs lock").keys().cloned().collect();
+        paths.sort();
+        f.debug_struct("SimFs").field("paths", &paths).finish()
+    }
+}
+
+impl SimFs {
+    /// An empty file system.
+    pub fn new() -> SimFs {
+        SimFs::default()
+    }
+
+    /// Opens (creating if absent) the store at `path`, rebinding its clock
+    /// to the caller's.
+    pub fn open(&self, path: &str, clock: VirtualClock) -> Arc<Mutex<DurableStore>> {
+        let mut map = self.inner.lock().expect("simfs lock");
+        let entry = map
+            .entry(path.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(DurableStore::new(clock.clone()))))
+            .clone();
+        entry.lock().expect("store lock").set_clock(clock);
+        entry
+    }
+
+    /// True when `path` holds a store with at least one valid checkpoint —
+    /// the signal the reopen flow uses to recover instead of building fresh.
+    pub fn has_checkpoint(&self, path: &str) -> bool {
+        let map = self.inner.lock().expect("simfs lock");
+        map.get(path)
+            .is_some_and(|s| s.lock().expect("store lock").checkpoints.latest().is_some())
+    }
+
+    /// Simulates power loss: a new file system holding only the stable
+    /// content of every store (fresh `Arc`s — live handles into the old
+    /// instance keep writing into the void, like a crashed process would).
+    pub fn crash(&self) -> SimFs {
+        let map = self.inner.lock().expect("simfs lock");
+        let placeholder = VirtualClock::new(CostModel::free());
+        let copied: HashMap<String, Arc<Mutex<DurableStore>>> = map
+            .iter()
+            .map(|(k, v)| {
+                let img = v.lock().expect("store lock").image();
+                (k.clone(), Arc::new(Mutex::new(DurableStore::from_image(&img, placeholder.clone()))))
+            })
+            .collect();
+        SimFs { inner: Arc::new(Mutex::new(copied)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> VirtualClock {
+        VirtualClock::new(CostModel::sata_2008())
+    }
+
+    #[test]
+    fn records_round_trip_through_sync() {
+        let mut wal = Wal::new(clock());
+        for k in 0..10u8 {
+            wal.append(k, &[k; 5]);
+        }
+        wal.sync();
+        assert_eq!(wal.stable_records(), 10);
+        let recs: Vec<_> = WalReader::new(wal.stable_bytes()).collect();
+        assert_eq!(recs.len(), 10);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64);
+            assert_eq!(r.kind, i as u8);
+            assert_eq!(r.payload, &[i as u8; 5]);
+        }
+    }
+
+    #[test]
+    fn unsynced_appends_are_not_durable() {
+        let mut wal = Wal::new(clock());
+        wal.append(1, b"synced");
+        wal.sync();
+        wal.append(2, b"lost");
+        assert_eq!(wal.stable_records(), 1);
+        assert_eq!(WalReader::new(wal.stable_bytes()).count(), 1);
+    }
+
+    #[test]
+    fn sync_charges_the_clock() {
+        let c = clock();
+        let mut wal = Wal::new(c.clone());
+        wal.append(1, &[0u8; 100]);
+        let t0 = c.now_ns();
+        wal.sync();
+        assert!(c.now_ns() > t0, "fsync must cost virtual time");
+        let t1 = c.now_ns();
+        wal.sync(); // nothing pending: free
+        assert_eq!(c.now_ns(), t1);
+    }
+
+    #[test]
+    fn armed_crash_freezes_the_stable_prefix() {
+        let mut wal = Wal::new(clock());
+        wal.arm_crash(CrashPoint::AfterRecords(3));
+        for k in 0..8u8 {
+            wal.append(0, &[k]);
+            wal.sync();
+        }
+        assert!(wal.crashed());
+        assert_eq!(wal.stable_records(), 3);
+        let recs: Vec<_> = WalReader::new(wal.stable_bytes()).collect();
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_rejected_and_truncated_on_reopen() {
+        let mut wal = Wal::new(clock());
+        wal.arm_crash(CrashPoint::TornAfterRecords(2));
+        for k in 0..5u8 {
+            wal.append(7, &[k; 9]);
+            wal.sync();
+        }
+        // the stable image has 2 whole records plus half a frame
+        let bytes = wal.stable_bytes().to_vec();
+        assert_eq!(WalReader::new(&bytes).count(), 2);
+        let reopened = Wal::from_stable(bytes.clone(), clock());
+        assert_eq!(reopened.stable_records(), 2);
+        assert!(reopened.stable_len() < bytes.len() as u64, "torn tail truncated");
+    }
+
+    #[test]
+    fn bit_flips_stop_the_reader_at_the_corrupt_record() {
+        let mut wal = Wal::new(clock());
+        for k in 0..4u8 {
+            wal.append(k, &[k; 8]);
+        }
+        wal.sync();
+        let clean: Vec<_> = WalReader::new(wal.stable_bytes())
+            .map(|r| (r.lsn, r.end_offset))
+            .collect();
+        // flip one byte inside record 2's payload
+        let mut bytes = wal.stable_bytes().to_vec();
+        let rec2_start = clean[1].1;
+        bytes[rec2_start + 14] ^= 0x40;
+        let recs: Vec<_> = WalReader::new(&bytes).collect();
+        assert_eq!(recs.len(), 2, "reader must stop at the corrupt record");
+        assert_eq!(recs.last().unwrap().lsn, 1);
+    }
+
+    #[test]
+    fn checkpoint_slots_alternate_and_survive_torn_writes() {
+        let mut cs = CheckpointStore::new(clock());
+        assert!(cs.latest().is_none());
+        cs.write(10, b"state-v1");
+        let c1 = cs.latest().unwrap();
+        assert_eq!((c1.seq, c1.wal_offset, c1.payload), (1, 10, &b"state-v1"[..]));
+        cs.write(20, b"state-v2");
+        assert_eq!(cs.latest().unwrap().payload, b"state-v2");
+        // a torn third write must leave v2 intact
+        cs.arm_torn_write();
+        cs.write(30, b"state-v3-that-never-lands");
+        let after = cs.latest().unwrap();
+        assert_eq!(after.payload, b"state-v2");
+        assert_eq!(after.seq, 2);
+        // and the next good write recovers normally
+        cs.write(40, b"state-v4");
+        assert_eq!(cs.latest().unwrap().payload, b"state-v4");
+    }
+
+    #[test]
+    fn image_snapshots_only_stable_content() {
+        let c = clock();
+        let mut store = DurableStore::new(c.clone());
+        store.wal.append(1, b"durable");
+        store.wal.sync();
+        store.wal.append(1, b"volatile");
+        store.checkpoints.write(0, b"ckpt");
+        let img = store.image();
+        let back = DurableStore::from_image(&img, c);
+        assert_eq!(back.wal.stable_records(), 1);
+        assert_eq!(back.checkpoints.latest().unwrap().payload, b"ckpt");
+    }
+
+    #[test]
+    fn simfs_crash_keeps_stable_state_only() {
+        let fs = SimFs::new();
+        let c = clock();
+        let store = fs.open("views/v", c.clone());
+        {
+            let mut s = store.lock().unwrap();
+            s.wal.append(1, b"a");
+            s.wal.sync();
+            s.wal.append(1, b"b"); // never synced
+            s.checkpoints.write(0, b"ck");
+        }
+        assert!(fs.has_checkpoint("views/v"));
+        let fs2 = fs.crash();
+        let store2 = fs2.open("views/v", c);
+        let s2 = store2.lock().unwrap();
+        assert_eq!(s2.wal.stable_records(), 1);
+        assert_eq!(s2.checkpoints.latest().unwrap().payload, b"ck");
+    }
+}

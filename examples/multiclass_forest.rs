@@ -10,7 +10,7 @@
 //! cargo run --release --example multiclass_forest
 //! ```
 
-use hazy::core::{Architecture, ClassifierView, Mode, ViewBuilder};
+use hazy::core::{Architecture, DurableClassifierView, Mode, ViewBuilder};
 use hazy::datagen::DatasetSpec;
 use hazy::learn::TrainingExample;
 
@@ -23,7 +23,7 @@ fn main() {
     println!("{} entities, {CLASSES} cover types", ds.len());
 
     // one eager Hazy-MM view per class
-    let mut views: Vec<Box<dyn ClassifierView + Send>> = (0..CLASSES)
+    let mut views: Vec<Box<dyn DurableClassifierView + Send>> = (0..CLASSES)
         .map(|_| {
             ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
                 .norm_pair(spec.norm_pair())

@@ -7,7 +7,7 @@
 //! architecture silently dropped from the build, a missing re-export) fails
 //! loudly and cheaply at the workspace level.
 
-use hazy::core::{Architecture, ClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
+use hazy::core::{Architecture, DurableClassifierView, Entity, Mode, OpOverheads, ViewBuilder};
 use hazy::learn::TrainingExample;
 use hazy::linalg::{FeatureVec, NormPair};
 
@@ -38,7 +38,7 @@ fn training_stream(n: usize) -> Vec<TrainingExample> {
         .collect()
 }
 
-fn build(arch: Architecture, mode: Mode, entities: Vec<Entity>) -> Box<dyn ClassifierView + Send> {
+fn build(arch: Architecture, mode: Mode, entities: Vec<Entity>) -> Box<dyn DurableClassifierView + Send> {
     ViewBuilder::new(arch, mode)
         .norm_pair(NormPair::EUCLIDEAN)
         .overheads(OpOverheads::free())
