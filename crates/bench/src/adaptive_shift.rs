@@ -1,0 +1,208 @@
+//! Adaptive-tuning bench: a phased read-heavy → update-heavy → read-heavy
+//! workload served by `hazy-tune`'s adaptive view against every static
+//! architecture × mode.
+//!
+//! The paper's Figure 4/5 story is that eager wins read-heavy mixes and
+//! lazy wins update-heavy ones; a workload that *shifts* therefore has no
+//! good static answer. This experiment drives the identical operation
+//! stream through all ten static configurations and through one adaptive
+//! view (starting eager hazy-mm), and reports per-phase virtual cost,
+//! the advisor's migrations, and each migration's pause. The acceptance
+//! bar (checked when run full-size): the adaptive view lands within 15%
+//! of the best static configuration in *every* phase and beats the worst
+//! static configuration end-to-end.
+
+use hazy_core::{Architecture, ClassifierView, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_learn::TrainingExample;
+use hazy_tune::{AdaptiveView, AdvisorConfig};
+
+use crate::common::{entities_of, render_table, warm_examples};
+
+/// One operation of the phased stream.
+enum Op {
+    Update(Vec<TrainingExample>),
+    Read(u64),
+    Count,
+    TopK(usize),
+    Members,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The three phases. Read-heavy: 55% single reads, 30% scans/ranked, 15%
+/// updates. Update-heavy: 85% updates, 15% reads.
+fn phases(spec: &DatasetSpec, n_entities: u64, phase_len: usize) -> Vec<Vec<Op>> {
+    let mut stream = ExampleStream::new(spec, 0xBEEF);
+    let mut r = 0x5EED_0001u64;
+    let read_heavy = |r: &mut u64, stream: &mut ExampleStream| -> Vec<Op> {
+        (0..phase_len)
+            .map(|_| match splitmix64(r) % 100 {
+                0..=54 => Op::Read(splitmix64(r) % n_entities),
+                55..=69 => Op::Count,
+                70..=77 => Op::TopK(10),
+                78..=84 => Op::Members,
+                _ => Op::Update(stream.take_vec(1)),
+            })
+            .collect()
+    };
+    let update_heavy = |r: &mut u64, stream: &mut ExampleStream| -> Vec<Op> {
+        (0..phase_len)
+            .map(|_| match splitmix64(r) % 100 {
+                0..=84 => Op::Update(stream.take_vec(2)),
+                _ => Op::Read(splitmix64(r) % n_entities),
+            })
+            .collect()
+    };
+    vec![
+        read_heavy(&mut r, &mut stream),
+        update_heavy(&mut r, &mut stream),
+        read_heavy(&mut r, &mut stream),
+    ]
+}
+
+fn apply(v: &mut dyn ClassifierView, op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+    }
+}
+
+fn run_phases(v: &mut dyn ClassifierView, phases: &[Vec<Op>]) -> Vec<u64> {
+    let mut costs = Vec::with_capacity(phases.len());
+    for phase in phases {
+        let t0 = v.clock().now_ns();
+        for op in phase {
+            apply(v, op);
+        }
+        costs.push(v.clock().now_ns() - t0);
+    }
+    costs
+}
+
+/// Runs the experiment; `quick` shrinks everything for CI smoke (and skips
+/// the acceptance assertions — at toy scale the phases are too short for
+/// the regret accounting to be meaningful).
+pub fn run(quick: bool) -> String {
+    let spec = DatasetSpec::dblife().scaled(if quick { 0.008 } else { 0.05 });
+    let ds = spec.generate();
+    let n_entities = ds.entities.len() as u64;
+    let warm = warm_examples(&spec, if quick { 300 } else { 4_000 });
+    let phase_len = if quick { 90 } else { 700 };
+    let script = phases(&spec, n_entities, phase_len);
+    let builder = |arch: Architecture, mode: Mode| {
+        ViewBuilder::new(arch, mode).norm_pair(spec.norm_pair()).dim(spec.dim)
+    };
+
+    // ---- the ten static contenders
+    let mut rows = Vec::new();
+    let mut static_costs: Vec<(String, Vec<u64>)> = Vec::new();
+    for arch in Architecture::all() {
+        for mode in [Mode::Eager, Mode::Lazy] {
+            let mut v = builder(arch, mode).build(entities_of(&ds), &warm);
+            let costs = run_phases(v.as_mut(), &script);
+            static_costs.push((format!("{} ({})", arch.name(), mode.name()), costs));
+        }
+    }
+
+    // ---- the adaptive view (starts eager hazy-mm, advisor live)
+    let cfg = AdvisorConfig { window: 8, switch_factor: 0.5, min_dwell: 2 };
+    let mut adaptive =
+        AdaptiveView::build(&builder(Architecture::HazyMem, Mode::Eager), cfg, entities_of(&ds), &warm);
+    let adaptive_costs = run_phases(&mut adaptive, &script);
+
+    // ---- report
+    for (name, costs) in &static_costs {
+        rows.push(render_row(name, costs));
+    }
+    rows.push(render_row("adaptive", &adaptive_costs));
+    let mut out = render_table(
+        "Phased workload (read-heavy / update-heavy / read-heavy), virtual ms per phase",
+        &["configuration", "phase 1", "phase 2", "phase 3", "total"],
+        &rows,
+    );
+
+    out.push_str(&format!(
+        "\nadaptive migrations: {} (ViewStats.migrations = {})\n",
+        adaptive.migration_log().len(),
+        adaptive.stats().migrations
+    ));
+    for e in adaptive.migration_log() {
+        out.push_str(&format!(
+            "  {} ({}) -> {} ({})  at {:.1} ms  pause {:.3} ms  [{}]\n",
+            e.from.0.name(),
+            e.from.1.name(),
+            e.to.0.name(),
+            e.to.1.name(),
+            e.at_ns as f64 / 1e6,
+            e.pause_ns as f64 / 1e6,
+            if e.auto { "advisor" } else { "manual" },
+        ));
+    }
+
+    // ---- acceptance: within 15% of the best static per phase, strictly
+    //      better than the worst static end-to-end
+    let mut verdicts = String::new();
+    let mut pass = true;
+    for p in 0..3 {
+        let best = static_costs.iter().map(|(_, c)| c[p]).min().unwrap();
+        let ratio = adaptive_costs[p] as f64 / best as f64;
+        let ok = ratio <= 1.15;
+        pass &= ok;
+        verdicts.push_str(&format!(
+            "phase {}: adaptive/best-static = {:.3} ({})\n",
+            p + 1,
+            ratio,
+            if ok { "PASS <= 1.15" } else { "FAIL > 1.15" }
+        ));
+    }
+    let total_adaptive: u64 = adaptive_costs.iter().sum();
+    let worst_total = static_costs.iter().map(|(_, c)| c.iter().sum::<u64>()).max().unwrap();
+    let best_total = static_costs.iter().map(|(_, c)| c.iter().sum::<u64>()).min().unwrap();
+    let end_ok = total_adaptive < worst_total;
+    pass &= end_ok;
+    verdicts.push_str(&format!(
+        "end-to-end: adaptive {:.1} ms vs best static {:.1} ms / worst static {:.1} ms ({})\n",
+        total_adaptive as f64 / 1e6,
+        best_total as f64 / 1e6,
+        worst_total as f64 / 1e6,
+        if end_ok { "PASS < worst" } else { "FAIL >= worst" }
+    ));
+    out.push('\n');
+    out.push_str(&verdicts);
+    if !quick {
+        assert!(pass, "adaptive_shift acceptance failed:\n{verdicts}");
+        assert!(
+            !adaptive.migration_log().is_empty(),
+            "the phased workload must trigger at least one migration"
+        );
+    }
+    out
+}
+
+fn render_row(name: &str, costs: &[u64]) -> Vec<String> {
+    let total: u64 = costs.iter().sum();
+    let mut row = vec![name.to_string()];
+    for c in costs {
+        row.push(format!("{:.1}", *c as f64 / 1e6));
+    }
+    row.push(format!("{:.1}", total as f64 / 1e6));
+    row
+}

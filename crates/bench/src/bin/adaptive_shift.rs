@@ -1,0 +1,5 @@
+//! Regenerates the adaptive-tuning table; see `hazy_bench::adaptive_shift`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hazy_bench::adaptive_shift::run(quick));
+}

@@ -13,6 +13,7 @@
 
 pub mod ablation_alpha;
 pub mod ablation_watermark;
+pub mod adaptive_shift;
 pub mod common;
 pub mod fig03_datasets;
 pub mod fig04_eager_update;

@@ -107,6 +107,15 @@ mod rec {
     pub const MEMBERS: u8 = 6;
     /// Ranked read.
     pub const TOPK: u8 = 7;
+    /// Live migration to another architecture × mode (an explicit
+    /// `ALTER ... SET ARCH`, logged as one **logical redo record**: replay
+    /// re-runs the whole extraction + rebuild deterministically, so a crash
+    /// can only ever land *before* the record — source architecture — or
+    /// *after* it — target architecture, never in between). Advisor-chosen
+    /// migrations need no record of their own: the advisor is a
+    /// deterministic function of the logged operation stream, so replaying
+    /// the stream re-makes the same decisions at the same rounds.
+    pub const MIGRATE: u8 = 8;
 }
 
 pub(crate) fn put_example(out: &mut Vec<u8>, ex: &TrainingExample) {
@@ -194,6 +203,14 @@ fn apply_record(
         }
         rec::TOPK => {
             let _ = view.top_k(wire::take_u64(&mut b)? as usize);
+        }
+        rec::MIGRATE => {
+            let arch = crate::view::Architecture::from_tag(wire::take_u8(&mut b)?)?;
+            let mode = crate::view::Mode::from_tag(wire::take_u8(&mut b)?)?;
+            // the result is deliberately ignored: replaying a MIGRATE
+            // against a non-adaptive view is a (deterministic) no-op, the
+            // same answer the record's original execution got
+            let _ = view.set_architecture(arch, mode);
         }
         _ => return None,
     }
@@ -442,6 +459,27 @@ impl ClassifierView for DurableView {
         self.after_op();
     }
 
+    fn set_architecture(&mut self, arch: crate::view::Architecture, mode: crate::view::Mode) -> bool {
+        // apply first, log only on success: a *rejected* ALTER (the inner
+        // view is not adaptive) must leave no durable record behind — a
+        // later recovery over the same store must not replay a migration
+        // the caller was told failed. For an accepted migration the
+        // apply-then-log order is equivalent to the classic protocol in a
+        // crash-wipes-memory model: only the durable prefix defines the
+        // recovered state, so losing the record merely un-acknowledges
+        // the migration (recovery lands in the source architecture), and
+        // a durable record deterministically replays it (target).
+        let r = self.inner.set_architecture(arch, mode);
+        if r {
+            self.log(rec::MIGRATE, |out| {
+                out.push(arch.tag());
+                out.push(mode.tag());
+            });
+            self.after_op();
+        }
+        r
+    }
+
     fn model(&self) -> &hazy_learn::LinearModel {
         self.inner.model()
     }
@@ -584,6 +622,18 @@ mod tests {
             with_replay.clock().now_ns()
         };
         assert!(image_before_final_ckpt > 0);
+    }
+
+    /// A rejected `SET ARCH` (the inner view is not adaptive) must leave
+    /// no durable record: recovery over the same store must never replay
+    /// a migration the caller was told failed.
+    #[test]
+    fn rejected_migration_leaves_no_wal_record() {
+        let (_b, mut dv) = durable_view(Architecture::NaiveMem, Mode::Eager, 0);
+        dv.update(&ex(0));
+        let before = dv.stable_records();
+        assert!(!dv.set_architecture(Architecture::HazyMem, Mode::Lazy));
+        assert_eq!(dv.stable_records(), before, "rejected ALTER wrote a record");
     }
 
     #[test]

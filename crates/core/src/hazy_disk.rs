@@ -685,6 +685,35 @@ impl ClassifierView for HazyDiskView {
     fn clock(&self) -> &VirtualClock {
         self.pool.disk().clock()
     }
+
+    fn export_migration(&mut self) -> Option<crate::MigrationState> {
+        // clustering order is irrelevant: the target re-organizes from
+        // scratch
+        Some(crate::MigrationState {
+            entities: crate::migrate::evacuate_heap(&self.heap, &mut self.pool),
+            trainer: self.trainer.clone(),
+            carry: crate::MigrationCarry {
+                skiing: Some(self.skiing.clone()),
+                stats: self.stats(),
+            },
+        })
+    }
+
+    fn adopt_migration_carry(&mut self, carry: &crate::MigrationCarry) {
+        // construction already ran the initial organization: continue the
+        // source's counters, keeping the rebuild as the most recent reorg
+        let built_reorg_ns = self.stats.last_reorg_ns;
+        self.stats = carry.stats;
+        self.stats.last_reorg_ns = built_reorg_ns;
+        self.stats.migrations += 1;
+        match &carry.skiing {
+            Some(prior) => self.skiing.carry_from(prior),
+            // naive source: no controller to carry, but the lifetime
+            // reorganization count still continues (stats() reads it off
+            // the controller for hazy architectures)
+            None => self.skiing.carry_reorg_count(carry.stats.reorgs),
+        }
+    }
 }
 
 #[cfg(test)]

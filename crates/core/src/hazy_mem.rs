@@ -18,6 +18,7 @@ use crate::cost::{charge_classify, OpOverheads};
 use crate::durable::{tag, Durable};
 use crate::entity::Entity;
 use crate::merge::merge_sorted_tail;
+use crate::migrate::{MigrationCarry, MigrationState};
 use crate::skiing::Skiing;
 use crate::stats::{MemoryFootprint, ViewStats};
 use crate::view::{ClassifierView, Mode};
@@ -558,6 +559,36 @@ impl ClassifierView for HazyMemView {
 
     fn clock(&self) -> &VirtualClock {
         &self.clock
+    }
+
+    fn export_migration(&mut self) -> Option<MigrationState> {
+        // one in-memory pass copies the population out (physical order is
+        // irrelevant — the target performs its own initial organization)
+        self.clock.charge_cpu_ops(self.data.len() as u64);
+        let entities =
+            self.data.iter().map(|t| Entity::new(t.id, t.f.clone())).collect();
+        Some(MigrationState {
+            entities,
+            trainer: self.trainer.clone(),
+            carry: MigrationCarry { skiing: Some(self.skiing.clone()), stats: self.stats() },
+        })
+    }
+
+    fn adopt_migration_carry(&mut self, carry: &MigrationCarry) {
+        // construction already ran the initial organization (stats holds
+        // its reorg accounting; skiing holds its measured S): continue the
+        // source's counters, keeping the rebuild as the most recent reorg
+        let built_reorg_ns = self.stats.last_reorg_ns;
+        self.stats = carry.stats;
+        self.stats.last_reorg_ns = built_reorg_ns;
+        self.stats.migrations += 1;
+        match &carry.skiing {
+            Some(prior) => self.skiing.carry_from(prior),
+            // naive source: no controller to carry, but the lifetime
+            // reorganization count still continues (stats() reads it off
+            // the controller for hazy architectures)
+            None => self.skiing.carry_reorg_count(carry.stats.reorgs),
+        }
     }
 }
 

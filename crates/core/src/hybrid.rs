@@ -365,6 +365,26 @@ impl ClassifierView for HybridView {
     fn clock(&self) -> &VirtualClock {
         self.inner.clock()
     }
+
+    fn export_migration(&mut self) -> Option<crate::MigrationState> {
+        // evacuate through the on-disk structure (the ε-map and buffer are
+        // derived state), but export the *hybrid's* merged counters
+        let stats = self.stats();
+        let mut state = self.inner.export_migration()?;
+        state.carry.stats = stats;
+        Some(state)
+    }
+
+    fn adopt_migration_carry(&mut self, carry: &crate::MigrationCarry) {
+        // the hybrid's read-path counters are reported from its own fields
+        // (they overwrite the inner view's at stats() time), so adopt them
+        // here; everything else continues inside the inner view
+        self.single_reads = 0;
+        self.eps_map_prunes = carry.stats.eps_map_prunes;
+        self.buffer_hits = carry.stats.buffer_hits;
+        self.disk_reads = carry.stats.disk_reads;
+        self.inner.adopt_migration_carry(carry);
+    }
 }
 
 #[cfg(test)]

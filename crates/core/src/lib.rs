@@ -36,6 +36,7 @@ mod hazy_disk;
 mod hazy_mem;
 mod hybrid;
 mod merge;
+mod migrate;
 mod multiclass_view;
 mod naive_disk;
 mod naive_mem;
@@ -54,6 +55,7 @@ pub use entity::{
     TUPLE_HEADER, TUPLE_LABEL_OFFSET,
 };
 pub use merge::merge_sorted_tail;
+pub use migrate::{MigrationCarry, MigrationState};
 pub use hazy_disk::HazyDiskView;
 pub use hazy_mem::HazyMemView;
 pub use hybrid::{HybridConfig, HybridView};

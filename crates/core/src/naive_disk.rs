@@ -298,6 +298,20 @@ impl ClassifierView for NaiveDiskView {
     fn clock(&self) -> &VirtualClock {
         self.pool.disk().clock()
     }
+
+    fn export_migration(&mut self) -> Option<crate::MigrationState> {
+        Some(crate::MigrationState {
+            entities: crate::migrate::evacuate_heap(&self.heap, &mut self.pool),
+            trainer: self.trainer.clone(),
+            carry: crate::MigrationCarry { skiing: None, stats: self.stats() },
+        })
+    }
+
+    fn adopt_migration_carry(&mut self, carry: &crate::MigrationCarry) {
+        // construction left our counters at zero: continue the source's
+        self.stats = carry.stats;
+        self.stats.migrations += 1;
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use hazy_storage::VirtualClock;
 use crate::cost::{charge_classify, OpOverheads};
 use crate::durable::{tag, Durable};
 use crate::entity::Entity;
+use crate::migrate::{MigrationCarry, MigrationState};
 use crate::stats::{MemoryFootprint, ViewStats};
 use crate::view::{ClassifierView, Mode};
 
@@ -244,6 +245,22 @@ impl ClassifierView for NaiveMemView {
 
     fn clock(&self) -> &VirtualClock {
         &self.clock
+    }
+
+    fn export_migration(&mut self) -> Option<MigrationState> {
+        // one in-memory pass copies the population out
+        self.clock.charge_cpu_ops(self.entities.len() as u64);
+        Some(MigrationState {
+            entities: self.entities.clone(),
+            trainer: self.trainer.clone(),
+            carry: MigrationCarry { skiing: None, stats: self.stats() },
+        })
+    }
+
+    fn adopt_migration_carry(&mut self, carry: &MigrationCarry) {
+        // construction left our counters at zero: continue the source's
+        self.stats = carry.stats;
+        self.stats.migrations += 1;
     }
 }
 

@@ -87,6 +87,29 @@ impl Skiing {
         }
     }
 
+    /// Adopts the history of a prior controller across a **live
+    /// migration**: the accumulated waste `a(i)`, the round count, and the
+    /// lifetime reorganization count carry over, while the reorganization
+    /// cost estimate `S` stays *this* controller's — the migration rebuild
+    /// just measured the real `S` of the new physical layout, and the old
+    /// layout's `S` says nothing about it. Carrying `a` is what makes the
+    /// strategy seamless: waste accumulated before the switch still counts
+    /// toward the next reorganization decision, exactly as if the view had
+    /// always lived in the new architecture.
+    pub fn carry_from(&mut self, prior: &Skiing) {
+        self.accumulated = prior.accumulated;
+        self.reorgs += prior.reorgs;
+        self.rounds += prior.rounds;
+    }
+
+    /// Adopts only a prior *count* of reorganizations — the migration path
+    /// from an architecture with no controller to carry (naive source), so
+    /// the lifetime [`ViewStats::reorgs`](crate::ViewStats::reorgs) history
+    /// survives a hazy → naive → hazy round trip.
+    pub fn carry_reorg_count(&mut self, prior_reorgs: u64) {
+        self.reorgs += prior_reorgs;
+    }
+
     /// Serializes the controller bit-exactly (checkpoint path). The
     /// accumulated waste and measured `S` are virtual-time floats; restoring
     /// exact bits is what makes a recovered view reorganize at exactly the

@@ -26,6 +26,11 @@ pub struct ViewStats {
     pub buffer_hits: u64,
     /// Single-entity reads that had to go to disk.
     pub disk_reads: u64,
+    /// Live migrations this view has survived (architecture/mode switches
+    /// performed by `hazy-tune`'s advisor or an explicit `ALTER ... SET
+    /// ARCH`). Carried across migrations like every other counter, so the
+    /// value is the view's lifetime total.
+    pub migrations: u64,
 }
 
 impl ViewStats {
@@ -43,6 +48,7 @@ impl ViewStats {
             self.eps_map_prunes,
             self.buffer_hits,
             self.disk_reads,
+            self.migrations,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -63,6 +69,7 @@ impl ViewStats {
             eps_map_prunes: take_u64(b)?,
             buffer_hits: take_u64(b)?,
             disk_reads: take_u64(b)?,
+            migrations: take_u64(b)?,
         })
     }
 }

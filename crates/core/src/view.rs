@@ -81,6 +81,32 @@ impl Architecture {
         }
     }
 
+    /// Stable one-byte wire tag for durable state and WAL migration
+    /// records. The values coincide with the checkpoint-blob architecture
+    /// tags, so a blob's leading byte and an `ALTER ... SET ARCH` redo
+    /// record speak the same dialect.
+    pub fn tag(self) -> u8 {
+        match self {
+            Architecture::NaiveMem => 1,
+            Architecture::HazyMem => 2,
+            Architecture::NaiveDisk => 3,
+            Architecture::HazyDisk => 4,
+            Architecture::Hybrid => 5,
+        }
+    }
+
+    /// Inverse of [`Architecture::tag`].
+    pub fn from_tag(t: u8) -> Option<Architecture> {
+        match t {
+            1 => Some(Architecture::NaiveMem),
+            2 => Some(Architecture::HazyMem),
+            3 => Some(Architecture::NaiveDisk),
+            4 => Some(Architecture::HazyDisk),
+            5 => Some(Architecture::Hybrid),
+            _ => None,
+        }
+    }
+
     /// All architectures, in the order the paper's tables list them.
     pub fn all() -> [Architecture; 5] {
         [
@@ -206,6 +232,38 @@ pub trait ClassifierView {
 
     /// The virtual clock all costs are charged to.
     fn clock(&self) -> &VirtualClock;
+
+    /// Extracts the complete **logical** state of the view for a live
+    /// migration (see [`MigrationState`](crate::MigrationState)): entities,
+    /// trainer, Skiing controller, counters. The extraction pass is charged
+    /// to the clock (a disk view pays a sequential scan to evacuate
+    /// itself). Returns `None` for views with no extraction path (wrappers
+    /// delegate; a sharded view migrates shard-by-shard instead).
+    ///
+    /// The view is conceptually consumed: callers discard it and rebuild
+    /// via [`ViewBuilder::build_migrated`].
+    fn export_migration(&mut self) -> Option<crate::MigrationState> {
+        None
+    }
+
+    /// Adopts carried control-plane state after a migration rebuild: the
+    /// lifetime counters continue (with
+    /// [`migrations`](crate::ViewStats::migrations) incremented) and, for
+    /// hazy architectures, the Skiing accumulator carries over while the
+    /// rebuild's freshly measured `S` is kept. Called exactly once, by
+    /// [`ViewBuilder::build_migrated`], immediately after construction.
+    fn adopt_migration_carry(&mut self, carry: &crate::MigrationCarry) {
+        let _ = carry;
+    }
+
+    /// Requests a live migration to `arch` × `mode`. Only adaptive wrappers
+    /// (and the layers above them: durable logging, sharded fan-out)
+    /// support this; plain architecture views return `false` — they *are*
+    /// their architecture.
+    fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
+        let _ = (arch, mode);
+        false
+    }
 }
 
 /// Builds any architecture × mode over a set of entities, with shared
@@ -338,6 +396,27 @@ impl ViewBuilder {
         self.dim
     }
 
+    /// The architecture this builder constructs.
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// The maintenance mode this builder constructs.
+    pub fn build_mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The configured buffer-pool residency fraction (the advisor's cost
+    /// models use it to predict on-disk miss rates).
+    pub fn configured_pool_frac(&self) -> f64 {
+        self.pool_frac
+    }
+
+    /// The configured per-statement overheads.
+    pub fn configured_overheads(&self) -> OpOverheads {
+        self.overheads
+    }
+
     /// Builds the view over `entities`, optionally warm-starting the model
     /// with `warm` training examples **before** the initial organization
     /// (equivalent to having processed them as updates, without paying for
@@ -397,27 +476,58 @@ impl ViewBuilder {
         for ex in warm {
             trainer.step(&ex.f, ex.y);
         }
-        match self.arch {
-            Architecture::NaiveMem => Box::new(NaiveMemView::new(
-                entities,
-                trainer,
-                clock,
-                self.overheads,
-                self.mode,
-            )),
+        self.assemble(self.arch, self.mode, entities, trainer, clock)
+    }
+
+    /// Rebuilds a view under `arch` × `mode` from the logical state a
+    /// source view exported via
+    /// [`ClassifierView::export_migration`] — the second half of a live
+    /// migration. The construction is the target's initial organization
+    /// (every tuple re-keyed and relabeled under the carried model, charged
+    /// to `clock`), after which the carried Skiing accumulator and lifetime
+    /// counters are adopted. The returned view serves **exactly** the same
+    /// answers as the source did at extraction time: both are pure
+    /// functions of the carried entities × the carried model.
+    pub fn build_migrated(
+        &self,
+        arch: Architecture,
+        mode: Mode,
+        state: crate::MigrationState,
+        clock: VirtualClock,
+    ) -> Box<dyn DurableClassifierView + Send> {
+        let crate::MigrationState { entities, trainer, carry } = state;
+        let mut view = self.assemble(arch, mode, entities, trainer, clock);
+        view.adopt_migration_carry(&carry);
+        view
+    }
+
+    /// Shared constructor dispatch: a concrete architecture × mode over a
+    /// ready-made trainer (warm-started or carried from a migration).
+    fn assemble(
+        &self,
+        arch: Architecture,
+        mode: Mode,
+        entities: Vec<Entity>,
+        trainer: hazy_learn::SgdTrainer,
+        clock: VirtualClock,
+    ) -> Box<dyn DurableClassifierView + Send> {
+        match arch {
+            Architecture::NaiveMem => {
+                Box::new(NaiveMemView::new(entities, trainer, clock, self.overheads, mode))
+            }
             Architecture::HazyMem => Box::new(HazyMemView::new(
                 entities,
                 trainer,
                 clock,
                 self.overheads,
-                self.mode,
+                mode,
                 self.pair,
                 self.policy,
                 self.alpha,
             )),
             Architecture::NaiveDisk => {
                 let pool = self.make_pool(&entities, clock);
-                Box::new(NaiveDiskView::new(entities, trainer, pool, self.overheads, self.mode))
+                Box::new(NaiveDiskView::new(entities, trainer, pool, self.overheads, mode))
             }
             Architecture::HazyDisk => {
                 let pool = self.make_pool(&entities, clock);
@@ -426,7 +536,7 @@ impl ViewBuilder {
                     trainer,
                     pool,
                     self.overheads,
-                    self.mode,
+                    mode,
                     self.pair,
                     self.policy,
                     self.alpha,
@@ -439,7 +549,7 @@ impl ViewBuilder {
                     trainer,
                     pool,
                     self.overheads,
-                    self.mode,
+                    mode,
                     self.pair,
                     self.policy,
                     self.alpha,

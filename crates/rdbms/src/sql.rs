@@ -48,6 +48,12 @@ pub struct ViewDecl {
     /// simulated file system. Re-running the declaration in a later session
     /// **recovers** the view from its durable store instead of retraining.
     pub durable: bool,
+    /// `ADAPTIVE`: wrap the engine in `hazy-tune`'s online advisor, which
+    /// samples the view's workload and live-migrates between architectures
+    /// when the regret of staying has paid for the move. `ARCHITECTURE` /
+    /// `MODE` still pick the *initial* configuration, and
+    /// `ALTER CLASSIFICATION VIEW ... SET ARCH` forces a migration by hand.
+    pub adaptive: bool,
 }
 
 /// A parsed statement.
@@ -96,6 +102,25 @@ pub enum Statement {
     /// `CHECKPOINT CLASSIFICATION VIEW name`: force a durable checkpoint
     /// now (the view must have been declared `DURABLE`).
     Checkpoint {
+        /// View name.
+        view: String,
+    },
+    /// `ALTER CLASSIFICATION VIEW name SET ARCH arch [EAGER|LAZY]`: live
+    /// migration of an `ADAPTIVE` view to the given architecture (keeping
+    /// the current mode when none is given). Zero downtime, zero
+    /// retraining; on a `DURABLE` view the migration is WAL-logged as a
+    /// redo record.
+    AlterViewArch {
+        /// View name.
+        view: String,
+        /// Target architecture name (`HAZY_MM` etc.).
+        arch: String,
+        /// Optional target mode (`EAGER`/`LAZY`).
+        mode: Option<String>,
+    },
+    /// `DROP CLASSIFICATION VIEW name`: remove the view and detach its
+    /// ingest triggers.
+    DropView {
         /// View name.
         view: String,
     },
@@ -326,7 +351,28 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         lx.done()?;
         return Ok(Statement::Checkpoint { view });
     }
-    Err(lx.err("expected CREATE, INSERT, SELECT or CHECKPOINT"))
+    if lx.eat_keyword("ALTER") {
+        lx.keyword("CLASSIFICATION")?;
+        lx.keyword("VIEW")?;
+        let view = lx.ident()?;
+        lx.keyword("SET")?;
+        lx.keyword("ARCH")?;
+        let arch = lx.ident()?;
+        let mode = match lx.peek() {
+            Some(Tok::Ident(_)) => Some(lx.ident()?),
+            _ => None,
+        };
+        lx.done()?;
+        return Ok(Statement::AlterViewArch { view, arch, mode });
+    }
+    if lx.eat_keyword("DROP") {
+        lx.keyword("CLASSIFICATION")?;
+        lx.keyword("VIEW")?;
+        let view = lx.ident()?;
+        lx.done()?;
+        return Ok(Statement::DropView { view });
+    }
+    Err(lx.err("expected CREATE, INSERT, SELECT, CHECKPOINT, ALTER or DROP"))
 }
 
 fn parse_type(lx: &mut Lexer<'_>) -> Result<ColumnType, DbError> {
@@ -394,6 +440,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     let mut mode = None;
     let mut shards = None;
     let mut durable = false;
+    let mut adaptive = false;
     loop {
         if lx.eat_keyword("USING") {
             using = Some(lx.ident()?);
@@ -409,6 +456,8 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
             shards = Some(n as u32);
         } else if lx.eat_keyword("DURABLE") {
             durable = true;
+        } else if lx.eat_keyword("ADAPTIVE") {
+            adaptive = true;
         } else {
             break;
         }
@@ -430,6 +479,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         mode,
         shards,
         durable,
+        adaptive,
     }))
 }
 
@@ -616,6 +666,43 @@ mod tests {
             parse_statement("SELECT id FROM V WHERE class = -1").unwrap(),
             Statement::SelectMembers { view: "V".into(), class: -1 }
         );
+    }
+
+    #[test]
+    fn parses_adaptive_alter_and_drop() {
+        match parse_statement(
+            "CREATE CLASSIFICATION VIEW V KEY id \
+             ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+             EXAMPLES FROM X KEY id LABEL l \
+             FEATURE FUNCTION tf_bag_of_words ADAPTIVE USING SVM",
+        )
+        .unwrap()
+        {
+            Statement::CreateView(v) => {
+                assert!(v.adaptive);
+                assert_eq!(v.using.as_deref(), Some("SVM"));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+        assert_eq!(
+            parse_statement("ALTER CLASSIFICATION VIEW V SET ARCH NAIVE_MM LAZY").unwrap(),
+            Statement::AlterViewArch {
+                view: "V".into(),
+                arch: "NAIVE_MM".into(),
+                mode: Some("LAZY".into()),
+            }
+        );
+        assert_eq!(
+            parse_statement("ALTER CLASSIFICATION VIEW V SET ARCH HYBRID;").unwrap(),
+            Statement::AlterViewArch { view: "V".into(), arch: "HYBRID".into(), mode: None }
+        );
+        assert_eq!(
+            parse_statement("DROP CLASSIFICATION VIEW V").unwrap(),
+            Statement::DropView { view: "V".into() }
+        );
+        assert!(parse_statement("ALTER CLASSIFICATION VIEW V SET ARCH").is_err());
+        assert!(parse_statement("ALTER CLASSIFICATION VIEW V ARCH HYBRID").is_err());
+        assert!(parse_statement("DROP CLASSIFICATION VIEW").is_err());
     }
 
     #[test]

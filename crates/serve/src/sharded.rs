@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use hazy_core::{
-    ClassifierView, CoreRestorer, Durable, DurableClassifierView, Entity, MemoryFootprint, Mode,
-    ViewBuilder, ViewRestorer, ViewStats, SHARDED_VIEW_TAG,
+    Architecture, ClassifierView, CoreRestorer, Durable, DurableClassifierView, Entity,
+    MemoryFootprint, Mode, ViewBuilder, ViewRestorer, ViewStats, SHARDED_VIEW_TAG,
 };
 use hazy_learn::{Label, LinearModel, TrainingExample};
 use hazy_linalg::wire;
@@ -97,7 +97,6 @@ pub fn shard_of(id: u64, n_shards: usize) -> usize {
 pub struct ShardedView {
     shards: Vec<Shard>,
     clock: VirtualClock,
-    mode: Mode,
     /// Clone of the replicated model, refreshed by the `&mut` trait-side
     /// mutations so [`ClassifierView::model`] can hand out a reference.
     /// `&self`-world writers (the handles, the workload pool) cannot touch
@@ -124,6 +123,34 @@ impl ShardedView {
         entities: Vec<Entity>,
         warm: &[TrainingExample],
     ) -> ShardedView {
+        ShardedView::build_with(builder, n_shards, entities, warm, |b, part, warm, clock| {
+            b.build_with_clock(part, warm, clock)
+        })
+    }
+
+    /// Like [`build`](ShardedView::build), but each shard's engine comes
+    /// from `make_shard` instead of the builder's plain construction path —
+    /// the hook `hazy-tune` uses to wrap every shard in an `AdaptiveView`,
+    /// so shards observe their own workloads and **migrate independently**
+    /// under their writer-priority locks.
+    ///
+    /// # Panics
+    /// Panics when `n_shards` is 0.
+    pub fn build_with<F>(
+        builder: &ViewBuilder,
+        n_shards: usize,
+        entities: Vec<Entity>,
+        warm: &[TrainingExample],
+        make_shard: F,
+    ) -> ShardedView
+    where
+        F: Fn(
+            &ViewBuilder,
+            Vec<Entity>,
+            &[TrainingExample],
+            VirtualClock,
+        ) -> Box<dyn DurableClassifierView + Send>,
+    {
         assert!(n_shards > 0, "a sharded view needs at least one shard");
         let mut builder = builder.clone();
         if builder.configured_dim() == 0 {
@@ -137,13 +164,10 @@ impl ShardedView {
         let clock = builder.new_clock();
         let shards: Vec<Shard> = parts
             .into_iter()
-            .map(|part| Shard::new(builder.build_with_clock(part, warm, clock.clone())))
+            .map(|part| Shard::new(make_shard(&builder, part, warm, clock.clone())))
             .collect();
-        let (mode, model_cache) = {
-            let shard0 = shards[0].lock_read();
-            (shard0.mode(), shard0.model().clone())
-        };
-        ShardedView { shards, clock, mode, model_cache }
+        let model_cache = shards[0].lock_read().model().clone();
+        ShardedView { shards, clock, model_cache }
     }
 
     /// Number of shards.
@@ -261,6 +285,10 @@ impl ShardedView {
             agg.eps_map_prunes += s.eps_map_prunes;
             agg.buffer_hits += s.buffer_hits;
             agg.disk_reads += s.disk_reads;
+            // migrations are genuinely per-shard events (each shard's
+            // advisor decides on its own traffic), so the sum is the
+            // deployment's true migration count
+            agg.migrations += s.migrations;
         }
         agg
     }
@@ -339,6 +367,19 @@ impl ShardedView {
         b: &mut &[u8],
         clock: VirtualClock,
     ) -> Option<ShardedView> {
+        ShardedView::restore_state_with(builder, b, clock, &CoreRestorer)
+    }
+
+    /// Like [`restore_state`](ShardedView::restore_state), but each shard
+    /// blob is decoded by `shard_restorer` instead of the core
+    /// architecture dispatcher — the hook that lets `hazy-tune` recover
+    /// sharded views whose shards are adaptive wrappers.
+    pub fn restore_state_with(
+        builder: &ViewBuilder,
+        b: &mut &[u8],
+        clock: VirtualClock,
+        shard_restorer: &dyn ViewRestorer,
+    ) -> Option<ShardedView> {
         let n = wire::take_u32(b)? as usize;
         if n == 0 {
             return None;
@@ -347,17 +388,14 @@ impl ShardedView {
         for _ in 0..n {
             let len = wire::take_u64(b)? as usize;
             let mut blob = wire::take_bytes(b, len)?;
-            let view = builder.restore_unsharded(&mut blob, clock.clone())?;
+            let view = shard_restorer.restore(builder, &mut blob, clock.clone())?;
             if !blob.is_empty() {
                 return None;
             }
             shards.push(Shard::new(view));
         }
-        let (mode, model_cache) = {
-            let shard0 = shards[0].lock_read();
-            (shard0.mode(), shard0.model().clone())
-        };
-        Some(ShardedView { shards, clock, mode, model_cache })
+        let model_cache = shards[0].lock_read().model().clone();
+        Some(ShardedView { shards, clock, model_cache })
     }
 
     /// Recovers a sharded view from the newest valid checkpoint in `store`
@@ -427,7 +465,9 @@ impl ClassifierView for ShardedView {
     }
 
     fn mode(&self) -> Mode {
-        self.mode
+        // read live from shard 0: adaptive shards can change mode at any
+        // round, so a build-time cache would go stale
+        self.lock_shard_read(0).mode()
     }
 
     fn update(&mut self, ex: &TrainingExample) {
@@ -466,6 +506,18 @@ impl ClassifierView for ShardedView {
 
     fn insert_entity(&mut self, e: Entity) {
         self.route_insert_entity(e);
+    }
+
+    fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
+        // an explicit ALTER retargets the whole deployment: every shard
+        // migrates, one writer-priority lock at a time, so reads keep being
+        // served on the other N−1 shards while each shard rebuilds — the
+        // zero-downtime property of shard-granular migration
+        let mut all = true;
+        for s in 0..self.shards.len() {
+            all &= self.lock_shard_write(s).set_architecture(arch, mode);
+        }
+        all
     }
 
     fn model(&self) -> &LinearModel {

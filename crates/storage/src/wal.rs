@@ -508,6 +508,15 @@ impl SimFs {
             .is_some_and(|s| s.lock().expect("store lock").checkpoints.latest().is_some())
     }
 
+    /// Removes the store at `path`, returning whether one existed — the
+    /// DROP flow: a dropped durable view's WAL + checkpoints must not
+    /// resurrect a later view created under the same name. Live handles
+    /// into the removed store keep writing into the detached object, like
+    /// unlinking a file under an open descriptor.
+    pub fn remove(&self, path: &str) -> bool {
+        self.inner.lock().expect("simfs lock").remove(path).is_some()
+    }
+
     /// Simulates power loss: a new file system holding only the stable
     /// content of every store (fresh `Arc`s — live handles into the old
     /// instance keep writing into the void, like a crashed process would).

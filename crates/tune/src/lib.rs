@@ -1,0 +1,104 @@
+//! hazy-tune: an online workload advisor with zero-downtime live migration
+//! between classification-view architectures.
+//!
+//! The paper's central experimental finding is that **no architecture wins
+//! everywhere** (Section 4): eager maintenance dominates read-heavy mixes,
+//! lazy dominates update-heavy ones, and main-memory vs. on-disk follows
+//! the storage hierarchy. A `CREATE CLASSIFICATION VIEW` statement freezes
+//! that choice at DDL time — but the workload that decides it is only
+//! observable *online*, the same information structure that makes
+//! reorganization scheduling a ski-rental problem (Section 3.3). This crate
+//! closes the loop one level above Skiing:
+//!
+//! * [`Advisor`] samples each view's operation mix and per-operation
+//!   virtual cost over fixed windows, fits the per-architecture cost
+//!   models to the window (analytic predictions built from the same
+//!   latency constants the virtual clock charges, corrected by a
+//!   calibration ratio measured on the live configuration), and applies a
+//!   ski-rental switching rule: migrate once the regret of staying has
+//!   paid for the move.
+//! * [`AdaptiveView`] wraps any of the five architectures behind the
+//!   ordinary [`ClassifierView`] facade and performs the **live
+//!   migration**: the engine exports its logical state (entities, trainer
+//!   bits, Skiing accumulator, lifetime counters), a new engine of the
+//!   target architecture × mode is built from it on the same virtual
+//!   clock, and serving resumes — zero retraining, zero wrong answers.
+//! * Durability composes outside-in: `DurableView<AdaptiveView>` logs an
+//!   explicit `ALTER ... SET ARCH` as one logical **redo record**, while
+//!   advisor-ordered migrations are *replayed*, not logged — the advisor
+//!   is a deterministic function of the logged operation stream, so a
+//!   crash at any WAL boundary recovers to exactly the source or exactly
+//!   the target architecture ([`TuneRestorer`] decodes the checkpoint
+//!   blobs).
+//! * Sharding composes through [`build_sharded_adaptive`]: every shard of
+//!   a `hazy-serve` deployment gets its own advisor and migrates
+//!   **independently** under its writer-priority lock, so the other
+//!   `N − 1` shards keep serving while one rebuilds — the zero-downtime
+//!   property at deployment scale.
+//!
+//! [`ClassifierView`]: hazy_core::ClassifierView
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod advisor;
+
+pub use adaptive::{AdaptiveView, ADAPTIVE_VIEW_TAG};
+pub use advisor::{
+    config_index, Advisor, AdvisorConfig, MigrationEvent, OpKind, WindowCtx, CONFIGS,
+};
+
+use hazy_core::{
+    CoreRestorer, DurableClassifierView, Entity, ViewBuilder, ViewRestorer, SHARDED_VIEW_TAG,
+};
+use hazy_learn::TrainingExample;
+use hazy_linalg::wire;
+use hazy_serve::ShardedView;
+use hazy_storage::VirtualClock;
+
+/// Builds a sharded deployment whose shards are each wrapped in an
+/// [`AdaptiveView`]: every shard samples its *own* traffic and migrates
+/// independently under its writer-priority lock.
+///
+/// # Panics
+/// Panics when `n_shards` is 0.
+pub fn build_sharded_adaptive(
+    builder: &ViewBuilder,
+    cfg: AdvisorConfig,
+    n_shards: usize,
+    entities: Vec<Entity>,
+    warm: &[TrainingExample],
+) -> ShardedView {
+    ShardedView::build_with(builder, n_shards, entities, warm, |b, part, warm, clock| {
+        Box::new(AdaptiveView::build_with_clock(b, cfg, part, warm, clock))
+    })
+}
+
+/// Restorer that recognizes adaptive checkpoint blobs (including adaptive
+/// shards nested inside sharded blobs) and delegates plain architectures to
+/// [`CoreRestorer`] — pass this wherever recovery might meet a view built
+/// `ADAPTIVE` or `SHARDS n`.
+pub struct TuneRestorer;
+
+impl ViewRestorer for TuneRestorer {
+    fn restore(
+        &self,
+        builder: &ViewBuilder,
+        bytes: &mut &[u8],
+        clock: VirtualClock,
+    ) -> Option<Box<dyn DurableClassifierView + Send>> {
+        match bytes.first() {
+            Some(&ADAPTIVE_VIEW_TAG) => {
+                wire::take_u8(bytes)?;
+                Some(Box::new(AdaptiveView::restore_state(builder, bytes, clock)?))
+            }
+            Some(&SHARDED_VIEW_TAG) => {
+                wire::take_u8(bytes)?;
+                // shards restore through *this* restorer, so adaptive
+                // shards round-trip
+                Some(Box::new(ShardedView::restore_state_with(builder, bytes, clock, self)?))
+            }
+            _ => CoreRestorer.restore(builder, bytes, clock),
+        }
+    }
+}

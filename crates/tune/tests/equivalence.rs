@@ -1,0 +1,323 @@
+//! Migration equivalence: migrating an adaptive view at an arbitrary point
+//! of a random operation script must be **observationally invisible**. For
+//! every source→target architecture pair (all 25, eager and lazy), the
+//! migrated view's `classify` / `scan_positive` / `top_k` answers and its
+//! model bits must match a never-migrated oracle of the *target*
+//! architecture fed the exact same operations from the start.
+//!
+//! Why this is the right oracle: classification answers are a pure function
+//! of (entities, model), and the model is a pure function of the example
+//! stream — migration carries the trainer bit-exactly and rebuilds only
+//! physical layout, so a correct migration leaves no trace the oracle could
+//! disagree with.
+
+use hazy_core::{
+    Architecture, ClassifierView, DurableClassifierView, Entity, Mode, OpOverheads, ViewBuilder,
+};
+use hazy_learn::TrainingExample;
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_tune::{AdaptiveView, AdvisorConfig};
+
+const N_ENTITIES: usize = 60;
+const SCRIPT_OPS: usize = 160;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Read(u64),
+    Count,
+    Members,
+    TopK(usize),
+    Reorg,
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x7E57_0001u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+fn script(seed: u64) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x00AD_0A57_0000_0001;
+    let mut population: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut next_id = 10_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    for _ in 0..SCRIPT_OPS {
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 45 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 53 {
+            let e = Entity::new(next_id, feature(&mut r));
+            next_id += 1;
+            population.push(e.id);
+            Op::Insert(e)
+        } else if roll < 78 {
+            let idx = (splitmix64(&mut r) as usize) % population.len();
+            Op::Read(population[idx])
+        } else if roll < 86 {
+            Op::Count
+        } else if roll < 93 {
+            Op::Members
+        } else if roll < 98 {
+            Op::TopK(1 + (splitmix64(&mut r) % 9) as usize)
+        } else {
+            Op::Reorg
+        };
+        ops.push(op);
+    }
+    (ops, population)
+}
+
+fn apply(v: &mut dyn ClassifierView, op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Insert(e) => v.insert_entity(e.clone()),
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::Reorg => v.reorganize(),
+    }
+}
+
+fn builder(arch: Architecture, mode: Mode) -> ViewBuilder {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3)
+}
+
+fn assert_same_answers(
+    migrated: &mut dyn ClassifierView,
+    oracle: &mut (dyn DurableClassifierView + Send),
+    population: &[u64],
+    ctx: &str,
+) {
+    // model bits first: the strongest claim (no retraining, no drift)
+    let (ma, mb) = (migrated.model().clone(), oracle.model().clone());
+    assert_eq!(ma.b.to_bits(), mb.b.to_bits(), "{ctx}: model bias diverged");
+    for (i, (x, y)) in ma.w.to_vec().iter().zip(mb.w.to_vec().iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+    assert_eq!(migrated.entity_count(), oracle.entity_count(), "{ctx}: entity_count");
+    assert_eq!(migrated.count_positive(), oracle.count_positive(), "{ctx}: count_positive");
+    let mut got = migrated.positive_ids();
+    let mut want = oracle.positive_ids();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "{ctx}: scan_positive");
+    let gk = migrated.top_k(9);
+    let wk = oracle.top_k(9);
+    assert_eq!(gk.len(), wk.len(), "{ctx}: top_k length");
+    for ((ia, sa), (ib, sb)) in gk.iter().zip(wk.iter()) {
+        assert_eq!(ia, ib, "{ctx}: top_k order");
+        assert_eq!(sa.to_bits(), sb.to_bits(), "{ctx}: top_k margin");
+    }
+    for &id in population {
+        assert_eq!(migrated.read_single(id), oracle.read_single(id), "{ctx}: classify({id})");
+    }
+    assert_eq!(migrated.read_single(u64::MAX - 3), None, "{ctx}: ghost id");
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+fn run_pair(src: Architecture, dst: Architecture, mode: Mode) {
+    let seed = seed();
+    let (ops, population) = script(seed);
+    // migration point: somewhere strictly inside the script, seed-dependent
+    let p = 20 + (seed as usize * 37) % (SCRIPT_OPS - 40);
+    let ctx = format!("{}→{}/{}/seed={seed}@{p}", src.name(), dst.name(), mode.name());
+
+    // the subject: an adaptive view starting as `src`, manual advisor (the
+    // test controls the single migration; advisor-chosen migrations get
+    // their own coverage in `advisor_migrations_preserve_answers`)
+    let mut adaptive =
+        AdaptiveView::build(&builder(src, mode), AdvisorConfig::manual(), base_entities(), &[]);
+    // the oracle: a never-migrated plain view of the *target* architecture
+    let mut oracle = builder(dst, mode).build(base_entities(), &[]);
+
+    for op in &ops[..p] {
+        apply(&mut adaptive, op);
+        apply(oracle.as_mut(), op);
+    }
+    assert!(adaptive.set_architecture(dst, mode), "{ctx}: migration refused");
+    assert_eq!(adaptive.architecture(), dst, "{ctx}: architecture after migration");
+    assert_same_answers(&mut adaptive, oracle.as_mut(), &population, &format!("{ctx}/at-switch"));
+    for op in &ops[p..] {
+        apply(&mut adaptive, op);
+        apply(oracle.as_mut(), op);
+    }
+    assert_same_answers(&mut adaptive, oracle.as_mut(), &population, &format!("{ctx}/end"));
+    if src != dst {
+        assert_eq!(adaptive.stats().migrations, 1, "{ctx}: exactly one migration");
+        assert_eq!(adaptive.migration_log().len(), 1, "{ctx}: one logged event");
+        assert!(!adaptive.migration_log()[0].auto, "{ctx}: manual event");
+    }
+}
+
+macro_rules! pair_matrix {
+    ($($name:ident => ($src:expr, $dst:expr);)*) => {
+        $(
+            mod $name {
+                use super::*;
+                #[test]
+                fn eager() {
+                    run_pair($src, $dst, Mode::Eager);
+                }
+                #[test]
+                fn lazy() {
+                    run_pair($src, $dst, Mode::Lazy);
+                }
+            }
+        )*
+    };
+}
+
+use Architecture::{HazyDisk, HazyMem, Hybrid, NaiveDisk, NaiveMem};
+
+pair_matrix! {
+    naive_mem_to_naive_mem => (NaiveMem, NaiveMem);
+    naive_mem_to_hazy_mem => (NaiveMem, HazyMem);
+    naive_mem_to_naive_disk => (NaiveMem, NaiveDisk);
+    naive_mem_to_hazy_disk => (NaiveMem, HazyDisk);
+    naive_mem_to_hybrid => (NaiveMem, Hybrid);
+    hazy_mem_to_naive_mem => (HazyMem, NaiveMem);
+    hazy_mem_to_hazy_mem => (HazyMem, HazyMem);
+    hazy_mem_to_naive_disk => (HazyMem, NaiveDisk);
+    hazy_mem_to_hazy_disk => (HazyMem, HazyDisk);
+    hazy_mem_to_hybrid => (HazyMem, Hybrid);
+    naive_disk_to_naive_mem => (NaiveDisk, NaiveMem);
+    naive_disk_to_hazy_mem => (NaiveDisk, HazyMem);
+    naive_disk_to_naive_disk => (NaiveDisk, NaiveDisk);
+    naive_disk_to_hazy_disk => (NaiveDisk, HazyDisk);
+    naive_disk_to_hybrid => (NaiveDisk, Hybrid);
+    hazy_disk_to_naive_mem => (HazyDisk, NaiveMem);
+    hazy_disk_to_hazy_mem => (HazyDisk, HazyMem);
+    hazy_disk_to_naive_disk => (HazyDisk, NaiveDisk);
+    hazy_disk_to_hazy_disk => (HazyDisk, HazyDisk);
+    hazy_disk_to_hybrid => (HazyDisk, Hybrid);
+    hybrid_to_naive_mem => (Hybrid, NaiveMem);
+    hybrid_to_hazy_mem => (Hybrid, HazyMem);
+    hybrid_to_naive_disk => (Hybrid, NaiveDisk);
+    hybrid_to_hazy_disk => (Hybrid, HazyDisk);
+    hybrid_to_hybrid => (Hybrid, Hybrid);
+}
+
+/// A cross-mode migration (eager→lazy and lazy→eager) is equally
+/// invisible: the oracle runs the target mode from the start.
+#[test]
+fn cross_mode_migrations_match_target_mode_oracle() {
+    for (src_mode, dst_mode) in [(Mode::Eager, Mode::Lazy), (Mode::Lazy, Mode::Eager)] {
+        let (ops, population) = script(seed());
+        let p = SCRIPT_OPS / 2;
+        let mut adaptive = AdaptiveView::build(
+            &builder(HazyMem, src_mode),
+            AdvisorConfig::manual(),
+            base_entities(),
+            &[],
+        );
+        let mut oracle = builder(HazyDisk, dst_mode).build(base_entities(), &[]);
+        for op in &ops[..p] {
+            apply(&mut adaptive, op);
+            apply(oracle.as_mut(), op);
+        }
+        assert!(adaptive.set_architecture(HazyDisk, dst_mode));
+        for op in &ops[p..] {
+            apply(&mut adaptive, op);
+            apply(oracle.as_mut(), op);
+        }
+        let ctx = format!("{:?}→{:?}", src_mode, dst_mode);
+        assert_same_answers(&mut adaptive, oracle.as_mut(), &population, &ctx);
+    }
+}
+
+/// Lifetime counters survive a hazy → naive → hazy round trip: the naive
+/// stop has no Skiing controller to carry, but the reorganization history
+/// must not be erased by the second hop.
+#[test]
+fn reorg_history_survives_a_naive_stopover() {
+    let (ops, _) = script(seed());
+    let mut adaptive = AdaptiveView::build(
+        &builder(HazyMem, Mode::Eager),
+        AdvisorConfig::manual(),
+        base_entities(),
+        &[],
+    );
+    for op in &ops {
+        apply(&mut adaptive, op);
+    }
+    let before = adaptive.stats();
+    assert!(before.reorgs > 0, "script must have reorganized at least once");
+    assert!(adaptive.set_architecture(NaiveMem, Mode::Eager));
+    assert_eq!(adaptive.stats().reorgs, before.reorgs, "naive hop keeps the count");
+    assert!(adaptive.set_architecture(HazyDisk, Mode::Eager));
+    // the second hop's rebuild is itself one reorganization of the new
+    // layout, on top of the carried lifetime history
+    assert_eq!(adaptive.stats().reorgs, before.reorgs + 1, "history survives the return");
+    assert_eq!(adaptive.stats().migrations, 2);
+}
+
+/// With the advisor live (auto migrations at its own chosen rounds), the
+/// served answers still always match a ground-truth oracle — wrong answers
+/// during or after *any* migration would surface here.
+#[test]
+fn advisor_migrations_preserve_answers() {
+    let (ops, population) = script(seed());
+    let cfg = AdvisorConfig { window: 16, switch_factor: 0.5, min_dwell: 1 };
+    let mut adaptive =
+        AdaptiveView::build(&builder(HazyMem, Mode::Eager), cfg, base_entities(), &[]);
+    // oracle of the *starting* configuration: answers are architecture-
+    // independent, so it stays valid no matter where the advisor goes
+    let mut oracle = builder(HazyMem, Mode::Eager).build(base_entities(), &[]);
+    for (i, op) in ops.iter().enumerate() {
+        apply(&mut adaptive, op);
+        apply(oracle.as_mut(), op);
+        if i % 40 == 0 {
+            assert_eq!(
+                adaptive.count_positive(),
+                oracle.count_positive(),
+                "count at op {i} (arch {:?})",
+                adaptive.architecture()
+            );
+            oracle.reorganize();
+            adaptive.reorganize();
+        }
+    }
+    assert_same_answers(&mut adaptive, oracle.as_mut(), &population, "advisor-live");
+    for e in adaptive.migration_log() {
+        assert!(e.auto, "only advisor migrations ran");
+        assert!(e.pause_ns > 0, "migration pause is charged to the clock");
+    }
+}

@@ -1,0 +1,327 @@
+//! Crash-injection differential suite for **live migrations** — the
+//! migration extension of `hazy-core`'s `crash_recovery.rs` archetype.
+//!
+//! A random operation script with explicit `SET ARCH` statements (and, in
+//! one configuration, a live advisor ordering its own migrations) runs
+//! against a durable adaptive view; a crash image is captured at **every
+//! WAL record boundary**, including the boundaries immediately before and
+//! after each migration redo record — the only boundaries that exist
+//! "inside" a migration, because a migration is logged as a single logical
+//! redo record and applied atomically in memory. Recovery from every image
+//! must land in **exactly one of {source architecture, target
+//! architecture}** — source when the record is not yet durable, target
+//! when it is — with bit-identical stats and model, and correct answers.
+//!
+//! Advisor-ordered migrations have no record of their own: the advisor is
+//! a deterministic function of the logged operation stream, so replay
+//! re-makes the same decisions. The differential against an uncrashed
+//! oracle proves exactly that.
+//!
+//! The crash seed comes from `HAZY_CRASH_SEED` (CI runs a seed matrix).
+
+use std::sync::{Arc, Mutex};
+
+use hazy_core::{
+    Architecture, ClassifierView, DurableView, Entity, Mode, OpOverheads, ViewBuilder,
+};
+use hazy_learn::TrainingExample;
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_storage::{DurableImage, DurableStore, WalReader};
+use hazy_tune::{AdaptiveView, AdvisorConfig, TuneRestorer};
+
+const SCRIPT_OPS: usize = 220;
+const CKPT_INTERVAL: u64 = 32;
+const N_ENTITIES: usize = 48;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Read(u64),
+    Count,
+    Members,
+    TopK(usize),
+    SetArch(Architecture, Mode),
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x00E1_7A22u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+/// A script with two explicit migrations: src→dst at one third, dst→src at
+/// two thirds, so crash boundaries bracket records of both directions.
+fn script(
+    seed: u64,
+    src: (Architecture, Mode),
+    dst: (Architecture, Mode),
+) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x0C4A_5147_0000_0001;
+    let mut population: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut next_id = 20_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    for i in 0..SCRIPT_OPS {
+        if i == SCRIPT_OPS / 3 {
+            ops.push(Op::SetArch(dst.0, dst.1));
+            continue;
+        }
+        if i == 2 * SCRIPT_OPS / 3 {
+            ops.push(Op::SetArch(src.0, src.1));
+            continue;
+        }
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 45 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 53 {
+            let e = Entity::new(next_id, feature(&mut r));
+            next_id += 1;
+            population.push(e.id);
+            Op::Insert(e)
+        } else if roll < 80 {
+            let idx = (splitmix64(&mut r) as usize) % population.len();
+            Op::Read(population[idx])
+        } else if roll < 88 {
+            Op::Count
+        } else if roll < 95 {
+            Op::Members
+        } else {
+            Op::TopK(1 + (splitmix64(&mut r) % 7) as usize)
+        };
+        ops.push(op);
+    }
+    (ops, population)
+}
+
+fn apply(v: &mut dyn ClassifierView, op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Insert(e) => v.insert_entity(e.clone()),
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::SetArch(a, m) => {
+            assert!(v.set_architecture(*a, *m), "migration path must exist");
+        }
+    }
+}
+
+fn builder(arch: Architecture, mode: Mode) -> ViewBuilder {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3)
+}
+
+fn adaptive(b: &ViewBuilder, cfg: AdvisorConfig) -> AdaptiveView {
+    AdaptiveView::build(b, cfg, base_entities(), &[])
+}
+
+fn assert_models_bit_identical(
+    a: &hazy_learn::LinearModel,
+    b: &hazy_learn::LinearModel,
+    ctx: &str,
+) {
+    assert_eq!(a.b.to_bits(), b.b.to_bits(), "{ctx}: bias diverged");
+    for (i, (x, y)) in a.w.to_vec().iter().zip(b.w.to_vec().iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+}
+
+fn assert_answers_match(
+    recovered: &mut dyn ClassifierView,
+    probe: &mut dyn ClassifierView,
+    population: &[u64],
+    ctx: &str,
+) {
+    assert_eq!(recovered.count_positive(), probe.count_positive(), "{ctx}: count_positive");
+    let mut got = recovered.positive_ids();
+    let mut want = probe.positive_ids();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "{ctx}: scan_positive");
+    let rk = recovered.top_k(5);
+    let pk = probe.top_k(5);
+    assert_eq!(rk, pk, "{ctx}: top_k");
+    for &id in population.iter().step_by(3) {
+        assert_eq!(recovered.read_single(id), probe.read_single(id), "{ctx}: classify({id})");
+    }
+}
+
+/// The full differential walk for one (source, target, advisor) config.
+fn run_config(src: (Architecture, Mode), dst: (Architecture, Mode), cfg: AdvisorConfig) {
+    let seed = seed();
+    let (ops, population) = script(seed, src, dst);
+    let b = builder(src.0, src.1);
+    let ctx_base = format!(
+        "{}/{}→{}/{}/auto={}/seed={seed}",
+        src.0.name(),
+        src.1.name(),
+        dst.0.name(),
+        dst.1.name(),
+        cfg.window > 0
+    );
+
+    // ---- the durable run: capture a crash image at every record boundary
+    let inner = adaptive(&b, cfg);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let mut dv = DurableView::create(Box::new(inner), store, CKPT_INTERVAL);
+    let mut images: Vec<DurableImage> = Vec::with_capacity(ops.len() + 1);
+    images.push(dv.durable_image());
+    for op in &ops {
+        apply(&mut dv, op);
+        images.push(dv.durable_image());
+    }
+
+    // ---- oracles, advanced as the crash boundary walks forward
+    let mut clean = adaptive(&b, cfg);
+    let mut probe = adaptive(&b, cfg);
+    let mut applied = 0usize;
+    let valid = [
+        format!("durable adaptive {} ({})", src.0.name(), src.1.name()),
+        format!("durable adaptive {} ({})", dst.0.name(), dst.1.name()),
+    ];
+
+    for (boundary, image) in images.iter().enumerate() {
+        let durable_ops = WalReader::new(image.wal_bytes()).count();
+        assert_eq!(durable_ops, boundary, "{ctx_base}: one WAL record per op");
+        while applied < durable_ops {
+            apply(&mut clean, &ops[applied]);
+            apply(&mut probe, &ops[applied]);
+            applied += 1;
+        }
+        let mut recovered = DurableView::recover_image(&b, image, CKPT_INTERVAL, &TuneRestorer)
+            .unwrap_or_else(|e| panic!("{ctx_base}: recovery at boundary {boundary} failed: {e}"));
+        let ctx = format!("{ctx_base}@{boundary}");
+        // 1. the acceptance property: recovery lands in exactly one of
+        //    {source arch, target arch} — and, stronger, in precisely the
+        //    configuration the uncrashed oracle is in at this boundary
+        let desc = recovered.describe();
+        if cfg.window == 0 {
+            assert!(
+                valid.contains(&desc),
+                "{ctx}: recovered into {desc:?}, not source or target"
+            );
+        }
+        assert_eq!(desc, format!("durable {}", clean.describe()), "{ctx}: architecture");
+        // 2. bit-identical control state
+        assert_eq!(recovered.stats(), clean.stats(), "{ctx}: ViewStats diverged");
+        assert_models_bit_identical(recovered.model(), clean.model(), &ctx);
+        // 3. answers (full sweep on a sample of boundaries, always at the
+        //    boundaries adjacent to the two migration records)
+        let near_migration = (boundary as i64 - (SCRIPT_OPS as i64 / 3 + 1)).abs() <= 1
+            || (boundary as i64 - (2 * SCRIPT_OPS as i64 / 3 + 1)).abs() <= 1;
+        if near_migration || boundary % 13 == 0 || boundary == images.len() - 1 {
+            assert_answers_match(&mut recovered, &mut probe, &population, &ctx);
+        }
+    }
+    assert_eq!(applied, ops.len(), "{ctx_base}: script fully replayed");
+}
+
+macro_rules! migration_crash_matrix {
+    ($($name:ident => ($src:expr, $dst:expr);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_config($src, $dst, AdvisorConfig::manual());
+            }
+        )*
+    };
+}
+
+use Architecture::{HazyDisk, HazyMem, Hybrid, NaiveDisk, NaiveMem};
+
+migration_crash_matrix! {
+    mem_to_disk_eager => ((HazyMem, Mode::Eager), (HazyDisk, Mode::Eager));
+    disk_to_mem_lazy => ((HazyDisk, Mode::Lazy), (HazyMem, Mode::Lazy));
+    naive_to_hazy_cross_mode => ((NaiveMem, Mode::Eager), (HazyMem, Mode::Lazy));
+    hazy_to_naive_disk => ((HazyMem, Mode::Eager), (NaiveDisk, Mode::Eager));
+    hybrid_round_trip_lazy => ((Hybrid, Mode::Lazy), (HazyMem, Mode::Lazy));
+    disk_to_hybrid_eager => ((NaiveDisk, Mode::Eager), (Hybrid, Mode::Eager));
+}
+
+/// With the advisor live, migrations happen at rounds the test does not
+/// choose — and recovery must still replay them identically (the advisor
+/// is deterministic over the logged stream).
+#[test]
+fn advisor_ordered_migrations_recover_deterministically() {
+    run_config(
+        (HazyMem, Mode::Eager),
+        (NaiveMem, Mode::Lazy),
+        AdvisorConfig { window: 16, switch_factor: 0.5, min_dwell: 1 },
+    )
+}
+
+/// A lost WAL tail that swallows the migration record recovers to the
+/// source architecture and can immediately migrate again.
+#[test]
+fn lost_migration_record_recovers_to_source_and_can_retry() {
+    let b = builder(HazyMem, Mode::Eager);
+    let (ops, population) =
+        script(seed(), (HazyMem, Mode::Eager), (NaiveDisk, Mode::Lazy));
+    let inner = adaptive(&b, AdvisorConfig::manual());
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let mut dv = DurableView::create(Box::new(inner), store, CKPT_INTERVAL);
+    let migrate_at = SCRIPT_OPS / 3; // the SetArch op's position
+    // everything after the record preceding the migration is lost
+    dv.store()
+        .lock()
+        .unwrap()
+        .wal
+        .arm_crash(hazy_storage::CrashPoint::AfterRecords(migrate_at as u64));
+    for op in &ops {
+        apply(&mut dv, op);
+    }
+    let mut recovered =
+        DurableView::recover_image(&b, &dv.durable_image(), CKPT_INTERVAL, &TuneRestorer)
+            .unwrap();
+    assert_eq!(
+        recovered.describe(),
+        "durable adaptive hazy-mm (eager)",
+        "swallowed migration record ⇒ source architecture"
+    );
+    assert_eq!(recovered.stats().migrations, 0);
+    // the migration can simply be re-issued — and this time it sticks
+    assert!(recovered.set_architecture(NaiveDisk, Mode::Lazy));
+    assert_eq!(recovered.describe(), "durable adaptive naive-od (lazy)");
+    let mut oracle = adaptive(&b, AdvisorConfig::manual());
+    for op in &ops[..migrate_at] {
+        apply(&mut oracle, op);
+    }
+    assert!(oracle.set_architecture(NaiveDisk, Mode::Lazy));
+    assert_answers_match(&mut recovered, &mut oracle, &population, "post-retry");
+}

@@ -12,3 +12,4 @@ pub use hazy_linalg as linalg;
 pub use hazy_rdbms as rdbms;
 pub use hazy_serve as serve;
 pub use hazy_storage as storage;
+pub use hazy_tune as tune;
