@@ -1,0 +1,4 @@
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hazy_bench::join_view::run(quick));
+}

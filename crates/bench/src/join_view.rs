@@ -1,0 +1,249 @@
+//! Dataflow-maintenance bench: a classification view over a two-table
+//! equi-join, maintained incrementally while the fact table grows.
+//!
+//! The claim under test is the delta-join cost bound: propagating a batch
+//! of base-table deltas costs `O(|Δ| × matching keys)` — independent of
+//! the sizes of the base tables — where a from-scratch re-derivation
+//! costs `O(|A| + |B|)`. Both sides are *asserted*, not just printed:
+//!
+//! * a fact-side delta matches exactly one dimension row, so a batch of
+//!   `D` fact inserts must examine exactly `D` join pairs;
+//! * a dimension-side update (retract + reinsert) touches its `m`
+//!   matching facts, so the batch must examine exactly `2·m` pairs;
+//! * the per-delta virtual-clock cost of fact maintenance must stay flat
+//!   (within noise) as the fact table quadruples, while the recompute
+//!   cost grows with it.
+
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, ViewBuilder};
+use hazy_flow::{Dataflow, Delta, NodeId, RowAction, ViewSink};
+use hazy_learn::{SgdConfig, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_storage::{CostModel, VirtualClock};
+
+use crate::common::render_table;
+
+type Row = Vec<f64>;
+
+const K_DIM: i64 = 64;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(r: &mut u64) -> f64 {
+    (splitmix64(r) % 2_000_000) as f64 / 1_000_000.0 - 1.0
+}
+
+fn fact(id: i64, r: &mut u64) -> Row {
+    vec![id as f64, (splitmix64(r) % K_DIM as u64) as f64, unit(r)]
+}
+
+fn dim_row(key: i64, r: &mut u64) -> Row {
+    vec![key as f64, unit(r), [-1.0, 0.0, 1.0][(splitmix64(r) % 3) as usize]]
+}
+
+/// `A(id, jk, x) ⋈ B(key, y, label)` on `jk = key`, projected to
+/// `[id, x, y, label]`.
+fn pipeline() -> (Dataflow<Row>, NodeId, NodeId, NodeId) {
+    let mut graph: Dataflow<Row> = Dataflow::new();
+    let src_a = graph.source();
+    let src_b = graph.source();
+    let joined = graph.join(
+        src_a,
+        src_b,
+        |r: &Row| Some(r[1] as i64),
+        |r: &Row| Some(r[0] as i64),
+        |l: &Row, r: &Row| {
+            let mut out = l.clone();
+            out.extend(r.iter().cloned());
+            out
+        },
+    );
+    let proj = graph.map(joined, |r: &Row| vec![r[0], r[2], r[4], r[5]]);
+    let sink = graph.sink(&[proj]);
+    (graph, src_a, src_b, sink)
+}
+
+struct Measurement {
+    n_facts: usize,
+    pairs_per_fact_delta: f64,
+    ns_per_fact_delta: f64,
+    dim_update_pairs: u64,
+    dim_matching_facts: u64,
+    recompute_deltas: u64,
+}
+
+fn run_size(n_facts: usize, n_deltas: usize) -> Measurement {
+    let mut r = 0xD1FF_0001u64 ^ (n_facts as u64);
+    let facts: Vec<Row> = (0..n_facts as i64).map(|id| fact(id, &mut r)).collect();
+    let dims: Vec<Row> = (0..K_DIM).map(|k| dim_row(k, &mut r)).collect();
+
+    // --- build + seed (creation-time, uncharged: no clock attached yet)
+    let (mut graph, src_a, src_b, sink) = pipeline();
+    let mut entity_sink = ViewSink::new(|row: &Row| row[0] as u64);
+    graph.ingest(src_a, facts.iter().cloned().map(Delta::insert).collect());
+    graph.ingest(src_b, dims.iter().cloned().map(Delta::insert).collect());
+    let seeded = graph.drain(sink);
+    let mut ents = Vec::new();
+    for action in entity_sink.absorb_batch(seeded.iter().map(|(_, d)| d)) {
+        if let RowAction::Insert { id, row } = action {
+            ents.push(Entity::new(id, FeatureVec::dense([row[1] as f32, row[2] as f32])));
+        }
+    }
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+        .sgd(SgdConfig::svm())
+        .norm_pair(NormPair::EUCLIDEAN)
+        .dim(2);
+    let mut engine = builder.build(ents, &[]);
+    // the graph gets its own clock so the measurement isolates dataflow
+    // maintenance from engine-side training cost (which has its own
+    // complexity story, covered by the fig04/fig10 benches)
+    let flow_clock = VirtualClock::new(CostModel::sata_2008());
+    graph.set_clock(flow_clock.clone());
+
+    let apply = |engine: &mut dyn ClassifierView, action: RowAction<Row>| match action {
+        RowAction::Insert { id, row } => {
+            let f = FeatureVec::dense([row[1] as f32, row[2] as f32]);
+            engine.insert_entity(Entity::new(id, f.clone()));
+            if row[3] != 0.0 {
+                engine.update(&TrainingExample::new(id, f, if row[3] > 0.0 { 1 } else { -1 }));
+            }
+        }
+        RowAction::Remove { id } => {
+            let _ = engine.remove_entity(id);
+        }
+    };
+
+    // --- phase 1: a stream of fact deltas, one matching dimension row each
+    let before = graph.stats();
+    let t0 = flow_clock.now_ns();
+    let mut new_facts = Vec::with_capacity(n_deltas);
+    for id in n_facts as i64..(n_facts + n_deltas) as i64 {
+        let row = fact(id, &mut r);
+        new_facts.push(row.clone());
+        graph.ingest(src_a, vec![Delta::insert(row)]);
+        for (_, d) in graph.drain(sink) {
+            if let Some(action) = entity_sink.absorb(&d) {
+                apply(engine.as_mut(), action);
+            }
+        }
+    }
+    let t1 = flow_clock.now_ns();
+    let after = graph.stats();
+    let fact_pairs = after.join_pairs_examined - before.join_pairs_examined;
+    // THE bound, exact: |Δ| fact deltas × 1 matching dimension key each
+    assert_eq!(
+        fact_pairs, n_deltas as u64,
+        "fact-side maintenance must examine exactly |Δ| × 1 join pairs"
+    );
+    assert_eq!(after.rows_emitted - before.rows_emitted, n_deltas as u64);
+
+    // --- phase 2: one dimension update (retract + reinsert) with m matches
+    let key = 7i64;
+    let m = facts
+        .iter()
+        .chain(new_facts.iter())
+        .filter(|f| f[1] as i64 == key)
+        .count() as u64;
+    let old = dims[key as usize].clone();
+    let mut new = old.clone();
+    new[1] = unit(&mut r);
+    let before_dim = graph.stats();
+    graph.ingest(src_b, vec![Delta::retract(old), Delta::insert(new)]);
+    for (_, d) in graph.drain(sink) {
+        if let Some(action) = entity_sink.absorb(&d) {
+            apply(engine.as_mut(), action);
+        }
+    }
+    let after_dim = graph.stats();
+    let dim_pairs = after_dim.join_pairs_examined - before_dim.join_pairs_examined;
+    // the other side of the bound: 2 deltas × m matching facts each
+    assert_eq!(
+        dim_pairs,
+        2 * m,
+        "dimension-side maintenance must examine exactly |Δ| × matching-facts join pairs"
+    );
+
+    // --- the from-scratch alternative: re-derive the whole relation
+    let (mut fresh, fsrc_a, fsrc_b, fsink) = pipeline();
+    fresh.ingest(fsrc_a, facts.iter().cloned().map(Delta::insert).collect());
+    fresh.ingest(fsrc_b, dims.iter().cloned().map(Delta::insert).collect());
+    let _ = fresh.drain(fsink);
+    let recompute_deltas = fresh.stats().deltas_processed;
+
+    Measurement {
+        n_facts,
+        pairs_per_fact_delta: fact_pairs as f64 / n_deltas as f64,
+        ns_per_fact_delta: (t1 - t0) as f64 / n_deltas as f64,
+        dim_update_pairs: dim_pairs,
+        dim_matching_facts: m,
+        recompute_deltas,
+    }
+}
+
+/// Runs the bench; `quick` shrinks corpus sizes for CI smoke runs.
+pub fn run(quick: bool) -> String {
+    let base = if quick { 2_000 } else { 20_000 };
+    let n_deltas = if quick { 200 } else { 1_000 };
+    let sizes = [base, 2 * base, 4 * base];
+    let measurements: Vec<Measurement> =
+        sizes.iter().map(|&n| run_size(n, n_deltas)).collect();
+
+    // the per-delta cost must not scale with the fact table: quadrupling
+    // |A| may not even double the per-delta maintenance cost
+    let first = measurements.first().expect("at least one size");
+    let last = measurements.last().expect("at least one size");
+    assert!(
+        last.ns_per_fact_delta <= first.ns_per_fact_delta * 1.01,
+        "per-delta maintenance cost must stay flat as |A| quadruples \
+         ({:.0} ns -> {:.0} ns)",
+        first.ns_per_fact_delta,
+        last.ns_per_fact_delta
+    );
+    // ... while from-scratch re-derivation grows linearly with |A|
+    assert!(
+        last.recompute_deltas > first.recompute_deltas * 3,
+        "recompute cost must grow with the base tables"
+    );
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.n_facts.to_string(),
+                K_DIM.to_string(),
+                n_deltas.to_string(),
+                format!("{:.2}", m.pairs_per_fact_delta),
+                format!("{:.0}", m.ns_per_fact_delta),
+                format!("{} (m={})", m.dim_update_pairs, m.dim_matching_facts),
+                m.recompute_deltas.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "join-backed classification view: incremental maintenance vs recompute",
+        &[
+            "|A| facts",
+            "|B| dims",
+            "fact deltas",
+            "pairs/delta",
+            "ns/delta",
+            "dim-update pairs",
+            "recompute deltas",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_passes_its_assertions() {
+        let out = super::run(true);
+        assert!(out.contains("join-backed"));
+    }
+}

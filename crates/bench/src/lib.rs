@@ -26,4 +26,5 @@ pub mod fig11b_scaleup;
 pub mod fig12a_feature_sensitivity;
 pub mod fig12b_multiclass;
 pub mod fig13_waterline;
+pub mod join_view;
 pub mod recovery_replay;

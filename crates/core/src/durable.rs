@@ -116,6 +116,10 @@ mod rec {
     /// deterministic function of the logged operation stream, so replaying
     /// the stream re-makes the same decisions at the same rounds.
     pub const MIGRATE: u8 = 8;
+    /// Entity retraction (a base-table `DELETE`, or the retract half of an
+    /// `UPDATE`, propagated through a dataflow graph). Replay is idempotent
+    /// because removing an absent id is a no-op.
+    pub const REMOVE: u8 = 9;
 }
 
 pub(crate) fn put_example(out: &mut Vec<u8>, ex: &TrainingExample) {
@@ -191,6 +195,9 @@ fn apply_record(
             view.update_batch(&batch);
         }
         rec::INSERT => view.insert_entity(take_entity(&mut b)?),
+        rec::REMOVE => {
+            let _ = view.remove_entity(wire::take_u64(&mut b)?);
+        }
         rec::REORG => view.reorganize(),
         rec::READ => {
             let _ = view.read_single(wire::take_u64(&mut b)?);
@@ -457,6 +464,13 @@ impl ClassifierView for DurableView {
         self.log(rec::INSERT, |out| put_entity(out, &e));
         self.inner.insert_entity(e);
         self.after_op();
+    }
+
+    fn remove_entity(&mut self, id: u64) -> bool {
+        self.log(rec::REMOVE, |out| out.extend_from_slice(&id.to_le_bytes()));
+        let r = self.inner.remove_entity(id);
+        self.after_op();
+        r
     }
 
     fn set_architecture(&mut self, arch: crate::view::Architecture, mode: crate::view::Mode) -> bool {

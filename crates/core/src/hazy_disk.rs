@@ -201,19 +201,23 @@ impl HazyDiskView {
         self.wm.set_band(lw, hw);
     }
 
-    /// Number of tuples currently inside the band, counted via the
-    /// clustered index (no heap access).
+    /// Number of tuples currently inside the band, found via the clustered
+    /// index. Entries whose heap record is gone are skipped: removals leave
+    /// stale index entries behind (the B+-tree has no delete path) until
+    /// the next reorganization rebuilds the tree from the live heap.
     pub fn tuples_in_band(&mut self) -> u64 {
         let (lw, hw) = self.waterband();
-        let mut n = 0u64;
-        self.btree.scan_from(&mut self.pool, eps_key(hw, 0), |k, _| {
+        let mut rids: Vec<Rid> = Vec::new();
+        self.btree.scan_from(&mut self.pool, eps_key(hw, 0), |k, v| {
             if key_eps(k.0) < lw {
                 return false;
             }
-            n += 1;
+            rids.push(Rid::from_u64(v));
             true
         });
-        n
+        rids.into_iter()
+            .filter(|&rid| self.heap.get(&mut self.pool, rid, |_| ()).is_ok())
+            .count() as u64
     }
 
     /// The Skiing controller (ablation benches).
@@ -417,14 +421,15 @@ impl HazyDiskView {
         //    single byte instead of re-encoding the tuple.
         let model = self.trainer.model().clone();
         for rid in rids {
-            let (old, new) = self
-                .heap
-                .get(&mut self.pool, rid, |bytes| {
-                    let t = decode_tuple_ref(bytes).expect("well-formed tuple");
-                    charge_classify(&clock, &t.f);
-                    (t.label, model.predict(&t.f))
-                })
-                .expect("indexed rid resolves");
+            let Ok((old, new)) = self.heap.get(&mut self.pool, rid, |bytes| {
+                let t = decode_tuple_ref(bytes).expect("well-formed tuple");
+                charge_classify(&clock, &t.f);
+                (t.label, model.predict(&t.f))
+            }) else {
+                // stale index entry for a removed entity — skip; the next
+                // reorganization rebuilds the tree from the live heap
+                continue;
+            };
             self.stats.tuples_reclassified += 1;
             self.stats.tuples_examined += 1;
             if new != old {
@@ -659,8 +664,32 @@ impl ClassifierView for HazyDiskView {
         if self.first_tail_rid.is_none() {
             self.first_tail_rid = Some(rid);
         }
-        self.btree.insert(&mut self.pool, eps_key(eps, id), rid.to_u64()).expect("unique key");
+        // upsert: a removed entity leaves its stale key in the tree (no
+        // delete path); re-inserting the same id at the same eps must
+        // redirect that key at the live record
+        self.btree.upsert(&mut self.pool, eps_key(eps, id), rid.to_u64());
         self.hash.insert(&mut self.pool, id, rid.to_u64()).expect("unique entity ids");
+    }
+
+    fn remove_entity(&mut self, id: u64) -> bool {
+        let Some(raw) = self.hash.get(&mut self.pool, id) else {
+            return false;
+        };
+        let rid = Rid::from_u64(raw);
+        // tombstone the record and drop the hash entry; the B+-tree keeps a
+        // stale entry (it has no delete path) — every consumer of index
+        // rids tolerates dead records, and the next reorganization rebuilds
+        // the tree from the live heap. Slots are never reused, so the dead
+        // rid can never alias a later record.
+        self.heap.delete(&mut self.pool, rid).expect("indexed rid resolves");
+        self.hash.remove(&mut self.pool, id).expect("indexed key removes");
+        if self.first_tail_rid.is_none_or(|t| rid < t) {
+            // the record sat in the ε-sorted segment: the All-Members walk
+            // counts *live* sorted records, so the boundary moves up by one
+            self.n_sorted -= 1;
+        }
+        self.pool.flush_all();
+        true
     }
 
     fn model(&self) -> &LinearModel {

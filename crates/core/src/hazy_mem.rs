@@ -534,6 +534,27 @@ impl ClassifierView for HazyMemView {
         self.data.push(MemTuple { id: e.id, eps, label, f: e.f });
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        let Some(idx) = self.idmap.remove(&id) else {
+            return false;
+        };
+        let idx = idx as usize;
+        // order-preserving removal: the sorted run stays sorted and the
+        // unsorted tail keeps its insertion order
+        self.data.remove(idx);
+        if idx < self.sorted_len {
+            self.sorted_len -= 1;
+        }
+        for v in self.idmap.values_mut() {
+            if *v > idx as u32 {
+                *v -= 1;
+            }
+        }
+        // m_norm stays a valid (possibly loose) upper bound for watermarks
+        self.clock.charge_cpu_ops(self.data.len() as u64);
+        true
+    }
+
     fn model(&self) -> &LinearModel {
         self.trainer.model()
     }

@@ -337,6 +337,14 @@ impl ClassifierView for HybridView {
         self.inner.insert_entity(e);
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        // derived state first: the ε-map and buffer must never serve a
+        // certain label for an entity the disk no longer holds
+        self.eps_map.remove(&id);
+        self.buffer.remove(&id);
+        self.inner.remove_entity(id)
+    }
+
     fn model(&self) -> &LinearModel {
         self.inner.model()
     }

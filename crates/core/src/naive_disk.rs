@@ -278,6 +278,19 @@ impl ClassifierView for NaiveDiskView {
         self.hash.insert(&mut self.pool, e.id, rid.to_u64()).expect("unique entity ids");
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        let Some(raw) = self.hash.get(&mut self.pool, id) else {
+            return false;
+        };
+        let rid = Rid::from_u64(raw);
+        // tombstone the heap record; slots are never reused, so the rid can
+        // never alias a later record
+        self.heap.delete(&mut self.pool, rid).expect("indexed rid resolves");
+        self.hash.remove(&mut self.pool, id).expect("indexed key removes");
+        self.pool.flush_all();
+        true
+    }
+
     fn model(&self) -> &LinearModel {
         self.trainer.model()
     }

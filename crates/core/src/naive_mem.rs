@@ -225,6 +225,23 @@ impl ClassifierView for NaiveMemView {
         self.entities.push(e);
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        let Some(idx) = self.idmap.remove(&id) else {
+            return false;
+        };
+        let idx = idx as usize;
+        self.entities.remove(idx);
+        self.labels.remove(idx);
+        // every entity behind the removed slot shifts down one position
+        for v in self.idmap.values_mut() {
+            if *v > idx as u32 {
+                *v -= 1;
+            }
+        }
+        self.clock.charge_cpu_ops(self.entities.len() as u64);
+        true
+    }
+
     fn model(&self) -> &LinearModel {
         self.trainer.model()
     }

@@ -221,6 +221,19 @@ pub trait ClassifierView {
     /// under the current model.
     fn insert_entity(&mut self, e: Entity);
 
+    /// Retracts entity `id` from the view: the inverse of
+    /// [`insert_entity`](ClassifierView::insert_entity), driven by a base
+    /// table `DELETE` (or the retract half of an `UPDATE`) propagated
+    /// through a dataflow graph. The model is untouched — training examples
+    /// are append-only, only the entity population shrinks. Returns `true`
+    /// when the entity existed and was removed, `false` when the id was
+    /// unknown (a retraction of an absent entity is a no-op, which makes
+    /// WAL replay of removals idempotent).
+    fn remove_entity(&mut self, id: u64) -> bool {
+        let _ = id;
+        false
+    }
+
     /// The current model `(w(i), b(i))`.
     fn model(&self) -> &LinearModel;
 

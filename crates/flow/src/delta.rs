@@ -1,0 +1,39 @@
+//! The change currency: a row with a signed multiplicity.
+
+/// One change to a relation: `row` appears `diff` more times than before.
+///
+/// `diff = +1` is an insert, `diff = −1` a retract; operators may scale
+/// multiplicities (a join emits `d₁·d₂`), so any non-zero value is legal in
+/// flight. A base-table `UPDATE` is a retract of the old row followed by an
+/// insert of the new one — there is deliberately no third verb.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta<R> {
+    /// The changed row.
+    pub row: R,
+    /// Signed multiplicity change (never zero for a meaningful delta).
+    pub diff: i64,
+}
+
+impl<R> Delta<R> {
+    /// An insertion of `row` (`diff = +1`).
+    pub fn insert(row: R) -> Delta<R> {
+        Delta { row, diff: 1 }
+    }
+
+    /// A retraction of `row` (`diff = −1`).
+    pub fn retract(row: R) -> Delta<R> {
+        Delta { row, diff: -1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_signs() {
+        assert_eq!(Delta::insert(7).diff, 1);
+        assert_eq!(Delta::retract(7).diff, -1);
+        assert_eq!(Delta::insert("r").row, "r");
+    }
+}

@@ -1,0 +1,473 @@
+//! The dataflow graph: sources, incremental operators, sinks, and the
+//! topological delta propagation that connects them.
+
+use std::collections::HashMap;
+
+use hazy_storage::VirtualClock;
+
+use crate::delta::Delta;
+
+/// Handle to a node in a [`Dataflow`] graph.
+///
+/// Node ids are assigned in construction order, and every edge runs from a
+/// lower id to a higher one — the builder API only lets you wire *existing*
+/// nodes into a new node — so ascending id order **is** a topological
+/// order. Propagation exploits this: one forward pass over the node vector
+/// delivers every delta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+/// A delta tagged with the input port it arrives on (joins have two ports,
+/// sinks one per wired input).
+pub type PortDelta<R> = (usize, Delta<R>);
+
+type Pred<R> = Box<dyn Fn(&R) -> bool + Send>;
+type RowFn<R> = Box<dyn Fn(&R) -> R + Send>;
+type KeyFn<R> = Box<dyn Fn(&R) -> Option<i64> + Send>;
+type MergeFn<R> = Box<dyn Fn(&R, &R) -> R + Send>;
+
+/// One join side's indexed state: key → bag of (row, multiplicity).
+/// Multiplicities consolidate on fold-in, so a row retracted back to zero
+/// leaves no residue (and the bag for a dead key is dropped).
+type JoinIndex<R> = HashMap<i64, Vec<(R, i64)>>;
+
+struct JoinOp<R> {
+    left_key: KeyFn<R>,
+    right_key: KeyFn<R>,
+    merge: MergeFn<R>,
+    left: JoinIndex<R>,
+    right: JoinIndex<R>,
+}
+
+enum Operator<R> {
+    /// Entry point for one base table's deltas.
+    Source,
+    /// Keeps rows satisfying the predicate. Linear: `σ(Δ)` passes through.
+    Filter(Pred<R>),
+    /// Projects / rewrites each row. Linear: `π(Δ)` passes through with the
+    /// multiplicity unchanged.
+    Map(RowFn<R>),
+    /// Incremental equi-join with indexed build state on both sides.
+    Join(Box<JoinOp<R>>),
+    /// Collects arriving deltas (in arrival order) until drained.
+    Sink(Vec<PortDelta<R>>),
+}
+
+struct Node<R> {
+    op: Operator<R>,
+    /// Downstream edges: (target node index, target input port).
+    outs: Vec<(usize, usize)>,
+}
+
+/// Maintenance counters for a [`Dataflow`] graph — the observable basis of
+/// the `O(|Δ| × matching keys)` claim: one ingested delta contributes
+/// `join_pairs_examined` growth bounded by the number of rows its key
+/// matches on the opposite side, never by table size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Base-table deltas accepted by [`Dataflow::ingest`].
+    pub deltas_in: u64,
+    /// Deltas processed across all operators (internal traffic).
+    pub deltas_processed: u64,
+    /// (delta, indexed row) pairs examined by join probes.
+    pub join_pairs_examined: u64,
+    /// Deltas delivered into sinks.
+    pub rows_emitted: u64,
+}
+
+/// A delta-dataflow graph over rows of type `R`.
+///
+/// Build it once (sources → operators → sinks), then [`ingest`] base-table
+/// deltas as statements execute and [`drain`] the sinks. All operator
+/// closures receive rows by reference; the graph owns all intermediate
+/// state (the join indexes), so a `Dataflow<R>` is `Send` whenever its
+/// closures are.
+///
+/// [`ingest`]: Dataflow::ingest
+/// [`drain`]: Dataflow::drain
+pub struct Dataflow<R> {
+    nodes: Vec<Node<R>>,
+    stats: FlowStats,
+    clock: Option<VirtualClock>,
+}
+
+impl<R: Clone + PartialEq> Default for Dataflow<R> {
+    fn default() -> Self {
+        Dataflow::new()
+    }
+}
+
+impl<R: Clone + PartialEq> Dataflow<R> {
+    /// An empty graph.
+    pub fn new() -> Dataflow<R> {
+        Dataflow { nodes: Vec::new(), stats: FlowStats::default(), clock: None }
+    }
+
+    /// An empty graph charging its maintenance work (one CPU op per
+    /// processed delta and per join pair examined) to `clock`, so derived
+    /// views live in the same cost universe as the classifier they feed.
+    pub fn with_clock(clock: VirtualClock) -> Dataflow<R> {
+        Dataflow { nodes: Vec::new(), stats: FlowStats::default(), clock: Some(clock) }
+    }
+
+    /// Attaches (or replaces) the clock charged for maintenance work from
+    /// now on. Lets a graph be built and seeded for free before the view
+    /// engine — whose clock defines the cost universe — exists.
+    pub fn set_clock(&mut self, clock: VirtualClock) {
+        self.clock = Some(clock);
+    }
+
+    fn push_node(&mut self, op: Operator<R>) -> NodeId {
+        self.nodes.push(Node { op, outs: Vec::new() });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn wire(&mut self, from: NodeId, to: NodeId, port: usize) {
+        debug_assert!(from.0 < to.0, "edges must run construction-order forward");
+        self.nodes[from.0].outs.push((to.0, port));
+    }
+
+    /// Adds a source — the entry point for one base table's deltas.
+    pub fn source(&mut self) -> NodeId {
+        self.push_node(Operator::Source)
+    }
+
+    /// Adds a filter over `input`: rows failing `pred` are dropped
+    /// (inserts and retracts alike, so the two always cancel consistently).
+    pub fn filter(&mut self, input: NodeId, pred: impl Fn(&R) -> bool + Send + 'static) -> NodeId {
+        let id = self.push_node(Operator::Filter(Box::new(pred)));
+        self.wire(input, id, 0);
+        id
+    }
+
+    /// Adds a projection over `input`: each row is rewritten by `f`, the
+    /// multiplicity passes through unchanged.
+    pub fn map(&mut self, input: NodeId, f: impl Fn(&R) -> R + Send + 'static) -> NodeId {
+        let id = self.push_node(Operator::Map(Box::new(f)));
+        self.wire(input, id, 0);
+        id
+    }
+
+    /// Adds an incremental equi-join of `left` and `right`.
+    ///
+    /// `left_key` / `right_key` extract the join key (`None` = SQL NULL:
+    /// the row joins nothing and is not indexed). A delta arriving on one
+    /// side probes the *other* side's index — cost proportional to the
+    /// rows its key matches, not to either input's size — emits one merged
+    /// delta per match with multiplicity `d₁·d₂`, then folds into its own
+    /// side's index. Processing deltas in arrival order against the
+    /// current indexes realizes all three terms of
+    /// `Δ(A ⋈ B) = ΔA ⋈ B + A ⋈ ΔB + ΔA ⋈ ΔB`.
+    pub fn join(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        left_key: impl Fn(&R) -> Option<i64> + Send + 'static,
+        right_key: impl Fn(&R) -> Option<i64> + Send + 'static,
+        merge: impl Fn(&R, &R) -> R + Send + 'static,
+    ) -> NodeId {
+        let id = self.push_node(Operator::Join(Box::new(JoinOp {
+            left_key: Box::new(left_key),
+            right_key: Box::new(right_key),
+            merge: Box::new(merge),
+            left: HashMap::new(),
+            right: HashMap::new(),
+        })));
+        self.wire(left, id, 0);
+        self.wire(right, id, 1);
+        id
+    }
+
+    /// Adds a sink collecting the outputs of `inputs` (input `i` arrives
+    /// tagged with port `i`, so a consumer can tell an entity stream from
+    /// an example stream).
+    pub fn sink(&mut self, inputs: &[NodeId]) -> NodeId {
+        let id = self.push_node(Operator::Sink(Vec::new()));
+        for (port, &input) in inputs.iter().enumerate() {
+            self.wire(input, id, port);
+        }
+        id
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maintenance counters so far.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// Feeds `deltas` into `source` and propagates them topologically until
+    /// every downstream sink has absorbed its share. Returns the number of
+    /// deltas delivered into sinks.
+    ///
+    /// # Panics
+    /// Panics when `source` is not a [`source`](Dataflow::source) node.
+    pub fn ingest(&mut self, source: NodeId, deltas: Vec<Delta<R>>) -> u64 {
+        assert!(
+            matches!(self.nodes[source.0].op, Operator::Source),
+            "ingest targets must be source nodes"
+        );
+        self.stats.deltas_in += deltas.len() as u64;
+        let emitted_before = self.stats.rows_emitted;
+        let mut inbox: Vec<Vec<PortDelta<R>>> = self.nodes.iter().map(|_| Vec::new()).collect();
+        inbox[source.0] = deltas.into_iter().map(|d| (0, d)).collect();
+        for i in source.0..self.nodes.len() {
+            let input = std::mem::take(&mut inbox[i]);
+            if input.is_empty() {
+                continue;
+            }
+            self.stats.deltas_processed += input.len() as u64;
+            if let Some(clock) = &self.clock {
+                clock.charge_cpu_ops(input.len() as u64);
+            }
+            let mut pairs = 0u64;
+            let node = &mut self.nodes[i];
+            let mut out: Vec<Delta<R>> = Vec::new();
+            match &mut node.op {
+                Operator::Source => out.extend(input.into_iter().map(|(_, d)| d)),
+                Operator::Filter(pred) => {
+                    out.extend(input.into_iter().filter(|(_, d)| pred(&d.row)).map(|(_, d)| d));
+                }
+                Operator::Map(f) => {
+                    out.extend(
+                        input.into_iter().map(|(_, d)| Delta { row: f(&d.row), diff: d.diff }),
+                    );
+                }
+                Operator::Join(j) => {
+                    for (port, d) in input {
+                        pairs += j.process(port, d, &mut out);
+                    }
+                }
+                Operator::Sink(collected) => {
+                    self.stats.rows_emitted += input.len() as u64;
+                    collected.extend(input);
+                }
+            }
+            self.stats.join_pairs_examined += pairs;
+            if pairs > 0 {
+                if let Some(clock) = &self.clock {
+                    clock.charge_cpu_ops(pairs);
+                }
+            }
+            if out.is_empty() {
+                continue;
+            }
+            // fan the output to every downstream edge (clone per extra edge)
+            let outs = std::mem::take(&mut self.nodes[i].outs);
+            for (k, &(tgt, port)) in outs.iter().enumerate() {
+                if k + 1 == outs.len() {
+                    inbox[tgt].extend(std::mem::take(&mut out).into_iter().map(|d| (port, d)));
+                } else {
+                    inbox[tgt].extend(out.iter().cloned().map(|d| (port, d)));
+                }
+            }
+            self.nodes[i].outs = outs;
+        }
+        self.stats.rows_emitted - emitted_before
+    }
+
+    /// Takes everything `sink` has collected since the last drain, in
+    /// arrival order.
+    ///
+    /// # Panics
+    /// Panics when `sink` is not a [`sink`](Dataflow::sink) node.
+    pub fn drain(&mut self, sink: NodeId) -> Vec<PortDelta<R>> {
+        match &mut self.nodes[sink.0].op {
+            Operator::Sink(collected) => std::mem::take(collected),
+            _ => panic!("drain targets must be sink nodes"),
+        }
+    }
+}
+
+impl<R: Clone + PartialEq> JoinOp<R> {
+    /// Handles one delta on `port` (0 = left, 1 = right): probe the
+    /// opposite index, emit merged deltas, fold into the own index.
+    /// Returns the number of indexed rows examined.
+    fn process(&mut self, port: usize, d: Delta<R>, out: &mut Vec<Delta<R>>) -> u64 {
+        let (key_fn, own, other, left_first) = match port {
+            0 => (&self.left_key, &mut self.left, &self.right, true),
+            1 => (&self.right_key, &mut self.right, &self.left, false),
+            _ => panic!("joins have exactly two input ports"),
+        };
+        let Some(k) = key_fn(&d.row) else {
+            return 0; // NULL join key: matches nothing, indexes nothing
+        };
+        let mut pairs = 0u64;
+        if let Some(bag) = other.get(&k) {
+            for (row2, m2) in bag {
+                pairs += 1;
+                let merged = if left_first {
+                    (self.merge)(&d.row, row2)
+                } else {
+                    (self.merge)(row2, &d.row)
+                };
+                out.push(Delta { row: merged, diff: d.diff * m2 });
+            }
+        }
+        index_fold(own, k, d);
+        pairs
+    }
+}
+
+/// Folds a delta into a join index, consolidating multiplicities so a row
+/// retracted back to zero disappears entirely.
+fn index_fold<R: PartialEq>(index: &mut JoinIndex<R>, key: i64, d: Delta<R>) {
+    let bag = index.entry(key).or_default();
+    if let Some(pos) = bag.iter().position(|(row, _)| *row == d.row) {
+        bag[pos].1 += d.diff;
+        if bag[pos].1 == 0 {
+            bag.swap_remove(pos);
+        }
+    } else {
+        bag.push((d.row, d.diff));
+    }
+    if bag.is_empty() {
+        index.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (key, payload) test rows.
+    type Row = (i64, i64);
+
+    fn inserts(rows: &[Row]) -> Vec<Delta<Row>> {
+        rows.iter().map(|&r| Delta::insert(r)).collect()
+    }
+
+    #[test]
+    fn filter_drops_inserts_and_retracts_alike() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let src = g.source();
+        let f = g.filter(src, |r| r.1 > 0);
+        let sink = g.sink(&[f]);
+        g.ingest(src, inserts(&[(1, 5), (2, -3)]));
+        g.ingest(src, vec![Delta::retract((1, 5))]);
+        let got: Vec<_> = g.drain(sink);
+        assert_eq!(got, vec![(0, Delta::insert((1, 5))), (0, Delta::retract((1, 5)))]);
+    }
+
+    #[test]
+    fn map_rewrites_rows_preserving_diff() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let src = g.source();
+        let m = g.map(src, |r| (r.0, r.1 * 10));
+        let sink = g.sink(&[m]);
+        g.ingest(src, vec![Delta::retract((4, 2))]);
+        assert_eq!(g.drain(sink), vec![(0, Delta { row: (4, 20), diff: -1 })]);
+    }
+
+    #[test]
+    fn join_emits_all_three_delta_terms() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let a = g.source();
+        let b = g.source();
+        let j = g.join(a, b, |r| Some(r.0), |r| Some(r.0), |x, y| (x.0, x.1 + y.1));
+        let sink = g.sink(&[j]);
+        // ΔA ⋈ B: b indexed first, then a arrives
+        g.ingest(b, inserts(&[(1, 100)]));
+        assert!(g.drain(sink).is_empty(), "no match yet");
+        g.ingest(a, inserts(&[(1, 1)]));
+        assert_eq!(g.drain(sink), vec![(0, Delta::insert((1, 101)))]);
+        // A ⋈ ΔB: second b row matches the indexed a row
+        g.ingest(b, inserts(&[(1, 200)]));
+        assert_eq!(g.drain(sink), vec![(0, Delta::insert((1, 201)))]);
+        // retract the a row: both join results retract
+        g.ingest(a, vec![Delta::retract((1, 1))]);
+        let mut got = g.drain(sink);
+        got.sort_by_key(|(_, d)| d.row.1);
+        assert_eq!(
+            got,
+            vec![(0, Delta::retract((1, 101))), (0, Delta::retract((1, 201)))]
+        );
+    }
+
+    #[test]
+    fn join_cost_tracks_matching_keys_not_table_size() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let a = g.source();
+        let b = g.source();
+        let j = g.join(a, b, |r| Some(r.0), |r| Some(r.0), |x, y| (x.0, x.1 + y.1));
+        let _sink = g.sink(&[j]);
+        // index 1000 b rows under distinct keys
+        g.ingest(b, inserts(&(0..1000).map(|k| (k, k)).collect::<Vec<_>>()));
+        let before = g.stats().join_pairs_examined;
+        g.ingest(a, inserts(&[(500, 1)]));
+        // one delta, one matching key: exactly one pair examined
+        assert_eq!(g.stats().join_pairs_examined - before, 1);
+    }
+
+    #[test]
+    fn null_keys_join_nothing() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let a = g.source();
+        let b = g.source();
+        let j = g.join(
+            a,
+            b,
+            |r| (r.0 >= 0).then_some(r.0),
+            |r| Some(r.0),
+            |x, y| (x.0, x.1 + y.1),
+        );
+        let sink = g.sink(&[j]);
+        g.ingest(b, inserts(&[(-1, 9)]));
+        g.ingest(a, inserts(&[(-1, 9)]));
+        assert!(g.drain(sink).is_empty());
+    }
+
+    #[test]
+    fn retract_consolidates_out_of_join_index() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let a = g.source();
+        let b = g.source();
+        let j = g.join(a, b, |r| Some(r.0), |r| Some(r.0), |x, y| (x.0, x.1 + y.1));
+        let sink = g.sink(&[j]);
+        g.ingest(b, inserts(&[(1, 50)]));
+        g.ingest(b, vec![Delta::retract((1, 50))]);
+        g.ingest(a, inserts(&[(1, 1)]));
+        assert!(g.drain(sink).is_empty(), "retracted build row must not match");
+        assert_eq!(g.stats().join_pairs_examined, 0);
+    }
+
+    #[test]
+    fn sink_ports_identify_inputs() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let a = g.source();
+        let b = g.source();
+        let sink = g.sink(&[a, b]);
+        g.ingest(b, inserts(&[(2, 2)]));
+        g.ingest(a, inserts(&[(1, 1)]));
+        let got = g.drain(sink);
+        assert_eq!(got, vec![(1, Delta::insert((2, 2))), (0, Delta::insert((1, 1)))]);
+    }
+
+    #[test]
+    fn one_source_can_feed_two_consumers() {
+        let mut g: Dataflow<Row> = Dataflow::new();
+        let src = g.source();
+        let pos = g.filter(src, |r| r.1 > 0);
+        let neg = g.filter(src, |r| r.1 < 0);
+        let sink = g.sink(&[pos, neg]);
+        g.ingest(src, inserts(&[(1, 5), (2, -5)]));
+        let got = g.drain(sink);
+        assert_eq!(got, vec![(0, Delta::insert((1, 5))), (1, Delta::insert((2, -5)))]);
+    }
+
+    #[test]
+    fn clocked_graph_charges_maintenance() {
+        use hazy_storage::CostModel;
+        let clock = VirtualClock::new(CostModel::sata_2008());
+        let mut g: Dataflow<Row> = Dataflow::with_clock(clock.clone());
+        let src = g.source();
+        let f = g.filter(src, |_| true);
+        let _sink = g.sink(&[f]);
+        let t0 = clock.now_ns();
+        g.ingest(src, inserts(&[(1, 1), (2, 2)]));
+        assert!(clock.now_ns() > t0, "delta propagation must cost virtual time");
+    }
+}

@@ -1,0 +1,36 @@
+//! Delta dataflow for derived classification views.
+//!
+//! The paper puts a classification view *on a table*. Real deployments put
+//! views on **derived relations** — a projection of a fact table joined
+//! against a dimension, filtered to a slice. This crate supplies the
+//! machinery that keeps such a view incrementally maintained without ever
+//! recomputing the derived relation:
+//!
+//! * a [`Delta`] — a row tagged with a signed multiplicity (`+1` insert,
+//!   `−1` retract), the currency every operator trades in;
+//! * typed-row operators ([`Dataflow::filter`], [`Dataflow::map`],
+//!   [`Dataflow::join`]) that transform *changes* into changes — the join
+//!   keeps indexed state per side so a one-row delta costs
+//!   `O(matching keys)`, not `O(|table|)`;
+//! * a [`Dataflow`] graph that propagates base-table deltas topologically
+//!   from sources to sinks, and
+//! * a [`ViewSink`] that collapses bag multiplicities back to the set
+//!   semantics a [`ClassifierView`](hazy_core::ClassifierView) speaks —
+//!   an entity enters the view when its derived multiplicity first turns
+//!   positive and leaves when it returns to zero.
+//!
+//! The delta algebra is the standard bilinear one: for linear operators
+//! (filter, map) `op(Δ)` is the output change; for the join,
+//! `Δ(A ⋈ B) = ΔA ⋈ B + A ⋈ ΔB + ΔA ⋈ ΔB`, realized by processing deltas
+//! in arrival order against the *current* opposite-side index and folding
+//! each delta into its own side's index afterwards.
+
+#![warn(missing_docs)]
+
+mod delta;
+mod graph;
+mod sink;
+
+pub use delta::Delta;
+pub use graph::{Dataflow, FlowStats, NodeId, PortDelta};
+pub use sink::{apply_to_view, RowAction, ViewSink};

@@ -1,0 +1,184 @@
+//! Set-semantics collapse: from bag-multiplicity deltas to the
+//! entity-level insert/remove verbs a classifier view speaks.
+
+use std::collections::HashMap;
+
+use hazy_core::{ClassifierView, Entity};
+
+use crate::delta::Delta;
+
+/// An entity-level action produced by a [`ViewSink`]: what the derived
+/// relation's *set* projection did, after bag multiplicities cancel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RowAction<R> {
+    /// Entity `id` entered the derived relation with `row` as its
+    /// representative tuple.
+    Insert {
+        /// The entity key extracted from the row.
+        id: u64,
+        /// The row to featurize.
+        row: R,
+    },
+    /// Entity `id` left the derived relation.
+    Remove {
+        /// The entity key that went away.
+        id: u64,
+    },
+}
+
+/// Collapses a stream of deltas into set-level [`RowAction`]s, keyed by an
+/// entity id extracted from each row.
+///
+/// A join can legitimately derive the same entity more than once (two
+/// matching dimension rows), and a retract+insert pair (an `UPDATE`)
+/// passes through as remove-then-insert. The sink tracks the net
+/// multiplicity per id and emits an action only on the two transitions a
+/// [`ClassifierView`] can observe: `0 → positive` (insert) and
+/// `positive → 0` (remove). While the multiplicity stays positive the
+/// first-arrived row remains the representative; pipelines where one id
+/// maps to conflicting payloads should retract before re-deriving.
+pub struct ViewSink<R> {
+    key: Box<dyn Fn(&R) -> u64 + Send>,
+    counts: HashMap<u64, i64>,
+}
+
+impl<R: Clone> ViewSink<R> {
+    /// A sink extracting entity ids with `key`.
+    pub fn new(key: impl Fn(&R) -> u64 + Send + 'static) -> ViewSink<R> {
+        ViewSink { key: Box::new(key), counts: HashMap::new() }
+    }
+
+    /// Entities currently in the derived relation (positive multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().filter(|&&c| c > 0).count()
+    }
+
+    /// `true` when no entity has positive multiplicity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of the entities currently in the derived relation, unsorted.
+    pub fn ids(&self) -> Vec<u64> {
+        self.counts.iter().filter(|&(_, &c)| c > 0).map(|(&id, _)| id).collect()
+    }
+
+    /// Absorbs one delta; returns the set-level action it caused, if any.
+    ///
+    /// Over-retraction (a retract for an id that was never derived) drives
+    /// the count negative and emits nothing — the later matching insert
+    /// then cancels back to zero, also silently. This makes replaying a
+    /// prefix of a delta stream safe.
+    pub fn absorb(&mut self, d: &Delta<R>) -> Option<RowAction<R>> {
+        let id = (self.key)(&d.row);
+        let count = self.counts.entry(id).or_insert(0);
+        let was = *count > 0;
+        *count += d.diff;
+        let now = *count > 0;
+        if *count == 0 {
+            self.counts.remove(&id);
+        }
+        match (was, now) {
+            (false, true) => Some(RowAction::Insert { id, row: d.row.clone() }),
+            (true, false) => Some(RowAction::Remove { id }),
+            _ => None,
+        }
+    }
+
+    /// Absorbs a drained batch in order, collecting every action.
+    pub fn absorb_batch<'a>(
+        &mut self,
+        deltas: impl IntoIterator<Item = &'a Delta<R>>,
+    ) -> Vec<RowAction<R>>
+    where
+        R: 'a,
+    {
+        deltas.into_iter().filter_map(|d| self.absorb(d)).collect()
+    }
+}
+
+/// Feeds a batch of [`RowAction`]s into a classifier view: inserts
+/// featurize through `to_entity`, removes go through
+/// [`ClassifierView::remove_entity`]. The bridge that makes a derived
+/// relation look like the paper's entity table to any architecture.
+pub fn apply_to_view<R>(
+    view: &mut (dyn ClassifierView + '_),
+    actions: Vec<RowAction<R>>,
+    mut to_entity: impl FnMut(u64, &R) -> Entity,
+) {
+    for a in actions {
+        match a {
+            RowAction::Insert { id, row } => view.insert_entity(to_entity(id, &row)),
+            RowAction::Remove { id } => {
+                let _ = view.remove_entity(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Row = (u64, i64);
+
+    fn sink() -> ViewSink<Row> {
+        ViewSink::new(|r: &Row| r.0)
+    }
+
+    #[test]
+    fn first_insert_and_last_retract_are_the_only_actions() {
+        let mut s = sink();
+        assert_eq!(
+            s.absorb(&Delta::insert((7, 1))),
+            Some(RowAction::Insert { id: 7, row: (7, 1) })
+        );
+        // second derivation of the same entity: no action
+        assert_eq!(s.absorb(&Delta::insert((7, 2))), None);
+        assert_eq!(s.absorb(&Delta::retract((7, 1))), None);
+        assert_eq!(s.absorb(&Delta::retract((7, 2))), Some(RowAction::Remove { id: 7 }));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn update_shape_is_remove_then_insert() {
+        let mut s = sink();
+        s.absorb(&Delta::insert((3, 10)));
+        let actions =
+            s.absorb_batch(&[Delta::retract((3, 10)), Delta::insert((3, 99))]);
+        assert_eq!(
+            actions,
+            vec![
+                RowAction::Remove { id: 3 },
+                RowAction::Insert { id: 3, row: (3, 99) },
+            ]
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn over_retraction_is_silent_and_cancels() {
+        let mut s = sink();
+        assert_eq!(s.absorb(&Delta::retract((5, 0))), None);
+        // the matching insert only cancels the debt: still not present
+        assert_eq!(s.absorb(&Delta::insert((5, 0))), None);
+        assert!(s.is_empty());
+        // a further insert genuinely enters
+        assert!(matches!(s.absorb(&Delta::insert((5, 0))), Some(RowAction::Insert { .. })));
+    }
+
+    #[test]
+    fn join_multiplicity_collapses_to_set_semantics() {
+        let mut s = sink();
+        // a join emitting multiplicity 2 in one delta
+        assert!(matches!(
+            s.absorb(&Delta { row: (1, 0), diff: 2 }),
+            Some(RowAction::Insert { .. })
+        ));
+        assert_eq!(s.absorb(&Delta { row: (1, 0), diff: -1 }), None);
+        assert_eq!(
+            s.absorb(&Delta { row: (1, 0), diff: -1 }),
+            Some(RowAction::Remove { id: 1 })
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Differential proof of observational equivalence: an incrementally
+//! maintained derived view must be indistinguishable from recomputing the
+//! derived relation from scratch after every base-table operation.
+//!
+//! Random scripts of inserts / deletes / updates run against a fact table
+//! `A = [id, jk, x]` and a dimension table `B = [key, y, label]`, flowing
+//! through the pipeline
+//!
+//! ```text
+//! A --filter(x >= 0)--+
+//!                     +--join(A.jk = B.key)--project[id, x, y, label]--sink
+//! B ------------------+
+//! ```
+//!
+//! After each op the sink's actions are diffed against a naive from-scratch
+//! evaluation of the query (the oracle), and both action streams feed twin
+//! classifier engines whose answers AND model bits must agree — across
+//! eager/lazy modes, multiple architectures, and 1 vs 3 shards.
+
+use std::collections::BTreeMap;
+
+use hazy_core::{Architecture, ClassifierView, Entity, Mode, ViewBuilder};
+use hazy_flow::{Dataflow, Delta, RowAction, ViewSink};
+use hazy_learn::{SgdConfig, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_serve::ShardedView;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows on both sides are untyped float tuples; keys are small exact ints.
+type Row = Vec<f64>;
+
+const JK_SPACE: i64 = 8;
+
+fn features(row: &Row) -> FeatureVec {
+    FeatureVec::dense([row[1] as f32, row[2] as f32])
+}
+
+fn build_engine(
+    arch: Architecture,
+    mode: Mode,
+    shards: usize,
+) -> Box<dyn ClassifierView + Send> {
+    let builder =
+        ViewBuilder::new(arch, mode).sgd(SgdConfig::svm()).norm_pair(NormPair::EUCLIDEAN).dim(2);
+    if shards > 1 {
+        Box::new(ShardedView::build(&builder, shards, Vec::new(), &[]))
+    } else {
+        builder.build(Vec::new(), &[])
+    }
+}
+
+/// Applies one entity action to an engine: arrivals are classified and
+/// (when labeled) trained; departures are retracted.
+fn apply(engine: &mut dyn ClassifierView, action: &RowAction<Row>) {
+    match action {
+        RowAction::Insert { id, row } => {
+            let f = features(row);
+            engine.insert_entity(Entity::new(*id, f.clone()));
+            let label = row[3];
+            if label != 0.0 {
+                engine.update(&TrainingExample::new(*id, f, if label > 0.0 { 1 } else { -1 }));
+            }
+        }
+        RowAction::Remove { id } => {
+            let _ = engine.remove_entity(*id);
+        }
+    }
+}
+
+/// From-scratch evaluation of the pipeline over the current base tables.
+fn naive_eval(a: &BTreeMap<i64, Row>, b: &BTreeMap<i64, Row>) -> BTreeMap<u64, Row> {
+    let mut out = BTreeMap::new();
+    for ar in a.values() {
+        if ar[2] < 0.0 {
+            continue; // filter
+        }
+        if let Some(br) = b.get(&(ar[1] as i64)) {
+            out.insert(ar[0] as u64, vec![ar[0], ar[2], br[1], br[2]]);
+        }
+    }
+    out
+}
+
+/// Diff of two naive snapshots as an id-sorted action stream with the
+/// remove-before-insert convention for a changed row.
+fn naive_diff(prev: &BTreeMap<u64, Row>, next: &BTreeMap<u64, Row>) -> Vec<RowAction<Row>> {
+    let mut out = Vec::new();
+    for (&id, row) in prev {
+        match next.get(&id) {
+            Some(n) if n == row => {}
+            _ => out.push(RowAction::Remove { id }),
+        }
+    }
+    for (&id, row) in next {
+        if prev.get(&id) != Some(row) {
+            out.push(RowAction::Insert { id, row: row.clone() });
+        }
+    }
+    out.sort_by_key(|a| match a {
+        // stable: for the same id the Remove (pushed first) stays first
+        RowAction::Insert { id, .. } | RowAction::Remove { id } => *id,
+    });
+    out
+}
+
+/// One random base-table op, mirrored into the driver's table copies;
+/// returns which source it hits and the delta batch it produces.
+fn random_op(
+    rng: &mut StdRng,
+    next_id: &mut i64,
+    a: &mut BTreeMap<i64, Row>,
+    b: &mut BTreeMap<i64, Row>,
+) -> (usize, Vec<Delta<Row>>) {
+    loop {
+        match rng.gen_range(0..9) {
+            0..=2 => {
+                // insert a fact row (possibly matching no dimension row)
+                let id = *next_id;
+                *next_id += 1;
+                let row =
+                    vec![id as f64, rng.gen_range(0..JK_SPACE) as f64, rng.gen_range(-1.0..1.0)];
+                a.insert(id, row.clone());
+                return (0, vec![Delta::insert(row)]);
+            }
+            3 if !a.is_empty() => {
+                let id = *pick(rng, a);
+                let old = a.remove(&id).unwrap();
+                return (0, vec![Delta::retract(old)]);
+            }
+            4 if !a.is_empty() => {
+                // move the fact row: new feature and (sometimes) new key,
+                // so it can cross the filter or re-join elsewhere
+                let id = *pick(rng, a);
+                let old = a[&id].clone();
+                let mut new = old.clone();
+                new[2] = rng.gen_range(-1.0..1.0);
+                if rng.gen_bool(0.5) {
+                    new[1] = rng.gen_range(0..JK_SPACE) as f64;
+                }
+                a.insert(id, new.clone());
+                return (0, vec![Delta::retract(old), Delta::insert(new)]);
+            }
+            5..=6 if (b.len() as i64) < JK_SPACE => {
+                let key = (0..JK_SPACE).find(|k| !b.contains_key(k)).unwrap();
+                let row =
+                    vec![key as f64, rng.gen_range(-1.0..1.0), [-1.0, 0.0, 1.0][rng.gen_range(0..3)]];
+                b.insert(key, row.clone());
+                return (1, vec![Delta::insert(row)]);
+            }
+            7 if !b.is_empty() => {
+                let key = *pick(rng, b);
+                let old = b.remove(&key).unwrap();
+                return (1, vec![Delta::retract(old)]);
+            }
+            8 if !b.is_empty() => {
+                let key = *pick(rng, b);
+                let old = b[&key].clone();
+                let mut new = old.clone();
+                new[1] = rng.gen_range(-1.0..1.0);
+                b.insert(key, new.clone());
+                return (1, vec![Delta::retract(old), Delta::insert(new)]);
+            }
+            _ => {} // op not applicable to current state; redraw
+        }
+    }
+}
+
+fn pick<'m>(rng: &mut StdRng, m: &'m BTreeMap<i64, Row>) -> &'m i64 {
+    m.keys().nth(rng.gen_range(0..m.len())).unwrap()
+}
+
+/// Answers + model bits of an engine, in comparable form.
+fn observe(engine: &mut dyn ClassifierView, ids: &[u64]) -> (u64, u64, Vec<u64>, Vec<Option<i8>>, String) {
+    let mut positives = engine.positive_ids();
+    positives.sort_unstable();
+    let singles = ids.iter().map(|&id| engine.read_single(id)).collect();
+    (
+        engine.entity_count(),
+        engine.count_positive(),
+        positives,
+        singles,
+        format!("{:?}", engine.model()),
+    )
+}
+
+fn run_script(seed: u64, arch: Architecture, mode: Mode, shards: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = BTreeMap::new();
+    let mut b = BTreeMap::new();
+    let mut next_id = 1i64;
+
+    // incremental side: the dataflow pipeline + sink + engine
+    let mut graph: Dataflow<Row> = Dataflow::new();
+    let src_a = graph.source();
+    let src_b = graph.source();
+    let fa = graph.filter(src_a, |r: &Row| r[2] >= 0.0);
+    let joined = graph.join(
+        fa,
+        src_b,
+        |r: &Row| Some(r[1] as i64),
+        |r: &Row| Some(r[0] as i64),
+        |l: &Row, r: &Row| {
+            let mut out = l.clone();
+            out.extend(r.iter().cloned());
+            out
+        },
+    );
+    let proj = graph.map(joined, |r: &Row| vec![r[0], r[2], r[4], r[5]]);
+    let sink = graph.sink(&[proj]);
+    let mut entity_sink = ViewSink::new(|r: &Row| r[0] as u64);
+    let mut inc_engine = build_engine(arch, mode, shards);
+
+    // oracle side: from-scratch recomputation + twin engine
+    let mut prev_naive = BTreeMap::new();
+    let mut oracle_engine = build_engine(arch, mode, shards);
+
+    let mut all_ids = Vec::new();
+    for step in 0..60 {
+        let (side, deltas) = random_op(&mut rng, &mut next_id, &mut a, &mut b);
+        for d in &deltas {
+            if side == 0 && !all_ids.contains(&(d.row[0] as u64)) {
+                all_ids.push(d.row[0] as u64);
+            }
+        }
+
+        graph.ingest(if side == 0 { src_a } else { src_b }, deltas);
+        let drained = graph.drain(sink);
+        let mut inc_actions = entity_sink.absorb_batch(drained.iter().map(|(_, d)| d));
+        inc_actions.sort_by_key(|act| match act {
+            RowAction::Insert { id, .. } | RowAction::Remove { id } => *id,
+        });
+
+        let naive = naive_eval(&a, &b);
+        let oracle_actions = naive_diff(&prev_naive, &naive);
+        prev_naive = naive;
+
+        assert_eq!(
+            inc_actions, oracle_actions,
+            "step {step}: incremental actions diverge from from-scratch diff \
+             (seed {seed}, {arch:?} {mode:?} shards {shards})"
+        );
+
+        for act in &inc_actions {
+            apply(inc_engine.as_mut(), act);
+        }
+        for act in &oracle_actions {
+            apply(oracle_engine.as_mut(), act);
+        }
+
+        if step % 10 == 9 {
+            assert_eq!(
+                observe(inc_engine.as_mut(), &all_ids),
+                observe(oracle_engine.as_mut(), &all_ids),
+                "step {step}: answers/model diverge (seed {seed}, {arch:?} {mode:?} shards {shards})"
+            );
+        }
+    }
+    // final check: population, answers, and exact model bits agree
+    assert_eq!(
+        observe(inc_engine.as_mut(), &all_ids),
+        observe(oracle_engine.as_mut(), &all_ids),
+        "final state diverges (seed {seed}, {arch:?} {mode:?} shards {shards})"
+    );
+    assert_eq!(inc_engine.entity_count() as usize, prev_naive.len());
+}
+
+#[test]
+fn incremental_view_matches_from_scratch_oracle() {
+    for seed in [11, 42, 77] {
+        for (arch, mode) in [
+            (Architecture::HazyMem, Mode::Eager),
+            (Architecture::HazyMem, Mode::Lazy),
+            (Architecture::NaiveMem, Mode::Eager),
+            (Architecture::Hybrid, Mode::Lazy),
+        ] {
+            for shards in [1, 3] {
+                run_script(seed, arch, mode, shards);
+            }
+        }
+    }
+}

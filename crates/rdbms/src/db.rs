@@ -1,4 +1,13 @@
-//! The embedded database: catalog, triggers, and statement execution.
+//! The embedded database: catalog, dataflow edges, and statement execution.
+//!
+//! Base-table writes do not fire bespoke triggers any more: every
+//! classification view owns a [`Dataflow`] graph, and the catalog keeps one
+//! edge list per base table naming the views whose graphs consume its
+//! deltas. An `INSERT` becomes a `+1` delta, a `DELETE` a `−1` delta, and
+//! an `UPDATE` a retract/insert pair — all propagated through the same
+//! graph, whether the view sits directly on an entity table (the paper's
+//! Example 2.1, a trivial two-edge graph) or on a derived relation with
+//! joins and filters (`CREATE CLASSIFICATION VIEW v ON (SELECT ...)`).
 
 use std::collections::HashMap;
 
@@ -6,6 +15,7 @@ use hazy_core::{
     Architecture, DurableClassifierView, DurableView, Entity, MemoryFootprint,
     Mode, ViewBuilder, ViewStats,
 };
+use hazy_flow::{Dataflow, Delta, NodeId, RowAction, ViewSink};
 use hazy_learn::{LinearModel, LossKind, SgdConfig, TrainingExample};
 use hazy_linalg::NormPair;
 use hazy_storage::SimFs;
@@ -13,9 +23,9 @@ use hazy_tune::{build_sharded_adaptive, AdaptiveView, AdvisorConfig, TuneRestore
 
 use crate::error::DbError;
 use crate::features::{by_name, FeatureFunction};
-use crate::sql::{parse_statement, Statement, ViewDecl};
+use crate::sql::{parse_statement, ColRef, DerivedViewDecl, Statement, ViewDecl};
 use crate::table::Table;
-use crate::value::{Row, Schema, Value};
+use crate::value::{ColumnType, Row, Schema, Value};
 
 /// Dictionary headroom for text feature functions (distinct tokens).
 const DICT_CAPACITY: u32 = 1 << 16;
@@ -36,12 +46,6 @@ pub enum QueryResult {
     Label(Option<i8>),
     /// A list of entity keys.
     Ids(Vec<u64>),
-}
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum TriggerRole {
-    Entities,
-    Examples,
 }
 
 /// A view's engine: plain, or wrapped in WAL + checkpoint durability.
@@ -66,12 +70,48 @@ impl Engine {
     }
 }
 
+/// What the view is defined over.
+enum ViewKind {
+    /// The paper's Example 2.1 declaration: entities and examples arrive
+    /// from two base tables (a trivial two-edge graph, entity rows on sink
+    /// port 0 and example rows on port 1).
+    Legacy(Box<ViewDecl>),
+    /// `ON (SELECT ...)`: the view sits on a derived relation; every sink
+    /// row has the shape `[key, features..., label]`.
+    Derived(DerivedSpec),
+}
+
+/// A resolved derived-view definition.
+struct DerivedSpec {
+    /// Schema of the featurized prefix of a sink row: `[key, features...]`.
+    feat_schema: Schema,
+    /// Position of the label in a sink row (`== feat_schema.arity()`).
+    label_idx: usize,
+}
+
 struct ViewState {
-    decl: ViewDecl,
+    kind: ViewKind,
     ff: Box<dyn FeatureFunction>,
     engine: Engine,
-    /// Label text mapped to +1 (first row of the labels table).
+    /// Label text mapped to +1 (first row of the labels table, or the
+    /// first entry of the `LABELS (...)` clause).
     pos_label: String,
+    /// Full label set for validation; empty = accept any text as −1 (the
+    /// legacy contract, where the labels table is only read at creation).
+    known_labels: Vec<String>,
+    /// The maintenance graph: base-table deltas in, derived-relation
+    /// deltas out.
+    graph: Dataflow<Row>,
+    /// Base table → its source node in `graph`.
+    sources: HashMap<String, NodeId>,
+    /// The graph's sink node.
+    sink: NodeId,
+    /// Set-semantics collapse of the entity port: bag multiplicities →
+    /// the insert/remove verbs the classifier engine speaks.
+    entity_sink: ViewSink<Row>,
+    /// Base table → column that must hold a non-NULL integer entity key,
+    /// validated before any delta of that table enters the graph.
+    key_checks: HashMap<String, usize>,
 }
 
 /// The embedded database.
@@ -79,7 +119,9 @@ struct ViewState {
 pub struct Db {
     tables: HashMap<String, Table>,
     views: HashMap<String, ViewState>,
-    triggers: HashMap<String, Vec<(String, TriggerRole)>>,
+    /// Dataflow edges: base table → views whose graphs consume its deltas
+    /// (what the per-table trigger map used to be).
+    edges: HashMap<String, Vec<String>>,
     /// Simulated stable storage for `DURABLE` views. Sharing one [`SimFs`]
     /// across sessions (via [`Db::with_fs`]) is the reopen-database flow:
     /// drop the `Db`, build a new one over the same file system, re-run the
@@ -128,8 +170,20 @@ impl Db {
                 self.create_view(decl)?;
                 Ok(QueryResult::Done)
             }
+            Statement::CreateDerivedView(decl) => {
+                self.create_derived_view(decl)?;
+                Ok(QueryResult::Done)
+            }
             Statement::Insert { table, values } => {
                 self.insert(&table, values)?;
+                Ok(QueryResult::Done)
+            }
+            Statement::Delete { table, col, key } => {
+                self.delete(&table, &col, key)?;
+                Ok(QueryResult::Done)
+            }
+            Statement::Update { table, sets, col, key } => {
+                self.update(&table, sets, &col, key)?;
                 Ok(QueryResult::Done)
             }
             Statement::SelectLabel { view, key } => {
@@ -156,22 +210,35 @@ impl Db {
                 if class == 1 {
                     return Ok(QueryResult::Ids(pos));
                 }
-                // negatives = entity keys − positives
+                // negatives = view membership − positives
                 let positive: std::collections::HashSet<u64> = pos.into_iter().collect();
-                let entities = self
-                    .tables
-                    .get(&v.decl.entity_table)
-                    .ok_or_else(|| DbError::NoSuchTable(v.decl.entity_table.clone()))?;
-                let keyc = entities
-                    .schema()
-                    .col(&v.decl.entity_key)
-                    .ok_or_else(|| DbError::NoSuchColumn(v.decl.entity_key.clone()))?;
-                let ids = entities
-                    .iter()
-                    .filter_map(|r| r[keyc].as_int())
-                    .map(|k| k as u64)
-                    .filter(|k| !positive.contains(k))
-                    .collect();
+                let ids = match &v.kind {
+                    ViewKind::Legacy(decl) => {
+                        // the entity table is the membership authority
+                        let entities = self
+                            .tables
+                            .get(&decl.entity_table)
+                            .ok_or_else(|| DbError::NoSuchTable(decl.entity_table.clone()))?;
+                        let keyc = entities
+                            .schema()
+                            .col(&decl.entity_key)
+                            .ok_or_else(|| DbError::NoSuchColumn(decl.entity_key.clone()))?;
+                        entities
+                            .iter()
+                            .filter_map(|r| r[keyc].as_int())
+                            .map(|k| k as u64)
+                            .filter(|k| !positive.contains(k))
+                            .collect()
+                    }
+                    // a derived relation has no single base table to scan:
+                    // the sink's refcounts are the membership authority
+                    ViewKind::Derived(_) => v
+                        .entity_sink
+                        .ids()
+                        .into_iter()
+                        .filter(|k| !positive.contains(k))
+                        .collect(),
+                };
                 Ok(QueryResult::Ids(ids))
             }
             Statement::Checkpoint { view } => {
@@ -209,10 +276,10 @@ impl Db {
                 if self.views.remove(&view).is_none() {
                     return Err(DbError::NoSuchView(view));
                 }
-                // detach the ingest triggers so later INSERTs into the base
+                // detach the dataflow edges so later writes to the base
                 // tables no longer reference the dropped view
-                for fired in self.triggers.values_mut() {
-                    fired.retain(|(name, _)| name != &view);
+                for fed in self.edges.values_mut() {
+                    fed.retain(|name| name != &view);
                 }
                 // and delete any durable store: a dropped view's WAL +
                 // checkpoints must not resurrect a later view of the same
@@ -323,24 +390,293 @@ impl Db {
         }
 
         // --- method: USING clause, or the paper's automatic selection
-        let sgd = match decl.using.as_deref() {
-            Some(m) => SgdConfig::for_loss(loss_by_name(m)?),
-            None if warm.len() >= SELECT_MIN_EXAMPLES => hazy_learn::select::select_model(&warm).best,
-            None => SgdConfig::svm(),
-        };
-        let arch = arch_by_name(decl.architecture.as_deref())?;
-        let mode = mode_by_name(decl.mode.as_deref())?;
-        let pair = if dense { NormPair::EUCLIDEAN } else { NormPair::TEXT };
+        let seed_rows: Vec<Row> = entities_table.iter().cloned().collect();
+        let builder = make_builder(decl.using.as_deref(), decl.architecture.as_deref(),
+            decl.mode.as_deref(), dense, ff.dim(), &warm)?;
+        let engine = self.build_engine(
+            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, ents, &warm,
+        )?;
 
-        let builder = ViewBuilder::new(arch, mode).sgd(sgd).norm_pair(pair).dim(ff.dim());
+        // --- the per-table trigger map becomes a dataflow graph: entity
+        // rows flow to sink port 0, example rows to port 1 (one source
+        // feeds both ports when the two tables coincide)
+        let mut graph = Dataflow::new();
+        let src_e = graph.source();
+        let mut sources = HashMap::new();
+        sources.insert(decl.entity_table.clone(), src_e);
+        let sink = if decl.examples_table == decl.entity_table {
+            graph.sink(&[src_e, src_e])
+        } else {
+            let src_x = graph.source();
+            sources.insert(decl.examples_table.clone(), src_x);
+            graph.sink(&[src_e, src_x])
+        };
+        // ongoing maintenance charges the engine's cost universe (the
+        // creation-time corpus scan above stays free, as it always was)
+        graph.set_clock(engine.view().clock().clone());
+        let mut entity_sink = ViewSink::new(move |r: &Row| {
+            r[entity_keyc].as_int().expect("entity key validated before ingest") as u64
+        });
+        // seed the sink's refcounts with the corpus the engine was built
+        // over, so a later DELETE of one of these rows retracts cleanly
+        for r in seed_rows {
+            let _ = entity_sink.absorb(&Delta::insert(r));
+        }
+        let key_checks = HashMap::from([(decl.entity_table.clone(), entity_keyc)]);
+        self.edges.entry(decl.entity_table.clone()).or_default().push(decl.name.clone());
+        if decl.examples_table != decl.entity_table {
+            self.edges.entry(decl.examples_table.clone()).or_default().push(decl.name.clone());
+        }
+        self.views.insert(
+            decl.name.clone(),
+            ViewState {
+                kind: ViewKind::Legacy(Box::new(decl)),
+                ff,
+                engine,
+                pos_label,
+                known_labels: Vec::new(),
+                graph,
+                sources,
+                sink,
+                entity_sink,
+                key_checks,
+            },
+        );
+        Ok(())
+    }
+
+    fn create_derived_view(&mut self, decl: DerivedViewDecl) -> Result<(), DbError> {
+        if self.views.contains_key(&decl.name) {
+            return Err(DbError::AlreadyExists(decl.name));
+        }
+        let q = decl.query.clone();
+        let a = self.tables.get(&q.table).ok_or_else(|| DbError::NoSuchTable(q.table.clone()))?;
+        let b = match &q.join {
+            Some(j) => {
+                if j.table == q.table {
+                    return Err(DbError::Unsupported(
+                        "self-joins in derived views (join a copy of the table instead)".into(),
+                    ));
+                }
+                Some(self.tables.get(&j.table).ok_or_else(|| DbError::NoSuchTable(j.table.clone()))?)
+            }
+            None => None,
+        };
+
+        // --- resolve every column reference to (side, index)
+        let resolve = |c: &ColRef| -> Result<(usize, usize), DbError> {
+            match &c.table {
+                Some(t) if *t == q.table => Ok((
+                    0,
+                    a.schema()
+                        .col(&c.column)
+                        .ok_or_else(|| DbError::NoSuchColumn(format!("{t}.{}", c.column)))?,
+                )),
+                Some(t) => match b {
+                    Some(bt) if *t == bt.name() => Ok((
+                        1,
+                        bt.schema()
+                            .col(&c.column)
+                            .ok_or_else(|| DbError::NoSuchColumn(format!("{t}.{}", c.column)))?,
+                    )),
+                    _ => Err(DbError::NoSuchTable(t.clone())),
+                },
+                None => {
+                    let in_a = a.schema().col(&c.column);
+                    let in_b = b.and_then(|bt| bt.schema().col(&c.column));
+                    match (in_a, in_b) {
+                        (Some(_), Some(_)) => Err(DbError::Unsupported(format!(
+                            "ambiguous column {} (qualify it with a table name)",
+                            c.column
+                        ))),
+                        (Some(i), None) => Ok((0, i)),
+                        (None, Some(i)) => Ok((1, i)),
+                        (None, None) => Err(DbError::NoSuchColumn(c.column.clone())),
+                    }
+                }
+            }
+        };
+        let cols: Vec<(usize, usize)> = q.cols.iter().map(&resolve).collect::<Result<_, _>>()?;
+        let schema_of =
+            |side: usize| if side == 0 { a.schema() } else { b.expect("side 1 implies join").schema() };
+
+        // the first projected column is the derived relation's entity key
+        let (key_side, key_idx) = cols[0];
+        if schema_of(key_side).column(key_idx).1 != ColumnType::Int {
+            return Err(DbError::SchemaMismatch(
+                "the derived view's key column must be an INT column".into(),
+            ));
+        }
+        let join_keys = match &q.join {
+            Some(j) => {
+                let l = resolve(&j.left)?;
+                let r = resolve(&j.right)?;
+                if l.0 == r.0 {
+                    return Err(DbError::Unsupported(
+                        "JOIN ON must relate a column of each table".into(),
+                    ));
+                }
+                let (ak, bk) = if l.0 == 0 { (l.1, r.1) } else { (r.1, l.1) };
+                for (side, idx) in [(0usize, ak), (1, bk)] {
+                    if schema_of(side).column(idx).1 != ColumnType::Int {
+                        return Err(DbError::Unsupported("JOIN keys must be INT columns".into()));
+                    }
+                }
+                Some((ak, bk))
+            }
+            None => None,
+        };
+        let filter = match &q.filter {
+            Some((c, v)) => Some((resolve(c)?, v.clone())),
+            None => None,
+        };
+
+        // --- schema of the featurized prefix [key, features...]; names are
+        // position-prefixed so the same column may be projected twice
+        let label_idx = cols.len() - 1;
+        let mut feat_cols = Vec::with_capacity(label_idx);
+        for (i, &(side, idx)) in cols[..label_idx].iter().enumerate() {
+            let (name, ty) = schema_of(side).column(idx);
+            feat_cols.push((format!("c{i}_{name}"), ty));
+        }
+        let feat_schema = Schema::new(feat_cols);
+
+        // --- build the graph: source(s) → [filter] → [join] → project → sink
+        let mut graph = Dataflow::new();
+        let src_a = graph.source();
+        let mut sources = HashMap::from([(q.table.clone(), src_a)]);
+        let mut node_a = src_a;
+        let mut node_b = None;
+        if let Some(bt) = b {
+            let src_b = graph.source();
+            sources.insert(bt.name().to_string(), src_b);
+            node_b = Some(src_b);
+        }
+        if let Some(((side, idx), v)) = filter {
+            let pred = move |r: &Row| r[idx] == v;
+            if side == 0 {
+                node_a = graph.filter(node_a, pred);
+            } else {
+                node_b = Some(graph.filter(node_b.expect("side 1 implies join"), pred));
+            }
+        }
+        let a_arity = a.schema().arity();
+        let joined = match join_keys {
+            Some((ak, bk)) => graph.join(
+                node_a,
+                node_b.expect("join keys imply a joined table"),
+                move |r: &Row| r[ak].as_int(),
+                move |r: &Row| r[bk].as_int(),
+                |l: &Row, r: &Row| {
+                    let mut out = l.clone();
+                    out.extend(r.iter().cloned());
+                    out
+                },
+            ),
+            None => node_a,
+        };
+        // project [key, features..., label] out of the (possibly
+        // concatenated) row; side-1 columns live after the probe row
+        let positions: Vec<usize> =
+            cols.iter().map(|&(side, idx)| if side == 0 { idx } else { a_arity + idx }).collect();
+        let proj =
+            graph.map(joined, move |r: &Row| positions.iter().map(|&p| r[p].clone()).collect());
+        let sink = graph.sink(&[proj]);
+
+        // --- validate keys, then seed the graph with the current base rows
+        let key_table = if key_side == 0 { a } else { b.expect("side 1 implies join") };
+        for r in key_table.iter() {
+            r[key_idx]
+                .as_int()
+                .ok_or_else(|| DbError::SchemaMismatch("entity key must be an integer".into()))?;
+        }
+        let key_checks = HashMap::from([(key_table.name().to_string(), key_idx)]);
+        graph.ingest(src_a, a.iter().cloned().map(Delta::insert).collect());
+        if let Some(bt) = b {
+            graph.ingest(sources[bt.name()], bt.iter().cloned().map(Delta::insert).collect());
+        }
+        let seeded = graph.drain(sink);
+        let mut entity_sink = ViewSink::new(|r: &Row| {
+            r[0].as_int().expect("entity key validated before ingest") as u64
+        });
+        let mut ents_rows: Vec<(u64, Row)> = Vec::new();
+        for action in entity_sink.absorb_batch(seeded.iter().map(|(_, d)| d)) {
+            if let RowAction::Insert { id, row } = action {
+                ents_rows.push((id, row));
+            }
+        }
+
+        // --- featurize the derived corpus; labeled rows warm the model
+        let mut ff = by_name(&decl.feature_fn, DICT_CAPACITY)
+            .ok_or_else(|| DbError::NoSuchFeatureFunction(decl.feature_fn.clone()))?;
+        let feat_rows: Vec<Row> = ents_rows.iter().map(|(_, r)| r[..label_idx].to_vec()).collect();
+        let corpus: Vec<&Row> = feat_rows.iter().collect();
+        ff.compute_stats(&corpus, &feat_schema);
+        let dense = decl.feature_fn == "numeric_columns";
+        let known_labels = vec![decl.pos_label.clone(), decl.neg_label.clone()];
+        let mut ents = Vec::with_capacity(ents_rows.len());
+        let mut warm = Vec::new();
+        for ((id, row), feat_row) in ents_rows.iter().zip(&feat_rows) {
+            let f = ff.compute_feature(feat_row, &feat_schema);
+            if row[label_idx] != Value::Null {
+                let sign = label_to_sign(&row[label_idx], &decl.pos_label, &known_labels)?;
+                warm.push(TrainingExample::new(*id, f.clone(), sign));
+            }
+            ents.push(Entity::new(*id, f));
+        }
+
+        let builder = make_builder(decl.using.as_deref(), decl.architecture.as_deref(),
+            decl.mode.as_deref(), dense, ff.dim(), &warm)?;
+        let engine = self.build_engine(
+            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, ents, &warm,
+        )?;
+        graph.set_clock(engine.view().clock().clone());
+
+        self.edges.entry(q.table.clone()).or_default().push(decl.name.clone());
+        if let Some(j) = &q.join {
+            self.edges.entry(j.table.clone()).or_default().push(decl.name.clone());
+        }
+        let pos_label = decl.pos_label.clone();
+        self.views.insert(
+            decl.name.clone(),
+            ViewState {
+                kind: ViewKind::Derived(DerivedSpec { feat_schema, label_idx }),
+                ff,
+                engine,
+                pos_label,
+                known_labels,
+                graph,
+                sources,
+                sink,
+                entity_sink,
+                key_checks,
+            },
+        );
+        Ok(())
+    }
+
+    /// Builds a view's engine from prepared entities and warm examples:
+    /// plain, sharded, adaptive, or any combination, optionally wrapped in
+    /// WAL + checkpoint durability (with recovery on reopen).
+    #[allow(clippy::too_many_arguments)] // one flag per physical-design clause
+    fn build_engine(
+        &mut self,
+        name: &str,
+        builder: &ViewBuilder,
+        shards: Option<u32>,
+        adaptive: bool,
+        durable: bool,
+        ents: Vec<Entity>,
+        warm: &[TrainingExample],
+    ) -> Result<Engine, DbError> {
         // SHARDS n routes through the hazy-serve layer: the engine becomes a
         // hash-partitioned ShardedView whose answers are observationally
         // identical to the unsharded build (its own equivalence suite), so
-        // every execution path below stays unchanged
+        // every execution path stays unchanged
         let raw = |builder: &ViewBuilder| -> Box<dyn DurableClassifierView + Send> {
-            match (decl.shards, decl.adaptive) {
+            match (shards, adaptive) {
                 (Some(n), false) if n > 1 => {
-                    Box::new(hazy_serve::ShardedView::build(builder, n as usize, ents, &warm))
+                    Box::new(hazy_serve::ShardedView::build(builder, n as usize, ents, warm))
                 }
                 // ADAPTIVE + SHARDS: every shard gets its own advisor and
                 // migrates independently under its writer-priority lock
@@ -349,44 +685,32 @@ impl Db {
                     AdvisorConfig::default(),
                     n as usize,
                     ents,
-                    &warm,
+                    warm,
                 )),
                 (_, true) => {
-                    Box::new(AdaptiveView::build(builder, AdvisorConfig::default(), ents, &warm))
+                    Box::new(AdaptiveView::build(builder, AdvisorConfig::default(), ents, warm))
                 }
-                _ => builder.build(ents, &warm),
+                _ => builder.build(ents, warm),
             }
         };
-        let engine = if decl.durable {
+        if durable {
             // the durable flow: recover from an existing store (reopen), or
             // build fresh, wrap in WAL + checkpoints, write the genesis
             // checkpoint — the view's learned state now survives the session
-            let path = format!("classification_view/{}", decl.name);
+            let path = format!("classification_view/{name}");
             if self.fs.has_checkpoint(&path) {
                 let store = self.fs.open(&path, builder.new_clock());
-                let dv = DurableView::recover(&builder, store, 256, &TuneRestorer)
+                let dv = DurableView::recover(builder, store, 256, &TuneRestorer)
                     .map_err(|e| DbError::Unsupported(format!("recovery of {path}: {e}")))?;
-                Engine::Durable(dv)
+                Ok(Engine::Durable(dv))
             } else {
-                let inner = raw(&builder);
+                let inner = raw(builder);
                 let store = self.fs.open(&path, inner.clock().clone());
-                Engine::Durable(DurableView::create(inner, store, 256))
+                Ok(Engine::Durable(DurableView::create(inner, store, 256)))
             }
         } else {
-            Engine::Plain(raw(&builder))
-        };
-
-        // --- wire triggers
-        self.triggers
-            .entry(decl.entity_table.clone())
-            .or_default()
-            .push((decl.name.clone(), TriggerRole::Entities));
-        self.triggers
-            .entry(decl.examples_table.clone())
-            .or_default()
-            .push((decl.name.clone(), TriggerRole::Examples));
-        self.views.insert(decl.name.clone(), ViewState { decl, ff, engine, pos_label });
-        Ok(())
+            Ok(Engine::Plain(raw(builder)))
+        }
     }
 
     fn insert(&mut self, table: &str, values: Row) -> Result<(), DbError> {
@@ -394,45 +718,158 @@ impl Db {
             let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
             t.insert(values.clone())?;
         }
-        // fire triggers after the base insert committed
-        let Some(fired) = self.triggers.get(table).cloned() else {
+        self.propagate(table, vec![Delta::insert(values)])
+    }
+
+    fn delete(&mut self, table: &str, col: &str, key: i64) -> Result<(), DbError> {
+        let old = {
+            let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+            let c = t.schema().col(col).ok_or_else(|| DbError::NoSuchColumn(col.into()))?;
+            if t.pk_col() != Some(c) {
+                return Err(DbError::Unsupported(format!(
+                    "DELETE FROM {table} WHERE {col}: the predicate must address the primary key"
+                )));
+            }
+            t.delete(key)?
+        };
+        self.propagate(table, vec![Delta::retract(old)])
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        sets: Vec<(String, Value)>,
+        col: &str,
+        key: i64,
+    ) -> Result<(), DbError> {
+        let (old, new) = {
+            let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+            let c = t.schema().col(col).ok_or_else(|| DbError::NoSuchColumn(col.into()))?;
+            if t.pk_col() != Some(c) {
+                return Err(DbError::Unsupported(format!(
+                    "UPDATE {table} WHERE {col}: the predicate must address the primary key"
+                )));
+            }
+            let resolved = sets
+                .into_iter()
+                .map(|(name, v)| {
+                    t.schema().col(&name).map(|i| (i, v)).ok_or(DbError::NoSuchColumn(name))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            t.update(key, &resolved)?
+        };
+        // one batch: the graph sees retract(old) before insert(new), so the
+        // view observes the update as remove-then-reinsert of the entity
+        self.propagate(table, vec![Delta::retract(old), Delta::insert(new)])
+    }
+
+    /// Pushes a batch of base-table deltas along every dataflow edge
+    /// registered for `table`, after the base write has committed.
+    fn propagate(&mut self, table: &str, deltas: Vec<Delta<Row>>) -> Result<(), DbError> {
+        let Some(fed) = self.edges.get(table).cloned() else {
             return Ok(());
         };
-        for (view_name, role) in fired {
-            // split borrows: pull the view out, work, put it back. A
-            // trigger entry whose view is gone (dropped/renamed between
-            // DDL and this ingest) is a catalog inconsistency, not a
-            // panic: surface it as a structured error — the base row is
-            // already committed, which is exactly PostgreSQL's behaviour
-            // when a trigger function errors after the heap insert.
+        for view_name in fed {
+            // split borrows: pull the view out, work, put it back. An edge
+            // whose view is gone (dropped/renamed between DDL and this
+            // write) is a catalog inconsistency, not a panic: surface it
+            // as a structured error — the base row is already committed,
+            // which is exactly PostgreSQL's behaviour when a trigger
+            // function errors after the heap insert.
             let Some(mut vs) = self.views.remove(&view_name) else {
                 return Err(DbError::NoSuchView(view_name));
             };
-            let result = self.fire_trigger(&mut vs, role, &values);
+            let result = self.feed_view(&mut vs, table, &deltas);
             self.views.insert(view_name, vs);
             result?;
         }
         Ok(())
     }
 
-    fn fire_trigger(&mut self, vs: &mut ViewState, role: TriggerRole, row: &Row) -> Result<(), DbError> {
-        let entities_table = self
-            .tables
-            .get(&vs.decl.entity_table)
-            .ok_or_else(|| DbError::NoSuchTable(vs.decl.entity_table.clone()))?;
-        match role {
-            TriggerRole::Entities => {
-                // type-(1) dynamic data: classify and store the new entity
-                vs.ff.compute_stats_inc(row, entities_table.schema());
-                let keyc = entities_table
-                    .schema()
-                    .col(&vs.decl.entity_key)
-                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.entity_key.clone()))?;
-                let id = row[keyc]
+    /// Runs one view's graph over a batch of deltas from `table` and
+    /// applies what comes out of the sink to the classifier engine.
+    fn feed_view(&mut self, vs: &mut ViewState, table: &str, deltas: &[Delta<Row>]) -> Result<(), DbError> {
+        // keys are validated before anything enters the graph, so sink
+        // rows always carry extractable entity ids
+        if let Some(&kc) = vs.key_checks.get(table) {
+            for d in deltas {
+                d.row[kc]
                     .as_int()
                     .ok_or_else(|| DbError::SchemaMismatch("entity key must be an integer".into()))?;
+            }
+        }
+        let Some(&src) = vs.sources.get(table) else {
+            return Ok(());
+        };
+        vs.graph.ingest(src, deltas.to_vec());
+        for (port, d) in vs.graph.drain(vs.sink) {
+            if port == 1 {
+                // the legacy examples edge: a monotone training stream —
+                // inserts train, retractions are ignored (the paper's
+                // model never unlearns an example)
+                if d.diff > 0 {
+                    self.apply_example(vs, &d.row)?;
+                }
+                continue;
+            }
+            if let Some(action) = vs.entity_sink.absorb(&d) {
+                self.apply_entity_action(vs, action)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Type-(2) dynamic data on a legacy view: a new training example.
+    fn apply_example(&self, vs: &mut ViewState, row: &Row) -> Result<(), DbError> {
+        let ViewKind::Legacy(decl) = &vs.kind else {
+            return Ok(()); // derived graphs have no example port
+        };
+        let entities_table = self
+            .tables
+            .get(&decl.entity_table)
+            .ok_or_else(|| DbError::NoSuchTable(decl.entity_table.clone()))?;
+        let ex_table = self
+            .tables
+            .get(&decl.examples_table)
+            .ok_or_else(|| DbError::NoSuchTable(decl.examples_table.clone()))?;
+        let keyc = ex_table
+            .schema()
+            .col(&decl.examples_key)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.examples_key.clone()))?;
+        let labelc = ex_table
+            .schema()
+            .col(&decl.examples_label)
+            .ok_or_else(|| DbError::NoSuchColumn(decl.examples_label.clone()))?;
+        let key = row[keyc].as_int().ok_or(DbError::MissingEntity(-1))?;
+        let label = label_to_sign(&row[labelc], &vs.pos_label, &vs.known_labels)?;
+        let ent = entities_table.get(key).ok_or(DbError::MissingEntity(key))?;
+        let f = vs.ff.compute_feature(ent, entities_table.schema());
+        vs.engine.view_mut().update(&TrainingExample::new(key as u64, f, label));
+        Ok(())
+    }
+
+    /// A set-level transition of the derived relation: an entity arrived
+    /// (type-(1) dynamic data — classify and store it; on a derived view a
+    /// labeled row also trains) or left (retract it from the classifier).
+    fn apply_entity_action(&self, vs: &mut ViewState, action: RowAction<Row>) -> Result<(), DbError> {
+        let id = match &action {
+            RowAction::Insert { id, .. } | RowAction::Remove { id } => *id,
+        };
+        let RowAction::Insert { row, .. } = action else {
+            // the removal is WAL-logged by a durable engine and routed to
+            // its home shard by a sharded one — same path as an insert
+            let _ = vs.engine.view_mut().remove_entity(id);
+            return Ok(());
+        };
+        match &vs.kind {
+            ViewKind::Legacy(decl) => {
+                let entities_table = self
+                    .tables
+                    .get(&decl.entity_table)
+                    .ok_or_else(|| DbError::NoSuchTable(decl.entity_table.clone()))?;
+                vs.ff.compute_stats_inc(&row, entities_table.schema());
                 if matches!(vs.engine, Engine::Durable(_))
-                    && vs.engine.view_mut().read_single(id as u64).is_some()
+                    && vs.engine.view_mut().read_single(id).is_some()
                 {
                     // idempotent re-insert, durable views only: the reopen
                     // flow replays base-table rows whose entities the
@@ -441,32 +878,51 @@ impl Db {
                     // skip the probe's clock/stats cost entirely).
                     return Ok(());
                 }
-                let f = vs.ff.compute_feature(row, entities_table.schema());
-                vs.engine.view_mut().insert_entity(Entity::new(id as u64, f));
+                let f = vs.ff.compute_feature(&row, entities_table.schema());
+                vs.engine.view_mut().insert_entity(Entity::new(id, f));
             }
-            TriggerRole::Examples => {
-                // type-(2) dynamic data: retrain + incremental maintenance
-                let ex_table = self
-                    .tables
-                    .get(&vs.decl.examples_table)
-                    .ok_or_else(|| DbError::NoSuchTable(vs.decl.examples_table.clone()))?;
-                let keyc = ex_table
-                    .schema()
-                    .col(&vs.decl.examples_key)
-                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.examples_key.clone()))?;
-                let labelc = ex_table
-                    .schema()
-                    .col(&vs.decl.examples_label)
-                    .ok_or_else(|| DbError::NoSuchColumn(vs.decl.examples_label.clone()))?;
-                let key = row[keyc].as_int().ok_or(DbError::MissingEntity(-1))?;
-                let label = label_to_sign(&row[labelc], &vs.pos_label, &[])?;
-                let ent = entities_table.get(key).ok_or(DbError::MissingEntity(key))?;
-                let f = vs.ff.compute_feature(ent, entities_table.schema());
-                vs.engine.view_mut().update(&TrainingExample::new(key as u64, f, label));
+            ViewKind::Derived(spec) => {
+                let feat_row: Row = row[..spec.label_idx].to_vec();
+                vs.ff.compute_stats_inc(&feat_row, &spec.feat_schema);
+                if matches!(vs.engine, Engine::Durable(_))
+                    && vs.engine.view_mut().read_single(id).is_some()
+                {
+                    // replayed base row on the reopen path: the recovered
+                    // engine already holds the entity AND its training
+                    // effect, so skip both
+                    return Ok(());
+                }
+                let f = vs.ff.compute_feature(&feat_row, &spec.feat_schema);
+                vs.engine.view_mut().insert_entity(Entity::new(id, f.clone()));
+                let label = &row[spec.label_idx];
+                if *label != Value::Null {
+                    let sign = label_to_sign(label, &vs.pos_label, &vs.known_labels)?;
+                    vs.engine.view_mut().update(&TrainingExample::new(id, f, sign));
+                }
             }
         }
         Ok(())
     }
+}
+
+/// Method selection + physical-design builder shared by both view forms.
+fn make_builder(
+    using: Option<&str>,
+    architecture: Option<&str>,
+    mode: Option<&str>,
+    dense: bool,
+    dim: usize,
+    warm: &[TrainingExample],
+) -> Result<ViewBuilder, DbError> {
+    let sgd = match using {
+        Some(m) => SgdConfig::for_loss(loss_by_name(m)?),
+        None if warm.len() >= SELECT_MIN_EXAMPLES => hazy_learn::select::select_model(warm).best,
+        None => SgdConfig::svm(),
+    };
+    let arch = arch_by_name(architecture)?;
+    let mode = mode_by_name(mode)?;
+    let pair = if dense { NormPair::EUCLIDEAN } else { NormPair::TEXT };
+    Ok(ViewBuilder::new(arch, mode).sgd(sgd).norm_pair(pair).dim(dim))
 }
 
 fn label_to_sign(v: &Value, pos: &str, known: &[String]) -> Result<i8, DbError> {
@@ -1048,17 +1504,14 @@ mod tests {
     }
 
     /// Regression for the historical `.expect("trigger target exists")`
-    /// panic: a trigger entry whose view is gone (the dropped/renamed-
+    /// panic: a dataflow edge whose view is gone (the dropped/renamed-
     /// between-DDL-and-ingest race, reproduced here by poking the private
     /// catalog directly) must surface as a structured error, not a panic.
     #[test]
-    fn dangling_trigger_entry_is_a_structured_error() {
+    fn dangling_edge_entry_is_a_structured_error() {
         let mut db = setup();
         create_view(&mut db, "USING SVM");
-        db.triggers
-            .get_mut("Papers")
-            .expect("entity trigger list exists")
-            .push(("Ghost".into(), TriggerRole::Entities));
+        db.edges.get_mut("Papers").expect("entity edge list exists").push("Ghost".into());
         let err = db.execute("INSERT INTO Papers VALUES (9, 'orphan row')").unwrap_err();
         assert_eq!(err, DbError::NoSuchView("Ghost".into()));
         // the base insert itself committed (trigger errors follow the
@@ -1080,5 +1533,336 @@ mod tests {
         assert!(db.view_memory("Labeled_Papers").unwrap().total() > 0);
         assert!(db.view_model("Labeled_Papers").is_some());
         assert!(db.view_clock_ns("Labeled_Papers").unwrap() > 0);
+    }
+
+    // ------------------------------------------------------------------
+    // derived views: classification over a dataflow-maintained relation
+    // ------------------------------------------------------------------
+
+    /// A fixture with a linearly separable numeric corpus: positives sit
+    /// at x ≈ +1, negatives at x ≈ −1, plus two unlabeled points.
+    fn setup_points() -> Db {
+        let mut db = Db::new();
+        db.execute("CREATE TABLE Points (id INT PRIMARY KEY, x FLOAT, y FLOAT, tag TEXT)")
+            .unwrap();
+        for (id, x, y, tag) in [
+            (1, 1.0, 0.2, "'P'"),
+            (2, 0.8, -0.1, "'P'"),
+            (3, -1.0, 0.3, "'N'"),
+            (4, -0.9, -0.2, "'N'"),
+            (5, 1.1, 0.1, "NULL"),
+            (6, -1.2, 0.0, "NULL"),
+        ] {
+            db.execute(&format!("INSERT INTO Points VALUES ({id}, {x:?}, {y:?}, {tag})")).unwrap();
+        }
+        db
+    }
+
+    fn create_points_view(db: &mut Db, extra: &str) {
+        db.execute(&format!(
+            "CREATE CLASSIFICATION VIEW PV ON (SELECT id, x, y, tag FROM Points) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns USING SVM {extra}"
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn single_table_derived_view_classifies_and_tracks_dml() {
+        let mut db = setup_points();
+        create_points_view(&mut db, "");
+        assert_eq!(db.execute("SELECT COUNT(*) FROM PV").unwrap(), QueryResult::Count(6));
+        for (id, expect) in [(1, 1), (2, 1), (3, -1), (4, -1), (5, 1), (6, -1)] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM PV WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "point {id}"
+            );
+        }
+        // a labeled insert both classifies AND trains through the graph
+        let before = db.view_stats("PV").unwrap().updates;
+        db.execute("INSERT INTO Points VALUES (7, 0.9, 0.0, 'P')").unwrap();
+        assert_eq!(db.view_stats("PV").unwrap().updates, before + 1);
+        assert_eq!(
+            db.execute("SELECT class FROM PV WHERE id = 7").unwrap(),
+            QueryResult::Label(Some(1))
+        );
+        // an unlabeled insert only classifies
+        db.execute("INSERT INTO Points VALUES (8, -0.8, 0.1, NULL)").unwrap();
+        assert_eq!(db.view_stats("PV").unwrap().updates, before + 1);
+        assert_eq!(
+            db.execute("SELECT class FROM PV WHERE id = 8").unwrap(),
+            QueryResult::Label(Some(-1))
+        );
+        // DELETE retracts the row through the graph: the entity leaves the
+        // derived relation and every read surface agrees
+        db.execute("DELETE FROM Points WHERE id = 8").unwrap();
+        db.execute("DELETE FROM Points WHERE id = 5").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM PV").unwrap(), QueryResult::Count(6));
+        assert_eq!(
+            db.execute("SELECT class FROM PV WHERE id = 5").unwrap(),
+            QueryResult::Label(None)
+        );
+        let QueryResult::Ids(mut ids) = db.execute("SELECT id FROM PV WHERE class = 1").unwrap()
+        else {
+            panic!("expected ids")
+        };
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 7]);
+        // UPDATE is retract + reinsert: the point crosses the boundary and
+        // its classification flips
+        db.execute("UPDATE Points SET x = -1.3 WHERE id = 7").unwrap();
+        assert_eq!(
+            db.execute("SELECT class FROM PV WHERE id = 7").unwrap(),
+            QueryResult::Label(Some(-1))
+        );
+        assert_eq!(db.execute("SELECT COUNT(*) FROM PV").unwrap(), QueryResult::Count(6));
+    }
+
+    #[test]
+    fn derived_view_where_filter_gates_membership() {
+        let mut db = Db::new();
+        db.execute("CREATE TABLE T (id INT PRIMARY KEY, x FLOAT, flag INT, tag TEXT)").unwrap();
+        for (id, x, flag, tag) in
+            [(1, 1.0, 1, "'P'"), (2, -1.0, 1, "'N'"), (3, 0.9, 1, "NULL"), (4, 0.7, 0, "'P'")]
+        {
+            db.execute(&format!("INSERT INTO T VALUES ({id}, {x:?}, {flag}, {tag})")).unwrap();
+        }
+        db.execute(
+            "CREATE CLASSIFICATION VIEW FV ON (SELECT id, x, tag FROM T WHERE flag = 1) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns USING SVM",
+        )
+        .unwrap();
+        // row 4 fails the predicate and is not part of the derived relation
+        assert_eq!(db.execute("SELECT COUNT(*) FROM FV").unwrap(), QueryResult::Count(3));
+        assert_eq!(
+            db.execute("SELECT class FROM FV WHERE id = 4").unwrap(),
+            QueryResult::Label(None)
+        );
+        // flipping the flag moves the row in and out of the view
+        db.execute("UPDATE T SET flag = 1 WHERE id = 4").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM FV").unwrap(), QueryResult::Count(4));
+        assert_eq!(
+            db.execute("SELECT class FROM FV WHERE id = 4").unwrap(),
+            QueryResult::Label(Some(1))
+        );
+        db.execute("UPDATE T SET flag = 0 WHERE id = 3").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM FV").unwrap(), QueryResult::Count(3));
+    }
+
+    /// Two-table fixture: `Docs` carries one feature, `Meta` the other
+    /// plus the label; the view is their equi-join on the doc id.
+    fn setup_join() -> Db {
+        let mut db = Db::new();
+        db.execute("CREATE TABLE Docs (id INT PRIMARY KEY, x FLOAT)").unwrap();
+        db.execute("CREATE TABLE Meta (doc INT PRIMARY KEY, y FLOAT, lbl TEXT)").unwrap();
+        for (id, x) in [(1, 1.0), (2, 0.8), (3, -1.0), (4, -0.9), (5, 1.1), (6, -1.2)] {
+            db.execute(&format!("INSERT INTO Docs VALUES ({id}, {x:?})")).unwrap();
+        }
+        for (doc, y, lbl) in [
+            (1, 0.2, "'P'"),
+            (2, -0.1, "'P'"),
+            (3, 0.3, "'N'"),
+            (4, -0.2, "'N'"),
+            (5, 0.1, "NULL"),
+            (6, 0.0, "NULL"),
+        ] {
+            db.execute(&format!("INSERT INTO Meta VALUES ({doc}, {y:?}, {lbl})")).unwrap();
+        }
+        db
+    }
+
+    fn create_join_view(db: &mut Db, extra: &str) {
+        db.execute(&format!(
+            "CREATE CLASSIFICATION VIEW JV ON \
+             (SELECT Docs.id, Docs.x, Meta.y, Meta.lbl FROM Docs \
+              JOIN Meta ON Docs.id = Meta.doc) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns USING SVM {extra}"
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn join_backed_view_maintains_membership_through_both_inputs() {
+        let mut db = setup_join();
+        create_join_view(&mut db, "");
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(6));
+        for (id, expect) in [(1, 1), (2, 1), (3, -1), (4, -1), (5, 1), (6, -1)] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM JV WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "doc {id}"
+            );
+        }
+        // a doc with no metadata joins nothing: not an entity yet
+        db.execute("INSERT INTO Docs VALUES (7, 0.95)").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(6));
+        // its metadata arriving completes the join and the entity appears
+        db.execute("INSERT INTO Meta VALUES (7, 0.05, NULL)").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(7));
+        assert_eq!(
+            db.execute("SELECT class FROM JV WHERE id = 7").unwrap(),
+            QueryResult::Label(Some(1))
+        );
+        // deleting EITHER side's row retracts the joined entity
+        db.execute("DELETE FROM Meta WHERE doc = 7").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(6));
+        db.execute("DELETE FROM Docs WHERE id = 6").unwrap();
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(5));
+        assert_eq!(
+            db.execute("SELECT class FROM JV WHERE id = 6").unwrap(),
+            QueryResult::Label(None)
+        );
+        // an update on the non-key side re-derives the joined row
+        db.execute("UPDATE Docs SET x = -1.4 WHERE id = 5").unwrap();
+        assert_eq!(
+            db.execute("SELECT class FROM JV WHERE id = 5").unwrap(),
+            QueryResult::Label(Some(-1))
+        );
+        assert_eq!(db.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(5));
+    }
+
+    #[test]
+    fn derived_views_compose_with_shards_and_adaptive() {
+        for extra in ["SHARDS 3", "ADAPTIVE", "SHARDS 2 ADAPTIVE"] {
+            let mut db = setup_join();
+            create_join_view(&mut db, extra);
+            for (id, expect) in [(1, 1), (3, -1), (5, 1), (6, -1)] {
+                assert_eq!(
+                    db.execute(&format!("SELECT class FROM JV WHERE id = {id}")).unwrap(),
+                    QueryResult::Label(Some(expect)),
+                    "doc {id} under {extra}"
+                );
+            }
+            db.execute("DELETE FROM Meta WHERE doc = 5").unwrap();
+            db.execute("UPDATE Docs SET x = -1.4 WHERE id = 1").unwrap();
+            assert_eq!(
+                db.execute("SELECT COUNT(*) FROM JV").unwrap(),
+                QueryResult::Count(5),
+                "count under {extra}"
+            );
+            assert_eq!(
+                db.execute("SELECT class FROM JV WHERE id = 1").unwrap(),
+                QueryResult::Label(Some(-1)),
+                "re-derived doc 1 under {extra}"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_join_view_survives_reopen() {
+        // session 1: durable JOIN-backed view, then post-create writes that
+        // only the WAL remembers
+        let mut db = setup_join();
+        create_join_view(&mut db, "DURABLE");
+        db.execute("INSERT INTO Docs VALUES (7, 0.95)").unwrap();
+        db.execute("INSERT INTO Meta VALUES (7, 0.05, 'P')").unwrap();
+        db.execute("DELETE FROM Meta WHERE doc = 6").unwrap();
+        let trained = db.view_stats("JV").unwrap().updates;
+        db.execute("CHECKPOINT CLASSIFICATION VIEW JV").unwrap();
+        let fs = db.fs();
+        drop(db);
+
+        // session 2: re-run schema + base rows (tables are not durable) —
+        // reflecting the post-checkpoint writes — then recover the view
+        let mut db2 = Db::with_fs(fs.crash());
+        db2.execute("CREATE TABLE Docs (id INT PRIMARY KEY, x FLOAT)").unwrap();
+        db2.execute("CREATE TABLE Meta (doc INT PRIMARY KEY, y FLOAT, lbl TEXT)").unwrap();
+        for (id, x) in [(1, 1.0), (2, 0.8), (3, -1.0), (4, -0.9), (5, 1.1), (6, -1.2), (7, 0.95)]
+        {
+            db2.execute(&format!("INSERT INTO Docs VALUES ({id}, {x:?})")).unwrap();
+        }
+        for (doc, y, lbl) in
+            [(1, 0.2, "'P'"), (2, -0.1, "'P'"), (3, 0.3, "'N'"), (4, -0.2, "'N'"), (5, 0.1, "NULL"), (7, 0.05, "'P'")]
+        {
+            db2.execute(&format!("INSERT INTO Meta VALUES ({doc}, {y:?}, {lbl})")).unwrap();
+        }
+        create_join_view(&mut db2, "DURABLE");
+        // zero retraining: the recovered engine answers, the replayed base
+        // rows are recognized as already-known entities
+        assert_eq!(db2.view_stats("JV").unwrap().updates, trained);
+        assert_eq!(db2.execute("SELECT COUNT(*) FROM JV").unwrap(), QueryResult::Count(6));
+        for (id, expect) in [(1, 1), (3, -1), (7, 1)] {
+            assert_eq!(
+                db2.execute(&format!("SELECT class FROM JV WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "doc {id} after reopen"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_view_ddl_errors_are_structured() {
+        let mut db = setup_join();
+        fn err(db: &mut Db, sql: &str) -> DbError {
+            db.execute(sql).unwrap_err()
+        }
+        assert_eq!(
+            err(&mut db, "CREATE CLASSIFICATION VIEW V ON (SELECT id, x, lbl FROM Ghost) \
+                 LABELS ('P','N') FEATURE FUNCTION numeric_columns"),
+            DbError::NoSuchTable("Ghost".into())
+        );
+        assert_eq!(
+            err(&mut db, "CREATE CLASSIFICATION VIEW V ON (SELECT Docs.ghost, x, lbl FROM Docs \
+                 JOIN Meta ON Docs.id = Meta.doc) \
+                 LABELS ('P','N') FEATURE FUNCTION numeric_columns"),
+            DbError::NoSuchColumn("Docs.ghost".into())
+        );
+        // an unqualified column visible on both sides must be qualified
+        db.execute("CREATE TABLE Meta2 (doc INT PRIMARY KEY, x FLOAT, lbl TEXT)").unwrap();
+        assert!(matches!(
+            err(&mut db, "CREATE CLASSIFICATION VIEW V ON (SELECT doc, x, lbl FROM Docs \
+                 JOIN Meta2 ON Docs.id = Meta2.doc) \
+                 LABELS ('P','N') FEATURE FUNCTION numeric_columns"),
+            DbError::Unsupported(m) if m.contains("ambiguous")
+        ));
+        // the key column must be an integer
+        assert!(matches!(
+            err(&mut db, "CREATE CLASSIFICATION VIEW V ON (SELECT x, id, lbl FROM Docs \
+                 JOIN Meta ON Docs.id = Meta.doc) \
+                 LABELS ('P','N') FEATURE FUNCTION numeric_columns"),
+            DbError::SchemaMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn delete_and_update_errors_are_structured() {
+        let mut db = setup_points();
+        create_points_view(&mut db, "");
+        fn err(db: &mut Db, sql: &str) -> DbError {
+            db.execute(sql).unwrap_err()
+        }
+        assert_eq!(
+            err(&mut db, "DELETE FROM Ghost WHERE id = 1"),
+            DbError::NoSuchTable("Ghost".into())
+        );
+        assert_eq!(
+            err(&mut db, "UPDATE Ghost SET x = 1 WHERE id = 1"),
+            DbError::NoSuchTable("Ghost".into())
+        );
+        assert_eq!(
+            err(&mut db, "DELETE FROM Points WHERE ghost = 1"),
+            DbError::NoSuchColumn("ghost".into())
+        );
+        assert_eq!(
+            err(&mut db, "UPDATE Points SET ghost = 1 WHERE id = 1"),
+            DbError::NoSuchColumn("ghost".into())
+        );
+        assert_eq!(err(&mut db, "DELETE FROM Points WHERE id = 99"), DbError::MissingRow(99));
+        assert_eq!(
+            err(&mut db, "UPDATE Points SET x = 0 WHERE id = 99"),
+            DbError::MissingRow(99)
+        );
+        // only primary-key predicates are supported, and the key itself
+        // cannot be reassigned
+        assert!(matches!(
+            err(&mut db, "DELETE FROM Points WHERE x = 1"),
+            DbError::Unsupported(_)
+        ));
+        assert!(matches!(
+            err(&mut db, "UPDATE Points SET id = 9 WHERE id = 1"),
+            DbError::Unsupported(_)
+        ));
+        // none of the failed statements disturbed the view
+        assert_eq!(db.execute("SELECT COUNT(*) FROM PV").unwrap(), QueryResult::Count(6));
     }
 }

@@ -24,6 +24,8 @@ pub enum DbError {
     MissingEntity(i64),
     /// A label value outside the view's declared label set.
     BadLabel(String),
+    /// `DELETE`/`UPDATE` addressed a primary key that has no row.
+    MissingRow(i64),
     /// Parse error with position information.
     Parse {
         /// Human-readable message.
@@ -47,6 +49,7 @@ impl fmt::Display for DbError {
             DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
             DbError::MissingEntity(id) => write!(f, "no entity with id {id}"),
             DbError::BadLabel(l) => write!(f, "label not in the view's label set: {l}"),
+            DbError::MissingRow(k) => write!(f, "no row with key {k}"),
             DbError::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
             DbError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
         }

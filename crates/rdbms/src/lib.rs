@@ -4,9 +4,13 @@
 //! `CREATE CLASSIFICATION VIEW` statement (Example 2.1), training examples
 //! arrive as ordinary `INSERT`s intercepted by triggers, and queries against
 //! the view are plain SQL. This crate reproduces that integration surface on
-//! an embedded engine:
+//! an embedded engine — with the trigger role played by per-table
+//! delta-dataflow edges (`hazy-flow`), so views can also sit on *derived
+//! relations*: `CREATE CLASSIFICATION VIEW v ON (SELECT ... FROM a JOIN b
+//! ON ... WHERE ...)` is maintained incrementally under `INSERT`,
+//! `DELETE`, and `UPDATE`:
 //!
-//! * [`Db`] — catalog of typed tables, trigger dispatch, statement
+//! * [`Db`] — catalog of typed tables, per-table dataflow edges, statement
 //!   execution;
 //! * [`features`] — the feature-function registry of Appendix A.2
 //!   (`tf_bag_of_words`, `tf_idf_bag_of_words`, numeric columns), each a
@@ -31,6 +35,6 @@ mod value;
 
 pub use db::{Db, QueryResult};
 pub use error::DbError;
-pub use sql::{parse_statement, Statement, ViewDecl};
+pub use sql::{parse_statement, ColRef, DerivedViewDecl, JoinOn, OnQuery, Statement, ViewDecl};
 pub use table::Table;
 pub use value::{ColumnType, Row, Schema, Value};

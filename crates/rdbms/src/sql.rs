@@ -56,6 +56,75 @@ pub struct ViewDecl {
     pub adaptive: bool,
 }
 
+/// A column reference, optionally qualified: `title` or `Papers.title`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColRef {
+    /// Qualifying table, when written `table.column`.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// The `JOIN b ON a.x = b.y` clause of a derived-view query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinOn {
+    /// The joined (build-side) table.
+    pub table: String,
+    /// Left join key (resolved against either table at execution time).
+    pub left: ColRef,
+    /// Right join key.
+    pub right: ColRef,
+}
+
+/// The relational query inside `CREATE CLASSIFICATION VIEW v ON (...)`:
+/// a projection over one table, optionally joined with a second and
+/// filtered by a single equality predicate.
+///
+/// Column positions carry meaning: the **first** projected column is the
+/// entity key of the derived relation, the **last** is the label column
+/// (NULL-labeled rows are unlabeled entities, labeled rows are training
+/// examples), and everything in between feeds the feature function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OnQuery {
+    /// Projected columns, in order (key, features..., label).
+    pub cols: Vec<ColRef>,
+    /// The driving (probe-side) table.
+    pub table: String,
+    /// Optional equi-join with a second table.
+    pub join: Option<JoinOn>,
+    /// Optional `WHERE col = literal` filter.
+    pub filter: Option<(ColRef, Value)>,
+}
+
+/// A parsed `CREATE CLASSIFICATION VIEW v ON (SELECT ...)` declaration —
+/// the dataflow-backed generalization of [`ViewDecl`] where the view sits
+/// on a *derived* relation instead of raw entity/example tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DerivedViewDecl {
+    /// View name.
+    pub name: String,
+    /// The defining query.
+    pub query: OnQuery,
+    /// Label mapped to class `+1`.
+    pub pos_label: String,
+    /// Label mapped to class `-1`.
+    pub neg_label: String,
+    /// Feature function registry name.
+    pub feature_fn: String,
+    /// Optional classification method (`USING SVM` etc.).
+    pub using: Option<String>,
+    /// Optional physical design (`ARCHITECTURE HAZY_MM` etc.).
+    pub architecture: Option<String>,
+    /// Optional maintenance mode (`MODE EAGER|LAZY`).
+    pub mode: Option<String>,
+    /// Optional shard count (`SHARDS n`).
+    pub shards: Option<u32>,
+    /// `DURABLE`: WAL + checkpoint the view.
+    pub durable: bool,
+    /// `ADAPTIVE`: wrap in the online workload advisor.
+    pub adaptive: bool,
+}
+
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq)]
 #[allow(clippy::large_enum_variant)] // statements are transient parse results
@@ -71,12 +140,34 @@ pub enum Statement {
     },
     /// `CREATE CLASSIFICATION VIEW ...`
     CreateView(ViewDecl),
+    /// `CREATE CLASSIFICATION VIEW v ON (SELECT ...)`
+    CreateDerivedView(DerivedViewDecl),
     /// `INSERT INTO table VALUES (...)`
     Insert {
         /// Target table.
         table: String,
         /// Literal values.
         values: Vec<Value>,
+    },
+    /// `DELETE FROM table WHERE <pk> = k`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Column named in the predicate (must be the primary key).
+        col: String,
+        /// Key of the row to delete.
+        key: i64,
+    },
+    /// `UPDATE table SET col = lit [, ...] WHERE <pk> = k`
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, new value)` assignments in statement order.
+        sets: Vec<(String, Value)>,
+        /// Column named in the predicate (must be the primary key).
+        col: String,
+        /// Key of the row to update.
+        key: i64,
     },
     /// `SELECT class FROM view WHERE <key> = n`
     SelectLabel {
@@ -211,7 +302,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, DbError> {
                 }
             }
             out.push((Tok::Str(s), start));
-        } else if "(),=*;".contains(c) {
+        } else if "(),=*;.".contains(c) {
             out.push((Tok::Sym(c), i));
             i += 1;
         } else {
@@ -325,14 +416,7 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         lx.sym('(')?;
         let mut values = Vec::new();
         loop {
-            let v = match lx.next() {
-                Some(Tok::Int(v)) => Value::Int(v),
-                Some(Tok::Float(v)) => Value::Float(v),
-                Some(Tok::Str(s)) => Value::Text(s),
-                Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Value::Null,
-                other => return Err(lx.err(format!("expected literal, found {other:?}"))),
-            };
-            values.push(v);
+            values.push(parse_literal(&mut lx)?);
             if lx.eat_sym(')') {
                 break;
             }
@@ -340,6 +424,35 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         }
         lx.done()?;
         return Ok(Statement::Insert { table, values });
+    }
+    if lx.eat_keyword("DELETE") {
+        lx.keyword("FROM")?;
+        let table = lx.ident()?;
+        lx.keyword("WHERE")?;
+        let col = lx.ident()?;
+        lx.sym('=')?;
+        let key = lx.int()?;
+        lx.done()?;
+        return Ok(Statement::Delete { table, col, key });
+    }
+    if lx.eat_keyword("UPDATE") {
+        let table = lx.ident()?;
+        lx.keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = lx.ident()?;
+            lx.sym('=')?;
+            sets.push((col, parse_literal(&mut lx)?));
+            if !lx.eat_sym(',') {
+                break;
+            }
+        }
+        lx.keyword("WHERE")?;
+        let col = lx.ident()?;
+        lx.sym('=')?;
+        let key = lx.int()?;
+        lx.done()?;
+        return Ok(Statement::Update { table, sets, col, key });
     }
     if lx.eat_keyword("SELECT") {
         return parse_select(&mut lx);
@@ -372,7 +485,17 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         lx.done()?;
         return Ok(Statement::DropView { view });
     }
-    Err(lx.err("expected CREATE, INSERT, SELECT, CHECKPOINT, ALTER or DROP"))
+    Err(lx.err("expected CREATE, INSERT, DELETE, UPDATE, SELECT, CHECKPOINT, ALTER or DROP"))
+}
+
+fn parse_literal(lx: &mut Lexer<'_>) -> Result<Value, DbError> {
+    match lx.next() {
+        Some(Tok::Int(v)) => Ok(Value::Int(v)),
+        Some(Tok::Float(v)) => Ok(Value::Float(v)),
+        Some(Tok::Str(s)) => Ok(Value::Text(s)),
+        Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+        other => Err(lx.err(format!("expected literal, found {other:?}"))),
+    }
 }
 
 fn parse_type(lx: &mut Lexer<'_>) -> Result<ColumnType, DbError> {
@@ -411,8 +534,121 @@ fn parse_create_table(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     Ok(Statement::CreateTable { name, cols, pk })
 }
 
+/// The trailing option clauses shared by both view declaration forms.
+#[derive(Default)]
+struct ViewOptions {
+    using: Option<String>,
+    architecture: Option<String>,
+    mode: Option<String>,
+    shards: Option<u32>,
+    durable: bool,
+    adaptive: bool,
+}
+
+fn parse_view_options(lx: &mut Lexer<'_>) -> Result<ViewOptions, DbError> {
+    let mut o = ViewOptions::default();
+    loop {
+        if lx.eat_keyword("USING") {
+            o.using = Some(lx.ident()?);
+        } else if lx.eat_keyword("ARCHITECTURE") {
+            o.architecture = Some(lx.ident()?);
+        } else if lx.eat_keyword("MODE") {
+            o.mode = Some(lx.ident()?);
+        } else if lx.eat_keyword("SHARDS") {
+            let n = lx.int()?;
+            if !(1..=4096).contains(&n) {
+                return Err(lx.err("SHARDS must be between 1 and 4096"));
+            }
+            o.shards = Some(n as u32);
+        } else if lx.eat_keyword("DURABLE") {
+            o.durable = true;
+        } else if lx.eat_keyword("ADAPTIVE") {
+            o.adaptive = true;
+        } else {
+            return Ok(o);
+        }
+    }
+}
+
+fn parse_colref(lx: &mut Lexer<'_>) -> Result<ColRef, DbError> {
+    let first = lx.ident()?;
+    if lx.eat_sym('.') {
+        Ok(ColRef { table: Some(first), column: lx.ident()? })
+    } else {
+        Ok(ColRef { table: None, column: first })
+    }
+}
+
+fn parse_derived_view(lx: &mut Lexer<'_>, name: String) -> Result<Statement, DbError> {
+    lx.sym('(')?;
+    lx.keyword("SELECT")?;
+    let mut cols = Vec::new();
+    loop {
+        cols.push(parse_colref(lx)?);
+        if !lx.eat_sym(',') {
+            break;
+        }
+    }
+    if cols.len() < 3 {
+        return Err(lx.err("a derived view needs at least key, one feature and label columns"));
+    }
+    lx.keyword("FROM")?;
+    let table = lx.ident()?;
+    let join = if lx.eat_keyword("JOIN") {
+        let jt = lx.ident()?;
+        lx.keyword("ON")?;
+        let left = parse_colref(lx)?;
+        lx.sym('=')?;
+        let right = parse_colref(lx)?;
+        Some(JoinOn { table: jt, left, right })
+    } else {
+        None
+    };
+    let filter = if lx.eat_keyword("WHERE") {
+        let col = parse_colref(lx)?;
+        lx.sym('=')?;
+        Some((col, parse_literal(lx)?))
+    } else {
+        None
+    };
+    lx.sym(')')?;
+    lx.keyword("LABELS")?;
+    lx.sym('(')?;
+    let pos_label = match lx.next() {
+        Some(Tok::Str(s)) => s,
+        other => return Err(lx.err(format!("expected label string, found {other:?}"))),
+    };
+    lx.sym(',')?;
+    let neg_label = match lx.next() {
+        Some(Tok::Str(s)) => s,
+        other => return Err(lx.err(format!("expected label string, found {other:?}"))),
+    };
+    lx.sym(')')?;
+    lx.keyword("FEATURE")?;
+    lx.keyword("FUNCTION")?;
+    let feature_fn = lx.ident()?;
+    let o = parse_view_options(lx)?;
+    lx.done()?;
+    Ok(Statement::CreateDerivedView(DerivedViewDecl {
+        name,
+        query: OnQuery { cols, table, join, filter },
+        pos_label,
+        neg_label,
+        feature_fn,
+        using: o.using,
+        architecture: o.architecture,
+        mode: o.mode,
+        shards: o.shards,
+        durable: o.durable,
+        adaptive: o.adaptive,
+    }))
+}
+
 fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     let name = lx.ident()?;
+    if lx.eat_keyword("ON") {
+        return parse_derived_view(lx, name);
+    }
     lx.keyword("KEY")?;
     let key = lx.ident()?;
     lx.keyword("ENTITIES")?;
@@ -435,33 +671,7 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
     lx.keyword("FEATURE")?;
     lx.keyword("FUNCTION")?;
     let feature_fn = lx.ident()?;
-    let mut using = None;
-    let mut architecture = None;
-    let mut mode = None;
-    let mut shards = None;
-    let mut durable = false;
-    let mut adaptive = false;
-    loop {
-        if lx.eat_keyword("USING") {
-            using = Some(lx.ident()?);
-        } else if lx.eat_keyword("ARCHITECTURE") {
-            architecture = Some(lx.ident()?);
-        } else if lx.eat_keyword("MODE") {
-            mode = Some(lx.ident()?);
-        } else if lx.eat_keyword("SHARDS") {
-            let n = lx.int()?;
-            if !(1..=4096).contains(&n) {
-                return Err(lx.err("SHARDS must be between 1 and 4096"));
-            }
-            shards = Some(n as u32);
-        } else if lx.eat_keyword("DURABLE") {
-            durable = true;
-        } else if lx.eat_keyword("ADAPTIVE") {
-            adaptive = true;
-        } else {
-            break;
-        }
-    }
+    let o = parse_view_options(lx)?;
     lx.done()?;
     Ok(Statement::CreateView(ViewDecl {
         name,
@@ -474,12 +684,12 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         examples_key,
         examples_label,
         feature_fn,
-        using,
-        architecture,
-        mode,
-        shards,
-        durable,
-        adaptive,
+        using: o.using,
+        architecture: o.architecture,
+        mode: o.mode,
+        shards: o.shards,
+        durable: o.durable,
+        adaptive: o.adaptive,
     }))
 }
 
@@ -703,6 +913,100 @@ mod tests {
         assert!(parse_statement("ALTER CLASSIFICATION VIEW V SET ARCH").is_err());
         assert!(parse_statement("ALTER CLASSIFICATION VIEW V ARCH HYBRID").is_err());
         assert!(parse_statement("DROP CLASSIFICATION VIEW").is_err());
+    }
+
+    #[test]
+    fn parses_a_join_backed_derived_view() {
+        let stmt = parse_statement(
+            "CREATE CLASSIFICATION VIEW Hot_Papers ON \
+             (SELECT Papers.id, Papers.title, Votes.score, Papers.area FROM Papers \
+              JOIN Votes ON Papers.id = Votes.paper WHERE Votes.round = 2) \
+             LABELS ('Hot', 'Cold') FEATURE FUNCTION numeric_columns \
+             USING SVM ARCHITECTURE HYBRID MODE LAZY SHARDS 2 DURABLE ADAPTIVE",
+        );
+        match stmt.unwrap() {
+            Statement::CreateDerivedView(v) => {
+                assert_eq!(v.name, "Hot_Papers");
+                assert_eq!(v.query.cols.len(), 4);
+                assert_eq!(v.query.cols[0].table.as_deref(), Some("Papers"));
+                assert_eq!(v.query.cols[0].column, "id");
+                assert_eq!(v.query.table, "Papers");
+                let j = v.query.join.as_ref().unwrap();
+                assert_eq!(j.table, "Votes");
+                assert_eq!(j.left.table.as_deref(), Some("Papers"));
+                assert_eq!(j.right.column, "paper");
+                let (fc, fv) = v.query.filter.as_ref().unwrap();
+                assert_eq!(fc.column, "round");
+                assert_eq!(*fv, Value::Int(2));
+                assert_eq!(v.pos_label, "Hot");
+                assert_eq!(v.neg_label, "Cold");
+                assert_eq!(v.shards, Some(2));
+                assert!(v.durable && v.adaptive);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_single_table_derived_view() {
+        match parse_statement(
+            "CREATE CLASSIFICATION VIEW V ON (SELECT id, score, label FROM T) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns",
+        )
+        .unwrap()
+        {
+            Statement::CreateDerivedView(v) => {
+                assert_eq!(v.query.join, None);
+                assert_eq!(v.query.filter, None);
+                assert_eq!(v.query.cols[1].table, None);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_views_need_three_columns_and_two_labels() {
+        assert!(parse_statement(
+            "CREATE CLASSIFICATION VIEW V ON (SELECT id, label FROM T) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns",
+        )
+        .is_err());
+        assert!(parse_statement(
+            "CREATE CLASSIFICATION VIEW V ON (SELECT id, s, label FROM T) \
+             LABELS ('P') FEATURE FUNCTION numeric_columns",
+        )
+        .is_err());
+        assert!(parse_statement(
+            "CREATE CLASSIFICATION VIEW V ON (SELECT id, s, label FROM T JOIN) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        assert_eq!(
+            parse_statement("DELETE FROM Papers WHERE id = 7").unwrap(),
+            Statement::Delete { table: "Papers".into(), col: "id".into(), key: 7 }
+        );
+        assert_eq!(
+            parse_statement("UPDATE Papers SET title = 'x', score = 0.5 WHERE id = -3;")
+                .unwrap(),
+            Statement::Update {
+                table: "Papers".into(),
+                sets: vec![
+                    ("title".into(), Value::Text("x".into())),
+                    ("score".into(), Value::Float(0.5)),
+                ],
+                col: "id".into(),
+                key: -3,
+            }
+        );
+        assert!(parse_statement("DELETE FROM Papers").is_err());
+        assert!(parse_statement("DELETE Papers WHERE id = 1").is_err());
+        assert!(parse_statement("UPDATE Papers SET WHERE id = 1").is_err());
+        assert!(parse_statement("UPDATE Papers SET a = 1").is_err());
+        assert!(parse_statement("UPDATE Papers SET a = 1 WHERE id = 'x'").is_err());
     }
 
     #[test]

@@ -78,6 +78,66 @@ impl Table {
         Ok(self.rows.len() - 1)
     }
 
+    /// Primary-key column index, if declared.
+    pub fn pk_col(&self) -> Option<usize> {
+        self.pk_col
+    }
+
+    /// Removes the row keyed by `key` and returns it (the retraction the
+    /// dataflow layer propagates).
+    ///
+    /// # Errors
+    /// [`DbError::Unsupported`] on a table without a primary key,
+    /// [`DbError::MissingRow`] when no row has that key.
+    pub fn delete(&mut self, key: i64) -> Result<Row, DbError> {
+        let pk = self.pk_col.ok_or_else(|| {
+            DbError::Unsupported(format!("DELETE on table {} requires a primary key", self.name))
+        })?;
+        let i = self.pk_index.remove(&key).ok_or(DbError::MissingRow(key))?;
+        let row = self.rows.swap_remove(i);
+        if i < self.rows.len() {
+            // the previously-last row moved into the gap: re-point its index
+            let moved = self.rows[i][pk].as_int().expect("primary keys are integers");
+            self.pk_index.insert(moved, i);
+        }
+        Ok(row)
+    }
+
+    /// Overwrites columns of the row keyed by `key` with `sets`
+    /// (column index → new value); returns `(old, new)` — the retract and
+    /// insert halves the dataflow layer propagates, in that order.
+    ///
+    /// # Errors
+    /// [`DbError::Unsupported`] on a table without a primary key or when a
+    /// set touches the key column itself, [`DbError::MissingRow`] when no
+    /// row has that key, [`DbError::SchemaMismatch`] when a new value does
+    /// not fit its column.
+    pub fn update(&mut self, key: i64, sets: &[(usize, Value)]) -> Result<(Row, Row), DbError> {
+        let pk = self.pk_col.ok_or_else(|| {
+            DbError::Unsupported(format!("UPDATE on table {} requires a primary key", self.name))
+        })?;
+        if sets.iter().any(|&(c, _)| c == pk) {
+            return Err(DbError::Unsupported(format!(
+                "UPDATE of the primary key of table {} (DELETE + INSERT instead)",
+                self.name
+            )));
+        }
+        let i = *self.pk_index.get(&key).ok_or(DbError::MissingRow(key))?;
+        let old = self.rows[i].clone();
+        let mut new = old.clone();
+        for (c, v) in sets {
+            new[*c] = v.clone();
+        }
+        if !self.schema.admits(&new) {
+            return Err(DbError::SchemaMismatch(format!(
+                "UPDATE value does not fit the schema of table {}",
+                self.name
+            )));
+        }
+        self.rows[i] = new.clone();
+        Ok((old, new))
+    }
+
     /// Row by position.
     pub fn row(&self, i: usize) -> Option<&Row> {
         self.rows.get(i)
@@ -145,6 +205,46 @@ mod tests {
             t.insert(vec![Value::Text("oops".into()), Value::Text("x".into())]),
             Err(DbError::SchemaMismatch(_))
         ));
+    }
+
+    #[test]
+    fn delete_fixes_up_the_moved_row_index() {
+        let mut t = papers();
+        for k in [1, 2, 3] {
+            t.insert(vec![Value::Int(k), Value::Text(format!("p{k}"))]).unwrap();
+        }
+        // deleting row 1 swap-moves row 3 into its slot
+        assert_eq!(t.delete(1).unwrap()[0], Value::Int(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(3, "title").unwrap().as_text(), Some("p3"));
+        assert_eq!(t.delete(1), Err(DbError::MissingRow(1)));
+    }
+
+    #[test]
+    fn update_returns_old_and_new_and_guards_the_key() {
+        let mut t = papers();
+        t.insert(vec![Value::Int(1), Value::Text("old".into())]).unwrap();
+        let (old, new) = t.update(1, &[(1, Value::Text("new".into()))]).unwrap();
+        assert_eq!(old[1].as_text(), Some("old"));
+        assert_eq!(new[1].as_text(), Some("new"));
+        assert_eq!(t.value(1, "title").unwrap().as_text(), Some("new"));
+        assert_eq!(t.update(9, &[(1, Value::Text("x".into()))]), Err(DbError::MissingRow(9)));
+        assert!(matches!(
+            t.update(1, &[(0, Value::Int(2))]),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn delete_and_update_need_a_primary_key() {
+        let mut t = Table::new(
+            "NoPk",
+            Schema::new(vec![("id".into(), ColumnType::Int)]),
+            None,
+        );
+        t.insert(vec![Value::Int(1)]).unwrap();
+        assert!(matches!(t.delete(1), Err(DbError::Unsupported(_))));
+        assert!(matches!(t.update(1, &[]), Err(DbError::Unsupported(_))));
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Parser robustness: random inputs never panic, valid statements
 //! round-trip through rendering, and error offsets stay in bounds.
 
-use hazy_rdbms::{parse_statement, DbError, Statement};
+use hazy_rdbms::{parse_statement, DbError, Statement, Value};
 use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
     "[A-Za-z_][A-Za-z0-9_]{0,12}".prop_filter("avoid bare keywords", |s| {
         !["select", "insert", "create", "from", "where", "values", "count", "class", "null",
-          "into", "table", "key", "label", "using", "mode"]
+          "into", "table", "key", "label", "using", "mode", "delete", "update", "set", "join",
+          "on", "labels", "feature", "function", "shards", "durable", "adaptive"]
             .contains(&s.to_ascii_lowercase().as_str())
     })
 }
@@ -39,14 +40,24 @@ proptest! {
                 Just("VIEW".to_string()),
                 Just("INSERT".to_string()),
                 Just("WHERE".to_string()),
+                Just("DELETE".to_string()),
+                Just("UPDATE".to_string()),
+                Just("SET".to_string()),
+                Just("JOIN".to_string()),
+                Just("ON".to_string()),
+                Just("LABELS".to_string()),
+                Just("FEATURE".to_string()),
+                Just("FUNCTION".to_string()),
                 Just("(".to_string()),
                 Just(")".to_string()),
                 Just("=".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
                 Just("'txt'".to_string()),
                 Just("42".to_string()),
                 arb_ident(),
             ],
-            0..16,
+            0..20,
         )
     ) {
         let _ = parse_statement(&parts.join(" "));
@@ -78,6 +89,95 @@ proptest! {
                 for (v, expect) in values.iter().zip(ints.iter()) {
                     prop_assert_eq!(v.as_int(), Some(*expect));
                 }
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+
+    /// Any well-formed DELETE round-trips key and predicate column.
+    #[test]
+    fn delete_round_trips(table in arb_ident(), col in arb_ident(), key in -1_000_000i64..1_000_000) {
+        let sql = format!("DELETE FROM {table} WHERE {col} = {key}");
+        prop_assert_eq!(
+            parse_statement(&sql).unwrap(),
+            Statement::Delete { table, col, key }
+        );
+    }
+
+    /// Any well-formed UPDATE round-trips its SET list in order.
+    #[test]
+    fn update_round_trips(
+        table in arb_ident(),
+        col in arb_ident(),
+        key in -1_000_000i64..1_000_000,
+        sets in prop::collection::vec((arb_ident(), -1000i64..1000), 1..5),
+    ) {
+        let set_sql: Vec<String> = sets.iter().map(|(c, v)| format!("{c} = {v}")).collect();
+        let sql = format!("UPDATE {table} SET {} WHERE {col} = {key}", set_sql.join(", "));
+        match parse_statement(&sql).unwrap() {
+            Statement::Update { table: t, sets: got, col: c, key: k } => {
+                prop_assert_eq!(t, table);
+                prop_assert_eq!(c, col);
+                prop_assert_eq!(k, key);
+                prop_assert_eq!(got.len(), sets.len());
+                for ((gc, gv), (ec, ev)) in got.iter().zip(sets.iter()) {
+                    prop_assert_eq!(gc, ec);
+                    prop_assert_eq!(gv, &Value::Int(*ev));
+                }
+            }
+            other => prop_assert!(false, "wrong statement {other:?}"),
+        }
+    }
+
+    /// Any well-formed derived-view DDL round-trips its ON(query) clause:
+    /// projected columns (optionally qualified), JOIN, and WHERE filter.
+    #[test]
+    fn derived_view_round_trips(
+        name in arb_ident(),
+        table in arb_ident(),
+        jt in arb_ident(),
+        cols in prop::collection::vec((prop_oneof![arb_ident().prop_map(Some), Just(None)], arb_ident()), 3..7),
+        with_join in any::<bool>(),
+        filter_val in prop_oneof![(-100i64..100).prop_map(Some), Just(None)],
+    ) {
+        let col_sql: Vec<String> = cols
+            .iter()
+            .map(|(t, c)| match t {
+                Some(t) => format!("{t}.{c}"),
+                None => c.clone(),
+            })
+            .collect();
+        let mut q = format!("SELECT {} FROM {table}", col_sql.join(", "));
+        if with_join {
+            q.push_str(&format!(" JOIN {jt} ON {table}.k = {jt}.k"));
+        }
+        if let Some(v) = filter_val {
+            q.push_str(&format!(" WHERE {table}.f = {v}"));
+        }
+        let sql = format!(
+            "CREATE CLASSIFICATION VIEW {name} ON ({q}) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns"
+        );
+        match parse_statement(&sql).unwrap() {
+            Statement::CreateDerivedView(v) => {
+                prop_assert_eq!(v.name, name);
+                prop_assert_eq!(&v.query.table, &table);
+                prop_assert_eq!(v.query.cols.len(), cols.len());
+                for (got, (et, ec)) in v.query.cols.iter().zip(cols.iter()) {
+                    prop_assert_eq!(&got.table, et);
+                    prop_assert_eq!(&got.column, ec);
+                }
+                prop_assert_eq!(v.query.join.is_some(), with_join);
+                if let Some(j) = &v.query.join {
+                    prop_assert_eq!(&j.table, &jt);
+                }
+                match (filter_val, &v.query.filter) {
+                    (Some(expect), Some((_, got))) => prop_assert_eq!(got, &Value::Int(expect)),
+                    (None, None) => {}
+                    other => prop_assert!(false, "filter mismatch {other:?}"),
+                }
+                prop_assert_eq!(v.pos_label, "P");
+                prop_assert_eq!(v.neg_label, "N");
             }
             other => prop_assert!(false, "wrong statement {other:?}"),
         }

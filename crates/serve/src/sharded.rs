@@ -345,6 +345,12 @@ impl ShardedView {
         self.lock_shard_write(shard_of(e.id, self.shards.len())).insert_entity(e);
     }
 
+    /// Routes a retraction to the entity's home shard (the only shard that
+    /// can hold it, since [`shard_of`] is pure).
+    pub(crate) fn route_remove_entity(&self, id: u64) -> bool {
+        self.lock_shard_write(shard_of(id, self.shards.len())).remove_entity(id)
+    }
+
     /// Reorganizes shard by shard — the `VACUUM`-style maintenance entry
     /// point, kept off the read path: only the shard currently reclustering
     /// is locked, so at most `1/N` of the key space blocks at a time.
@@ -508,6 +514,10 @@ impl ClassifierView for ShardedView {
         self.route_insert_entity(e);
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        self.route_remove_entity(id)
+    }
+
     fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
         // an explicit ALTER retargets the whole deployment: every shard
         // migrates, one writer-priority lock at a time, so reads keep being
@@ -606,6 +616,12 @@ impl WriteHandle {
     /// Routes a new entity to its home shard and classifies it there.
     pub fn insert_entity(&mut self, e: Entity) {
         self.view.route_insert_entity(e);
+    }
+
+    /// Routes a retraction to the entity's home shard; `true` when the
+    /// entity existed there.
+    pub fn remove_entity(&mut self, id: u64) -> bool {
+        self.view.route_remove_entity(id)
     }
 
     /// Per-shard reorganization, off the read path: only the shard

@@ -209,6 +209,40 @@ impl BTree {
         }
     }
 
+    /// Inserts `key → val`, overwriting the stored value when `key` is
+    /// already present. Re-pointing an existing key is what a
+    /// remove-then-reinsert of the same entity at the same `eps` needs:
+    /// the tree has no delete path, so the stale entry (whose record was
+    /// tombstoned at the heap level) is redirected at the new record
+    /// instead of being removed.
+    pub fn upsert(&mut self, pool: &mut BufferPool, key: Key, val: u64) {
+        if self.insert(pool, key, val) != Err(StorageError::DuplicateKey) {
+            return;
+        }
+        let mut pid = self.root;
+        loop {
+            enum Step {
+                Descend(PageId),
+                Done,
+            }
+            let step = pool.with_page_mut(pid, |p| {
+                let n = node_n(p);
+                if node_tag(p) == TAG_INTERNAL {
+                    Step::Descend(int_child(p, upper_bound(p, n, key, int_key)))
+                } else {
+                    let i = lower_bound(p, n, key, leaf_key);
+                    debug_assert!(i < n && leaf_key(p, i) == key, "duplicate key resolves");
+                    leaf_set(p, i, key, val);
+                    Step::Done
+                }
+            });
+            match step {
+                Step::Descend(child) => pid = child,
+                Step::Done => return,
+            }
+        }
+    }
+
     /// Inserts `key → val`.
     ///
     /// # Errors
@@ -564,6 +598,24 @@ mod tests {
         t.insert(&mut p, (5, 5), 1).unwrap();
         assert_eq!(t.insert(&mut p, (5, 5), 2), Err(StorageError::DuplicateKey));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn upsert_overwrites_in_place_and_inserts_fresh_keys() {
+        let mut p = pool(128);
+        let mut t = BTree::new(&mut p);
+        // large enough to exercise overwrites below multi-level roots
+        for k in (0..2000u64).rev() {
+            t.upsert(&mut p, (k, k), k);
+        }
+        assert_eq!(t.len(), 2000);
+        for k in [0u64, 7, 999, 1999] {
+            t.upsert(&mut p, (k, k), k + 10_000);
+            assert_eq!(t.get(&mut p, (k, k)), Some(k + 10_000));
+        }
+        // no new entries were created, neighbours are untouched
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.get(&mut p, (8, 8)), Some(8));
     }
 
     #[test]

@@ -334,6 +334,12 @@ impl ClassifierView for AdaptiveView {
         self.run_op(OpKind::Insert, 0, nnz, |v| v.insert_entity(e));
     }
 
+    fn remove_entity(&mut self, id: u64) -> bool {
+        // a retraction touches the same structures as an arrival (hash
+        // probe + heap/vec mutation), so it feeds the advisor as one
+        self.run_op(OpKind::Insert, 0, None, |v| v.remove_entity(id))
+    }
+
     fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
         self.migrate_to(arch, mode, false)
     }
