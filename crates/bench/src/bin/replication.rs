@@ -1,0 +1,5 @@
+//! Regenerates the replication fan-out/failover table; see `hazy_bench::replication`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", hazy_bench::replication::run(quick));
+}

@@ -28,3 +28,4 @@ pub mod fig12b_multiclass;
 pub mod fig13_waterline;
 pub mod join_view;
 pub mod recovery_replay;
+pub mod replication;

@@ -1,0 +1,95 @@
+//! Replication bench: read fan-out across replicas, and the failover pause.
+//!
+//! Log shipping buys two things. First, **read fan-out**: All-Members and
+//! single-entity reads are served by replicas at their applied LSN, so the
+//! aggregate read rate grows with the replica count while the primary's
+//! clock only pays for writes. Second, bounded **failover pause**: promotion
+//! is crash recovery over the replica's own store (bootstrap snapshot +
+//! every shipped frame), so the pause is the recovery cost of the shipped
+//! suffix — it grows with the log shipped since the snapshot, not with the
+//! view's lifetime.
+//!
+//! Both sides are measured on the virtual clock: the busiest single node's
+//! read time bounds the serving latency (replicas work in parallel in a
+//! real deployment), and the promoted node's clock delta across
+//! `fail_over()` is the pause.
+
+use std::sync::{Arc, Mutex};
+
+use hazy_core::{Architecture, ClassifierView, CoreRestorer, DurableView, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_repl::{FaultPlan, GroupConfig, ReplicationGroup};
+use hazy_storage::DurableStore;
+
+use crate::common::{entities_of, fmt_rate, rate_per_sec, render_table};
+
+/// Runs the experiment; `quick` shrinks the stream for CI smoke.
+pub fn run(quick: bool) -> String {
+    let spec = DatasetSpec::dblife().scaled(if quick { 0.004 } else { 0.02 });
+    let ds = spec.generate();
+    let n_train = if quick { 200 } else { 1_000 };
+    let n_reads = if quick { 300 } else { 3_000 };
+    let warm = ExampleStream::new(&spec, 7).take_vec(if quick { 300 } else { 1_500 });
+    let ids: Vec<u64> = entities_of(&ds).iter().map(|e| e.id).collect();
+
+    let mut rows = Vec::new();
+    let mut one_replica_busiest = 0u64;
+    for replicas in [1usize, 2, 4] {
+        let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+            .norm_pair(spec.norm_pair())
+            .dim(spec.dim);
+        let inner = builder.build(entities_of(&ds), &warm);
+        let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+        let dv = DurableView::create(inner, store, 256);
+        // every replica's bootstrap checkpoint carries the primary's clock
+        // as of this moment; promotion recovers onto a clock seeded from it
+        let snapshot_ns = dv.clock().now_ns();
+        let cfg = GroupConfig { replicas, max_lag: 0, interval: 256, chunk_frames: 8, seed: 1 };
+        let mut g = ReplicationGroup::new(builder, dv, cfg, FaultPlan::none(), &CoreRestorer)
+            .expect("replica bootstrap");
+
+        // write phase: the primary trains, shipping as it goes
+        let mut stream = ExampleStream::new(&spec, 23);
+        for _ in 0..n_train {
+            g.update_batch(&stream.take_vec(1));
+            g.pump();
+        }
+
+        // read phase: routed round-robin across the (caught-up) replicas
+        let before: Vec<u64> =
+            (0..g.replica_count()).map(|i| g.replica(i).clock().now_ns()).collect();
+        for k in 0..n_reads {
+            let _ = g.read_single(ids[k % ids.len()]);
+        }
+        let busiest = (0..g.replica_count())
+            .map(|i| g.replica(i).clock().now_ns() - before[i])
+            .max()
+            .expect("at least one replica");
+        if replicas == 1 {
+            one_replica_busiest = busiest;
+        }
+        let shipped_kib = g.shipper_stats().bytes_shipped / 1024;
+
+        // failover: promote the furthest-ahead replica. The pause is the
+        // promotion's recovery cost — checkpoint load plus replay of every
+        // frame shipped since the bootstrap snapshot — read off the
+        // promoted node's clock, which recovery seeds from the snapshot
+        // time and then charges.
+        let report = g.fail_over().expect("promotion");
+        let pause_ns = g.primary().clock().now_ns() - snapshot_ns;
+
+        rows.push(vec![
+            format!("{replicas}"),
+            fmt_rate(rate_per_sec(n_reads as u64, busiest)),
+            format!("{:.2}x", one_replica_busiest as f64 / busiest as f64),
+            format!("{shipped_kib}"),
+            format!("{}", report.replayed),
+            format!("{:.2}", pause_ns as f64 / 1e6),
+        ]);
+    }
+    render_table(
+        "Log-shipping replicas: read fan-out and failover pause (virtual time)",
+        &["replicas", "reads/s (busiest node)", "fan-out", "shipped KiB", "replayed ops", "failover ms"],
+        &rows,
+    )
+}

@@ -42,7 +42,7 @@ use std::sync::{Arc, Mutex};
 use hazy_learn::TrainingExample;
 use hazy_linalg::{decode_fvec, encode_fvec, wire};
 use hazy_storage::{
-    charge_bulk_read, DurableImage, DurableStore, StorageError, VirtualClock, WalReader,
+    charge_bulk_read, DurableImage, DurableStore, StorageError, VirtualClock, WalEnd, WalReader,
 };
 
 use crate::entity::Entity;
@@ -177,6 +177,21 @@ impl ViewRestorer for CoreRestorer {
     }
 }
 
+/// Applies one logged redo record to a view — the replay path shared by
+/// crash recovery and log-shipping replication (`hazy-repl` feeds shipped
+/// WAL frames through this to keep replicas marching in lock-step with the
+/// primary). Output of read operations is discarded: their *side effects*
+/// (lazy maintenance, watermark folding) are the point.
+///
+/// Returns `None` on an unknown record kind or an undecodable payload.
+pub fn replay_record(
+    view: &mut (dyn DurableClassifierView + Send),
+    kind: u8,
+    payload: &[u8],
+) -> Option<()> {
+    apply_record(view, kind, payload)
+}
+
 /// Applies one logged operation to a view (the replay path; output of read
 /// operations is discarded — their *side effects* are the point).
 fn apply_record(
@@ -222,6 +237,21 @@ fn apply_record(
         _ => return None,
     }
     Some(())
+}
+
+/// What [`DurableView::recover_with_info`] learned while recovering: how
+/// much log it replayed and *why* the log ended where it did. The
+/// distinction matters operationally — a [`WalEnd::CleanEof`] is a crash at
+/// a frame boundary (nothing lost), a [`WalEnd::TornFrame`] is a crash
+/// mid-write (the in-flight record was never acknowledged), and a
+/// [`WalEnd::CrcMismatch`] is bit rot or a corrupted shipment and deserves
+/// an alarm even though recovery proceeds with the valid prefix either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// WAL records replayed on top of the restored checkpoint.
+    pub replayed: u64,
+    /// Why the stable log ended (how its tail was truncated at open).
+    pub wal_end: WalEnd,
 }
 
 /// A write-ahead-logged, checkpointed classification view.
@@ -301,8 +331,23 @@ impl DurableView {
         interval: u64,
         restorer: &dyn ViewRestorer,
     ) -> Result<DurableView, StorageError> {
+        DurableView::recover_with_info(builder, store, interval, restorer).map(|(dv, _)| dv)
+    }
+
+    /// [`DurableView::recover`] plus a [`RecoveryInfo`] reporting how many
+    /// records replayed and why the stable log ended (clean frame boundary,
+    /// torn tail, or CRC mismatch).
+    ///
+    /// # Errors
+    /// See [`DurableView::recover`].
+    pub fn recover_with_info(
+        builder: &ViewBuilder,
+        store: Arc<Mutex<DurableStore>>,
+        interval: u64,
+        restorer: &dyn ViewRestorer,
+    ) -> Result<(DurableView, RecoveryInfo), StorageError> {
         let clock = builder.new_clock();
-        let (inner, replayed) = {
+        let (inner, replayed, wal_end) = {
             let mut guard = store.lock().expect("durable store lock");
             guard.set_clock(clock.clone());
             let ckpt = guard
@@ -330,9 +375,11 @@ impl DurableView {
                     .ok_or(StorageError::Corrupt("undecodable WAL record"))?;
                 replayed += 1;
             }
-            (inner, replayed)
+            (inner, replayed, guard.wal.truncation())
         };
-        Ok(DurableView { inner, store, interval, ops_since_ckpt: replayed, scratch: Vec::new() })
+        let dv =
+            DurableView { inner, store, interval, ops_since_ckpt: replayed, scratch: Vec::new() };
+        Ok((dv, RecoveryInfo { replayed, wal_end }))
     }
 
     /// Recovers from a crash image (what the fault-injection harness holds
@@ -361,6 +408,15 @@ impl DurableView {
     /// [`SimFs`](hazy_storage::SimFs) so a later session can reopen it).
     pub fn store(&self) -> Arc<Mutex<DurableStore>> {
         Arc::clone(&self.store)
+    }
+
+    /// Unwraps the inner view, discarding the logging shell. `hazy-repl`
+    /// uses this to turn a recovery over a replica's store into the
+    /// replica's live serving view: local reads on a replica must *not* be
+    /// logged (its store has to stay a pure replay of the shipped prefix,
+    /// or promotion would diverge from the durable-prefix oracle).
+    pub fn into_inner(self) -> Box<dyn DurableClassifierView + Send> {
+        self.inner
     }
 
     /// Records in the durable WAL prefix (crash-boundary bookkeeping).

@@ -48,7 +48,8 @@ mod watermark;
 
 pub use cost::{classify_cost, OpOverheads};
 pub use durable::{
-    CoreRestorer, Durable, DurableClassifierView, DurableView, ViewRestorer, SHARDED_VIEW_TAG,
+    replay_record, CoreRestorer, Durable, DurableClassifierView, DurableView, RecoveryInfo,
+    ViewRestorer, SHARDED_VIEW_TAG,
 };
 pub use entity::{
     decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,

@@ -18,6 +18,7 @@ use hazy_core::{
 use hazy_flow::{Dataflow, Delta, NodeId, RowAction, ViewSink};
 use hazy_learn::{LinearModel, LossKind, SgdConfig, TrainingExample};
 use hazy_linalg::NormPair;
+use hazy_repl::{FaultPlan, GroupConfig, GroupStats, ReplicationGroup};
 use hazy_storage::SimFs;
 use hazy_tune::{build_sharded_adaptive, AdaptiveView, AdvisorConfig, TuneRestorer};
 
@@ -48,10 +49,15 @@ pub enum QueryResult {
     Ids(Vec<u64>),
 }
 
-/// A view's engine: plain, or wrapped in WAL + checkpoint durability.
+/// A view's engine: plain, wrapped in WAL + checkpoint durability, or
+/// durable with log-shipping read replicas attached.
 enum Engine {
     Plain(Box<dyn DurableClassifierView + Send>),
     Durable(DurableView),
+    /// `DURABLE REPLICAS n`: the primary plus `n` replicas behind a
+    /// `hazy-repl` group. Writes hit the primary; reads are routed across
+    /// caught-up replicas; `PROMOTE REPLICA` fails over.
+    Replicated(Box<ReplicationGroup>),
 }
 
 impl Engine {
@@ -59,6 +65,7 @@ impl Engine {
         match self {
             Engine::Plain(b) => b.as_ref(),
             Engine::Durable(d) => d,
+            Engine::Replicated(g) => g.primary(),
         }
     }
 
@@ -66,6 +73,42 @@ impl Engine {
         match self {
             Engine::Plain(b) => b.as_mut(),
             Engine::Durable(d) => d,
+            Engine::Replicated(g) => g.primary_mut(),
+        }
+    }
+
+    /// Ships any WAL suffix the replicas have not seen yet; a no-op for
+    /// unreplicated engines. Called after every statement that may have
+    /// grown the primary's log, so replicas track it statement by
+    /// statement.
+    fn pump(&mut self) {
+        if let Engine::Replicated(g) = self {
+            g.pump();
+        }
+    }
+
+    /// Single-entity read, routed: replicated engines answer from a
+    /// caught-up replica (primary fallback when none is healthy).
+    fn read_routed(&mut self, id: u64) -> Option<i8> {
+        match self {
+            Engine::Replicated(g) => g.read_single(id),
+            e => e.view_mut().read_single(id),
+        }
+    }
+
+    /// All-Members count, routed like [`Engine::read_routed`].
+    fn count_routed(&mut self) -> u64 {
+        match self {
+            Engine::Replicated(g) => g.count_positive(),
+            e => e.view_mut().count_positive(),
+        }
+    }
+
+    /// All-Members listing, routed like [`Engine::read_routed`].
+    fn ids_routed(&mut self) -> Vec<u64> {
+        match self {
+            Engine::Replicated(g) => g.positive_ids(),
+            e => e.view_mut().positive_ids(),
         }
     }
 }
@@ -188,7 +231,10 @@ impl Db {
             }
             Statement::SelectLabel { view, key } => {
                 let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
-                Ok(QueryResult::Label(v.engine.view_mut().read_single(key as u64)))
+                let label = v.engine.read_routed(key as u64);
+                // a primary-fallback read is logged; ship it out again
+                v.engine.pump();
+                Ok(QueryResult::Label(label))
             }
             Statement::SelectCount { view, class } => {
                 let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
@@ -197,16 +243,16 @@ impl Db {
                 // side bookkeeping) says what exists
                 let n = match class {
                     None => v.engine.view().entity_count(),
-                    Some(1) => v.engine.view_mut().count_positive(),
-                    Some(_) => {
-                        v.engine.view().entity_count() - v.engine.view_mut().count_positive()
-                    }
+                    Some(1) => v.engine.count_routed(),
+                    Some(_) => v.engine.view().entity_count() - v.engine.count_routed(),
                 };
+                v.engine.pump();
                 Ok(QueryResult::Count(n))
             }
             Statement::SelectMembers { view, class } => {
                 let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view.clone()))?;
-                let pos = v.engine.view_mut().positive_ids();
+                let pos = v.engine.ids_routed();
+                v.engine.pump();
                 if class == 1 {
                     return Ok(QueryResult::Ids(pos));
                 }
@@ -248,6 +294,12 @@ impl Db {
                         dv.checkpoint();
                         Ok(QueryResult::Done)
                     }
+                    Engine::Replicated(g) => {
+                        g.checkpoint();
+                        // the checkpoint record lands in the WAL too
+                        g.pump();
+                        Ok(QueryResult::Done)
+                    }
                     Engine::Plain(_) => Err(DbError::Unsupported(format!(
                         "CHECKPOINT on view {view}: declare it DURABLE first"
                     ))),
@@ -265,6 +317,9 @@ impl Db {
                 // migrates shard by shard, the adaptive wrapper does the
                 // extraction + rebuild — all with the view online
                 if v.engine.view_mut().set_architecture(target_arch, target_mode) {
+                    // on a replicated view the migration's redo record ships
+                    // like any other WAL suffix
+                    v.engine.pump();
                     Ok(QueryResult::Done)
                 } else {
                     Err(DbError::Unsupported(format!(
@@ -286,6 +341,27 @@ impl Db {
                 // name (its learned state is user-visible data)
                 self.fs.remove(&format!("classification_view/{view}"));
                 Ok(QueryResult::Done)
+            }
+            Statement::PromoteReplica { view } => {
+                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view.clone()))?;
+                match &mut v.engine {
+                    Engine::Replicated(g) => {
+                        // failover: the furthest-ahead replica becomes the
+                        // primary, shipping truncates to its LSN, and the
+                        // remaining replicas re-point at it. The promoted
+                        // store is process-local from here on — the SimFs
+                        // path still holds the deposed primary's store,
+                        // exactly like a file-system-level base backup that
+                        // a real failover leaves behind.
+                        g.fail_over().map_err(|e| {
+                            DbError::Unsupported(format!("PROMOTE REPLICA on {view}: {e}"))
+                        })?;
+                        Ok(QueryResult::Done)
+                    }
+                    _ => Err(DbError::Unsupported(format!(
+                        "PROMOTE REPLICA on view {view}: declare it with REPLICAS first"
+                    ))),
+                }
             }
         }
     }
@@ -313,6 +389,23 @@ impl Db {
     /// Virtual time consumed by a view so far, in nanoseconds.
     pub fn view_clock_ns(&self, name: &str) -> Option<u64> {
         self.views.get(name).map(|v| v.engine.view().clock().now_ns())
+    }
+
+    /// Replication counters of a view declared with `REPLICAS`
+    /// (`None` for unreplicated views).
+    pub fn view_replication_stats(&self, name: &str) -> Option<GroupStats> {
+        match &self.views.get(name)?.engine {
+            Engine::Replicated(g) => Some(g.stats()),
+            _ => None,
+        }
+    }
+
+    /// `(replicas, healthy)` of a view declared with `REPLICAS`.
+    pub fn view_replica_health(&self, name: &str) -> Option<(usize, usize)> {
+        match &self.views.get(name)?.engine {
+            Engine::Replicated(g) => Some((g.replica_count(), g.healthy_count())),
+            _ => None,
+        }
     }
 
     fn create_view(&mut self, decl: ViewDecl) -> Result<(), DbError> {
@@ -394,7 +487,8 @@ impl Db {
         let builder = make_builder(decl.using.as_deref(), decl.architecture.as_deref(),
             decl.mode.as_deref(), dense, ff.dim(), &warm)?;
         let engine = self.build_engine(
-            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, ents, &warm,
+            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, decl.replicas,
+            decl.max_lag, ents, &warm,
         )?;
 
         // --- the per-table trigger map becomes a dataflow graph: entity
@@ -628,7 +722,8 @@ impl Db {
         let builder = make_builder(decl.using.as_deref(), decl.architecture.as_deref(),
             decl.mode.as_deref(), dense, ff.dim(), &warm)?;
         let engine = self.build_engine(
-            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, ents, &warm,
+            &decl.name, &builder, decl.shards, decl.adaptive, decl.durable, decl.replicas,
+            decl.max_lag, ents, &warm,
         )?;
         graph.set_clock(engine.view().clock().clone());
 
@@ -657,7 +752,8 @@ impl Db {
 
     /// Builds a view's engine from prepared entities and warm examples:
     /// plain, sharded, adaptive, or any combination, optionally wrapped in
-    /// WAL + checkpoint durability (with recovery on reopen).
+    /// WAL + checkpoint durability (with recovery on reopen) and a
+    /// log-shipping replica group.
     #[allow(clippy::too_many_arguments)] // one flag per physical-design clause
     fn build_engine(
         &mut self,
@@ -666,6 +762,8 @@ impl Db {
         shards: Option<u32>,
         adaptive: bool,
         durable: bool,
+        replicas: Option<u32>,
+        max_lag: Option<u64>,
         ents: Vec<Entity>,
         warm: &[TrainingExample],
     ) -> Result<Engine, DbError> {
@@ -698,15 +796,42 @@ impl Db {
             // build fresh, wrap in WAL + checkpoints, write the genesis
             // checkpoint — the view's learned state now survives the session
             let path = format!("classification_view/{name}");
-            if self.fs.has_checkpoint(&path) {
+            let dv = if self.fs.has_checkpoint(&path) {
                 let store = self.fs.open(&path, builder.new_clock());
-                let dv = DurableView::recover(builder, store, 256, &TuneRestorer)
-                    .map_err(|e| DbError::Unsupported(format!("recovery of {path}: {e}")))?;
-                Ok(Engine::Durable(dv))
+                DurableView::recover(builder, store, 256, &TuneRestorer)
+                    .map_err(|e| DbError::Unsupported(format!("recovery of {path}: {e}")))?
             } else {
                 let inner = raw(builder);
                 let store = self.fs.open(&path, inner.clock().clone());
-                Ok(Engine::Durable(DurableView::create(inner, store, 256)))
+                DurableView::create(inner, store, 256)
+            };
+            match replicas {
+                // REPLICAS n: bootstrap n replicas off the durable primary
+                // (each snapshots the primary's current state, then replays
+                // shipped WAL frames forever). Replica stores are
+                // process-local by design — only the primary's store lives
+                // at the SimFs path, as on a real primary host.
+                Some(n) => {
+                    let cfg = GroupConfig {
+                        replicas: n as usize,
+                        max_lag: max_lag.unwrap_or(0),
+                        interval: 256,
+                        chunk_frames: 4,
+                        seed: 1,
+                    };
+                    let group = ReplicationGroup::new(
+                        builder.clone(),
+                        dv,
+                        cfg,
+                        FaultPlan::none(),
+                        &TuneRestorer,
+                    )
+                    .map_err(|e| {
+                        DbError::Unsupported(format!("replica bootstrap of {path}: {e}"))
+                    })?;
+                    Ok(Engine::Replicated(Box::new(group)))
+                }
+                None => Ok(Engine::Durable(dv)),
             }
         } else {
             Ok(Engine::Plain(raw(builder)))
@@ -816,6 +941,8 @@ impl Db {
                 self.apply_entity_action(vs, action)?;
             }
         }
+        // ship whatever this batch appended to the primary's WAL
+        vs.engine.pump();
         Ok(())
     }
 
@@ -1319,6 +1446,106 @@ mod tests {
         assert!(matches!(
             db.execute("CHECKPOINT CLASSIFICATION VIEW Nope"),
             Err(DbError::NoSuchView(_))
+        ));
+    }
+
+    #[test]
+    fn replicated_view_routes_reads_through_replicas() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM DURABLE REPLICAS 2");
+        teach(&mut db, 30);
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((2, 2)));
+        for (id, expect) in [(1, 1), (2, 1), (5, 1), (3, -1), (4, -1), (6, -1)] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "paper {id} via replica"
+            );
+        }
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap(),
+            QueryResult::Count(3)
+        );
+        let stats = db.view_replication_stats("Labeled_Papers").unwrap();
+        assert_eq!(stats.primary_fallbacks, 0, "healthy replicas never fall back");
+        assert_eq!(stats.replica_reads, 7, "six labels + one count, all replica-served");
+        // DML keeps shipping: a deleted entity leaves the replicas too
+        db.execute("DELETE FROM Papers WHERE id = 6").unwrap();
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers").unwrap(),
+            QueryResult::Count(5)
+        );
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((2, 2)));
+        // checkpoints ship like any other WAL record
+        db.execute("CHECKPOINT CLASSIFICATION VIEW Labeled_Papers").unwrap();
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((2, 2)));
+    }
+
+    #[test]
+    fn promote_replica_fails_over_and_keeps_serving() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM DURABLE REPLICAS 2 MAX LAG 4");
+        teach(&mut db, 30);
+        let trained_updates = db.view_stats("Labeled_Papers").unwrap().updates;
+        db.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Labeled_Papers").unwrap();
+        // the promoted replica carries the full trained state, bit for bit
+        assert_eq!(db.view_stats("Labeled_Papers").unwrap().updates, trained_updates);
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((1, 1)));
+        assert_eq!(db.view_replication_stats("Labeled_Papers").unwrap().promotions, 1);
+        for (id, expect) in [(1, 1), (2, 1), (5, 1), (3, -1), (4, -1), (6, -1)] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "paper {id} after failover"
+            );
+        }
+        // and the new primary keeps learning, shipping to the survivor
+        db.execute("INSERT INTO Example_Papers VALUES (1, 'DB')").unwrap();
+        assert_eq!(db.view_stats("Labeled_Papers").unwrap().updates, trained_updates + 1);
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((1, 1)));
+    }
+
+    #[test]
+    fn replication_composes_with_shards() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM SHARDS 3 DURABLE REPLICAS 1");
+        teach(&mut db, 30);
+        for (id, expect) in [(1, 1), (3, -1)] {
+            assert_eq!(
+                db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap(),
+                QueryResult::Label(Some(expect)),
+                "paper {id} via sharded replica"
+            );
+        }
+        // promotion recovers the sharded image through the same restorer
+        // the durable reopen path uses
+        db.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Labeled_Papers").unwrap();
+        assert_eq!(
+            db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1").unwrap(),
+            QueryResult::Count(3)
+        );
+        assert_eq!(db.view_replica_health("Labeled_Papers"), Some((0, 0)));
+    }
+
+    #[test]
+    fn promote_requires_a_replicated_view() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM DURABLE");
+        let err =
+            db.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Labeled_Papers").unwrap_err();
+        assert!(matches!(err, DbError::Unsupported(_)));
+        assert!(matches!(
+            db.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Nope"),
+            Err(DbError::NoSuchView(_))
+        ));
+        // a group whose last replica was promoted away has nothing left to
+        // promote: structured error, not a panic
+        let mut db2 = setup();
+        create_view(&mut db2, "USING SVM DURABLE REPLICAS 1");
+        db2.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Labeled_Papers").unwrap();
+        assert!(matches!(
+            db2.execute("PROMOTE REPLICA ON CLASSIFICATION VIEW Labeled_Papers"),
+            Err(DbError::Unsupported(_))
         ));
     }
 

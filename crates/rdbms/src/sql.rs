@@ -54,6 +54,14 @@ pub struct ViewDecl {
     /// `MODE` still pick the *initial* configuration, and
     /// `ALTER CLASSIFICATION VIEW ... SET ARCH` forces a migration by hand.
     pub adaptive: bool,
+    /// `REPLICAS n` (requires `DURABLE`): attach `n` log-shipping read
+    /// replicas via `hazy-repl`. Reads are routed round-robin across
+    /// healthy replicas; `PROMOTE REPLICA` fails over to the
+    /// furthest-ahead one.
+    pub replicas: Option<u32>,
+    /// `MAX LAG k` (requires `REPLICAS`): a replica more than `k` LSNs
+    /// behind the primary leaves the read rotation until it catches up.
+    pub max_lag: Option<u64>,
 }
 
 /// A column reference, optionally qualified: `title` or `Papers.title`.
@@ -123,6 +131,10 @@ pub struct DerivedViewDecl {
     pub durable: bool,
     /// `ADAPTIVE`: wrap in the online workload advisor.
     pub adaptive: bool,
+    /// `REPLICAS n` (requires `DURABLE`): log-shipping read replicas.
+    pub replicas: Option<u32>,
+    /// `MAX LAG k` (requires `REPLICAS`): staleness bound for routing.
+    pub max_lag: Option<u64>,
 }
 
 /// A parsed statement.
@@ -212,6 +224,15 @@ pub enum Statement {
     /// `DROP CLASSIFICATION VIEW name`: remove the view and detach its
     /// ingest triggers.
     DropView {
+        /// View name.
+        view: String,
+    },
+    /// `PROMOTE REPLICA ON CLASSIFICATION VIEW name`: fail the view over
+    /// to its furthest-ahead healthy replica (the view must have been
+    /// declared with `REPLICAS`). The old primary is discarded, shipping
+    /// truncates to the promoted LSN, and the remaining replicas re-point
+    /// at the new primary.
+    PromoteReplica {
         /// View name.
         view: String,
     },
@@ -485,7 +506,18 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         lx.done()?;
         return Ok(Statement::DropView { view });
     }
-    Err(lx.err("expected CREATE, INSERT, DELETE, UPDATE, SELECT, CHECKPOINT, ALTER or DROP"))
+    if lx.eat_keyword("PROMOTE") {
+        lx.keyword("REPLICA")?;
+        lx.keyword("ON")?;
+        lx.keyword("CLASSIFICATION")?;
+        lx.keyword("VIEW")?;
+        let view = lx.ident()?;
+        lx.done()?;
+        return Ok(Statement::PromoteReplica { view });
+    }
+    Err(lx.err(
+        "expected CREATE, INSERT, DELETE, UPDATE, SELECT, CHECKPOINT, ALTER, DROP or PROMOTE",
+    ))
 }
 
 fn parse_literal(lx: &mut Lexer<'_>) -> Result<Value, DbError> {
@@ -543,6 +575,8 @@ struct ViewOptions {
     shards: Option<u32>,
     durable: bool,
     adaptive: bool,
+    replicas: Option<u32>,
+    max_lag: Option<u64>,
 }
 
 fn parse_view_options(lx: &mut Lexer<'_>) -> Result<ViewOptions, DbError> {
@@ -564,10 +598,32 @@ fn parse_view_options(lx: &mut Lexer<'_>) -> Result<ViewOptions, DbError> {
             o.durable = true;
         } else if lx.eat_keyword("ADAPTIVE") {
             o.adaptive = true;
+        } else if lx.eat_keyword("REPLICAS") {
+            let n = lx.int()?;
+            if !(1..=64).contains(&n) {
+                return Err(lx.err("REPLICAS must be between 1 and 64"));
+            }
+            o.replicas = Some(n as u32);
+        } else if lx.eat_keyword("MAX") {
+            lx.keyword("LAG")?;
+            let k = lx.int()?;
+            if k < 0 {
+                return Err(lx.err("MAX LAG must be non-negative"));
+            }
+            o.max_lag = Some(k as u64);
         } else {
-            return Ok(o);
+            break;
         }
     }
+    // replication rides on the WAL, so it only makes sense on a durable
+    // view, and a staleness bound only makes sense once replicas exist
+    if o.replicas.is_some() && !o.durable {
+        return Err(lx.err("REPLICAS requires DURABLE (log shipping needs a WAL to ship)"));
+    }
+    if o.max_lag.is_some() && o.replicas.is_none() {
+        return Err(lx.err("MAX LAG requires REPLICAS"));
+    }
+    Ok(o)
 }
 
 fn parse_colref(lx: &mut Lexer<'_>) -> Result<ColRef, DbError> {
@@ -641,6 +697,8 @@ fn parse_derived_view(lx: &mut Lexer<'_>, name: String) -> Result<Statement, DbE
         shards: o.shards,
         durable: o.durable,
         adaptive: o.adaptive,
+        replicas: o.replicas,
+        max_lag: o.max_lag,
     }))
 }
 
@@ -690,6 +748,8 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         shards: o.shards,
         durable: o.durable,
         adaptive: o.adaptive,
+        replicas: o.replicas,
+        max_lag: o.max_lag,
     }))
 }
 
@@ -913,6 +973,67 @@ mod tests {
         assert!(parse_statement("ALTER CLASSIFICATION VIEW V SET ARCH").is_err());
         assert!(parse_statement("ALTER CLASSIFICATION VIEW V ARCH HYBRID").is_err());
         assert!(parse_statement("DROP CLASSIFICATION VIEW").is_err());
+    }
+
+    #[test]
+    fn parses_replicas_and_max_lag() {
+        match parse_statement(
+            "CREATE CLASSIFICATION VIEW V KEY id \
+             ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+             EXAMPLES FROM X KEY id LABEL l \
+             FEATURE FUNCTION tf_bag_of_words DURABLE REPLICAS 2 MAX LAG 4",
+        )
+        .unwrap()
+        {
+            Statement::CreateView(v) => {
+                assert!(v.durable);
+                assert_eq!(v.replicas, Some(2));
+                assert_eq!(v.max_lag, Some(4));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+        // MAX LAG is optional; clause order does not matter
+        match parse_statement(
+            "CREATE CLASSIFICATION VIEW V ON (SELECT id, s, label FROM T) \
+             LABELS ('P', 'N') FEATURE FUNCTION numeric_columns \
+             REPLICAS 3 DURABLE USING SVM",
+        )
+        .unwrap()
+        {
+            Statement::CreateDerivedView(v) => {
+                assert!(v.durable);
+                assert_eq!(v.replicas, Some(3));
+                assert_eq!(v.max_lag, None);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_replication_options_without_their_prerequisites() {
+        let base = "CREATE CLASSIFICATION VIEW V KEY id \
+                    ENTITIES FROM E KEY id LABELS FROM L LABEL l \
+                    EXAMPLES FROM X KEY id LABEL l \
+                    FEATURE FUNCTION tf_bag_of_words";
+        for tail in
+            ["REPLICAS 2", "DURABLE MAX LAG 3", "DURABLE REPLICAS 0", "DURABLE REPLICAS 65"]
+        {
+            let sql = format!("{base} {tail}");
+            assert!(
+                matches!(parse_statement(&sql), Err(DbError::Parse { .. })),
+                "`{tail}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_promote_replica() {
+        assert_eq!(
+            parse_statement("PROMOTE REPLICA ON CLASSIFICATION VIEW V;").unwrap(),
+            Statement::PromoteReplica { view: "V".into() }
+        );
+        assert!(parse_statement("PROMOTE REPLICA V").is_err());
+        assert!(parse_statement("PROMOTE REPLICA ON CLASSIFICATION VIEW").is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Deterministic transport-fault injection for the log shipper.
+//!
+//! Chaos testing only convinces when the chaos is reproducible: a fault
+//! plan maps **shipment ordinals** (the shipper numbers every send
+//! attempt) to faults, so a failing seed replays exactly.
+
+use std::collections::BTreeMap;
+
+/// One injected fault at a shipment boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShipFault {
+    /// The shipment vanishes in transit: the replica sees nothing, the
+    /// cursor does not advance, and the next round re-ships the same
+    /// frames.
+    Drop,
+    /// The shipment arrives with its tail cut mid-frame: the replica
+    /// ingests the valid prefix and reports a torn end; the cursor resumes
+    /// from the replica's LSN.
+    Torn,
+    /// The shipment arrives twice: the second copy must be absorbed as
+    /// duplicates (LSN-idempotent ingestion), not re-applied.
+    Duplicate,
+    /// The shipment is stuck in transit for this many pump rounds; the
+    /// replica's lag grows meanwhile (staleness routing must notice).
+    Delay(u32),
+    /// The replica's store throws `EIO` for this many consecutive ingest
+    /// attempts before the device "recovers" — the shipper's retry budget
+    /// decides whether the shipment survives.
+    StoreEio(u32),
+    /// As [`ShipFault::StoreEio`], but `ENOSPC`.
+    StoreNoSpace(u32),
+    /// The replica process dies right after the shipment lands durably and
+    /// restarts from its own store image — mid-replay state is lost and
+    /// must be rebuilt by recovery.
+    ReplicaCrash,
+    /// The primary dies mid-ship: the shipment is lost, and the group must
+    /// fail over to the furthest-ahead replica.
+    PrimaryCrash,
+}
+
+/// A reproducible schedule of transport faults, keyed by shipment ordinal.
+///
+/// Ordinals count *send attempts with payload* (a fully caught-up probe
+/// does not consume one), so the same plan against the same operation
+/// script fires at the same log positions every run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, ShipFault>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (healthy transport).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` at shipment `ordinal` (overwriting any previous
+    /// entry there). Builder-style so plans read as a schedule.
+    pub fn inject(mut self, ordinal: u64, fault: ShipFault) -> FaultPlan {
+        self.faults.insert(ordinal, fault);
+        self
+    }
+
+    /// Number of scheduled faults not yet fired.
+    pub fn pending(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Consumes the fault scheduled at `ordinal`, if any.
+    pub(crate) fn take(&mut self, ordinal: u64) -> Option<ShipFault> {
+        self.faults.remove(&ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_at_their_ordinal() {
+        let mut plan = FaultPlan::none()
+            .inject(3, ShipFault::Drop)
+            .inject(5, ShipFault::Delay(2))
+            .inject(3, ShipFault::Torn); // overwrites the drop
+        assert_eq!(plan.pending(), 2);
+        assert_eq!(plan.take(0), None);
+        assert_eq!(plan.take(3), Some(ShipFault::Torn));
+        assert_eq!(plan.take(3), None, "a fired fault never re-fires");
+        assert_eq!(plan.take(5), Some(ShipFault::Delay(2)));
+        assert_eq!(plan.pending(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The sending end of log shipping: chunked frame streaming with a
+//! CRC+LSN resume cursor and deterministic fault injection.
+
+use hazy_core::DurableView;
+use hazy_storage::{offset_of_lsn, Retrier, StorageError, WalEnd, WalReader};
+
+use crate::fault::{FaultPlan, ShipFault};
+use crate::replica::ReplicaView;
+
+/// Bytes cut off a torn shipment's tail — small enough to always land
+/// inside the final frame (the frame header alone is larger), so a torn
+/// send is guaranteed to present a mid-frame tear to the replica.
+const TEAR_BYTES: usize = 5;
+
+/// Streams stable WAL frames from a primary to replicas.
+///
+/// The shipper is deliberately **cursor-free**: each shipment recomputes
+/// its start position from the replica's own next-expected LSN
+/// ([`offset_of_lsn`] over the primary's stable log). That makes every
+/// fault self-healing — a dropped or torn shipment simply leaves the
+/// replica's LSN where it was, and the next round resumes from there; a
+/// duplicated shipment is absorbed by LSN-idempotent ingestion; a replica
+/// that crashed and restarted reports whatever LSN its own durable store
+/// recovered to. The only unrecoverable answer is an LSN the primary's log
+/// no longer contains (possible after failover), which the shipper reports
+/// as [`ShipOutcome::NeedsBootstrap`].
+pub struct LogShipper {
+    chunk_frames: usize,
+    plan: FaultPlan,
+    shipments: u64,
+    stats: ShipperStats,
+}
+
+/// What one [`LogShipper::ship`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShipOutcome {
+    /// The replica already holds every stable frame.
+    UpToDate,
+    /// Frames were shipped and durably applied.
+    Advanced {
+        /// Frames the replica newly applied.
+        frames: u64,
+    },
+    /// The shipment was injected away; nothing reached the replica.
+    Dropped,
+    /// The shipment is stuck in transit for this many more pump rounds.
+    Delayed(u32),
+    /// The replica expects an LSN the primary's log does not contain — it
+    /// must be re-bootstrapped from a fresh snapshot.
+    NeedsBootstrap,
+    /// The primary died mid-ship; the group must fail over.
+    PrimaryCrashed,
+}
+
+/// Transport-level counters for one shipper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShipperStats {
+    /// Send attempts that carried payload.
+    pub shipments: u64,
+    /// Frames durably applied by replicas.
+    pub frames_shipped: u64,
+    /// Payload bytes put on the wire (including later-lost shipments).
+    pub bytes_shipped: u64,
+    /// Frames replicas absorbed as already-applied duplicates.
+    pub duplicates_absorbed: u64,
+    /// Shipments whose ingest reported an LSN gap (cursor rewound).
+    pub gaps_rewound: u64,
+    /// Shipments injected as torn in transit.
+    pub torn_shipments: u64,
+    /// Shipments observed by replicas to end mid-frame or with a bad CRC.
+    pub torn_tails: u64,
+    /// Shipments injected as dropped.
+    pub dropped: u64,
+    /// Shipments injected as delayed.
+    pub delayed: u64,
+    /// Shipments injected as duplicated.
+    pub duplicated: u64,
+    /// Shipments that armed a replica-store `EIO`/`ENOSPC` fault.
+    pub store_faults: u64,
+    /// Replica crash-restarts injected after a landed shipment.
+    pub replica_crashes: u64,
+    /// Primary crashes injected mid-ship.
+    pub primary_crashes: u64,
+}
+
+impl LogShipper {
+    /// A shipper sending at most `chunk_frames` frames per shipment (at
+    /// least one), injecting faults from `plan`.
+    pub fn new(chunk_frames: usize, plan: FaultPlan) -> LogShipper {
+        LogShipper { chunk_frames: chunk_frames.max(1), plan, shipments: 0, stats: ShipperStats::default() }
+    }
+
+    /// Transport counters so far.
+    pub fn stats(&self) -> ShipperStats {
+        self.stats
+    }
+
+    /// Ships the next chunk of stable frames from `primary` to `replica`,
+    /// applying any fault scheduled for this shipment ordinal and retrying
+    /// transient replica-store failures through `retrier` (jittered
+    /// exponential backoff charged to the replica's clock).
+    ///
+    /// # Errors
+    /// Returns the replica's store error once the retry budget is
+    /// exhausted, or [`StorageError::Corrupt`] if a durably landed record
+    /// fails to replay. The caller decides what "unhealthy" means.
+    pub fn ship(
+        &mut self,
+        primary: &DurableView,
+        replica: &mut ReplicaView,
+        retrier: &mut Retrier,
+    ) -> Result<ShipOutcome, StorageError> {
+        let next = replica.next_lsn();
+        let mut chunk = {
+            let store = primary.store();
+            let guard = store.lock().expect("primary store lock");
+            if next == guard.wal.next_lsn() {
+                return Ok(ShipOutcome::UpToDate);
+            }
+            let stable = guard.wal.stable_bytes();
+            let Some(start) = offset_of_lsn(stable, next) else {
+                return Ok(ShipOutcome::NeedsBootstrap);
+            };
+            let mut end = start;
+            for (n, rec) in WalReader::new(&stable[start..]).enumerate() {
+                end = start + rec.end_offset;
+                if n + 1 == self.chunk_frames {
+                    break;
+                }
+            }
+            stable[start..end].to_vec()
+        };
+        let ordinal = self.shipments;
+        self.shipments += 1;
+        self.stats.shipments += 1;
+        self.stats.bytes_shipped += chunk.len() as u64;
+        let mut send_twice = false;
+        let mut crash_after = false;
+        match self.plan.take(ordinal) {
+            Some(ShipFault::Drop) => {
+                self.stats.dropped += 1;
+                return Ok(ShipOutcome::Dropped);
+            }
+            Some(ShipFault::Delay(rounds)) => {
+                self.stats.delayed += 1;
+                return Ok(ShipOutcome::Delayed(rounds));
+            }
+            Some(ShipFault::PrimaryCrash) => {
+                self.stats.primary_crashes += 1;
+                return Ok(ShipOutcome::PrimaryCrashed);
+            }
+            Some(ShipFault::Torn) => {
+                self.stats.torn_shipments += 1;
+                let keep = chunk.len().saturating_sub(TEAR_BYTES);
+                chunk.truncate(keep);
+            }
+            Some(ShipFault::Duplicate) => {
+                self.stats.duplicated += 1;
+                send_twice = true;
+            }
+            Some(ShipFault::StoreEio(times)) => {
+                self.stats.store_faults += 1;
+                replica.arm_store_fault(StorageError::Io("injected replica store EIO"), times);
+            }
+            Some(ShipFault::StoreNoSpace(times)) => {
+                self.stats.store_faults += 1;
+                replica.arm_store_fault(StorageError::NoSpace, times);
+            }
+            Some(ShipFault::ReplicaCrash) => crash_after = true,
+            None => {}
+        }
+        let clock = replica.clock().clone();
+        let report = retrier.run(&clock, || replica.ingest(&chunk))?;
+        self.absorb(report.applied, report.duplicates, report.gap.is_some(), report.end);
+        if send_twice {
+            let dup = retrier.run(&clock, || replica.ingest(&chunk))?;
+            self.absorb(dup.applied, dup.duplicates, dup.gap.is_some(), dup.end);
+        }
+        if crash_after {
+            self.stats.replica_crashes += 1;
+            replica.crash_and_restart()?;
+        }
+        Ok(ShipOutcome::Advanced { frames: report.applied })
+    }
+
+    fn absorb(&mut self, applied: u64, duplicates: u64, gap: bool, end: WalEnd) {
+        self.stats.frames_shipped += applied;
+        self.stats.duplicates_absorbed += duplicates;
+        if gap {
+            self.stats.gaps_rewound += 1;
+        }
+        if end != WalEnd::CleanEof {
+            self.stats.torn_tails += 1;
+        }
+    }
+}

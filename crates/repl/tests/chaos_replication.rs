@@ -1,0 +1,428 @@
+//! Chaos differential suite for log-shipping replication: run a long
+//! random operation script against a replicated group whose transport
+//! injects every fault kind at shipment boundaries — dropped, torn,
+//! duplicated and delayed shipments, replica-store `EIO`/`ENOSPC`, replica
+//! crashes mid-replay, primary crashes mid-ship — and prove that
+//!
+//! * a fully caught-up replica serves the same answers as a clean view
+//!   that executed the primary's logged prefix, and
+//! * the replica **promoted at failover** has the same model bits, the
+//!   same classify / scan / top_k answers, and the same [`ViewStats`] as a
+//!   clean view that executed exactly the durable prefix shipping
+//!   truncated to (the durable-prefix oracle).
+//!
+//! The script, fault schedule and backoff jitter are all seeded
+//! (`HAZY_CRASH_SEED`), so CI replays a deterministic seed matrix.
+//!
+//! [`ViewStats`]: hazy_core::ViewStats
+
+use std::sync::{Arc, Mutex};
+
+use hazy_core::{
+    Architecture, ClassifierView, CoreRestorer, DurableClassifierView, DurableView, Entity, Mode,
+    OpOverheads, ViewBuilder, ViewRestorer,
+};
+use hazy_learn::TrainingExample;
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_repl::{FaultPlan, GroupConfig, ReplicaView, ReplicationGroup, ShipFault};
+use hazy_serve::{ServeRestorer, ShardedView};
+use hazy_storage::DurableStore;
+
+/// Operations per script — the acceptance floor is 500.
+const SCRIPT_OPS: usize = 520;
+const CKPT_INTERVAL: u64 = 48;
+const N_ENTITIES: usize = 72;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Read(u64),
+    Count,
+    Members,
+    TopK(usize),
+    Reorg,
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x00E1_7A11_u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+/// Generates a concrete script (ids resolved) so the replicated run and
+/// every oracle apply byte-identical operations.
+fn script(seed: u64) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x5C21_97A3_0000_0001;
+    let mut population: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut next_id = 10_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    for _ in 0..SCRIPT_OPS {
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 45 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 53 {
+            let e = Entity::new(next_id, feature(&mut r));
+            next_id += 1;
+            population.push(e.id);
+            Op::Insert(e)
+        } else if roll < 78 {
+            let idx = (splitmix64(&mut r) as usize) % population.len();
+            Op::Read(population[idx])
+        } else if roll < 86 {
+            Op::Count
+        } else if roll < 93 {
+            Op::Members
+        } else if roll < 98 {
+            Op::TopK(1 + (splitmix64(&mut r) % 9) as usize)
+        } else {
+            Op::Reorg
+        };
+        ops.push(op);
+    }
+    (ops, population)
+}
+
+fn apply(v: &mut (dyn DurableClassifierView + Send), op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Insert(e) => v.insert_entity(e.clone()),
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::Reorg => v.reorganize(),
+    }
+}
+
+fn builder(arch: Architecture, mode: Mode) -> ViewBuilder {
+    ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3)
+}
+
+fn build_plain(b: &ViewBuilder, shards: usize) -> Box<dyn DurableClassifierView + Send> {
+    if shards <= 1 {
+        b.build(base_entities(), &[])
+    } else {
+        Box::new(ShardedView::build(b, shards, base_entities(), &[]))
+    }
+}
+
+fn make_group(
+    b: &ViewBuilder,
+    shards: usize,
+    replicas: usize,
+    plan: FaultPlan,
+    seed: u64,
+) -> ReplicationGroup {
+    let restorer: &'static dyn ViewRestorer =
+        if shards <= 1 { &CoreRestorer } else { &ServeRestorer };
+    let inner = build_plain(b, shards);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let dv = DurableView::create(inner, store, CKPT_INTERVAL);
+    let cfg = GroupConfig {
+        replicas,
+        max_lag: 6,
+        interval: CKPT_INTERVAL,
+        chunk_frames: 3,
+        seed,
+    };
+    ReplicationGroup::new(b.clone(), dv, cfg, plan, restorer).expect("bootstrap")
+}
+
+fn assert_models_bit_identical(a: &hazy_learn::LinearModel, b: &hazy_learn::LinearModel, ctx: &str) {
+    assert_eq!(a.b.to_bits(), b.b.to_bits(), "{ctx}: bias diverged");
+    let (wa, wb) = (a.w.to_vec(), b.w.to_vec());
+    assert_eq!(wa.len(), wb.len(), "{ctx}: weight dim diverged");
+    for (i, (x, y)) in wa.iter().zip(wb.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+}
+
+/// Full differential probe against the durable-prefix oracle: count, scan,
+/// rank, classify every live entity — answers must match bit-for-bit.
+fn assert_answers_match(
+    got: &mut dyn ClassifierView,
+    oracle: &mut (dyn DurableClassifierView + Send),
+    population: &[u64],
+    ctx: &str,
+) {
+    assert_eq!(got.count_positive(), oracle.count_positive(), "{ctx}: count_positive");
+    let (mut g, mut w) = (got.positive_ids(), oracle.positive_ids());
+    g.sort_unstable();
+    w.sort_unstable();
+    assert_eq!(g, w, "{ctx}: scan_positive");
+    let (gk, wk) = (got.top_k(7), oracle.top_k(7));
+    assert_eq!(gk.len(), wk.len(), "{ctx}: top_k length");
+    for ((id_a, m_a), (id_b, m_b)) in gk.iter().zip(wk.iter()) {
+        assert_eq!(id_a, id_b, "{ctx}: top_k order");
+        assert_eq!(m_a.to_bits(), m_b.to_bits(), "{ctx}: top_k margin");
+    }
+    for &id in population {
+        assert_eq!(got.read_single(id), oracle.read_single(id), "{ctx}: classify({id})");
+    }
+    assert_eq!(got.read_single(u64::MAX - 7), None, "{ctx}: ghost id");
+}
+
+/// Serving probe for a live (not promoted) replica: answers at its applied
+/// LSN must equal the oracle's. Model bits too — replication moves the
+/// model only through replayed records.
+fn assert_replica_serves_prefix(
+    replica: &mut ReplicaView,
+    oracle: &mut (dyn DurableClassifierView + Send),
+    population: &[u64],
+    ctx: &str,
+) {
+    assert_models_bit_identical(replica.model(), oracle.model(), ctx);
+    assert_eq!(replica.count_positive(), oracle.count_positive(), "{ctx}: count_positive");
+    let (mut g, mut w) = (replica.positive_ids(), oracle.positive_ids());
+    g.sort_unstable();
+    w.sort_unstable();
+    assert_eq!(g, w, "{ctx}: scan_positive");
+    let (gk, wk) = (replica.top_k(7), oracle.top_k(7));
+    for ((id_a, m_a), (id_b, m_b)) in gk.iter().zip(wk.iter()) {
+        assert_eq!(id_a, id_b, "{ctx}: top_k order");
+        assert_eq!(m_a.to_bits(), m_b.to_bits(), "{ctx}: top_k margin");
+    }
+    for &id in population.iter().step_by(9) {
+        assert_eq!(replica.read_single(id), oracle.read_single(id), "{ctx}: classify({id})");
+    }
+}
+
+/// A hostile transport: every fault kind, cycling, at every 13th shipment.
+fn hostile_plan(until: u64) -> FaultPlan {
+    let kinds = [
+        ShipFault::Drop,
+        ShipFault::Torn,
+        ShipFault::Duplicate,
+        ShipFault::Delay(2),
+        ShipFault::StoreEio(2),
+        ShipFault::StoreNoSpace(2),
+        ShipFault::ReplicaCrash,
+    ];
+    let mut plan = FaultPlan::none();
+    let mut ord = 5u64;
+    let mut k = 0usize;
+    while ord < until {
+        plan = plan.inject(ord, kinds[k % kinds.len()]);
+        k += 1;
+        ord += 13;
+    }
+    plan
+}
+
+/// The main differential: drive the script through a replicated group over
+/// a hostile transport, probe caught-up replicas against an incrementally
+/// advanced oracle, then fail over and diff the promoted replica against a
+/// clean execution of the durable prefix.
+fn run_chaos(arch: Architecture, mode: Mode, shards: usize, replicas: usize) {
+    let seed = seed();
+    let (ops, population) = script(seed);
+    let b = builder(arch, mode);
+    let ctx_base = format!("{}/{}/shards={shards}/seed={seed}", arch.name(), mode.name());
+    let mut group = make_group(&b, shards, replicas, hostile_plan(1400), seed);
+
+    let mut oracle = build_plain(&b, shards);
+    let mut advanced = 0usize;
+    let mut probes = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        apply(group.primary_mut(), op);
+        group.pump();
+        // every op logs exactly one record, so LSN == script position
+        assert_eq!(
+            group.primary_next_lsn() as usize,
+            i + 1,
+            "{ctx_base}: primary stream drifted from the script"
+        );
+        if i % 31 == 0 {
+            let target = group.primary_next_lsn();
+            for ri in 0..group.replica_count() {
+                if group.replica(ri).next_lsn() == target {
+                    while advanced <= i {
+                        apply(oracle.as_mut(), &ops[advanced]);
+                        advanced += 1;
+                    }
+                    let ctx = format!("{ctx_base}@op{i}/replica{ri}");
+                    assert_replica_serves_prefix(
+                        group.replica_mut(ri),
+                        oracle.as_mut(),
+                        &population,
+                        &ctx,
+                    );
+                    probes += 1;
+                    break;
+                }
+            }
+        }
+    }
+    assert!(probes > 4, "{ctx_base}: too few caught-up replicas to probe ({probes})");
+
+    // drain injected delays so failover happens from a caught-up group
+    for _ in 0..12 {
+        group.pump();
+    }
+    let ship = group.shipper_stats();
+    assert!(ship.dropped > 0, "{ctx_base}: Drop never fired");
+    assert!(ship.torn_shipments > 0, "{ctx_base}: Torn never fired");
+    assert!(ship.torn_tails > 0, "{ctx_base}: replicas never observed a torn tail");
+    assert!(ship.duplicated > 0, "{ctx_base}: Duplicate never fired");
+    assert!(ship.duplicates_absorbed > 0, "{ctx_base}: duplicates were not absorbed");
+    assert!(ship.delayed > 0, "{ctx_base}: Delay never fired");
+    assert!(ship.store_faults > 0, "{ctx_base}: store faults never fired");
+    assert!(ship.replica_crashes > 0, "{ctx_base}: ReplicaCrash never fired");
+    let retry = group.retry_stats();
+    assert!(retry.retries > 0, "{ctx_base}: store faults never exercised backoff");
+    assert!(retry.backoff_ns > 0, "{ctx_base}: backoff never charged the clock");
+    assert_eq!(retry.exhausted, 0, "{ctx_base}: finite faults must stay within the budget");
+
+    // ---- failover: the promoted replica against the durable-prefix oracle
+    let report = group.fail_over().unwrap_or_else(|e| panic!("{ctx_base}: failover failed: {e}"));
+    let prefix = report.promoted_lsn as usize;
+    assert!(
+        prefix + 8 >= ops.len(),
+        "{ctx_base}: promoted replica too far behind ({prefix}/{})",
+        ops.len()
+    );
+    let mut clean = build_plain(&b, shards);
+    for op in &ops[..prefix] {
+        apply(clean.as_mut(), op);
+    }
+    let ctx = format!("{ctx_base}@promoted/{prefix}");
+    let promoted = group.primary_mut();
+    if shards <= 1 {
+        assert_eq!(promoted.stats(), clean.stats(), "{ctx}: ViewStats diverged");
+    } else {
+        let (ps, cs) = (promoted.stats(), clean.stats());
+        assert_eq!(ps.updates, cs.updates, "{ctx}: update count diverged");
+        assert_eq!(ps.labels_changed, cs.labels_changed, "{ctx}: label flips diverged");
+    }
+    assert_models_bit_identical(promoted.model(), clean.model(), &ctx);
+    assert_answers_match(promoted, clean.as_mut(), &population, &ctx);
+}
+
+macro_rules! chaos_matrix {
+    ($($name:ident => ($arch:expr, $mode:expr, $shards:expr, $replicas:expr);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_chaos($arch, $mode, $shards, $replicas);
+            }
+        )*
+    };
+}
+
+chaos_matrix! {
+    naive_mem_eager_unsharded => (Architecture::NaiveMem, Mode::Eager, 1, 2);
+    hazy_mem_lazy_unsharded => (Architecture::HazyMem, Mode::Lazy, 1, 2);
+    naive_disk_lazy_unsharded => (Architecture::NaiveDisk, Mode::Lazy, 1, 2);
+    hazy_disk_eager_unsharded => (Architecture::HazyDisk, Mode::Eager, 1, 2);
+    hybrid_lazy_unsharded => (Architecture::Hybrid, Mode::Lazy, 1, 3);
+    hazy_mem_eager_sharded => (Architecture::HazyMem, Mode::Eager, 3, 2);
+    hybrid_eager_sharded => (Architecture::Hybrid, Mode::Eager, 3, 2);
+}
+
+/// Primary crash mid-ship: the fault plan kills the primary at a shipment
+/// boundary while both replicas are stalled behind delayed shipments, the
+/// group auto-promotes the furthest-ahead replica, the logged tail past its
+/// LSN is truncated, and the system keeps executing the rest of the script
+/// on the new primary. The final state must equal a clean view that
+/// executed exactly the surviving operation sequence: the promoted prefix
+/// plus everything after the crash.
+fn run_primary_crash(arch: Architecture, mode: Mode, shards: usize) {
+    let seed = seed();
+    let (ops, population) = script(seed);
+    let b = builder(arch, mode);
+    let ctx = format!("primary-crash/{}/{}/shards={shards}/seed={seed}", arch.name(), mode.name());
+    // stall both replicas, then kill the primary on the catch-up shipment
+    let plan = FaultPlan::none()
+        .inject(400, ShipFault::Delay(6))
+        .inject(401, ShipFault::Delay(6))
+        .inject(402, ShipFault::PrimaryCrash);
+    let mut group = make_group(&b, shards, 2, plan, seed);
+
+    let mut survived: Vec<usize> = Vec::with_capacity(ops.len());
+    let mut crashes_seen = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        apply(group.primary_mut(), op);
+        survived.push(i);
+        group.pump();
+        let promotions = group.stats().promotions;
+        if promotions > crashes_seen {
+            crashes_seen = promotions;
+            let prefix = group.primary_next_lsn() as usize;
+            assert!(
+                prefix < survived.len(),
+                "{ctx}: a crash behind stalled replicas must truncate the log"
+            );
+            survived.truncate(prefix);
+        }
+    }
+    assert_eq!(crashes_seen, 1, "{ctx}: the injected primary crash never fired");
+    assert_eq!(group.shipper_stats().primary_crashes, 1, "{ctx}");
+    for _ in 0..12 {
+        group.pump();
+    }
+    // the surviving replica must have been re-pointed and caught up
+    assert_eq!(group.replica_count(), 1, "{ctx}");
+    assert_eq!(
+        group.replica(0).next_lsn(),
+        group.primary_next_lsn(),
+        "{ctx}: survivor not re-pointed to the new primary"
+    );
+
+    let mut clean = build_plain(&b, shards);
+    for &idx in &survived {
+        apply(clean.as_mut(), &ops[idx]);
+    }
+    let promoted = group.primary_mut();
+    if shards <= 1 {
+        assert_eq!(promoted.stats(), clean.stats(), "{ctx}: ViewStats diverged");
+    }
+    assert_models_bit_identical(promoted.model(), clean.model(), &ctx);
+    assert_answers_match(promoted, clean.as_mut(), &population, &ctx);
+}
+
+#[test]
+fn primary_crash_mid_ship_fails_over_unsharded() {
+    run_primary_crash(Architecture::HazyMem, Mode::Lazy, 1);
+}
+
+#[test]
+fn primary_crash_mid_ship_fails_over_sharded() {
+    run_primary_crash(Architecture::NaiveMem, Mode::Eager, 3);
+}

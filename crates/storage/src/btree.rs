@@ -145,6 +145,7 @@ fn lower_bound(p: &[u8; PAGE_SIZE], n: usize, key: Key, keyf: fn(&[u8; PAGE_SIZE
 
 /// The B+-tree handle. All page traffic goes through the caller's
 /// [`BufferPool`].
+#[derive(Debug)]
 pub struct BTree {
     root: PageId,
     height: u32,
@@ -160,9 +161,15 @@ enum InsertUp {
 impl BTree {
     /// Creates an empty tree (a single empty leaf).
     pub fn new(pool: &mut BufferPool) -> BTree {
-        let root = pool.allocate();
-        pool.with_page_mut(root, leaf_init);
-        BTree { root, height: 1, len: 0, pages: vec![root] }
+        BTree::try_new(pool).expect("unchecked tree creation hit an injected fault")
+    }
+
+    /// Checked variant of [`new`](BTree::new): an injected allocation or
+    /// page-I/O fault surfaces as its [`StorageError`].
+    pub fn try_new(pool: &mut BufferPool) -> Result<BTree, StorageError> {
+        let root = pool.try_allocate()?;
+        pool.checked_with_page_mut(root, leaf_init)?;
+        Ok(BTree { root, height: 1, len: 0, pages: vec![root] })
     }
 
     /// Number of stored entries.
@@ -187,13 +194,20 @@ impl BTree {
 
     /// Point lookup: the value stored under `key`, if any.
     pub fn get(&self, pool: &mut BufferPool, key: Key) -> Option<u64> {
+        self.try_get(pool, key).expect("unchecked tree lookup hit a storage fault")
+    }
+
+    /// Checked point lookup: a dangling page reference (torn directory) or
+    /// injected read fault is an `Err`, distinct from `Ok(None)` (key
+    /// definitely absent).
+    pub fn try_get(&self, pool: &mut BufferPool, key: Key) -> Result<Option<u64>, StorageError> {
         let mut pid = self.root;
         loop {
             enum Step {
                 Descend(PageId),
                 Found(Option<u64>),
             }
-            let step = pool.with_page(pid, |p| {
+            let step = pool.checked_with_page(pid, |p| {
                 let n = node_n(p);
                 if node_tag(p) == TAG_INTERNAL {
                     Step::Descend(int_child(p, upper_bound(p, n, key, int_key)))
@@ -201,10 +215,10 @@ impl BTree {
                     let i = lower_bound(p, n, key, leaf_key);
                     Step::Found((i < n && leaf_key(p, i) == key).then(|| leaf_val(p, i)))
                 }
-            });
+            })?;
             match step {
                 Step::Descend(child) => pid = child,
-                Step::Found(v) => return v,
+                Step::Found(v) => return Ok(v),
             }
         }
     }
@@ -216,8 +230,20 @@ impl BTree {
     /// tombstoned at the heap level) is redirected at the new record
     /// instead of being removed.
     pub fn upsert(&mut self, pool: &mut BufferPool, key: Key, val: u64) {
-        if self.insert(pool, key, val) != Err(StorageError::DuplicateKey) {
-            return;
+        self.try_upsert(pool, key, val).expect("unchecked tree upsert hit a storage fault")
+    }
+
+    /// Checked variant of [`upsert`](BTree::upsert); see
+    /// [`try_get`](BTree::try_get) for the error contract.
+    pub fn try_upsert(
+        &mut self,
+        pool: &mut BufferPool,
+        key: Key,
+        val: u64,
+    ) -> Result<(), StorageError> {
+        match self.insert(pool, key, val) {
+            Err(StorageError::DuplicateKey) => {}
+            other => return other,
         }
         let mut pid = self.root;
         loop {
@@ -225,7 +251,7 @@ impl BTree {
                 Descend(PageId),
                 Done,
             }
-            let step = pool.with_page_mut(pid, |p| {
+            let step = pool.checked_with_page_mut(pid, |p| {
                 let n = node_n(p);
                 if node_tag(p) == TAG_INTERNAL {
                     Step::Descend(int_child(p, upper_bound(p, n, key, int_key)))
@@ -235,10 +261,10 @@ impl BTree {
                     leaf_set(p, i, key, val);
                     Step::Done
                 }
-            });
+            })?;
             match step {
                 Step::Descend(child) => pid = child,
-                Step::Done => return,
+                Step::Done => return Ok(()),
             }
         }
     }
@@ -246,21 +272,23 @@ impl BTree {
     /// Inserts `key → val`.
     ///
     /// # Errors
-    /// [`StorageError::DuplicateKey`] if `key` is already present (the engine
-    /// guarantees uniqueness by embedding the entity id in the key).
+    /// [`StorageError::DuplicateKey`] if `key` is already present (the
+    /// engine guarantees uniqueness by embedding the entity id in the key);
+    /// [`StorageError::Io`] / [`StorageError::NoSpace`] when an injected
+    /// device fault hits the page traffic.
     pub fn insert(&mut self, pool: &mut BufferPool, key: Key, val: u64) -> Result<(), StorageError> {
         match self.insert_rec(pool, self.root, key, val)? {
             InsertUp::Done => {}
             InsertUp::Split { sep, right } => {
-                let new_root = pool.allocate();
+                let new_root = pool.try_allocate()?;
                 let (old_root, h) = (self.root, self.height);
-                pool.with_page_mut(new_root, |p| {
+                pool.checked_with_page_mut(new_root, |p| {
                     int_init(p);
                     set_node_n(p, 1);
                     int_set_key(p, 0, sep);
                     int_set_child(p, 0, old_root);
                     int_set_child(p, 1, right);
-                });
+                })?;
                 self.pages.push(new_root);
                 self.root = new_root;
                 self.height = h + 1;
@@ -277,18 +305,18 @@ impl BTree {
         key: Key,
         val: u64,
     ) -> Result<InsertUp, StorageError> {
-        let is_internal = pool.with_page(pid, |p| node_tag(p) == TAG_INTERNAL);
+        let is_internal = pool.checked_with_page(pid, |p| node_tag(p) == TAG_INTERNAL)?;
         if is_internal {
-            let (idx, child) = pool.with_page(pid, |p| {
+            let (idx, child) = pool.checked_with_page(pid, |p| {
                 let i = upper_bound(p, node_n(p), key, int_key);
                 (i, int_child(p, i))
-            });
+            })?;
             match self.insert_rec(pool, child, key, val)? {
                 InsertUp::Done => Ok(InsertUp::Done),
                 InsertUp::Split { sep, right } => {
-                    let full = pool.with_page(pid, |p| node_n(p) >= INTERNAL_CAP);
+                    let full = pool.checked_with_page(pid, |p| node_n(p) >= INTERNAL_CAP)?;
                     if !full {
-                        pool.with_page_mut(pid, |p| {
+                        pool.checked_with_page_mut(pid, |p| {
                             let n = node_n(p);
                             // shift keys [idx, n) and children [idx+1, n+1)
                             for j in (idx..n).rev() {
@@ -302,69 +330,75 @@ impl BTree {
                             int_set_key(p, idx, sep);
                             int_set_child(p, idx + 1, right);
                             set_node_n(p, n + 1);
-                        });
+                        })?;
                         return Ok(InsertUp::Done);
                     }
-                    Ok(self.split_internal(pool, pid, idx, sep, right))
+                    self.split_internal(pool, pid, idx, sep, right)
                 }
             }
         } else {
-            let full = pool.with_page(pid, |p| node_n(p) >= LEAF_CAP);
-            let dup = pool.with_page(pid, |p| {
+            let full = pool.checked_with_page(pid, |p| node_n(p) >= LEAF_CAP)?;
+            let dup = pool.checked_with_page(pid, |p| {
                 let n = node_n(p);
                 let i = lower_bound(p, n, key, leaf_key);
                 i < n && leaf_key(p, i) == key
-            });
+            })?;
             if dup {
                 return Err(StorageError::DuplicateKey);
             }
             if !full {
-                pool.with_page_mut(pid, |p| {
+                pool.checked_with_page_mut(pid, |p| {
                     let n = node_n(p);
                     let i = lower_bound(p, n, key, leaf_key);
                     leaf_open_gap(p, i, n);
                     leaf_set(p, i, key, val);
                     set_node_n(p, n + 1);
-                });
+                })?;
                 return Ok(InsertUp::Done);
             }
-            Ok(self.split_leaf(pool, pid, key, val))
+            self.split_leaf(pool, pid, key, val)
         }
     }
 
-    fn split_leaf(&mut self, pool: &mut BufferPool, pid: PageId, key: Key, val: u64) -> InsertUp {
-        let right = pool.allocate();
+    fn split_leaf(
+        &mut self,
+        pool: &mut BufferPool,
+        pid: PageId,
+        key: Key,
+        val: u64,
+    ) -> Result<InsertUp, StorageError> {
+        let right = pool.try_allocate()?;
         self.pages.push(right);
         // copy upper half out of the left leaf
-        let (mid, moved, old_next) = pool.with_page(pid, |p| {
+        let (mid, moved, old_next) = pool.checked_with_page(pid, |p| {
             let n = node_n(p);
             let mid = n / 2;
             let moved: Vec<(Key, u64)> = (mid..n).map(|i| (leaf_key(p, i), leaf_val(p, i))).collect();
             (mid, moved, leaf_next(p))
-        });
-        pool.with_page_mut(right, |p| {
+        })?;
+        pool.checked_with_page_mut(right, |p| {
             leaf_init(p);
             for (i, &(k, v)) in moved.iter().enumerate() {
                 leaf_set(p, i, k, v);
             }
             set_node_n(p, moved.len());
             leaf_set_next(p, old_next);
-        });
-        pool.with_page_mut(pid, |p| {
+        })?;
+        pool.checked_with_page_mut(pid, |p| {
             set_node_n(p, mid);
             leaf_set_next(p, right);
-        });
+        })?;
         let sep = moved[0].0;
         // insert the pending entry into whichever side owns it
         let target = if key < sep { pid } else { right };
-        pool.with_page_mut(target, |p| {
+        pool.checked_with_page_mut(target, |p| {
             let n = node_n(p);
             let i = lower_bound(p, n, key, leaf_key);
             leaf_open_gap(p, i, n);
             leaf_set(p, i, key, val);
             set_node_n(p, n + 1);
-        });
-        InsertUp::Split { sep, right }
+        })?;
+        Ok(InsertUp::Split { sep, right })
     }
 
     fn split_internal(
@@ -374,24 +408,24 @@ impl BTree {
         idx: usize,
         sep_in: Key,
         right_in: PageId,
-    ) -> InsertUp {
+    ) -> Result<InsertUp, StorageError> {
         // materialize the node plus the pending entry, then redistribute
-        let (mut keys, mut children) = pool.with_page(pid, |p| {
+        let (mut keys, mut children) = pool.checked_with_page(pid, |p| {
             let n = node_n(p);
             let keys: Vec<Key> = (0..n).map(|i| int_key(p, i)).collect();
             let children: Vec<PageId> = (0..=n).map(|i| int_child(p, i)).collect();
             (keys, children)
-        });
+        })?;
         keys.insert(idx, sep_in);
         children.insert(idx + 1, right_in);
         let mid = keys.len() / 2;
         let promoted = keys[mid];
-        let right = pool.allocate();
+        let right = pool.try_allocate()?;
         self.pages.push(right);
         let right_keys = keys.split_off(mid + 1);
         keys.pop(); // `promoted` moves up
         let right_children = children.split_off(mid + 1);
-        pool.with_page_mut(pid, |p| {
+        pool.checked_with_page_mut(pid, |p| {
             set_node_n(p, keys.len());
             for (i, &k) in keys.iter().enumerate() {
                 int_set_key(p, i, k);
@@ -399,8 +433,8 @@ impl BTree {
             for (i, &c) in children.iter().enumerate() {
                 int_set_child(p, i, c);
             }
-        });
-        pool.with_page_mut(right, |p| {
+        })?;
+        pool.checked_with_page_mut(right, |p| {
             int_init(p);
             set_node_n(p, right_keys.len());
             for (i, &k) in right_keys.iter().enumerate() {
@@ -409,8 +443,8 @@ impl BTree {
             for (i, &c) in right_children.iter().enumerate() {
                 int_set_child(p, i, c);
             }
-        });
-        InsertUp::Split { sep: promoted, right }
+        })?;
+        Ok(InsertUp::Split { sep: promoted, right })
     }
 
     /// Visits entries with `key ≥ lo` in ascending order until the visitor
@@ -420,27 +454,40 @@ impl BTree {
         &self,
         pool: &mut BufferPool,
         lo: Key,
-        mut visit: impl FnMut(Key, u64) -> bool,
+        visit: impl FnMut(Key, u64) -> bool,
     ) {
+        self.try_scan_from(pool, lo, visit).expect("unchecked tree scan hit a storage fault")
+    }
+
+    /// Checked variant of [`scan_from`](BTree::scan_from): an injected read
+    /// fault stops the scan with its `StorageError`; entries visited before
+    /// the fault stand.
+    pub fn try_scan_from(
+        &self,
+        pool: &mut BufferPool,
+        lo: Key,
+        mut visit: impl FnMut(Key, u64) -> bool,
+    ) -> Result<(), StorageError> {
         // descend to the leaf that could contain `lo`
         let mut pid = self.root;
         loop {
-            let next = pool.with_page(pid, |p| {
+            let next = pool.checked_with_page(pid, |p| {
                 if node_tag(p) == TAG_INTERNAL {
                     Some(int_child(p, upper_bound(p, node_n(p), lo, int_key)))
                 } else {
                     None
                 }
-            });
+            })?;
             match next {
                 Some(child) => pid = child,
                 None => break,
             }
         }
-        let mut start = Some(pool.with_page(pid, |p| lower_bound(p, node_n(p), lo, leaf_key)));
+        let mut start =
+            Some(pool.checked_with_page(pid, |p| lower_bound(p, node_n(p), lo, leaf_key))?);
         let mut leaf = pid;
         loop {
-            let (stop, next) = pool.with_page(leaf, |p| {
+            let (stop, next) = pool.checked_with_page(leaf, |p| {
                 let n = node_n(p);
                 for i in start.take().unwrap_or(0)..n {
                     if !visit(leaf_key(p, i), leaf_val(p, i)) {
@@ -448,9 +495,9 @@ impl BTree {
                     }
                 }
                 (false, leaf_next(p))
-            });
+            })?;
             if stop || next == PageId::INVALID {
-                return;
+                return Ok(());
             }
             leaf = next;
         }
@@ -463,26 +510,35 @@ impl BTree {
     /// # Panics
     /// Debug-asserts sortedness; a reorganization always sorts first.
     pub fn bulk_load(pool: &mut BufferPool, entries: &[(Key, u64)]) -> BTree {
+        BTree::try_bulk_load(pool, entries).expect("unchecked bulk load hit an injected fault")
+    }
+
+    /// Checked variant of [`bulk_load`](BTree::bulk_load): injected
+    /// allocation (`ENOSPC`) or page-I/O faults surface as `Err`.
+    pub fn try_bulk_load(
+        pool: &mut BufferPool,
+        entries: &[(Key, u64)],
+    ) -> Result<BTree, StorageError> {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "bulk_load needs sorted unique keys");
         if entries.is_empty() {
-            return BTree::new(pool);
+            return BTree::try_new(pool);
         }
         let mut pages = Vec::new();
         // --- leaves ---
         let mut level: Vec<(Key, PageId)> = Vec::new();
         let mut prev_leaf: Option<PageId> = None;
         for chunk in entries.chunks(LEAF_FILL.max(1)) {
-            let pid = pool.allocate();
+            let pid = pool.try_allocate()?;
             pages.push(pid);
-            pool.with_page_mut(pid, |p| {
+            pool.checked_with_page_mut(pid, |p| {
                 leaf_init(p);
                 for (i, &(k, v)) in chunk.iter().enumerate() {
                     leaf_set(p, i, k, v);
                 }
                 set_node_n(p, chunk.len());
-            });
+            })?;
             if let Some(prev) = prev_leaf {
-                pool.with_page_mut(prev, |p| leaf_set_next(p, pid));
+                pool.checked_with_page_mut(prev, |p| leaf_set_next(p, pid))?;
             }
             prev_leaf = Some(pid);
             level.push((chunk[0].0, pid));
@@ -493,9 +549,9 @@ impl BTree {
             height += 1;
             let mut next_level: Vec<(Key, PageId)> = Vec::new();
             for group in level.chunks(INT_FILL.max(2)) {
-                let pid = pool.allocate();
+                let pid = pool.try_allocate()?;
                 pages.push(pid);
-                pool.with_page_mut(pid, |p| {
+                pool.checked_with_page_mut(pid, |p| {
                     int_init(p);
                     set_node_n(p, group.len() - 1);
                     for (i, &(k, child)) in group.iter().enumerate() {
@@ -504,12 +560,12 @@ impl BTree {
                             int_set_key(p, i - 1, k);
                         }
                     }
-                });
+                })?;
                 next_level.push((group[0].0, pid));
             }
             level = next_level;
         }
-        BTree { root: level[0].1, height, len: entries.len() as u64, pages }
+        Ok(BTree { root: level[0].1, height, len: entries.len() as u64, pages })
     }
 
     /// Frees every page back to the pool/disk. The tree is unusable after.

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 
 use crate::clock::IoStats;
 use crate::disk::{PageId, SimDisk, PAGE_SIZE};
+use crate::error::StorageError;
 
 struct Frame {
     pid: PageId,
@@ -56,15 +57,30 @@ impl BufferPool {
         &self.disk
     }
 
+    /// Mutable disk access — the fault-injection harness arms
+    /// [`DiskFault`](crate::disk::DiskFault)s through this.
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
     /// Allocates a fresh zeroed page and faults it in dirty, so the first
     /// flush writes it out.
     pub fn allocate(&mut self) -> PageId {
-        let pid = self.disk.allocate();
-        let slot = self.grab_frame();
+        self.try_allocate().expect("unchecked allocation hit an injected fault")
+    }
+
+    /// Checked allocation: surfaces [`StorageError::NoSpace`] from the disk
+    /// (injected `ENOSPC`) and [`StorageError::Io`] from evicting a dirty
+    /// victim to make room.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        // grab the frame *before* allocating: if eviction fails, no page
+        // has been allocated yet and the pool is unchanged
+        let slot = self.checked_grab_frame()?;
+        let pid = self.disk.try_allocate()?;
         self.frames[slot] =
             Frame { pid, data: Box::new([0u8; PAGE_SIZE]), dirty: true, referenced: true };
         self.map.insert(pid, slot);
-        pid
+        Ok(pid)
     }
 
     /// Drops `pid` from the pool (without flushing) and frees it on disk.
@@ -120,6 +136,39 @@ impl BufferPool {
             return None;
         }
         Some(self.with_page_mut(pid, f))
+    }
+
+    /// Fully checked read access: [`StorageError::BadRid`] for pages the
+    /// disk never allocated, and any injected device fault (page read, or
+    /// the write-back of a dirty eviction victim) as its `StorageError`
+    /// instead of a panic. The hardened access methods route every page
+    /// touch through this and [`checked_with_page_mut`](Self::checked_with_page_mut).
+    pub fn checked_with_page<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
+        if !self.disk.is_allocated(pid) {
+            return Err(StorageError::BadRid);
+        }
+        let slot = self.checked_fault_in(pid)?;
+        Ok(f(&self.frames[slot].data))
+    }
+
+    /// Fully checked mutable access; see
+    /// [`checked_with_page`](Self::checked_with_page). Marks the page dirty
+    /// only after the fault-in succeeded.
+    pub fn checked_with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
+        if !self.disk.is_allocated(pid) {
+            return Err(StorageError::BadRid);
+        }
+        let slot = self.checked_fault_in(pid)?;
+        self.frames[slot].dirty = true;
+        Ok(f(&mut self.frames[slot].data))
     }
 
     /// Serializes the pool's complete state *without flushing*: the frame
@@ -194,24 +243,30 @@ impl BufferPool {
     }
 
     fn fault_in(&mut self, pid: PageId) -> usize {
+        self.checked_fault_in(pid).expect("unchecked page fault-in failed")
+    }
+
+    fn checked_fault_in(&mut self, pid: PageId) -> Result<usize, StorageError> {
         use std::sync::atomic::Ordering::Relaxed;
         if let Some(&slot) = self.map.get(&pid) {
             self.disk.stats().pool_hits.fetch_add(1, Relaxed);
             self.disk.clock().charge_ns(self.disk.clock().model().pool_hit_ns);
             self.frames[slot].referenced = true;
-            return slot;
+            return Ok(slot);
         }
         self.disk.stats().pool_misses.fetch_add(1, Relaxed);
-        let slot = self.grab_frame();
+        let slot = self.checked_grab_frame()?;
         let mut data = Box::new([0u8; PAGE_SIZE]);
-        self.disk.read_page(pid, &mut data);
+        self.disk.try_read_page(pid, &mut data)?;
         self.frames[slot] = Frame { pid, data, dirty: false, referenced: true };
         self.map.insert(pid, slot);
-        slot
+        Ok(slot)
     }
 
-    /// Finds a free frame, evicting via clock sweep when at capacity.
-    fn grab_frame(&mut self) -> usize {
+    /// Finds a free frame, evicting via clock sweep when at capacity. An
+    /// injected write fault on a dirty victim's write-back surfaces as
+    /// `Err` with the victim still resident and dirty (nothing is lost).
+    fn checked_grab_frame(&mut self) -> Result<usize, StorageError> {
         if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 pid: PageId::INVALID,
@@ -219,13 +274,13 @@ impl BufferPool {
                 dirty: false,
                 referenced: false,
             });
-            return self.frames.len() - 1;
+            return Ok(self.frames.len() - 1);
         }
         loop {
             self.hand = (self.hand + 1) % self.frames.len();
             let frame = &mut self.frames[self.hand];
             if frame.pid == PageId::INVALID {
-                return self.hand;
+                return Ok(self.hand);
             }
             if frame.referenced {
                 frame.referenced = false;
@@ -236,11 +291,12 @@ impl BufferPool {
             let old_pid = self.frames[victim].pid;
             if self.frames[victim].dirty {
                 let data = std::mem::replace(&mut self.frames[victim].data, Box::new([0u8; PAGE_SIZE]));
-                self.disk.write_page(old_pid, &data);
+                let wrote = self.disk.try_write_page(old_pid, &data);
                 self.frames[victim].data = data;
+                wrote?;
             }
             self.map.remove(&old_pid);
-            return victim;
+            return Ok(victim);
         }
     }
 }

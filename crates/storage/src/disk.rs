@@ -5,9 +5,26 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::clock::{IoStats, VirtualClock};
+use crate::error::StorageError;
 
 /// Fixed page size, matching PostgreSQL's 8 KiB default.
 pub const PAGE_SIZE: usize = 8192;
+
+/// Operation class an injected device fault fires on.
+///
+/// Armed with [`SimDisk::arm_fault`]; consumed by the checked access paths
+/// (`try_read_page` / `try_write_page` / `try_allocate` and everything the
+/// hardened access methods build on them), which surface the fault as a
+/// [`StorageError`] instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A page read fails with `EIO`.
+    Read,
+    /// A page write fails with `EIO`.
+    Write,
+    /// A page allocation fails with `ENOSPC`.
+    Allocate,
+}
 
 /// Identifier of a page on the simulated disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,6 +49,9 @@ pub struct SimDisk {
     last_accessed: Option<u32>,
     clock: VirtualClock,
     stats: Arc<IoStats>,
+    /// Armed fault countdowns, indexed by [`DiskFault`] discriminant: the
+    /// op after `n` more successful ops of that class fails once.
+    faults: [Option<u32>; 3],
 }
 
 impl SimDisk {
@@ -43,6 +63,29 @@ impl SimDisk {
             last_accessed: None,
             clock,
             stats: Arc::new(IoStats::default()),
+            faults: [None; 3],
+        }
+    }
+
+    /// Arms a one-shot device fault: after `after` more successful
+    /// operations of class `op`, the next one fails (reads/writes with
+    /// [`StorageError::Io`], allocations with [`StorageError::NoSpace`]).
+    pub fn arm_fault(&mut self, op: DiskFault, after: u32) {
+        self.faults[op as usize] = Some(after);
+    }
+
+    /// Decrements the countdown for `op`; true when the fault fires now.
+    fn fault_fires(&mut self, op: DiskFault) -> bool {
+        match &mut self.faults[op as usize] {
+            Some(0) => {
+                self.faults[op as usize] = None;
+                true
+            }
+            Some(n) => {
+                *n -= 1;
+                false
+            }
+            None => false,
         }
     }
 
@@ -69,15 +112,24 @@ impl SimDisk {
     /// Allocates a zeroed page, reusing the lowest-numbered freed page
     /// first.
     pub fn allocate(&mut self) -> PageId {
+        self.try_allocate().expect("unchecked page allocation hit an injected fault")
+    }
+
+    /// Checked allocation: fails with [`StorageError::NoSpace`] when an
+    /// armed [`DiskFault::Allocate`] fires.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        if self.fault_fires(DiskFault::Allocate) {
+            return Err(StorageError::NoSpace);
+        }
         if let Some(Reverse(pid)) = self.free.pop() {
             let pid = PageId(pid);
             *self.pages[pid.0 as usize] = [0u8; PAGE_SIZE];
-            return pid;
+            return Ok(pid);
         }
         let pid = PageId(self.pages.len() as u32);
         assert!(pid != PageId::INVALID, "simulated disk full");
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
-        pid
+        Ok(pid)
     }
 
     /// Returns a page to the free list. The caller promises no live
@@ -113,14 +165,47 @@ impl SimDisk {
     /// Panics on unallocated pages — that is an engine bug, not a user
     /// error.
     pub fn read_page(&mut self, pid: PageId, buf: &mut [u8; PAGE_SIZE]) {
+        self.try_read_page(pid, buf).expect("unchecked page read failed");
+    }
+
+    /// Checked read: [`StorageError::BadRid`] for unallocated pages,
+    /// [`StorageError::Io`] when an armed [`DiskFault::Read`] fires.
+    pub fn try_read_page(
+        &mut self,
+        pid: PageId,
+        buf: &mut [u8; PAGE_SIZE],
+    ) -> Result<(), StorageError> {
+        if !self.is_allocated(pid) {
+            return Err(StorageError::BadRid);
+        }
+        if self.fault_fires(DiskFault::Read) {
+            return Err(StorageError::Io("injected page-read fault"));
+        }
         self.charge(pid, false);
         buf.copy_from_slice(&self.pages[pid.0 as usize][..]);
+        Ok(())
     }
 
     /// Writes `buf` to page `pid`, charging the clock.
     pub fn write_page(&mut self, pid: PageId, buf: &[u8; PAGE_SIZE]) {
+        self.try_write_page(pid, buf).expect("unchecked page write failed");
+    }
+
+    /// Checked write; see [`try_read_page`](SimDisk::try_read_page).
+    pub fn try_write_page(
+        &mut self,
+        pid: PageId,
+        buf: &[u8; PAGE_SIZE],
+    ) -> Result<(), StorageError> {
+        if !self.is_allocated(pid) {
+            return Err(StorageError::BadRid);
+        }
+        if self.fault_fires(DiskFault::Write) {
+            return Err(StorageError::Io("injected page-write fault"));
+        }
         self.charge(pid, true);
         self.pages[pid.0 as usize].copy_from_slice(buf);
+        Ok(())
     }
 
     /// True when `pid` names a page this disk has ever allocated. The
@@ -195,7 +280,14 @@ impl SimDisk {
             }
             free.push(Reverse(p));
         }
-        Some(SimDisk { pages, free, last_accessed, clock, stats: Arc::new(IoStats::default()) })
+        Some(SimDisk {
+            pages,
+            free,
+            last_accessed,
+            clock,
+            stats: Arc::new(IoStats::default()),
+            faults: [None; 3],
+        })
     }
 }
 

@@ -28,6 +28,12 @@ pub enum StorageError {
     Corrupt(&'static str),
     /// Duplicate key inserted into a unique index.
     DuplicateKey,
+    /// A simulated device-level read or write failure (`EIO`). Injected by
+    /// the fault harness; real engines see these from failing media.
+    Io(&'static str),
+    /// The simulated device is out of space (`ENOSPC`): page allocation or
+    /// a log/checkpoint write could not be persisted.
+    NoSpace,
 }
 
 impl fmt::Display for StorageError {
@@ -42,6 +48,8 @@ impl fmt::Display for StorageError {
             StorageError::BadRid => write!(f, "record id does not resolve to a live record"),
             StorageError::Corrupt(what) => write!(f, "corrupt stored data: {what}"),
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::Io(what) => write!(f, "I/O error: {what}"),
+            StorageError::NoSpace => write!(f, "device out of space"),
         }
     }
 }

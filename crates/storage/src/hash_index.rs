@@ -57,6 +57,7 @@ fn bucket_of(key: u64, buckets: usize) -> usize {
 }
 
 /// The static hash index.
+#[derive(Debug)]
 pub struct HashIndex {
     buckets: Vec<PageId>,
     overflow: Vec<PageId>,
@@ -67,15 +68,24 @@ impl HashIndex {
     /// Creates an index sized for about `expected` keys (one bucket per
     /// `BUCKET_CAP·0.75` keys, minimum 4 buckets).
     pub fn with_capacity(pool: &mut BufferPool, expected: usize) -> HashIndex {
+        HashIndex::try_with_capacity(pool, expected)
+            .expect("unchecked index creation hit an injected fault")
+    }
+
+    /// Checked variant of [`with_capacity`](HashIndex::with_capacity): an
+    /// injected `ENOSPC` surfaces as [`StorageError::NoSpace`].
+    pub fn try_with_capacity(
+        pool: &mut BufferPool,
+        expected: usize,
+    ) -> Result<HashIndex, StorageError> {
         let n_buckets = (expected / (BUCKET_CAP * 3 / 4)).max(4);
-        let buckets: Vec<PageId> = (0..n_buckets)
-            .map(|_| {
-                let pid = pool.allocate();
-                pool.with_page_mut(pid, init_bucket);
-                pid
-            })
-            .collect();
-        HashIndex { buckets, overflow: Vec::new(), len: 0 }
+        let mut buckets = Vec::with_capacity(n_buckets);
+        for _ in 0..n_buckets {
+            let pid = pool.try_allocate()?;
+            pool.checked_with_page_mut(pid, init_bucket)?;
+            buckets.push(pid);
+        }
+        Ok(HashIndex { buckets, overflow: Vec::new(), len: 0 })
     }
 
     /// Number of stored keys.
@@ -95,6 +105,12 @@ impl HashIndex {
 
     /// Looks up `key`.
     pub fn get(&self, pool: &mut BufferPool, key: u64) -> Option<u64> {
+        self.try_get(pool, key).expect("unchecked index lookup hit a storage fault")
+    }
+
+    /// Checked lookup: a dangling bucket reference or injected read fault
+    /// is an `Err`, distinct from `Ok(None)` (key definitely absent).
+    pub fn try_get(&self, pool: &mut BufferPool, key: u64) -> Result<Option<u64>, StorageError> {
         let mut pid = self.buckets[bucket_of(key, self.buckets.len())];
         loop {
             enum Step {
@@ -102,7 +118,7 @@ impl HashIndex {
                 Chain(PageId),
                 Missing,
             }
-            let step = pool.with_page(pid, |p| {
+            let step = pool.checked_with_page(pid, |p| {
                 let n = page_n(p);
                 for i in 0..n {
                     let (k, v) = entry(p, i);
@@ -116,10 +132,10 @@ impl HashIndex {
                 } else {
                     Step::Chain(next)
                 }
-            });
+            })?;
             match step {
-                Step::Found(v) => return Some(v),
-                Step::Missing => return None,
+                Step::Found(v) => return Ok(Some(v)),
+                Step::Missing => return Ok(None),
                 Step::Chain(next) => pid = next,
             }
         }
@@ -129,9 +145,10 @@ impl HashIndex {
     ///
     /// # Errors
     /// [`StorageError::DuplicateKey`] when the key exists (entity ids are
-    /// unique by the view's KEY declaration).
+    /// unique by the view's KEY declaration); [`StorageError::Io`] /
+    /// [`StorageError::NoSpace`] from injected device faults.
     pub fn insert(&mut self, pool: &mut BufferPool, key: u64, val: u64) -> Result<(), StorageError> {
-        if self.get(pool, key).is_some() {
+        if self.try_get(pool, key)?.is_some() {
             return Err(StorageError::DuplicateKey);
         }
         let mut pid = self.buckets[bucket_of(key, self.buckets.len())];
@@ -141,7 +158,7 @@ impl HashIndex {
                 Chain(PageId),
                 NeedOverflow,
             }
-            let step = pool.with_page_mut(pid, |p| {
+            let step = pool.checked_with_page_mut(pid, |p| {
                 let n = page_n(p);
                 if n < BUCKET_CAP {
                     set_entry(p, n, key, val);
@@ -154,7 +171,7 @@ impl HashIndex {
                 } else {
                     Step::Chain(next)
                 }
-            });
+            })?;
             match step {
                 Step::Inserted => {
                     self.len += 1;
@@ -162,14 +179,14 @@ impl HashIndex {
                 }
                 Step::Chain(next) => pid = next,
                 Step::NeedOverflow => {
-                    let ov = pool.allocate();
+                    let ov = pool.try_allocate()?;
                     self.overflow.push(ov);
-                    pool.with_page_mut(ov, |p| {
+                    pool.checked_with_page_mut(ov, |p| {
                         init_bucket(p);
                         set_entry(p, 0, key, val);
                         set_page_n(p, 1);
-                    });
-                    pool.with_page_mut(pid, |p| set_page_next(p, ov));
+                    })?;
+                    pool.checked_with_page_mut(pid, |p| set_page_next(p, ov))?;
                     self.len += 1;
                     return Ok(());
                 }
@@ -189,7 +206,7 @@ impl HashIndex {
                 Chain(PageId),
                 Missing,
             }
-            let step = pool.with_page_mut(pid, |p| {
+            let step = pool.checked_with_page_mut(pid, |p| {
                 let n = page_n(p);
                 for i in 0..n {
                     let (k, _) = entry(p, i);
@@ -204,7 +221,7 @@ impl HashIndex {
                 } else {
                     Step::Chain(next)
                 }
-            });
+            })?;
             match step {
                 Step::Updated => return Ok(()),
                 Step::Missing => return Err(StorageError::BadRid),
@@ -225,7 +242,7 @@ impl HashIndex {
                 Chain(PageId),
                 Missing,
             }
-            let step = pool.with_page_mut(pid, |p| {
+            let step = pool.checked_with_page_mut(pid, |p| {
                 let n = page_n(p);
                 for i in 0..n {
                     let (k, _) = entry(p, i);
@@ -243,7 +260,7 @@ impl HashIndex {
                 } else {
                     Step::Chain(next)
                 }
-            });
+            })?;
             match step {
                 Step::Removed => {
                     self.len -= 1;

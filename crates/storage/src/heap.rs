@@ -63,24 +63,27 @@ impl HeapFile {
     /// Appends a record to the last page, allocating a new page on overflow.
     ///
     /// # Errors
-    /// [`StorageError::RecordTooLarge`] when the record cannot fit any page.
+    /// [`StorageError::RecordTooLarge`] when the record cannot fit any
+    /// page; [`StorageError::NoSpace`] / [`StorageError::Io`] when an
+    /// injected device fault hits the allocation or page I/O (the heap is
+    /// unchanged — the record was not appended).
     pub fn append(&mut self, pool: &mut BufferPool, rec: &[u8]) -> Result<Rid, StorageError> {
         if rec.len() > slotted::MAX_RECORD {
             return Err(StorageError::RecordTooLarge { size: rec.len(), max: slotted::MAX_RECORD });
         }
         if let Some(&last) = self.pages.last() {
-            let slot = pool.with_page_mut(last, |pg| slotted::insert(pg, rec))?;
+            let slot = pool.checked_with_page_mut(last, |pg| slotted::insert(pg, rec))??;
             if let Some(slot) = slot {
                 self.records += 1;
                 return Ok(Rid { page: (self.pages.len() - 1) as u32, slot });
             }
         }
-        let pid = pool.allocate();
-        pool.with_page_mut(pid, slotted::init);
+        let pid = pool.try_allocate()?;
+        pool.checked_with_page_mut(pid, slotted::init)?;
         self.pages.push(pid);
         let slot = pool
-            .with_page_mut(pid, |pg| slotted::insert(pg, rec))?
-            .expect("fresh page accepts any legal record");
+            .checked_with_page_mut(pid, |pg| slotted::insert(pg, rec))??
+            .ok_or(StorageError::Corrupt("fresh page rejected a legal record"))?;
         self.records += 1;
         Ok(Rid { page: (self.pages.len() - 1) as u32, slot })
     }
@@ -97,8 +100,7 @@ impl HeapFile {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.try_with_page(pid, |pg| slotted::get(pg, rid.slot).map(f))
-            .flatten()
+        pool.checked_with_page(pid, |pg| slotted::get(pg, rid.slot).map(f))?
             .ok_or(StorageError::BadRid)
     }
 
@@ -115,8 +117,7 @@ impl HeapFile {
         rec: &[u8],
     ) -> Result<(), StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.try_with_page_mut(pid, |pg| slotted::update_in_place(pg, rid.slot, rec))
-            .unwrap_or(Err(StorageError::BadRid))
+        pool.checked_with_page_mut(pid, |pg| slotted::update_in_place(pg, rid.slot, rec))?
     }
 
     /// Overwrites part of the record at `rid` (the zero-copy label-flip
@@ -135,8 +136,7 @@ impl HeapFile {
         bytes: &[u8],
     ) -> Result<(), StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.try_with_page_mut(pid, |pg| slotted::patch_in_place(pg, rid.slot, offset, bytes))
-            .unwrap_or(Err(StorageError::BadRid))
+        pool.checked_with_page_mut(pid, |pg| slotted::patch_in_place(pg, rid.slot, offset, bytes))?
     }
 
     /// Tombstones the record at `rid`.
@@ -145,7 +145,7 @@ impl HeapFile {
     /// [`StorageError::BadRid`] when already dead.
     pub fn delete(&mut self, pool: &mut BufferPool, rid: Rid) -> Result<(), StorageError> {
         let pid = *self.pages.get(rid.page as usize).ok_or(StorageError::BadRid)?;
-        pool.with_page_mut(pid, |pg| slotted::delete(pg, rid.slot))?;
+        pool.checked_with_page_mut(pid, |pg| slotted::delete(pg, rid.slot))??;
         self.records -= 1;
         Ok(())
     }
@@ -194,6 +194,57 @@ impl HeapFile {
                 break 'outer;
             }
         }
+    }
+
+    /// Checked variant of [`scan`](HeapFile::scan): an injected read fault
+    /// (or a torn directory entry) stops the scan with its `StorageError`
+    /// instead of panicking. Records visited before the fault stand.
+    pub fn try_scan(
+        &self,
+        pool: &mut BufferPool,
+        mut visit: impl FnMut(Rid, &[u8]) -> bool,
+    ) -> Result<(), StorageError> {
+        for (pidx, &pid) in self.pages.iter().enumerate() {
+            let stop = pool.checked_with_page(pid, |pg| {
+                for (slot, rec) in slotted::iter(pg) {
+                    if !visit(Rid { page: pidx as u32, slot }, rec) {
+                        return true;
+                    }
+                }
+                false
+            })?;
+            if stop {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checked variant of [`scan_from`](HeapFile::scan_from); see
+    /// [`try_scan`](HeapFile::try_scan).
+    pub fn try_scan_from(
+        &self,
+        pool: &mut BufferPool,
+        from: Rid,
+        mut visit: impl FnMut(Rid, &[u8]) -> bool,
+    ) -> Result<(), StorageError> {
+        for (pidx, &pid) in self.pages.iter().enumerate().skip(from.page as usize) {
+            let first_slot = if pidx == from.page as usize { from.slot } else { 0 };
+            let stop = pool.checked_with_page(pid, |pg| {
+                for slot in first_slot..slotted::slot_count(pg) {
+                    if let Some(rec) = slotted::get(pg, slot) {
+                        if !visit(Rid { page: pidx as u32, slot }, rec) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            })?;
+            if stop {
+                break;
+            }
+        }
+        Ok(())
     }
 
     /// Frees every page back to the pool/disk and empties the heap.

@@ -32,17 +32,19 @@ mod disk;
 mod error;
 mod hash_index;
 mod heap;
+pub mod retry;
 pub mod slotted;
 pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use clock::{CostModel, IoStats, VirtualClock};
-pub use disk::{PageId, SimDisk, PAGE_SIZE};
+pub use disk::{DiskFault, PageId, SimDisk, PAGE_SIZE};
 pub use error::StorageError;
 pub use hash_index::HashIndex;
 pub use heap::{HeapFile, Rid};
+pub use retry::{Retrier, RetryPolicy, RetryStats};
 pub use wal::{
-    charge_bulk_read, charge_bulk_write, crc32, Checkpoint, CheckpointStore, CrashPoint,
-    DurableImage, DurableStore, SimFs, Wal, WalReader, WalRecord,
+    charge_bulk_read, charge_bulk_write, crc32, offset_of_lsn, Checkpoint, CheckpointStore,
+    CrashPoint, DurableImage, DurableStore, IngestReport, SimFs, Wal, WalEnd, WalReader, WalRecord,
 };

@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::clock::{CostModel, VirtualClock};
 use crate::disk::PAGE_SIZE;
+use crate::error::StorageError;
 
 /// Bytes of frame overhead around a record payload.
 pub const WAL_FRAME_OVERHEAD: usize = 4 + 8 + 1 + 4;
@@ -112,6 +113,36 @@ enum CrashState {
     Tripped,
 }
 
+/// Why a WAL scan stopped: the three observationally distinct log endings.
+///
+/// Operators (and the replication shipper) care about the difference — a
+/// torn frame means "we crashed mid-fsync, the prefix is the truth", while
+/// a CRC mismatch on a *complete* frame means the media corrupted data that
+/// was once durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalEnd {
+    /// The scan consumed the image exactly — a clean shutdown, or a crash
+    /// precisely at a record boundary.
+    CleanEof,
+    /// Trailing bytes too short for the frame they announce: a write torn
+    /// mid-frame by power loss. The valid prefix is authoritative.
+    TornFrame,
+    /// A complete frame whose CRC does not match its contents — bit rot or
+    /// corruption of previously durable data, not an interrupted append.
+    CrcMismatch,
+}
+
+impl WalEnd {
+    /// Operator-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalEnd::CleanEof => "clean-eof",
+            WalEnd::TornFrame => "torn-frame",
+            WalEnd::CrcMismatch => "crc-mismatch",
+        }
+    }
+}
+
 // ---- the write-ahead log ----------------------------------------------------------
 
 /// An append-only record log with an explicit buffered/stable split.
@@ -127,6 +158,8 @@ pub struct Wal {
     next_lsn: u64,
     clock: VirtualClock,
     crash: CrashState,
+    truncation: WalEnd,
+    ingest_fault: Option<(StorageError, u32)>,
 }
 
 impl Wal {
@@ -139,21 +172,26 @@ impl Wal {
             next_lsn: 0,
             clock,
             crash: CrashState::Running,
+            truncation: WalEnd::CleanEof,
+            ingest_fault: None,
         }
     }
 
     /// Rebuilds a log from a recovered stable image, keeping only the valid
     /// record prefix (a torn tail is discarded, exactly as a real log
-    /// manager truncates after the last good record).
+    /// manager truncates after the last good record). The reason the scan
+    /// stopped is kept — see [`truncation`](Wal::truncation).
     pub fn from_stable(bytes: Vec<u8>, clock: VirtualClock) -> Wal {
         let mut records = 0u64;
         let mut next_lsn = 0u64;
         let mut valid_len = 0usize;
-        for rec in WalReader::new(&bytes) {
+        let mut reader = WalReader::new(&bytes);
+        for rec in reader.by_ref() {
             records += 1;
             next_lsn = rec.lsn + 1;
             valid_len = rec.end_offset;
         }
+        let truncation = reader.end().unwrap_or(WalEnd::CleanEof);
         let mut stable = bytes;
         stable.truncate(valid_len);
         Wal {
@@ -163,6 +201,8 @@ impl Wal {
             next_lsn,
             clock,
             crash: CrashState::Running,
+            truncation,
+            ingest_fault: None,
         }
     }
 
@@ -243,10 +283,121 @@ impl Wal {
         self.stable.len() as u64
     }
 
+    /// LSN the next appended (or ingested) record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Why the stable image ended when this log was rebuilt with
+    /// [`from_stable`](Wal::from_stable) ([`WalEnd::CleanEof`] for a log
+    /// that was never recovered).
+    pub fn truncation(&self) -> WalEnd {
+        self.truncation
+    }
+
+    /// Appends already-framed records (shipped verbatim from another log)
+    /// to the stable image, preserving their origin LSNs and CRCs.
+    ///
+    /// This is the replica's apply point for log shipping, and it is
+    /// idempotent and gap-safe: frames whose LSN precedes the next expected
+    /// one are duplicates and skipped; a frame that jumps *past* it is a
+    /// gap — ingestion stops there and reports the offending LSN so the
+    /// shipper can rewind its cursor. A torn or CRC-failing tail ingests
+    /// the valid prefix and reports why the scan stopped. Bytes land
+    /// durably (this models a synced write and charges the clock).
+    ///
+    /// Fails without side effects when a fault armed via
+    /// [`arm_ingest_fault`](Wal::arm_ingest_fault) fires.
+    pub fn ingest_frames(&mut self, bytes: &[u8]) -> Result<IngestReport, StorageError> {
+        if let Some((err, times)) = self.ingest_fault.take() {
+            if times > 1 {
+                self.ingest_fault = Some((err.clone(), times - 1));
+            }
+            return Err(err);
+        }
+        let mut report =
+            IngestReport { applied: 0, duplicates: 0, gap: None, end: WalEnd::CleanEof };
+        let mut reader = WalReader::new(bytes);
+        let mut start = 0usize;
+        let mut applied_bytes = 0usize;
+        for rec in reader.by_ref() {
+            if rec.lsn < self.next_lsn {
+                report.duplicates += 1;
+            } else if rec.lsn > self.next_lsn {
+                report.gap = Some(rec.lsn);
+                break;
+            } else {
+                self.stable.extend_from_slice(&bytes[start..rec.end_offset]);
+                applied_bytes += rec.end_offset - start;
+                self.stable_records += 1;
+                self.next_lsn = rec.lsn + 1;
+                report.applied += 1;
+            }
+            start = rec.end_offset;
+        }
+        if report.gap.is_none() {
+            report.end = reader.end().unwrap_or(WalEnd::CleanEof);
+        }
+        if applied_bytes > 0 {
+            charge_bulk_write(&self.clock, applied_bytes);
+        }
+        Ok(report)
+    }
+
+    /// Aligns the log's LSN cursor without writing anything. A replica
+    /// bootstraps by restoring the primary's checkpoint into an *empty*
+    /// local log and then ingesting shipped frames that carry the
+    /// primary's LSNs — the first of which is the primary's position at
+    /// snapshot time, not zero. The shipper also uses this to re-align a
+    /// replica log reopened from an image that never ingested a frame
+    /// (an empty log cannot remember its own base LSN; the shipper's
+    /// replication-slot record can).
+    pub fn set_next_lsn(&mut self, lsn: u64) {
+        self.next_lsn = lsn;
+    }
+
+    /// Arms a finite device fault on [`ingest_frames`](Wal::ingest_frames):
+    /// the next `times` calls fail with `err` before any byte lands, after
+    /// which the device "recovers" — this is how the chaos suite exercises
+    /// `EIO`/`ENOSPC` retry budgets on replica stores.
+    pub fn arm_ingest_fault(&mut self, err: StorageError, times: u32) {
+        self.ingest_fault = if times == 0 { None } else { Some((err, times)) };
+    }
+
     /// Rebinds the clock (a reopened store charges the new session).
     pub fn set_clock(&mut self, clock: VirtualClock) {
         self.clock = clock;
     }
+}
+
+/// What one [`Wal::ingest_frames`] call did to the replica log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Frames appended to the stable image.
+    pub applied: u64,
+    /// Frames skipped because their LSN was already durable (duplicate
+    /// shipments are absorbed, not re-applied).
+    pub duplicates: u64,
+    /// First LSN that jumped past the next expected one, if the shipment
+    /// had a hole — the shipper must rewind to the replica's cursor.
+    pub gap: Option<u64>,
+    /// Why the frame scan stopped (meaningful when the shipment carried a
+    /// torn or corrupt tail; [`WalEnd::CleanEof`] otherwise).
+    pub end: WalEnd,
+}
+
+/// Byte offset of the frame carrying `lsn` inside a stable log image, if
+/// that LSN is (still) present — the shipper uses this to rebuild a byte
+/// cursor from a replica's applied LSN after faults or failover.
+pub fn offset_of_lsn(bytes: &[u8], lsn: u64) -> Option<usize> {
+    let mut pos = 0usize;
+    for rec in WalReader::new(bytes) {
+        if rec.lsn == lsn {
+            return Some(pos);
+        }
+        pos = rec.end_offset;
+    }
+    None
 }
 
 /// One decoded WAL record, borrowing its payload from the log image.
@@ -264,16 +415,25 @@ pub struct WalRecord<'a> {
 }
 
 /// Iterates valid records from the front of a log image, stopping at the
-/// first short, torn or CRC-failing frame.
+/// first short, torn or CRC-failing frame. After exhaustion,
+/// [`end`](WalReader::end) says *why* the scan stopped — a clean boundary,
+/// a torn tail, or corruption of a complete frame.
 pub struct WalReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    end: Option<WalEnd>,
 }
 
 impl<'a> WalReader<'a> {
     /// Reader over `buf` starting at offset 0.
     pub fn new(buf: &'a [u8]) -> WalReader<'a> {
-        WalReader { buf, pos: 0 }
+        WalReader { buf, pos: 0, end: None }
+    }
+
+    /// Why iteration stopped: `None` while records remain, `Some` once the
+    /// reader has returned `None` (and from then on).
+    pub fn end(&self) -> Option<WalEnd> {
+        self.end
     }
 }
 
@@ -282,12 +442,21 @@ impl<'a> Iterator for WalReader<'a> {
 
     fn next(&mut self) -> Option<WalRecord<'a>> {
         let b = &self.buf[self.pos..];
+        if b.is_empty() {
+            self.end = Some(WalEnd::CleanEof);
+            return None;
+        }
         if b.len() < WAL_FRAME_OVERHEAD {
+            self.end = Some(WalEnd::TornFrame);
             return None;
         }
         let len = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")) as usize;
-        let total = WAL_FRAME_OVERHEAD.checked_add(len)?;
+        let Some(total) = WAL_FRAME_OVERHEAD.checked_add(len) else {
+            self.end = Some(WalEnd::TornFrame);
+            return None;
+        };
         if b.len() < total {
+            self.end = Some(WalEnd::TornFrame);
             return None;
         }
         let lsn = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
@@ -295,6 +464,7 @@ impl<'a> Iterator for WalReader<'a> {
         let payload = &b[13..13 + len];
         let stored_crc = u32::from_le_bytes(b[13 + len..17 + len].try_into().expect("4 bytes"));
         if crc32(&b[4..13 + len]) != stored_crc {
+            self.end = Some(WalEnd::CrcMismatch);
             return None;
         }
         self.pos += total;

@@ -1,0 +1,296 @@
+//! Regression suite for storage-layer behavior under injected device
+//! faults: every access method must surface an injected `EIO`/`ENOSPC` as a
+//! [`StorageError`] — never a panic — and remain usable once the device
+//! "recovers". Also covers the WAL's truncation-reason reporting and the
+//! frame-ingestion path the replication shipper builds on.
+
+use hazy_storage::wal::WAL_FRAME_OVERHEAD;
+use hazy_storage::{
+    offset_of_lsn, BTree, BufferPool, CostModel, DiskFault, HashIndex, HeapFile, SimDisk,
+    StorageError, VirtualClock, Wal, WalEnd, WalReader,
+};
+
+fn pool(cap: usize) -> BufferPool {
+    BufferPool::new(SimDisk::new(VirtualClock::new(CostModel::free())), cap)
+}
+
+fn is_io(e: &StorageError) -> bool {
+    matches!(e, StorageError::Io(_))
+}
+
+// ---- heap file --------------------------------------------------------------------
+
+#[test]
+fn heap_append_surfaces_enospc_and_recovers() {
+    let mut p = pool(4);
+    let mut h = HeapFile::new();
+    h.append(&mut p, b"before").unwrap();
+    // force page overflow so the next append must allocate
+    let big = vec![7u8; 5000];
+    h.append(&mut p, &big).unwrap();
+    p.disk_mut().arm_fault(DiskFault::Allocate, 0);
+    let err = h.append(&mut p, &big).unwrap_err();
+    assert_eq!(err, StorageError::NoSpace);
+    // device recovered: the same append now lands, and old data is intact
+    let rid = h.append(&mut p, &big).unwrap();
+    assert_eq!(h.get(&mut p, rid, <[u8]>::len).unwrap(), 5000);
+}
+
+#[test]
+fn heap_get_surfaces_eio_without_panicking() {
+    let mut p = pool(1); // capacity 1: reads past the resident page miss
+    let mut h = HeapFile::new();
+    let r1 = h.append(&mut p, b"page-one").unwrap();
+    for _ in 0..600 {
+        h.append(&mut p, &[0u8; 64]).unwrap(); // spill to more pages
+    }
+    p.flush_all();
+    p.disk_mut().arm_fault(DiskFault::Read, 0);
+    // r1's page is no longer resident, so this get must fault it in
+    let err = h.get(&mut p, r1, |_| ()).unwrap_err();
+    assert!(is_io(&err), "expected Io, got {err}");
+    assert_eq!(h.get(&mut p, r1, |b| b.to_vec()).unwrap(), b"page-one");
+}
+
+#[test]
+fn heap_try_scan_stops_with_error_on_read_fault() {
+    let mut p = pool(1);
+    let mut h = HeapFile::new();
+    for k in 0..600u32 {
+        let mut rec = [0u8; 64];
+        rec[..4].copy_from_slice(&k.to_le_bytes());
+        h.append(&mut p, &rec).unwrap();
+    }
+    p.flush_all();
+    assert!(h.page_count() > 1);
+    p.disk_mut().arm_fault(DiskFault::Read, 1);
+    let mut seen = 0;
+    let err = h
+        .try_scan(&mut p, |_, _| {
+            seen += 1;
+            true
+        })
+        .unwrap_err();
+    assert!(is_io(&err));
+    assert!(seen > 0, "prefix before the fault was visited");
+    assert!(h.try_scan(&mut p, |_, _| true).is_ok(), "scan works after recovery");
+}
+
+// ---- buffer pool ------------------------------------------------------------------
+
+#[test]
+fn dirty_eviction_write_fault_keeps_the_victim() {
+    let mut p = pool(1);
+    let a = p.try_allocate().unwrap();
+    p.checked_with_page_mut(a, |pg| pg[0] = 0xAA).unwrap();
+    // evicting `a` (dirty) to make room must write it back; fail that write
+    p.disk_mut().arm_fault(DiskFault::Write, 0);
+    let err = p.try_allocate().unwrap_err();
+    assert!(is_io(&err));
+    // nothing was lost: the page is still readable with its dirty content
+    assert_eq!(p.checked_with_page(a, |pg| pg[0]).unwrap(), 0xAA);
+    // and the allocation succeeds once the device recovers
+    let b = p.try_allocate().unwrap();
+    assert!(p.checked_with_page(b, |pg| pg[0]).unwrap() == 0);
+}
+
+// ---- B+-tree ----------------------------------------------------------------------
+
+#[test]
+fn btree_insert_surfaces_enospc_on_split() {
+    let mut p = pool(256);
+    let mut t = BTree::new(&mut p);
+    p.disk_mut().arm_fault(DiskFault::Allocate, 0);
+    // keep inserting until a leaf split needs a fresh page and hits ENOSPC
+    let mut k = 0u64;
+    let err = loop {
+        match t.insert(&mut p, (k, 0), k) {
+            Ok(()) => k += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, StorageError::NoSpace);
+    // recovered: the split now succeeds and lookups still work
+    t.insert(&mut p, (k, 0), k).unwrap();
+    assert_eq!(t.get(&mut p, (3, 0)), Some(3));
+    assert_eq!(t.get(&mut p, (k, 0)), Some(k));
+}
+
+#[test]
+fn btree_try_get_and_scan_surface_eio() {
+    let mut p = pool(2);
+    let entries: Vec<((u64, u64), u64)> = (0..5000u64).map(|k| ((k, 0), k)).collect();
+    let t = BTree::bulk_load(&mut p, &entries);
+    p.flush_all();
+    p.disk_mut().arm_fault(DiskFault::Read, 0);
+    assert!(is_io(&t.try_get(&mut p, (17, 0)).unwrap_err()));
+    p.disk_mut().arm_fault(DiskFault::Read, 2);
+    let mut seen = 0u64;
+    let err = t
+        .try_scan_from(&mut p, (0, 0), |_, _| {
+            seen += 1;
+            true
+        })
+        .unwrap_err();
+    assert!(is_io(&err));
+    assert_eq!(t.try_get(&mut p, (17, 0)).unwrap(), Some(17), "recovered");
+}
+
+#[test]
+fn btree_try_bulk_load_surfaces_enospc() {
+    let mut p = pool(256);
+    let entries: Vec<((u64, u64), u64)> = (0..5000u64).map(|k| ((k, 0), k)).collect();
+    p.disk_mut().arm_fault(DiskFault::Allocate, 3);
+    let err = BTree::try_bulk_load(&mut p, &entries).unwrap_err();
+    assert_eq!(err, StorageError::NoSpace);
+    let t = BTree::try_bulk_load(&mut p, &entries).unwrap();
+    assert_eq!(t.len(), 5000);
+}
+
+// ---- hash index -------------------------------------------------------------------
+
+#[test]
+fn hash_index_surfaces_faults_on_every_path() {
+    let mut p = pool(64);
+    p.disk_mut().arm_fault(DiskFault::Allocate, 1);
+    assert_eq!(HashIndex::try_with_capacity(&mut p, 100).unwrap_err(), StorageError::NoSpace);
+
+    let mut h = HashIndex::try_with_capacity(&mut p, 1).unwrap(); // 4 buckets
+    for k in 0..3000u64 {
+        h.insert(&mut p, k, k).unwrap();
+    }
+    // overflow-page allocation hits ENOSPC
+    p.disk_mut().arm_fault(DiskFault::Allocate, 0);
+    let mut k = 3000u64;
+    let err = loop {
+        match h.insert(&mut p, k, k) {
+            Ok(()) => k += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, StorageError::NoSpace);
+
+    // reads under EIO with a tiny pool
+    let mut small = pool(1);
+    let mut hs = HashIndex::try_with_capacity(&mut small, 1).unwrap();
+    for k in 0..2000u64 {
+        hs.insert(&mut small, k, !k).unwrap();
+    }
+    small.flush_all();
+    small.disk_mut().arm_fault(DiskFault::Read, 0);
+    assert!(is_io(&hs.try_get(&mut small, 1234).unwrap_err()));
+    assert_eq!(hs.try_get(&mut small, 1234).unwrap(), Some(!1234));
+}
+
+// ---- WAL truncation reasons and frame ingestion -----------------------------------
+
+fn test_clock() -> VirtualClock {
+    VirtualClock::new(CostModel::free())
+}
+
+fn sample_wal(n: u8) -> Wal {
+    let mut w = Wal::new(test_clock());
+    for k in 0..n {
+        w.append(1, &[k; 10]);
+    }
+    w.sync();
+    w
+}
+
+#[test]
+fn wal_reader_reports_why_it_stopped() {
+    let w = sample_wal(4);
+    let bytes = w.stable_bytes().to_vec();
+
+    // clean end
+    let mut r = WalReader::new(&bytes);
+    assert_eq!(r.end(), None, "not exhausted yet");
+    assert_eq!(r.by_ref().count(), 4);
+    assert_eq!(r.end(), Some(WalEnd::CleanEof));
+
+    // torn tail: drop the last 5 bytes
+    let torn = &bytes[..bytes.len() - 5];
+    let mut r = WalReader::new(torn);
+    assert_eq!(r.by_ref().count(), 3);
+    assert_eq!(r.end(), Some(WalEnd::TornFrame));
+
+    // bit rot inside a complete frame
+    let mut rotten = bytes.clone();
+    let frame = WAL_FRAME_OVERHEAD + 10;
+    rotten[2 * frame + WAL_FRAME_OVERHEAD] ^= 1;
+    let mut r = WalReader::new(&rotten);
+    assert_eq!(r.by_ref().count(), 2);
+    assert_eq!(r.end(), Some(WalEnd::CrcMismatch));
+}
+
+#[test]
+fn from_stable_keeps_the_truncation_reason() {
+    let w = sample_wal(3);
+    let bytes = w.stable_bytes().to_vec();
+    assert_eq!(Wal::from_stable(bytes.clone(), test_clock()).truncation(), WalEnd::CleanEof);
+    let torn = Wal::from_stable(bytes[..bytes.len() - 3].to_vec(), test_clock());
+    assert_eq!(torn.truncation(), WalEnd::TornFrame);
+    assert_eq!(torn.stable_records(), 2);
+    let mut rotten = bytes;
+    let last = rotten.len() - 1;
+    rotten[last] ^= 0xFF; // flip a CRC byte of the final, complete frame
+    let corrupt = Wal::from_stable(rotten, test_clock());
+    assert_eq!(corrupt.truncation(), WalEnd::CrcMismatch);
+    assert_eq!(corrupt.stable_records(), 2);
+}
+
+#[test]
+fn ingest_applies_skips_duplicates_and_rejects_gaps() {
+    let primary = sample_wal(5);
+    let bytes = primary.stable_bytes();
+    let frame = WAL_FRAME_OVERHEAD + 10;
+
+    let mut replica = Wal::new(test_clock());
+    let r = replica.ingest_frames(&bytes[..2 * frame]).unwrap();
+    assert_eq!((r.applied, r.duplicates, r.gap), (2, 0, None));
+    assert_eq!(replica.next_lsn(), 2);
+
+    // duplicated shipment: same two frames again plus the next one
+    let r = replica.ingest_frames(&bytes[..3 * frame]).unwrap();
+    assert_eq!((r.applied, r.duplicates, r.gap), (1, 2, None));
+
+    // gap: skipping frame 3 entirely
+    let r = replica.ingest_frames(&bytes[4 * frame..]).unwrap();
+    assert_eq!((r.applied, r.gap), (0, Some(4)));
+    assert_eq!(replica.next_lsn(), 3, "gap applied nothing");
+
+    // torn shipment: valid prefix applies, reason reported
+    let r = replica.ingest_frames(&bytes[3 * frame..5 * frame - 4]).unwrap();
+    assert_eq!(r.applied, 1);
+    assert_eq!(r.end, WalEnd::TornFrame);
+
+    let r = replica.ingest_frames(&bytes[4 * frame..]).unwrap();
+    assert_eq!(r.applied, 1);
+    // the replica's stable image is byte-identical to the primary's
+    assert_eq!(replica.stable_bytes(), bytes);
+    let lsns: Vec<u64> = WalReader::new(replica.stable_bytes()).map(|r| r.lsn).collect();
+    assert_eq!(lsns, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn ingest_faults_fire_finitely_then_recover() {
+    let primary = sample_wal(2);
+    let mut replica = Wal::new(test_clock());
+    replica.arm_ingest_fault(StorageError::NoSpace, 2);
+    assert_eq!(replica.ingest_frames(primary.stable_bytes()).unwrap_err(), StorageError::NoSpace);
+    assert_eq!(replica.ingest_frames(primary.stable_bytes()).unwrap_err(), StorageError::NoSpace);
+    assert_eq!(replica.stable_records(), 0, "failed ingests leave no bytes");
+    let r = replica.ingest_frames(primary.stable_bytes()).unwrap();
+    assert_eq!(r.applied, 2);
+}
+
+#[test]
+fn offset_of_lsn_locates_resume_points() {
+    let w = sample_wal(4);
+    let bytes = w.stable_bytes();
+    let frame = WAL_FRAME_OVERHEAD + 10;
+    for lsn in 0..4u64 {
+        assert_eq!(offset_of_lsn(bytes, lsn), Some(lsn as usize * frame));
+    }
+    assert_eq!(offset_of_lsn(bytes, 99), None);
+}
