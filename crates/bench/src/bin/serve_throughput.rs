@@ -4,15 +4,15 @@
 //! Unlike the `figXX` bins (deterministic virtual-cost reproductions of the
 //! paper), this measures the *real* concurrent serving path of
 //! `hazy-serve`: reader threads calling `classify` (with periodic
-//! All-Members counts and ranked reads) against live per-shard locks while
-//! a single writer streams training-example batches through the shards.
-//! The measurement window is exactly the writer-active period
-//! (`duration_floor = 0`): reads/sec is read throughput *under write
-//! pressure*, which is what sharding buys — maintenance locks `1/N` of the
-//! key space at a time, so the readable fraction during a write round is
-//! `(N−1)/N`. That lever survives even a single-core host, where parallel
-//! fan-out cannot help: readers blocked on the one shard's lock cannot use
-//! a reader timeslice, readers routed to the other `N−1` shards can.
+//! All-Members counts and ranked reads) while a single writer streams
+//! training-example batches through the shards. The measurement window is
+//! exactly the writer-active period (`duration_floor = 0`): reads/sec is
+//! read throughput *under write pressure*. Since PR 8 readers run on the
+//! epoch snapshot path and never touch the shard locks, so sharding's read
+//! lever is parallel fan-out of counts/ranked reads plus smaller per-shard
+//! epoch republication; the old writer-priority stall regime is preserved
+//! for A/B measurement behind `WorkloadSpec::locked_reads` (see the
+//! `snapshot_reads` bin and BENCH_PR8.md).
 //!
 //! Two architectures bracket the write-pressure spectrum: naive-mm eager
 //! relabels its whole shard every round (the paper's state-of-the-art
@@ -66,6 +66,7 @@ fn run_table(spec: &DatasetSpec, arch: Architecture, rounds: usize, warm: &[Trai
             reorganize_every: 0,
             // no floor: the window is exactly the writer-active period
             duration_floor: Duration::ZERO,
+            locked_reads: false,
         };
         let report = run_mixed_workload(&mut view, &wl);
         if n_shards == SHARD_COUNTS[0] {

@@ -1,0 +1,172 @@
+//! Reader latency under write pressure: PR 3 writer-priority locks vs
+//! PR 8 epoch snapshot reads, A/B on the same workload.
+//!
+//! The tentpole claim of the snapshot-read work is not throughput — it is
+//! the *stall ceiling*: under the lock-based read path a single-entity
+//! read landing mid-maintenance waits out the whole round (a full relabel
+//! plus reorganization on the naive-eager architecture), so its latency
+//! approaches `max_write_round`; under epoch reads the worst case is one
+//! atomic pointer load plus a probe of an immutable epoch. This bin runs
+//! the identical workload twice — `WorkloadSpec::locked_reads` true then
+//! false — and prints p50/p99/max read latency next to the longest write
+//! round, per architecture.
+//!
+//! One shard on purpose: sharding hides lock stalls by shrinking the
+//! population behind each lock, and PR 3 already measured that lever
+//! (BENCH_PR3.md). Here the whole population sits behind one writer so the
+//! baseline's stall regime is maximal and the comparison is pure
+//! read-path.
+//!
+//! Wall-clock numbers; run with `--release` and record in BENCH_PR8.md.
+//! Pass `--quick` for a fast smoke run (CI).
+
+use std::time::Duration;
+
+use hazy_bench::common;
+use hazy_core::{Architecture, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_learn::TrainingExample;
+use hazy_serve::{run_mixed_workload, ShardedView, WorkloadSpec};
+
+const READERS: usize = 4;
+
+fn spec_batches(spec: &DatasetSpec, rounds: usize, batch: usize) -> Vec<Vec<TrainingExample>> {
+    let mut stream = ExampleStream::new(spec, 0xBEEF);
+    (0..rounds).map(|_| stream.take_vec(batch)).collect()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn run_table(
+    spec: &DatasetSpec,
+    arch: Architecture,
+    rounds: usize,
+    reorganize_every: usize,
+    warm: &[TrainingExample],
+) {
+    let ds = spec.generate();
+    let builder = ViewBuilder::new(arch, Mode::Eager).norm_pair(spec.norm_pair()).dim(spec.dim);
+    println!(
+        "{} (eager), {} entities, 1 shard, {READERS} readers, {rounds} write rounds \
+         (reorganize every {reorganize_every}):\n",
+        arch.name(),
+        ds.len()
+    );
+    println!(
+        "{:>9} | {:>9} | {:>9} | {:>10} | {:>10} | {:>9} | {:>11} | {:>12}",
+        "path", "p50", "p99", "max read", "max round", "stalls", "reads/sec", "in-round r/s"
+    );
+    println!("{}", "-".repeat(99));
+    let mut rows: Vec<(&str, u64, f64)> = Vec::new();
+    for locked in [true, false] {
+        let mut view = ShardedView::build(&builder, 1, common::entities_of(&ds), warm);
+        let wl = WorkloadSpec {
+            readers: READERS,
+            max_id: spec.n_entities as u64,
+            scan_every: 0,
+            top_k_every: 0,
+            top_k: 0,
+            batches: spec_batches(spec, rounds, 3),
+            reorganize_every,
+            // no floor: the window is exactly the writer-active period
+            duration_floor: Duration::ZERO,
+            locked_reads: locked,
+        };
+        let report = run_mixed_workload(&mut view, &wl);
+        let path = if locked { "locked" } else { "snapshot" };
+        let p99 = report.read_latency.percentile_ns(0.99);
+        rows.push((path, p99, report.reads_per_sec_during_rounds()));
+        println!(
+            "{:>9} | {:>9} | {:>9} | {:>10} | {:>8.1}ms | {:>9} | {:>11.0} | {:>12.0}",
+            path,
+            fmt_ns(report.read_latency.percentile_ns(0.50)),
+            fmt_ns(p99),
+            fmt_ns(report.max_read_latency.as_nanos() as u64),
+            report.max_write_round.as_secs_f64() * 1e3,
+            report.stalled_reads,
+            report.reads_per_sec(),
+            report.reads_per_sec_during_rounds(),
+        );
+    }
+    if let [(_, locked_p99, locked_ir), (_, snap_p99, snap_ir)] = rows[..] {
+        println!(
+            "\n  p99 ratio locked/snapshot: {:.1}x · in-round progress snapshot/locked: {:.1}x\n",
+            locked_p99 as f64 / snap_p99.max(1) as f64,
+            snap_ir / locked_ir.max(1.0)
+        );
+    }
+}
+
+/// The acceptance-criterion probe: ONE giant write round (a full-relabel
+/// batch plus a reorganization of the whole population) against ONE
+/// reader issuing single-entity reads in a loop. A locked reader that
+/// lands mid-round blocks until the round releases the shard lock, so its
+/// worst read approaches the lock-held phase of the round; a snapshot
+/// reader pays one pointer load and an epoch probe no matter what the
+/// writer is doing, so its worst read is bounded by scheduler preemption,
+/// not by maintenance. This isolates the stall ceiling from throughput
+/// noise (robust even on a one-core host).
+fn stall_probe(spec: &DatasetSpec, arch: Architecture, warm: &[TrainingExample]) {
+    let ds = spec.generate();
+    let builder = ViewBuilder::new(arch, Mode::Eager).norm_pair(spec.norm_pair()).dim(spec.dim);
+    println!(
+        "stall ceiling probe: {} (eager), {} entities, 1 shard, 1 reader, ONE write round:\n",
+        arch.name(),
+        ds.len()
+    );
+    println!("{:>9} | {:>12} | {:>12} | {:>22}", "path", "max read", "round", "stall / round");
+    println!("{}", "-".repeat(64));
+    for locked in [true, false] {
+        let mut view = ShardedView::build(&builder, 1, common::entities_of(&ds), warm);
+        let wl = WorkloadSpec {
+            readers: 1,
+            max_id: spec.n_entities as u64,
+            scan_every: 0,
+            top_k_every: 0,
+            top_k: 0,
+            batches: spec_batches(spec, 1, 3),
+            reorganize_every: 1,
+            duration_floor: Duration::ZERO,
+            locked_reads: locked,
+        };
+        let report = run_mixed_workload(&mut view, &wl);
+        println!(
+            "{:>9} | {:>12} | {:>10.0}ms | {:>21.1}%",
+            if locked { "locked" } else { "snapshot" },
+            fmt_ns(report.max_read_latency.as_nanos() as u64),
+            report.max_write_round.as_secs_f64() * 1e3,
+            100.0 * report.max_read_latency.as_secs_f64()
+                / report.max_write_round.as_secs_f64().max(1e-9),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let probe_only = std::env::args().any(|a| a == "--probe-only");
+    // Forest-shaped corpus on naive-mm eager: every write round relabels
+    // the whole population, the longest critical section we have — the
+    // regime where the PR 3 locks stall readers hardest. The hazy-mm table
+    // bounds the other end: its incremental rounds are short, so the two
+    // paths should nearly agree — snapshot reads must not cost anything
+    // when there is no stall to remove.
+    let naive_spec = DatasetSpec::forest().scaled(if quick { 0.01 } else { 0.60 });
+    let hazy_spec = DatasetSpec::dblife().scaled(if quick { 0.02 } else { 0.10 });
+    let naive_warm = common::warm_examples(&naive_spec, if quick { 500 } else { common::WARM });
+    if !probe_only {
+        let hazy_warm = common::warm_examples(&hazy_spec, if quick { 500 } else { common::WARM });
+        let (naive_rounds, hazy_rounds) = if quick { (12, 200) } else { (60, 5000) };
+        run_table(&naive_spec, Architecture::NaiveMem, naive_rounds, 1, &naive_warm);
+        run_table(&hazy_spec, Architecture::HazyMem, hazy_rounds, 50, &hazy_warm);
+    }
+    stall_probe(&naive_spec, Architecture::NaiveMem, &naive_warm);
+}

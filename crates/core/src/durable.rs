@@ -550,6 +550,13 @@ impl ClassifierView for DurableView {
         r
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, hazy_learn::LinearModel)> {
+        // not a logged operation: a snapshot copies state out without
+        // changing any answer, so replay determinism is unaffected — and
+        // epochs must never be resurrected by recovery
+        self.inner.snapshot_state()
+    }
+
     fn model(&self) -> &hazy_learn::LinearModel {
         self.inner.model()
     }

@@ -715,6 +715,15 @@ impl ClassifierView for HazyDiskView {
         self.pool.disk().clock()
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // a sequential heap scan (charged through the pool) copies the
+        // population out; the view lives on
+        Some((
+            crate::migrate::evacuate_heap(&self.heap, &mut self.pool),
+            self.trainer.model().clone(),
+        ))
+    }
+
     fn export_migration(&mut self) -> Option<crate::MigrationState> {
         // clustering order is irrelevant: the target re-organizes from
         // scratch

@@ -582,6 +582,13 @@ impl ClassifierView for HazyMemView {
         &self.clock
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // one in-memory pass copies the population out; the view lives on
+        self.clock.charge_cpu_ops(self.data.len() as u64);
+        let entities = self.data.iter().map(|t| Entity::new(t.id, t.f.clone())).collect();
+        Some((entities, self.trainer.model().clone()))
+    }
+
     fn export_migration(&mut self) -> Option<MigrationState> {
         // one in-memory pass copies the population out (physical order is
         // irrelevant — the target performs its own initial organization)

@@ -374,6 +374,12 @@ impl ClassifierView for HybridView {
         self.inner.clock()
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // the ε-map and boundary buffer are derived state: the inner
+        // on-disk structure holds the authoritative population
+        self.inner.snapshot_state()
+    }
+
     fn export_migration(&mut self) -> Option<crate::MigrationState> {
         // evacuate through the on-disk structure (the ε-map and buffer are
         // derived state), but export the *hybrid's* merged counters

@@ -32,6 +32,7 @@
 mod cost;
 mod durable;
 mod entity;
+mod epoch;
 mod hazy_disk;
 mod hazy_mem;
 mod hybrid;
@@ -55,6 +56,7 @@ pub use entity::{
     decode_tuple, decode_tuple_header, decode_tuple_ref, encode_tuple, Entity, HTuple, HTupleRef,
     TUPLE_HEADER, TUPLE_LABEL_OFFSET,
 };
+pub use epoch::{EpochCell, EpochPin, EpochPublisher, EpochStats, ModelEpoch};
 pub use merge::merge_sorted_tail;
 pub use migrate::{MigrationCarry, MigrationState};
 pub use hazy_disk::HazyDiskView;

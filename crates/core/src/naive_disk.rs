@@ -312,6 +312,15 @@ impl ClassifierView for NaiveDiskView {
         self.pool.disk().clock()
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // a sequential heap scan (charged through the pool) copies the
+        // population out; the view lives on
+        Some((
+            crate::migrate::evacuate_heap(&self.heap, &mut self.pool),
+            self.trainer.model().clone(),
+        ))
+    }
+
     fn export_migration(&mut self) -> Option<crate::MigrationState> {
         Some(crate::MigrationState {
             entities: crate::migrate::evacuate_heap(&self.heap, &mut self.pool),

@@ -264,6 +264,12 @@ impl ClassifierView for NaiveMemView {
         &self.clock
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // one in-memory pass copies the population out; the view lives on
+        self.clock.charge_cpu_ops(self.entities.len() as u64);
+        Some((self.entities.clone(), self.trainer.model().clone()))
+    }
+
     fn export_migration(&mut self) -> Option<MigrationState> {
         // one in-memory pass copies the population out
         self.clock.charge_cpu_ops(self.entities.len() as u64);

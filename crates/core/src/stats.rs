@@ -31,10 +31,30 @@ pub struct ViewStats {
     /// ARCH`). Carried across migrations like every other counter, so the
     /// value is the view's lifetime total.
     pub migrations: u64,
+    /// Snapshot epochs published for this view (serving layers that answer
+    /// reads from [`ModelEpoch`](crate::ModelEpoch)s). **Ephemeral**: epochs
+    /// live only in process memory, so this counter is excluded from
+    /// [`save_state`](ViewStats::save_state) — recovery must not resurrect
+    /// epochs, and a recovered view restarts its publication count.
+    pub epochs_published: u64,
+    /// Reader pins taken against this view's epochs. Ephemeral, like
+    /// [`epochs_published`](ViewStats::epochs_published).
+    pub epoch_pins: u64,
 }
 
 impl ViewStats {
-    /// Serializes every counter (checkpoint path).
+    /// This snapshot with the ephemeral epoch counters zeroed — what the
+    /// durable paths persist and what recovery-equivalence suites compare
+    /// (two runs that served different reader populations still have
+    /// identical logical state).
+    pub fn durable(mut self) -> ViewStats {
+        self.epochs_published = 0;
+        self.epoch_pins = 0;
+        self
+    }
+
+    /// Serializes every **durable** counter (checkpoint path); the epoch
+    /// counters are ephemeral and excluded (restore leaves them zero).
     pub fn save_state(&self, out: &mut Vec<u8>) {
         for v in [
             self.updates,
@@ -70,6 +90,8 @@ impl ViewStats {
             buffer_hits: take_u64(b)?,
             disk_reads: take_u64(b)?,
             migrations: take_u64(b)?,
+            epochs_published: 0,
+            epoch_pins: 0,
         })
     }
 }

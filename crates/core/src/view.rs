@@ -269,6 +269,24 @@ pub trait ClassifierView {
         let _ = carry;
     }
 
+    /// Extracts a point-in-time copy of the view's **answer state** — the
+    /// entity population and the current model — for publishing an epoch
+    /// snapshot (see [`EpochPublisher::from_view`](crate::EpochPublisher)).
+    /// Every read a view serves is a pure function of exactly this pair
+    /// (the observational-equivalence property the cross-architecture
+    /// suites enforce), so an epoch built from it answers bit-identically
+    /// to the live view at this instant.
+    ///
+    /// Unlike [`export_migration`](ClassifierView::export_migration) the
+    /// view is **not** consumed — trainer, Skiing state and counters stay
+    /// put. The copy pass is charged to the clock; `&mut self` because a
+    /// disk view faults its pages through the buffer pool to evacuate
+    /// itself. Returns `None` for wrappers with no single flat population
+    /// (a sharded view snapshots shard-by-shard instead).
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        None
+    }
+
     /// Requests a live migration to `arch` × `mode`. Only adaptive wrappers
     /// (and the layers above them: durable logging, sharded fan-out)
     /// support this; plain architecture views return `false` — they *are*
@@ -428,6 +446,12 @@ impl ViewBuilder {
     /// The configured per-statement overheads.
     pub fn configured_overheads(&self) -> OpOverheads {
         self.overheads
+    }
+
+    /// The configured Hölder pair (epoch publishers built over this
+    /// builder's views must measure feature norms under the same `q`).
+    pub fn configured_norm_pair(&self) -> NormPair {
+        self.pair
     }
 
     /// Builds the view over `entities`, optionally warm-starting the model

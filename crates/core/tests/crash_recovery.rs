@@ -345,3 +345,94 @@ fn torn_checkpoint_recovers_through_previous_slot() {
     assert_eq!(recovered.stats(), oracle.stats());
     assert_answers_match(&mut recovered, oracle.as_mut(), &population, "torn checkpoint");
 }
+
+/// PR 8, epochs × durability: readers hold epoch pins across a crash at
+/// **every WAL record boundary** while a publisher mirrors the durable
+/// write stream. For each boundary the recovered view republishes epoch 0
+/// from scratch (`published == 1`, `reclaimed == 0` — recovery never
+/// resurrects an epoch, because epoch state is deliberately excluded from
+/// checkpoints and the WAL), and the *recovered* snapshot must answer
+/// bit-identically to the pin that was taken live at that same LSN — the
+/// held pins from the pre-crash run are the oracle. The live cell's
+/// retired chain then drains completely once the pins drop, proving no
+/// recovery ever freed (or double-freed) an epoch it did not own.
+#[test]
+fn epoch_pins_survive_crash_at_every_wal_boundary() {
+    use hazy_core::EpochPublisher;
+
+    let b = builder(Architecture::HazyMem, Mode::Eager);
+    let (ops, _population) = script(seed());
+    let inner = build_plain(&b, 1);
+    let store = Arc::new(Mutex::new(DurableStore::new(inner.clock().clone())));
+    let mut dv = DurableView::create(inner, store, CKPT_INTERVAL);
+
+    let (entities, model) = dv.snapshot_state().expect("durable views snapshot");
+    let mut publisher = EpochPublisher::new(entities, model, NormPair::EUCLIDEAN, 0);
+    let cell = publisher.handle();
+
+    let mut images: Vec<DurableImage> = Vec::with_capacity(ops.len() + 1);
+    images.push(dv.durable_image());
+    let mut pins = Vec::new();
+    let mut pinned_at = Vec::new();
+    pins.push(cell.pin());
+    pinned_at.push(0u64);
+    for (i, op) in ops.iter().enumerate() {
+        apply(&mut dv, op);
+        match op {
+            Op::Update(_) => {
+                let m = dv.model().clone();
+                publisher.apply_update(&m);
+            }
+            Op::Insert(e) => publisher.apply_insert(e.clone()),
+            Op::Reorg => publisher.apply_reorganize(),
+            // reads advance the logical LSN without changing answers
+            Op::Read(_) | Op::Count | Op::Members | Op::TopK(_) => publisher.apply_noop(),
+        }
+        images.push(dv.durable_image());
+        if (i + 1).is_multiple_of(13) {
+            // a reader pins here and holds across every later write,
+            // checkpoint, crash and recovery below
+            pins.push(cell.pin());
+            pinned_at.push((i + 1) as u64);
+        }
+    }
+    assert_eq!(publisher.lsn(), ops.len() as u64, "one publication per logical statement");
+
+    // crash at every boundary that has a held pin: the recovered view's
+    // fresh epoch must agree with the live pin taken at that LSN
+    for (pin, &lsn) in pins.iter().zip(pinned_at.iter()) {
+        let image = &images[lsn as usize];
+        let mut recovered = DurableView::recover_image(&b, image, CKPT_INTERVAL, &CoreRestorer)
+            .unwrap_or_else(|e| panic!("recovery at boundary {lsn} failed: {e}"));
+        let (entities, model) = recovered.snapshot_state().expect("recovered view snapshots");
+        let fresh = EpochPublisher::new(entities, model, NormPair::EUCLIDEAN, lsn);
+        let fcell = fresh.handle();
+        let es = fcell.stats();
+        assert_eq!(es.published, 1, "boundary {lsn}: recovery must not resurrect epochs");
+        assert_eq!(es.reclaimed, 0, "boundary {lsn}: recovery must not reclaim epochs");
+        let fpin = fcell.pin();
+        assert_eq!(fpin.lsn(), pin.lsn(), "boundary {lsn}: LSN");
+        assert_eq!(fpin.count_positive(), pin.count_positive(), "boundary {lsn}: count");
+        assert_eq!(fpin.positive_ids(), pin.positive_ids(), "boundary {lsn}: members");
+        let (fk, lk) = (fpin.top_k(7), pin.top_k(7));
+        assert_eq!(fk.len(), lk.len(), "boundary {lsn}: top_k length");
+        for ((fa, fm), (la, lm)) in fk.iter().zip(lk.iter()) {
+            assert_eq!(fa, la, "boundary {lsn}: top_k order");
+            assert_eq!(fm.to_bits(), lm.to_bits(), "boundary {lsn}: top_k margin");
+        }
+        assert_models_bit_identical(fpin.model(), pin.model(), &format!("boundary {lsn}"));
+    }
+
+    // durable ViewStats never carry epoch counters: a recovered view's
+    // ephemeral counters restart from its own fresh publications
+    let recovered = DurableView::recover_image(&b, images.last().unwrap(), CKPT_INTERVAL, &CoreRestorer).unwrap();
+    assert_eq!(recovered.stats().epochs_published, 0, "epoch counters must not be durable");
+    assert_eq!(recovered.stats().epoch_pins, 0, "pin counters must not be durable");
+
+    // and the live cell drains exactly once the pins drop
+    drop(pins);
+    cell.try_collect();
+    let es = cell.stats();
+    assert_eq!(es.retired_live, 0, "retired chain drained after pins dropped");
+    assert_eq!(es.reclaimed + 1, es.published, "exactly the current epoch survives");
+}

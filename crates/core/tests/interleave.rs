@@ -1,0 +1,422 @@
+//! Deterministic interleaving suite for epoch snapshot reads (PR 8's
+//! centerpiece deliverable): a seeded single-threaded **step scheduler**
+//! interleaves N reader state machines with one writer walking a long
+//! random operation script, and proves that every answer served off a
+//! pinned [`hazy_core::ModelEpoch`] equals a **prefix-consistent oracle** —
+//! a plain view that executed exactly the first `lsn` script operations and
+//! nothing else.
+//!
+//! Why a scheduler instead of threads: thread interleavings are
+//! host-dependent, so a failing schedule could never be replayed. Here
+//! every actor is a state machine advanced one step at a time in an order
+//! drawn from `HAZY_CRASH_SEED` (the same knob the crash matrix uses, so CI
+//! runs a seed matrix over this suite too). Readers deliberately *hold
+//! their pins across many writer steps* — each probe phase lands at a
+//! different writer LSN — so the assertions prove three things at once:
+//!
+//! 1. **prefix consistency**: a pin taken at LSN `k` answers exactly like a
+//!    view that stopped after script op `k`;
+//! 2. **immutability**: those answers do not drift while the writer
+//!    publishes dozens of newer epochs (including rebases, reorganizations
+//!    and architecture migrations) behind the pin;
+//! 3. **reclamation safety**: when the run drains, every retired epoch has
+//!    been freed except the current one, and nothing was freed while any
+//!    reader still held it (the probe would have read garbage).
+//!
+//! The oracle answers are precomputed once per LSN by advancing a second
+//! plain view through the same script, probing after every op — answers
+//! are pure functions of (population, model), which the equivalence suites
+//! already prove architecture-independent, so one oracle per config serves
+//! every pin regardless of how the writer's view has migrated since.
+
+use std::collections::HashMap;
+
+use hazy_core::{
+    Architecture, DurableClassifierView, Entity, EpochCell, EpochPin, EpochPublisher, Mode,
+    OpOverheads, ViewBuilder,
+};
+use hazy_learn::{Label, LinearModel, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+
+/// Logical statements per script; matches the crash suite's floor.
+const SCRIPT_OPS: usize = 520;
+const N_ENTITIES: usize = 72;
+const N_READERS: usize = 4;
+/// Ranked-read depth checked at every oracle LSN.
+const TOP_K: usize = 7;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// One logical statement. Every variant advances the epoch LSN by exactly
+/// one, so `oracle[lsn]` is the state after the first `lsn` ops.
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Remove(u64),
+    Read(u64),
+    Count,
+    Members,
+    TopK(usize),
+    Reorg,
+    /// Live architecture migration mid-script — must be answer-invisible
+    /// to both the oracle and every pinned reader.
+    Migrate(Architecture, Mode),
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x00E1_7A11_u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+/// Generates a concrete script plus the set of every id that is ever live,
+/// so probes can also assert absence after removals.
+fn script(seed: u64, home: Architecture, mode: Mode) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x17E2_11EA_0000_0001;
+    let mut live: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut dead: Vec<u64> = Vec::new();
+    let mut ever: Vec<u64> = live.clone();
+    let mut next_id = 10_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    // migration round-trip: away at one third, home at two thirds — pins
+    // straddle both hops
+    let away = if home == Architecture::HazyMem { Architecture::NaiveDisk } else { Architecture::HazyMem };
+    for i in 0..SCRIPT_OPS {
+        if i == SCRIPT_OPS / 3 {
+            ops.push(Op::Migrate(away, mode));
+            continue;
+        }
+        if i == 2 * SCRIPT_OPS / 3 {
+            ops.push(Op::Migrate(home, mode));
+            continue;
+        }
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 40 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 48 {
+            // mostly fresh ids; sometimes resurrect a removed one so the
+            // overlay's removed/added interaction is exercised
+            let id = if !dead.is_empty() && splitmix64(&mut r).is_multiple_of(3) {
+                dead.swap_remove((splitmix64(&mut r) as usize) % dead.len())
+            } else {
+                next_id += 1;
+                ever.push(next_id);
+                next_id
+            };
+            live.push(id);
+            Op::Insert(Entity::new(id, feature(&mut r)))
+        } else if roll < 54 && live.len() > 8 {
+            let idx = (splitmix64(&mut r) as usize) % live.len();
+            let id = live.swap_remove(idx);
+            dead.push(id);
+            Op::Remove(id)
+        } else if roll < 74 {
+            Op::Read(live[(splitmix64(&mut r) as usize) % live.len()])
+        } else if roll < 82 {
+            Op::Count
+        } else if roll < 89 {
+            Op::Members
+        } else if roll < 97 {
+            Op::TopK(1 + (splitmix64(&mut r) % 9) as usize)
+        } else {
+            Op::Reorg
+        };
+        ops.push(op);
+    }
+    (ops, ever)
+}
+
+/// What the oracle answered immediately after a given script prefix.
+struct OracleState {
+    count: u64,
+    members: Vec<u64>,
+    top_k: Vec<(u64, f64)>,
+    labels: HashMap<u64, Option<Label>>,
+    model: LinearModel,
+}
+
+fn apply(b: &ViewBuilder, v: &mut Box<dyn DurableClassifierView + Send>, op: &Op) {
+    match op {
+        Op::Update(batch) => v.update_batch(batch),
+        Op::Insert(e) => v.insert_entity(e.clone()),
+        Op::Remove(id) => {
+            let _ = v.remove_entity(*id);
+        }
+        Op::Read(id) => {
+            let _ = v.read_single(*id);
+        }
+        Op::Count => {
+            let _ = v.count_positive();
+        }
+        Op::Members => {
+            let _ = v.positive_ids();
+        }
+        Op::TopK(k) => {
+            let _ = v.top_k(*k);
+        }
+        Op::Reorg => v.reorganize(),
+        Op::Migrate(arch, mode) => {
+            // the core-level live migration (what AdaptiveView drives):
+            // export, rebuild as the target, adopt the carried counters —
+            // answers preserved bit-exactly
+            let clock = v.clock().clone();
+            let state = v.export_migration().expect("plain views export migration state");
+            *v = b.build_migrated(*arch, *mode, state, clock);
+        }
+    }
+}
+
+fn probe(v: &mut (dyn DurableClassifierView + Send), ever: &[u64]) -> OracleState {
+    let mut members = v.positive_ids();
+    members.sort_unstable();
+    OracleState {
+        count: v.count_positive(),
+        members,
+        top_k: v.top_k(TOP_K),
+        labels: ever.iter().map(|&id| (id, v.read_single(id))).collect(),
+        model: v.model().clone(),
+    }
+}
+
+/// Precomputes `oracle[k]` = answers after the first `k` ops, for every k.
+fn oracle_states(b: &ViewBuilder, ops: &[Op], ever: &[u64]) -> Vec<OracleState> {
+    let mut v = b.build(base_entities(), &[]);
+    let mut states = Vec::with_capacity(ops.len() + 1);
+    states.push(probe(v.as_mut(), ever));
+    for op in ops {
+        apply(b, &mut v, op);
+        states.push(probe(v.as_mut(), ever));
+    }
+    states
+}
+
+fn assert_model_bits(a: &LinearModel, b: &LinearModel, ctx: &str) {
+    assert_eq!(a.b.to_bits(), b.b.to_bits(), "{ctx}: bias diverged");
+    let (wa, wb) = (a.w.to_vec(), b.w.to_vec());
+    assert_eq!(wa.len(), wb.len(), "{ctx}: dim diverged");
+    for (i, (x, y)) in wa.iter().zip(wb.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+}
+
+/// The writer actor: applies one script op per step to the live view and
+/// mirrors it into the epoch publisher, exactly as the serving layer does.
+struct Writer {
+    b: ViewBuilder,
+    view: Box<dyn DurableClassifierView + Send>,
+    publisher: EpochPublisher,
+    ops: Vec<Op>,
+    next: usize,
+}
+
+impl Writer {
+    fn done(&self) -> bool {
+        self.next == self.ops.len()
+    }
+
+    fn step(&mut self) {
+        let op = self.ops[self.next].clone();
+        self.next += 1;
+        apply(&self.b, &mut self.view, &op);
+        match op {
+            Op::Update(_) => {
+                let m = self.view.model().clone();
+                self.publisher.apply_update(&m);
+            }
+            Op::Insert(e) => self.publisher.apply_insert(e),
+            Op::Remove(id) => {
+                let _ = self.publisher.apply_remove(id);
+            }
+            Op::Reorg => self.publisher.apply_reorganize(),
+            // reads (which may drive lazy maintenance) and migrations are
+            // answer-invisible: the epoch stream advances in lockstep but
+            // republishes unchanged answers
+            Op::Read(_) | Op::Count | Op::Members | Op::TopK(_) | Op::Migrate(..) => {
+                self.publisher.apply_noop()
+            }
+        }
+        assert_eq!(
+            self.publisher.lsn(),
+            self.next as u64,
+            "epoch LSN must advance exactly once per logical statement"
+        );
+    }
+}
+
+/// A reader actor: pins an epoch, then spends several scheduler steps
+/// probing it against the oracle at the *pinned* LSN while the writer keeps
+/// publishing behind it, then unpins. `probes_per_phase` ids are sampled
+/// per classify step from the reader's own seeded stream.
+struct Reader<'a> {
+    cell: &'a EpochCell,
+    pin: Option<(EpochPin<'a>, u64)>,
+    phase: u8,
+    rng: u64,
+    cycles: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn new(cell: &'a EpochCell, id: usize, seed: u64) -> Reader<'a> {
+        Reader { cell, pin: None, phase: 0, rng: seed ^ ((id as u64 + 1) << 40), cycles: 0 }
+    }
+
+    fn step(&mut self, oracle: &[OracleState], ever: &[u64], writer_lsn: u64, ctx: &str) {
+        match self.phase {
+            0 => {
+                let pin = self.cell.pin();
+                let lsn = pin.lsn();
+                assert_eq!(
+                    lsn, writer_lsn,
+                    "{ctx}: a freshly pinned epoch is the writer's latest publication"
+                );
+                self.pin = Some((pin, lsn));
+            }
+            1 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 1 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}@lsn={lsn} (writer at {writer_lsn})");
+                assert_eq!(pin.count_positive(), want.count, "{ctx}: count_positive");
+                assert!(pin.entity_count() > 0, "{ctx}: population vanished");
+                assert_model_bits(pin.model(), &want.model, &ctx);
+            }
+            2 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 2 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}@lsn={lsn} (writer at {writer_lsn})");
+                for _ in 0..6 {
+                    let id = ever[(splitmix64(&mut self.rng) as usize) % ever.len()];
+                    assert_eq!(pin.classify(id), want.labels[&id], "{ctx}: classify({id})");
+                }
+                assert_eq!(pin.classify(u64::MAX - 7), None, "{ctx}: ghost id");
+            }
+            3 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 3 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}@lsn={lsn} (writer at {writer_lsn})");
+                assert_eq!(pin.positive_ids(), want.members, "{ctx}: scan_positive");
+            }
+            4 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 4 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}@lsn={lsn} (writer at {writer_lsn})");
+                let got = pin.top_k(TOP_K);
+                assert_eq!(got.len(), want.top_k.len(), "{ctx}: top_k length");
+                for (i, ((ga, gm), (wa, wm))) in got.iter().zip(want.top_k.iter()).enumerate() {
+                    assert_eq!(ga, wa, "{ctx}: top_k rank {i} id");
+                    assert_eq!(gm.to_bits(), wm.to_bits(), "{ctx}: top_k rank {i} margin");
+                }
+            }
+            _ => {
+                self.pin = None; // unpin: the epoch may now be reclaimed
+                self.cycles += 1;
+            }
+        }
+        self.phase = (self.phase + 1) % 6;
+    }
+}
+
+fn run_config(arch: Architecture, mode: Mode) {
+    let seed = seed();
+    let ctx = format!("{}/{}/seed={seed}", arch.name(), mode.name());
+    let (ops, ever) = script(seed, arch, mode);
+    let b = ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3);
+    let oracle = oracle_states(&b, &ops, &ever);
+
+    let mut view = b.build(base_entities(), &[]);
+    let (entities, model) = view.snapshot_state().expect("every architecture snapshots");
+    let publisher = EpochPublisher::new(entities, model, NormPair::EUCLIDEAN, 0);
+    let cell = publisher.handle();
+    let mut writer = Writer { b: b.clone(), view, publisher, ops, next: 0 };
+
+    let mut readers: Vec<Reader<'_>> =
+        (0..N_READERS).map(|i| Reader::new(&cell, i, seed)).collect();
+    let mut sched = seed ^ 0x5CED_0000_0000_0001;
+
+    // the interleaving: seeded choice each step between the writer and one
+    // of the readers; readers keep cycling until the script drains, then
+    // run to the end of their current probe cycle so no pin leaks
+    while !writer.done() {
+        let pick = (splitmix64(&mut sched) as usize) % (N_READERS + 1);
+        if pick == 0 {
+            writer.step();
+        } else {
+            let lsn = writer.publisher.lsn();
+            readers[pick - 1].step(&oracle, &ever, lsn, &ctx);
+        }
+    }
+    let final_lsn = writer.publisher.lsn();
+    for r in &mut readers {
+        while r.pin.is_some() || r.phase != 0 {
+            r.step(&oracle, &ever, final_lsn, &ctx);
+        }
+        assert!(r.cycles > 0, "{ctx}: a reader never completed a probe cycle");
+    }
+
+    // reclamation: with every pin dropped, one collect pass frees the whole
+    // retired chain; only the current epoch stays live
+    drop(readers);
+    cell.try_collect();
+    let es = cell.stats();
+    assert_eq!(es.published, final_lsn + 1, "{ctx}: one publication per LSN");
+    assert_eq!(es.reclaimed, es.published - 1, "{ctx}: all retired epochs reclaimed");
+    assert_eq!(es.retired_live, 0, "{ctx}: retired chain drained");
+    assert!(es.pins >= N_READERS as u64, "{ctx}: lifetime pin counter lost pins");
+
+    // and the final epoch answers the full-script oracle
+    let pin = cell.pin();
+    let want = oracle.last().expect("oracle has a final state");
+    assert_eq!(pin.lsn(), final_lsn, "{ctx}: final epoch LSN");
+    assert_eq!(pin.count_positive(), want.count, "{ctx}: final count");
+    assert_eq!(pin.positive_ids(), want.members, "{ctx}: final members");
+}
+
+macro_rules! interleave_matrix {
+    ($($name:ident => ($arch:expr, $mode:expr);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_config($arch, $mode);
+            }
+        )*
+    };
+}
+
+interleave_matrix! {
+    naive_mem_eager => (Architecture::NaiveMem, Mode::Eager);
+    naive_mem_lazy => (Architecture::NaiveMem, Mode::Lazy);
+    hazy_mem_eager => (Architecture::HazyMem, Mode::Eager);
+    hazy_mem_lazy => (Architecture::HazyMem, Mode::Lazy);
+    naive_disk_eager => (Architecture::NaiveDisk, Mode::Eager);
+    naive_disk_lazy => (Architecture::NaiveDisk, Mode::Lazy);
+    hazy_disk_eager => (Architecture::HazyDisk, Mode::Eager);
+    hazy_disk_lazy => (Architecture::HazyDisk, Mode::Lazy);
+    hybrid_eager => (Architecture::Hybrid, Mode::Eager);
+    hybrid_lazy => (Architecture::Hybrid, Mode::Lazy);
+}

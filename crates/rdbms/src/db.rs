@@ -10,10 +10,11 @@
 //! joins and filters (`CREATE CLASSIFICATION VIEW v ON (SELECT ...)`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hazy_core::{
-    Architecture, DurableClassifierView, DurableView, Entity, MemoryFootprint,
-    Mode, ViewBuilder, ViewStats,
+    Architecture, DurableClassifierView, DurableView, Entity, EpochCell, EpochPublisher,
+    MemoryFootprint, Mode, ViewBuilder, ViewStats,
 };
 use hazy_flow::{Dataflow, Delta, NodeId, RowAction, ViewSink};
 use hazy_learn::{LinearModel, LossKind, SgdConfig, TrainingExample};
@@ -113,6 +114,57 @@ impl Engine {
     }
 }
 
+/// Lazily-published epoch snapshot serving a view's SELECTs.
+///
+/// The SELECT paths pin an immutable [`hazy_core::ModelEpoch`] instead of
+/// reading the engine in place, so a long maintenance pass (a
+/// reorganization, a migration, a recovery replay) never sits between a
+/// query and its answer. The cache republishes from the engine's snapshot
+/// path the first time a SELECT lands after a mutating statement;
+/// `stmt_lsn` — the count of mutating statements folded into the view —
+/// is the epoch LSN that `AS OF LSN n` addresses. Only the newest epoch
+/// is retained: an older `n` gets the structured
+/// [`DbError::SnapshotUnavailable`], the hook point for a retention
+/// window. Epochs are ephemeral by design — a reopened database
+/// republishes from recovered engine state instead of resurrecting epochs
+/// from disk.
+struct SnapshotCache {
+    cell: Option<Arc<EpochCell>>,
+    stmt_lsn: u64,
+    fresh: bool,
+}
+
+impl SnapshotCache {
+    fn new() -> SnapshotCache {
+        SnapshotCache { cell: None, stmt_lsn: 0, fresh: false }
+    }
+
+    /// A mutating statement landed on the view: the current epoch no
+    /// longer reflects it.
+    fn invalidate(&mut self) {
+        self.stmt_lsn += 1;
+        self.fresh = false;
+    }
+
+    /// The current epoch cell, republishing from the engine if stale.
+    /// `None` when the engine has no snapshot path (answers then come
+    /// from the engine directly, the pre-snapshot behavior).
+    fn current(
+        &mut self,
+        view: &mut (dyn DurableClassifierView + Send),
+    ) -> Option<Arc<EpochCell>> {
+        if !self.fresh || self.cell.is_none() {
+            let (entities, model) = view.snapshot_state()?;
+            // the norm pair only drives the publisher's incremental band
+            // maintenance, which wholesale republication never exercises
+            let publisher = EpochPublisher::new(entities, model, NormPair::TEXT, self.stmt_lsn);
+            self.cell = Some(publisher.handle());
+            self.fresh = true;
+        }
+        self.cell.clone()
+    }
+}
+
 /// What the view is defined over.
 enum ViewKind {
     /// The paper's Example 2.1 declaration: entities and examples arrive
@@ -155,6 +207,26 @@ struct ViewState {
     /// Base table → column that must hold a non-NULL integer entity key,
     /// validated before any delta of that table enters the graph.
     key_checks: HashMap<String, usize>,
+    /// Epoch snapshot the SELECT paths pin (lazily republished after
+    /// mutating statements).
+    snapshots: SnapshotCache,
+}
+
+impl ViewState {
+    /// Validates an `AS OF LSN` clause against the retained epoch. Only
+    /// the current epoch exists today, so anything but the newest LSN is a
+    /// structured [`DbError::SnapshotUnavailable`].
+    fn check_as_of(&self, name: &str, as_of: Option<u64>) -> Result<(), DbError> {
+        match as_of {
+            None => Ok(()),
+            Some(lsn) if lsn == self.snapshots.stmt_lsn => Ok(()),
+            Some(lsn) => Err(DbError::SnapshotUnavailable {
+                view: name.to_string(),
+                requested: lsn,
+                newest: self.snapshots.stmt_lsn,
+            }),
+        }
+    }
 }
 
 /// The embedded database.
@@ -229,30 +301,75 @@ impl Db {
                 self.update(&table, sets, &col, key)?;
                 Ok(QueryResult::Done)
             }
-            Statement::SelectLabel { view, key } => {
-                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
-                let label = v.engine.read_routed(key as u64);
-                // a primary-fallback read is logged; ship it out again
-                v.engine.pump();
+            Statement::SelectLabel { view, key, as_of } => {
+                let v = self.views.get_mut(&view).ok_or_else(|| DbError::NoSuchView(view.clone()))?;
+                v.check_as_of(&view, as_of)?;
+                let label = match &mut v.engine {
+                    // replicated engines keep their own read authority: a
+                    // caught-up replica *is* a pinned remote epoch
+                    Engine::Replicated(_) => {
+                        let l = v.engine.read_routed(key as u64);
+                        // a primary-fallback read is logged; ship it again
+                        v.engine.pump();
+                        l
+                    }
+                    e => match v.snapshots.current(e.view_mut()) {
+                        Some(cell) => cell.pin().classify(key as u64),
+                        None => e.view_mut().read_single(key as u64),
+                    },
+                };
                 Ok(QueryResult::Label(label))
             }
-            Statement::SelectCount { view, class } => {
-                let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view))?;
+            Statement::SelectCount { view, class, as_of } => {
+                let v = self.views.get_mut(&view).ok_or_else(|| DbError::NoSuchView(view.clone()))?;
+                v.check_as_of(&view, as_of)?;
                 // the engine is the authority on the entity population —
                 // after a crash recovery its durable state (not any
                 // side bookkeeping) says what exists
-                let n = match class {
-                    None => v.engine.view().entity_count(),
-                    Some(1) => v.engine.count_routed(),
-                    Some(_) => v.engine.view().entity_count() - v.engine.count_routed(),
+                let n = match &mut v.engine {
+                    Engine::Replicated(_) => {
+                        let n = match class {
+                            None => v.engine.view().entity_count(),
+                            Some(1) => v.engine.count_routed(),
+                            Some(_) => v.engine.view().entity_count() - v.engine.count_routed(),
+                        };
+                        v.engine.pump();
+                        n
+                    }
+                    e => match v.snapshots.current(e.view_mut()) {
+                        Some(cell) => {
+                            let pin = cell.pin();
+                            match class {
+                                None => pin.entity_count(),
+                                Some(1) => pin.count_positive(),
+                                Some(_) => pin.entity_count() - pin.count_positive(),
+                            }
+                        }
+                        None => match class {
+                            None => e.view().entity_count(),
+                            Some(1) => e.view_mut().count_positive(),
+                            Some(_) => {
+                                e.view().entity_count() - e.view_mut().count_positive()
+                            }
+                        },
+                    },
                 };
-                v.engine.pump();
                 Ok(QueryResult::Count(n))
             }
-            Statement::SelectMembers { view, class } => {
+            Statement::SelectMembers { view, class, as_of } => {
                 let v = self.views.get_mut(&view).ok_or(DbError::NoSuchView(view.clone()))?;
-                let pos = v.engine.ids_routed();
-                v.engine.pump();
+                v.check_as_of(&view, as_of)?;
+                let pos = match &mut v.engine {
+                    Engine::Replicated(_) => {
+                        let pos = v.engine.ids_routed();
+                        v.engine.pump();
+                        pos
+                    }
+                    e => match v.snapshots.current(e.view_mut()) {
+                        Some(cell) => cell.pin().positive_ids(),
+                        None => e.view_mut().positive_ids(),
+                    },
+                };
                 if class == 1 {
                     return Ok(QueryResult::Ids(pos));
                 }
@@ -317,6 +434,9 @@ impl Db {
                 // migrates shard by shard, the adaptive wrapper does the
                 // extraction + rebuild — all with the view online
                 if v.engine.view_mut().set_architecture(target_arch, target_mode) {
+                    // answer-invisible, but a logical statement: the epoch
+                    // LSN ticks so AS OF can tell pre- from post-migration
+                    v.snapshots.invalidate();
                     // on a replicated view the migration's redo record ships
                     // like any other WAL suffix
                     v.engine.pump();
@@ -534,6 +654,7 @@ impl Db {
                 sink,
                 entity_sink,
                 key_checks,
+                snapshots: SnapshotCache::new(),
             },
         );
         Ok(())
@@ -745,6 +866,7 @@ impl Db {
                 sink,
                 entity_sink,
                 key_checks,
+                snapshots: SnapshotCache::new(),
             },
         );
         Ok(())
@@ -972,6 +1094,7 @@ impl Db {
         let ent = entities_table.get(key).ok_or(DbError::MissingEntity(key))?;
         let f = vs.ff.compute_feature(ent, entities_table.schema());
         vs.engine.view_mut().update(&TrainingExample::new(key as u64, f, label));
+        vs.snapshots.invalidate();
         Ok(())
     }
 
@@ -986,6 +1109,7 @@ impl Db {
             // the removal is WAL-logged by a durable engine and routed to
             // its home shard by a sharded one — same path as an insert
             let _ = vs.engine.view_mut().remove_entity(id);
+            vs.snapshots.invalidate();
             return Ok(());
         };
         match &vs.kind {
@@ -1007,6 +1131,7 @@ impl Db {
                 }
                 let f = vs.ff.compute_feature(&row, entities_table.schema());
                 vs.engine.view_mut().insert_entity(Entity::new(id, f));
+                vs.snapshots.invalidate();
             }
             ViewKind::Derived(spec) => {
                 let feat_row: Row = row[..spec.label_idx].to_vec();
@@ -1026,6 +1151,7 @@ impl Db {
                     let sign = label_to_sign(label, &vs.pos_label, &vs.known_labels)?;
                     vs.engine.view_mut().update(&TrainingExample::new(id, f, sign));
                 }
+                vs.snapshots.invalidate();
             }
         }
         Ok(())
@@ -1231,6 +1357,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn as_of_serves_the_current_epoch_and_rejects_stale_lsns() {
+        let mut db = setup();
+        create_view(&mut db, "USING SVM");
+        teach(&mut db, 30);
+        // discover the newest epoch LSN through the structured error
+        let err = db
+            .execute("SELECT class FROM Labeled_Papers AS OF LSN 999999 WHERE id = 1")
+            .unwrap_err();
+        let DbError::SnapshotUnavailable { view, requested, newest } = err else {
+            panic!("expected SnapshotUnavailable")
+        };
+        assert_eq!(view, "Labeled_Papers");
+        assert_eq!(requested, 999_999);
+        // 30 teaching rounds × 6 examples folded into the view since creation
+        assert_eq!(newest, 180);
+        // the newest LSN answers every read shape, matching the bare reads
+        assert_eq!(
+            db.execute(&format!("SELECT class FROM Labeled_Papers AS OF LSN {newest} WHERE id = 1"))
+                .unwrap(),
+            QueryResult::Label(Some(1))
+        );
+        assert_eq!(
+            db.execute(&format!(
+                "SELECT COUNT(*) FROM Labeled_Papers AS OF LSN {newest} WHERE class = 1"
+            ))
+            .unwrap(),
+            QueryResult::Count(3)
+        );
+        let QueryResult::Ids(mut ids) = db
+            .execute(&format!("SELECT id FROM Labeled_Papers AS OF LSN {newest} WHERE class = 1"))
+            .unwrap()
+        else {
+            panic!("expected ids")
+        };
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 5]);
+        // a mutating statement advances the epoch: the old LSN is now stale
+        db.execute("INSERT INTO Example_Papers VALUES (1, 'DB')").unwrap();
+        match db
+            .execute(&format!("SELECT class FROM Labeled_Papers AS OF LSN {newest} WHERE id = 1"))
+            .unwrap_err()
+        {
+            DbError::SnapshotUnavailable { requested, newest: n, .. } => {
+                assert_eq!(requested, newest);
+                assert_eq!(n, newest + 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            db.execute(&format!(
+                "SELECT class FROM Labeled_Papers AS OF LSN {} WHERE id = 1",
+                newest + 1
+            ))
+            .unwrap(),
+            QueryResult::Label(Some(1))
+        );
     }
 
     #[test]

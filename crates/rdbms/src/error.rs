@@ -35,6 +35,18 @@ pub enum DbError {
     },
     /// The statement parsed but is not supported by the engine.
     Unsupported(String),
+    /// `AS OF LSN n` addressed an epoch the view no longer (or does not
+    /// yet) retain. Only the current epoch is kept today; the variant is
+    /// the hook point for a retention window, so clients can already
+    /// distinguish "gone" from "malformed".
+    SnapshotUnavailable {
+        /// The view queried.
+        view: String,
+        /// The LSN the statement asked for.
+        requested: u64,
+        /// The newest (and currently only) retained epoch LSN.
+        newest: u64,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -52,6 +64,11 @@ impl fmt::Display for DbError {
             DbError::MissingRow(k) => write!(f, "no row with key {k}"),
             DbError::Parse { message, offset } => write!(f, "parse error at byte {offset}: {message}"),
             DbError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+            DbError::SnapshotUnavailable { view, requested, newest } => write!(
+                f,
+                "snapshot unavailable: view {view} retains only epoch LSN {newest}, \
+                 AS OF LSN {requested} was requested"
+            ),
         }
     }
 }

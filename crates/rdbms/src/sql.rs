@@ -181,26 +181,32 @@ pub enum Statement {
         /// Key of the row to update.
         key: i64,
     },
-    /// `SELECT class FROM view WHERE <key> = n`
+    /// `SELECT class FROM view [AS OF LSN n] WHERE <key> = n`
     SelectLabel {
         /// View name.
         view: String,
         /// Entity key.
         key: i64,
+        /// Epoch to answer from (`None` = the current snapshot).
+        as_of: Option<u64>,
     },
-    /// `SELECT COUNT(*) FROM view [WHERE class = c]`
+    /// `SELECT COUNT(*) FROM view [AS OF LSN n] [WHERE class = c]`
     SelectCount {
         /// View name.
         view: String,
         /// Class filter (`None` counts all rows).
         class: Option<i8>,
+        /// Epoch to answer from (`None` = the current snapshot).
+        as_of: Option<u64>,
     },
-    /// `SELECT <key> FROM view WHERE class = c`
+    /// `SELECT <key> FROM view [AS OF LSN n] WHERE class = c`
     SelectMembers {
         /// View name.
         view: String,
         /// Class filter.
         class: i8,
+        /// Epoch to answer from (`None` = the current snapshot).
+        as_of: Option<u64>,
     },
     /// `CHECKPOINT CLASSIFICATION VIEW name`: force a durable checkpoint
     /// now (the view must have been declared `DURABLE`).
@@ -754,13 +760,14 @@ fn parse_create_view(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
 }
 
 fn parse_select(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
-    // SELECT COUNT(*) FROM v [WHERE class = c]
+    // SELECT COUNT(*) FROM v [AS OF LSN n] [WHERE class = c]
     if lx.eat_keyword("COUNT") {
         lx.sym('(')?;
         lx.sym('*')?;
         lx.sym(')')?;
         lx.keyword("FROM")?;
         let view = lx.ident()?;
+        let as_of = parse_as_of(lx)?;
         let mut class = None;
         if lx.eat_keyword("WHERE") {
             lx.keyword("CLASS")?;
@@ -768,12 +775,13 @@ fn parse_select(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
             class = Some(parse_class(lx)?);
         }
         lx.done()?;
-        return Ok(Statement::SelectCount { view, class });
+        return Ok(Statement::SelectCount { view, class, as_of });
     }
-    // SELECT <col> FROM v WHERE ...
+    // SELECT <col> FROM v [AS OF LSN n] WHERE ...
     let col = lx.ident()?;
     lx.keyword("FROM")?;
     let view = lx.ident()?;
+    let as_of = parse_as_of(lx)?;
     lx.keyword("WHERE")?;
     let lhs = lx.ident()?;
     lx.sym('=')?;
@@ -782,15 +790,31 @@ fn parse_select(lx: &mut Lexer<'_>) -> Result<Statement, DbError> {
         let _ = lhs; // the key column name is the view's business
         let key = lx.int()?;
         lx.done()?;
-        Ok(Statement::SelectLabel { view, key })
+        Ok(Statement::SelectLabel { view, key, as_of })
     } else if lhs.eq_ignore_ascii_case("class") {
         // SELECT <key> FROM v WHERE class = c
         let class = parse_class(lx)?;
         lx.done()?;
-        Ok(Statement::SelectMembers { view, class })
+        Ok(Statement::SelectMembers { view, class, as_of })
     } else {
         Err(lx.err("supported reads: class-by-key, members-by-class, COUNT(*)"))
     }
+}
+
+/// `AS OF LSN <n>`, the snapshot-read time-travel clause. The epoch LSN is
+/// the count of mutating statements the view had folded in when the epoch
+/// was published.
+fn parse_as_of(lx: &mut Lexer<'_>) -> Result<Option<u64>, DbError> {
+    if !lx.eat_keyword("AS") {
+        return Ok(None);
+    }
+    lx.keyword("OF")?;
+    lx.keyword("LSN")?;
+    let n = lx.int()?;
+    if n < 0 {
+        return Err(lx.err("AS OF LSN takes a non-negative epoch LSN"));
+    }
+    Ok(Some(n as u64))
 }
 
 fn parse_class(lx: &mut Lexer<'_>) -> Result<i8, DbError> {
@@ -922,20 +946,43 @@ mod tests {
     fn parses_the_three_read_shapes() {
         assert_eq!(
             parse_statement("SELECT class FROM V WHERE id = 10").unwrap(),
-            Statement::SelectLabel { view: "V".into(), key: 10 }
+            Statement::SelectLabel { view: "V".into(), key: 10, as_of: None }
         );
         assert_eq!(
             parse_statement("SELECT COUNT(*) FROM V WHERE class = 1").unwrap(),
-            Statement::SelectCount { view: "V".into(), class: Some(1) }
+            Statement::SelectCount { view: "V".into(), class: Some(1), as_of: None }
         );
         assert_eq!(
             parse_statement("SELECT COUNT(*) FROM V").unwrap(),
-            Statement::SelectCount { view: "V".into(), class: None }
+            Statement::SelectCount { view: "V".into(), class: None, as_of: None }
         );
         assert_eq!(
             parse_statement("SELECT id FROM V WHERE class = -1").unwrap(),
-            Statement::SelectMembers { view: "V".into(), class: -1 }
+            Statement::SelectMembers { view: "V".into(), class: -1, as_of: None }
         );
+    }
+
+    #[test]
+    fn parses_as_of_on_every_read_shape() {
+        assert_eq!(
+            parse_statement("SELECT class FROM V AS OF LSN 12 WHERE id = 10").unwrap(),
+            Statement::SelectLabel { view: "V".into(), key: 10, as_of: Some(12) }
+        );
+        assert_eq!(
+            parse_statement("SELECT COUNT(*) FROM V AS OF LSN 0 WHERE class = 1").unwrap(),
+            Statement::SelectCount { view: "V".into(), class: Some(1), as_of: Some(0) }
+        );
+        assert_eq!(
+            parse_statement("SELECT COUNT(*) FROM V AS OF LSN 7").unwrap(),
+            Statement::SelectCount { view: "V".into(), class: None, as_of: Some(7) }
+        );
+        assert_eq!(
+            parse_statement("SELECT id FROM V AS OF LSN 3 WHERE class = -1").unwrap(),
+            Statement::SelectMembers { view: "V".into(), class: -1, as_of: Some(3) }
+        );
+        // the clause is a prefix of the WHERE, never a replacement for it
+        assert!(parse_statement("SELECT class FROM V AS OF LSN -3 WHERE id = 1").is_err());
+        assert!(parse_statement("SELECT class FROM V AS OF WHERE id = 1").is_err());
     }
 
     #[test]
@@ -1155,6 +1202,6 @@ mod tests {
             "SELECT class -- the label\nFROM V -- the view\nWHERE id = 2",
         )
         .unwrap();
-        assert_eq!(stmt, Statement::SelectLabel { view: "V".into(), key: 2 });
+        assert_eq!(stmt, Statement::SelectLabel { view: "V".into(), key: 2, as_of: None });
     }
 }

@@ -69,7 +69,7 @@ proptest! {
         let sql = format!("SELECT class FROM {view} WHERE {key_col} = {key}");
         prop_assert_eq!(
             parse_statement(&sql).unwrap(),
-            Statement::SelectLabel { view, key }
+            Statement::SelectLabel { view, key, as_of: None }
         );
     }
 

@@ -402,6 +402,20 @@ impl ReplicationGroup {
         self.primary_next_lsn().saturating_sub(self.replicas[i].view.next_lsn())
     }
 
+    /// Replica `i`'s staleness measured the epoch way: the primary's next
+    /// LSN minus the LSN stamped on the replica's current epoch (see
+    /// [`ReplicaView::epoch`]). Always equals [`Self::replica_lag`]
+    /// (`ReplicationGroup::replica_lag`) — the group's `max_lag` routing
+    /// bound and the staleness of a pinned replica epoch are one number on
+    /// one scale, which is what lets a serving layer treat "read from a
+    /// caught-up replica" and "read from a pinned epoch" interchangeably.
+    /// `None` when the replica's live view has no snapshot path.
+    pub fn epoch_lag(&mut self, i: usize) -> Option<u64> {
+        let primary = self.primary_next_lsn();
+        let cell = self.replicas[i].view.epoch()?;
+        Some(primary.saturating_sub(cell.current_lsn()))
+    }
+
     /// Replica `i` (panics out of range — test/debug accessor).
     pub fn replica(&self, i: usize) -> &ReplicaView {
         &self.replicas[i].view

@@ -3,10 +3,11 @@
 use std::sync::{Arc, Mutex};
 
 use hazy_core::{
-    replay_record, ClassifierView, Durable, DurableClassifierView, DurableView, RecoveryInfo,
-    ViewBuilder, ViewRestorer, ViewStats,
+    replay_record, ClassifierView, Durable, DurableClassifierView, DurableView, EpochCell,
+    EpochPublisher, RecoveryInfo, ViewBuilder, ViewRestorer, ViewStats,
 };
 use hazy_learn::{Label, LinearModel};
+use hazy_linalg::NormPair;
 use hazy_storage::{
     DurableStore, IngestReport, StorageError, VirtualClock, WalReader,
 };
@@ -44,6 +45,13 @@ pub struct ReplicaView {
     /// cannot remember its own base) re-aligns correctly.
     base_lsn: u64,
     crashes: u64,
+    /// Epoch snapshot of the live view at the applied LSN, republished
+    /// lazily after shipments advance it (see [`ReplicaView::epoch`]).
+    /// Deliberately *not* carried across [`ReplicaView::crash_and_restart`]:
+    /// a restarted replica republishes from recovered state instead of
+    /// resurrecting epochs, while pins held across the crash keep their own
+    /// `Arc` to the old cell.
+    epoch_cell: Option<Arc<EpochCell>>,
 }
 
 impl std::fmt::Debug for ReplicaView {
@@ -99,8 +107,16 @@ impl ReplicaView {
             DurableView::recover_with_info(&builder, Arc::clone(&store), 0, restorer)?;
         let live = recovered.into_inner();
         let live_offset = store.lock().expect("replica store lock").wal.stable_len() as usize;
-        let replica =
-            ReplicaView { builder, restorer, store, live, live_offset, base_lsn, crashes: 0 };
+        let replica = ReplicaView {
+            builder,
+            restorer,
+            store,
+            live,
+            live_offset,
+            base_lsn,
+            crashes: 0,
+            epoch_cell: None,
+        };
         Ok((replica, info))
     }
 
@@ -186,6 +202,34 @@ impl ReplicaView {
     /// Times this replica has crashed and restarted.
     pub fn crashes(&self) -> u64 {
         self.crashes
+    }
+
+    /// The replica's epoch cell — the snapshot-read framing of what a
+    /// replica *is*: a caught-up replica serving at its applied LSN is a
+    /// pinned remote epoch of the primary. The published epoch is stamped
+    /// with [`next_lsn`](ReplicaView::next_lsn), the same number the
+    /// replication group's staleness bound (`max_lag`) is measured in —
+    /// one LSN scale covers both routing health and snapshot staleness.
+    ///
+    /// Republished lazily the first time it is requested after the applied
+    /// LSN advances; between shipments a lazy-mode read may drift the live
+    /// view's *physical* state, but never its model, so an existing epoch
+    /// stays answer-identical. Pins taken from the returned cell stay
+    /// bit-frozen across further ingests and even
+    /// [`crash_and_restart`](ReplicaView::crash_and_restart): the cell is
+    /// `Arc`-shared, so a held pin outlives the live view it snapshotted.
+    ///
+    /// `None` when the live view has no snapshot path.
+    pub fn epoch(&mut self) -> Option<Arc<EpochCell>> {
+        let lsn = self.next_lsn();
+        if self.epoch_cell.as_ref().is_none_or(|c| c.current_lsn() != lsn) {
+            let (entities, model) = self.live.snapshot_state()?;
+            // the norm pair only drives the publisher's incremental band
+            // maintenance, which wholesale republication never exercises
+            let publisher = EpochPublisher::new(entities, model, NormPair::TEXT, lsn);
+            self.epoch_cell = Some(publisher.handle());
+        }
+        self.epoch_cell.clone()
     }
 
     /// Serves a single-entity classification at the replica's applied LSN

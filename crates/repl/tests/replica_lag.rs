@@ -180,6 +180,76 @@ fn lag_metrics_are_monotone() {
     }
 }
 
+fn model_bits(m: &hazy_learn::LinearModel) -> Vec<u8> {
+    let mut out = Vec::new();
+    m.save_state(&mut out);
+    out
+}
+
+/// A caught-up replica is a pinned remote epoch: the epoch is stamped at
+/// the applied LSN (the same number the routing bound is measured in),
+/// its answers bit-equal the replica's direct reads, and a held pin stays
+/// frozen across further shipments and even a replica crash-restart.
+#[test]
+fn pinned_replica_epoch_is_a_frozen_remote_snapshot() {
+    let mut g = group(1, 0, FaultPlan::none());
+    for k in 0..12 {
+        g.update_batch(&[ex(k)]);
+        g.pump();
+    }
+    assert_eq!(g.replica_lag(0), 0);
+    assert_eq!(g.epoch_lag(0), Some(0), "epoch staleness and routing lag agree");
+
+    let cell = g.replica_mut(0).epoch().expect("replica has a snapshot path");
+    let again = g.replica_mut(0).epoch().expect("replica has a snapshot path");
+    assert!(Arc::ptr_eq(&cell, &again), "no republish while the applied LSN stands still");
+    let pin = cell.pin();
+    assert_eq!(pin.lsn(), g.replica(0).next_lsn(), "epoch stamped at the applied LSN");
+
+    // the pinned epoch's answers bit-equal the replica's direct reads
+    let frozen_model = model_bits(pin.model());
+    let frozen_count = pin.count_positive();
+    let mut frozen_ids = pin.positive_ids();
+    frozen_ids.sort_unstable();
+    assert_eq!(frozen_model, model_bits(g.replica(0).model()));
+    assert_eq!(frozen_count, g.replica_mut(0).count_positive());
+    let mut direct_ids = g.replica_mut(0).positive_ids();
+    direct_ids.sort_unstable();
+    assert_eq!(frozen_ids, direct_ids);
+    for id in 0..10u64 {
+        assert_eq!(pin.classify(id), g.replica_mut(0).read_single(id), "entity {id}");
+    }
+
+    // the replica moves on; the pin does not
+    for k in 12..24 {
+        g.update_batch(&[ex(k)]);
+        g.pump();
+    }
+    assert!(g.replica(0).next_lsn() > pin.lsn(), "shipments advanced the applied LSN");
+    assert_eq!(model_bits(pin.model()), frozen_model, "pinned model bits are frozen");
+    assert_eq!(pin.count_positive(), frozen_count);
+    let fresh = g.replica_mut(0).epoch().expect("replica has a snapshot path");
+    assert!(!Arc::ptr_eq(&cell, &fresh), "an advanced LSN republishes");
+    assert_eq!(fresh.current_lsn(), g.replica(0).next_lsn());
+    assert_eq!(g.epoch_lag(0), Some(g.replica_lag(0)), "one staleness scale, always");
+
+    // crash the replica while the pin is held: recovery must not resurrect
+    // or double-free epochs — the restart publishes a fresh cell, and the
+    // held pin keeps answering from the cell it predates
+    g.replica_mut(0).crash_and_restart().unwrap();
+    let recovered = g.replica_mut(0).epoch().expect("replica has a snapshot path");
+    let stats = recovered.stats();
+    assert_eq!(stats.published, 1, "fresh cell after restart, no resurrected epochs");
+    assert_eq!(stats.reclaimed, 0);
+    assert_eq!(recovered.current_lsn(), g.replica(0).next_lsn());
+    assert_eq!(model_bits(pin.model()), frozen_model, "pin survives the crash it predates");
+    assert_eq!(pin.count_positive(), frozen_count);
+    let mut ids_now = pin.positive_ids();
+    ids_now.sort_unstable();
+    assert_eq!(ids_now, frozen_ids);
+    drop(pin);
+}
+
 /// `max_lag` is honored exactly: a replica at lag == bound stays in
 /// rotation, one past it leaves.
 #[test]

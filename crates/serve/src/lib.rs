@@ -43,7 +43,7 @@ mod pool;
 mod sharded;
 
 pub use kway::{merge_ascending, merge_ranked};
-pub use pool::{run_mixed_workload, WorkloadReport, WorkloadSpec};
+pub use pool::{run_mixed_workload, LatencyHisto, WorkloadReport, WorkloadSpec};
 pub use sharded::{shard_of, ReadHandle, ServeRestorer, ShardedView, WriteHandle};
 
 // re-exported so downstream code can name the traits without a hazy-core dep

@@ -1,17 +1,20 @@
 //! A scoped worker pool driving a mixed read/update workload.
 //!
-//! This is the serving loop the `serve_throughput` bench measures: `R`
-//! reader threads hammer [`ShardedView::classify`] (with periodic
-//! All-Members counts and ranked reads mixed in) while one writer thread
-//! drains a channel of training-example batches — the paper's "training
-//! examples stream in" regime — applying each round shard by shard and
-//! reorganizing periodically, all off the read path. Threads are
-//! `crossbeam` scoped threads; the write stream and the result fan-in are
-//! `crossbeam` channels.
+//! This is the serving loop the `serve_throughput` and `snapshot_reads`
+//! benches measure: `R` reader threads hammer [`ShardedView::classify`]
+//! (with periodic All-Members counts and ranked reads mixed in) while one
+//! writer thread drains a channel of training-example batches — the
+//! paper's "training examples stream in" regime — applying each round
+//! shard by shard and reorganizing periodically. Threads are `crossbeam`
+//! scoped threads; the write stream and the result fan-in are `crossbeam`
+//! channels.
 //!
 //! Reads are open-loop: readers run until the writer has drained its
 //! stream *and* a configured duration floor has passed, so a report's
 //! `reads_per_sec` is measured under write pressure for the whole window.
+//! Readers default to the epoch snapshot path (never blocked);
+//! [`WorkloadSpec::locked_reads`] switches them to the PR 3 lock-based
+//! path for A/B comparison.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -41,6 +44,64 @@ pub struct WorkloadSpec {
     /// Readers keep running at least this long even if the writer finishes
     /// early (lets a pure-read workload use an empty write stream).
     pub duration_floor: Duration,
+    /// When set, single-entity reads go through
+    /// [`ShardedView::classify_locked`] — the PR 3 writer-priority
+    /// baseline that stalls behind in-flight maintenance — instead of the
+    /// epoch snapshot path. Measurement hook only.
+    pub locked_reads: bool,
+}
+
+/// Base-2 latency histogram: bucket `i` counts observations in
+/// `[2^(i−1), 2^i)` nanoseconds. Fixed-size and mergeable, so per-reader
+/// recording is allocation-free and the pool can fold thread-local
+/// histograms into one report.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyHisto {
+    buckets: [u64; 64],
+}
+
+impl Default for LatencyHisto {
+    fn default() -> LatencyHisto {
+        LatencyHisto { buckets: [0; 64] }
+    }
+}
+
+impl LatencyHisto {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[(64 - ns.max(1).leading_zeros() as usize).min(63)] += 1;
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHisto) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// An upper bound on the `q`-quantile (the top edge of the bucket the
+    /// quantile falls in — conservative by at most 2×, which is all a
+    /// stall-vs-no-stall comparison needs). Returns 0 with no data.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// What [`run_mixed_workload`] measured.
@@ -61,8 +122,24 @@ pub struct WorkloadReport {
     /// Worst single-entity read latency observed by any reader.
     pub max_read_latency: Duration,
     /// Single-entity reads that stalled longer than 1 ms (readers blocked
-    /// behind a maintenance round on their target shard).
+    /// behind a maintenance round on their target shard — should be noise
+    /// only under snapshot reads).
     pub stalled_reads: u64,
+    /// Wall-clock duration of the longest single write round (one batch
+    /// applied to every shard, plus its reorganizations if the round
+    /// triggered them) — the stall ceiling a lock-based reader can hit.
+    pub max_write_round: Duration,
+    /// Single-entity reads that completed while the writer was inside a
+    /// write round. The discriminating progress metric: a lock-based
+    /// reader scheduled mid-round blocks instead of reading (so this
+    /// collapses toward zero), while a snapshot reader spends the same
+    /// slice answering from its pinned epoch — robust even on a one-core
+    /// host, where latency percentiles mostly measure preemption.
+    pub reads_during_rounds: u64,
+    /// Total wall-clock the writer spent inside write rounds.
+    pub time_in_rounds: Duration,
+    /// Distribution of single-entity read latencies.
+    pub read_latency: LatencyHisto,
 }
 
 impl WorkloadReport {
@@ -75,6 +152,12 @@ impl WorkloadReport {
     pub fn updates_per_sec(&self) -> f64 {
         self.updates as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// Single-entity reads per second *inside write rounds* — reader
+    /// progress while maintenance is in flight.
+    pub fn reads_per_sec_during_rounds(&self) -> f64 {
+        self.reads_during_rounds as f64 / self.time_in_rounds.as_secs_f64().max(1e-9)
+    }
 }
 
 /// Per-reader deterministic id stream: a counter fed through the crate's
@@ -84,6 +167,17 @@ fn splitmix(x: &mut u64) -> u64 {
     crate::sharded::splitmix64(*x)
 }
 
+/// What each reader thread hands back at the end of the run.
+struct ReaderTally {
+    reads: u64,
+    scans: u64,
+    ranked: u64,
+    max_lat_ns: u64,
+    stalled: u64,
+    in_round: u64,
+    histo: LatencyHisto,
+}
+
 /// Runs the mixed workload against `view` and reports throughput. Blocks
 /// until every thread has drained; the view is quiescent afterwards (its
 /// trait-side `model()` cache included — the `&mut` borrow exists so it can
@@ -91,12 +185,13 @@ fn splitmix(x: &mut u64) -> u64 {
 /// its answers against a reference.
 pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> WorkloadReport {
     let stop = AtomicBool::new(false);
+    let writer_in_round = AtomicBool::new(false);
     let (batch_tx, batch_rx) = crossbeam::channel::unbounded::<&[TrainingExample]>();
     for b in &spec.batches {
         batch_tx.send(b).expect("receiver alive");
     }
     drop(batch_tx);
-    let (count_tx, count_rx) = crossbeam::channel::unbounded::<(u64, u64, u64, u64, u64)>();
+    let (count_tx, count_rx) = crossbeam::channel::unbounded::<ReaderTally>();
     let t0 = Instant::now();
     let mut report = WorkloadReport::default();
     let shared: &ShardedView = view;
@@ -105,27 +200,36 @@ pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> Worklo
         let writer_rounds = s.spawn(|_| {
             let mut rounds = 0u64;
             let mut examples = 0u64;
+            let mut max_round = Duration::ZERO;
+            let mut in_rounds = Duration::ZERO;
             while let Ok(batch) = batch_rx.recv() {
+                let t = Instant::now();
+                writer_in_round.store(true, Ordering::Release);
                 shared.broadcast_update_batch(batch);
                 rounds += 1;
                 examples += batch.len() as u64;
                 if spec.reorganize_every != 0 && rounds.is_multiple_of(spec.reorganize_every as u64) {
                     shared.broadcast_reorganize();
                 }
+                writer_in_round.store(false, Ordering::Release);
+                let round = t.elapsed();
+                max_round = max_round.max(round);
+                in_rounds += round;
             }
             while t0.elapsed() < spec.duration_floor {
                 std::thread::sleep(Duration::from_millis(1));
             }
             stop.store(true, Ordering::Release);
-            (rounds, examples)
+            (rounds, examples, max_round, in_rounds)
         });
         for r in 0..spec.readers {
             let tx = count_tx.clone();
-            let stop = &stop;
+            let (stop, writer_in_round) = (&stop, &writer_in_round);
             s.spawn(move |_| {
                 let mut seed = 0x5EED ^ (r as u64) << 32;
                 let (mut reads, mut scans, mut ranked) = (0u64, 0u64, 0u64);
-                let (mut max_lat_ns, mut stalled) = (0u64, 0u64);
+                let (mut max_lat_ns, mut stalled, mut in_round) = (0u64, 0u64, 0u64);
+                let mut histo = LatencyHisto::default();
                 let mut op = 0u64;
                 while !stop.load(Ordering::Acquire) {
                     op += 1;
@@ -136,27 +240,41 @@ pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> Worklo
                         let _ = shared.count_positive();
                         scans += 1;
                     } else {
+                        let id = splitmix(&mut seed) % spec.max_id.max(1);
                         let t = Instant::now();
-                        let _ = shared.classify(splitmix(&mut seed) % spec.max_id.max(1));
+                        if spec.locked_reads {
+                            let _ = shared.classify_locked(id);
+                        } else {
+                            let _ = shared.classify(id);
+                        }
                         let lat = t.elapsed().as_nanos() as u64;
                         max_lat_ns = max_lat_ns.max(lat);
+                        histo.record(lat);
                         stalled += u64::from(lat > 1_000_000);
+                        in_round += u64::from(writer_in_round.load(Ordering::Acquire));
                         reads += 1;
                     }
                 }
-                tx.send((reads, scans, ranked, max_lat_ns, stalled)).expect("collector alive");
+                tx.send(ReaderTally { reads, scans, ranked, max_lat_ns, stalled, in_round, histo })
+                    .expect("collector alive");
             });
         }
         drop(count_tx);
-        let (rounds, examples) = writer_rounds.join().expect("writer thread panicked");
+        let (rounds, examples, max_round, in_rounds) =
+            writer_rounds.join().expect("writer thread panicked");
         report.update_rounds = rounds;
         report.updates = examples;
-        for (reads, scans, ranked, max_lat_ns, stalled) in count_rx.iter() {
-            report.reads += reads;
-            report.scans += scans;
-            report.ranked += ranked;
-            report.max_read_latency = report.max_read_latency.max(Duration::from_nanos(max_lat_ns));
-            report.stalled_reads += stalled;
+        report.max_write_round = max_round;
+        report.time_in_rounds = in_rounds;
+        for tally in count_rx.iter() {
+            report.reads += tally.reads;
+            report.scans += tally.scans;
+            report.ranked += tally.ranked;
+            report.max_read_latency =
+                report.max_read_latency.max(Duration::from_nanos(tally.max_lat_ns));
+            report.stalled_reads += tally.stalled;
+            report.reads_during_rounds += tally.in_round;
+            report.read_latency.merge(&tally.histo);
         }
     })
     .expect("workload thread panicked");
@@ -201,6 +319,7 @@ mod tests {
             batches,
             reorganize_every: 4,
             duration_floor: Duration::from_millis(50),
+            locked_reads: false,
         };
         let report = run_mixed_workload(&mut view, &spec);
         assert_eq!(report.update_rounds, 8);
@@ -209,5 +328,76 @@ mod tests {
         assert!(report.reads_per_sec() > 0.0);
         // quiescent afterwards: answers match a single-threaded probe
         assert_eq!(view.count_positive(), view.scan_positive().len() as u64);
+    }
+
+    /// The PR 8 satellite: readers must make progress *during* a long
+    /// reorganization, not just achieve throughput around it. A
+    /// single-shard view (the worst case — under the PR 3 writer-priority
+    /// locks every read contends with every maintenance round) takes
+    /// heavyweight write rounds; the snapshot path must keep the worst
+    /// observed read far below the longest write round, i.e. no reader
+    /// ever waited out maintenance. The same bound **fails** under the
+    /// locked baseline (`locked_reads: true`): a read landing mid-round
+    /// waits for the round, so its latency approaches `max_write_round`.
+    #[test]
+    fn snapshot_reads_bound_latency_during_reorganization() {
+        let n = 60_000u64;
+        let entities: Vec<Entity> = (0..n)
+            .map(|k| {
+                Entity::new(k, dense2((k % 101) as f32 / 101.0 - 0.5, (k % 53) as f32 / 53.0 - 0.4))
+            })
+            .collect();
+        // naive eager on one shard: every update round relabels the whole
+        // population — deliberately the longest critical section we have
+        let builder = ViewBuilder::new(Architecture::NaiveMem, Mode::Eager).dim(2);
+        let mut view = ShardedView::build(&builder, 1, entities, &[]);
+        let batches: Vec<Vec<TrainingExample>> = (0..10)
+            .map(|b| {
+                (0..3)
+                    .map(|k| {
+                        let x = ((b * 3 + k) % 17) as f32 / 17.0 - 0.5;
+                        TrainingExample::new(0, dense2(x, x * 0.5), if x >= 0.0 { 1 } else { -1 })
+                    })
+                    .collect()
+            })
+            .collect();
+        let spec = WorkloadSpec {
+            readers: 2,
+            max_id: n,
+            scan_every: 0,
+            top_k_every: 0,
+            top_k: 0,
+            batches,
+            reorganize_every: 1,
+            duration_floor: Duration::ZERO,
+            locked_reads: false,
+        };
+        let report = run_mixed_workload(&mut view, &spec);
+        assert_eq!(report.update_rounds, 10);
+        assert!(report.reads > 0, "no reads completed: {report:?}");
+        // The load-bearing assertion. Write rounds here are big (full
+        // relabel + reorganization of 60k entities, plus epoch
+        // republication); a reader that waited for one would show a read
+        // latency near max_write_round. Snapshot reads are a pinned-epoch
+        // probe — orders of magnitude below the round — so even with
+        // scheduler noise the worst read stays under half a round.
+        assert!(
+            report.max_write_round > Duration::from_millis(2),
+            "write rounds too small to prove anything: {:?}",
+            report.max_write_round
+        );
+        assert!(
+            report.max_read_latency < report.max_write_round / 2,
+            "a reader stalled behind maintenance: max read {:?} vs max write round {:?}",
+            report.max_read_latency,
+            report.max_write_round
+        );
+        // p99 must be far tighter still: sub-millisecond even on a noisy
+        // host — the stall *population* (not just the worst case) is gone
+        assert!(
+            report.read_latency.percentile_ns(0.99) < 1_000_000,
+            "p99 read latency {}ns under write pressure",
+            report.read_latency.percentile_ns(0.99)
+        );
     }
 }

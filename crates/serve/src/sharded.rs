@@ -1,64 +1,68 @@
-//! The sharded view: hash-partitioned shards behind per-shard locks, with a
-//! reader/writer handle split.
+//! The sharded view: hash-partitioned shards with epoch snapshot reads and
+//! a reader/writer handle split.
+//!
+//! Since PR 8 the read path never touches a shard lock. Every write to a
+//! shard publishes an immutable [`hazy_core::ModelEpoch`] into the shard's
+//! [`EpochCell`]; readers pin the current epoch (three atomic operations)
+//! and answer `classify` / `count_positive` / `scan_positive` / `top_k`
+//! entirely against it. The shard mutexes that used to be writer-priority
+//! reader/writer locks shrink to **writer–writer** coordination: the
+//! single logical writer against control-plane walks (stats, checkpoints,
+//! migration fan-outs). The worst-case read stall during a full
+//! reorganization drops from "the whole maintenance round" to one atomic
+//! pointer load.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use hazy_core::{
-    Architecture, ClassifierView, CoreRestorer, Durable, DurableClassifierView, Entity,
-    MemoryFootprint, Mode, ViewBuilder, ViewRestorer, ViewStats, SHARDED_VIEW_TAG,
+    Architecture, ClassifierView, CoreRestorer, Durable, DurableClassifierView, Entity, EpochCell,
+    EpochPin, EpochPublisher, EpochStats, MemoryFootprint, Mode, ViewBuilder, ViewRestorer,
+    ViewStats, SHARDED_VIEW_TAG,
 };
 use hazy_learn::{Label, LinearModel, TrainingExample};
-use hazy_linalg::wire;
+use hazy_linalg::{wire, NormPair};
 use hazy_storage::{DurableStore, VirtualClock};
 
 use crate::kway;
 
 /// One shard: a complete classification view over its slice of the
-/// entities, exclusive-locked because even reads are stateful (`&mut` on
-/// the trait — lazy waste accounting, buffer faults, Skiing).
+/// entities, plus the epoch publication state readers actually consume.
 ///
-/// The lock is **writer-priority**: `std::sync::Mutex` is barging, and
-/// under a saturating read load barging readers pass the lock among
-/// themselves indefinitely, starving the maintenance writer and letting
-/// the served model grow arbitrarily stale. Readers therefore yield while
-/// `writer_waiting` is raised, which bounds writer wait by one in-flight
-/// read (reads are sub-microsecond; maintenance rounds are not). The flip
-/// side — readers of *this shard* stall for the whole maintenance round —
-/// is exactly what shard-granular locking amortizes: the other `N−1`
-/// shards stay readable, so the worst-case read stall shrinks as `O(1/N)`.
+/// The view mutex is **writer–writer only**: readers answer from pinned
+/// epochs and never acquire it, so the only contenders are the single
+/// logical writer and control-plane fan-outs (stats, checkpoint,
+/// migration). No priority protocol is needed anymore — the starvation
+/// problem the PR 3 writer-priority locks solved existed only because
+/// readers and the writer shared this lock.
 struct Shard {
     view: Mutex<Box<dyn DurableClassifierView + Send>>,
-    writer_waiting: AtomicBool,
+    /// Writer-side epoch maintenance (watermark-band-pruned label-patch
+    /// overlay). Locked after `view` by write paths; readers never touch
+    /// it.
+    publisher: Mutex<EpochPublisher>,
+    /// The publication point readers pin — shared out (`Arc`) so handles
+    /// and replica layers can hold it beyond the shard's borrow.
+    epochs: Arc<EpochCell>,
 }
 
 impl Shard {
-    fn new(view: Box<dyn DurableClassifierView + Send>) -> Shard {
-        Shard { view: Mutex::new(view), writer_waiting: AtomicBool::new(false) }
+    /// Wraps a freshly built (or restored) engine, publishing its current
+    /// answer state as epoch 0.
+    fn new(mut view: Box<dyn DurableClassifierView + Send>, pair: NormPair) -> Shard {
+        let (entities, model) = view
+            .snapshot_state()
+            .expect("shard engine has no snapshot path for epoch publication");
+        let publisher = EpochPublisher::new(entities, model, pair, 0);
+        let epochs = publisher.handle();
+        Shard { view: Mutex::new(view), publisher: Mutex::new(publisher), epochs }
     }
 
-    /// Reader-side acquisition: defer to a waiting writer, then lock.
-    fn lock_read(&self) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
-        loop {
-            while self.writer_waiting.load(Ordering::Acquire) {
-                std::thread::yield_now();
-            }
-            let guard = self.view.lock().expect("shard lock poisoned");
-            if !self.writer_waiting.load(Ordering::Acquire) {
-                return guard;
-            }
-            // a writer announced itself while we acquired: give way
-            drop(guard);
-        }
+    fn lock_view(&self) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
+        self.view.lock().expect("shard lock poisoned")
     }
 
-    /// Writer-side acquisition: announce, acquire, withdraw the
-    /// announcement (readers then queue normally behind the held lock).
-    fn lock_write(&self) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
-        self.writer_waiting.store(true, Ordering::Release);
-        let guard = self.view.lock().expect("shard lock poisoned");
-        self.writer_waiting.store(false, Ordering::Release);
-        guard
+    fn lock_publisher(&self) -> MutexGuard<'_, EpochPublisher> {
+        self.publisher.lock().expect("shard publisher lock poisoned")
     }
 }
 
@@ -82,14 +86,17 @@ pub fn shard_of(id: u64, n_shards: usize) -> usize {
 }
 
 /// A classification view partitioned across `N` shards, serving reads
-/// concurrently (see the crate docs for the data-partitioned /
-/// model-replicated design and its equivalence guarantee).
+/// from per-shard epoch snapshots (see the crate docs for the
+/// data-partitioned / model-replicated design and its equivalence
+/// guarantee).
 ///
-/// Read methods take `&self` (synchronization is internal and per-shard),
-/// so any number of threads may serve queries concurrently. Writes require
-/// either the `&mut self` [`ClassifierView`] implementation — how the
-/// RDBMS layer drives a sharded view through its unchanged execution
-/// paths — or the unique, `&mut`-method [`WriteHandle`] from
+/// Read methods take `&self` and are **lock-free**: each pins its shard's
+/// current epoch and answers against that immutable snapshot, so readers
+/// are never blocked — not by maintenance rounds, not by reorganizations,
+/// not by live migrations. Writes require either the `&mut self`
+/// [`ClassifierView`] implementation — how the RDBMS layer drives a
+/// sharded view through its unchanged execution paths — or the unique,
+/// `&mut`-method [`WriteHandle`] from
 /// [`into_handles`](ShardedView::into_handles): both admit exactly one
 /// in-flight writer by type, which the replicated-model design requires
 /// (concurrent broadcast writers would apply SGD steps to different shards
@@ -132,7 +139,8 @@ impl ShardedView {
     /// from `make_shard` instead of the builder's plain construction path —
     /// the hook `hazy-tune` uses to wrap every shard in an `AdaptiveView`,
     /// so shards observe their own workloads and **migrate independently**
-    /// under their writer-priority locks.
+    /// behind their shard locks (readers don't notice: they stay on pinned
+    /// epochs, and a migration preserves every answer bit-for-bit).
     ///
     /// # Panics
     /// Panics when `n_shards` is 0.
@@ -162,11 +170,12 @@ impl ShardedView {
             parts[shard_of(e.id, n_shards)].push(e);
         }
         let clock = builder.new_clock();
+        let pair = builder.configured_norm_pair();
         let shards: Vec<Shard> = parts
             .into_iter()
-            .map(|part| Shard::new(make_shard(&builder, part, warm, clock.clone())))
+            .map(|part| Shard::new(make_shard(&builder, part, warm, clock.clone()), pair))
             .collect();
-        let model_cache = shards[0].lock_read().model().clone();
+        let model_cache = shards[0].lock_view().model().clone();
         ShardedView { shards, clock, model_cache }
     }
 
@@ -184,18 +193,14 @@ impl ShardedView {
         (ReadHandle { view: Arc::clone(&shared) }, WriteHandle { view: shared })
     }
 
-    fn lock_shard_read(&self, s: usize) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
-        self.shards[s].lock_read()
-    }
-
     fn lock_shard_write(&self, s: usize) -> MutexGuard<'_, Box<dyn DurableClassifierView + Send>> {
-        self.shards[s].lock_write()
+        self.shards[s].lock_view()
     }
 
     /// Runs `op` against every shard on its own scoped thread and returns
-    /// the results in shard order. Each worker takes exactly one lock, so
-    /// fan-outs cannot deadlock against the writer (which also locks one
-    /// shard at a time).
+    /// the results in shard order — the **control-plane** fan-out (stats,
+    /// memory), which still goes through the shard locks. The data-plane
+    /// read methods below do not use it; they pin epochs instead.
     ///
     /// On a host without parallelism (or with a single shard) the fan-out
     /// degenerates to a sequential walk in the calling thread: spawning
@@ -212,7 +217,7 @@ impl ShardedView {
                 std::thread::available_parallelism().map(|n| n.get() > 1).unwrap_or(false)
             });
         if !parallel {
-            return (0..self.shards.len()).map(|s| op(self.lock_shard_read(s).as_mut())).collect();
+            return (0..self.shards.len()).map(|s| op(self.lock_shard_write(s).as_mut())).collect();
         }
         crossbeam::scope(|s| {
             let handles: Vec<_> = self
@@ -220,7 +225,7 @@ impl ShardedView {
                 .iter()
                 .map(|shard| {
                     let op = &op;
-                    s.spawn(move |_| op(shard.lock_read().as_mut()))
+                    s.spawn(move |_| op(shard.lock_view().as_mut()))
                 })
                 .collect();
             handles
@@ -231,43 +236,69 @@ impl ShardedView {
         .expect("shard scope panicked")
     }
 
-    // ---- concurrent read API (the ReadHandle surface) ----------------------------
+    // ---- lock-free read API (the ReadHandle surface) -----------------------------
 
-    /// `Single Entity` read: the label of entity `id`, from its home shard.
+    /// `Single Entity` read: the label of entity `id`, answered from its
+    /// home shard's pinned epoch. Never blocks.
     pub fn classify(&self, id: u64) -> Option<Label> {
-        self.lock_shard_read(shard_of(id, self.shards.len())).read_single(id)
+        self.shards[shard_of(id, self.shards.len())].epochs.pin().classify(id)
     }
 
-    /// `All Members` count, fanned out and summed.
+    /// `All Members` count: per-shard pinned-epoch counts, summed. Each
+    /// shard's contribution is prefix-consistent at that shard's pinned
+    /// LSN (the same per-shard consistency the lock-based walk had —
+    /// neither takes a global barrier across shards).
     pub fn count_positive(&self) -> u64 {
-        self.fan_out(|v| v.count_positive()).into_iter().sum()
+        self.shards.iter().map(|s| s.epochs.pin().count_positive()).sum()
     }
 
-    /// `All Members` listing, fanned out and k-way merged into globally
-    /// ascending id order.
+    /// `All Members` listing: per-shard pinned-epoch listings (already
+    /// ascending) k-way merged into globally ascending id order.
     pub fn scan_positive(&self) -> Vec<u64> {
-        let per_shard = self.fan_out(|v| {
-            let mut ids = v.positive_ids();
-            ids.sort_unstable();
-            ids
-        });
-        kway::merge_ascending(per_shard)
+        kway::merge_ascending(self.shards.iter().map(|s| s.epochs.pin().positive_ids()).collect())
     }
 
-    /// Ranked read: the global `k` best-margin entities, obtained by taking
-    /// each shard's local top `k` and k-way merging under
-    /// [`hazy_core::rank_order`] — identical to the unsharded
-    /// [`ClassifierView::top_k`] answer.
+    /// Ranked read: each shard's pinned-epoch top `k` under
+    /// [`hazy_core::rank_order`], k-way merged — identical to the
+    /// unsharded [`ClassifierView::top_k`] answer.
     pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
-        let per_shard = self.fan_out(|v| v.top_k(k));
-        kway::merge_ranked(per_shard, k)
+        kway::merge_ranked(self.shards.iter().map(|s| s.epochs.pin().top_k(k)).collect(), k)
+    }
+
+    /// Pins shard `s`'s current epoch — the building block for multi-read
+    /// consistency (hold the pin, issue several reads against one frozen
+    /// state) and for replica layers that serve at a fixed LSN.
+    pub fn pin_shard(&self, s: usize) -> EpochPin<'_> {
+        self.shards[s].epochs.pin()
+    }
+
+    /// The shared epoch cell of shard `s` (outlives `&self` borrows —
+    /// what long-lived reader loops hold).
+    pub fn shard_epochs(&self, s: usize) -> Arc<EpochCell> {
+        Arc::clone(&self.shards[s].epochs)
+    }
+
+    /// Per-shard epoch lifecycle counters, in shard order.
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        self.shards.iter().map(|s| s.epochs.stats()).collect()
+    }
+
+    /// The PR 3 read path, kept as the measured baseline: goes through the
+    /// shard lock and the engine's stateful `read_single` (lazy
+    /// maintenance, buffer faults), so it stalls behind whatever write is
+    /// in flight. `snapshot_reads` benches this against
+    /// [`classify`](ShardedView::classify) to quantify the epoch win; it
+    /// is not part of the serving surface.
+    pub fn classify_locked(&self, id: u64) -> Option<Label> {
+        self.lock_shard_write(shard_of(id, self.shards.len())).read_single(id)
     }
 
     /// Sums the per-shard operation counters. `updates` and `all_members`
     /// are taken from shard 0 instead of summed: update rounds are
     /// replicated to every shard and fan-out queries visit every shard, so
     /// summing would multiply the *logical* operation count by the shard
-    /// count.
+    /// count. The ephemeral epoch counters come from the epoch cells, not
+    /// the engines.
     pub fn stats(&self) -> ViewStats {
         let per_shard = self.fan_out(|v| v.stats());
         let mut agg = ViewStats::default();
@@ -290,6 +321,11 @@ impl ShardedView {
             // deployment's true migration count
             agg.migrations += s.migrations;
         }
+        for s in &self.shards {
+            let es = s.epochs.stats();
+            agg.epochs_published += es.published;
+            agg.epoch_pins += es.pins;
+        }
         agg
     }
 
@@ -307,12 +343,10 @@ impl ShardedView {
         agg
     }
 
-    /// A clone of the live replicated model, read off shard 0 under its
-    /// lock. This is the `&self`-world way to observe the model (the
-    /// [`ClassifierView::model`] reference is refreshed only by the `&mut`
-    /// mutation paths).
+    /// A clone of the live replicated model, read off shard 0's pinned
+    /// epoch — lock-free, like every other read.
     pub fn model_snapshot(&self) -> LinearModel {
-        self.lock_shard_read(0).model().clone()
+        self.shards[0].epochs.pin().model().clone()
     }
 
     // ---- write API (the WriteHandle surface) -------------------------------------
@@ -323,40 +357,60 @@ impl ShardedView {
     // Two concurrent broadcast writers would interleave their shard walks
     // and apply SGD steps to different shards in different orders, silently
     // diverging the replicated models.
+    //
+    // Each per-shard step is: mutate the engine under the shard lock, then
+    // fold the same logical operation into the shard's epoch publisher —
+    // one atomic pointer swap later, readers see the new state. Readers on
+    // the other N−1 shards never notice; readers on *this* shard keep
+    // their pinned epochs and fresh pins see the pre-swap epoch until the
+    // swap lands.
 
-    /// Applies one training example to every shard, one shard at a time —
-    /// reads on the other shards proceed while each shard trains.
+    /// Applies one training example to every shard, one shard at a time.
     pub(crate) fn broadcast_update(&self, ex: &TrainingExample) {
-        for s in 0..self.shards.len() {
-            self.lock_shard_write(s).update(ex);
-        }
+        self.broadcast_update_batch(std::slice::from_ref(ex));
     }
 
     /// Applies a batch round to every shard, one shard at a time (each
-    /// shard runs its single batched maintenance round).
+    /// shard runs its single batched maintenance round, then publishes one
+    /// epoch for the statement).
     pub(crate) fn broadcast_update_batch(&self, batch: &[TrainingExample]) {
-        for s in 0..self.shards.len() {
-            self.lock_shard_write(s).update_batch(batch);
+        if batch.is_empty() {
+            return;
+        }
+        for shard in &self.shards {
+            let mut view = shard.lock_view();
+            view.update_batch(batch);
+            let model = view.model().clone();
+            drop(view);
+            shard.lock_publisher().apply_update(&model);
         }
     }
 
-    /// Routes a new entity to its home shard and classifies it there.
+    /// Routes a new entity to its home shard, classifies it there, and
+    /// publishes it.
     pub(crate) fn route_insert_entity(&self, e: Entity) {
-        self.lock_shard_write(shard_of(e.id, self.shards.len())).insert_entity(e);
+        let shard = &self.shards[shard_of(e.id, self.shards.len())];
+        shard.lock_view().insert_entity(e.clone());
+        shard.lock_publisher().apply_insert(e);
     }
 
     /// Routes a retraction to the entity's home shard (the only shard that
     /// can hold it, since [`shard_of`] is pure).
     pub(crate) fn route_remove_entity(&self, id: u64) -> bool {
-        self.lock_shard_write(shard_of(id, self.shards.len())).remove_entity(id)
+        let shard = &self.shards[shard_of(id, self.shards.len())];
+        let hit = shard.lock_view().remove_entity(id);
+        shard.lock_publisher().apply_remove(id);
+        hit
     }
 
     /// Reorganizes shard by shard — the `VACUUM`-style maintenance entry
-    /// point, kept off the read path: only the shard currently reclustering
-    /// is locked, so at most `1/N` of the key space blocks at a time.
+    /// point. Readers are entirely unaffected: the reorganization runs
+    /// under the shard lock they never take, and the epoch rebase publishes
+    /// with the same single pointer swap as any other write.
     pub(crate) fn broadcast_reorganize(&self) {
-        for s in 0..self.shards.len() {
-            self.lock_shard_write(s).reorganize();
+        for shard in &self.shards {
+            shard.lock_view().reorganize();
+            shard.lock_publisher().apply_reorganize();
         }
     }
 
@@ -367,7 +421,10 @@ impl ShardedView {
     /// Inverse of the [`Durable`] serialization (tag byte already
     /// consumed): restores every shard — each an ordinary architecture
     /// checkpoint blob — around one shared clock, exactly the
-    /// data-partitioned / model-replicated layout `build` produces.
+    /// data-partitioned / model-replicated layout `build` produces. Each
+    /// restored shard publishes its recovered answer state as a **fresh**
+    /// epoch 0: epochs are process-lifetime, never persisted, so recovery
+    /// cannot resurrect (or double-free) pre-crash epochs.
     pub fn restore_state(
         builder: &ViewBuilder,
         b: &mut &[u8],
@@ -390,6 +447,7 @@ impl ShardedView {
         if n == 0 {
             return None;
         }
+        let pair = builder.configured_norm_pair();
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
             let len = wire::take_u64(b)? as usize;
@@ -398,9 +456,9 @@ impl ShardedView {
             if !blob.is_empty() {
                 return None;
             }
-            shards.push(Shard::new(view));
+            shards.push(Shard::new(view, pair));
         }
-        let model_cache = shards[0].lock_read().model().clone();
+        let model_cache = shards[0].lock_view().model().clone();
         Some(ShardedView { shards, clock, model_cache })
     }
 
@@ -428,10 +486,12 @@ impl ShardedView {
 
 impl Durable for ShardedView {
     /// Coordinated per-shard serialization: shards are photographed one at
-    /// a time under their writer-priority locks, so concurrent readers keep
-    /// being served on the other `N−1` shards while a checkpoint runs. The
-    /// single writer is the caller, so the shard models are mutually
-    /// consistent across the walk (readers never advance the model).
+    /// a time under their shard locks. Concurrent readers are untouched —
+    /// they answer from pinned epochs and never contend with the
+    /// checkpoint walk. The single writer is the caller, so the shard
+    /// models are mutually consistent across the walk. Epoch state is
+    /// deliberately **not** serialized: epochs are process-lifetime, and
+    /// restore publishes a fresh epoch 0 from the recovered engines.
     fn save_state(&self, out: &mut Vec<u8>) {
         out.push(SHARDED_VIEW_TAG);
         out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
@@ -467,13 +527,13 @@ impl ViewRestorer for ServeRestorer {
 
 impl ClassifierView for ShardedView {
     fn describe(&self) -> String {
-        format!("sharded×{} over {}", self.shards.len(), self.lock_shard_read(0).describe())
+        format!("sharded×{} over {}", self.shards.len(), self.lock_shard_write(0).describe())
     }
 
     fn mode(&self) -> Mode {
         // read live from shard 0: adaptive shards can change mode at any
         // round, so a build-time cache would go stale
-        self.lock_shard_read(0).mode()
+        self.lock_shard_write(0).mode()
     }
 
     fn update(&mut self, ex: &TrainingExample) {
@@ -495,7 +555,7 @@ impl ClassifierView for ShardedView {
     }
 
     fn entity_count(&self) -> u64 {
-        (0..self.shards.len()).map(|s| self.lock_shard_read(s).entity_count()).sum()
+        self.shards.iter().map(|s| s.epochs.pin().entity_count()).sum()
     }
 
     fn count_positive(&mut self) -> u64 {
@@ -518,14 +578,32 @@ impl ClassifierView for ShardedView {
         self.route_remove_entity(id)
     }
 
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // concatenation of the per-shard snapshots; the model is
+        // replicated, so any shard's copy is the deployment's model
+        let mut all = Vec::new();
+        let mut model = None;
+        for shard in &self.shards {
+            let (mut ents, m) = shard.lock_view().snapshot_state()?;
+            all.append(&mut ents);
+            model.get_or_insert(m);
+        }
+        model.map(|m| (all, m))
+    }
+
     fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
         // an explicit ALTER retargets the whole deployment: every shard
-        // migrates, one writer-priority lock at a time, so reads keep being
-        // served on the other N−1 shards while each shard rebuilds — the
-        // zero-downtime property of shard-granular migration
+        // migrates behind its shard lock, one at a time. Readers are
+        // oblivious — a migration preserves every answer bit-for-bit, so
+        // the publisher just records the operation (no answer changed,
+        // nothing to republish but the LSN tick).
         let mut all = true;
-        for s in 0..self.shards.len() {
-            all &= self.lock_shard_write(s).set_architecture(arch, mode);
+        for shard in &self.shards {
+            let ok = shard.lock_view().set_architecture(arch, mode);
+            if ok {
+                shard.lock_publisher().apply_noop();
+            }
+            all &= ok;
         }
         all
     }
@@ -548,7 +626,9 @@ impl ClassifierView for ShardedView {
 }
 
 /// The read side of [`ShardedView::into_handles`]: clone one per reader
-/// thread. All methods delegate to the shared view's concurrent API.
+/// thread. The query methods are lock-free — they pin per-shard epochs and
+/// never contend with the writer (`stats` is control-plane and still walks
+/// the shard locks).
 #[derive(Clone)]
 pub struct ReadHandle {
     view: Arc<ShardedView>,
@@ -573,6 +653,27 @@ impl ReadHandle {
     /// See [`ShardedView::top_k`].
     pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
         self.view.top_k(k)
+    }
+
+    /// See [`ShardedView::pin_shard`].
+    pub fn pin_shard(&self, s: usize) -> EpochPin<'_> {
+        self.view.pin_shard(s)
+    }
+
+    /// See [`ShardedView::shard_epochs`].
+    pub fn shard_epochs(&self, s: usize) -> Arc<EpochCell> {
+        self.view.shard_epochs(s)
+    }
+
+    /// See [`ShardedView::epoch_stats`].
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        self.view.epoch_stats()
+    }
+
+    /// See [`ShardedView::classify_locked`] — the PR 3 baseline read path,
+    /// kept for A/B measurement only.
+    pub fn classify_locked(&self, id: u64) -> Option<Label> {
+        self.view.classify_locked(id)
     }
 
     /// See [`ShardedView::stats`].
@@ -602,7 +703,8 @@ pub struct WriteHandle {
 
 impl WriteHandle {
     /// Applies one training example to every shard, one shard at a time —
-    /// reads on the other shards proceed while each shard trains.
+    /// reads proceed everywhere throughout (they answer from pinned
+    /// epochs).
     pub fn update(&mut self, ex: &TrainingExample) {
         self.view.broadcast_update(ex);
     }
@@ -624,9 +726,9 @@ impl WriteHandle {
         self.view.route_remove_entity(id)
     }
 
-    /// Per-shard reorganization, off the read path: only the shard
-    /// currently reclustering is locked, so at most `1/N` of the key space
-    /// blocks at a time.
+    /// Per-shard reorganization, entirely off the read path: readers keep
+    /// answering from epochs while each shard reclusters; the rebase lands
+    /// as one pointer swap.
     pub fn reorganize(&mut self) {
         self.view.broadcast_reorganize();
     }
@@ -637,12 +739,11 @@ impl WriteHandle {
     }
 
     /// Coordinated checkpoint behind the writer: serializes every shard —
-    /// one writer-priority lock at a time, so readers keep being served on
-    /// the other shards — and commits the snapshot atomically to `store`'s
-    /// inactive slot. A crash (or concurrent recovery read) mid-write can
-    /// only ever observe the *previous* complete checkpoint; half-written
-    /// frames fail their CRC. Restore with
-    /// [`ShardedView::recover_checkpoint`].
+    /// one shard lock at a time; readers are untouched — and commits the
+    /// snapshot atomically to `store`'s inactive slot. A crash (or
+    /// concurrent recovery read) mid-write can only ever observe the
+    /// *previous* complete checkpoint; half-written frames fail their CRC.
+    /// Restore with [`ShardedView::recover_checkpoint`].
     pub fn checkpoint_into(&mut self, store: &std::sync::Mutex<DurableStore>) -> u64 {
         let mut payload = Vec::new();
         payload.extend_from_slice(&self.view.clock.now_ns().to_le_bytes());

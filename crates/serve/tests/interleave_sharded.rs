@@ -1,0 +1,351 @@
+//! Sharded flavour of the deterministic interleaving suite
+//! (`crates/core/tests/interleave.rs`): a seeded step scheduler interleaves
+//! per-shard reader state machines with one writer driving a
+//! [`ShardedView`], and proves every pinned per-shard epoch answers exactly
+//! like a **per-shard prefix oracle**.
+//!
+//! A shard's LSN counts the logical statements routed to *that shard*:
+//! updates and reorganizations fan out to every shard, inserts and
+//! removals hit only the home shard (`shard_of`). So the oracle here is
+//! per shard — a plain unsharded view over just that shard's slice of the
+//! population, advanced through just that shard's operation stream — and a
+//! reader that pins shard `s` at LSN `k` must see answers bit-equal to
+//! oracle `s` after its first `k` shard-ops, no matter how far the writer
+//! (and the *other* shards) have advanced since. That is exactly the
+//! consistency contract the serving layer's k-way merges rely on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hazy_core::{
+    Architecture, ClassifierView, Entity, EpochCell, EpochPin, Mode, OpOverheads, ViewBuilder,
+};
+use hazy_learn::{Label, LinearModel, TrainingExample};
+use hazy_linalg::{FeatureVec, NormPair};
+use hazy_serve::{shard_of, ShardedView};
+
+const SCRIPT_OPS: usize = 520;
+const N_ENTITIES: usize = 72;
+const TOP_K: usize = 5;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed() -> u64 {
+    std::env::var("HAZY_CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Update(Vec<TrainingExample>),
+    Insert(Entity),
+    Remove(u64),
+    Reorg,
+}
+
+fn feature(r: &mut u64) -> FeatureVec {
+    let a = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    let b = (splitmix64(r) % 256) as f32 / 255.0 - 0.5;
+    FeatureVec::dense(vec![a, b, 1.0])
+}
+
+fn base_entities() -> Vec<Entity> {
+    let mut r = 0x00E1_7A11_u64;
+    (0..N_ENTITIES).map(|k| Entity::new(k as u64, feature(&mut r))).collect()
+}
+
+/// Write-side script only — reads are the readers' job here.
+fn script(seed: u64) -> (Vec<Op>, Vec<u64>) {
+    let mut r = seed ^ 0x5AAD_ED00_0000_0001;
+    let mut live: Vec<u64> = (0..N_ENTITIES as u64).collect();
+    let mut dead: Vec<u64> = Vec::new();
+    let mut ever: Vec<u64> = live.clone();
+    let mut next_id = 10_000u64;
+    let mut ops = Vec::with_capacity(SCRIPT_OPS);
+    for _ in 0..SCRIPT_OPS {
+        let roll = splitmix64(&mut r) % 100;
+        let op = if roll < 62 {
+            let n = 1 + (splitmix64(&mut r) % 3) as usize;
+            let batch = (0..n)
+                .map(|_| {
+                    let f = feature(&mut r);
+                    let y = if splitmix64(&mut r).is_multiple_of(2) { 1 } else { -1 };
+                    TrainingExample::new(0, f, y)
+                })
+                .collect();
+            Op::Update(batch)
+        } else if roll < 78 {
+            let id = if !dead.is_empty() && splitmix64(&mut r).is_multiple_of(3) {
+                dead.swap_remove((splitmix64(&mut r) as usize) % dead.len())
+            } else {
+                next_id += 1;
+                ever.push(next_id);
+                next_id
+            };
+            live.push(id);
+            Op::Insert(Entity::new(id, feature(&mut r)))
+        } else if roll < 92 && live.len() > 8 {
+            let idx = (splitmix64(&mut r) as usize) % live.len();
+            let id = live.swap_remove(idx);
+            dead.push(id);
+            Op::Remove(id)
+        } else {
+            Op::Reorg
+        };
+        ops.push(op);
+    }
+    (ops, ever)
+}
+
+struct OracleState {
+    count: u64,
+    members: Vec<u64>,
+    top_k: Vec<(u64, f64)>,
+    labels: HashMap<u64, Option<Label>>,
+    model: LinearModel,
+}
+
+fn probe(v: &mut dyn ClassifierView, ever: &[u64]) -> OracleState {
+    let mut members = v.positive_ids();
+    members.sort_unstable();
+    OracleState {
+        count: v.count_positive(),
+        members,
+        top_k: v.top_k(TOP_K),
+        labels: ever.iter().map(|&id| (id, v.read_single(id))).collect(),
+        model: v.model().clone(),
+    }
+}
+
+/// Splits the global script into per-shard streams and precomputes
+/// `oracle[s][k]` = shard `s`'s answers after its first `k` shard-ops.
+fn shard_oracles(
+    b: &ViewBuilder,
+    ops: &[Op],
+    ever: &[u64],
+    n_shards: usize,
+) -> Vec<Vec<OracleState>> {
+    (0..n_shards)
+        .map(|s| {
+            let mine: Vec<Entity> =
+                base_entities().into_iter().filter(|e| shard_of(e.id, n_shards) == s).collect();
+            let ever_s: Vec<u64> =
+                ever.iter().copied().filter(|&id| shard_of(id, n_shards) == s).collect();
+            let mut v = b.build(mine, &[]);
+            let mut states = Vec::new();
+            states.push(probe(v.as_mut(), &ever_s));
+            for op in ops {
+                match op {
+                    Op::Update(batch) => v.update_batch(batch),
+                    Op::Reorg => v.reorganize(),
+                    Op::Insert(e) if shard_of(e.id, n_shards) == s => {
+                        v.insert_entity(e.clone());
+                    }
+                    Op::Remove(id) if shard_of(*id, n_shards) == s => {
+                        let _ = v.remove_entity(*id);
+                    }
+                    // not routed to this shard: its LSN does not advance
+                    Op::Insert(_) | Op::Remove(_) => continue,
+                }
+                states.push(probe(v.as_mut(), &ever_s));
+            }
+            states
+        })
+        .collect()
+}
+
+fn assert_model_bits(a: &LinearModel, b: &LinearModel, ctx: &str) {
+    assert_eq!(a.b.to_bits(), b.b.to_bits(), "{ctx}: bias diverged");
+    let (wa, wb) = (a.w.to_vec(), b.w.to_vec());
+    for (i, (x, y)) in wa.iter().zip(wb.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: weight {i} diverged");
+    }
+}
+
+/// Reader pinned to one shard; probes its pinned epoch against that
+/// shard's prefix oracle over several scheduler steps.
+struct Reader<'a> {
+    shard: usize,
+    cell: &'a EpochCell,
+    pin: Option<(EpochPin<'a>, u64)>,
+    phase: u8,
+    rng: u64,
+    cycles: u64,
+}
+
+impl<'a> Reader<'a> {
+    fn step(&mut self, oracle: &[OracleState], ever_s: &[u64], shard_lsn: u64, ctx: &str) {
+        match self.phase {
+            0 => {
+                let pin = self.cell.pin();
+                let lsn = pin.lsn();
+                assert_eq!(lsn, shard_lsn, "{ctx}/s{}: fresh pin is the latest epoch", self.shard);
+                self.pin = Some((pin, lsn));
+            }
+            1 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 1 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}/s{}@lsn={lsn} (shard at {shard_lsn})", self.shard);
+                assert_eq!(pin.count_positive(), want.count, "{ctx}: count_positive");
+                assert_model_bits(pin.model(), &want.model, &ctx);
+            }
+            2 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 2 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}/s{}@lsn={lsn} (shard at {shard_lsn})", self.shard);
+                for _ in 0..4 {
+                    if ever_s.is_empty() {
+                        break;
+                    }
+                    let id = ever_s[(splitmix64(&mut self.rng) as usize) % ever_s.len()];
+                    assert_eq!(pin.classify(id), want.labels[&id], "{ctx}: classify({id})");
+                }
+                assert_eq!(pin.positive_ids(), want.members, "{ctx}: scan_positive");
+            }
+            3 => {
+                let (pin, lsn) = self.pin.as_ref().expect("phase 3 holds a pin");
+                let want = &oracle[*lsn as usize];
+                let ctx = format!("{ctx}/s{}@lsn={lsn} (shard at {shard_lsn})", self.shard);
+                let got = pin.top_k(TOP_K);
+                assert_eq!(got.len(), want.top_k.len(), "{ctx}: top_k length");
+                for (i, ((ga, gm), (wa, wm))) in got.iter().zip(want.top_k.iter()).enumerate() {
+                    assert_eq!(ga, wa, "{ctx}: top_k rank {i} id");
+                    assert_eq!(gm.to_bits(), wm.to_bits(), "{ctx}: top_k rank {i} margin");
+                }
+            }
+            _ => {
+                self.pin = None;
+                self.cycles += 1;
+            }
+        }
+        self.phase = (self.phase + 1) % 5;
+    }
+}
+
+fn run_config(arch: Architecture, mode: Mode, n_shards: usize) {
+    let seed = seed();
+    let ctx = format!("{}/{}/shards={n_shards}/seed={seed}", arch.name(), mode.name());
+    let (ops, ever) = script(seed);
+    let b = ViewBuilder::new(arch, mode)
+        .norm_pair(NormPair::EUCLIDEAN)
+        .overheads(OpOverheads::free())
+        .dim(3);
+    let oracles = shard_oracles(&b, &ops, &ever, n_shards);
+    let ever_per_shard: Vec<Vec<u64>> = (0..n_shards)
+        .map(|s| ever.iter().copied().filter(|&id| shard_of(id, n_shards) == s).collect())
+        .collect();
+
+    let mut view = ShardedView::build(&b, n_shards, base_entities(), &[]);
+    let cells: Vec<Arc<EpochCell>> = (0..n_shards).map(|s| view.shard_epochs(s)).collect();
+    let mut shard_lsn = vec![0u64; n_shards];
+
+    // two readers per shard so pins overlap within a shard too
+    let mut readers: Vec<Reader<'_>> = (0..2 * n_shards)
+        .map(|i| Reader {
+            shard: i % n_shards,
+            cell: &cells[i % n_shards],
+            pin: None,
+            phase: 0,
+            rng: seed ^ ((i as u64 + 1) << 40),
+            cycles: 0,
+        })
+        .collect();
+
+    let mut sched = seed ^ 0x5CED_0000_0000_0002;
+    let mut next = 0usize;
+    while next < ops.len() {
+        let pick = (splitmix64(&mut sched) as usize) % (readers.len() + 1);
+        if pick == 0 {
+            let op = &ops[next];
+            next += 1;
+            match op {
+                Op::Update(batch) => {
+                    view.update_batch(batch);
+                    for l in shard_lsn.iter_mut() {
+                        *l += 1;
+                    }
+                }
+                Op::Insert(e) => {
+                    let s = shard_of(e.id, n_shards);
+                    view.insert_entity(e.clone());
+                    shard_lsn[s] += 1;
+                }
+                Op::Remove(id) => {
+                    let s = shard_of(*id, n_shards);
+                    let _ = view.remove_entity(*id);
+                    shard_lsn[s] += 1;
+                }
+                Op::Reorg => {
+                    view.reorganize();
+                    for l in shard_lsn.iter_mut() {
+                        *l += 1;
+                    }
+                }
+            }
+            for (s, cell) in cells.iter().enumerate() {
+                assert_eq!(
+                    cell.current_lsn(),
+                    shard_lsn[s],
+                    "{ctx}: shard {s} epoch LSN tracks its routed statements"
+                );
+            }
+        } else {
+            let r = &mut readers[pick - 1];
+            let (s, lsn) = (r.shard, shard_lsn[r.shard]);
+            r.step(&oracles[s], &ever_per_shard[s], lsn, &ctx);
+        }
+    }
+    for r in &mut readers {
+        while r.pin.is_some() || r.phase != 0 {
+            let (s, lsn) = (r.shard, shard_lsn[r.shard]);
+            r.step(&oracles[s], &ever_per_shard[s], lsn, &ctx);
+        }
+        assert!(r.cycles > 0, "{ctx}: a reader never completed a probe cycle");
+    }
+    drop(readers);
+
+    // cross-shard merge consistency at quiescence: the global answers are
+    // the k-way merge of the per-shard oracle finals
+    let want_count: u64 = oracles.iter().map(|o| o.last().unwrap().count).sum();
+    assert_eq!(ShardedView::count_positive(&view), want_count, "{ctx}: merged count");
+    let mut want_members: Vec<u64> =
+        oracles.iter().flat_map(|o| o.last().unwrap().members.iter().copied()).collect();
+    want_members.sort_unstable();
+    assert_eq!(ShardedView::scan_positive(&view), want_members, "{ctx}: merged scan");
+
+    // reclamation drains every shard's retired chain once pins are gone
+    for (s, cell) in cells.iter().enumerate() {
+        cell.try_collect();
+        let es = cell.stats();
+        assert_eq!(es.published, shard_lsn[s] + 1, "{ctx}: shard {s} publications");
+        assert_eq!(es.reclaimed, es.published - 1, "{ctx}: shard {s} reclamation");
+        assert_eq!(es.retired_live, 0, "{ctx}: shard {s} retired chain drained");
+    }
+}
+
+macro_rules! sharded_matrix {
+    ($($name:ident => ($arch:expr, $mode:expr, $shards:expr);)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_config($arch, $mode, $shards);
+            }
+        )*
+    };
+}
+
+sharded_matrix! {
+    naive_mem_eager_1 => (Architecture::NaiveMem, Mode::Eager, 1);
+    naive_mem_lazy_3 => (Architecture::NaiveMem, Mode::Lazy, 3);
+    hazy_mem_eager_3 => (Architecture::HazyMem, Mode::Eager, 3);
+    hazy_mem_lazy_1 => (Architecture::HazyMem, Mode::Lazy, 1);
+    naive_disk_eager_3 => (Architecture::NaiveDisk, Mode::Eager, 3);
+    hazy_disk_lazy_3 => (Architecture::HazyDisk, Mode::Lazy, 3);
+    hybrid_eager_3 => (Architecture::Hybrid, Mode::Eager, 3);
+    hybrid_lazy_1 => (Architecture::Hybrid, Mode::Lazy, 1);
+}

@@ -67,6 +67,8 @@ fn stats_delta(now: ViewStats, then: ViewStats) -> ViewStats {
         buffer_hits: now.buffer_hits.saturating_sub(then.buffer_hits),
         disk_reads: now.disk_reads.saturating_sub(then.disk_reads),
         migrations: now.migrations.saturating_sub(then.migrations),
+        epochs_published: now.epochs_published.saturating_sub(then.epochs_published),
+        epoch_pins: now.epoch_pins.saturating_sub(then.epoch_pins),
     }
 }
 
@@ -342,6 +344,13 @@ impl ClassifierView for AdaptiveView {
 
     fn set_architecture(&mut self, arch: Architecture, mode: Mode) -> bool {
         self.migrate_to(arch, mode, false)
+    }
+
+    fn snapshot_state(&mut self) -> Option<(Vec<Entity>, LinearModel)> {
+        // not advisor-observed: a snapshot is epoch plumbing, not workload
+        // signal — feeding its scan cost into the fitting would bias the
+        // read-cost models
+        self.inner.snapshot_state()
     }
 
     fn model(&self) -> &LinearModel {
