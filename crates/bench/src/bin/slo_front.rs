@@ -1,0 +1,520 @@
+//! SLO bench for the serving front end: open-loop load, real percentiles.
+//!
+//! Three questions, three phases, all wall-clock (run with `--release`,
+//! record in BENCH_PR9.md; pass `--quick` for a CI smoke run):
+//!
+//! 1. **Latency vs. offered load** — simulated clients submit `Classify`
+//!    traffic with exponential inter-arrivals at a fixed *offered* rate
+//!    (open loop: arrivals do not wait for responses, and every latency is
+//!    measured from the request's **scheduled** arrival time, so queueing
+//!    delay the client would have suffered is charged to the front, not
+//!    silently absorbed — no coordinated omission). Reported per load
+//!    level: achieved throughput, shed rate, p50/p99/p999, queue
+//!    high-water, and the mean drained batch size.
+//! 2. **Batching A/B at saturation** — three dispatch regimes over the
+//!    same classify traffic. (a) *Per-request dispatch*: synchronous
+//!    clients issue one `call` at a time, so every request pays its full
+//!    round trip — enqueue, lane wakeup, answer, client wakeup — exactly
+//!    what a thread-per-request server does per request. (b) *Pipelined,
+//!    unbatched drain* (`batch_max = 1`): clients keep the queue
+//!    backlogged with queue-capacity waves, but the lane still drains and
+//!    dispatches one request per iteration. (c) *Pipelined, batched
+//!    drain* (`batch_max = 256`, the default): one drain takes the whole
+//!    backlog and one epoch pin serves each per-shard group. (b) vs (a)
+//!    isolates what pipelining's amortized wakeups buy; (c) vs (b) the
+//!    batched drain; acceptance (full runs): (c) ≥ 2× (a).
+//! 3. **Tail latency across a live migration** — the deployment is built
+//!    with `build_sharded_adaptive` (every shard gets its own advisor), a
+//!    read-only run establishes the unloaded read p999, then an
+//!    update-heavy stream drives the advisors into eager→lazy live
+//!    migrations while read traffic continues. Acceptance (full runs):
+//!    the advisor actually migrated, and read p999 during the migration
+//!    run stays below 10× the unloaded p999 — reads answer from pinned
+//!    epochs and never wait out a shard rebuild.
+//!
+//! Percentiles are exact (sorted samples), not histogram-bucketed: the
+//! 10× bound in phase 3 is too tight for power-of-two bucket error.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use hazy_bench::common;
+use hazy_core::{Architecture, Mode, ViewBuilder};
+use hazy_datagen::{DatasetSpec, ExampleStream};
+use hazy_front::{Front, FrontConfig, FrontHandle, Request, Response, Ticket};
+use hazy_learn::TrainingExample;
+use hazy_serve::ShardedView;
+use hazy_tune::{build_sharded_adaptive, AdvisorConfig};
+
+const SHARDS: usize = 4;
+/// Client counts are deliberately small: the CI container is single-core,
+/// and the point is to measure the *front's* dispatch, not scheduler churn
+/// from an oversubscribed client fleet. Each client still gets a paired
+/// waiter thread, so even 2+1 clients exercise real cross-thread traffic.
+const READERS: usize = 2;
+const WRITERS: usize = 1;
+/// Training examples per `Train` request.
+const TRAIN_PER: usize = 8;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in (0, 1] — the `1 - u = 0` pole of the exponential
+/// inverse-CDF is unreachable.
+fn unit(r: &mut u64) -> f64 {
+    ((splitmix64(r) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Pacing to an absolute schedule: sleep most of the gap, then yield-loop
+/// the last stretch (yielding, not spinning — on a single-core box a spin
+/// loop would block the very serve lane whose latency is being measured).
+/// When the schedule has fallen behind wall time (saturation), returns
+/// immediately — open-loop catch-up.
+fn pace(start: Instant, sched_ns: u64) {
+    loop {
+        let now = start.elapsed().as_nanos() as u64;
+        if now >= sched_ns {
+            return;
+        }
+        let ahead = sched_ns - now;
+        if ahead > 200_000 {
+            std::thread::sleep(Duration::from_nanos(ahead - 100_000));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One traffic class's outcome: answered latencies (ns, from scheduled
+/// arrival to response observed) plus the shed / error ledger.
+#[derive(Default)]
+struct Side {
+    sent: u64,
+    shed: u64,
+    errors: u64,
+    lat: Vec<u64>,
+}
+
+struct DriveOut {
+    read: Side,
+    write: Side,
+    wall_ns: u64,
+}
+
+struct Load {
+    /// Total offered `Classify` rate across all reader clients (req/s).
+    read_rate: f64,
+    /// Total offered `Train` rate across all writer clients (req/s).
+    write_rate: f64,
+    dur: Duration,
+}
+
+/// Exact quantile over sorted samples.
+fn pctl(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.0}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Drives one open-loop run against `h`: `READERS` classify clients and
+/// `WRITERS` train clients, each paired with a waiter thread that resolves
+/// tickets in submission order (per-client order matches per-lane serve
+/// order, so head-of-line skew does not contaminate the samples).
+fn drive(h: &FrontHandle, load: &Load, n_entities: u64, pool: &[TrainingExample], seed: u64) -> DriveOut {
+    let dur_ns = load.dur.as_nanos() as u64;
+    let start = Instant::now();
+    let (read, write) = std::thread::scope(|s| {
+        let mut read_subs = Vec::new();
+        let mut read_waits = Vec::new();
+        let mut write_subs = Vec::new();
+        let mut write_waits = Vec::new();
+
+        if load.read_rate > 0.0 {
+            let per = load.read_rate / READERS as f64;
+            for c in 0..READERS {
+                let (tx, rx) = mpsc::channel::<(u64, Ticket)>();
+                let h = h.clone();
+                read_subs.push(s.spawn(move || {
+                    let mut r = seed ^ (0xA11CE ^ (c as u64).wrapping_mul(0x1234_5678_9ABC_DEF1));
+                    let mut next = 0.0f64;
+                    let mut sent = 0u64;
+                    loop {
+                        let sched = next as u64;
+                        if sched >= dur_ns {
+                            break;
+                        }
+                        pace(start, sched);
+                        let id = splitmix64(&mut r) % n_entities;
+                        if tx.send((sched, h.submit(Request::Classify { id }))).is_err() {
+                            break;
+                        }
+                        sent += 1;
+                        next += -unit(&mut r).ln() * 1e9 / per;
+                    }
+                    sent
+                }));
+                read_waits.push(s.spawn(move || {
+                    let mut side = Side::default();
+                    for (sched, t) in rx {
+                        match t.wait() {
+                            Response::Rejected { .. } => side.shed += 1,
+                            Response::Error(_) => side.errors += 1,
+                            _ => side
+                                .lat
+                                .push((start.elapsed().as_nanos() as u64).saturating_sub(sched)),
+                        }
+                    }
+                    side
+                }));
+            }
+        }
+
+        if load.write_rate > 0.0 {
+            let per = load.write_rate / WRITERS as f64;
+            for c in 0..WRITERS {
+                let (tx, rx) = mpsc::channel::<(u64, Ticket)>();
+                let h = h.clone();
+                write_subs.push(s.spawn(move || {
+                    let mut r = seed ^ (0xBEEF ^ (c as u64).wrapping_mul(0x0FED_CBA9_8765_4321));
+                    let mut next = 0.0f64;
+                    let mut sent = 0u64;
+                    let mut k = c;
+                    loop {
+                        let sched = next as u64;
+                        if sched >= dur_ns {
+                            break;
+                        }
+                        pace(start, sched);
+                        let off = (k * TRAIN_PER) % pool.len();
+                        let batch = pool[off..off + TRAIN_PER].to_vec();
+                        if tx.send((sched, h.submit(Request::Train { batch }))).is_err() {
+                            break;
+                        }
+                        sent += 1;
+                        k += 1;
+                        next += -unit(&mut r).ln() * 1e9 / per;
+                    }
+                    sent
+                }));
+                write_waits.push(s.spawn(move || {
+                    let mut side = Side::default();
+                    for (sched, t) in rx {
+                        match t.wait() {
+                            Response::Rejected { .. } => side.shed += 1,
+                            Response::Error(_) => side.errors += 1,
+                            _ => side
+                                .lat
+                                .push((start.elapsed().as_nanos() as u64).saturating_sub(sched)),
+                        }
+                    }
+                    side
+                }));
+            }
+        }
+
+        let gather = |subs: Vec<std::thread::ScopedJoinHandle<'_, u64>>,
+                      waits: Vec<std::thread::ScopedJoinHandle<'_, Side>>| {
+            let mut all = Side::default();
+            for h in subs {
+                all.sent += h.join().expect("submit client");
+            }
+            for h in waits {
+                let side = h.join().expect("waiter");
+                all.shed += side.shed;
+                all.errors += side.errors;
+                all.lat.extend(side.lat);
+            }
+            all.lat.sort_unstable();
+            all
+        };
+        (gather(read_subs, read_waits), gather(write_subs, write_waits))
+    });
+    DriveOut { read, write, wall_ns: start.elapsed().as_nanos() as u64 }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = DatasetSpec::forest().scaled(if quick { 0.004 } else { 0.05 });
+    let ds = spec.generate();
+    let n_entities = ds.entities.len() as u64;
+    let warm = common::warm_examples(&spec, if quick { 400 } else { 6_000 });
+    let pool: Vec<TrainingExample> = ExampleStream::new(&spec, 0xF00D).take_vec(TRAIN_PER * 512);
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager)
+        .norm_pair(spec.norm_pair())
+        .dim(spec.dim);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "slo_front: open-loop SLO bench — {} entities, {} shards, {} reader + {} writer clients{}\n\n",
+        n_entities,
+        SHARDS,
+        READERS,
+        WRITERS,
+        if quick { " (--quick)" } else { "" }
+    ));
+
+    // ---------------- phase 1: latency vs offered load ----------------
+    let dur = Duration::from_millis(if quick { 300 } else { 2_000 });
+    let bg_writes = if quick { 25.0 } else { 100.0 };
+    let loads: Vec<f64> =
+        if quick { vec![2_000.0, 10_000.0] } else { vec![2_000.0, 10_000.0, 50_000.0, 200_000.0] };
+    let mut rows = Vec::new();
+    for (i, &rate) in loads.iter().enumerate() {
+        let view = ShardedView::build(&builder, SHARDS, common::entities_of(&ds), &warm);
+        let front = Front::serve_sharded(view, FrontConfig::default());
+        let run = drive(
+            &front.handle(),
+            &Load { read_rate: rate, write_rate: bg_writes, dur },
+            n_entities,
+            &pool,
+            0x51_0000 + i as u64,
+        );
+        let stats = front.shutdown();
+        assert_eq!(run.read.errors + run.write.errors, 0, "serve errors under load");
+        let achieved = run.read.lat.len() as f64 * 1e9 / run.wall_ns as f64;
+        rows.push(vec![
+            common::fmt_rate(rate),
+            common::fmt_rate(achieved),
+            format!("{:.1}%", 100.0 * run.read.shed as f64 / run.read.sent.max(1) as f64),
+            fmt_ns(pctl(&run.read.lat, 0.50)),
+            fmt_ns(pctl(&run.read.lat, 0.99)),
+            fmt_ns(pctl(&run.read.lat, 0.999)),
+            fmt_ns(pctl(&run.write.lat, 0.99)),
+            format!("{:.1}", stats.mean_read_batch()),
+            format!("{}", stats.read_queue_high_water),
+        ]);
+    }
+    out.push_str(&render_with_note(
+        &format!(
+            "Phase 1 — read latency vs offered load ({}s per level, {} Train/s background)",
+            dur.as_secs_f64(),
+            bg_writes
+        ),
+        &["offered/s", "achieved/s", "shed", "p50", "p99", "p999", "wr p99", "batch", "rq hw"],
+        &rows,
+    ));
+
+    // ---------------- phase 2: batching A/B at saturation ----------------
+    let blast_clients = 2usize;
+    let mut goodput = Vec::new();
+    let mut rows = Vec::new();
+
+    // (a) synchronous per-request dispatch: one call at a time per client
+    {
+        let per_client = if quick { 2_000u64 } else { 20_000 };
+        let view = ShardedView::build(&builder, SHARDS, common::entities_of(&ds), &warm);
+        let front = Front::serve_sharded(
+            view,
+            FrontConfig { batch_max: 1, ..FrontConfig::default() },
+        );
+        let handle = front.handle();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..blast_clients {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for i in 0..per_client {
+                        let id = (c as u64 * per_client + i)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            % n_entities;
+                        match h.call(Request::Classify { id }) {
+                            Response::Label(_) => {}
+                            other => panic!("sync answer: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        front.shutdown();
+        let rate = (blast_clients as u64 * per_client) as f64 * 1e9 / wall_ns as f64;
+        goodput.push(rate);
+        rows.push(vec![
+            "per-request (synchronous call)".to_string(),
+            common::fmt_rate(rate),
+            "1.0".to_string(),
+            "1".to_string(),
+        ]);
+    }
+
+    // (b) and (c): pipelined waves, unbatched vs batched drain
+    let per_wave = 2_048usize;
+    let waves = if quick { 6 } else { 48 };
+    for (name, batch_max) in
+        [("pipelined, unbatched drain (batch_max=1)", 1usize), ("pipelined, batched drain (batch_max=256)", 256)]
+    {
+        let view = ShardedView::build(&builder, SHARDS, common::entities_of(&ds), &warm);
+        // the queue holds both clients' waves in full, so nothing sheds and
+        // goodput is purely the drain rate
+        let front = Front::serve_sharded(
+            view,
+            FrontConfig {
+                batch_max,
+                read_queue: blast_clients * per_wave,
+                ..FrontConfig::default()
+            },
+        );
+        let handle = front.handle();
+        let start = Instant::now();
+        let answered: u64 = std::thread::scope(|s| {
+            (0..blast_clients)
+                .map(|c| {
+                    let h = handle.clone();
+                    s.spawn(move || {
+                        let mut done = 0u64;
+                        for w in 0..waves {
+                            let tickets: Vec<Ticket> = (0..per_wave)
+                                .map(|i| {
+                                    let id = ((c * waves * per_wave + w * per_wave + i) as u64)
+                                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                        % n_entities;
+                                    h.submit(Request::Classify { id })
+                                })
+                                .collect();
+                            for t in tickets {
+                                match t.wait() {
+                                    Response::Label(_) => done += 1,
+                                    other => panic!("blast answer: {other:?}"),
+                                }
+                            }
+                        }
+                        done
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("blast client"))
+                .sum()
+        });
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let stats = front.shutdown();
+        assert_eq!(answered, (blast_clients * waves * per_wave) as u64);
+        let rate = answered as f64 * 1e9 / wall_ns as f64;
+        goodput.push(rate);
+        rows.push(vec![
+            name.to_string(),
+            common::fmt_rate(rate),
+            format!("{:.1}", stats.mean_read_batch()),
+            format!("{}", stats.max_read_batch),
+        ]);
+    }
+    out.push_str(&render_with_note(
+        &format!(
+            "Phase 2 — saturation goodput, {} concurrent clients (pipelined runs: {} waves x {} each)",
+            blast_clients, waves, per_wave
+        ),
+        &["dispatch", "goodput/s", "mean batch", "max batch"],
+        &rows,
+    ));
+    let speedup = goodput[2] / goodput[0].max(1.0);
+    out.push_str(&format!(
+        "batched front / per-request dispatch: {speedup:.2}x ({}) — of which pipelining {:.2}x, batched drain {:.2}x\n\n",
+        if speedup >= 2.0 { "PASS >= 2x" } else { "FAIL < 2x" },
+        goodput[1] / goodput[0].max(1.0),
+        goodput[2] / goodput[1].max(1.0),
+    ));
+
+    // ---------------- phase 3: tail latency across a live migration ----------------
+    let cfg = AdvisorConfig { window: 8, switch_factor: 0.5, min_dwell: 2 };
+    let view = build_sharded_adaptive(&builder, cfg, SHARDS, common::entities_of(&ds), &warm);
+    let (rh, wh) = view.into_handles();
+    let probe = rh.clone();
+    let front = Front::serve_handles(rh, wh, FrontConfig::default());
+    let m0 = probe.stats().migrations;
+
+    let base = drive(
+        &front.handle(),
+        &Load {
+            read_rate: if quick { 1_000.0 } else { 2_000.0 },
+            write_rate: 0.0,
+            dur: Duration::from_millis(if quick { 300 } else { 2_000 }),
+        },
+        n_entities,
+        &pool,
+        0x53_0000,
+    );
+    assert_eq!(probe.stats().migrations, m0, "reads alone must not migrate anything");
+
+    let mig = drive(
+        &front.handle(),
+        &Load {
+            read_rate: if quick { 4_000.0 } else { 10_000.0 },
+            write_rate: if quick { 250.0 } else { 1_000.0 },
+            dur: Duration::from_millis(if quick { 400 } else { 2_500 }),
+        },
+        n_entities,
+        &pool,
+        0x54_0000,
+    );
+    let migrations = probe.stats().migrations - m0;
+    let stats = front.shutdown();
+    let p999_unloaded = pctl(&base.read.lat, 0.999);
+    let p999_mig = pctl(&mig.read.lat, 0.999);
+    let ratio = p999_mig as f64 / p999_unloaded.max(1) as f64;
+    out.push_str(&render_with_note(
+        "Phase 3 — read p999 across advisor-driven live migration (adaptive shards, eager start)",
+        &["run", "reads", "wr reqs", "p50", "p99", "p999"],
+        &[
+            vec![
+                "unloaded (reads only)".into(),
+                format!("{}", base.read.lat.len()),
+                "0".into(),
+                fmt_ns(pctl(&base.read.lat, 0.50)),
+                fmt_ns(pctl(&base.read.lat, 0.99)),
+                fmt_ns(p999_unloaded),
+            ],
+            vec![
+                "during migration".into(),
+                format!("{}", mig.read.lat.len()),
+                format!("{}", mig.write.lat.len()),
+                fmt_ns(pctl(&mig.read.lat, 0.50)),
+                fmt_ns(pctl(&mig.read.lat, 0.99)),
+                fmt_ns(p999_mig),
+            ],
+        ],
+    ));
+    out.push_str(&format!(
+        "shard migrations during run: {migrations}; p999 during / unloaded = {ratio:.2}x ({})\n",
+        if ratio < 10.0 { "PASS < 10x" } else { "FAIL >= 10x" }
+    ));
+    out.push_str(&format!(
+        "front ledger: admitted {}, completed {}, shed {}, errors {}, panics {}\n",
+        stats.admitted, stats.completed, stats.shed, stats.errors, stats.panics_recovered
+    ));
+
+    print!("{out}");
+
+    // acceptance — meaningful only at full scale (quick runs are too short
+    // for stable tails and may not accumulate enough advisor windows)
+    if !quick {
+        assert!(speedup >= 2.0, "batched dispatch must be >= 2x per-request at saturation");
+        assert!(migrations > 0, "the update-heavy stream must trigger live migrations");
+        assert!(ratio < 10.0, "read p999 must stay bounded across live migration");
+    }
+    assert_eq!(stats.completed, stats.admitted, "every admitted request answered");
+    assert_eq!(base.read.errors + mig.read.errors + mig.write.errors, 0);
+}
+
+fn render_with_note(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = common::render_table(title, header, rows);
+    s.push('\n');
+    s
+}

@@ -1,0 +1,59 @@
+//! # hazy-front — the batched serving front end
+//!
+//! The paper's argument is that incremental maintenance makes
+//! classification cheap enough to live *inside* the data system; this
+//! crate is the layer that lets the outside world use it without giving
+//! the amortization back. Three pieces:
+//!
+//! - **Wire protocol** ([`proto`]): six request / six response opcodes in
+//!   length-framed messages, total decoding (garbage never panics), usable
+//!   in-process or over TCP.
+//! - **Admission + batching** ([`Front`]): every request enters a
+//!   *bounded* queue or is shed with [`Response::Rejected`] — overload is
+//!   an explicit, client-visible signal, never unbounded memory or tail
+//!   latency. The serving lanes drain whatever has queued in one sweep:
+//!   `Classify` requests group per shard and answer from **one** pinned
+//!   epoch per shard per batch (PR 8's three-atomic snapshot reads),
+//!   consecutive `Train` requests coalesce into **one** `update_batch`
+//!   maintenance round (the paper's batched eager/lazy strategy, PR 2).
+//!   Under load, batching happens for free — no batching delay taxes the
+//!   unloaded path. Lane panics are caught, answered as
+//!   [`Response::Error`], and counted; the front keeps serving.
+//! - **TCP adapter** ([`TcpFront`]): a hand-rolled nonblocking poll loop
+//!   (vendored-deps constraint — no async runtime) with per-connection
+//!   pipelining; [`TcpClient`] is the matching blocking client.
+//!
+//! In-process round-trip:
+//!
+//! ```
+//! use hazy_core::{Architecture, Mode, ViewBuilder};
+//! use hazy_front::{Front, FrontConfig, Request, Response};
+//! use hazy_linalg::FeatureVec;
+//! use hazy_serve::ShardedView;
+//!
+//! let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2);
+//! let view = ShardedView::build(&builder, 4, Vec::new(), &[]);
+//! let front = Front::serve_sharded(view, FrontConfig::default());
+//! let client = front.handle();
+//!
+//! // a new entity arrives, is classified on insert, and reads back
+//! let f = FeatureVec::dense(vec![1.0, 0.5]);
+//! assert_eq!(client.call(Request::Insert { id: 7, f }), Response::Done { applied: 1 });
+//! assert!(matches!(client.call(Request::Classify { id: 7 }), Response::Label(Some(_))));
+//! assert_eq!(client.call(Request::Classify { id: 99 }), Response::Label(None));
+//!
+//! let stats = front.shutdown();
+//! assert_eq!(stats.admitted, 3);
+//! assert_eq!(stats.completed, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod front;
+pub mod proto;
+mod queue;
+mod tcp;
+
+pub use front::{Front, FrontConfig, FrontHandle, FrontStats, Ticket};
+pub use proto::{Request, Response};
+pub use tcp::{TcpClient, TcpFront};

@@ -1,0 +1,277 @@
+//! The TCP adapter: the wire protocol of [`crate::proto`] over real
+//! sockets, served by a hand-rolled nonblocking poll loop (one thread,
+//! `O(connections)` per sweep — the vendored-deps constraint rules out an
+//! async runtime, and the front end's concurrency already lives in the
+//! lanes, so the adapter only has to shuttle bytes).
+//!
+//! Per-connection pipelining works the obvious way: requests are answered
+//! in the order they arrived on that connection (a FIFO of [`Ticket`]s
+//! preserves the order even though the lanes complete out of order), so a
+//! client may stream many frames before reading any response. Framing
+//! violations — an oversized length prefix or an undecodable payload —
+//! close the connection; backpressure does not (the client gets a
+//! `Rejected` frame and decides when to retry).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::front::{FrontHandle, Ticket};
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, peek_frame, write_frame,
+    Request, Response,
+};
+
+/// One accepted connection's state in the poll loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed.
+    inbuf: Vec<u8>,
+    /// Encoded response frames not yet written.
+    outbuf: Vec<u8>,
+    /// In-flight requests, in arrival order — responses go out in this
+    /// order regardless of lane completion order.
+    pending: std::collections::VecDeque<Ticket>,
+    dead: bool,
+}
+
+impl Conn {
+    /// Pulls available bytes; marks the connection dead on EOF or error.
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: the peer is done sending; stay alive until the
+                    // pending responses flush, unless nothing is in flight
+                    if self.pending.is_empty() && self.outbuf.is_empty() {
+                        self.dead = true;
+                    }
+                    return;
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Frames + decodes buffered requests and submits them to the front.
+    fn submit_frames(&mut self, handle: &FrontHandle) {
+        loop {
+            match peek_frame(&self.inbuf) {
+                None => return,
+                Some(Err(())) => {
+                    self.dead = true;
+                    return;
+                }
+                Some(Ok(range)) => {
+                    let end = range.end;
+                    let mut payload = &self.inbuf[range];
+                    match decode_request(&mut payload) {
+                        Some(req) if payload.is_empty() => {
+                            self.pending.push_back(handle.submit(req));
+                        }
+                        // undecodable or trailing garbage: protocol error
+                        _ => {
+                            self.dead = true;
+                            return;
+                        }
+                    }
+                    self.inbuf.drain(..end);
+                }
+            }
+        }
+    }
+
+    /// Encodes every completed head-of-line response into the out buffer.
+    fn collect_responses(&mut self) {
+        let mut scratch = Vec::new();
+        while let Some(front) = self.pending.front() {
+            match front.try_take() {
+                None => return,
+                Some(resp) => {
+                    self.pending.pop_front();
+                    scratch.clear();
+                    encode_response(&resp, &mut scratch);
+                    write_frame(&mut self.outbuf, &scratch);
+                }
+            }
+        }
+    }
+
+    /// Writes as much of the out buffer as the socket accepts.
+    fn flush(&mut self) {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A TCP listener serving a [`FrontHandle`]. Bind with
+/// [`TcpFront::bind`]; the poll loop runs on its own thread until
+/// [`TcpFront::shutdown`].
+pub struct TcpFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    looper: Option<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the poll loop.
+    pub fn bind(addr: impl ToSocketAddrs, handle: FrontHandle) -> std::io::Result<TcpFront> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let looper = std::thread::Builder::new()
+            .name("hazy-front-tcp".into())
+            .spawn(move || poll_loop(listener, handle, stop2))
+            .expect("spawn tcp poll loop");
+        Ok(TcpFront { addr, stop, looper: Some(looper) })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-flight responses flush, and joins the
+    /// poll thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.looper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.looper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn poll_loop(listener: TcpListener, handle: FrontHandle, stop: Arc<AtomicBool>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+        // accept everything waiting
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        pending: std::collections::VecDeque::new(),
+                        dead: false,
+                    });
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // sweep every connection: read → frame/submit → collect → write
+        for conn in conns.iter_mut() {
+            let before_in = conn.inbuf.len();
+            let before_out = conn.outbuf.len();
+            let before_pending = conn.pending.len();
+            conn.fill();
+            conn.submit_frames(&handle);
+            conn.collect_responses();
+            conn.flush();
+            progressed |= conn.inbuf.len() != before_in
+                || conn.outbuf.len() != before_out
+                || conn.pending.len() != before_pending;
+        }
+        conns.retain(|c| !c.dead);
+        if !progressed {
+            // idle: park briefly instead of spinning a core
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // best-effort final flush so shutdown does not eat completed responses
+    for conn in conns.iter_mut() {
+        conn.collect_responses();
+        conn.flush();
+    }
+}
+
+/// A minimal blocking client for the wire protocol — what the bench's
+/// simulated clients and the tests speak.
+pub struct TcpClient {
+    stream: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpFront`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient { stream })
+    }
+
+    /// Sends one request frame without waiting (pipelining).
+    pub fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        encode_request(req, &mut payload);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload);
+        self.stream.write_all(&frame)
+    }
+
+    /// Blocks for the next response frame.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let n = u32::from_le_bytes(len) as usize;
+        if n > crate::proto::MAX_FRAME {
+            return Err(std::io::Error::new(ErrorKind::InvalidData, "oversized frame"));
+        }
+        let mut payload = vec![0u8; n];
+        self.stream.read_exact(&mut payload)?;
+        let mut b = payload.as_slice();
+        match decode_response(&mut b) {
+            Some(resp) if b.is_empty() => Ok(resp),
+            _ => Err(std::io::Error::new(ErrorKind::InvalidData, "undecodable response")),
+        }
+    }
+
+    /// One synchronous round-trip.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+}

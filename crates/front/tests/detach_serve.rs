@@ -1,0 +1,143 @@
+//! The rdbms → front route: a view declared and trained in SQL is detached
+//! from the catalog (`Db::detach_view_engine`) and served behind the front
+//! end (`Front::serve_engine`) — same learned model, same entity table,
+//! every answer identical to the pre-detach SELECTs.
+
+use hazy_front::{Front, FrontConfig, Request, Response};
+use hazy_rdbms::{Db, DbError, QueryResult};
+
+/// The crate's canonical toy corpus: database papers vs biology papers.
+fn trained_db() -> Db {
+    let mut db = Db::new();
+    db.execute("CREATE TABLE Papers (id INT PRIMARY KEY, title TEXT)").unwrap();
+    db.execute("CREATE TABLE Paper_Area (label TEXT)").unwrap();
+    db.execute("CREATE TABLE Example_Papers (id INT, label TEXT)").unwrap();
+    db.execute("INSERT INTO Paper_Area VALUES ('DB')").unwrap();
+    db.execute("INSERT INTO Paper_Area VALUES ('NonDB')").unwrap();
+    for (id, title) in [
+        (1, "database systems transactions storage"),
+        (2, "query optimization database index"),
+        (3, "protein folding biology cells"),
+        (4, "genome biology dna sequencing"),
+        (5, "transactions concurrency database"),
+        (6, "cells biology microscopy imaging"),
+    ] {
+        db.execute(&format!("INSERT INTO Papers VALUES ({id}, '{title}')")).unwrap();
+    }
+    db
+}
+
+fn create_view(db: &mut Db, extra: &str) {
+    db.execute(&format!(
+        "CREATE CLASSIFICATION VIEW Labeled_Papers KEY id \
+         ENTITIES FROM Papers KEY id \
+         LABELS FROM Paper_Area LABEL label \
+         EXAMPLES FROM Example_Papers KEY id LABEL label \
+         FEATURE FUNCTION tf_bag_of_words {extra}"
+    ))
+    .unwrap();
+}
+
+fn teach(db: &mut Db, rounds: usize) {
+    for _ in 0..rounds {
+        for (id, l) in [(1, "DB"), (3, "NonDB"), (2, "DB"), (4, "NonDB"), (5, "DB"), (6, "NonDB")] {
+            db.execute(&format!("INSERT INTO Example_Papers VALUES ({id}, '{l}')")).unwrap();
+        }
+    }
+}
+
+#[test]
+fn detached_view_serves_identical_answers_through_the_front() {
+    let mut db = trained_db();
+    create_view(&mut db, "USING SVM");
+    teach(&mut db, 30);
+
+    // ground truth straight from SQL, before the detach
+    let expected: Vec<(u64, i8)> = (1..=6)
+        .map(|id| {
+            match db.execute(&format!("SELECT class FROM Labeled_Papers WHERE id = {id}")).unwrap()
+            {
+                QueryResult::Label(Some(l)) => (id, l),
+                other => panic!("paper {id}: {other:?}"),
+            }
+        })
+        .collect();
+    let positives = match db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 1") {
+        Ok(QueryResult::Count(c)) => c,
+        other => panic!("{other:?}"),
+    };
+    assert!(positives > 0 && positives < 6, "toy corpus should split: {positives}");
+
+    let engine = db.detach_view_engine("Labeled_Papers").expect("plain view detaches");
+
+    // the catalog entry is gone...
+    assert!(matches!(
+        db.execute("SELECT class FROM Labeled_Papers WHERE id = 1"),
+        Err(DbError::NoSuchView(_))
+    ));
+    // ...and the dataflow edges with it: base-table writes no longer
+    // maintain the detached view (this insert would have classified a new
+    // entity into it before the detach)
+    db.execute("INSERT INTO Papers VALUES (7, 'storage engines database')").unwrap();
+
+    // the front serves the very same engine object
+    let front = Front::serve_engine(engine, FrontConfig::default());
+    let client = front.handle();
+    for &(id, label) in &expected {
+        assert_eq!(
+            client.call(Request::Classify { id }),
+            Response::Label(Some(label)),
+            "paper {id} answered differently behind the front"
+        );
+    }
+    assert_eq!(client.call(Request::CountPositive), Response::Count(positives));
+    // entity 7 arrived after the detach: the engine never saw it
+    assert_eq!(client.call(Request::Classify { id: 7 }), Response::Label(None));
+
+    // maintenance authority moved with the engine: retraction via the front
+    assert_eq!(client.call(Request::Remove { id: 6 }), Response::Done { applied: 1 });
+    assert_eq!(client.call(Request::Classify { id: 6 }), Response::Label(None));
+    assert_eq!(client.call(Request::Remove { id: 6 }), Response::Done { applied: 0 });
+
+    let stats = front.shutdown();
+    assert_eq!(stats.admitted, stats.completed, "every admitted request answered");
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.panics_recovered, 0);
+}
+
+#[test]
+fn durable_views_detach_with_their_durability_intact() {
+    let mut db = trained_db();
+    create_view(&mut db, "USING SVM DURABLE");
+    teach(&mut db, 10);
+    let count_before = match db.execute("SELECT COUNT(*) FROM Labeled_Papers") {
+        Ok(QueryResult::Count(c)) => c,
+        other => panic!("{other:?}"),
+    };
+
+    let engine = db.detach_view_engine("Labeled_Papers").expect("durable view detaches");
+    let front = Front::serve_engine(engine, FrontConfig::default());
+    let client = front.handle();
+    let total = match client.call(Request::CountPositive) {
+        Response::Count(c) => c,
+        other => panic!("{other:?}"),
+    };
+    assert!(total <= count_before);
+    front.shutdown();
+}
+
+#[test]
+fn detach_of_missing_or_replicated_views_is_a_structured_error() {
+    let mut db = trained_db();
+    assert!(matches!(db.detach_view_engine("Ghost"), Err(DbError::NoSuchView(_))));
+
+    create_view(&mut db, "USING SVM DURABLE REPLICAS 2");
+    teach(&mut db, 2);
+    assert!(
+        matches!(db.detach_view_engine("Labeled_Papers"), Err(DbError::Unsupported(_))),
+        "a replicated view must refuse to leave the catalog"
+    );
+    // and the refusal must not have damaged the catalog entry
+    assert!(db.execute("SELECT COUNT(*) FROM Labeled_Papers").is_ok());
+}

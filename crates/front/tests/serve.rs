@@ -1,0 +1,236 @@
+//! Front-end serving semantics: batched answers must equal direct-view
+//! answers, a panicking backend must not take the serve path down, and the
+//! TCP adapter must carry the same traffic with per-connection ordering.
+
+use hazy_core::{
+    Architecture, ClassifierView, Durable, DurableClassifierView, Entity, Mode, ViewBuilder,
+};
+use hazy_front::{Front, FrontConfig, Request, Response, TcpClient, TcpFront};
+use hazy_learn::{Label, LinearModel, TrainingExample};
+use hazy_linalg::FeatureVec;
+use hazy_serve::ShardedView;
+
+fn dense2(a: f32, b: f32) -> FeatureVec {
+    FeatureVec::dense(vec![a, b])
+}
+
+fn entities(n: u64) -> Vec<Entity> {
+    (0..n).map(|id| Entity::new(id, dense2((id % 19) as f32 / 19.0 - 0.5, (id % 7) as f32 / 7.0 - 0.4))).collect()
+}
+
+fn train_batches(rounds: usize, per: usize) -> Vec<Vec<TrainingExample>> {
+    (0..rounds)
+        .map(|r| {
+            (0..per)
+                .map(|k| {
+                    let x = ((r * per + k) % 23) as f32 / 23.0 - 0.5;
+                    TrainingExample::new(0, dense2(x, -0.3 * x), if x >= 0.0 { 1 } else { -1 })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The front's batched, epoch-pinned, coalesced serving must be
+/// observationally equivalent to driving one view directly: same labels,
+/// same count, same ranked list.
+#[test]
+fn front_answers_equal_direct_view_answers() {
+    let n = 300u64;
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2);
+    let batches = train_batches(6, 4);
+
+    // reference: a plain view driven directly
+    let mut direct = ShardedView::build(&builder, 3, entities(n), &[]);
+    for b in &batches {
+        direct.update_batch(b);
+    }
+    let want: Vec<Option<Label>> = (0..n).map(|id| direct.classify(id)).collect();
+    let want_count = direct.count_positive();
+    let want_top = direct.top_k(10);
+
+    // same construction, served through the front; Train tickets are all
+    // submitted before any is awaited, so the write lane actually
+    // exercises its coalescing path
+    let view = ShardedView::build(&builder, 3, entities(n), &[]);
+    let front = Front::serve_sharded(view, FrontConfig { write_queue: 64, ..Default::default() });
+    let client = front.handle();
+    let tickets: Vec<_> =
+        batches.iter().map(|b| client.submit(Request::Train { batch: b.clone() })).collect();
+    for (t, b) in tickets.into_iter().zip(&batches) {
+        assert_eq!(t.wait(), Response::Done { applied: b.len() as u64 });
+    }
+    for id in 0..n {
+        assert_eq!(
+            client.call(Request::Classify { id }),
+            Response::Label(want[id as usize]),
+            "entity {id} diverged behind the front"
+        );
+    }
+    assert_eq!(client.call(Request::CountPositive), Response::Count(want_count));
+    match client.call(Request::TopK { k: 10 }) {
+        Response::Ranked(got) => assert_eq!(got, want_top),
+        other => panic!("{other:?}"),
+    }
+
+    let stats = front.shutdown();
+    assert_eq!(stats.completed, stats.admitted);
+    assert!(stats.batched_writes >= batches.len() as u64);
+}
+
+/// A delegating engine wrapper that panics on poisoned inputs — the fault
+/// injection for the panic-free-serving guarantee.
+struct PanickingView {
+    inner: Box<dyn DurableClassifierView + Send>,
+}
+
+const POISON_ID: u64 = 0xDEAD;
+
+impl ClassifierView for PanickingView {
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+    fn mode(&self) -> Mode {
+        self.inner.mode()
+    }
+    fn update(&mut self, ex: &TrainingExample) {
+        assert!(ex.id != POISON_ID, "poisoned training example");
+        self.inner.update(ex);
+    }
+    fn update_batch(&mut self, batch: &[TrainingExample]) {
+        assert!(batch.iter().all(|ex| ex.id != POISON_ID), "poisoned training batch");
+        self.inner.update_batch(batch);
+    }
+    fn read_single(&mut self, id: u64) -> Option<Label> {
+        assert!(id != POISON_ID, "poisoned read");
+        self.inner.read_single(id)
+    }
+    fn entity_count(&self) -> u64 {
+        self.inner.entity_count()
+    }
+    fn count_positive(&mut self) -> u64 {
+        self.inner.count_positive()
+    }
+    fn positive_ids(&mut self) -> Vec<u64> {
+        self.inner.positive_ids()
+    }
+    fn top_k(&mut self, k: usize) -> Vec<(u64, f64)> {
+        self.inner.top_k(k)
+    }
+    fn insert_entity(&mut self, e: Entity) {
+        self.inner.insert_entity(e);
+    }
+    fn remove_entity(&mut self, id: u64) -> bool {
+        self.inner.remove_entity(id)
+    }
+    fn model(&self) -> &LinearModel {
+        self.inner.model()
+    }
+    fn stats(&self) -> hazy_core::ViewStats {
+        self.inner.stats()
+    }
+    fn memory(&self) -> hazy_core::MemoryFootprint {
+        self.inner.memory()
+    }
+    fn clock(&self) -> &hazy_storage::VirtualClock {
+        self.inner.clock()
+    }
+}
+
+impl Durable for PanickingView {
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.inner.save_state(out);
+    }
+}
+
+/// A backend panic answers the affected request with `Error` and the front
+/// keeps serving — on both the read path and the write path.
+#[test]
+fn backend_panics_are_recovered_per_request() {
+    let builder = ViewBuilder::new(Architecture::NaiveMem, Mode::Eager).dim(2);
+    let engine = PanickingView { inner: builder.build(entities(50), &[]) };
+    let front = Front::serve_engine(Box::new(engine), FrontConfig::default());
+    let client = front.handle();
+
+    // healthy before
+    assert!(matches!(client.call(Request::Classify { id: 1 }), Response::Label(Some(_))));
+
+    // read-path panic: structured error, not a dead lane
+    assert!(matches!(client.call(Request::Classify { id: POISON_ID }), Response::Error(_)));
+    // the lane survived: the very next read answers
+    assert!(matches!(client.call(Request::Classify { id: 2 }), Response::Label(Some(_))));
+
+    // write-path panic inside a coalesced update_batch round
+    let bad = Request::Train {
+        batch: vec![TrainingExample::new(POISON_ID, dense2(0.1, 0.1), 1)],
+    };
+    assert!(matches!(client.call(bad), Response::Error(_)));
+    // and a good write still lands afterwards
+    assert_eq!(
+        client.call(Request::Train {
+            batch: vec![TrainingExample::new(0, dense2(0.2, -0.1), 1)],
+        }),
+        Response::Done { applied: 1 }
+    );
+    assert!(matches!(client.call(Request::CountPositive), Response::Count(_)));
+
+    let stats = front.shutdown();
+    assert_eq!(stats.panics_recovered, 2);
+    assert_eq!(stats.errors, 2);
+    assert_eq!(stats.completed, stats.admitted, "panics must not eat responses");
+}
+
+/// The same traffic over real sockets: pipelined requests on one
+/// connection come back in order; a second connection is independent; a
+/// protocol violation closes only the offending connection.
+#[test]
+fn tcp_round_trip_with_pipelining() {
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2);
+    let view = ShardedView::build(&builder, 2, entities(40), &[]);
+    let front = Front::serve_sharded(view, FrontConfig::default());
+    let server = TcpFront::bind("127.0.0.1:0", front.handle()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut a = TcpClient::connect(addr).expect("connect");
+    // pipeline: many frames before the first read; responses in order
+    for id in 0..20u64 {
+        a.send(&Request::Classify { id }).expect("send");
+    }
+    a.send(&Request::CountPositive).expect("send");
+    let mut labels = Vec::new();
+    for _ in 0..20 {
+        match a.recv().expect("recv") {
+            Response::Label(l) => labels.push(l),
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(labels.len(), 20);
+    assert!(labels.iter().all(|l| l.is_some()), "all 20 entities exist");
+    assert!(matches!(a.recv().expect("recv"), Response::Count(_)));
+
+    // an independent, interleaved connection
+    let mut b = TcpClient::connect(addr).expect("connect");
+    assert!(matches!(b.call(&Request::TopK { k: 5 }).expect("call"), Response::Ranked(_)));
+    assert!(matches!(a.call(&Request::Classify { id: 3 }).expect("call"), Response::Label(_)));
+
+    // a violating connection (oversized length prefix) gets closed without
+    // disturbing the healthy ones
+    {
+        use std::io::{Read, Write};
+        let mut evil = std::net::TcpStream::connect(addr).expect("connect");
+        evil.write_all(&u32::MAX.to_le_bytes()).expect("write");
+        let mut buf = [0u8; 1];
+        // the server closes: read returns Ok(0) (EOF) or a reset error
+        match evil.read(&mut buf) {
+            Ok(0) => {}
+            Ok(_) => panic!("server answered a violating frame"),
+            Err(_) => {}
+        }
+    }
+    assert!(matches!(a.call(&Request::Classify { id: 4 }).expect("call"), Response::Label(_)));
+
+    server.shutdown();
+    let stats = front.shutdown();
+    assert_eq!(stats.completed, stats.admitted);
+    assert_eq!(stats.errors, 0);
+}

@@ -17,7 +17,7 @@ pub fn sign(x: f64) -> Label {
 }
 
 /// One labeled entity `(id, f, y)` from the examples table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainingExample {
     /// Entity key (0 when the example is not tied to a stored entity).
     pub id: u64,

@@ -491,6 +491,44 @@ impl Db {
         self.tables.get(name)
     }
 
+    /// Detaches a view's engine from the catalog and hands it out — the
+    /// route by which a view declared and trained in SQL moves behind the
+    /// `hazy-front` serving tier (`Front::serve_engine`) without a rebuild:
+    /// same learned model, same entity table, same durable state.
+    ///
+    /// Unlike `DROP CLASSIFICATION VIEW`, the view's durable files are
+    /// **kept** (a durable engine keeps appending to them through its own
+    /// handle); only the catalog entry and the dataflow edges feeding it
+    /// are removed, so later base-table writes no longer maintain it —
+    /// maintenance authority moves wholesale to whoever holds the engine.
+    ///
+    /// A replicated view cannot be detached (its replication group owns
+    /// the primary's WAL shipping): promote or drop it first.
+    pub fn detach_view_engine(
+        &mut self,
+        view: &str,
+    ) -> Result<Box<dyn DurableClassifierView + Send>, DbError> {
+        match self.views.get(view).map(|v| &v.engine) {
+            None => return Err(DbError::NoSuchView(view.to_string())),
+            Some(Engine::Replicated(_)) => {
+                return Err(DbError::Unsupported(format!(
+                    "DETACH of view {view}: a replicated view cannot leave the catalog; \
+                     PROMOTE or DROP its replicas first"
+                )))
+            }
+            Some(_) => {}
+        }
+        let state = self.views.remove(view).expect("presence checked above");
+        for fed in self.edges.values_mut() {
+            fed.retain(|name| name != view);
+        }
+        match state.engine {
+            Engine::Plain(b) => Ok(b),
+            Engine::Durable(d) => Ok(Box::new(d)),
+            Engine::Replicated(_) => unreachable!("rejected above"),
+        }
+    }
+
     /// Operation counters of a view's engine.
     pub fn view_stats(&self, name: &str) -> Option<ViewStats> {
         self.views.get(name).map(|v| v.engine.view().stats())

@@ -167,6 +167,24 @@ fn splitmix(x: &mut u64) -> u64 {
     crate::sharded::splitmix64(*x)
 }
 
+/// Feeds the write stream into the writer's channel, stopping at a
+/// disconnect: a receiver that is already gone (shutdown orderings in
+/// embedding code can tear the consuming side down first) means nobody
+/// will apply the rest of the stream — which must end the feed, not panic
+/// the feeding thread and take the pool down with it. Returns how many
+/// batches were actually handed over.
+fn feed_batches<'a>(
+    tx: &crossbeam::channel::Sender<&'a [TrainingExample]>,
+    batches: &'a [Vec<TrainingExample>],
+) -> usize {
+    for (fed, b) in batches.iter().enumerate() {
+        if tx.send(b).is_err() {
+            return fed;
+        }
+    }
+    batches.len()
+}
+
 /// What each reader thread hands back at the end of the run.
 struct ReaderTally {
     reads: u64,
@@ -187,9 +205,7 @@ pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> Worklo
     let stop = AtomicBool::new(false);
     let writer_in_round = AtomicBool::new(false);
     let (batch_tx, batch_rx) = crossbeam::channel::unbounded::<&[TrainingExample]>();
-    for b in &spec.batches {
-        batch_tx.send(b).expect("receiver alive");
-    }
+    feed_batches(&batch_tx, &spec.batches);
     drop(batch_tx);
     let (count_tx, count_rx) = crossbeam::channel::unbounded::<ReaderTally>();
     let t0 = Instant::now();
@@ -255,8 +271,19 @@ pub fn run_mixed_workload(view: &mut ShardedView, spec: &WorkloadSpec) -> Worklo
                         reads += 1;
                     }
                 }
-                tx.send(ReaderTally { reads, scans, ranked, max_lat_ns, stalled, in_round, histo })
-                    .expect("collector alive");
+                // the collector drains after the writer joins; if it is
+                // already gone (scope unwinding on another failure) the
+                // tally is simply lost — a reader must not add a second
+                // panic on top
+                let _ = tx.send(ReaderTally {
+                    reads,
+                    scans,
+                    ranked,
+                    max_lat_ns,
+                    stalled,
+                    in_round,
+                    histo,
+                });
             });
         }
         drop(count_tx);
@@ -291,6 +318,27 @@ mod tests {
 
     fn dense2(x0: f32, x1: f32) -> hazy_linalg::FeatureVec {
         hazy_linalg::FeatureVec::dense(vec![x0, x1])
+    }
+
+    /// Regression: the feed used to `.expect("receiver alive")` — a
+    /// consumer that shut down first (dropped its receiver) panicked the
+    /// feeding thread and took the whole pool down. Disconnect now simply
+    /// ends the stream.
+    #[test]
+    fn early_consumer_shutdown_ends_the_feed_instead_of_panicking() {
+        let batches: Vec<Vec<TrainingExample>> =
+            (0..4).map(|_| vec![TrainingExample::new(0, dense2(0.1, -0.1), 1)]).collect();
+
+        // normal order: everything is handed over
+        let (tx, rx) = crossbeam::channel::unbounded::<&[TrainingExample]>();
+        assert_eq!(feed_batches(&tx, &batches), 4);
+        drop(tx);
+        assert_eq!(rx.iter().count(), 4);
+
+        // shutdown order inverted: receiver gone before the feed runs
+        let (tx, rx) = crossbeam::channel::unbounded::<&[TrainingExample]>();
+        drop(rx);
+        assert_eq!(feed_batches(&tx, &batches), 0, "disconnect must end the feed");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 pub use hazy_core as core;
 pub use hazy_datagen as datagen;
 pub use hazy_flow as flow;
+pub use hazy_front as front;
 pub use hazy_learn as learn;
 pub use hazy_linalg as linalg;
 pub use hazy_rdbms as rdbms;
