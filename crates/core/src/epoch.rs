@@ -52,6 +52,35 @@ use crate::entity::Entity;
 use crate::view::{rank_order, ClassifierView};
 use crate::watermark::{WaterMarks, WatermarkPolicy};
 
+/// Global epoch-lifecycle metrics: every [`EpochCell`] in the process
+/// (one per shard per view) reports into the same counters, giving an
+/// operator aggregate GC pressure at a glance.
+///
+/// `pins` is *derived*, not recorded on the hot path: the pin protocol
+/// already maintains a per-cell `pin_count` for [`EpochStats`], and
+/// [`EpochCell::sync_pins`] folds its delta into the registry at
+/// publish/collect, stats, and drop. A pinned read therefore costs
+/// exactly what it cost before instrumentation existed.
+struct EpochObs {
+    pins: &'static hazy_obs::Counter,
+    published: &'static hazy_obs::Counter,
+    reclaimed: &'static hazy_obs::Counter,
+    rebases: &'static hazy_obs::Counter,
+    retired_live: &'static hazy_obs::Gauge,
+}
+
+fn epoch_obs() -> &'static EpochObs {
+    static OBS: std::sync::OnceLock<EpochObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| EpochObs {
+        pins: hazy_obs::counter("core_epoch_pins_total"),
+        published: hazy_obs::counter("core_epoch_published_total"),
+        reclaimed: hazy_obs::counter("core_epoch_reclaimed_total"),
+        rebases: hazy_obs::counter("core_epoch_rebases_total"),
+        retired_live: hazy_obs::gauge("core_epoch_retired_live"),
+    })
+}
+
+
 /// The immutable population frozen at the last rebase: entities in
 /// ascending-id order with their `eps` (margin under the frozen model) and
 /// labels, plus an eps-sorted permutation for watermark-band range scans.
@@ -268,6 +297,9 @@ pub struct EpochCell {
     published: AtomicU64,
     reclaimed: AtomicU64,
     pin_count: AtomicU64,
+    /// High-water mark of `pin_count` already folded into the global
+    /// `core_epoch_pins_total` counter (see [`EpochCell::sync_pins`]).
+    pins_synced: AtomicU64,
 }
 
 // The raw node pointers are managed exclusively by the cell's publish /
@@ -277,6 +309,9 @@ unsafe impl Sync for EpochCell {}
 
 impl EpochCell {
     fn new(initial: ModelEpoch) -> EpochCell {
+        // register the lifecycle metrics up front so scrape surfaces list
+        // them (at zero) before the first cold-path sync runs
+        let _ = epoch_obs();
         let node = Box::into_raw(Box::new(EpochNode { pins: AtomicU64::new(0), epoch: initial }));
         EpochCell {
             current: AtomicPtr::new(node),
@@ -285,6 +320,7 @@ impl EpochCell {
             published: AtomicU64::new(1),
             reclaimed: AtomicU64::new(0),
             pin_count: AtomicU64::new(0),
+            pins_synced: AtomicU64::new(0),
         }
     }
 
@@ -300,6 +336,9 @@ impl EpochCell {
         // before the load above.
         unsafe { (*node).pins.fetch_add(1, Ordering::SeqCst) };
         self.entering.fetch_sub(1, Ordering::SeqCst);
+        // `pin_count` is the only accounting this path pays — the global
+        // `core_epoch_pins_total` counter is derived from it lazily by
+        // `sync_pins`, so instrumentation adds zero atomics per read.
         self.pin_count.fetch_add(1, Ordering::Relaxed);
         EpochPin { cell: self, node }
     }
@@ -309,11 +348,14 @@ impl EpochCell {
     /// drained predecessors. Writer-side; concurrent publishers serialize
     /// on the retired-list lock.
     pub fn publish(&self, epoch: ModelEpoch) {
+        let lsn = epoch.lsn;
         let node = Box::into_raw(Box::new(EpochNode { pins: AtomicU64::new(0), epoch }));
         let mut retired = self.retired.lock().expect("epoch retired-list lock");
         let old = self.current.swap(node, Ordering::SeqCst);
         retired.push(old);
         self.published.fetch_add(1, Ordering::Relaxed);
+        epoch_obs().published.inc();
+        hazy_obs::emit(hazy_obs::EventKind::EpochPublish, lsn, 0, 0);
         self.collect_locked(&mut retired);
     }
 
@@ -331,6 +373,7 @@ impl EpochCell {
         if self.entering.load(Ordering::SeqCst) != 0 {
             return;
         }
+        let before = retired.len();
         retired.retain(|&node| {
             // Safety: retired nodes are owned by this list; `entering == 0`
             // was observed after retirement, so a zero pin count is final.
@@ -341,10 +384,42 @@ impl EpochCell {
             }
             pinned
         });
+        let freed = (before - retired.len()) as u64;
+        if freed > 0 {
+            epoch_obs().reclaimed.add(freed);
+            hazy_obs::emit(hazy_obs::EventKind::EpochReclaim, freed, retired.len() as u64, 0);
+        }
+        epoch_obs().retired_live.set(retired.len() as f64);
+        self.sync_pins();
+    }
+
+    /// The cumulative pin count as one relaxed load — the derivation
+    /// source layered read metrics (e.g. the serving tier's per-shard
+    /// read counters) sync from, so the read hot path itself carries no
+    /// instrumentation atomics.
+    pub fn pin_total(&self) -> u64 {
+        self.pin_count.load(Ordering::Relaxed)
+    }
+
+    /// Folds pins taken since the last sync into the global
+    /// `core_epoch_pins_total` counter. The pin path already maintains
+    /// `pin_count` for [`EpochStats`], so the registry copy is pure
+    /// derivation, refreshed here at the protocol's cold moments —
+    /// publish/collect, [`stats`](EpochCell::stats), and drop. The
+    /// `fetch_max` high-water mark makes concurrent syncs credit each
+    /// pin exactly once.
+    fn sync_pins(&self) {
+        let total = self.pin_count.load(Ordering::Relaxed);
+        let prev = self.pins_synced.fetch_max(total, Ordering::Relaxed);
+        let delta = total.saturating_sub(prev);
+        if delta > 0 {
+            epoch_obs().pins.add(delta);
+        }
     }
 
     /// Lifecycle counters.
     pub fn stats(&self) -> EpochStats {
+        self.sync_pins();
         EpochStats {
             published: self.published.load(Ordering::Relaxed),
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
@@ -361,6 +436,8 @@ impl EpochCell {
 
 impl Drop for EpochCell {
     fn drop(&mut self) {
+        // the last chance to credit pins a read-only lifetime accumulated
+        self.sync_pins();
         // `&mut self` proves no pins are outstanding (every `EpochPin`
         // borrows the cell), so everything can be freed unconditionally.
         let retired = self.retired.get_mut().expect("epoch retired-list lock");
@@ -636,6 +713,8 @@ impl EpochPublisher {
         self.removed.clear();
         self.positive = positive;
         self.rebases += 1;
+        epoch_obs().rebases.inc();
+        hazy_obs::emit(hazy_obs::EventKind::EpochRebase, self.lsn, 0, 0);
     }
 
     fn publish_now(&self) {

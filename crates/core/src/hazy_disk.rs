@@ -330,6 +330,7 @@ impl HazyDiskView {
             self.skiing.reorganized(s);
             self.stats.reorgs += 1;
             self.stats.last_reorg_ns = s as u64;
+        crate::stats::obs_reorg(s as u64);
             return;
         }
         let model = self.trainer.model().clone();
@@ -396,6 +397,7 @@ impl HazyDiskView {
         self.reorg_epoch += 1;
         self.stats.reorgs += 1;
         self.stats.last_reorg_ns = s as u64;
+        crate::stats::obs_reorg(s as u64);
     }
 
     /// Eager incremental step: reclassify the `[lw, hw]` band via the

@@ -288,6 +288,7 @@ impl HazyMemView {
         self.skiing.reorganized(s);
         self.stats.reorgs += 1;
         self.stats.last_reorg_ns = s as u64;
+        crate::stats::obs_reorg(s as u64);
     }
 
     /// Eager incremental step: reclassify exactly the `[lw, hw]` band under

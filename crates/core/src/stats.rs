@@ -116,6 +116,15 @@ impl MemoryFootprint {
     }
 }
 
+/// Reports one completed reorganization to the global observability
+/// layer (counter + trace event). Shared by the main-memory and on-disk
+/// views so the sites stay one line.
+pub(crate) fn obs_reorg(ns: u64) {
+    static REORGS: std::sync::OnceLock<&'static hazy_obs::Counter> = std::sync::OnceLock::new();
+    REORGS.get_or_init(|| hazy_obs::counter("core_reorgs_total")).inc();
+    hazy_obs::emit(hazy_obs::EventKind::Reorg, ns, 0, 0);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,26 @@ use hazy_storage::VirtualClock;
 
 use crate::delta::Delta;
 
+/// Global dataflow metrics mirroring [`FlowStats`] so per-node delta
+/// traffic is visible in `SHOW METRICS` across every graph instance.
+struct FlowObs {
+    deltas_in: &'static hazy_obs::Counter,
+    deltas_processed: &'static hazy_obs::Counter,
+    join_pairs: &'static hazy_obs::Counter,
+    rows_emitted: &'static hazy_obs::Counter,
+}
+
+fn flow_obs() -> &'static FlowObs {
+    static OBS: std::sync::OnceLock<FlowObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| FlowObs {
+        deltas_in: hazy_obs::counter("flow_deltas_in_total"),
+        deltas_processed: hazy_obs::counter("flow_deltas_processed_total"),
+        join_pairs: hazy_obs::counter("flow_join_pairs_total"),
+        rows_emitted: hazy_obs::counter("flow_rows_emitted_total"),
+    })
+}
+
+
 /// Handle to a node in a [`Dataflow`] graph.
 ///
 /// Node ids are assigned in construction order, and every edge runs from a
@@ -211,6 +231,8 @@ impl<R: Clone + PartialEq> Dataflow<R> {
             "ingest targets must be source nodes"
         );
         self.stats.deltas_in += deltas.len() as u64;
+        flow_obs().deltas_in.add(deltas.len() as u64);
+        let deltas_in = deltas.len() as u64;
         let emitted_before = self.stats.rows_emitted;
         let mut inbox: Vec<Vec<PortDelta<R>>> = self.nodes.iter().map(|_| Vec::new()).collect();
         inbox[source.0] = deltas.into_iter().map(|d| (0, d)).collect();
@@ -220,6 +242,7 @@ impl<R: Clone + PartialEq> Dataflow<R> {
                 continue;
             }
             self.stats.deltas_processed += input.len() as u64;
+            flow_obs().deltas_processed.add(input.len() as u64);
             if let Some(clock) = &self.clock {
                 clock.charge_cpu_ops(input.len() as u64);
             }
@@ -247,6 +270,7 @@ impl<R: Clone + PartialEq> Dataflow<R> {
                 }
             }
             self.stats.join_pairs_examined += pairs;
+            flow_obs().join_pairs.add(pairs);
             if pairs > 0 {
                 if let Some(clock) = &self.clock {
                     clock.charge_cpu_ops(pairs);
@@ -266,7 +290,10 @@ impl<R: Clone + PartialEq> Dataflow<R> {
             }
             self.nodes[i].outs = outs;
         }
-        self.stats.rows_emitted - emitted_before
+        let emitted = self.stats.rows_emitted - emitted_before;
+        flow_obs().rows_emitted.add(emitted);
+        hazy_obs::emit(hazy_obs::EventKind::FlowIngest, deltas_in, emitted, 0);
+        emitted
     }
 
     /// Takes everything `sink` has collected since the last drain, in

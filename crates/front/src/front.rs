@@ -27,6 +27,39 @@ use hazy_serve::{shard_of, ReadHandle, ShardedView, WriteHandle};
 use crate::proto::{Request, Response};
 use crate::queue::Bounded;
 
+/// Registered-once metric handles for the front end (see `hazy-obs`):
+/// admission counters, queue depth/high-water gauges, batch-size and
+/// per-request latency histograms, and the drain-rate gauge backing the
+/// `retry_after_ms` hint.
+struct FrontObs {
+    admitted: &'static hazy_obs::Counter,
+    shed: &'static hazy_obs::Counter,
+    batches: &'static hazy_obs::Counter,
+    batch_size: &'static hazy_obs::Histogram,
+    request_ns: &'static hazy_obs::Histogram,
+    drain_ns_per_req: &'static hazy_obs::Gauge,
+    read_queue_depth: &'static hazy_obs::Gauge,
+    write_queue_depth: &'static hazy_obs::Gauge,
+    read_queue_high_water: &'static hazy_obs::Gauge,
+    write_queue_high_water: &'static hazy_obs::Gauge,
+}
+
+fn front_obs() -> &'static FrontObs {
+    static OBS: std::sync::OnceLock<FrontObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| FrontObs {
+        admitted: hazy_obs::counter("front_admitted_total"),
+        shed: hazy_obs::counter("front_shed_total"),
+        batches: hazy_obs::counter("front_batches_total"),
+        batch_size: hazy_obs::histogram("front_batch_size"),
+        request_ns: hazy_obs::histogram("front_request_ns"),
+        drain_ns_per_req: hazy_obs::gauge("front_drain_ns_per_req"),
+        read_queue_depth: hazy_obs::gauge("front_read_queue_depth"),
+        write_queue_depth: hazy_obs::gauge("front_write_queue_depth"),
+        read_queue_high_water: hazy_obs::gauge("front_read_queue_high_water"),
+        write_queue_high_water: hazy_obs::gauge("front_write_queue_high_water"),
+    })
+}
+
 /// Front-end tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct FrontConfig {
@@ -87,6 +120,10 @@ pub struct FrontStats {
     pub read_queue_high_water: u64,
     /// Deepest the write queue ever got (always ≤ the configured bound).
     pub write_queue_high_water: u64,
+    /// EWMA of per-request service time observed by the lanes, in
+    /// nanoseconds (0 until the first batch drains). Feeds the
+    /// [`Response::Rejected`] backoff hint via [`estimate_retry_after_ms`].
+    pub drain_ns_per_req: u64,
 }
 
 impl FrontStats {
@@ -124,6 +161,38 @@ struct StatsInner {
     write_batches: AtomicU64,
     batched_writes: AtomicU64,
     max_write_batch: AtomicU64,
+    /// EWMA of lane service time per request (ns); see
+    /// [`StatsInner::observe_drain`].
+    drain_ns_per_req: AtomicU64,
+}
+
+impl StatsInner {
+    /// Folds one drained batch's wall time into the per-request drain
+    /// EWMA (weight 1/8 on the new sample — jitter-tolerant but converges
+    /// within a few batches after a load shift).
+    fn observe_drain(&self, batch_len: usize, elapsed_ns: u64) {
+        if batch_len == 0 {
+            return;
+        }
+        let sample = elapsed_ns / batch_len as u64;
+        let old = self.drain_ns_per_req.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { old.saturating_mul(7).saturating_add(sample) / 8 };
+        self.drain_ns_per_req.store(new, Ordering::Relaxed);
+    }
+}
+
+/// The backoff hint for a shed request: the time the lanes would need to
+/// drain the queue standing between the client and service, from the
+/// observed per-request drain EWMA. Clamped to `[floor_ms, 60_000]`;
+/// `floor_ms` alone while the drain rate is still unmeasured. Monotone in
+/// `queue_depth` (unit-tested): a deeper queue never hints a shorter wait.
+pub fn estimate_retry_after_ms(queue_depth: u64, drain_ns_per_req: u64, floor_ms: u32) -> u32 {
+    let floor = u64::from(floor_ms.max(1));
+    if drain_ns_per_req == 0 {
+        return floor as u32;
+    }
+    let drain_ns = queue_depth.saturating_mul(drain_ns_per_req);
+    drain_ns.div_ceil(1_000_000).clamp(floor, floor.max(60_000)) as u32
 }
 
 fn fetch_max(cell: &AtomicU64, v: u64) {
@@ -193,15 +262,22 @@ impl Ticket {
 struct Job {
     req: Request,
     slot: Arc<Slot>,
+    /// Admission timestamp (obs clock, ns); 0 when recording was off at
+    /// submit, so completion knows not to record a latency sample.
+    t0_ns: u64,
 }
 
-/// Completes `job`, counting the delivery (and double-completion bugs).
+/// Completes `job`, counting the delivery (and double-completion bugs)
+/// and recording queue+service latency when the job was stamped.
 fn complete(job: Job, resp: Response, stats: &StatsInner) {
     if matches!(resp, Response::Error(_)) {
         stats.errors.fetch_add(1, Ordering::Relaxed);
     }
     if job.slot.fill(resp) {
         stats.completed.fetch_add(1, Ordering::Relaxed);
+        if job.t0_ns != 0 {
+            front_obs().request_ns.record(hazy_obs::now_ns().saturating_sub(job.t0_ns));
+        }
     }
 }
 
@@ -227,14 +303,35 @@ impl FrontHandle {
     pub fn submit(&self, req: Request) -> Ticket {
         let slot = Slot::new();
         let ticket = Ticket { slot: Arc::clone(&slot) };
+        if matches!(req, Request::MetricsDump) {
+            // answered at admission, bypassing both queues: the metrics
+            // plane stays scrapeable while the serving plane saturates.
+            // Counted as admitted + completed so the exactly-once ledger
+            // (`completed == admitted` at quiescence) still balances.
+            self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            front_obs().admitted.inc();
+            slot.fill(Response::Metrics(hazy_obs::render_prometheus()));
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            return ticket;
+        }
         let q = if req.is_read() || self.unified { &self.read_q } else { &self.write_q };
-        match q.try_push(Job { req, slot }) {
+        let t0_ns = if hazy_obs::enabled() { hazy_obs::now_ns() } else { 0 };
+        match q.try_push(Job { req, slot, t0_ns }) {
             Ok(()) => {
                 self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                front_obs().admitted.inc();
             }
             Err(job) => {
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                job.slot.fill(Response::Rejected { retry_after_ms: self.retry_after_ms });
+                let depth = q.depth() as u64;
+                let hint = estimate_retry_after_ms(
+                    depth,
+                    self.stats.drain_ns_per_req.load(Ordering::Relaxed),
+                    self.retry_after_ms,
+                );
+                front_obs().shed.inc();
+                hazy_obs::emit(hazy_obs::EventKind::FrontShed, depth, u64::from(hint), 0);
+                job.slot.fill(Response::Rejected { retry_after_ms: hint });
             }
         }
         ticket
@@ -264,6 +361,7 @@ impl FrontHandle {
             write_queue_depth: self.write_q.depth() as u64,
             read_queue_high_water: self.read_q.high_water() as u64,
             write_queue_high_water: self.write_q.high_water() as u64,
+            drain_ns_per_req: s.drain_ns_per_req.load(Ordering::Relaxed),
         }
     }
 }
@@ -376,6 +474,34 @@ impl Front {
     }
 }
 
+/// Lane tags carried in [`hazy_obs::EventKind::FrontBatch`] events.
+const LANE_READ: u64 = 0;
+const LANE_WRITE: u64 = 1;
+const LANE_ENGINE: u64 = 2;
+
+/// Per-batch bookkeeping shared by every lane: feeds the drain-rate EWMA
+/// behind the `retry_after_ms` hint, then (when recording is on) the
+/// batch-size histogram, queue gauges, and a `FrontBatch` trace event.
+fn observe_batch(stats: &StatsInner, q: &Bounded<Job>, len: usize, t0_ns: u64, lane: u64) {
+    stats.observe_drain(len, hazy_obs::now_ns().saturating_sub(t0_ns));
+    if !hazy_obs::enabled() {
+        return;
+    }
+    let obs = front_obs();
+    obs.batches.inc();
+    obs.batch_size.record(len as u64);
+    obs.drain_ns_per_req.set(stats.drain_ns_per_req.load(Ordering::Relaxed) as f64);
+    let (depth_g, hw_g) = if lane == LANE_WRITE {
+        (obs.write_queue_depth, obs.write_queue_high_water)
+    } else {
+        (obs.read_queue_depth, obs.read_queue_high_water)
+    };
+    let depth = q.depth();
+    depth_g.set(depth as f64);
+    hw_g.set(q.high_water() as f64);
+    hazy_obs::emit(hazy_obs::EventKind::FrontBatch, len as u64, lane, depth as u64);
+}
+
 /// Runs `f`, converting a panic into a structured [`Response::Error`] —
 /// the serve path must outlive any single bad request.
 fn guarded(stats: &StatsInner, what: &str, f: impl FnOnce() -> Response) -> Response {
@@ -395,6 +521,8 @@ fn guarded(stats: &StatsInner, what: &str, f: impl FnOnce() -> Response) -> Resp
 fn read_lane(rh: ReadHandle, q: Arc<Bounded<Job>>, stats: Arc<StatsInner>, batch_max: usize) {
     let n = rh.n_shards();
     while let Some(jobs) = q.pop_batch(batch_max) {
+        let t0_ns = hazy_obs::now_ns();
+        let batch_len = jobs.len();
         stats.read_batches.fetch_add(1, Ordering::Relaxed);
         stats.batched_reads.fetch_add(jobs.len() as u64, Ordering::Relaxed);
         fetch_max(&stats.max_read_batch, jobs.len() as u64);
@@ -450,6 +578,10 @@ fn read_lane(rh: ReadHandle, q: Arc<Bounded<Job>>, stats: Arc<StatsInner>, batch
             };
             complete(job, resp, &stats);
         }
+        // fold the batch's pin-derived read counts into the registry so a
+        // metrics scrape is at most one batch stale
+        rh.sync_obs();
+        observe_batch(&stats, &q, batch_len, t0_ns, LANE_READ);
     }
 }
 
@@ -460,10 +592,13 @@ fn read_lane(rh: ReadHandle, q: Arc<Bounded<Job>>, stats: Arc<StatsInner>, batch
 /// concurrent client traffic.
 fn write_lane(mut wh: WriteHandle, q: Arc<Bounded<Job>>, stats: Arc<StatsInner>, batch_max: usize) {
     while let Some(jobs) = q.pop_batch(batch_max) {
+        let t0_ns = hazy_obs::now_ns();
+        let batch_len = jobs.len();
         stats.write_batches.fetch_add(1, Ordering::Relaxed);
         stats.batched_writes.fetch_add(jobs.len() as u64, Ordering::Relaxed);
         fetch_max(&stats.max_write_batch, jobs.len() as u64);
         serve_writes(jobs, &stats, &mut wh);
+        observe_batch(&stats, &q, batch_len, t0_ns, LANE_WRITE);
     }
 }
 
@@ -563,6 +698,8 @@ fn engine_lane(
     batch_max: usize,
 ) {
     while let Some(jobs) = q.pop_batch(batch_max) {
+        let t0_ns = hazy_obs::now_ns();
+        let batch_len = jobs.len();
         stats.read_batches.fetch_add(1, Ordering::Relaxed);
         stats.batched_reads.fetch_add(jobs.len() as u64, Ordering::Relaxed);
         fetch_max(&stats.max_read_batch, jobs.len() as u64);
@@ -592,5 +729,54 @@ fn engine_lane(
         if !writes.is_empty() {
             serve_writes(writes, &stats, &mut engine);
         }
+        observe_batch(&stats, &q, batch_len, t0_ns, LANE_ENGINE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_is_monotone_in_queue_depth() {
+        // fixed drain rate: a deeper queue never hints a shorter wait
+        let drain = 750_000; // 0.75 ms per queued request
+        let mut prev = 0;
+        for depth in [0u64, 1, 2, 3, 10, 100, 1_000, 10_000, 1 << 40, u64::MAX] {
+            let hint = estimate_retry_after_ms(depth, drain, 1);
+            assert!(hint >= prev, "depth {depth} hinted {hint} < {prev}");
+            prev = hint;
+        }
+    }
+
+    #[test]
+    fn retry_hint_tracks_drain_rate_and_clamps() {
+        // 100 queued × 2ms each = 200ms of backlog
+        assert_eq!(estimate_retry_after_ms(100, 2_000_000, 1), 200);
+        // sub-millisecond backlog rounds up, never to zero
+        assert_eq!(estimate_retry_after_ms(1, 10_000, 1), 1);
+        // unmeasured drain rate falls back to the configured floor
+        assert_eq!(estimate_retry_after_ms(1_000_000, 0, 7), 7);
+        // the hint never exceeds the 60 s ceiling
+        assert_eq!(estimate_retry_after_ms(u64::MAX, u64::MAX, 1), 60_000);
+        // a floor above the ceiling wins (degenerate config, still total)
+        assert_eq!(estimate_retry_after_ms(10, 1_000_000, 100_000), 100_000);
+    }
+
+    #[test]
+    fn ewma_converges_toward_observed_drain() {
+        let stats = StatsInner::default();
+        // first sample seeds the EWMA directly
+        stats.observe_drain(10, 10_000);
+        assert_eq!(stats.drain_ns_per_req.load(Ordering::Relaxed), 1_000);
+        // repeated faster batches pull the estimate down toward 100ns
+        for _ in 0..64 {
+            stats.observe_drain(10, 1_000);
+        }
+        let est = stats.drain_ns_per_req.load(Ordering::Relaxed);
+        assert!(est < 200, "EWMA failed to converge: {est}");
+        // empty batches are ignored
+        stats.observe_drain(0, 999_999);
+        assert_eq!(stats.drain_ns_per_req.load(Ordering::Relaxed), est);
     }
 }

@@ -54,6 +54,6 @@ pub mod proto;
 mod queue;
 mod tcp;
 
-pub use front::{Front, FrontConfig, FrontHandle, FrontStats, Ticket};
+pub use front::{estimate_retry_after_ms, Front, FrontConfig, FrontHandle, FrontStats, Ticket};
 pub use proto::{Request, Response};
 pub use tcp::{TcpClient, TcpFront};

@@ -56,6 +56,10 @@ pub enum Request {
         /// Entity key.
         id: u64,
     },
+    /// Observability scrape: a Prometheus-style text dump of every
+    /// registered metric. Answered at admission, bypassing both queues,
+    /// so the serving plane stays scrapeable even when saturated.
+    MetricsDump,
 }
 
 impl Request {
@@ -90,6 +94,8 @@ pub enum Response {
     /// the batcher). The request may not have been applied; the front end
     /// keeps serving.
     Error(String),
+    /// Answer to [`Request::MetricsDump`]: Prometheus-style text.
+    Metrics(String),
 }
 
 const REQ_CLASSIFY: u8 = 1;
@@ -98,6 +104,7 @@ const REQ_TOP_K: u8 = 3;
 const REQ_TRAIN: u8 = 4;
 const REQ_INSERT: u8 = 5;
 const REQ_REMOVE: u8 = 6;
+const REQ_METRICS: u8 = 7;
 
 const RESP_LABEL: u8 = 1;
 const RESP_COUNT: u8 = 2;
@@ -105,6 +112,7 @@ const RESP_RANKED: u8 = 3;
 const RESP_DONE: u8 = 4;
 const RESP_REJECTED: u8 = 5;
 const RESP_ERROR: u8 = 6;
+const RESP_METRICS: u8 = 7;
 
 /// Encodes one request payload (no frame header).
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
@@ -136,6 +144,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             out.push(REQ_REMOVE);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::MetricsDump => out.push(REQ_METRICS),
     }
 }
 
@@ -169,6 +178,7 @@ pub fn decode_request(b: &mut &[u8]) -> Option<Request> {
             Some(Request::Insert { id, f })
         }
         REQ_REMOVE => Some(Request::Remove { id: wire::take_u64(b)? }),
+        REQ_METRICS => Some(Request::MetricsDump),
         _ => None,
     }
 }
@@ -212,6 +222,12 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(bytes);
         }
+        Response::Metrics(text) => {
+            out.push(RESP_METRICS);
+            let bytes = text.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
     }
 }
 
@@ -241,6 +257,11 @@ pub fn decode_response(b: &mut &[u8]) -> Option<Response> {
             let len = wire::take_u32(b)? as usize;
             let bytes = wire::take_bytes(b, len)?;
             Some(Response::Error(String::from_utf8(bytes.to_vec()).ok()?))
+        }
+        RESP_METRICS => {
+            let len = wire::take_u32(b)? as usize;
+            let bytes = wire::take_bytes(b, len)?;
+            Some(Response::Metrics(String::from_utf8(bytes.to_vec()).ok()?))
         }
         _ => None,
     }
@@ -306,6 +327,7 @@ mod tests {
             ),
             (any::<u64>(), arb_fvec()).prop_map(|(id, f)| Request::Insert { id, f }),
             any::<u64>().prop_map(|id| Request::Remove { id }),
+            Just(Request::MetricsDump),
         ]
     }
 
@@ -318,6 +340,7 @@ mod tests {
             any::<u64>().prop_map(|applied| Response::Done { applied }),
             any::<u32>().prop_map(|retry_after_ms| Response::Rejected { retry_after_ms }),
             "[a-z ]{0,12}".prop_map(Response::Error),
+            "[a-z_ \\n]{0,24}".prop_map(Response::Metrics),
         ]
     }
 

@@ -234,3 +234,39 @@ fn tcp_round_trip_with_pipelining() {
     assert_eq!(stats.completed, stats.admitted);
     assert_eq!(stats.errors, 0);
 }
+
+/// A metrics scrape is an ordinary protocol request: a `MetricsDump`
+/// frame over a real socket comes back as Prometheus-style text carrying
+/// live front-end counters — and it is answered at admission, so it also
+/// counts in the exactly-once ledger.
+#[test]
+fn tcp_metrics_dump_scrapes_exposition_text() {
+    let builder = ViewBuilder::new(Architecture::HazyMem, Mode::Eager).dim(2);
+    let view = ShardedView::build(&builder, 2, entities(30), &[]);
+    let front = Front::serve_sharded(view, FrontConfig::default());
+    let server = TcpFront::bind("127.0.0.1:0", front.handle()).expect("bind");
+
+    let mut c = TcpClient::connect(server.local_addr()).expect("connect");
+    // generate some traffic so the scrape has live values to report
+    for id in 0..10u64 {
+        assert!(matches!(c.call(&Request::Classify { id }).expect("call"), Response::Label(_)));
+    }
+    let text = match c.call(&Request::MetricsDump).expect("call") {
+        Response::Metrics(text) => text,
+        other => panic!("{other:?}"),
+    };
+    assert!(text.contains("# TYPE front_admitted_total counter"), "exposition: {text}");
+    let admitted: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("front_admitted_total "))
+        .expect("front_admitted_total sample present")
+        .parse()
+        .expect("counter value parses");
+    assert!(admitted >= 10, "scrape must see the classify traffic, got {admitted}");
+    // reads behind this front went through the epoch-pinned serve tier
+    assert!(text.contains("serve_snapshot_reads_total"), "serve metrics in scrape");
+
+    server.shutdown();
+    let stats = front.shutdown();
+    assert_eq!(stats.completed, stats.admitted, "MetricsDump balances the ledger");
+}

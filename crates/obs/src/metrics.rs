@@ -1,0 +1,356 @@
+//! Atomic metric primitives: counters, gauges, and log-bucketed
+//! histograms.
+//!
+//! Everything here is lock-free and cheap enough for hot paths: a record
+//! is one [`crate::enabled`] check plus one to three relaxed
+//! `fetch_add`s. Histograms bucket values logarithmically (8 sub-buckets
+//! per power of two, ≤ 12.5% relative width) so a fixed 496-slot array
+//! covers the full `u64` range; snapshots are mergeable and recover
+//! percentiles exactly at bucket granularity — the rank-selected bucket
+//! is always the same bucket an exact sorted oracle's value falls in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one. One relaxed `fetch_add` when recording is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point level (queue depth, lag, rate, …).
+/// Stored as `f64` bits in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the level to `v` if `v` is higher (high-water marks).
+    pub fn set_max(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two, so every
+/// bucket spans at most 12.5% of its lower bound.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Values 0..8 get exact buckets; each of the 61 remaining octaves
+/// (msb 3..=63) contributes 8 sub-buckets: 8 + 61*8 = 496.
+pub(crate) const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index for `v`. Exact below 8; `(octave, top-3-bits)`
+/// above, computed from `leading_zeros` — no loops, no floats.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    (((msb - SUB_BITS + 1) as usize) << SUB_BITS) | sub
+}
+
+/// The half-open value range `[lo, hi)` covered by bucket `i`.
+pub(crate) fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB {
+        return (i as u64, i as u64 + 1);
+    }
+    let msb = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+    let sub = (i & (SUB - 1)) as u64;
+    let width = 1u64 << (msb - SUB_BITS);
+    let lo = (1u64 << msb) | (sub * width);
+    (lo, lo.saturating_add(width))
+}
+
+/// A log-bucketed latency/size histogram. Recording is one relaxed add
+/// into a fixed bucket plus count/sum upkeep; snapshots merge by
+/// element-wise addition, so per-thread or per-shard histograms can be
+/// combined losslessly.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count).field("sum", &self.sum).finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// Folds `other` into `self` by element-wise addition. Associative
+    /// and commutative (property-tested), so shard-local histograms can
+    /// be merged in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // wrapping, matching the atomic `fetch_add` in `record` — the sum
+        // of a merge equals the sum one histogram would have accumulated
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the midpoint of the
+    /// bucket holding the rank-`ceil(q·count)` observation. Because
+    /// bucket counts are exact, this is always the *same bucket* the
+    /// exact sorted oracle's value lands in. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        let (lo, hi) = bucket_bounds(BUCKETS - 1);
+        lo + (hi - lo) / 2
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative counts at each bucket upper bound, for Prometheus
+    /// `le`-style exposition: `(upper_bound, cumulative_count)` for every
+    /// non-empty prefix boundary.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                acc += n;
+                out.push((bucket_bounds(i).1, acc));
+            }
+        }
+        out
+    }
+
+    /// The bucket index holding the rank-`r` (1-based) observation.
+    /// Test hook for the oracle comparison.
+    pub fn bucket_of_rank(&self, r: u64) -> usize {
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= r {
+                return i;
+            }
+        }
+        BUCKETS - 1
+    }
+}
+
+/// The bucket index an exact value falls in — exported so tests can
+/// compare oracle values against recovered percentiles at bucket
+/// granularity.
+pub fn bucket_index(v: u64) -> usize {
+    bucket_of(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_covers_u64() {
+        // every bucket's bounds invert bucket_of, and indices are dense
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi - 1), i, "hi-1 of bucket {i}");
+            assert!(hi > lo);
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(7), 7);
+        assert_eq!(bucket_of(8), 8);
+    }
+
+    #[test]
+    fn bucket_width_is_bounded() {
+        for i in SUB..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(((hi - lo) as f64) <= lo as f64 / 8.0 + 1.0, "bucket {i} too wide");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_oracle() {
+        let h = Histogram::new();
+        let mut vals: Vec<u64> = (0..10_000u64).map(|i| i * i % 100_000).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let oracle = vals[rank - 1];
+            assert_eq!(
+                bucket_of(snap.quantile(q)),
+                bucket_of(oracle),
+                "q={q} recovered {} oracle {oracle}",
+                snap.quantile(q)
+            );
+        }
+        assert_eq!(snap.count, 10_000);
+    }
+
+    #[test]
+    fn gauge_set_max_is_monotone() {
+        let g = Gauge::new();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0);
+        g.set_max(5.5);
+        assert_eq!(g.get(), 5.5);
+    }
+}

@@ -1,0 +1,238 @@
+//! The process-global metric registry: name → metric, `&'static`
+//! handles, sorted snapshots, SQL-`LIKE` filtering, and Prometheus-style
+//! text exposition.
+//!
+//! Registration takes a mutex once per call site (the handle is then
+//! cached in a `OnceLock` or struct field and recorded to lock-free
+//! forever); metrics themselves are leaked so handles can be `&'static`
+//! without reference counting on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A registered metric handle.
+#[derive(Clone, Copy)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(f64),
+    /// A histogram's full bucket snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// Name → metric table. Use [`Registry::global`] in production code;
+/// fresh instances exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers (or fetches) the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind —
+    /// metric names are compile-time constants, so a clash is a bug.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.lock();
+        match *map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) the gauge `name`. Panics on kind clash.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.lock();
+        match *map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or fetches) the histogram `name`. Panics on kind
+    /// clash.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.lock();
+        match *map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time values of every metric whose name matches the
+    /// optional SQL-`LIKE` pattern, sorted by name.
+    pub fn snapshot(&self, like: Option<&str>) -> Vec<(String, MetricValue)> {
+        let map = self.lock();
+        map.iter()
+            .filter(|(name, _)| like.is_none_or(|p| like_match(p, name)))
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// [`Registry::snapshot`] flattened to `(name, value)` rows for SQL:
+    /// histograms expand to `_count`, `_sum`, `_p50`, `_p99`, `_p999`
+    /// sub-rows (the `LIKE` pattern is applied to the base name).
+    pub fn flat_snapshot(&self, like: Option<&str>) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (name, value) in self.snapshot(like) {
+            match value {
+                MetricValue::Counter(v) => out.push((name, v as f64)),
+                MetricValue::Gauge(v) => out.push((name, v)),
+                MetricValue::Histogram(h) => {
+                    out.push((format!("{name}_count"), h.count as f64));
+                    out.push((format!("{name}_sum"), h.sum as f64));
+                    out.push((format!("{name}_p50"), h.p50() as f64));
+                    out.push((format!("{name}_p99"), h.p99() as f64));
+                    out.push((format!("{name}_p999"), h.p999() as f64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` comments, counters and
+    /// gauges as bare samples, histograms as cumulative `_bucket{le=}`
+    /// series plus `_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, value) in self.snapshot(None) {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    for (le, cum) in h.cumulative() {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any run (including empty), `_`
+/// matches exactly one character, everything else is literal.
+/// Case-sensitive, iterative with greedy-`%` backtracking.
+pub fn like_match(pattern: &str, s: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("%", ""));
+        assert!(like_match("%", "anything"));
+        assert!(like_match("front_%", "front_shed_total"));
+        assert!(!like_match("front_%", "repl_lag"));
+        assert!(like_match("%_total", "front_shed_total"));
+        assert!(like_match("%shed%", "front_shed_total"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%a%b%", "xaxbx"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn register_record_snapshot() {
+        let r = Registry::new();
+        r.counter("t_reads").add(3);
+        r.gauge("t_depth").set(7.5);
+        r.histogram("t_lat").record(100);
+        let rows = r.flat_snapshot(None);
+        let get = |n: &str| rows.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("t_reads"), Some(3.0));
+        assert_eq!(get("t_depth"), Some(7.5));
+        assert_eq!(get("t_lat_count"), Some(1.0));
+        let filtered = r.flat_snapshot(Some("t_read%"));
+        assert_eq!(filtered.len(), 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_reads counter"));
+        assert!(text.contains("t_lat_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        r.counter("clash");
+        r.gauge("clash");
+    }
+}

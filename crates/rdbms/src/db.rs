@@ -48,6 +48,12 @@ pub enum QueryResult {
     Label(Option<i8>),
     /// A list of entity keys.
     Ids(Vec<u64>),
+    /// `SHOW METRICS` rows: `(metric name, value)`, sorted by name.
+    /// Histograms surface as `_count`/`_sum`/`_p50`/`_p99`/`_p999` rows.
+    Metrics(Vec<(String, f64)>),
+    /// `SHOW EVENTS` rows: `(seq, timestamp_ns, kind, detail)`, oldest
+    /// first.
+    Events(Vec<(u64, u64, String, String)>),
 }
 
 /// A view's engine: plain, wrapped in WAL + checkpoint durability, or
@@ -482,6 +488,17 @@ impl Db {
                         "PROMOTE REPLICA on view {view}: declare it with REPLICAS first"
                     ))),
                 }
+            }
+            Statement::ShowMetrics { like } => {
+                Ok(QueryResult::Metrics(hazy_obs::registry().flat_snapshot(like.as_deref())))
+            }
+            Statement::ShowEvents { limit } => {
+                let limit = limit.unwrap_or(100) as usize;
+                let rows = hazy_obs::recent_events(limit)
+                    .into_iter()
+                    .map(|ev| (ev.seq, ev.at_ns, ev.kind.name().to_string(), ev.detail()))
+                    .collect();
+                Ok(QueryResult::Events(rows))
             }
         }
     }

@@ -242,6 +242,19 @@ pub enum Statement {
         /// View name.
         view: String,
     },
+    /// `SHOW METRICS [LIKE 'pattern']`: every registered observability
+    /// metric (process-global, across all subsystems) as `(name, value)`
+    /// rows, optionally filtered by a SQL `LIKE` pattern on the name.
+    ShowMetrics {
+        /// Optional `LIKE` pattern.
+        like: Option<String>,
+    },
+    /// `SHOW EVENTS [LIMIT n]`: the most recent structured trace events,
+    /// oldest first, as `(seq, timestamp_ns, kind, detail)` rows.
+    ShowEvents {
+        /// Optional cap on returned rows (default 100).
+        limit: Option<u64>,
+    },
 }
 
 // ---- lexer ------------------------------------------------------------------------
@@ -521,8 +534,34 @@ pub fn parse_statement(src: &str) -> Result<Statement, DbError> {
         lx.done()?;
         return Ok(Statement::PromoteReplica { view });
     }
+    if lx.eat_keyword("SHOW") {
+        if lx.eat_keyword("METRICS") {
+            let like = if lx.eat_keyword("LIKE") {
+                match lx.next() {
+                    Some(Tok::Str(s)) => Some(s),
+                    other => return Err(lx.err(format!("expected pattern string, found {other:?}"))),
+                }
+            } else {
+                None
+            };
+            lx.done()?;
+            return Ok(Statement::ShowMetrics { like });
+        }
+        lx.keyword("EVENTS")?;
+        let limit = if lx.eat_keyword("LIMIT") {
+            let n = lx.int()?;
+            if n < 0 {
+                return Err(lx.err("LIMIT takes a non-negative count"));
+            }
+            Some(n as u64)
+        } else {
+            None
+        };
+        lx.done()?;
+        return Ok(Statement::ShowEvents { limit });
+    }
     Err(lx.err(
-        "expected CREATE, INSERT, DELETE, UPDATE, SELECT, CHECKPOINT, ALTER, DROP or PROMOTE",
+        "expected CREATE, INSERT, DELETE, UPDATE, SELECT, CHECKPOINT, ALTER, DROP, PROMOTE or SHOW",
     ))
 }
 
@@ -1081,6 +1120,26 @@ mod tests {
         );
         assert!(parse_statement("PROMOTE REPLICA V").is_err());
         assert!(parse_statement("PROMOTE REPLICA ON CLASSIFICATION VIEW").is_err());
+    }
+
+    #[test]
+    fn parses_show_metrics_and_show_events() {
+        assert_eq!(
+            parse_statement("SHOW METRICS").unwrap(),
+            Statement::ShowMetrics { like: None }
+        );
+        assert_eq!(
+            parse_statement("SHOW METRICS LIKE 'front_%';").unwrap(),
+            Statement::ShowMetrics { like: Some("front_%".into()) }
+        );
+        assert_eq!(parse_statement("SHOW EVENTS").unwrap(), Statement::ShowEvents { limit: None });
+        assert_eq!(
+            parse_statement("SHOW EVENTS LIMIT 25").unwrap(),
+            Statement::ShowEvents { limit: Some(25) }
+        );
+        assert!(parse_statement("SHOW METRICS LIKE front").is_err(), "pattern must be a string");
+        assert!(parse_statement("SHOW EVENTS LIMIT -1").is_err());
+        assert!(parse_statement("SHOW TABLES").is_err(), "only METRICS and EVENTS exist");
     }
 
     #[test]

@@ -9,6 +9,34 @@ use crate::fault::FaultPlan;
 use crate::replica::ReplicaView;
 use crate::shipper::{LogShipper, ShipOutcome, ShipperStats};
 
+/// Global replication metrics: shipment/eviction/failover counts and the
+/// current worst replica lag, across every group in the process.
+struct ReplObs {
+    shipments: &'static hazy_obs::Counter,
+    evictions: &'static hazy_obs::Counter,
+    readmissions: &'static hazy_obs::Counter,
+    failovers: &'static hazy_obs::Counter,
+    transport_errors: &'static hazy_obs::Counter,
+    replica_reads: &'static hazy_obs::Counter,
+    primary_fallbacks: &'static hazy_obs::Counter,
+    max_lag: &'static hazy_obs::Gauge,
+}
+
+fn repl_obs() -> &'static ReplObs {
+    static OBS: std::sync::OnceLock<ReplObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| ReplObs {
+        shipments: hazy_obs::counter("repl_shipments_total"),
+        evictions: hazy_obs::counter("repl_evictions_total"),
+        readmissions: hazy_obs::counter("repl_readmissions_total"),
+        failovers: hazy_obs::counter("repl_failovers_total"),
+        transport_errors: hazy_obs::counter("repl_transport_errors_total"),
+        replica_reads: hazy_obs::counter("repl_replica_reads_total"),
+        primary_fallbacks: hazy_obs::counter("repl_primary_fallbacks_total"),
+        max_lag: hazy_obs::gauge("repl_max_observed_lag"),
+    })
+}
+
+
 /// Sizing and policy for a [`ReplicationGroup`].
 #[derive(Clone, Copy, Debug)]
 pub struct GroupConfig {
@@ -187,7 +215,16 @@ impl ReplicationGroup {
         loop {
             let slot = &mut self.replicas[i];
             match self.shipper.ship(&self.primary, &mut slot.view, &mut slot.retrier) {
-                Ok(ShipOutcome::Advanced { .. }) => continue,
+                Ok(ShipOutcome::Advanced { .. }) => {
+                    repl_obs().shipments.inc();
+                    hazy_obs::emit(
+                        hazy_obs::EventKind::ReplShipment,
+                        i as u64,
+                        slot.view.next_lsn(),
+                        0,
+                    );
+                    continue;
+                }
                 Ok(ShipOutcome::UpToDate) | Ok(ShipOutcome::Dropped) => break,
                 Ok(ShipOutcome::Delayed(rounds)) => {
                     slot.delay = rounds;
@@ -209,6 +246,7 @@ impl ReplicationGroup {
                     // the replica where it is; the next pump retries with a
                     // fresh budget
                     self.stats.transport_errors += 1;
+                    repl_obs().transport_errors.inc();
                     transport_ok = false;
                     break;
                 }
@@ -223,12 +261,17 @@ impl ReplicationGroup {
     fn refresh_health(&mut self, i: usize, transport_ok: bool) {
         let lag = self.replica_lag(i);
         self.stats.max_observed_lag = self.stats.max_observed_lag.max(lag);
+        repl_obs().max_lag.set_max(lag as f64);
         let now_healthy = transport_ok && lag <= self.max_lag;
         let was = self.replicas[i].healthy;
         if was && !now_healthy {
             self.stats.evictions += 1;
+            repl_obs().evictions.inc();
+            hazy_obs::emit(hazy_obs::EventKind::ReplEviction, i as u64, lag, 0);
         } else if !was && now_healthy {
             self.stats.readmissions += 1;
+            repl_obs().readmissions.inc();
+            hazy_obs::emit(hazy_obs::EventKind::ReplReadmission, i as u64, 0, 0);
         }
         self.replicas[i].healthy = now_healthy;
     }
@@ -267,6 +310,8 @@ impl ReplicationGroup {
         self.stats.promotions += 1;
         self.rr = 0;
         let promoted_lsn = self.primary_next_lsn();
+        repl_obs().failovers.inc();
+        hazy_obs::emit(hazy_obs::EventKind::ReplFailover, pick as u64, promoted_lsn, 0);
         for i in 0..self.replicas.len() {
             if self.replicas[i].view.next_lsn() > promoted_lsn {
                 if let Ok(fresh) =
@@ -356,10 +401,12 @@ impl ReplicationGroup {
             if self.replicas[i].healthy {
                 self.rr = (i + 1) % n;
                 self.stats.replica_reads += 1;
+                repl_obs().replica_reads.inc();
                 return Some(i);
             }
         }
         self.stats.primary_fallbacks += 1;
+        repl_obs().primary_fallbacks.inc();
         None
     }
 

@@ -12,6 +12,7 @@
 //! reorganization drops from "the whole maintenance round" to one atomic
 //! pointer load.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use hazy_core::{
@@ -25,6 +26,41 @@ use hazy_storage::{DurableStore, VirtualClock};
 
 use crate::kway;
 
+/// Global serving-plane metrics: snapshot vs locked read counts and
+/// write rounds, aggregated across every sharded view in the process.
+///
+/// `snapshot_reads` (and the per-shard `serve_shard<i>_reads_total`
+/// counters) are *derived* from each shard's epoch-cell pin count — the
+/// accounting the reclamation protocol already pays for — by
+/// [`Shard::sync_reads`], so the lock-free read paths carry **zero**
+/// added instrumentation atomics. Syncs run at the serving plane's cold
+/// moments: write rounds, fan-out reads, stats, and shard drop; serving
+/// loops (the front's read lane) sync once per drained batch. One pin is
+/// one read — a fan-out query (count/scan/top-k) counts once per shard
+/// it pins, and the front's batched lane counts once per shard group.
+struct ServeObs {
+    snapshot_reads: &'static hazy_obs::Counter,
+    locked_reads: &'static hazy_obs::Counter,
+    write_rounds: &'static hazy_obs::Counter,
+}
+
+fn serve_obs() -> &'static ServeObs {
+    static OBS: std::sync::OnceLock<ServeObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| ServeObs {
+        snapshot_reads: hazy_obs::counter("serve_snapshot_reads_total"),
+        locked_reads: hazy_obs::counter("serve_locked_reads_total"),
+        write_rounds: hazy_obs::counter("serve_write_rounds_total"),
+    })
+}
+
+/// The per-shard load counter `serve_shard<i>_reads_total`. Shard counts
+/// are small and shard indices are stable across views, so views sharing
+/// an index share the counter (the operator reads relative balance).
+fn shard_read_counter(i: usize) -> &'static hazy_obs::Counter {
+    hazy_obs::counter(&format!("serve_shard{i}_reads_total"))
+}
+
+
 /// One shard: a complete classification view over its slice of the
 /// entities, plus the epoch publication state readers actually consume.
 ///
@@ -36,6 +72,12 @@ use crate::kway;
 /// readers and the writer shared this lock.
 struct Shard {
     view: Mutex<Box<dyn DurableClassifierView + Send>>,
+    /// Per-shard load counter (`serve_shard<i>_reads_total`), fed by
+    /// [`Shard::sync_reads`] — never bumped on the read path itself.
+    obs_reads: &'static hazy_obs::Counter,
+    /// High-water mark of the epoch cell's pin total already folded into
+    /// the read counters.
+    reads_synced: AtomicU64,
     /// Writer-side epoch maintenance (watermark-band-pruned label-patch
     /// overlay). Locked after `view` by write paths; readers never touch
     /// it.
@@ -48,13 +90,34 @@ struct Shard {
 impl Shard {
     /// Wraps a freshly built (or restored) engine, publishing its current
     /// answer state as epoch 0.
-    fn new(mut view: Box<dyn DurableClassifierView + Send>, pair: NormPair) -> Shard {
+    fn new(mut view: Box<dyn DurableClassifierView + Send>, pair: NormPair, index: usize) -> Shard {
         let (entities, model) = view
             .snapshot_state()
             .expect("shard engine has no snapshot path for epoch publication");
         let publisher = EpochPublisher::new(entities, model, pair, 0);
         let epochs = publisher.handle();
-        Shard { view: Mutex::new(view), publisher: Mutex::new(publisher), epochs }
+        Shard {
+            view: Mutex::new(view),
+            obs_reads: shard_read_counter(index),
+            reads_synced: AtomicU64::new(0),
+            publisher: Mutex::new(publisher),
+            epochs,
+        }
+    }
+
+    /// Folds pins taken since the last sync into the per-shard and
+    /// serving-plane read counters. The pin path is the hot path; this is
+    /// its deferred ledger — called from write rounds, fan-out reads,
+    /// stats, and drop (see [`ServeObs`]). `fetch_max` keeps concurrent
+    /// syncs from double-crediting.
+    fn sync_reads(&self) {
+        let total = self.epochs.pin_total();
+        let prev = self.reads_synced.fetch_max(total, Ordering::Relaxed);
+        let delta = total.saturating_sub(prev);
+        if delta > 0 {
+            self.obs_reads.add(delta);
+            serve_obs().snapshot_reads.add(delta);
+        }
     }
 
     /// Poison recovery on both shard locks: a writer that panics mid-round
@@ -72,6 +135,14 @@ impl Shard {
 
     fn lock_publisher(&self) -> MutexGuard<'_, EpochPublisher> {
         self.publisher.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // credit reads a read-only lifetime accumulated before the epoch
+        // cell (and its pin ledger) goes away
+        self.sync_reads();
     }
 }
 
@@ -177,6 +248,9 @@ impl ShardedView {
         ) -> Box<dyn DurableClassifierView + Send>,
     {
         assert!(n_shards > 0, "a sharded view needs at least one shard");
+        // register the serving-plane counters up front so scrape surfaces
+        // list them (at zero) before the first deferred sync runs
+        let _ = serve_obs();
         let mut builder = builder.clone();
         if builder.configured_dim() == 0 {
             let dim = entities.iter().map(|e| e.f.dim() as usize).max().unwrap_or(0);
@@ -190,7 +264,8 @@ impl ShardedView {
         let pair = builder.configured_norm_pair();
         let shards: Vec<Shard> = parts
             .into_iter()
-            .map(|part| Shard::new(make_shard(&builder, part, warm, clock.clone()), pair))
+            .enumerate()
+            .map(|(i, part)| Shard::new(make_shard(&builder, part, warm, clock.clone()), pair, i))
             .collect();
         let model_cache = shards[0].lock_view().model().clone();
         ShardedView { shards, clock, model_cache }
@@ -256,7 +331,9 @@ impl ShardedView {
     // ---- lock-free read API (the ReadHandle surface) -----------------------------
 
     /// `Single Entity` read: the label of entity `id`, answered from its
-    /// home shard's pinned epoch. Never blocks.
+    /// home shard's pinned epoch. Never blocks, and carries **zero**
+    /// instrumentation atomics — the read counters are derived later from
+    /// the pin count this call already pays for (see [`Self::sync_obs`]).
     pub fn classify(&self, id: u64) -> Option<Label> {
         self.shards[shard_of(id, self.shards.len())].epochs.pin().classify(id)
     }
@@ -266,20 +343,28 @@ impl ShardedView {
     /// LSN (the same per-shard consistency the lock-based walk had —
     /// neither takes a global barrier across shards).
     pub fn count_positive(&self) -> u64 {
-        self.shards.iter().map(|s| s.epochs.pin().count_positive()).sum()
+        let n = self.shards.iter().map(|s| s.epochs.pin().count_positive()).sum();
+        self.sync_obs();
+        n
     }
 
     /// `All Members` listing: per-shard pinned-epoch listings (already
     /// ascending) k-way merged into globally ascending id order.
     pub fn scan_positive(&self) -> Vec<u64> {
-        kway::merge_ascending(self.shards.iter().map(|s| s.epochs.pin().positive_ids()).collect())
+        let ids =
+            kway::merge_ascending(self.shards.iter().map(|s| s.epochs.pin().positive_ids()).collect());
+        self.sync_obs();
+        ids
     }
 
     /// Ranked read: each shard's pinned-epoch top `k` under
     /// [`hazy_core::rank_order`], k-way merged — identical to the
     /// unsharded [`ClassifierView::top_k`] answer.
     pub fn top_k(&self, k: usize) -> Vec<(u64, f64)> {
-        kway::merge_ranked(self.shards.iter().map(|s| s.epochs.pin().top_k(k)).collect(), k)
+        let ranked =
+            kway::merge_ranked(self.shards.iter().map(|s| s.epochs.pin().top_k(k)).collect(), k);
+        self.sync_obs();
+        ranked
     }
 
     /// Pins shard `s`'s current epoch — the building block for multi-read
@@ -287,6 +372,18 @@ impl ShardedView {
     /// state) and for replica layers that serve at a fixed LSN.
     pub fn pin_shard(&self, s: usize) -> EpochPin<'_> {
         self.shards[s].epochs.pin()
+    }
+
+    /// Folds every shard's pin-derived read counts into the registry
+    /// (each shard's `sync_reads`). Cheap — one relaxed load and `fetch_max`
+    /// per shard — and called automatically by write rounds, fan-out
+    /// reads, stats, and drop; serving loops that batch single-entity
+    /// reads (the front's read lane) call it once per drained batch to
+    /// bound how stale a metrics scrape can be.
+    pub fn sync_obs(&self) {
+        for s in &self.shards {
+            s.sync_reads();
+        }
     }
 
     /// The shared epoch cell of shard `s` (outlives `&self` borrows —
@@ -297,7 +394,13 @@ impl ShardedView {
 
     /// Per-shard epoch lifecycle counters, in shard order.
     pub fn epoch_stats(&self) -> Vec<EpochStats> {
-        self.shards.iter().map(|s| s.epochs.stats()).collect()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.sync_reads();
+                s.epochs.stats()
+            })
+            .collect()
     }
 
     /// The PR 3 read path, kept as the measured baseline: goes through the
@@ -307,6 +410,7 @@ impl ShardedView {
     /// [`classify`](ShardedView::classify) to quantify the epoch win; it
     /// is not part of the serving surface.
     pub fn classify_locked(&self, id: u64) -> Option<Label> {
+        serve_obs().locked_reads.inc();
         self.lock_shard_write(shard_of(id, self.shards.len())).read_single(id)
     }
 
@@ -339,6 +443,7 @@ impl ShardedView {
             agg.migrations += s.migrations;
         }
         for s in &self.shards {
+            s.sync_reads();
             let es = s.epochs.stats();
             agg.epochs_published += es.published;
             agg.epoch_pins += es.pins;
@@ -394,12 +499,14 @@ impl ShardedView {
         if batch.is_empty() {
             return;
         }
+        serve_obs().write_rounds.inc();
         for shard in &self.shards {
             let mut view = shard.lock_view();
             view.update_batch(batch);
             let model = view.model().clone();
             drop(view);
             shard.lock_publisher().apply_update(&model);
+            shard.sync_reads();
         }
     }
 
@@ -466,14 +573,14 @@ impl ShardedView {
         }
         let pair = builder.configured_norm_pair();
         let mut shards = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
             let len = wire::take_u64(b)? as usize;
             let mut blob = wire::take_bytes(b, len)?;
             let view = shard_restorer.restore(builder, &mut blob, clock.clone())?;
             if !blob.is_empty() {
                 return None;
             }
-            shards.push(Shard::new(view, pair));
+            shards.push(Shard::new(view, pair, i));
         }
         let model_cache = shards[0].lock_view().model().clone();
         Some(ShardedView { shards, clock, model_cache })
@@ -675,6 +782,11 @@ impl ReadHandle {
     /// See [`ShardedView::pin_shard`].
     pub fn pin_shard(&self, s: usize) -> EpochPin<'_> {
         self.view.pin_shard(s)
+    }
+
+    /// See [`ShardedView::sync_obs`].
+    pub fn sync_obs(&self) {
+        self.view.sync_obs();
     }
 
     /// See [`ShardedView::shard_epochs`].

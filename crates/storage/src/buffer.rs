@@ -11,6 +11,24 @@ use crate::clock::IoStats;
 use crate::disk::{PageId, SimDisk, PAGE_SIZE};
 use crate::error::StorageError;
 
+/// Global buffer-pool metrics mirroring the per-disk `IoStats` counters,
+/// so cache behavior shows up in `SHOW METRICS` without a disk handle.
+struct PoolObs {
+    hits: &'static hazy_obs::Counter,
+    misses: &'static hazy_obs::Counter,
+    evictions: &'static hazy_obs::Counter,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: std::sync::OnceLock<PoolObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| PoolObs {
+        hits: hazy_obs::counter("storage_pool_hits_total"),
+        misses: hazy_obs::counter("storage_pool_misses_total"),
+        evictions: hazy_obs::counter("storage_pool_evictions_total"),
+    })
+}
+
+
 struct Frame {
     pid: PageId,
     data: Box<[u8; PAGE_SIZE]>,
@@ -250,11 +268,13 @@ impl BufferPool {
         use std::sync::atomic::Ordering::Relaxed;
         if let Some(&slot) = self.map.get(&pid) {
             self.disk.stats().pool_hits.fetch_add(1, Relaxed);
+            pool_obs().hits.inc();
             self.disk.clock().charge_ns(self.disk.clock().model().pool_hit_ns);
             self.frames[slot].referenced = true;
             return Ok(slot);
         }
         self.disk.stats().pool_misses.fetch_add(1, Relaxed);
+        pool_obs().misses.inc();
         let slot = self.checked_grab_frame()?;
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.disk.try_read_page(pid, &mut data)?;
@@ -296,6 +316,7 @@ impl BufferPool {
                 wrote?;
             }
             self.map.remove(&old_pid);
+            pool_obs().evictions.inc();
             return Ok(victim);
         }
     }

@@ -17,6 +17,26 @@ use rand::{Rng, SeedableRng};
 
 use crate::clock::VirtualClock;
 
+/// Global retry metrics (satellite of the observability layer): every
+/// [`Retrier`] in the process reports here in addition to its own
+/// per-instance [`RetryStats`].
+struct RetryObs {
+    attempts: &'static hazy_obs::Counter,
+    retries: &'static hazy_obs::Counter,
+    exhausted: &'static hazy_obs::Counter,
+    backoff_ns: &'static hazy_obs::Counter,
+}
+
+fn retry_obs() -> &'static RetryObs {
+    static OBS: std::sync::OnceLock<RetryObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| RetryObs {
+        attempts: hazy_obs::counter("storage_retry_attempts_total"),
+        retries: hazy_obs::counter("storage_retry_retries_total"),
+        exhausted: hazy_obs::counter("storage_retry_exhausted_total"),
+        backoff_ns: hazy_obs::counter("storage_retry_backoff_ns_total"),
+    })
+}
+
 /// Backoff shape and budget for one retry loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -106,18 +126,30 @@ impl Retrier {
         mut op: impl FnMut() -> Result<T, E>,
     ) -> Result<T, E> {
         let mut attempt = 0u32;
+        let mut slept_ns = 0u64;
         loop {
             self.stats.attempts += 1;
+            retry_obs().attempts.inc();
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     if attempt >= self.policy.budget {
                         self.stats.exhausted += 1;
+                        retry_obs().exhausted.inc();
+                        hazy_obs::emit(
+                            hazy_obs::EventKind::RetryExhausted,
+                            u64::from(attempt) + 1,
+                            slept_ns,
+                            0,
+                        );
                         return Err(e);
                     }
                     let sleep = self.backoff_ns(attempt);
                     self.stats.retries += 1;
                     self.stats.backoff_ns += sleep;
+                    slept_ns += sleep;
+                    retry_obs().retries.inc();
+                    retry_obs().backoff_ns.add(sleep);
                     clock.charge_ns(sleep);
                     attempt += 1;
                 }

@@ -31,6 +31,47 @@ use crate::clock::{CostModel, VirtualClock};
 use crate::disk::PAGE_SIZE;
 use crate::error::StorageError;
 
+/// Lazily registered observability handles for the log layer. One mutex
+/// hit on first use; every later record is a relaxed atomic op.
+struct WalObs {
+    fsync_total: &'static hazy_obs::Counter,
+    fsync_bytes: &'static hazy_obs::Counter,
+    checkpoint_total: &'static hazy_obs::Counter,
+    checkpoint_bytes: &'static hazy_obs::Counter,
+    ingest_records: &'static hazy_obs::Counter,
+    ingest_duplicates: &'static hazy_obs::Counter,
+    recovery_clean_eof: &'static hazy_obs::Counter,
+    recovery_torn_frame: &'static hazy_obs::Counter,
+    recovery_crc_mismatch: &'static hazy_obs::Counter,
+}
+
+fn wal_obs() -> &'static WalObs {
+    static OBS: std::sync::OnceLock<WalObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| WalObs {
+        fsync_total: hazy_obs::counter("storage_wal_fsync_total"),
+        fsync_bytes: hazy_obs::counter("storage_wal_fsync_bytes_total"),
+        checkpoint_total: hazy_obs::counter("storage_checkpoint_total"),
+        checkpoint_bytes: hazy_obs::counter("storage_checkpoint_bytes_total"),
+        ingest_records: hazy_obs::counter("storage_wal_ingest_records_total"),
+        ingest_duplicates: hazy_obs::counter("storage_wal_ingest_duplicates_total"),
+        recovery_clean_eof: hazy_obs::counter("storage_wal_recovery_clean_eof_total"),
+        recovery_torn_frame: hazy_obs::counter("storage_wal_recovery_torn_frame_total"),
+        recovery_crc_mismatch: hazy_obs::counter("storage_wal_recovery_crc_mismatch_total"),
+    })
+}
+
+impl WalEnd {
+    /// Stable numeric code carried in [`hazy_obs::EventKind::WalRecovery`]
+    /// events (0 clean-eof, 1 torn-frame, 2 crc-mismatch).
+    pub fn code(self) -> u64 {
+        match self {
+            WalEnd::CleanEof => 0,
+            WalEnd::TornFrame => 1,
+            WalEnd::CrcMismatch => 2,
+        }
+    }
+}
+
 /// Bytes of frame overhead around a record payload.
 pub const WAL_FRAME_OVERHEAD: usize = 4 + 8 + 1 + 4;
 
@@ -192,6 +233,12 @@ impl Wal {
             valid_len = rec.end_offset;
         }
         let truncation = reader.end().unwrap_or(WalEnd::CleanEof);
+        match truncation {
+            WalEnd::CleanEof => wal_obs().recovery_clean_eof.inc(),
+            WalEnd::TornFrame => wal_obs().recovery_torn_frame.inc(),
+            WalEnd::CrcMismatch => wal_obs().recovery_crc_mismatch.inc(),
+        }
+        hazy_obs::emit(hazy_obs::EventKind::WalRecovery, records, truncation.code(), 0);
         let mut stable = bytes;
         stable.truncate(valid_len);
         Wal {
@@ -233,6 +280,9 @@ impl Wal {
         }
         let bytes: usize = self.pending.iter().map(Vec::len).sum();
         charge_bulk_write(&self.clock, bytes);
+        wal_obs().fsync_total.inc();
+        wal_obs().fsync_bytes.add(bytes as u64);
+        hazy_obs::emit(hazy_obs::EventKind::WalFsync, self.pending.len() as u64, bytes as u64, 0);
         for frame in std::mem::take(&mut self.pending) {
             match self.crash {
                 CrashState::Tripped => continue,
@@ -341,6 +391,8 @@ impl Wal {
         if applied_bytes > 0 {
             charge_bulk_write(&self.clock, applied_bytes);
         }
+        wal_obs().ingest_records.add(report.applied);
+        wal_obs().ingest_duplicates.add(report.duplicates);
         Ok(report)
     }
 
@@ -555,6 +607,9 @@ impl CheckpointStore {
         let crc = crc32_parts(&[&frame]);
         frame.extend_from_slice(&crc.to_le_bytes());
         charge_bulk_write(&self.clock, frame.len());
+        wal_obs().checkpoint_total.inc();
+        wal_obs().checkpoint_bytes.add(frame.len() as u64);
+        hazy_obs::emit(hazy_obs::EventKind::WalCheckpoint, seq, payload.len() as u64, 0);
         if self.torn_next {
             // simulated crash mid-checkpoint: half the frame lands
             frame.truncate(frame.len() / 2);

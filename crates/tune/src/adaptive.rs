@@ -13,6 +13,22 @@ use hazy_storage::VirtualClock;
 
 use crate::advisor::{Advisor, AdvisorConfig, MigrationEvent, OpKind, WindowCtx};
 
+/// Global migration metrics: count and virtual-pause distribution across
+/// every adaptive view in the process.
+struct TuneObs {
+    migrations: &'static hazy_obs::Counter,
+    pause_ns: &'static hazy_obs::Histogram,
+}
+
+fn tune_obs() -> &'static TuneObs {
+    static OBS: std::sync::OnceLock<TuneObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| TuneObs {
+        migrations: hazy_obs::counter("tune_migrations_total"),
+        pause_ns: hazy_obs::histogram("tune_migration_pause_ns"),
+    })
+}
+
+
 /// Checkpoint-blob tag identifying an adaptive view (the architecture tags
 /// 1–5 and the sharded tag 16 stay below it).
 pub const ADAPTIVE_VIEW_TAG: u8 = 17;
@@ -155,11 +171,25 @@ impl AdaptiveView {
             return false;
         };
         let from = (self.arch, self.mode);
+        hazy_obs::emit(
+            hazy_obs::EventKind::MigrationStart,
+            u64::from(from.0.tag()),
+            u64::from(arch.tag()),
+            u64::from(auto),
+        );
         self.inner = self.template.build_migrated(arch, mode, state, clock.clone());
         self.arch = arch;
         self.mode = mode;
         let pause_ns = clock.now_ns() - t0;
         self.last_migration_ns = pause_ns;
+        tune_obs().migrations.inc();
+        tune_obs().pause_ns.record(pause_ns);
+        hazy_obs::emit(
+            hazy_obs::EventKind::MigrationFinish,
+            u64::from(from.0.tag()),
+            u64::from(arch.tag()),
+            pause_ns,
+        );
         self.events.push(MigrationEvent {
             from,
             to: (arch, mode),

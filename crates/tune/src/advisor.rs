@@ -270,6 +270,7 @@ impl Advisor {
                 self.regret[c] = (self.regret[c] + observed - p * scale).max(0.0);
             }
         }
+        hazy_obs::counter("tune_windows_closed_total").inc();
         // reset the window before any early return
         self.ops_in_window = 0;
         self.counts = [0; N_KIND];
@@ -290,7 +291,15 @@ impl Advisor {
             return None;
         }
         let migration = self.predict_migration(CONFIGS[best].0, ctx, &ft) * scale;
+        hazy_obs::gauge("tune_regret_best_ns").set(self.regret[best]);
         if self.regret[best] >= self.cfg.switch_factor * migration {
+            hazy_obs::counter("tune_advisor_decisions_total").inc();
+            hazy_obs::emit(
+                hazy_obs::EventKind::AdvisorDecision,
+                u64::from(ctx.current.0.tag()),
+                u64::from(CONFIGS[best].0.tag()),
+                self.regret[best] as u64,
+            );
             return Some(CONFIGS[best]);
         }
         None

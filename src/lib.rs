@@ -11,6 +11,7 @@ pub use hazy_flow as flow;
 pub use hazy_front as front;
 pub use hazy_learn as learn;
 pub use hazy_linalg as linalg;
+pub use hazy_obs as obs;
 pub use hazy_rdbms as rdbms;
 pub use hazy_repl as repl;
 pub use hazy_serve as serve;
